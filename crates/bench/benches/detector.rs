@@ -1,0 +1,39 @@
+//! Criterion measurement behind Figure 12a: one full detection run per
+//! workload (one insertion plus its per-failure-point recovery), and the
+//! Figure 12b baselines (trace-only and original execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xfd_bench::{run_baseline, run_detection, Baseline};
+use xfd_workloads::all_workloads;
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12a_detection");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in all_workloads() {
+        group.bench_function(kind.to_string(), |b| {
+            b.iter(|| std::hint::black_box(run_detection(kind, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12b_baselines");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in all_workloads() {
+        group.bench_function(format!("{kind}/trace-only"), |b| {
+            b.iter(|| std::hint::black_box(run_baseline(kind, 1, Baseline::TraceOnly)));
+        });
+        group.bench_function(format!("{kind}/original"), |b| {
+            b.iter(|| std::hint::black_box(run_baseline(kind, 1, Baseline::Original)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion measurement behind Figure 13: detection time as the number of
+//! pre-failure transactions grows (reduced sweep; the `fig13` binary prints
+//! the full table with failure-point counts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xfd_bench::run_detection;
+use xfd_workloads::bugs::WorkloadKind;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_scalability");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [WorkloadKind::Btree, WorkloadKind::HashmapTx] {
+        for n in [1u64, 10, 20] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| std::hint::black_box(run_detection(kind, n)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 12: (a) detection wall-clock time per workload with the
+//! pre-/post-failure breakdown, and (b) slowdown over the trace-only
+//! ("Pure Pin") and original configurations.
+//!
+//! ```sh
+//! cargo run --release -p xfd-bench --bin fig12
+//! ```
+//!
+//! Like the paper's methodology (§6.2.1), each workload performs one
+//! insertion operation per run (plus its recovery continuation per failure
+//! point).
+
+use xfd_bench::{geo_mean, run_baseline, run_detection, secs, Baseline};
+use xfd_workloads::all_workloads;
+
+fn main() {
+    // The paper uses 1 test transaction/query; a few init ops make the
+    // recovery walk non-trivial.
+    const OPS: u64 = 1;
+
+    println!("Figure 12a: execution time of XFDetector (one insertion per workload)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "workload", "total[s]", "pre[s]", "post[s]", "#fp", "post%"
+    );
+    let mut rows = Vec::new();
+    for kind in all_workloads() {
+        let outcome = run_detection(kind, OPS);
+        let s = &outcome.stats;
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>8} {:>7.1}%",
+            kind.to_string(),
+            secs(s.total_time),
+            secs(s.pre_exec_time()),
+            secs(s.post_exec_time + s.detect_time),
+            s.failure_points,
+            100.0 * s.post_fraction(),
+        );
+        rows.push((kind, s.total_time));
+    }
+
+    println!();
+    println!("Figure 12b: slowdown over Pure-Pin (trace-only) and Original");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "workload", "over trace", "over original"
+    );
+    let mut over_trace = Vec::new();
+    let mut over_orig = Vec::new();
+    for (kind, total) in rows {
+        let trace = run_baseline(kind, OPS, Baseline::TraceOnly);
+        let orig = run_baseline(kind, OPS, Baseline::Original);
+        let rt = total.as_secs_f64() / trace.as_secs_f64().max(f64::MIN_POSITIVE);
+        let ro = total.as_secs_f64() / orig.as_secs_f64().max(f64::MIN_POSITIVE);
+        println!("{:<16} {:>13.1}x {:>13.1}x", kind.to_string(), rt, ro);
+        over_trace.push(rt);
+        over_orig.push(ro);
+    }
+    println!(
+        "{:<16} {:>13.1}x {:>13.1}x   (geometric mean)",
+        "Average",
+        geo_mean(&over_trace),
+        geo_mean(&over_orig)
+    );
+    println!();
+    println!(
+        "paper shape: post-failure dominates total time; detection is ~12x \
+         slower than trace-only and ~400x slower than the original"
+    );
+}

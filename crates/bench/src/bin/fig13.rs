@@ -1,0 +1,42 @@
+//! Figure 13: scalability — detection time and failure-point count as the
+//! number of pre-failure transactions grows ({1,10,20,30,40,50}) for the
+//! five microbenchmarks. The paper's claim: both grow linearly.
+//!
+//! ```sh
+//! cargo run --release -p xfd-bench --bin fig13
+//! ```
+
+use xfd_bench::{run_detection, secs};
+use xfd_workloads::microbenchmarks;
+
+fn main() {
+    let sweep = [1u64, 10, 20, 30, 40, 50];
+    println!("Figure 13: execution time and #failure points vs #pre-failure transactions");
+    println!(
+        "{:<16} {:>6} {:>12} {:>10} {:>12} {:>12}",
+        "workload", "#tx", "time[s]", "#fp", "pre-entries", "post-entries"
+    );
+    for kind in microbenchmarks() {
+        let mut prev_fp = 0u64;
+        for &n in &sweep {
+            let outcome = run_detection(kind, n);
+            let s = &outcome.stats;
+            println!(
+                "{:<16} {:>6} {:>12} {:>10} {:>12} {:>12}",
+                kind.to_string(),
+                n,
+                secs(s.total_time),
+                s.failure_points,
+                s.pre_entries,
+                s.post_entries,
+            );
+            assert!(
+                s.failure_points >= prev_fp,
+                "failure points must grow with the transaction count"
+            );
+            prev_fp = s.failure_points;
+        }
+        println!();
+    }
+    println!("paper shape: time grows linearly with the number of failure points");
+}

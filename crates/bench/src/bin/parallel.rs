@@ -1,0 +1,68 @@
+//! Parallel detection (the paper's §6.2.1 future work, implemented):
+//! speedup of `XfDetector::run_parallel` over the sequential engine, with
+//! identical findings.
+//!
+//! ```sh
+//! cargo run --release -p xfd-bench --bin parallel
+//! ```
+
+use std::time::Instant;
+
+use xfd_workloads::btree::Btree;
+use xfd_workloads::hashmap_atomic::HashmapAtomic;
+use xfdetector::XfDetector;
+
+fn main() {
+    const OPS: u64 = 30;
+    let detector = XfDetector::with_defaults();
+
+    println!("parallel post-failure execution (B-Tree, {OPS} transactions)");
+    println!("{:<12} {:>10} {:>10} {:>8}", "mode", "time[s]", "#fp", "speedup");
+
+    let t0 = Instant::now();
+    let seq = detector.run(Btree::new(OPS)).unwrap();
+    let seq_time = t0.elapsed();
+    println!(
+        "{:<12} {:>10.3} {:>10} {:>8}",
+        "sequential",
+        seq_time.as_secs_f64(),
+        seq.stats.failure_points,
+        "1.0x"
+    );
+
+    for workers in [2usize, 4, 8] {
+        let t = Instant::now();
+        let par = detector.run_parallel(Btree::new(OPS), workers).unwrap();
+        let elapsed = t.elapsed();
+        assert_eq!(
+            par.report.len(),
+            seq.report.len(),
+            "parallel and sequential must find the same bugs"
+        );
+        println!(
+            "{:<12} {:>10.3} {:>10} {:>7.1}x",
+            format!("{workers} workers"),
+            elapsed.as_secs_f64(),
+            par.stats.failure_points,
+            seq_time.as_secs_f64() / elapsed.as_secs_f64(),
+        );
+    }
+
+    // A second workload to show generality.
+    println!();
+    println!("parallel detection (Hashmap-Atomic, {OPS} operations)");
+    let t0 = Instant::now();
+    let seq = detector.run(HashmapAtomic::new(OPS)).unwrap();
+    let seq_time = t0.elapsed();
+    println!("sequential: {:.3}s", seq_time.as_secs_f64());
+    let t = Instant::now();
+    let par = detector
+        .run_parallel(HashmapAtomic::new(OPS), 4)
+        .unwrap();
+    println!(
+        "4 workers:  {:.3}s ({:.1}x), identical findings: {}",
+        t.elapsed().as_secs_f64(),
+        seq_time.as_secs_f64() / t.elapsed().as_secs_f64(),
+        par.report.len() == seq.report.len(),
+    );
+}

@@ -1,0 +1,57 @@
+//! Offline replay: records a detection run's traces to JSON, then re-runs
+//! the backend analysis on the serialized form — demonstrating the §5.5
+//! decoupling of the tracing frontend from the detection backend.
+//!
+//! ```sh
+//! cargo run --release -p xfd-bench --bin replay
+//! ```
+
+use std::fs;
+
+use xfd_workloads::bugs::BugId;
+use xfd_workloads::build_with_bug;
+use xfdetector::{offline, XfConfig, XfDetector};
+
+fn main() {
+    let cfg = XfConfig {
+        record_trace: true,
+        ..XfConfig::default()
+    };
+    let outcome = XfDetector::new(cfg)
+        .run(build_with_bug(BugId::BtNoAddCount))
+        .expect("detection run");
+    let recorded = outcome.recorded.expect("trace recorded");
+
+    println!(
+        "online:  {} finding(s) from {} trace entries across {} failure points",
+        outcome.report.len(),
+        recorded.entry_count(),
+        recorded.failure_points.len(),
+    );
+
+    let path = "artifacts/recorded_run.json";
+    let json = serde_json::to_string(&recorded).expect("serialize");
+    fs::create_dir_all("artifacts").expect("mkdir artifacts");
+    fs::write(path, &json).expect("write trace");
+    println!("trace written to {path} ({} bytes)", json.len());
+
+    // A different "process": reload and analyze without the program.
+    let reloaded: offline::RecordedRun =
+        serde_json::from_str(&fs::read_to_string(path).expect("read")).expect("deserialize");
+    let report = offline::analyze(&reloaded, true);
+    println!(
+        "offline: {} finding(s) — {} race(s), {} semantic, {} performance",
+        report.len(),
+        report.race_count(),
+        report.semantic_count(),
+        report.performance_count(),
+    );
+    println!("{report}");
+
+    assert_eq!(
+        report.race_count(),
+        outcome.report.race_count(),
+        "offline backend must reproduce the online race findings"
+    );
+    println!("offline analysis matches the online run");
+}

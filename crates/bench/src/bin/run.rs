@@ -1,0 +1,116 @@
+//! The artifact's `run.sh` interface (paper Appendix A.6):
+//!
+//! ```sh
+//! cargo run --release -p xfd-bench --bin run -- <WORKLOAD> <INITSIZE> <TESTSIZE> [BUG]
+//! ```
+//!
+//! - `WORKLOAD`: btree | ctree | rbtree | hashmap-tx | hashmap-atomic |
+//!   redis | memcached
+//! - `INITSIZE`: insertions performed while initializing the pool, before
+//!   testing starts
+//! - `TESTSIZE`: insertions performed under failure injection
+//! - `BUG` (optional): a bug id from the registry (e.g. `BtNoAddCount`);
+//!   omitted = the original program (the artifact's "patch" parameter)
+//!
+//! The bug report is printed and also written to
+//! `artifacts/<WORKLOAD>_<TESTSIZE>_debug.txt`, mirroring the artifact's
+//! output file convention.
+
+use std::fs;
+use std::process::ExitCode;
+
+use xfd_workloads::bugs::{BugId, BugSet, WorkloadKind};
+use xfd_workloads::build_with_init;
+use xfdetector::XfDetector;
+
+fn parse_workload(name: &str) -> Option<WorkloadKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "btree" | "b-tree" => WorkloadKind::Btree,
+        "ctree" | "c-tree" => WorkloadKind::Ctree,
+        "rbtree" | "rb-tree" => WorkloadKind::Rbtree,
+        "hashmap-tx" | "hashmap_tx" | "hash-tx" => WorkloadKind::HashmapTx,
+        "hashmap-atomic" | "hashmap_atomic" | "hash-atomic" => WorkloadKind::HashmapAtomic,
+        "redis" => WorkloadKind::Redis,
+        "memcached" => WorkloadKind::Memcached,
+        _ => return None,
+    })
+}
+
+fn parse_bug(name: &str) -> Option<BugId> {
+    BugId::all()
+        .iter()
+        .copied()
+        .find(|b| format!("{b:?}").eq_ignore_ascii_case(name))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: run <WORKLOAD> <INITSIZE> <TESTSIZE> [BUG]");
+    eprintln!("  WORKLOAD: btree | ctree | rbtree | hashmap-tx | hashmap-atomic | redis | memcached");
+    eprintln!("  BUG ids:");
+    for b in BugId::all() {
+        eprintln!("    {b:?} — {}", b.description());
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 || args.len() > 4 {
+        return usage();
+    }
+    let Some(kind) = parse_workload(&args[0]) else {
+        eprintln!("unknown workload {:?}", args[0]);
+        return usage();
+    };
+    let (Ok(init), Ok(test)) = (args[1].parse::<u64>(), args[2].parse::<u64>()) else {
+        eprintln!("INITSIZE/TESTSIZE must be integers");
+        return usage();
+    };
+    let bugs = match args.get(3) {
+        None => BugSet::none(),
+        Some(name) => match parse_bug(name) {
+            Some(bug) => {
+                if bug.workload() != kind {
+                    eprintln!("bug {bug:?} belongs to workload {}", bug.workload());
+                    return ExitCode::FAILURE;
+                }
+                BugSet::single(bug)
+            }
+            None => {
+                eprintln!("unknown bug {name:?}");
+                return usage();
+            }
+        },
+    };
+
+    let workload = build_with_init(kind, init, test, bugs);
+    let outcome = match XfDetector::with_defaults().run(workload) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("detection run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "workload: {kind}  init: {init}  test: {test}  bug: {}\n",
+        args.get(3).map_or("none", |s| s.as_str())
+    ));
+    out.push_str(&format!(
+        "failure points: {}  post-failure runs: {}  trace entries: {} pre / {} post\n\n",
+        outcome.stats.failure_points,
+        outcome.stats.post_runs,
+        outcome.stats.pre_entries,
+        outcome.stats.post_entries,
+    ));
+    out.push_str(&outcome.report.to_string());
+    print!("{out}");
+
+    let _ = fs::create_dir_all("artifacts");
+    let path = format!("artifacts/{}_{}_debug.txt", args[0], test);
+    if fs::write(&path, &out).is_ok() {
+        println!("\nreport written to {path}");
+    }
+    ExitCode::SUCCESS
+}

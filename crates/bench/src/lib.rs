@@ -1,0 +1,118 @@
+//! Shared harness for the benchmark binaries and Criterion benches that
+//! regenerate the paper's tables and figures (see DESIGN.md §3 for the
+//! per-experiment index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use pmem::{PmCtx, PmPool};
+use xfd_workloads::bugs::{BugSet, WorkloadKind};
+use xfd_workloads::build;
+use xfdetector::{RunOutcome, Workload, XfConfig, XfDetector};
+
+/// Runs full detection on `kind` with `ops` pre-failure operations.
+///
+/// # Panics
+///
+/// Panics if the detection run itself fails (setup/pre-failure errors),
+/// which for the shipped workloads indicates a harness bug.
+#[must_use]
+pub fn run_detection(kind: WorkloadKind, ops: u64) -> RunOutcome {
+    XfDetector::with_defaults()
+        .run(build(kind, ops, BugSet::none()))
+        .expect("detection run failed")
+}
+
+/// Runs full detection with an explicit configuration.
+///
+/// # Panics
+///
+/// Panics if the detection run itself fails.
+#[must_use]
+pub fn run_detection_with(kind: WorkloadKind, ops: u64, cfg: XfConfig) -> RunOutcome {
+    XfDetector::new(cfg)
+        .run(build(kind, ops, BugSet::none()))
+        .expect("detection run failed")
+}
+
+/// Baseline execution modes of Figure 12b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Uninstrumented program: tracing disabled (the "Original" bars).
+    Original,
+    /// Trace-only: every PM operation is recorded but nothing is detected
+    /// (the "Pure Pin" bars).
+    TraceOnly,
+}
+
+/// Runs `kind` once (setup + pre-failure + one post-failure pass) without
+/// the detector, under the given baseline mode, returning the wall-clock
+/// time.
+///
+/// # Panics
+///
+/// Panics if the workload itself fails.
+#[must_use]
+pub fn run_baseline(kind: WorkloadKind, ops: u64, mode: Baseline) -> Duration {
+    let w = build(kind, ops, BugSet::none());
+    let mut ctx = PmCtx::new(PmPool::new(w.pool_size()).expect("pool"));
+    if mode == Baseline::Original {
+        ctx.set_tracing(false);
+    }
+    let start = Instant::now();
+    w.setup(&mut ctx).expect("setup");
+    w.pre_failure(&mut ctx).expect("pre-failure");
+    // One recovery pass, as the real program would perform after a crash.
+    let image = ctx.pool().full_image();
+    let mut post = ctx.fork_post(&image);
+    if mode == Baseline::Original {
+        post.set_tracing(false);
+    }
+    w.post_failure(&mut post).expect("post-failure");
+    let elapsed = start.elapsed();
+    // Drop the accumulated traces outside the timed region.
+    let _ = ctx.trace().drain();
+    let _ = post.trace().drain();
+    elapsed
+}
+
+/// Formats a duration in seconds with three decimals.
+#[must_use]
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Geometric mean of a slice of ratios.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+#[must_use]
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let log_sum: f64 = xs.iter().map(|x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_and_baselines_run() {
+        let outcome = run_detection(WorkloadKind::Ctree, 2);
+        assert!(outcome.stats.failure_points > 0);
+        let orig = run_baseline(WorkloadKind::Ctree, 2, Baseline::Original);
+        let trace = run_baseline(WorkloadKind::Ctree, 2, Baseline::TraceOnly);
+        assert!(orig > Duration::ZERO);
+        assert!(trace > Duration::ZERO);
+    }
+
+    #[test]
+    fn geo_mean_of_constant_is_constant() {
+        assert!((geo_mean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-9);
+        assert!((geo_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+}

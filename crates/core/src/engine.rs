@@ -1,0 +1,837 @@
+//! The detection engine: failure injection, post-failure execution and
+//! trace replay (the frontend/backend pair of Figure 8).
+//!
+//! [`XfDetector::run`] executes a [`Workload`] under test:
+//!
+//! 1. `setup` runs without failure injection (pool initialization, like the
+//!    paper's pre-RoI initialization),
+//! 2. `pre_failure` runs with an [`pmem::EngineHook`] installed: before every
+//!    ordering point inside the region of interest the engine drains and
+//!    replays the new pre-failure trace into the [`ShadowPm`], snapshots the
+//!    PM image, runs `post_failure` on a forked context, and replays the
+//!    post-failure trace against a clone of the shadow to detect
+//!    cross-failure bugs,
+//! 3. a final failure point at completion covers failures after the last
+//!    operation finished.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pmem::{CrashPolicy, EngineHook, OrderingPointInfo, PmCtx, PmError, PmPool};
+use xftrace::SourceLoc;
+
+use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
+use crate::shadow::ShadowPm;
+use crate::stats::RunStats;
+
+/// Boxed error type returned by workload stages.
+pub type DynError = Box<dyn std::error::Error>;
+
+/// A program under test.
+///
+/// The three stages mirror the paper's model: initialization (outside the
+/// region of interest), the pre-failure execution that failure points are
+/// injected into, and the post-failure recovery-and-resumption continuation
+/// that runs once per failure point on a snapshot of the PM image.
+pub trait Workload {
+    /// Human-readable workload name (used in reports and benchmarks).
+    fn name(&self) -> &str;
+
+    /// Size of the PM pool to run on, in bytes.
+    fn pool_size(&self) -> u64 {
+        4 * 1024 * 1024
+    }
+
+    /// One-time initialization; runs with failure injection disabled.
+    ///
+    /// # Errors
+    ///
+    /// Any error aborts the detection run ([`EngineError::Setup`]).
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError>;
+
+    /// The pre-failure execution stage (the workload's normal operation).
+    ///
+    /// # Errors
+    ///
+    /// Any error aborts the detection run ([`EngineError::PreFailure`]).
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError>;
+
+    /// The post-failure stage: recovery plus resumption. Runs once per
+    /// injected failure point, on a fork of the PM image.
+    ///
+    /// # Errors
+    ///
+    /// Errors do **not** abort the run — they are recorded as
+    /// [`BugKind::PostFailureError`] findings, which is how bugs like the
+    /// paper's Bug 4 (pool fails to open) surface.
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError>;
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn pool_size(&self) -> u64 {
+        (**self).pool_size()
+    }
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        (**self).setup(ctx)
+    }
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        (**self).pre_failure(ctx)
+    }
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        (**self).post_failure(ctx)
+    }
+}
+
+/// Detector configuration.
+///
+/// The defaults enable both §5.4 optimizations and the completion failure
+/// point; the ablation switches exist for the benchmarks in DESIGN.md §4.
+#[derive(Debug, Clone)]
+pub struct XfConfig {
+    /// Elide failure points at ordering points with no PM activity since the
+    /// previous one (§5.4 optimization 2).
+    pub skip_empty_failure_points: bool,
+    /// Check only the first post-failure read of each location (§5.4
+    /// optimization 1).
+    pub first_read_only: bool,
+    /// Inject one final failure point after `pre_failure` returns, covering
+    /// failures after the last operation completed.
+    pub inject_at_completion: bool,
+    /// Stop injecting failures after this many failure points.
+    pub max_failure_points: Option<u64>,
+    /// Ablation: consider a failure point before every PM store instead of
+    /// only before ordering points (§4.2 argues this is wasted work).
+    pub fire_on_every_write: bool,
+    /// Catch panics in the post-failure stage and record them as findings
+    /// (the paper's Figure 1 scenario ends in a segmentation fault; the
+    /// analogue here is a panic).
+    pub catch_post_panics: bool,
+    /// How the post-failure PM image is materialized. The paper's mode is
+    /// [`CrashPolicy::FullImage`]; the eviction policies are an extension
+    /// for differential testing.
+    pub crash_policy: CrashPolicy,
+    /// Seed for the randomized crash policies.
+    pub rng_seed: u64,
+    /// Record the full pre-/post-failure traces into
+    /// [`RunOutcome::recorded`] for offline analysis
+    /// ([`crate::offline::analyze`], the §5.5 decoupled backend).
+    pub record_trace: bool,
+}
+
+impl Default for XfConfig {
+    fn default() -> Self {
+        XfConfig {
+            skip_empty_failure_points: true,
+            first_read_only: true,
+            inject_at_completion: true,
+            max_failure_points: None,
+            fire_on_every_write: false,
+            catch_post_panics: true,
+            crash_policy: CrashPolicy::FullImage,
+            rng_seed: 0x5eed_cafe,
+            record_trace: false,
+        }
+    }
+}
+
+/// Errors that abort a detection run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The PM pool could not be created.
+    Pm(PmError),
+    /// The workload's `setup` stage failed.
+    Setup(String),
+    /// The workload's `pre_failure` stage failed.
+    PreFailure(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Pm(e) => write!(f, "pool creation failed: {e}"),
+            EngineError::Setup(m) => write!(f, "workload setup failed: {m}"),
+            EngineError::PreFailure(m) => write!(f, "pre-failure execution failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Pm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The result of a detection run: the deduplicated report plus run
+/// statistics (failure points, trace sizes, wall-clock split — the inputs to
+/// Figures 12 and 13).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// All detected findings.
+    pub report: DetectionReport,
+    /// Execution statistics.
+    pub stats: RunStats,
+    /// The recorded traces, when [`XfConfig::record_trace`] was enabled.
+    pub recorded: Option<crate::offline::RecordedRun>,
+}
+
+/// The cross-failure bug detector.
+///
+/// # Example
+///
+/// ```
+/// use pmem::PmCtx;
+/// use xfdetector::{DynError, RunOutcome, Workload, XfDetector};
+///
+/// /// The Figure 2 example: an update protected by a valid flag.
+/// struct ValidBit;
+///
+/// impl Workload for ValidBit {
+///     fn name(&self) -> &str {
+///         "valid-bit"
+///     }
+///     fn pool_size(&self) -> u64 {
+///         4096
+///     }
+///     fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+///         Ok(())
+///     }
+///     fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+///         let base = ctx.pool().base();
+///         let (backup, valid, data) = (base, base + 64, base + 128);
+///         ctx.register_commit_var(valid, 8);
+///         ctx.write_u64(backup, ctx.pool().read_u64(data)?)?;
+///         ctx.persist_barrier(backup, 8)?;
+///         ctx.write_u64(valid, 1)?;
+///         ctx.persist_barrier(valid, 8)?;
+///         ctx.write_u64(data, 42)?;
+///         ctx.persist_barrier(data, 8)?;
+///         ctx.write_u64(valid, 0)?;
+///         ctx.persist_barrier(valid, 8)?;
+///         Ok(())
+///     }
+///     fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+///         let base = ctx.pool().base();
+///         if ctx.read_u64(base + 64)? == 1 {
+///             let backup = ctx.read_u64(base)?;
+///             ctx.write_u64(base + 128, backup)?;
+///             ctx.persist_barrier(base + 128, 8)?;
+///         }
+///         Ok(())
+///     }
+/// }
+///
+/// # fn main() -> Result<(), xfdetector::EngineError> {
+/// let outcome: RunOutcome = XfDetector::with_defaults().run(ValidBit)?;
+/// assert!(!outcome.report.has_correctness_bugs());
+/// assert!(outcome.stats.failure_points > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct XfDetector {
+    config: XfConfig,
+}
+
+impl XfDetector {
+    /// Creates a detector with the given configuration.
+    #[must_use]
+    pub fn new(config: XfConfig) -> Self {
+        XfDetector { config }
+    }
+
+    /// Creates a detector with the default configuration.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::default()
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &XfConfig {
+        &self.config
+    }
+
+    /// Runs the full detection procedure against `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the pool cannot be created or the setup or
+    /// pre-failure stages fail. Post-failure failures are *findings*, not
+    /// errors.
+    pub fn run<W: Workload + 'static>(&self, workload: W) -> Result<RunOutcome, EngineError> {
+        let pool = PmPool::new(workload.pool_size()).map_err(EngineError::Pm)?;
+        let mut ctx = PmCtx::new(pool);
+        let workload = Rc::new(workload);
+
+        let post_workload = Rc::clone(&workload);
+        let shared = Rc::new(EngineState {
+            shadow: RefCell::new(ShadowPm::new()),
+            report: RefCell::new(DetectionReport::new()),
+            stats: RefCell::new(RunStats::default()),
+            rng: RefCell::new(StdRng::seed_from_u64(self.config.rng_seed)),
+            recorded: RefCell::new(if self.config.record_trace {
+                Some(crate::offline::RecordedRun::default())
+            } else {
+                None
+            }),
+            config: self.config.clone(),
+            post: Box::new(move |ctx| post_workload.post_failure(ctx)),
+        });
+
+        let t_start = Instant::now();
+        workload
+            .setup(&mut ctx)
+            .map_err(|e| EngineError::Setup(e.to_string()))?;
+
+        ctx.set_hook(Rc::clone(&shared) as Rc<dyn EngineHook>);
+        if self.config.fire_on_every_write {
+            ctx.set_failure_point_on_writes(true);
+        }
+        let pre_result = workload.pre_failure(&mut ctx);
+        if pre_result.is_ok() && self.config.inject_at_completion && !ctx.is_detection_complete()
+        {
+            // One final failure point after the last operation: covers bugs
+            // like the Figure 2 "failure after update() completed" scenario.
+            ctx.add_failure_point_at(SourceLoc::synthetic("<completion>"));
+        }
+        ctx.clear_hook();
+        pre_result.map_err(|e| EngineError::PreFailure(e.to_string()))?;
+
+        // Replay any trailing pre-failure entries so tail-end performance
+        // bugs are still reported.
+        {
+            let tail = ctx.trace().drain();
+            let mut shadow = shared.shadow.borrow_mut();
+            let mut report = shared.report.borrow_mut();
+            for e in &tail {
+                shadow.apply_pre(e, &mut report);
+            }
+            shared.stats.borrow_mut().pre_entries += tail.len() as u64;
+            if let Some(rec) = shared.recorded.borrow_mut().as_mut() {
+                rec.pre.extend(tail.into_iter().map(Into::into));
+            }
+        }
+
+        let mut stats = shared.stats.borrow().clone();
+        stats.total_time = t_start.elapsed();
+        let report = shared.report.borrow().clone();
+        let recorded = shared.recorded.borrow_mut().take();
+        Ok(RunOutcome {
+            report,
+            stats,
+            recorded,
+        })
+    }
+}
+
+/// Shared engine state, installed as the ordering-point hook.
+/// The boxed post-failure continuation the engine re-runs per failure point.
+type PostFn = Box<dyn Fn(&mut PmCtx) -> Result<(), DynError>>;
+
+struct EngineState {
+    shadow: RefCell<ShadowPm>,
+    report: RefCell<DetectionReport>,
+    stats: RefCell<RunStats>,
+    rng: RefCell<StdRng>,
+    recorded: RefCell<Option<crate::offline::RecordedRun>>,
+    config: XfConfig,
+    post: PostFn,
+}
+
+impl EngineHook for EngineState {
+    fn on_ordering_point(&self, ctx: &mut PmCtx, loc: SourceLoc, info: OrderingPointInfo) {
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.ordering_points += 1;
+            if !info.forced && self.config.skip_empty_failure_points && !info.had_pm_mutation {
+                stats.skipped_empty += 1;
+                return;
+            }
+            if let Some(max) = self.config.max_failure_points {
+                if stats.failure_points >= max {
+                    return;
+                }
+            }
+        }
+
+        // Replay the pre-failure entries produced since the last failure
+        // point (§5.4: incremental tracing).
+        {
+            let pre = ctx.trace().drain();
+            let mut shadow = self.shadow.borrow_mut();
+            let mut report = self.report.borrow_mut();
+            for e in &pre {
+                shadow.apply_pre(e, &mut report);
+            }
+            self.stats.borrow_mut().pre_entries += pre.len() as u64;
+            if let Some(rec) = self.recorded.borrow_mut().as_mut() {
+                rec.pre.extend(pre.into_iter().map(Into::into));
+            }
+        }
+
+        let fp = {
+            let mut stats = self.stats.borrow_mut();
+            let id = stats.failure_points;
+            stats.failure_points += 1;
+            FailurePoint { id, loc }
+        };
+
+        // Suspend / copy the PM image / spawn the post-failure execution
+        // (Figure 8a steps ②–⑤). The image copy and fork are part of the
+        // post-failure cost, as in the paper's breakdown (Figure 12a).
+        let t_post = Instant::now();
+        let image = self
+            .config
+            .crash_policy
+            .image(ctx.pool(), &mut *self.rng.borrow_mut());
+        let mut post_ctx = ctx.fork_post(&image);
+
+        let outcome = if self.config.catch_post_panics {
+            match catch_unwind(AssertUnwindSafe(|| (self.post)(&mut post_ctx))) {
+                Ok(r) => PostOutcome::from(r),
+                Err(payload) => PostOutcome::Panicked(panic_message(&*payload)),
+            }
+        } else {
+            PostOutcome::from((self.post)(&mut post_ctx))
+        };
+        let post_time = t_post.elapsed();
+
+        // Replay the post-failure trace against a clone of the shadow
+        // (Figure 8b step ⑧).
+        let post_entries = post_ctx.trace().drain();
+        if let Some(rec) = self.recorded.borrow_mut().as_mut() {
+            rec.failure_points.push(crate::offline::RecordedFailurePoint {
+                pre_len: rec.pre.len(),
+                file: loc.file.to_owned(),
+                line: loc.line,
+                post: post_entries.iter().copied().map(Into::into).collect(),
+            });
+        }
+        let t_detect = Instant::now();
+        {
+            let shadow = self.shadow.borrow();
+            let mut checker = shadow.begin_post(self.config.first_read_only);
+            let mut report = self.report.borrow_mut();
+            for e in &post_entries {
+                checker.apply_post(e, fp, &mut report);
+            }
+        }
+        let detect_time = t_detect.elapsed();
+
+        match outcome {
+            PostOutcome::Completed => {}
+            PostOutcome::Failed(msg) => {
+                self.report.borrow_mut().push(Finding {
+                    kind: BugKind::PostFailureError,
+                    addr: 0,
+                    size: 0,
+                    reader: Some(loc),
+                    writer: None,
+                    failure_point: Some(fp),
+                    message: Some(msg),
+                });
+            }
+            PostOutcome::Panicked(msg) => {
+                self.report.borrow_mut().push(Finding {
+                    kind: BugKind::PostFailurePanic,
+                    addr: 0,
+                    size: 0,
+                    reader: Some(loc),
+                    writer: None,
+                    failure_point: Some(fp),
+                    message: Some(msg),
+                });
+            }
+        }
+
+        let mut stats = self.stats.borrow_mut();
+        stats.post_runs += 1;
+        stats.post_entries += post_entries.len() as u64;
+        stats.post_exec_time += post_time;
+        stats.detect_time += detect_time;
+    }
+}
+
+enum PostOutcome {
+    Completed,
+    Failed(String),
+    Panicked(String),
+}
+
+impl From<Result<(), DynError>> for PostOutcome {
+    fn from(r: Result<(), DynError>) -> Self {
+        match r {
+            Ok(()) => PostOutcome::Completed,
+            Err(e) => PostOutcome::Failed(e.to_string()),
+        }
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal low-level workload following the valid-flag discipline:
+    /// data at `base`, commit flag at `base + 64`. The buggy variant skips
+    /// the persist barrier between data and flag.
+    struct Flag {
+        persist: bool,
+    }
+
+    impl Workload for Flag {
+        fn name(&self) -> &str {
+            "flag"
+        }
+        fn pool_size(&self) -> u64 {
+            4096
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+            Ok(())
+        }
+        fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let a = ctx.pool().base();
+            ctx.register_commit_var(a + 64, 8);
+            ctx.write_u64(a, 1)?;
+            if self.persist {
+                ctx.persist_barrier(a, 8)?;
+            }
+            ctx.write_u64(a + 64, 1)?; // commit: data is ready
+            ctx.persist_barrier(a + 64, 8)?;
+            Ok(())
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let a = ctx.pool().base();
+            if ctx.read_u64(a + 64)? == 1 {
+                let _ = ctx.read_u64(a)?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn buggy_flag_reports_race() {
+        let outcome = XfDetector::with_defaults().run(Flag { persist: false }).unwrap();
+        assert_eq!(outcome.report.race_count(), 1, "{}", outcome.report);
+        assert!(outcome.stats.failure_points >= 1);
+    }
+
+    #[test]
+    fn fixed_flag_is_clean() {
+        let outcome = XfDetector::with_defaults().run(Flag { persist: true }).unwrap();
+        assert!(
+            !outcome.report.has_correctness_bugs(),
+            "{}",
+            outcome.report
+        );
+    }
+
+    #[test]
+    fn completion_failure_point_covers_trailing_state() {
+        // A workload whose only bug is visible after the last barrier.
+        struct Tail;
+        impl Workload for Tail {
+            fn name(&self) -> &str {
+                "tail"
+            }
+            fn pool_size(&self) -> u64 {
+                4096
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                ctx.write_u64(a, 7)?; // never persisted, no barrier after
+                Ok(())
+            }
+            fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let _ = ctx.read_u64(ctx.pool().base())?;
+                Ok(())
+            }
+        }
+        let on = XfDetector::with_defaults().run(Tail).unwrap();
+        assert_eq!(on.report.race_count(), 1, "{}", on.report);
+
+        let cfg = XfConfig {
+            inject_at_completion: false,
+            ..XfConfig::default()
+        };
+        let off = XfDetector::new(cfg).run(Tail).unwrap();
+        assert_eq!(off.report.race_count(), 0, "no ordinary ordering point fires");
+    }
+
+    #[test]
+    fn post_failure_errors_become_findings() {
+        struct Failing;
+        impl Workload for Failing {
+            fn name(&self) -> &str {
+                "failing"
+            }
+            fn pool_size(&self) -> u64 {
+                4096
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                ctx.write_u64(a, 1)?;
+                ctx.persist_barrier(a, 8)?;
+                Ok(())
+            }
+            fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Err("recovery could not open the pool".into())
+            }
+        }
+        let outcome = XfDetector::with_defaults().run(Failing).unwrap();
+        assert!(outcome.report.execution_failure_count() >= 1);
+        let f = outcome
+            .report
+            .findings()
+            .iter()
+            .find(|f| f.kind == BugKind::PostFailureError)
+            .unwrap();
+        assert!(f.message.as_deref().unwrap().contains("could not open"));
+    }
+
+    #[test]
+    fn post_failure_panics_become_findings() {
+        struct Panicking;
+        impl Workload for Panicking {
+            fn name(&self) -> &str {
+                "panicking"
+            }
+            fn pool_size(&self) -> u64 {
+                4096
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                ctx.write_u64(a, 1)?;
+                ctx.persist_barrier(a, 8)?;
+                Ok(())
+            }
+            fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                panic!("segfault analogue");
+            }
+        }
+        let outcome = XfDetector::with_defaults().run(Panicking).unwrap();
+        let f = outcome
+            .report
+            .findings()
+            .iter()
+            .find(|f| f.kind == BugKind::PostFailurePanic)
+            .unwrap();
+        assert_eq!(f.message.as_deref().unwrap(), "segfault analogue");
+    }
+
+    #[test]
+    fn setup_errors_abort_the_run() {
+        struct BadSetup;
+        impl Workload for BadSetup {
+            fn name(&self) -> &str {
+                "bad-setup"
+            }
+            fn pool_size(&self) -> u64 {
+                4096
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Err("nope".into())
+            }
+            fn pre_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+        }
+        assert!(matches!(
+            XfDetector::with_defaults().run(BadSetup),
+            Err(EngineError::Setup(_))
+        ));
+    }
+
+    #[test]
+    fn max_failure_points_caps_post_runs() {
+        struct Many;
+        impl Workload for Many {
+            fn name(&self) -> &str {
+                "many"
+            }
+            fn pool_size(&self) -> u64 {
+                64 * 1024
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                for i in 0..50 {
+                    ctx.write_u64(a + i * 64, i)?;
+                    ctx.persist_barrier(a + i * 64, 8)?;
+                }
+                Ok(())
+            }
+            fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+        }
+        let cfg = XfConfig {
+            max_failure_points: Some(5),
+            ..XfConfig::default()
+        };
+        let outcome = XfDetector::new(cfg).run(Many).unwrap();
+        assert_eq!(outcome.stats.failure_points, 5);
+        assert_eq!(outcome.stats.post_runs, 5);
+        assert!(outcome.stats.ordering_points > 5);
+    }
+
+    #[test]
+    fn skip_empty_elides_quiet_ordering_points() {
+        struct Quiet;
+        impl Workload for Quiet {
+            fn name(&self) -> &str {
+                "quiet"
+            }
+            fn pool_size(&self) -> u64 {
+                4096
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                ctx.write_u64(a, 1)?;
+                ctx.persist_barrier(a, 8)?;
+                ctx.sfence(); // no PM activity in between
+                ctx.sfence();
+                Ok(())
+            }
+            fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+        }
+        let outcome = XfDetector::with_defaults().run(Quiet).unwrap();
+        assert_eq!(outcome.stats.skipped_empty, 2);
+        // 1 real + 1 completion.
+        assert_eq!(outcome.stats.failure_points, 2);
+
+        let cfg = XfConfig {
+            skip_empty_failure_points: false,
+            ..XfConfig::default()
+        };
+        let outcome2 = XfDetector::new(cfg).run(Quiet).unwrap();
+        assert_eq!(outcome2.stats.skipped_empty, 0);
+        assert_eq!(outcome2.stats.failure_points, 4);
+    }
+
+    #[test]
+    fn fire_on_every_write_ablation_multiplies_failure_points() {
+        struct W;
+        impl Workload for W {
+            fn name(&self) -> &str {
+                "w"
+            }
+            fn pool_size(&self) -> u64 {
+                64 * 1024
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                for i in 0..10 {
+                    ctx.write_u64(a + i * 8, i)?;
+                }
+                ctx.persist_barrier(a, 80)?;
+                Ok(())
+            }
+            fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+        }
+        let base = XfDetector::with_defaults().run(W).unwrap();
+        let cfg = XfConfig {
+            fire_on_every_write: true,
+            ..XfConfig::default()
+        };
+        let ablated = XfDetector::new(cfg).run(W).unwrap();
+        assert!(
+            ablated.stats.failure_points > base.stats.failure_points,
+            "{} !> {}",
+            ablated.stats.failure_points,
+            base.stats.failure_points
+        );
+    }
+
+    #[test]
+    fn stats_account_time_and_entries() {
+        let outcome = XfDetector::with_defaults().run(Flag { persist: true }).unwrap();
+        let s = &outcome.stats;
+        assert!(s.pre_entries > 0);
+        assert!(s.post_entries > 0);
+        assert!(s.total_time >= s.post_exec_time + s.detect_time);
+        assert!(s.pre_exec_time() <= s.total_time);
+    }
+
+    #[test]
+    fn complete_detection_stops_injection() {
+        use std::cell::Cell;
+        thread_local! {
+            static POSTS: Cell<u32> = const { Cell::new(0) };
+        }
+        struct Stopper;
+        impl Workload for Stopper {
+            fn name(&self) -> &str {
+                "stopper"
+            }
+            fn pool_size(&self) -> u64 {
+                64 * 1024
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                for i in 0..10 {
+                    ctx.write_u64(a + i * 64, i)?;
+                    ctx.persist_barrier(a + i * 64, 8)?;
+                }
+                Ok(())
+            }
+            fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                POSTS.with(|c| c.set(c.get() + 1));
+                ctx.complete_detection(); // first post run terminates testing
+                Ok(())
+            }
+        }
+        POSTS.with(|c| c.set(0));
+        let outcome = XfDetector::with_defaults().run(Stopper).unwrap();
+        assert_eq!(outcome.stats.post_runs, 1);
+        POSTS.with(|c| assert_eq!(c.get(), 1));
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline analysis: the decoupled backend of §5.5.
+//!
+//! The paper stresses that XFDetector's backend is independent of its Pin
+//! frontend and "can be attached to other tracing frameworks". This module
+//! makes that concrete: a detection run can record its traces into a
+//! serializable [`RecordedRun`] (enable [`crate::XfConfig::record_trace`]),
+//! which any process can later [`analyze`] — replaying the identical shadow
+//! PM computation without re-executing the program.
+
+use serde::{Deserialize, Serialize};
+use xftrace::{OwnedTraceEntry, SourceLoc};
+
+use crate::report::{DetectionReport, FailurePoint};
+use crate::shadow::ShadowPm;
+
+/// One recorded failure point: where in the pre-failure trace it fired and
+/// the post-failure trace it produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecordedFailurePoint {
+    /// Number of pre-failure entries replayed before this failure point.
+    pub pre_len: usize,
+    /// Source file of the ordering point.
+    pub file: String,
+    /// Source line of the ordering point.
+    pub line: u32,
+    /// The post-failure trace of this failure point.
+    pub post: Vec<OwnedTraceEntry>,
+}
+
+/// A complete recorded detection run: the pre-failure trace plus every
+/// failure point's post-failure trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RecordedRun {
+    /// The pre-failure trace, in execution order.
+    pub pre: Vec<OwnedTraceEntry>,
+    /// The failure points, ordered by `pre_len`.
+    pub failure_points: Vec<RecordedFailurePoint>,
+}
+
+impl RecordedRun {
+    /// Total number of recorded trace entries.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.pre.len() + self.failure_points.iter().map(|f| f.post.len()).sum::<usize>()
+    }
+}
+
+/// Replays a recorded run through the shadow PM, producing the same
+/// trace-derived findings as the online engine.
+///
+/// Post-failure execution *outcomes* (errors/panics) are not part of the
+/// trace, so [`crate::BugKind::PostFailureError`]/`PostFailurePanic`
+/// findings only appear in the online report.
+#[must_use]
+pub fn analyze(run: &RecordedRun, first_read_only: bool) -> DetectionReport {
+    let mut report = DetectionReport::new();
+    let mut shadow = ShadowPm::new();
+    let mut cursor = 0usize;
+
+    for (id, rfp) in run.failure_points.iter().enumerate() {
+        let upto = rfp.pre_len.min(run.pre.len());
+        while cursor < upto {
+            shadow.apply_pre(&run.pre[cursor].to_entry(), &mut report);
+            cursor += 1;
+        }
+        let fp = FailurePoint {
+            id: id as u64,
+            loc: SourceLoc {
+                file: intern(&rfp.file),
+                line: rfp.line,
+            },
+        };
+        let mut checker = shadow.begin_post(first_read_only);
+        for e in &rfp.post {
+            checker.apply_post(&e.to_entry(), fp, &mut report);
+        }
+    }
+    while cursor < run.pre.len() {
+        shadow.apply_pre(&run.pre[cursor].to_entry(), &mut report);
+        cursor += 1;
+    }
+    report
+}
+
+/// Interns via the owned-entry machinery (one shared interner).
+fn intern(file: &str) -> &'static str {
+    OwnedTraceEntry {
+        op: xftrace::Op::TxBegin,
+        file: file.to_owned(),
+        line: 0,
+        stage: xftrace::Stage::Pre,
+        internal: false,
+        checked: false,
+    }
+    .to_entry()
+    .loc
+    .file
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Workload, XfConfig, XfDetector};
+    use pmem::PmCtx;
+
+    /// Unpersisted publish: one reliable race.
+    struct Racy;
+
+    impl Workload for Racy {
+        fn name(&self) -> &str {
+            "racy"
+        }
+        fn pool_size(&self) -> u64 {
+            4096
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            Ok(())
+        }
+        fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            let a = ctx.pool().base();
+            ctx.write_u64(a, 1)?;
+            ctx.write_u64(a + 64, 2)?;
+            ctx.persist_barrier(a + 64, 8)?;
+            Ok(())
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            let _ = ctx.read_u64(ctx.pool().base())?;
+            Ok(())
+        }
+    }
+
+    fn recorded_run() -> (DetectionReport, RecordedRun) {
+        let cfg = XfConfig {
+            record_trace: true,
+            ..XfConfig::default()
+        };
+        let outcome = XfDetector::new(cfg).run(Racy).unwrap();
+        let recorded = outcome.recorded.expect("trace recorded");
+        (outcome.report, recorded)
+    }
+
+    #[test]
+    fn offline_analysis_matches_the_online_report() {
+        let (online, recorded) = recorded_run();
+        let offline = analyze(&recorded, true);
+        let key = |r: &DetectionReport| {
+            let mut v: Vec<_> = r
+                .findings()
+                .iter()
+                .map(|f| (f.kind, f.reader.map(|l| (l.file.to_owned(), l.line)), f.addr))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&online), key(&offline));
+        assert!(offline.race_count() >= 1);
+    }
+
+    #[test]
+    fn recorded_run_round_trips_through_json() {
+        let (_online, recorded) = recorded_run();
+        assert!(recorded.entry_count() > 0);
+        let json = serde_json::to_string(&recorded).unwrap();
+        let back: RecordedRun = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entry_count(), recorded.entry_count());
+        let offline = analyze(&back, true);
+        assert!(offline.race_count() >= 1, "{offline}");
+    }
+
+    #[test]
+    fn recording_is_off_by_default() {
+        let outcome = XfDetector::with_defaults().run(Racy).unwrap();
+        assert!(outcome.recorded.is_none());
+    }
+
+    #[test]
+    fn empty_run_analyzes_cleanly() {
+        let report = analyze(&RecordedRun::default(), true);
+        assert!(report.is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! Parallel detection: the paper's stated future work, implemented.
+//!
+//! §6.2.1 observes that "the post-failure executions are independent as they
+//! operate on a copy of the original PM image, and therefore, can be
+//! parallelized. We leave the parallelized detection as a future work."
+//!
+//! [`XfDetector::run_parallel`] does exactly that: the pre-failure stage
+//! runs on the main thread as usual, but instead of executing each
+//! post-failure continuation inline at its failure point, the engine ships
+//! `(failure point, PM image)` jobs over a bounded channel to a pool of
+//! worker threads that run the recovery concurrently with the continuing
+//! pre-failure execution. Trace replay and checking happen afterwards, in
+//! failure-point order, so the resulting report is deterministic and
+//! identical to the sequential engine's (post-failure *outcome* findings
+//! included).
+//!
+//! Requirements: the workload must be [`Send`] + [`Sync`] (each worker calls
+//! `post_failure` on its own forked context). The bounded channel keeps at
+//! most `2 × workers` PM images alive, so memory stays proportional to the
+//! worker count, not to the failure-point count.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pmem::{EngineHook, OrderingPointInfo, PmCtx, PmImage, PmPool};
+use xftrace::{SourceLoc, TraceEntry};
+
+use crate::engine::{EngineError, RunOutcome, Workload, XfConfig, XfDetector};
+use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
+use crate::shadow::ShadowPm;
+use crate::stats::RunStats;
+
+/// A failure-point job shipped to a worker.
+struct Job {
+    id: u64,
+    loc: SourceLoc,
+    pre_len: usize,
+    image: PmImage,
+}
+
+/// A worker's result for one failure point.
+struct JobResult {
+    id: u64,
+    loc: SourceLoc,
+    pre_len: usize,
+    post: Vec<TraceEntry>,
+    outcome: Result<(), String>,
+    panicked: bool,
+}
+
+/// The frontend hook for parallel mode: collects the pre-failure trace and
+/// ships snapshot jobs instead of running recoveries inline.
+struct ParallelFrontend {
+    config: XfConfig,
+    rng: RefCell<StdRng>,
+    pre: RefCell<Vec<TraceEntry>>,
+    jobs: RefCell<Option<mpsc::SyncSender<Job>>>,
+    next_id: RefCell<u64>,
+    stats: RefCell<RunStats>,
+    report: RefCell<DetectionReport>,
+    shadow: RefCell<ShadowPm>,
+}
+
+impl EngineHook for ParallelFrontend {
+    fn on_ordering_point(&self, ctx: &mut PmCtx, loc: SourceLoc, info: OrderingPointInfo) {
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.ordering_points += 1;
+            if !info.forced && self.config.skip_empty_failure_points && !info.had_pm_mutation {
+                stats.skipped_empty += 1;
+                return;
+            }
+            if let Some(max) = self.config.max_failure_points {
+                if stats.failure_points >= max {
+                    return;
+                }
+            }
+        }
+        // Keep the shadow up to date on the main thread (it is needed only
+        // at the end, but replaying incrementally here overlaps with the
+        // workers, like the paper's overlapped tracing/detection).
+        {
+            let drained = ctx.trace().drain();
+            let mut shadow = self.shadow.borrow_mut();
+            let mut report = self.report.borrow_mut();
+            for e in &drained {
+                shadow.apply_pre(e, &mut report);
+            }
+            self.stats.borrow_mut().pre_entries += drained.len() as u64;
+            self.pre.borrow_mut().extend(drained);
+        }
+        let id = {
+            let mut stats = self.stats.borrow_mut();
+            let id = stats.failure_points;
+            stats.failure_points += 1;
+            stats.post_runs += 1;
+            id
+        };
+        *self.next_id.borrow_mut() = id + 1;
+        let image = self
+            .config
+            .crash_policy
+            .image(ctx.pool(), &mut *self.rng.borrow_mut());
+        let job = Job {
+            id,
+            loc,
+            pre_len: self.pre.borrow().len(),
+            image,
+        };
+        // Blocks when the bounded queue is full: backpressure bounds the
+        // number of in-flight PM images.
+        if let Some(tx) = self.jobs.borrow().as_ref() {
+            let _ = tx.send(job);
+        }
+    }
+}
+
+impl XfDetector {
+    /// Runs the detection procedure with post-failure executions spread
+    /// over `workers` threads. Produces the same report as
+    /// [`XfDetector::run`], in deterministic (failure-point) order.
+    ///
+    /// # Errors
+    ///
+    /// As [`XfDetector::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn run_parallel<W>(&self, workload: W, workers: usize) -> Result<RunOutcome, EngineError>
+    where
+        W: Workload + Send + Sync + 'static,
+    {
+        assert!(workers > 0, "at least one worker is required");
+        let config = self.config().clone();
+        let pool = PmPool::new(workload.pool_size()).map_err(EngineError::Pm)?;
+        let mut ctx = PmCtx::new(pool);
+
+        let t_start = Instant::now();
+        workload
+            .setup(&mut ctx)
+            .map_err(|e| EngineError::Setup(e.to_string()))?;
+
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(workers * 2);
+        let (res_tx, res_rx) = mpsc::channel::<JobResult>();
+        let job_rx = Mutex::new(job_rx);
+
+        let frontend = std::rc::Rc::new(ParallelFrontend {
+            config: config.clone(),
+            rng: RefCell::new(StdRng::seed_from_u64(config.rng_seed)),
+            pre: RefCell::new(Vec::new()),
+            jobs: RefCell::new(Some(job_tx)),
+            next_id: RefCell::new(0),
+            stats: RefCell::new(RunStats::default()),
+            report: RefCell::new(DetectionReport::new()),
+            shadow: RefCell::new(ShadowPm::new()),
+        });
+
+        let workload_ref = &workload;
+        let (pre_result, results, post_exec_time) = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = &job_rx;
+                let res_tx = res_tx.clone();
+                let catch = config.catch_post_panics;
+                scope.spawn(move || {
+                    loop {
+                        let job = match job_rx.lock() {
+                            Ok(rx) => rx.recv(),
+                            Err(_) => break,
+                        };
+                        let Ok(job) = job else { break };
+                        // Each worker builds its own post context from the
+                        // image; nothing non-Send crosses threads.
+                        let throwaway = PmCtx::new(PmPool::from_image(&job.image));
+                        let mut post_ctx = throwaway.fork_post(&job.image);
+                        let t0 = Instant::now();
+                        let (outcome, panicked) = if catch {
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                workload_ref.post_failure(&mut post_ctx)
+                            })) {
+                                Ok(Ok(())) => (Ok(()), false),
+                                Ok(Err(e)) => (Err(e.to_string()), false),
+                                Err(p) => (Err(crate::engine::panic_message(&*p)), true),
+                            }
+                        } else {
+                            match workload_ref.post_failure(&mut post_ctx) {
+                                Ok(()) => (Ok(()), false),
+                                Err(e) => (Err(e.to_string()), false),
+                            }
+                        };
+                        let _elapsed = t0.elapsed();
+                        let _ = res_tx.send(JobResult {
+                            id: job.id,
+                            loc: job.loc,
+                            pre_len: job.pre_len,
+                            post: post_ctx.trace().drain(),
+                            outcome,
+                            panicked,
+                        });
+                    }
+                });
+            }
+            drop(res_tx);
+
+            ctx.set_hook(frontend.clone());
+            if config.fire_on_every_write {
+                ctx.set_failure_point_on_writes(true);
+            }
+            let t_post = Instant::now();
+            let pre_result = workload.pre_failure(&mut ctx);
+            if pre_result.is_ok() && config.inject_at_completion && !ctx.is_detection_complete() {
+                ctx.add_failure_point_at(SourceLoc::synthetic("<completion>"));
+            }
+            ctx.clear_hook();
+            // Hang up the job queue so the workers drain and exit.
+            frontend.jobs.borrow_mut().take();
+            let mut results: Vec<JobResult> = Vec::new();
+            let expected = frontend.stats.borrow().post_runs;
+            while (results.len() as u64) < expected {
+                match res_rx.recv() {
+                    Ok(r) => results.push(r),
+                    Err(_) => break,
+                }
+            }
+            let post_exec_time = t_post.elapsed();
+            (pre_result, results, post_exec_time)
+        });
+
+        // Trailing pre entries (after the last failure point).
+        {
+            let drained = ctx.trace().drain();
+            let mut shadow = frontend.shadow.borrow_mut();
+            let mut report = frontend.report.borrow_mut();
+            for e in &drained {
+                shadow.apply_pre(e, &mut report);
+            }
+            frontend.stats.borrow_mut().pre_entries += drained.len() as u64;
+            frontend.pre.borrow_mut().extend(drained);
+        }
+        pre_result.map_err(|e| EngineError::PreFailure(e.to_string()))?;
+
+        // Deterministic backend replay in failure-point order.
+        let mut results = results;
+        results.sort_by_key(|r| r.id);
+        let t_detect = Instant::now();
+        let pre = frontend.pre.borrow();
+        let mut shadow = ShadowPm::new();
+        let mut report = DetectionReport::new();
+        let mut cursor = 0usize;
+        for r in &results {
+            while cursor < r.pre_len.min(pre.len()) {
+                shadow.apply_pre(&pre[cursor], &mut report);
+                cursor += 1;
+            }
+            let fp = FailurePoint { id: r.id, loc: r.loc };
+            let mut checker = shadow.begin_post(config.first_read_only);
+            for e in &r.post {
+                checker.apply_post(e, fp, &mut report);
+            }
+            frontend.stats.borrow_mut().post_entries += r.post.len() as u64;
+            if let Err(msg) = &r.outcome {
+                report.push(Finding {
+                    kind: if r.panicked {
+                        BugKind::PostFailurePanic
+                    } else {
+                        BugKind::PostFailureError
+                    },
+                    addr: 0,
+                    size: 0,
+                    reader: Some(r.loc),
+                    writer: None,
+                    failure_point: Some(fp),
+                    message: Some(msg.clone()),
+                });
+            }
+        }
+        while cursor < pre.len() {
+            shadow.apply_pre(&pre[cursor], &mut report);
+            cursor += 1;
+        }
+        let detect_time = t_detect.elapsed();
+
+        // Merge pre-replay findings collected on the fly (performance bugs)
+        // — the final replay above already recomputed them identically, so
+        // `report` is complete.
+        let mut stats = frontend.stats.borrow().clone();
+        stats.total_time = t_start.elapsed();
+        stats.post_exec_time = post_exec_time;
+        stats.detect_time = detect_time;
+        // The incremental pass double-counted pre entries; normalize.
+        stats.pre_entries = pre.len() as u64;
+        Ok(RunOutcome {
+            report,
+            stats,
+            recorded: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A workload with a reliable race, safe to share across threads.
+    struct Racy;
+
+    impl Workload for Racy {
+        fn name(&self) -> &str {
+            "racy"
+        }
+        fn pool_size(&self) -> u64 {
+            64 * 1024
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            Ok(())
+        }
+        fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            let a = ctx.pool().base();
+            for i in 0..20 {
+                ctx.write_u64(a + i * 128, i)?; // never flushed
+                ctx.write_u64(a + i * 128 + 64, i)?;
+                ctx.persist_barrier(a + i * 128 + 64, 8)?;
+            }
+            Ok(())
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            let a = ctx.pool().base();
+            for i in 0..20 {
+                let _ = ctx.read_u64(a + i * 128)?;
+            }
+            Ok(())
+        }
+    }
+
+    fn finding_keys(o: &RunOutcome) -> Vec<(BugKind, Option<SourceLoc>, Option<SourceLoc>)> {
+        let mut v: Vec<_> = o
+            .report
+            .findings()
+            .iter()
+            .map(|f| (f.kind, f.reader, f.writer))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn parallel_matches_sequential_findings() {
+        let seq = XfDetector::with_defaults().run(Racy).unwrap();
+        for workers in [1, 2, 4] {
+            let par = XfDetector::with_defaults()
+                .run_parallel(Racy, workers)
+                .unwrap();
+            assert_eq!(
+                finding_keys(&seq),
+                finding_keys(&par),
+                "worker count {workers}"
+            );
+            assert_eq!(seq.stats.failure_points, par.stats.failure_points);
+        }
+    }
+
+    #[test]
+    fn parallel_reports_post_failure_errors() {
+        struct Failing;
+        impl Workload for Failing {
+            fn name(&self) -> &str {
+                "failing"
+            }
+            fn pool_size(&self) -> u64 {
+                4096
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+                let a = ctx.pool().base();
+                ctx.write_u64(a, 1)?;
+                ctx.persist_barrier(a, 8)?;
+                Ok(())
+            }
+            fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+                Err("recovery failed".into())
+            }
+        }
+        let outcome = XfDetector::with_defaults().run_parallel(Failing, 3).unwrap();
+        assert!(outcome.report.execution_failure_count() >= 1);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_runs() {
+        let a = XfDetector::with_defaults().run_parallel(Racy, 4).unwrap();
+        let b = XfDetector::with_defaults().run_parallel(Racy, 4).unwrap();
+        assert_eq!(finding_keys(&a), finding_keys(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = XfDetector::with_defaults().run_parallel(Racy, 0);
+    }
+}

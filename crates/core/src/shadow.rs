@@ -1,0 +1,1313 @@
+//! The shadow PM: per-location persistence and consistency tracking
+//! (paper §5.4, Figures 9–11).
+//!
+//! [`ShadowPm`] replays the pre-failure trace, maintaining for every touched
+//! PM byte a persistence state (the FSM of Figure 9), the timestamp of its
+//! last write, the source location of its last writer, and
+//! consistency-related flags (transaction protection, commit-variable
+//! bookkeeping for the version-based mechanisms of §3.2). At each failure
+//! point the engine clones the shadow into a [`PostChecker`] that replays the
+//! post-failure trace and reports cross-failure races and semantic bugs.
+
+use std::collections::{HashMap, HashSet};
+
+use xftrace::{Op, SourceLoc, TraceEntry};
+
+use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
+
+/// Cache-line size used for flush granularity (matches the simulator).
+const LINE: u64 = 64;
+
+/// Persistence state of one PM byte (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistState {
+    /// Never modified (or freshly allocated without initialization).
+    Unmodified,
+    /// Written but not flushed: lost in an arbitrary subset of
+    /// interleavings.
+    Modified,
+    /// Flushed but not yet fenced: persistence not yet guaranteed.
+    WritebackPending,
+    /// Flushed and fenced: guaranteed durable.
+    Persisted,
+}
+
+/// Shadow state of one PM byte.
+#[derive(Debug, Clone, Copy)]
+struct ByteState {
+    persist: PersistState,
+    /// Whether the byte was ever stored to during the pre-failure stage.
+    written: bool,
+    /// Whether the byte belongs to a live allocation.
+    allocated: bool,
+    /// Whether that allocation was zero-initialized by the allocator.
+    zeroed_alloc: bool,
+    /// Whether the undo-log discipline protects this byte (it was `TX_ADD`ed
+    /// before its last write, or allocated in a committed transaction).
+    tx_protected: bool,
+    /// The byte was written inside a transaction without being added to it —
+    /// semantically uncommitted data under the transactional discipline.
+    unprotected_tx_write: bool,
+    /// Timestamp (ordering-point epoch) of the last write.
+    tlast: u32,
+    /// Source location of the last writer (or the allocation site while
+    /// unwritten).
+    writer: SourceLoc,
+}
+
+/// A registered commit variable (§3.2). `ranges` empty means the variable
+/// covers all PM locations (the paper's default).
+#[derive(Debug, Clone)]
+struct CommitVar {
+    addr: u64,
+    size: u32,
+    ranges: Vec<(u64, u64)>,
+    last_commit: Option<u32>,
+    prelast_commit: Option<u32>,
+}
+
+impl CommitVar {
+    fn covers_own(&self, b: u64) -> bool {
+        b >= self.addr && b < self.addr + u64::from(self.size)
+    }
+
+    fn overlaps_own(&self, addr: u64, size: u64) -> bool {
+        addr < self.addr + u64::from(self.size) && addr + size > self.addr
+    }
+
+    fn explicit_covers(&self, b: u64) -> bool {
+        self.ranges.iter().any(|&(a, s)| b >= a && b < a + s)
+    }
+
+    /// Equation 3 via the epoch-timestamp scheme: a byte last written at
+    /// `tlast` is consistent iff it was written strictly after the pre-last
+    /// commit write and strictly before the last commit write (same-epoch
+    /// writes are unordered with the commit and therefore not guaranteed).
+    fn is_consistent(&self, tlast: u32) -> bool {
+        match self.last_commit {
+            None => false,
+            Some(last) => tlast < last && self.prelast_commit.is_none_or(|p| tlast > p),
+        }
+    }
+}
+
+/// Volatile view of the currently active transaction during replay.
+#[derive(Debug, Clone, Default)]
+struct TxShadow {
+    added: Vec<(u64, u64)>,
+    allocs: Vec<(u64, u64)>,
+}
+
+impl TxShadow {
+    fn protects(&self, b: u64) -> bool {
+        self.added
+            .iter()
+            .chain(self.allocs.iter())
+            .any(|&(a, s)| b >= a && b < a + s)
+    }
+
+    fn overlaps_added(&self, addr: u64, size: u64) -> bool {
+        self.added
+            .iter()
+            .any(|&(a, s)| addr < a + s && addr + size > a)
+    }
+}
+
+/// The shadow PM, updated by replaying the pre-failure trace.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowPm {
+    bytes: HashMap<u64, ByteState>,
+    /// Bytes currently in [`PersistState::WritebackPending`].
+    pending: HashSet<u64>,
+    /// Global timestamp, incremented after each ordering point (§5.4).
+    ts: u32,
+    commit_vars: Vec<CommitVar>,
+    tx: Option<TxShadow>,
+    entries_replayed: u64,
+}
+
+impl ShadowPm {
+    /// Creates an empty shadow.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current epoch (number of ordering points replayed).
+    #[must_use]
+    pub fn timestamp(&self) -> u32 {
+        self.ts
+    }
+
+    /// Number of trace entries replayed so far.
+    #[must_use]
+    pub fn entries_replayed(&self) -> u64 {
+        self.entries_replayed
+    }
+
+    /// Persistence state of `addr` (bytes never touched are
+    /// [`PersistState::Unmodified`]).
+    #[must_use]
+    pub fn persist_state(&self, addr: u64) -> PersistState {
+        self.bytes
+            .get(&addr)
+            .map_or(PersistState::Unmodified, |b| b.persist)
+    }
+
+    /// Whether every byte of the range is guaranteed persistent or was never
+    /// modified.
+    #[must_use]
+    pub fn is_range_persisted(&self, addr: u64, size: u64) -> bool {
+        (addr..addr + size).all(|b| {
+            matches!(
+                self.persist_state(b),
+                PersistState::Persisted | PersistState::Unmodified
+            )
+        })
+    }
+
+    /// Replays one pre-failure trace entry, appending any performance-bug or
+    /// annotation findings to `out`.
+    pub fn apply_pre(&mut self, e: &TraceEntry, out: &mut DetectionReport) {
+        self.entries_replayed += 1;
+        match e.op {
+            Op::Write { addr, size } => self.on_write(addr, u64::from(size), e.loc, false),
+            Op::NtWrite { addr, size } => self.on_write(addr, u64::from(size), e.loc, true),
+            Op::Flush { addr, .. } => self.on_flush(addr, e.loc, e.checked, out),
+            Op::Fence { .. } => self.on_fence(),
+            Op::Read { .. } => {}
+            Op::TxBegin => {
+                self.tx = Some(TxShadow::default());
+            }
+            Op::TxAdd { addr, size } => self.on_tx_add(addr, u64::from(size), e.loc, e.checked, out),
+            Op::TxCommit | Op::TxAbort => {
+                self.tx = None;
+            }
+            Op::Alloc { addr, size, zeroed } => self.on_alloc(addr, u64::from(size), zeroed, e.loc),
+            Op::Free { addr, size } => self.on_free(addr, u64::from(size)),
+            Op::RegisterCommitVar { addr, size } => self.on_register_var(addr, size),
+            Op::RegisterCommitRange {
+                var_addr,
+                addr,
+                size,
+            } => self.on_register_range(var_addr, addr, u64::from(size), e.loc, out),
+        }
+    }
+
+    fn on_write(&mut self, addr: u64, size: u64, loc: SourceLoc, non_temporal: bool) {
+        // Commit-write bookkeeping: one commit event per overlapping
+        // variable per store (§3.2, the Cx notation).
+        let ts = self.ts;
+        for var in &mut self.commit_vars {
+            if var.overlaps_own(addr, size) {
+                var.prelast_commit = var.last_commit;
+                var.last_commit = Some(ts);
+            }
+        }
+        let (protected, unprotected_tx) = match &self.tx {
+            Some(tx) => {
+                let p = (addr..addr + size).all(|b| tx.protects(b));
+                (p, !p)
+            }
+            None => (false, false),
+        };
+        let state = if non_temporal {
+            PersistState::WritebackPending
+        } else {
+            PersistState::Modified
+        };
+        for b in addr..addr + size {
+            let protected_b = if protected {
+                true
+            } else {
+                self.tx.as_ref().is_some_and(|tx| tx.protects(b))
+            };
+            let entry = self.bytes.entry(b).or_insert(ByteState {
+                persist: PersistState::Unmodified,
+                written: false,
+                allocated: false,
+                zeroed_alloc: false,
+                tx_protected: false,
+                unprotected_tx_write: false,
+                tlast: 0,
+                writer: loc,
+            });
+            entry.persist = state;
+            entry.written = true;
+            entry.tlast = ts;
+            entry.writer = loc;
+            if self.tx.is_some() {
+                entry.tx_protected = protected_b;
+                entry.unprotected_tx_write = unprotected_tx && !protected_b;
+            } else {
+                entry.tx_protected = false;
+                entry.unprotected_tx_write = false;
+            }
+            if non_temporal {
+                self.pending.insert(b);
+            } else {
+                self.pending.remove(&b);
+            }
+        }
+        if non_temporal {
+            // An NT store snoops the cache: a hit on a modified line forces
+            // that line to be written back and invalidated (Intel SDM), so
+            // earlier plain stores to the covered lines become
+            // writeback-pending and persist at the same fence.
+            let first_line = addr & !(LINE - 1);
+            let last_line = (addr + size - 1) & !(LINE - 1);
+            let mut line = first_line;
+            loop {
+                for b in line..line + LINE {
+                    if let Some(st) = self.bytes.get_mut(&b) {
+                        if st.persist == PersistState::Modified {
+                            st.persist = PersistState::WritebackPending;
+                            self.pending.insert(b);
+                        }
+                    }
+                }
+                if line == last_line {
+                    break;
+                }
+                line += LINE;
+            }
+        }
+    }
+
+    fn on_flush(&mut self, addr: u64, loc: SourceLoc, checked: bool, out: &mut DetectionReport) {
+        let line = addr & !(LINE - 1);
+        let mut initiated = false;
+        for b in line..line + LINE {
+            if let Some(st) = self.bytes.get_mut(&b) {
+                if st.persist == PersistState::Modified {
+                    st.persist = PersistState::WritebackPending;
+                    self.pending.insert(b);
+                    initiated = true;
+                }
+            }
+        }
+        if !initiated && checked {
+            // Yellow edges of Figure 9: flushing a line with no modified
+            // data is wasted work.
+            out.push(Finding {
+                kind: BugKind::RedundantFlush,
+                addr: line,
+                size: LINE as u32,
+                reader: Some(loc),
+                writer: None,
+                failure_point: None,
+                message: Some("write-back of a line with no modified data".to_owned()),
+            });
+        }
+    }
+
+    fn on_fence(&mut self) {
+        for b in std::mem::take(&mut self.pending) {
+            if let Some(st) = self.bytes.get_mut(&b) {
+                st.persist = PersistState::Persisted;
+            }
+        }
+        self.ts += 1;
+    }
+
+    fn on_tx_add(
+        &mut self,
+        addr: u64,
+        size: u64,
+        loc: SourceLoc,
+        checked: bool,
+        out: &mut DetectionReport,
+    ) {
+        let Some(tx) = self.tx.as_mut() else {
+            return; // library rejects this; nothing to track
+        };
+        if tx.overlaps_added(addr, size) && checked {
+            out.push(Finding {
+                kind: BugKind::DuplicateTxAdd,
+                addr,
+                size: size as u32,
+                reader: Some(loc),
+                writer: None,
+                failure_point: None,
+                message: Some("range already added to this transaction".to_owned()),
+            });
+        }
+        tx.added.push((addr, size));
+        // The snapshot makes the current contents recoverable: the range is
+        // consistent from here on (the PMTest-style handling of §5.4).
+        // Exception: bytes already written inside this transaction *before*
+        // being added — the snapshot captures the modified data, so rolling
+        // back restores a potentially inconsistent value; they stay flagged.
+        for b in addr..addr + size {
+            if let Some(st) = self.bytes.get_mut(&b) {
+                if !st.unprotected_tx_write {
+                    st.tx_protected = true;
+                }
+            } else {
+                self.bytes.insert(
+                    b,
+                    ByteState {
+                        persist: PersistState::Unmodified,
+                        written: false,
+                        allocated: false,
+                        zeroed_alloc: false,
+                        tx_protected: true,
+                        unprotected_tx_write: false,
+                        tlast: self.ts,
+                        writer: loc,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_alloc(&mut self, addr: u64, size: u64, zeroed: bool, loc: SourceLoc) {
+        for b in addr..addr + size {
+            self.pending.remove(&b);
+            self.bytes.insert(
+                b,
+                ByteState {
+                    persist: if zeroed {
+                        PersistState::Persisted
+                    } else {
+                        PersistState::Unmodified
+                    },
+                    written: false,
+                    allocated: true,
+                    zeroed_alloc: zeroed,
+                    tx_protected: false,
+                    unprotected_tx_write: false,
+                    tlast: self.ts,
+                    writer: loc,
+                },
+            );
+        }
+        if let Some(tx) = self.tx.as_mut() {
+            tx.allocs.push((addr, size));
+        }
+    }
+
+    fn on_free(&mut self, addr: u64, size: u64) {
+        for b in addr..addr + size {
+            self.bytes.remove(&b);
+            self.pending.remove(&b);
+        }
+    }
+
+    fn on_register_var(&mut self, addr: u64, size: u32) {
+        if self.commit_vars.iter().any(|v| v.addr == addr) {
+            return; // idempotent re-registration
+        }
+        self.commit_vars.push(CommitVar {
+            addr,
+            size,
+            ranges: Vec::new(),
+            last_commit: None,
+            prelast_commit: None,
+        });
+    }
+
+    fn on_register_range(
+        &mut self,
+        var_addr: u64,
+        addr: u64,
+        size: u64,
+        loc: SourceLoc,
+        out: &mut DetectionReport,
+    ) {
+        let overlap = self.commit_vars.iter().any(|v| {
+            v.addr != var_addr
+                && v.ranges
+                    .iter()
+                    .any(|&(a, s)| addr < a + s && addr + size > a)
+        });
+        if overlap {
+            out.push(Finding {
+                kind: BugKind::AnnotationConflict,
+                addr,
+                size: size as u32,
+                reader: Some(loc),
+                writer: None,
+                failure_point: None,
+                message: Some(
+                    "commit ranges of different commit variables overlap (Equation 2)".to_owned(),
+                ),
+            });
+        }
+        match self.commit_vars.iter_mut().find(|v| v.addr == var_addr) {
+            Some(var) => var.ranges.push((addr, size)),
+            None => {
+                out.push(Finding {
+                    kind: BugKind::AnnotationConflict,
+                    addr,
+                    size: size as u32,
+                    reader: Some(loc),
+                    writer: None,
+                    failure_point: None,
+                    message: Some(format!(
+                        "commit range registered for unknown commit variable {var_addr:#x}"
+                    )),
+                });
+            }
+        }
+    }
+
+    /// Whether `b` lies inside a registered commit variable itself (reads of
+    /// commit variables are benign cross-failure races, §3.1).
+    fn is_commit_var_byte(&self, b: u64) -> bool {
+        self.commit_vars.iter().any(|v| v.covers_own(b))
+    }
+
+    /// The commit variable governing `b`: an explicit range covering `b`
+    /// wins; otherwise, per the paper's default rule ("if there is only one
+    /// commit variable and no object is specified, it covers all PM
+    /// locations"), the sole registered variable when it is range-less.
+    /// With several variables, range-less ones still mark their own reads
+    /// benign but govern no other locations.
+    fn governing_var(&self, b: u64) -> Option<&CommitVar> {
+        if let Some(v) = self
+            .commit_vars
+            .iter()
+            .find(|v| v.explicit_covers(b))
+        {
+            return Some(v);
+        }
+        match self.commit_vars.as_slice() {
+            [only] if only.ranges.is_empty() => Some(only),
+            _ => None,
+        }
+    }
+
+    /// Clones the shadow into a checker for one post-failure execution.
+    #[must_use]
+    pub fn begin_post(&self, first_read_only: bool) -> PostChecker {
+        PostChecker {
+            shadow: self.clone(),
+            post_written: HashSet::new(),
+            checked_reads: HashSet::new(),
+            first_read_only,
+        }
+    }
+}
+
+/// Replays a post-failure trace against a snapshot of the shadow PM,
+/// reporting cross-failure bugs (§5.4 "Post-failure Trace").
+#[derive(Debug)]
+pub struct PostChecker {
+    shadow: ShadowPm,
+    /// Bytes overwritten by the post-failure stage: reading them afterwards
+    /// is consistent by construction.
+    post_written: HashSet<u64>,
+    /// Bytes already checked in this post-failure run (§5.4 optimization 1:
+    /// only the first read of a location needs checking).
+    checked_reads: HashSet<u64>,
+    first_read_only: bool,
+}
+
+impl PostChecker {
+    /// Replays one post-failure entry, appending findings to `out`.
+    pub fn apply_post(&mut self, e: &TraceEntry, fp: FailurePoint, out: &mut DetectionReport) {
+        match e.op {
+            Op::Read { addr, size }
+                if e.checked => {
+                    self.check_read(addr, u64::from(size), e.loc, fp, out);
+                }
+            Op::Write { addr, size } | Op::NtWrite { addr, size } => {
+                // Post-failure writes overwrite the old data: the location
+                // becomes consistent; any inconsistency introduced *now* is
+                // tested when this code later runs as the pre-failure stage.
+                for b in addr..addr + u64::from(size) {
+                    self.post_written.insert(b);
+                }
+            }
+            Op::Alloc { addr, size, zeroed }
+                // Fresh post-failure allocations are defined by the post
+                // stage itself.
+                if zeroed => {
+                    for b in addr..addr + u64::from(size) {
+                        self.post_written.insert(b);
+                    }
+                }
+            // Flushes/fences in the post stage cannot un-lose pre-failure
+            // data; transaction and registration events do not affect
+            // checking.
+            _ => {}
+        }
+    }
+
+    fn check_read(
+        &mut self,
+        addr: u64,
+        size: u64,
+        loc: SourceLoc,
+        fp: FailurePoint,
+        out: &mut DetectionReport,
+    ) {
+        let mut reported = false;
+        for b in addr..addr + size {
+            if (self.first_read_only && !self.checked_reads.insert(b)) || reported {
+                continue;
+            }
+            if self.post_written.contains(&b) {
+                continue;
+            }
+            let Some(st) = self.shadow.bytes.get(&b) else {
+                continue; // never touched pre-failure
+            };
+            if self.shadow.is_commit_var_byte(b) {
+                continue; // benign cross-failure race
+            }
+            if !st.written {
+                if st.allocated && !st.zeroed_alloc {
+                    out.push(Finding {
+                        kind: BugKind::UninitializedRace,
+                        addr: b,
+                        size: 1,
+                        reader: Some(loc),
+                        writer: Some(st.writer),
+                        failure_point: Some(fp),
+                        message: Some(
+                            "post-failure read of allocated but never-initialized memory"
+                                .to_owned(),
+                        ),
+                    });
+                    reported = true; // one finding per read access
+                }
+                continue;
+            }
+            // Consistency first (§5.4): a consistent location is bug-free
+            // even if its persistence is uncertain.
+            if st.tx_protected {
+                continue;
+            }
+            let semantic = self.shadow.governing_var(b).map(|v| v.is_consistent(st.tlast));
+            if semantic == Some(true) {
+                continue;
+            }
+            if st.persist != PersistState::Persisted {
+                out.push(Finding {
+                    kind: BugKind::CrossFailureRace,
+                    addr: b,
+                    size: 1,
+                    reader: Some(loc),
+                    writer: Some(st.writer),
+                    failure_point: Some(fp),
+                    message: None,
+                });
+                reported = true;
+                continue;
+            }
+            if semantic == Some(false) || st.unprotected_tx_write {
+                out.push(Finding {
+                    kind: BugKind::CrossFailureSemantic,
+                    addr: b,
+                    size: 1,
+                    reader: Some(loc),
+                    writer: Some(st.writer),
+                    failure_point: Some(fp),
+                    message: None,
+                });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xftrace::{FenceKind, FlushKind, Stage};
+
+    fn loc(line: u32) -> SourceLoc {
+        SourceLoc {
+            file: "t.rs",
+            line,
+        }
+    }
+
+    fn entry(op: Op, line: u32) -> TraceEntry {
+        TraceEntry::new(op, loc(line), Stage::Pre, false, true)
+    }
+
+    fn fp() -> FailurePoint {
+        FailurePoint {
+            id: 0,
+            loc: loc(999),
+        }
+    }
+
+    fn write(a: u64, s: u32, line: u32) -> TraceEntry {
+        entry(Op::Write { addr: a, size: s }, line)
+    }
+
+    fn flush(a: u64, line: u32) -> TraceEntry {
+        entry(
+            Op::Flush {
+                addr: a,
+                kind: FlushKind::Clwb,
+            },
+            line,
+        )
+    }
+
+    fn fence(line: u32) -> TraceEntry {
+        entry(
+            Op::Fence {
+                kind: FenceKind::Sfence,
+            },
+            line,
+        )
+    }
+
+    fn read(a: u64, s: u32, line: u32) -> TraceEntry {
+        TraceEntry::new(Op::Read { addr: a, size: s }, loc(line), Stage::Post, false, true)
+    }
+
+    fn replay(shadow: &mut ShadowPm, entries: &[TraceEntry]) -> DetectionReport {
+        let mut out = DetectionReport::new();
+        for e in entries {
+            shadow.apply_pre(e, &mut out);
+        }
+        out
+    }
+
+    const A: u64 = 0x1000;
+
+    #[test]
+    fn persistence_fsm_write_flush_fence() {
+        let mut s = ShadowPm::new();
+        let mut out = DetectionReport::new();
+        s.apply_pre(&write(A, 8, 1), &mut out);
+        assert_eq!(s.persist_state(A), PersistState::Modified);
+        s.apply_pre(&flush(A, 2), &mut out);
+        assert_eq!(s.persist_state(A), PersistState::WritebackPending);
+        s.apply_pre(&fence(3), &mut out);
+        assert_eq!(s.persist_state(A), PersistState::Persisted);
+        assert!(s.is_range_persisted(A, 8));
+        assert_eq!(s.timestamp(), 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rewrite_after_flush_goes_back_to_modified() {
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[write(A, 8, 1), flush(A, 2), write(A, 8, 3)]);
+        assert_eq!(s.persist_state(A), PersistState::Modified);
+        let mut out = DetectionReport::new();
+        s.apply_pre(&fence(4), &mut out);
+        assert_eq!(
+            s.persist_state(A),
+            PersistState::Modified,
+            "fence does not persist re-dirtied data"
+        );
+    }
+
+    #[test]
+    fn non_persisted_read_is_a_race() {
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[write(A, 8, 10)]);
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 20), fp(), &mut out);
+        assert_eq!(out.race_count(), 1);
+        let f = &out.findings()[0];
+        assert_eq!(f.kind, BugKind::CrossFailureRace);
+        assert_eq!(f.reader.unwrap().line, 20);
+        assert_eq!(f.writer.unwrap().line, 10);
+    }
+
+    #[test]
+    fn persisted_read_is_clean_without_semantics() {
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[write(A, 8, 1), flush(A, 2), fence(3)]);
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 4), fp(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn untouched_location_reads_are_clean() {
+        let s = ShadowPm::new();
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 64, 1), fp(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flushing_only_covers_the_line() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                write(A, 8, 1),      // line of A
+                write(A + 64, 8, 2), // next line
+                flush(A, 3),
+                fence(4),
+            ],
+        );
+        assert_eq!(s.persist_state(A), PersistState::Persisted);
+        assert_eq!(s.persist_state(A + 64), PersistState::Modified);
+    }
+
+    #[test]
+    fn redundant_flush_is_a_performance_bug() {
+        let mut s = ShadowPm::new();
+        let out = replay(
+            &mut s,
+            &[write(A, 8, 1), flush(A, 2), flush(A, 3), fence(4), flush(A, 5)],
+        );
+        assert_eq!(out.performance_count(), 2, "{out}");
+        assert!(out
+            .findings()
+            .iter()
+            .all(|f| f.kind == BugKind::RedundantFlush));
+    }
+
+    #[test]
+    fn redundant_flush_not_reported_for_unchecked_entries() {
+        let mut s = ShadowPm::new();
+        let mut out = DetectionReport::new();
+        let mut e = flush(A, 2);
+        e.checked = false;
+        s.apply_pre(&write(A, 8, 1), &mut out);
+        s.apply_pre(&flush(A, 2), &mut out);
+        s.apply_pre(&e, &mut out); // redundant but library-internal
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nt_write_snoop_writes_back_same_line_stores() {
+        // An NT store to a line holding earlier plain stores forces that
+        // line's write-back (Intel SDM): the earlier store persists at the
+        // same fence.
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                write(A + 8, 8, 1), // plain store, same line as A
+                entry(Op::NtWrite { addr: A, size: 8 }, 2),
+                fence(3),
+            ],
+        );
+        assert_eq!(s.persist_state(A), PersistState::Persisted);
+        assert_eq!(s.persist_state(A + 8), PersistState::Persisted);
+    }
+
+    #[test]
+    fn nt_write_persists_at_fence() {
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[entry(Op::NtWrite { addr: A, size: 8 }, 1)]);
+        assert_eq!(s.persist_state(A), PersistState::WritebackPending);
+        let mut out = DetectionReport::new();
+        s.apply_pre(&fence(2), &mut out);
+        assert_eq!(s.persist_state(A), PersistState::Persisted);
+    }
+
+    // --- commit-variable semantics (the Figure 11 walkthrough) -----------
+
+    /// Trace of Figure 2 / Figure 11: backup at 0x100, valid at 0x110,
+    /// arr[idx] at 0x200, with valid registered as the commit variable.
+    fn figure11_shadow(upto_f2: bool) -> ShadowPm {
+        let mut s = ShadowPm::new();
+        let mut entries = vec![
+            entry(
+                Op::RegisterCommitVar {
+                    addr: 0x110,
+                    size: 4,
+                },
+                0,
+            ),
+            write(0x100, 16, 1), // backup
+            write(0x110, 4, 2),  // valid (commit write, same epoch!)
+        ];
+        if upto_f2 {
+            entries.extend([
+                flush(0x100, 3), // one line covers both
+                fence(4),
+                write(0x200, 16, 5), // arr[idx]
+            ]);
+        }
+        let out = replay(&mut s, &entries);
+        assert!(out.is_empty(), "{out}");
+        s
+    }
+
+    #[test]
+    fn figure11_f1_reports_race_on_backup() {
+        let s = figure11_shadow(false);
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(0x110, 1, 6), fp(), &mut out); // valid: benign
+        post.apply_post(&read(0x100, 16, 7), fp(), &mut out); // backup
+        assert_eq!(out.race_count(), 1, "{out}");
+        assert_eq!(out.findings()[0].kind, BugKind::CrossFailureRace);
+    }
+
+    #[test]
+    fn figure11_f2_reports_semantic_bug_on_backup() {
+        let s = figure11_shadow(true);
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(0x110, 1, 6), fp(), &mut out);
+        post.apply_post(&read(0x100, 16, 7), fp(), &mut out);
+        assert_eq!(out.semantic_count(), 1, "{out}");
+        assert_eq!(out.race_count(), 0, "{out}");
+    }
+
+    #[test]
+    fn commit_var_reads_are_benign() {
+        let s = figure11_shadow(false);
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(0x110, 4, 6), fp(), &mut out);
+        assert!(out.is_empty(), "reading the commit variable is benign");
+    }
+
+    #[test]
+    fn correctly_ordered_commit_makes_data_consistent() {
+        // backup written, persisted, THEN committed in a later epoch.
+        let mut s = ShadowPm::new();
+        let out = replay(
+            &mut s,
+            &[
+                entry(
+                    Op::RegisterCommitVar {
+                        addr: 0x110,
+                        size: 4,
+                    },
+                    0,
+                ),
+                write(0x100, 16, 1),
+                flush(0x100, 2),
+                fence(3),
+                write(0x110, 4, 4), // commit write in epoch 1
+                flush(0x110, 5),
+                fence(6),
+            ],
+        );
+        assert!(out.is_empty());
+        let mut post = s.begin_post(true);
+        let mut o = DetectionReport::new();
+        post.apply_post(&read(0x100, 16, 7), fp(), &mut o);
+        assert!(o.is_empty(), "consistent data is bug-free: {o}");
+    }
+
+    #[test]
+    fn stale_data_after_two_commits_is_semantic_bug() {
+        // Data written before the pre-last commit, then two commit writes:
+        // the data is stale (Equation 3 fails on the first conjunct).
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                entry(
+                    Op::RegisterCommitVar {
+                        addr: 0x110,
+                        size: 4,
+                    },
+                    0,
+                ),
+                write(0x100, 8, 1),
+                flush(0x100, 2),
+                fence(3),
+                write(0x110, 4, 4), // commit #1, epoch 1
+                flush(0x110, 5),
+                fence(6),
+                write(0x110, 4, 7), // commit #2, epoch 2
+                flush(0x110, 8),
+                fence(9),
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(0x100, 8, 10), fp(), &mut out);
+        assert_eq!(out.semantic_count(), 1, "{out}");
+    }
+
+    // --- transactional discipline ----------------------------------------
+
+    #[test]
+    fn tx_added_range_is_consistent_even_unpersisted() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                entry(Op::TxBegin, 1),
+                entry(Op::TxAdd { addr: A, size: 8 }, 2),
+                write(A, 8, 3), // modified inside tx, not yet committed
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 4), fp(), &mut out);
+        assert!(out.is_empty(), "undo log protects the range: {out}");
+    }
+
+    #[test]
+    fn unadded_write_inside_tx_is_flagged() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                entry(Op::TxBegin, 1),
+                entry(Op::TxAdd { addr: A, size: 8 }, 2),
+                write(A, 8, 3),
+                write(A + 64, 8, 4), // the Figure 1 `length` bug
+                entry(Op::TxCommit, 5),
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A + 64, 8, 6), fp(), &mut out);
+        assert_eq!(
+            out.race_count() + out.semantic_count(),
+            1,
+            "unprotected write must be flagged: {out}"
+        );
+    }
+
+    #[test]
+    fn unadded_write_flagged_as_semantic_when_persisted() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                entry(Op::TxBegin, 1),
+                write(A, 8, 2),
+                flush(A, 3),
+                fence(4),
+                entry(Op::TxCommit, 5),
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 6), fp(), &mut out);
+        assert_eq!(out.semantic_count(), 1, "{out}");
+    }
+
+    #[test]
+    fn duplicate_tx_add_is_performance_bug() {
+        let mut s = ShadowPm::new();
+        let out = replay(
+            &mut s,
+            &[
+                entry(Op::TxBegin, 1),
+                entry(Op::TxAdd { addr: A, size: 8 }, 2),
+                entry(Op::TxAdd { addr: A, size: 8 }, 3),
+                entry(Op::TxCommit, 4),
+            ],
+        );
+        assert_eq!(out.performance_count(), 1);
+        assert_eq!(out.findings()[0].kind, BugKind::DuplicateTxAdd);
+    }
+
+    #[test]
+    fn write_then_add_is_not_protected() {
+        // The snapshot taken by TX_ADD already contains the modification:
+        // rollback cannot restore the pre-transaction value.
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                entry(Op::TxBegin, 1),
+                write(A, 8, 2), // modified before being added
+                entry(Op::TxAdd { addr: A, size: 8 }, 3),
+                entry(Op::TxCommit, 4),
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 5), fp(), &mut out);
+        assert_eq!(
+            out.race_count() + out.semantic_count(),
+            1,
+            "write-then-add must stay flagged: {out}"
+        );
+    }
+
+    #[test]
+    fn tx_protection_lost_when_modified_outside_tx() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                entry(Op::TxBegin, 1),
+                entry(Op::TxAdd { addr: A, size: 8 }, 2),
+                write(A, 8, 3),
+                entry(Op::TxCommit, 4),
+                write(A, 8, 5), // outside any tx: unprotected again
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 6), fp(), &mut out);
+        assert_eq!(out.race_count(), 1, "{out}");
+    }
+
+    // --- allocation semantics ---------------------------------------------
+
+    #[test]
+    fn uninitialized_alloc_read_is_race() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[entry(
+                Op::Alloc {
+                    addr: A,
+                    size: 64,
+                    zeroed: false,
+                },
+                1,
+            )],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 2), fp(), &mut out);
+        assert_eq!(out.race_count(), 1);
+        assert_eq!(out.findings()[0].kind, BugKind::UninitializedRace);
+        assert_eq!(
+            out.findings()[0].writer.unwrap().line,
+            1,
+            "the allocation site is reported as the writer"
+        );
+    }
+
+    #[test]
+    fn zeroed_alloc_read_is_clean() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[entry(
+                Op::Alloc {
+                    addr: A,
+                    size: 64,
+                    zeroed: true,
+                },
+                1,
+            )],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 2), fp(), &mut out);
+        assert!(out.is_empty(), "{out}");
+    }
+
+    #[test]
+    fn freed_memory_reads_are_not_flagged() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                write(A, 8, 1),
+                entry(Op::Free { addr: A, size: 64 }, 2),
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 3), fp(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn alloc_resets_prior_state() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                write(A, 8, 1), // stale data from a previous life
+                entry(
+                    Op::Alloc {
+                        addr: A,
+                        size: 64,
+                        zeroed: false,
+                    },
+                    2,
+                ),
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 3), fp(), &mut out);
+        assert_eq!(out.findings()[0].kind, BugKind::UninitializedRace);
+    }
+
+    // --- post-stage behavior ----------------------------------------------
+
+    #[test]
+    fn post_write_makes_subsequent_reads_consistent() {
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[write(A, 8, 1)]);
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(
+            &TraceEntry::new(Op::Write { addr: A, size: 8 }, loc(2), Stage::Post, false, true),
+            fp(),
+            &mut out,
+        );
+        post.apply_post(&read(A, 8, 3), fp(), &mut out);
+        assert!(out.is_empty(), "recovery overwrote the location: {out}");
+    }
+
+    #[test]
+    fn first_read_only_suppresses_repeat_checks() {
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[write(A, 8, 1)]);
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 2), fp(), &mut out);
+        post.apply_post(&read(A, 8, 20), fp(), &mut out); // different loc!
+        assert_eq!(out.len(), 1, "second read of same bytes skipped");
+
+        let mut post2 = s.begin_post(false);
+        let mut out2 = DetectionReport::new();
+        post2.apply_post(&read(A, 8, 2), fp(), &mut out2);
+        post2.apply_post(&read(A, 8, 20), fp(), &mut out2);
+        assert_eq!(out2.len(), 2, "ablation: every read checked");
+    }
+
+    #[test]
+    fn unchecked_post_reads_are_skipped() {
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[write(A, 8, 1)]);
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        let mut e = read(A, 8, 2);
+        e.checked = false; // library-internal or outside RoI
+        post.apply_post(&e, fp(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn post_clone_does_not_leak_into_pre_shadow() {
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[write(A, 8, 1)]);
+        {
+            let mut post = s.begin_post(true);
+            let mut out = DetectionReport::new();
+            post.apply_post(
+                &TraceEntry::new(Op::Write { addr: A, size: 8 }, loc(2), Stage::Post, false, true),
+                fp(),
+                &mut out,
+            );
+        }
+        // The pre-failure shadow still sees the location as racy.
+        let mut post2 = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post2.apply_post(&read(A, 8, 3), fp(), &mut out);
+        assert_eq!(out.race_count(), 1);
+    }
+
+    // --- annotation conflicts ----------------------------------------------
+
+    #[test]
+    fn multiple_rangeless_vars_govern_nothing() {
+        // With several commit variables and no explicit ranges, none of them
+        // governs other locations (the paper's cover-all default applies
+        // only to a sole variable); their own reads remain benign.
+        let mut s = ShadowPm::new();
+        let out = replay(
+            &mut s,
+            &[
+                entry(Op::RegisterCommitVar { addr: 0x10, size: 8 }, 1),
+                entry(Op::RegisterCommitVar { addr: 0x20, size: 8 }, 2),
+                write(0x400, 8, 3),
+                flush(0x400, 4),
+                fence(5),
+            ],
+        );
+        assert!(out.is_empty(), "{out}");
+        let mut post = s.begin_post(true);
+        let mut o = DetectionReport::new();
+        post.apply_post(&read(0x400, 8, 6), fp(), &mut o);
+        post.apply_post(&read(0x10, 8, 7), fp(), &mut o);
+        assert!(o.is_empty(), "persisted + ungoverned + benign: {o}");
+    }
+
+    #[test]
+    fn overlapping_commit_ranges_conflict() {
+        let mut s = ShadowPm::new();
+        let out = replay(
+            &mut s,
+            &[
+                entry(Op::RegisterCommitVar { addr: 0x10, size: 8 }, 1),
+                entry(
+                    Op::RegisterCommitRange {
+                        var_addr: 0x10,
+                        addr: 0x100,
+                        size: 64,
+                    },
+                    2,
+                ),
+                entry(Op::RegisterCommitVar { addr: 0x20, size: 8 }, 3),
+                entry(
+                    Op::RegisterCommitRange {
+                        var_addr: 0x20,
+                        addr: 0x120,
+                        size: 64,
+                    },
+                    4,
+                ),
+            ],
+        );
+        assert_eq!(out.len(), 1, "{out}");
+        assert_eq!(out.findings()[0].kind, BugKind::AnnotationConflict);
+    }
+
+    #[test]
+    fn range_for_unknown_var_conflicts() {
+        let mut s = ShadowPm::new();
+        let out = replay(
+            &mut s,
+            &[entry(
+                Op::RegisterCommitRange {
+                    var_addr: 0x999,
+                    addr: 0x100,
+                    size: 8,
+                },
+                1,
+            )],
+        );
+        assert_eq!(out.findings()[0].kind, BugKind::AnnotationConflict);
+    }
+
+    #[test]
+    fn explicit_ranges_scope_semantic_checks() {
+        // Two commit variables with disjoint explicit ranges: each governs
+        // only its own range.
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                entry(Op::RegisterCommitVar { addr: 0x10, size: 8 }, 1),
+                entry(
+                    Op::RegisterCommitRange {
+                        var_addr: 0x10,
+                        addr: 0x100,
+                        size: 64,
+                    },
+                    2,
+                ),
+                // Data in the governed range, persisted but never committed.
+                write(0x100, 8, 3),
+                flush(0x100, 4),
+                fence(5),
+                // Data outside any governed range, persisted.
+                write(0x400, 8, 6),
+                flush(0x400, 7),
+                fence(8),
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(0x100, 8, 9), fp(), &mut out);
+        post.apply_post(&read(0x400, 8, 10), fp(), &mut out);
+        assert_eq!(out.semantic_count(), 1, "{out}");
+        assert_eq!(
+            out.findings()[0].addr,
+            0x100,
+            "only the governed range is checked semantically"
+        );
+    }
+}

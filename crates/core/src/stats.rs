@@ -1,0 +1,95 @@
+//! Run statistics: the raw material for Figures 12 and 13.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// Counters and timers collected during one detection run.
+///
+/// The wall-clock split mirrors Figure 12a: `post_exec_time` is the summed
+/// duration of all post-failure executions, `detect_time` the summed trace
+/// replay/checking time, and [`RunStats::pre_exec_time`] the remainder of
+/// the total (the pre-failure execution including tracing).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunStats {
+    /// Ordering points observed in the pre-failure stage.
+    pub ordering_points: u64,
+    /// Failure points actually injected (each spawns one post-failure run).
+    pub failure_points: u64,
+    /// Ordering points elided because no PM activity preceded them (§5.4
+    /// optimization 2).
+    pub skipped_empty: u64,
+    /// Post-failure executions performed (equals `failure_points`).
+    pub post_runs: u64,
+    /// Pre-failure trace entries replayed into the shadow PM.
+    pub pre_entries: u64,
+    /// Post-failure trace entries replayed across all failure points.
+    pub post_entries: u64,
+    /// Total wall-clock time of the detection run.
+    pub total_time: Duration,
+    /// Summed wall-clock time of post-failure executions.
+    pub post_exec_time: Duration,
+    /// Summed wall-clock time of backend trace replay and checking.
+    pub detect_time: Duration,
+}
+
+impl RunStats {
+    /// Wall-clock time attributable to the pre-failure execution: the total
+    /// minus post-failure execution and detection.
+    #[must_use]
+    pub fn pre_exec_time(&self) -> Duration {
+        self.total_time
+            .saturating_sub(self.post_exec_time)
+            .saturating_sub(self.detect_time)
+    }
+
+    /// Fraction of the total time spent in post-failure executions plus
+    /// detection, in `[0, 1]` (Figure 12a shows this dominating).
+    #[must_use]
+    pub fn post_fraction(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        (self.post_exec_time + self.detect_time).as_secs_f64() / self.total_time.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_exec_time_is_the_remainder() {
+        let s = RunStats {
+            total_time: Duration::from_millis(100),
+            post_exec_time: Duration::from_millis(60),
+            detect_time: Duration::from_millis(15),
+            ..RunStats::default()
+        };
+        assert_eq!(s.pre_exec_time(), Duration::from_millis(25));
+        assert!((s.post_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturates_rather_than_panicking() {
+        let s = RunStats {
+            total_time: Duration::from_millis(10),
+            post_exec_time: Duration::from_millis(60),
+            ..RunStats::default()
+        };
+        assert_eq!(s.pre_exec_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_total_has_zero_post_fraction() {
+        let s = RunStats::default();
+        assert_eq!(s.post_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let s = RunStats::default();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("failure_points"), "{json}");
+    }
+}

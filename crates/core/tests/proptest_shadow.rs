@@ -1,0 +1,213 @@
+//! Property-based tests of the shadow PM, differentially validated against
+//! the pmem simulator: the shadow's persistence verdicts must agree with
+//! the pool's ground truth for arbitrary operation sequences, and the
+//! race-detection rule must follow from them.
+
+use proptest::prelude::*;
+
+use pmem::{PmCtx, PmPool};
+use xfdetector::{DetectionReport, FailurePoint, PersistState, ShadowPm};
+use xftrace::{Op, SourceLoc, Stage, TraceEntry};
+
+const POOL: u64 = 64 * 64; // 64 lines
+
+#[derive(Debug, Clone)]
+enum Step {
+    Write { off: u64, val: u64 },
+    NtWrite { off: u64, val: u64 },
+    Flush { off: u64 },
+    Fence,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let off = 0..(POOL / 8);
+    prop_oneof![
+        4 => (off.clone(), any::<u64>()).prop_map(|(o, v)| Step::Write { off: o * 8, val: v }),
+        1 => (off.clone(), any::<u64>()).prop_map(|(o, v)| Step::NtWrite { off: o * 8, val: v }),
+        3 => off.prop_map(|o| Step::Flush { off: o * 8 }),
+        2 => Just(Step::Fence),
+    ]
+}
+
+/// Applies the steps through the traced context, then replays the trace
+/// into a fresh shadow. Returns (ctx, shadow).
+fn run(steps: &[Step]) -> (PmCtx, ShadowPm) {
+    let mut ctx = PmCtx::new(PmPool::new(POOL).unwrap());
+    let base = ctx.pool().base();
+    for s in steps {
+        match *s {
+            Step::Write { off, val } => ctx.write_u64(base + off, val).unwrap(),
+            Step::NtWrite { off, val } => {
+                ctx.nt_write(base + off, &val.to_le_bytes()).unwrap();
+            }
+            Step::Flush { off } => {
+                let _ = ctx.clwb(base + off).unwrap();
+            }
+            Step::Fence => ctx.sfence(),
+        }
+    }
+    let entries = ctx.trace().drain();
+    let mut shadow = ShadowPm::new();
+    let mut report = DetectionReport::new();
+    for e in &entries {
+        shadow.apply_pre(e, &mut report);
+    }
+    (ctx, shadow)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Differential persistence against the simulator's ground truth.
+    ///
+    /// Soundness: when the shadow says a byte is `Persisted`, its value is
+    /// actually on media. Precision: when the pool guarantees a whole line
+    /// (line clean), every byte of it that the shadow tracks is `Persisted`.
+    /// (The two sides legitimately differ on mixed lines — the shadow is
+    /// byte-granular, the pool's `is_persisted` oracle is line-granular and
+    /// under-claims when a line is re-dirtied after a flush whose earlier
+    /// bytes are already durable.)
+    #[test]
+    fn shadow_persistence_matches_pool_oracle(
+        steps in prop::collection::vec(step_strategy(), 0..250)
+    ) {
+        let (ctx, shadow) = run(&steps);
+        let base = ctx.pool().base();
+        let full = ctx.pool().full_image();
+        let media = ctx.pool().media_image();
+        for b in 0..POOL {
+            let addr = base + b;
+            match shadow.persist_state(addr) {
+                PersistState::Unmodified => {} // never written
+                PersistState::Persisted => {
+                    prop_assert_eq!(
+                        media.bytes()[b as usize],
+                        full.bytes()[b as usize],
+                        "shadow claims {:#x} persisted but media disagrees with cache", addr
+                    );
+                }
+                PersistState::Modified | PersistState::WritebackPending => {
+                    prop_assert!(
+                        !ctx.pool().is_persisted(addr, 1),
+                        "shadow claims {:#x} unpersisted but the pool guarantees its line", addr
+                    );
+                }
+            }
+            if ctx.pool().is_persisted(addr, 1)
+                && shadow.persist_state(addr) != PersistState::Unmodified
+            {
+                prop_assert_eq!(
+                    shadow.persist_state(addr),
+                    PersistState::Persisted,
+                    "pool guarantees {:#x} but the shadow still tracks it as volatile", addr
+                );
+            }
+        }
+    }
+
+    /// Race rule soundness: with no consistency mechanism in play, a
+    /// post-failure read of a written byte is flagged iff the byte is not
+    /// guaranteed persistent.
+    #[test]
+    fn race_flag_iff_not_persisted(
+        steps in prop::collection::vec(step_strategy(), 1..250),
+        probe in 0..(POOL / 8),
+    ) {
+        let (ctx, shadow) = run(&steps);
+        let base = ctx.pool().base();
+        let addr = base + probe * 8;
+
+        let mut checker = shadow.begin_post(true);
+        let mut out = DetectionReport::new();
+        let read = TraceEntry::new(
+            Op::Read { addr, size: 8 },
+            SourceLoc::synthetic("<probe>"),
+            Stage::Post,
+            false,
+            true,
+        );
+        checker.apply_post(&read, FailurePoint { id: 0, loc: SourceLoc::synthetic("<fp>") }, &mut out);
+
+        let any_written_unpersisted = (addr..addr + 8).any(|b| {
+            matches!(
+                shadow.persist_state(b),
+                PersistState::Modified | PersistState::WritebackPending
+            )
+        });
+        prop_assert_eq!(
+            out.race_count() > 0,
+            any_written_unpersisted,
+            "race verdict must equal 'some written byte is unpersisted'"
+        );
+        prop_assert_eq!(out.semantic_count(), 0, "no commit vars, no semantics");
+    }
+
+    /// First-read-only never changes *whether* something is detected, only
+    /// how many findings are produced (§5.4 optimization 1).
+    #[test]
+    fn first_read_only_preserves_detection(
+        steps in prop::collection::vec(step_strategy(), 1..200),
+        probes in prop::collection::vec(0..(POOL / 8), 1..20),
+    ) {
+        let (ctx, shadow) = run(&steps);
+        let base = ctx.pool().base();
+        let fp = FailurePoint { id: 0, loc: SourceLoc::synthetic("<fp>") };
+
+        let run_checks = |first_only: bool| {
+            let mut checker = shadow.begin_post(first_only);
+            let mut out = DetectionReport::new();
+            for (i, &p) in probes.iter().enumerate() {
+                let read = TraceEntry::new(
+                    Op::Read { addr: base + p * 8, size: 8 },
+                    SourceLoc { file: "<probe>", line: i as u32 + 1 },
+                    Stage::Post,
+                    false,
+                    true,
+                );
+                checker.apply_post(&read, fp, &mut out);
+            }
+            out
+        };
+
+        let fast = run_checks(true);
+        let full = run_checks(false);
+        prop_assert_eq!(fast.is_empty(), full.is_empty());
+        prop_assert!(fast.len() <= full.len());
+    }
+
+    /// Post-failure overwrites silence subsequent reads of the same bytes,
+    /// regardless of the pre-failure state.
+    #[test]
+    fn post_writes_make_reads_clean(
+        steps in prop::collection::vec(step_strategy(), 1..200),
+        probe in 0..(POOL / 8),
+    ) {
+        let (ctx, shadow) = run(&steps);
+        let base = ctx.pool().base();
+        let addr = base + probe * 8;
+        let fp = FailurePoint { id: 0, loc: SourceLoc::synthetic("<fp>") };
+        let loc = SourceLoc::synthetic("<probe>");
+
+        let mut checker = shadow.begin_post(true);
+        let mut out = DetectionReport::new();
+        checker.apply_post(
+            &TraceEntry::new(Op::Write { addr, size: 8 }, loc, Stage::Post, false, true),
+            fp,
+            &mut out,
+        );
+        checker.apply_post(
+            &TraceEntry::new(Op::Read { addr, size: 8 }, loc, Stage::Post, false, true),
+            fp,
+            &mut out,
+        );
+        prop_assert!(out.is_empty(), "{out}");
+    }
+
+    /// The shadow's epoch counter equals the number of fences replayed.
+    #[test]
+    fn timestamp_counts_fences(steps in prop::collection::vec(step_strategy(), 0..200)) {
+        let fences = steps.iter().filter(|s| matches!(s, Step::Fence)).count();
+        let (_ctx, shadow) = run(&steps);
+        prop_assert_eq!(shadow.timestamp() as usize, fences);
+    }
+}

@@ -1,0 +1,95 @@
+//! Failure-atomic single-word updates: the workalike of `libpmemobj`'s
+//! atomic API (`POBJ_LIST_INSERT_*`, atomic pointer publication).
+//!
+//! An 8-byte aligned store is atomic with respect to a failure: the medium
+//! holds either the old or the new value, and code built on the "atomic
+//! pointer publish" idiom (fully persist an object, then swing one pointer
+//! to it) is consistent either way. In the original system these updates are
+//! performed inside `libpmemobj`, so XFDetector traces them at function
+//! granularity and does not flag the recovery-time reads of such pointers.
+//! [`ObjPool::atomic_store_u64`] reproduces that: the store and its persist
+//! run inside a library-internal scope, with an explicit failure point at
+//! the call boundary (§5.5).
+
+use pmem::PmCtx;
+use xftrace::SourceLoc;
+
+use crate::pool::ObjPool;
+use crate::PmdkError;
+
+impl ObjPool {
+    /// Durably stores `value` at the 8-byte-aligned `addr`, failure-
+    /// atomically: after any failure the location reads as either the old
+    /// or the new value, and both are persistent states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmdkError::BadRange`] for unaligned or out-of-heap
+    /// addresses.
+    #[track_caller]
+    pub fn atomic_store_u64(
+        &self,
+        ctx: &mut PmCtx,
+        addr: u64,
+        value: u64,
+    ) -> Result<(), PmdkError> {
+        let loc = SourceLoc::caller();
+        if !addr.is_multiple_of(8) {
+            return Err(PmdkError::BadRange { addr, size: 8 });
+        }
+        self.check_heap_range(addr, 8)?;
+        // The failure point sits before the store: the post-failure stage
+        // sees the old (persistent) value.
+        ctx.add_failure_point_at(loc);
+        let _g = ctx.internal_scope();
+        ctx.write_u64(addr, value)?;
+        ctx.persist_barrier(addr, 8)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+
+    fn setup() -> (PmCtx, ObjPool, u64) {
+        let mut ctx = PmCtx::new(PmPool::new(512 * 1024).unwrap());
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let a = pool.alloc_zeroed(&mut ctx, 64).unwrap();
+        (ctx, pool, a)
+    }
+
+    #[test]
+    fn store_is_durable() {
+        let (mut ctx, pool, a) = setup();
+        pool.atomic_store_u64(&mut ctx, a, 77).unwrap();
+        assert_eq!(ctx.read_u64(a).unwrap(), 77);
+        assert!(ctx.pool().is_persisted(a, 8));
+    }
+
+    #[test]
+    fn unaligned_or_foreign_addresses_are_rejected() {
+        let (mut ctx, pool, a) = setup();
+        assert!(matches!(
+            pool.atomic_store_u64(&mut ctx, a + 3, 1),
+            Err(PmdkError::BadRange { .. })
+        ));
+        assert!(matches!(
+            pool.atomic_store_u64(&mut ctx, pool.base(), 1),
+            Err(PmdkError::BadRange { .. })
+        ));
+    }
+
+    #[test]
+    fn store_ops_are_library_internal() {
+        let (mut ctx, pool, a) = setup();
+        let before = ctx.trace().snapshot().len();
+        pool.atomic_store_u64(&mut ctx, a, 5).unwrap();
+        let entries = ctx.trace().snapshot();
+        assert!(entries[before..]
+            .iter()
+            .filter(|e| e.op.range().is_some())
+            .all(|e| e.internal));
+    }
+}

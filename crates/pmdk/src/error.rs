@@ -1,0 +1,136 @@
+//! Error type for the PMDK workalike.
+
+use std::error::Error;
+use std::fmt;
+
+use pmem::PmError;
+
+/// Errors produced by the PMDK workalike.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmdkError {
+    /// An underlying PM access failed.
+    Pm(PmError),
+    /// The pool header does not carry the expected magic value — the pool
+    /// was never created, or creation was interrupted before the magic was
+    /// persisted.
+    NotAPool,
+    /// The pool header carries an unsupported layout version.
+    BadVersion {
+        /// The version found in the header.
+        found: u64,
+    },
+    /// The pool header checksum does not match its fields: creation was
+    /// interrupted mid-way (the paper's Bug 4 manifestation) or the header
+    /// was corrupted.
+    CorruptHeader,
+    /// The allocator could not satisfy a request.
+    OutOfSpace {
+        /// The requested size in bytes.
+        requested: u64,
+    },
+    /// A zero-byte allocation was requested.
+    ZeroAlloc,
+    /// The undo log is full; the transaction added more ranges than
+    /// [`crate::LOG_CAPACITY`] entries can hold.
+    LogOverflow,
+    /// A transactional operation was attempted outside a transaction.
+    NoTransaction,
+    /// `tx_begin` was called while a transaction was already active.
+    /// (Unlike PMDK, this workalike does not support nesting.)
+    NestedTransaction,
+    /// A root object was requested with a size that differs from the
+    /// existing root.
+    RootSizeMismatch {
+        /// Size recorded in the pool header.
+        existing: u64,
+        /// Size requested by the caller.
+        requested: u64,
+    },
+    /// The requested address range does not lie within the pool's heap.
+    BadRange {
+        /// Start of the rejected range.
+        addr: u64,
+        /// Length of the rejected range.
+        size: u64,
+    },
+}
+
+impl fmt::Display for PmdkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PmdkError::Pm(ref e) => write!(f, "pm access failed: {e}"),
+            PmdkError::NotAPool => f.write_str("no pool present at this address"),
+            PmdkError::BadVersion { found } => {
+                write!(f, "unsupported pool layout version {found}")
+            }
+            PmdkError::CorruptHeader => {
+                f.write_str("pool header checksum mismatch (incomplete creation?)")
+            }
+            PmdkError::OutOfSpace { requested } => {
+                write!(f, "allocator cannot satisfy {requested} bytes")
+            }
+            PmdkError::ZeroAlloc => f.write_str("zero-sized allocation requested"),
+            PmdkError::LogOverflow => f.write_str("undo log capacity exceeded"),
+            PmdkError::NoTransaction => f.write_str("no active transaction"),
+            PmdkError::NestedTransaction => f.write_str("transaction already active"),
+            PmdkError::RootSizeMismatch {
+                existing,
+                requested,
+            } => write!(
+                f,
+                "root object exists with size {existing}, requested {requested}"
+            ),
+            PmdkError::BadRange { addr, size } => {
+                write!(f, "range {addr:#x}+{size} outside the pool heap")
+            }
+        }
+    }
+}
+
+impl Error for PmdkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PmdkError::Pm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmError> for PmdkError {
+    fn from(e: PmError) -> Self {
+        PmdkError::Pm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pm_error_preserves_source() {
+        let e = PmdkError::from(PmError::ZeroSize { addr: 4 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("pm access failed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PmdkError>();
+    }
+
+    #[test]
+    fn messages_are_lowercase_without_period() {
+        let msgs = [
+            PmdkError::NotAPool.to_string(),
+            PmdkError::CorruptHeader.to_string(),
+            PmdkError::LogOverflow.to_string(),
+            PmdkError::NoTransaction.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! PMDK workalike for the XFDetector reproduction.
+//!
+//! The paper's workloads are built on Intel PMDK: the transactional
+//! `libpmemobj` (B/C/RB-Tree, Hashmap-TX, Redis) and the low-level `libpmem`
+//! (Hashmap-Atomic, Memcached). This crate reimplements the pieces those
+//! workloads need, from scratch, on top of the [`pmem`] simulator:
+//!
+//! - **Pool management** ([`ObjPool`]): a pool header with magic, version,
+//!   UUID, root-object record, allocator state and checksum. Faithful to the
+//!   paper, the default [`ObjPool::create`] persists the header only at the
+//!   end — a failure in the middle of creation leaves incomplete metadata
+//!   that [`ObjPool::open`] rejects. This is **Bug 4** of §6.3.2 (found in
+//!   `pmemobj_createU` → `util_pool_create_uuids`); [`ObjPool::create_robust`]
+//!   is the ordered variant that fixes it.
+//! - **Persistent allocator**: cache-line-aligned allocations with a
+//!   persistent free list. [`ObjPool::alloc`] does *not* zero the memory —
+//!   the behavior Bug 2 of the paper depends on — while
+//!   [`ObjPool::alloc_zeroed`] does.
+//! - **Undo-log transactions** ([`ObjPool::tx_begin`] / [`ObjPool::tx_add`] /
+//!   [`ObjPool::tx_commit`]): ranges added to the transaction are snapshotted
+//!   into a persistent undo log before modification; commit flushes the
+//!   modified ranges and invalidates the log; [`ObjPool::open`] rolls back
+//!   any log left behind by a failure.
+//!
+//! Library internals run inside [`pmem::PmCtx::internal_scope`]: their
+//! operations are traced at function granularity (the detector does not
+//! check them for bugs) and ordinary failure points are not injected inside
+//! them; instead, like the paper (§5.5), each library entry point that
+//! contains ordering points registers an explicit failure point.
+//!
+//! # Example
+//!
+//! ```
+//! use pmem::{PmCtx, PmPool};
+//! use pmdk_sim::ObjPool;
+//!
+//! # fn main() -> Result<(), pmdk_sim::PmdkError> {
+//! let mut ctx = PmCtx::new(PmPool::new(256 * 1024)?);
+//! let mut pool = ObjPool::create_robust(&mut ctx)?;
+//! let root = pool.root(&mut ctx, 16)?;
+//!
+//! pool.tx_begin(&mut ctx)?;
+//! pool.tx_add(&mut ctx, root, 16)?;
+//! ctx.write_u64(root, 7)?;
+//! pool.tx_commit(&mut ctx)?;
+//!
+//! // Reopening runs recovery and finds the committed value.
+//! let mut pool2 = ObjPool::open(&mut ctx)?;
+//! let root2 = pool2.root(&mut ctx, 16)?;
+//! assert_eq!(ctx.read_u64(root2)?, 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod atomic;
+mod error;
+mod pool;
+mod redo;
+mod tx;
+
+pub use error::PmdkError;
+pub use redo::{RedoTx, REDO_CAPACITY};
+pub use pool::{ObjPool, HEADER_SIZE, HEAP_OFFSET, LOG_CAPACITY, LOG_DATA_MAX, LOG_OFFSET};

@@ -1,0 +1,537 @@
+//! Pool creation, validation, opening and the root object.
+
+use pmem::{PmCtx, CACHE_LINE};
+use xftrace::SourceLoc;
+
+use crate::PmdkError;
+
+/// Pool magic value ("PMDKSIM1" as a little-endian integer).
+const MAGIC: u64 = u64::from_le_bytes(*b"PMDKSIM1");
+/// Supported layout version.
+const VERSION: u64 = 1;
+
+// Header field offsets (from the pool base). The identity fields and their
+// checksum share the first cache line so that a single write-back covers
+// them.
+pub(crate) const OFF_MAGIC: u64 = 0;
+pub(crate) const OFF_VERSION: u64 = 8;
+pub(crate) const OFF_UUID_LO: u64 = 16;
+pub(crate) const OFF_UUID_HI: u64 = 24;
+pub(crate) const OFF_ROOT_OFF: u64 = 32;
+pub(crate) const OFF_ROOT_SIZE: u64 = 40;
+pub(crate) const OFF_CHECKSUM: u64 = 48;
+/// Allocator state lives in the second header line (not checksummed; it is
+/// kept self-consistent by write ordering instead).
+pub(crate) const OFF_HEAP_TOP: u64 = 64;
+pub(crate) const OFF_FREE_HEAD: u64 = 72;
+
+/// Size of the pool header in bytes (two cache lines).
+pub const HEADER_SIZE: u64 = 128;
+
+/// Offset of the undo-log area (starts with the persistent entry counter).
+pub const LOG_OFFSET: u64 = HEADER_SIZE;
+
+/// Maximum number of undo-log entries.
+pub const LOG_CAPACITY: u64 = 256;
+
+/// Payload capacity of one undo-log entry; larger `tx_add` ranges are split
+/// across entries.
+pub const LOG_DATA_MAX: u64 = 240;
+
+/// Size of one undo-log entry: address + length + payload.
+pub(crate) const LOG_ENTRY_SIZE: u64 = 16 + LOG_DATA_MAX;
+
+/// Offset of the first byte past the undo log, rounded up to a cache line:
+/// the start of the allocatable heap.
+pub const HEAP_OFFSET: u64 =
+    (LOG_OFFSET + 8 + LOG_CAPACITY * LOG_ENTRY_SIZE + CACHE_LINE - 1) & !(CACHE_LINE - 1);
+
+/// Volatile transaction state (DRAM side; does not survive a failure).
+#[derive(Debug, Default)]
+pub(crate) struct TxState {
+    /// Ranges snapshotted by `tx_add` in this transaction.
+    pub added: Vec<(u64, u64)>,
+    /// Ranges allocated inside this transaction (persisted at commit, freed
+    /// on abort).
+    pub allocs: Vec<(u64, u64)>,
+    /// Payload addresses freed inside this transaction. Like PMDK's
+    /// `pmemobj_tx_free`, the free is deferred to commit: until then the
+    /// memory stays live, and an abort (or a failure) keeps it allocated.
+    pub frees: Vec<u64>,
+}
+
+/// A handle to an object pool, the workalike of PMDK's `PMEMobjpool`.
+///
+/// The handle itself is volatile (like the DRAM-side runtime state PMDK
+/// keeps); all durable state lives in the pool's PM range. Methods take the
+/// [`PmCtx`] explicitly so every PM operation is traced and injectable.
+#[derive(Debug)]
+pub struct ObjPool {
+    base: u64,
+    len: u64,
+    pub(crate) tx: Option<TxState>,
+}
+
+impl ObjPool {
+    /// Creates a pool over the whole PM range of `ctx`, PMDK-faithfully:
+    /// metadata is written and persisted in several steps with **no validity
+    /// ordering between them**, reproducing the paper's Bug 4
+    /// (`pmemobj_createU`, obj.c:1324): a failure in the middle of creation
+    /// leaves incomplete metadata and a subsequent [`ObjPool::open`] fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmdkError::Pm`] if the PM range is too small for the header,
+    /// log and any heap space.
+    #[track_caller]
+    pub fn create(ctx: &mut PmCtx) -> Result<Self, PmdkError> {
+        let loc = SourceLoc::caller();
+        Self::check_capacity(ctx)?;
+        let base = ctx.pool().base();
+        let _g = ctx.internal_scope();
+
+        // Step 1: identity fields (cf. util_pool_create_uuids "set pool
+        // metadata").
+        ctx.add_failure_point_at(loc);
+        ctx.write_u64(base + OFF_VERSION, VERSION)?;
+        let (lo, hi) = synthetic_uuid(base, ctx.pool().len());
+        ctx.write_u64(base + OFF_UUID_LO, lo)?;
+        ctx.write_u64(base + OFF_UUID_HI, hi)?;
+        ctx.persist_barrier(base + OFF_VERSION, 24)?;
+
+        // Step 2: root record, allocator state and undo log counter.
+        ctx.add_failure_point_at(loc);
+        ctx.write_u64(base + OFF_ROOT_OFF, 0)?;
+        ctx.write_u64(base + OFF_ROOT_SIZE, 0)?;
+        ctx.write_u64(base + OFF_HEAP_TOP, HEAP_OFFSET)?;
+        ctx.write_u64(base + OFF_FREE_HEAD, 0)?;
+        ctx.write_u64(base + LOG_OFFSET, 0)?;
+        ctx.persist_barrier(base, HEADER_SIZE + 8)?;
+
+        // Step 3: checksum and magic. Only now does the pool become
+        // openable; a failure before this point strands the pool.
+        ctx.add_failure_point_at(loc);
+        let sum = Self::read_checksum_input(ctx, base)?;
+        ctx.write_u64(base + OFF_CHECKSUM, sum)?;
+        ctx.write_u64(base + OFF_MAGIC, MAGIC)?;
+        ctx.persist_barrier(base, 64)?;
+
+        Ok(ObjPool {
+            base,
+            len: ctx.pool().len(),
+            tx: None,
+        })
+    }
+
+    /// Creates a pool with validity ordering: all metadata is written and
+    /// persisted **before** the magic/checksum that make the pool openable.
+    /// A failure during robust creation can still strand a half-created
+    /// pool, but it can never be mistaken for a valid one, and
+    /// [`ObjPool::open_or_create`] recovers by re-creating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmdkError::Pm`] if the PM range is too small.
+    #[track_caller]
+    pub fn create_robust(ctx: &mut PmCtx) -> Result<Self, PmdkError> {
+        let loc = SourceLoc::caller();
+        Self::check_capacity(ctx)?;
+        let base = ctx.pool().base();
+        let _g = ctx.internal_scope();
+        ctx.add_failure_point_at(loc);
+
+        ctx.write_u64(base + OFF_VERSION, VERSION)?;
+        let (lo, hi) = synthetic_uuid(base, ctx.pool().len());
+        ctx.write_u64(base + OFF_UUID_LO, lo)?;
+        ctx.write_u64(base + OFF_UUID_HI, hi)?;
+        ctx.write_u64(base + OFF_ROOT_OFF, 0)?;
+        ctx.write_u64(base + OFF_ROOT_SIZE, 0)?;
+        ctx.write_u64(base + OFF_HEAP_TOP, HEAP_OFFSET)?;
+        ctx.write_u64(base + OFF_FREE_HEAD, 0)?;
+        ctx.write_u64(base + LOG_OFFSET, 0)?;
+        ctx.persist_barrier(base, HEADER_SIZE + 8)?;
+
+        let sum = Self::read_checksum_input(ctx, base)?;
+        ctx.write_u64(base + OFF_CHECKSUM, sum)?;
+        ctx.write_u64(base + OFF_MAGIC, MAGIC)?;
+        ctx.persist_barrier(base, 64)?;
+
+        Ok(ObjPool {
+            base,
+            len: ctx.pool().len(),
+            tx: None,
+        })
+    }
+
+    /// Opens an existing pool: validates the header and rolls back any undo
+    /// log left behind by a failure (the recovery step of Figure 1's
+    /// `recover()`).
+    ///
+    /// # Errors
+    ///
+    /// - [`PmdkError::NotAPool`] if the magic value is absent,
+    /// - [`PmdkError::BadVersion`] for an unsupported layout,
+    /// - [`PmdkError::CorruptHeader`] if the checksum does not match —
+    ///   typically an interrupted [`ObjPool::create`].
+    #[track_caller]
+    pub fn open(ctx: &mut PmCtx) -> Result<Self, PmdkError> {
+        let base = ctx.pool().base();
+        let _g = ctx.internal_scope();
+
+        if ctx.read_u64(base + OFF_MAGIC)? != MAGIC {
+            return Err(PmdkError::NotAPool);
+        }
+        let version = ctx.read_u64(base + OFF_VERSION)?;
+        if version != VERSION {
+            return Err(PmdkError::BadVersion { found: version });
+        }
+        let sum = Self::read_checksum_input(ctx, base)?;
+        if ctx.read_u64(base + OFF_CHECKSUM)? != sum {
+            return Err(PmdkError::CorruptHeader);
+        }
+
+        let mut pool = ObjPool {
+            base,
+            len: ctx.pool().len(),
+            tx: None,
+        };
+        pool.rollback_log(ctx)?;
+        Ok(pool)
+    }
+
+    /// Opens the pool if present and valid, otherwise (re-)creates it — the
+    /// recommended post-failure entry point given that pool creation itself
+    /// is not failure-atomic (Bug 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from [`ObjPool::create_robust`].
+    #[track_caller]
+    pub fn open_or_create(ctx: &mut PmCtx) -> Result<Self, PmdkError> {
+        match Self::open(ctx) {
+            Ok(pool) => Ok(pool),
+            Err(PmdkError::NotAPool | PmdkError::CorruptHeader | PmdkError::BadVersion { .. }) => {
+                Self::create_robust(ctx)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Returns the address of the root object of `size` bytes, allocating it
+    /// (zeroed) on first use — the workalike of `pmemobj_root()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmdkError::RootSizeMismatch`] if a root of a different size
+    /// already exists, or an allocator error.
+    #[track_caller]
+    pub fn root(&mut self, ctx: &mut PmCtx, size: u64) -> Result<u64, PmdkError> {
+        let loc = SourceLoc::caller();
+        let base = self.base;
+        let existing_off = {
+            let _g = ctx.internal_scope();
+            ctx.read_u64(base + OFF_ROOT_OFF)?
+        };
+        if existing_off != 0 {
+            let existing = {
+                let _g = ctx.internal_scope();
+                ctx.read_u64(base + OFF_ROOT_SIZE)?
+            };
+            if existing != size {
+                return Err(PmdkError::RootSizeMismatch {
+                    existing,
+                    requested: size,
+                });
+            }
+            return Ok(base + existing_off);
+        }
+
+        ctx.add_failure_point_at(loc);
+        let addr = self.alloc_zeroed_at(ctx, size, loc)?;
+        let _g = ctx.internal_scope();
+        ctx.write_u64(base + OFF_ROOT_OFF, addr - base)?;
+        ctx.write_u64(base + OFF_ROOT_SIZE, size)?;
+        let sum = Self::read_checksum_input(ctx, base)?;
+        ctx.write_u64(base + OFF_CHECKSUM, sum)?;
+        ctx.persist_barrier(base, 64)?;
+        Ok(addr)
+    }
+
+    /// Pool base address.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Pool length in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the pool covers no bytes (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether a transaction is currently active.
+    #[must_use]
+    pub fn in_tx(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Persists `[addr, addr + size)`: flush every covered line, then drain.
+    /// The workalike of `pmemobj_persist` / `pmem_persist`, attributed to the
+    /// caller's source location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmdkError::Pm`] for invalid ranges.
+    #[track_caller]
+    pub fn persist(&self, ctx: &mut PmCtx, addr: u64, size: u64) -> Result<(), PmdkError> {
+        ctx.persist_barrier_at(addr, size, SourceLoc::caller())?;
+        Ok(())
+    }
+
+    /// Checks that `[addr, addr + size)` lies in the heap area of the pool.
+    pub(crate) fn check_heap_range(&self, addr: u64, size: u64) -> Result<(), PmdkError> {
+        let heap_start = self.base + HEAP_OFFSET;
+        let heap_end = self.base + self.len;
+        if size == 0
+            || addr < heap_start
+            || addr.checked_add(size).is_none_or(|end| end > heap_end)
+        {
+            return Err(PmdkError::BadRange { addr, size });
+        }
+        Ok(())
+    }
+
+    fn check_capacity(ctx: &PmCtx) -> Result<(), PmdkError> {
+        // Require at least one cache line of heap.
+        if ctx.pool().len() < HEAP_OFFSET + CACHE_LINE {
+            return Err(PmdkError::OutOfSpace {
+                requested: HEAP_OFFSET + CACHE_LINE,
+            });
+        }
+        Ok(())
+    }
+
+    /// Sums the checksummed header words (everything before `OFF_CHECKSUM`).
+    fn read_checksum_input(ctx: &mut PmCtx, base: u64) -> Result<u64, PmdkError> {
+        let mut sum = 0u64;
+        let mut off = OFF_MAGIC;
+        while off < OFF_CHECKSUM {
+            // The magic itself is part of the sum only once written; during
+            // creation it still reads as zero, which is fine because the
+            // checksum is recomputed when the magic is written... it is not:
+            // the sum is computed *before* the magic write, so `open`
+            // recomputes it the same way by skipping the magic word.
+            if off != OFF_MAGIC {
+                sum = sum.wrapping_add(ctx.read_u64(base + off)?);
+            }
+            off += 8;
+        }
+        Ok(sum.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// Deterministic stand-in for a pool UUID (no randomness available inside
+/// the library; uniqueness across pools is not needed by the reproduction).
+fn synthetic_uuid(base: u64, len: u64) -> (u64, u64) {
+    let lo = base
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(len.rotate_left(17));
+    let hi = lo.rotate_left(31) ^ 0xdead_beef_cafe_f00d;
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+
+    pub(crate) fn ctx_with(len: u64) -> PmCtx {
+        PmCtx::new(PmPool::new(len).unwrap())
+    }
+
+    fn ctx() -> PmCtx {
+        ctx_with(256 * 1024)
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // deliberate layout sanity checks
+    fn layout_constants_are_line_aligned() {
+        assert_eq!(HEADER_SIZE % CACHE_LINE, 0);
+        assert_eq!(HEAP_OFFSET % CACHE_LINE, 0);
+        assert!(HEAP_OFFSET > LOG_OFFSET + 8 + (LOG_CAPACITY - 1) * LOG_ENTRY_SIZE);
+        assert!(OFF_CHECKSUM < CACHE_LINE, "identity fields in one line");
+    }
+
+    #[test]
+    fn create_then_open_round_trips() {
+        let mut c = ctx();
+        let pool = ObjPool::create(&mut c).unwrap();
+        assert_eq!(pool.base(), c.pool().base());
+        let reopened = ObjPool::open(&mut c).unwrap();
+        assert_eq!(reopened.len(), pool.len());
+        assert!(!reopened.in_tx());
+    }
+
+    #[test]
+    fn open_without_create_is_not_a_pool() {
+        let mut c = ctx();
+        assert_eq!(ObjPool::open(&mut c).unwrap_err(), PmdkError::NotAPool);
+    }
+
+    #[test]
+    fn open_detects_corrupt_header() {
+        let mut c = ctx();
+        let _ = ObjPool::create(&mut c).unwrap();
+        let base = c.pool().base();
+        // Corrupt a checksummed field behind the library's back.
+        c.pool_mut().write_u64(base + OFF_ROOT_SIZE, 0x31337).unwrap();
+        assert_eq!(ObjPool::open(&mut c).unwrap_err(), PmdkError::CorruptHeader);
+    }
+
+    #[test]
+    fn open_detects_bad_version() {
+        let mut c = ctx();
+        let _ = ObjPool::create(&mut c).unwrap();
+        let base = c.pool().base();
+        c.pool_mut().write_u64(base + OFF_VERSION, 9).unwrap();
+        assert_eq!(
+            ObjPool::open(&mut c).unwrap_err(),
+            PmdkError::BadVersion { found: 9 }
+        );
+    }
+
+    #[test]
+    fn open_or_create_recovers_a_missing_pool() {
+        let mut c = ctx();
+        let pool = ObjPool::open_or_create(&mut c).unwrap();
+        assert!(!pool.is_empty());
+        // Second call opens the same pool.
+        let again = ObjPool::open_or_create(&mut c).unwrap();
+        assert_eq!(again.base(), pool.base());
+    }
+
+    #[test]
+    fn create_requires_room_for_header_and_log() {
+        let mut small = ctx_with(4096); // far below HEAP_OFFSET
+        assert!(matches!(
+            ObjPool::create(&mut small),
+            Err(PmdkError::OutOfSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn root_allocates_once_and_is_stable() {
+        let mut c = ctx();
+        let mut pool = ObjPool::create(&mut c).unwrap();
+        let r1 = pool.root(&mut c, 64).unwrap();
+        let r2 = pool.root(&mut c, 64).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1 % CACHE_LINE, 0, "root is line-aligned");
+        // Zeroed on first allocation.
+        assert_eq!(c.read_u64(r1).unwrap(), 0);
+    }
+
+    #[test]
+    fn root_survives_reopen() {
+        let mut c = ctx();
+        let mut pool = ObjPool::create(&mut c).unwrap();
+        let r1 = pool.root(&mut c, 32).unwrap();
+        c.write_u64(r1, 99).unwrap();
+        c.persist_barrier(r1, 8).unwrap();
+        let mut reopened = ObjPool::open(&mut c).unwrap();
+        let r2 = reopened.root(&mut c, 32).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(c.read_u64(r2).unwrap(), 99);
+    }
+
+    #[test]
+    fn root_size_mismatch_is_rejected() {
+        let mut c = ctx();
+        let mut pool = ObjPool::create(&mut c).unwrap();
+        let _ = pool.root(&mut c, 32).unwrap();
+        assert_eq!(
+            pool.root(&mut c, 64).unwrap_err(),
+            PmdkError::RootSizeMismatch {
+                existing: 32,
+                requested: 64
+            }
+        );
+    }
+
+    #[test]
+    fn mid_creation_image_fails_to_open() {
+        // Reproduce Bug 4's mechanism directly: capture the PM image at the
+        // first ordering point inside create() and try to open it.
+        use pmem::{EngineHook, PmImage};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Capture {
+            images: RefCell<Vec<PmImage>>,
+        }
+        impl EngineHook for Capture {
+            fn on_ordering_point(
+                &self,
+                ctx: &mut PmCtx,
+                _loc: SourceLoc,
+                _info: pmem::OrderingPointInfo,
+            ) {
+                self.images.borrow_mut().push(ctx.pool().full_image());
+            }
+        }
+
+        let mut c = ctx();
+        let cap = Rc::new(Capture::default());
+        c.set_hook(cap.clone());
+        let _ = ObjPool::create(&mut c).unwrap();
+        let images = cap.images.borrow();
+        assert!(images.len() >= 3, "create has mid-creation failure points");
+        // Every image captured before the final magic write must be
+        // unopenable.
+        for img in images.iter() {
+            let mut post = c.fork_post(img);
+            assert!(
+                ObjPool::open(&mut post).is_err(),
+                "mid-creation pool image must not open"
+            );
+        }
+    }
+
+    #[test]
+    fn heap_range_validation() {
+        let mut c = ctx();
+        let pool = ObjPool::create(&mut c).unwrap();
+        let base = pool.base();
+        assert!(pool.check_heap_range(base, 8).is_err(), "header range");
+        assert!(pool
+            .check_heap_range(base + HEAP_OFFSET, 8)
+            .is_ok());
+        assert!(pool
+            .check_heap_range(base + pool.len() - 8, 16)
+            .is_err());
+        assert!(pool.check_heap_range(base + HEAP_OFFSET, 0).is_err());
+        assert!(pool.check_heap_range(u64::MAX - 4, 8).is_err());
+    }
+
+    #[test]
+    fn library_ops_are_marked_internal() {
+        let mut c = ctx();
+        let _ = ObjPool::create(&mut c).unwrap();
+        let entries = c.trace().snapshot();
+        assert!(!entries.is_empty());
+        assert!(
+            entries
+                .iter()
+                .filter(|e| e.op.range().is_some())
+                .all(|e| e.internal),
+            "all pool-creation memory ops are library-internal"
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! Undo-log transactions: the workalike of `libpmemobj`'s `TX_BEGIN` /
+//! `TX_ADD` / `TX_END`.
+//!
+//! The undo log lives in the pool's log area: a persistent entry counter
+//! (`log_count`, the commit variable of the mechanism) followed by
+//! fixed-size entries of `{addr, len, payload}`. The protocol follows the
+//! classic undo-logging discipline of Table 1:
+//!
+//! 1. `tx_add` snapshots the current contents of a range into fresh log
+//!    entries, persists the entries, **then** bumps and persists
+//!    `log_count` — an entry becomes valid only after its payload is
+//!    durable.
+//! 2. The program updates the added ranges in place.
+//! 3. `tx_commit` persists the in-place updates, then resets `log_count`
+//!    to zero (the commit point) and persists it.
+//!
+//! Recovery ([`ObjPool::open`]) finds `log_count > 0` — the transaction did
+//! not commit — and rolls the entries back in reverse order before resetting
+//! the counter.
+
+use pmem::PmCtx;
+use xftrace::{Op, SourceLoc};
+
+use crate::pool::{ObjPool, TxState, LOG_ENTRY_SIZE};
+use crate::{PmdkError, LOG_CAPACITY, LOG_DATA_MAX, LOG_OFFSET};
+
+impl ObjPool {
+    /// Address of the persistent undo-log entry counter.
+    fn log_count_addr(&self) -> u64 {
+        self.base() + LOG_OFFSET
+    }
+
+    /// Address of undo-log entry `i`.
+    fn entry_addr(&self, i: u64) -> u64 {
+        self.base() + LOG_OFFSET + 8 + i * LOG_ENTRY_SIZE
+    }
+
+    /// Starts a failure-atomic transaction (`TX_BEGIN`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmdkError::NestedTransaction`] if one is already active —
+    /// unlike PMDK this workalike does not flatten nested transactions.
+    #[track_caller]
+    pub fn tx_begin(&mut self, ctx: &mut PmCtx) -> Result<(), PmdkError> {
+        if self.tx.is_some() {
+            return Err(PmdkError::NestedTransaction);
+        }
+        self.tx = Some(TxState::default());
+        ctx.emit_at(Op::TxBegin, SourceLoc::caller());
+        Ok(())
+    }
+
+    /// Snapshots `[addr, addr + size)` into the undo log (`TX_ADD`), making
+    /// the range recoverable: whatever the program writes there afterwards,
+    /// a failure before commit rolls it back.
+    ///
+    /// # Errors
+    ///
+    /// - [`PmdkError::NoTransaction`] outside a transaction,
+    /// - [`PmdkError::BadRange`] for ranges outside the heap,
+    /// - [`PmdkError::LogOverflow`] when the log is full.
+    #[track_caller]
+    pub fn tx_add(&mut self, ctx: &mut PmCtx, addr: u64, size: u64) -> Result<(), PmdkError> {
+        let loc = SourceLoc::caller();
+        if self.tx.is_none() {
+            return Err(PmdkError::NoTransaction);
+        }
+        self.check_heap_range(addr, size)?;
+        ctx.add_failure_point_at(loc);
+        {
+            let _g = ctx.internal_scope();
+            let mut count = ctx.read_u64(self.log_count_addr())?;
+            let first_entry = count;
+            let mut off = 0u64;
+            while off < size {
+                if count >= LOG_CAPACITY {
+                    return Err(PmdkError::LogOverflow);
+                }
+                let chunk = (size - off).min(LOG_DATA_MAX);
+                let e = self.entry_addr(count);
+                ctx.write_u64(e, addr + off)?;
+                ctx.write_u64(e + 8, chunk)?;
+                let data = ctx.read_bytes(addr + off, chunk)?;
+                ctx.write(e + 16, &data)?;
+                count += 1;
+                off += chunk;
+            }
+            // Persist the new entries, then publish them by bumping the
+            // counter (the validity ordering of undo logging).
+            let new_entries = count - first_entry;
+            if new_entries > 0 {
+                ctx.persist_barrier(
+                    self.entry_addr(first_entry),
+                    new_entries * LOG_ENTRY_SIZE,
+                )?;
+                ctx.write_u64(self.log_count_addr(), count)?;
+                ctx.persist_barrier(self.log_count_addr(), 8)?;
+            }
+        }
+        self.tx
+            .as_mut()
+            .expect("transaction checked active above")
+            .added
+            .push((addr, size));
+        ctx.emit_at(Op::TxAdd { addr, size: size as u32 }, loc);
+        Ok(())
+    }
+
+    /// Commits the transaction (`TX_END`): persists every added range and
+    /// every range allocated inside the transaction, then invalidates the
+    /// undo log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmdkError::NoTransaction`] outside a transaction.
+    #[track_caller]
+    pub fn tx_commit(&mut self, ctx: &mut PmCtx) -> Result<(), PmdkError> {
+        let loc = SourceLoc::caller();
+        let tx = self.tx.take().ok_or(PmdkError::NoTransaction)?;
+        ctx.add_failure_point_at(loc);
+        {
+            let _g = ctx.internal_scope();
+            for &(addr, size) in tx.added.iter().chain(tx.allocs.iter()) {
+                ctx.flush_range(addr, size)?;
+            }
+            if !(tx.added.is_empty() && tx.allocs.is_empty()) {
+                ctx.drain();
+            }
+            // The commit point: invalidate the undo log.
+            ctx.write_u64(self.log_count_addr(), 0)?;
+            ctx.persist_barrier(self.log_count_addr(), 8)?;
+        }
+        // Execute the deferred frees now that the transaction is durable.
+        for addr in tx.frees {
+            self.free_now(ctx, addr, loc)?;
+        }
+        ctx.emit_at(Op::TxCommit, loc);
+        Ok(())
+    }
+
+    /// Aborts the transaction: rolls every added range back to its
+    /// snapshotted contents, frees ranges allocated inside the transaction
+    /// and invalidates the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmdkError::NoTransaction`] outside a transaction.
+    #[track_caller]
+    pub fn tx_abort(&mut self, ctx: &mut PmCtx) -> Result<(), PmdkError> {
+        let loc = SourceLoc::caller();
+        let tx = self.tx.take().ok_or(PmdkError::NoTransaction)?;
+        {
+            let _g = ctx.internal_scope();
+            self.rollback_entries(ctx)?;
+        }
+        for &(addr, _) in &tx.allocs {
+            self.free(ctx, addr)?;
+        }
+        ctx.emit_at(Op::TxAbort, loc);
+        Ok(())
+    }
+
+    /// Runs `f` inside a transaction: begin, call, commit — aborting (and
+    /// rolling back) if `f` returns an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from `f` after aborting, or any transaction
+    /// bookkeeping error.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use pmem::{PmCtx, PmPool};
+    /// # use pmdk_sim::ObjPool;
+    /// # fn main() -> Result<(), pmdk_sim::PmdkError> {
+    /// # let mut ctx = PmCtx::new(PmPool::new(256 * 1024)?);
+    /// # let mut pool = ObjPool::create_robust(&mut ctx)?;
+    /// let root = pool.root(&mut ctx, 8)?;
+    /// pool.run_tx(&mut ctx, |ctx, pool| {
+    ///     pool.tx_add(ctx, root, 8)?;
+    ///     ctx.write_u64(root, 1)?;
+    ///     Ok(())
+    /// })?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[track_caller]
+    pub fn run_tx<T>(
+        &mut self,
+        ctx: &mut PmCtx,
+        f: impl FnOnce(&mut PmCtx, &mut Self) -> Result<T, PmdkError>,
+    ) -> Result<T, PmdkError> {
+        self.tx_begin(ctx)?;
+        match f(ctx, self) {
+            Ok(v) => {
+                self.tx_commit(ctx)?;
+                Ok(v)
+            }
+            Err(e) => {
+                // A failed body aborts; abort errors are secondary to `e`.
+                if self.tx.is_some() {
+                    let _ = self.tx_abort(ctx);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Rolls back any valid undo-log entries (recovery path, called from
+    /// [`ObjPool::open`]). Idempotent: a failure during rollback re-runs it.
+    pub(crate) fn rollback_log(&mut self, ctx: &mut PmCtx) -> Result<(), PmdkError> {
+        let _g = ctx.internal_scope();
+        self.rollback_entries(ctx)
+    }
+
+    fn rollback_entries(&mut self, ctx: &mut PmCtx) -> Result<(), PmdkError> {
+        let count = ctx.read_u64(self.log_count_addr())?;
+        if count == 0 {
+            return Ok(());
+        }
+        for i in (0..count.min(LOG_CAPACITY)).rev() {
+            let e = self.entry_addr(i);
+            let addr = ctx.read_u64(e)?;
+            let len = ctx.read_u64(e + 8)?.min(LOG_DATA_MAX);
+            let data = ctx.read_bytes(e + 16, len)?;
+            ctx.write(addr, &data)?;
+            ctx.persist_barrier(addr, len)?;
+        }
+        ctx.write_u64(self.log_count_addr(), 0)?;
+        ctx.persist_barrier(self.log_count_addr(), 8)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+
+    fn setup() -> (PmCtx, ObjPool, u64) {
+        let mut ctx = PmCtx::new(PmPool::new(512 * 1024).unwrap());
+        let mut pool = ObjPool::create(&mut ctx).unwrap();
+        let root = pool.root(&mut ctx, 64).unwrap();
+        (ctx, pool, root)
+    }
+
+    #[test]
+    fn committed_tx_persists_updates() {
+        let (mut ctx, mut pool, root) = setup();
+        pool.tx_begin(&mut ctx).unwrap();
+        pool.tx_add(&mut ctx, root, 16).unwrap();
+        ctx.write_u64(root, 11).unwrap();
+        ctx.write_u64(root + 8, 22).unwrap();
+        pool.tx_commit(&mut ctx).unwrap();
+        assert!(ctx.pool().is_persisted(root, 16));
+        assert_eq!(ctx.read_u64(root).unwrap(), 11);
+        assert_eq!(ctx.read_u64(root + 8).unwrap(), 22);
+    }
+
+    #[test]
+    fn uncommitted_tx_rolls_back_on_reopen() {
+        let (mut ctx, mut pool, root) = setup();
+        ctx.write_u64(root, 1).unwrap();
+        ctx.persist_barrier(root, 8).unwrap();
+
+        pool.tx_begin(&mut ctx).unwrap();
+        pool.tx_add(&mut ctx, root, 8).unwrap();
+        ctx.write_u64(root, 2).unwrap();
+        // Simulate a failure before commit: capture the full image and run
+        // recovery on a fork.
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let _recovered = ObjPool::open(&mut post).unwrap();
+        assert_eq!(
+            post.read_u64(root).unwrap(),
+            1,
+            "uncommitted update rolled back"
+        );
+    }
+
+    #[test]
+    fn committed_tx_survives_reopen() {
+        let (mut ctx, mut pool, root) = setup();
+        pool.run_tx(&mut ctx, |ctx, pool| {
+            pool.tx_add(ctx, root, 8)?;
+            ctx.write_u64(root, 42)?;
+            Ok(())
+        })
+        .unwrap();
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let _pool = ObjPool::open(&mut post).unwrap();
+        assert_eq!(post.read_u64(root).unwrap(), 42);
+    }
+
+    #[test]
+    fn abort_restores_snapshot() {
+        let (mut ctx, mut pool, root) = setup();
+        ctx.write_u64(root, 7).unwrap();
+        ctx.persist_barrier(root, 8).unwrap();
+        pool.tx_begin(&mut ctx).unwrap();
+        pool.tx_add(&mut ctx, root, 8).unwrap();
+        ctx.write_u64(root, 8).unwrap();
+        pool.tx_abort(&mut ctx).unwrap();
+        assert_eq!(ctx.read_u64(root).unwrap(), 7);
+        assert!(!pool.in_tx());
+    }
+
+    #[test]
+    fn run_tx_aborts_on_error() {
+        let (mut ctx, mut pool, root) = setup();
+        ctx.write_u64(root, 5).unwrap();
+        ctx.persist_barrier(root, 8).unwrap();
+        let r: Result<(), PmdkError> = pool.run_tx(&mut ctx, |ctx, pool| {
+            pool.tx_add(ctx, root, 8)?;
+            ctx.write_u64(root, 6)?;
+            Err(PmdkError::ZeroAlloc) // arbitrary failure
+        });
+        assert!(r.is_err());
+        assert_eq!(ctx.read_u64(root).unwrap(), 5, "body update rolled back");
+        assert!(!pool.in_tx());
+    }
+
+    #[test]
+    fn tx_misuse_is_rejected() {
+        let (mut ctx, mut pool, root) = setup();
+        assert_eq!(
+            pool.tx_add(&mut ctx, root, 8).unwrap_err(),
+            PmdkError::NoTransaction
+        );
+        assert_eq!(
+            pool.tx_commit(&mut ctx).unwrap_err(),
+            PmdkError::NoTransaction
+        );
+        pool.tx_begin(&mut ctx).unwrap();
+        assert_eq!(
+            pool.tx_begin(&mut ctx).unwrap_err(),
+            PmdkError::NestedTransaction
+        );
+        pool.tx_commit(&mut ctx).unwrap();
+    }
+
+    #[test]
+    fn tx_add_outside_heap_is_rejected() {
+        let (mut ctx, mut pool, _) = setup();
+        let base = pool.base();
+        assert!(matches!(
+            pool.tx_add(&mut ctx, base, 8),
+            Err(PmdkError::NoTransaction)
+        ));
+        pool.tx_begin(&mut ctx).unwrap();
+        assert!(matches!(
+            pool.tx_add(&mut ctx, base, 8),
+            Err(PmdkError::BadRange { .. })
+        ));
+        pool.tx_commit(&mut ctx).unwrap();
+    }
+
+    #[test]
+    fn large_ranges_split_across_entries() {
+        let (mut ctx, mut pool, _) = setup();
+        let big = pool.alloc_zeroed(&mut ctx, 1000).unwrap();
+        for i in 0..125 {
+            ctx.write_u64(big + i * 8, i).unwrap();
+        }
+        ctx.persist_barrier(big, 1000).unwrap();
+
+        pool.tx_begin(&mut ctx).unwrap();
+        pool.tx_add(&mut ctx, big, 1000).unwrap();
+        // Overwrite everything, then fail before commit.
+        for i in 0..125 {
+            ctx.write_u64(big + i * 8, 9999).unwrap();
+        }
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let _pool = ObjPool::open(&mut post).unwrap();
+        for i in 0..125 {
+            assert_eq!(post.read_u64(big + i * 8).unwrap(), i, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn log_overflow_is_reported() {
+        let (mut ctx, mut pool, _) = setup();
+        let big = pool
+            .alloc_zeroed(&mut ctx, LOG_CAPACITY * LOG_DATA_MAX + 8)
+            .unwrap();
+        pool.tx_begin(&mut ctx).unwrap();
+        assert_eq!(
+            pool.tx_add(&mut ctx, big, LOG_CAPACITY * LOG_DATA_MAX + 8)
+                .unwrap_err(),
+            PmdkError::LogOverflow
+        );
+    }
+
+    #[test]
+    fn tx_allocations_are_freed_on_abort() {
+        let (mut ctx, mut pool, _) = setup();
+        pool.tx_begin(&mut ctx).unwrap();
+        let a = pool.alloc(&mut ctx, 64).unwrap();
+        pool.tx_abort(&mut ctx).unwrap();
+        // The freed chunk is reused by the next allocation.
+        let b = pool.alloc(&mut ctx, 64).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tx_allocations_are_persisted_at_commit() {
+        let (mut ctx, mut pool, _) = setup();
+        pool.tx_begin(&mut ctx).unwrap();
+        let a = pool.alloc(&mut ctx, 64).unwrap();
+        ctx.write_u64(a, 123).unwrap();
+        assert!(!ctx.pool().is_persisted(a, 8));
+        pool.tx_commit(&mut ctx).unwrap();
+        assert!(ctx.pool().is_persisted(a, 8));
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let (mut ctx, mut pool, root) = setup();
+        ctx.write_u64(root, 1).unwrap();
+        ctx.persist_barrier(root, 8).unwrap();
+        pool.tx_begin(&mut ctx).unwrap();
+        pool.tx_add(&mut ctx, root, 8).unwrap();
+        ctx.write_u64(root, 2).unwrap();
+
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let _p1 = ObjPool::open(&mut post).unwrap();
+        // A second failure during/after recovery: reopen again.
+        let img2 = post.pool().full_image();
+        let mut post2 = post.fork_post(&img2);
+        let _p2 = ObjPool::open(&mut post2).unwrap();
+        assert_eq!(post2.read_u64(root).unwrap(), 1);
+    }
+
+    #[test]
+    fn tx_events_are_emitted_in_order() {
+        let (mut ctx, mut pool, root) = setup();
+        pool.run_tx(&mut ctx, |ctx, pool| {
+            pool.tx_add(ctx, root, 8)?;
+            ctx.write_u64(root, 3)?;
+            Ok(())
+        })
+        .unwrap();
+        let ops: Vec<_> = ctx
+            .trace()
+            .snapshot()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.op,
+                    Op::TxBegin | Op::TxAdd { .. } | Op::TxCommit | Op::TxAbort
+                )
+            })
+            .map(|e| e.op)
+            .collect();
+        assert!(matches!(ops[0], Op::TxBegin));
+        assert!(matches!(ops[1], Op::TxAdd { size: 8, .. }));
+        assert!(matches!(ops[2], Op::TxCommit));
+    }
+}

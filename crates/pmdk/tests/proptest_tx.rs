@@ -1,0 +1,212 @@
+//! Property-based tests of the PMDK workalike: model-checked undo-log
+//! transactions (a failure at any moment recovers exactly the last
+//! committed state) and allocator invariants.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pmdk_sim::{ObjPool, PmdkError};
+use pmem::{PmCtx, PmPool};
+
+const POOL_SIZE: u64 = 512 * 1024;
+const CELLS: u64 = 16;
+
+fn setup() -> (PmCtx, ObjPool, u64) {
+    let mut ctx = PmCtx::new(PmPool::new(POOL_SIZE).unwrap());
+    let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+    let rt = pool.root(&mut ctx, CELLS * 64).unwrap();
+    (ctx, pool, rt)
+}
+
+fn cell_addr(rt: u64, i: u64) -> u64 {
+    rt + i * 64 // one line per cell: no aliasing between cells
+}
+
+/// One transaction: a set of (cell, value) updates, all added to the undo
+/// log before modification.
+fn run_tx(
+    ctx: &mut PmCtx,
+    pool: &mut ObjPool,
+    rt: u64,
+    updates: &[(u64, u64)],
+) -> Result<(), PmdkError> {
+    pool.run_tx(ctx, |ctx, pool| {
+        for &(cell, val) in updates {
+            pool.tx_add(ctx, cell_addr(rt, cell), 8)?;
+            ctx.write_u64(cell_addr(rt, cell), val)?;
+        }
+        Ok(())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After a sequence of committed transactions, a failure at *any*
+    /// point during one more uncommitted transaction recovers exactly the
+    /// committed model state.
+    #[test]
+    fn recovery_restores_committed_state(
+        txs in prop::collection::vec(
+            prop::collection::vec((0..CELLS, 1u64..1000), 1..5),
+            0..6
+        ),
+        pending in prop::collection::vec((0..CELLS, 1000u64..2000), 1..5),
+    ) {
+        let (mut ctx, mut pool, rt) = setup();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+
+        for tx in &txs {
+            run_tx(&mut ctx, &mut pool, rt, tx).unwrap();
+            for &(cell, val) in tx {
+                model.insert(cell, val);
+            }
+        }
+
+        // Start one more transaction and stop before commit.
+        pool.tx_begin(&mut ctx).unwrap();
+        for &(cell, val) in &pending {
+            pool.tx_add(&mut ctx, cell_addr(rt, cell), 8).unwrap();
+            ctx.write_u64(cell_addr(rt, cell), val).unwrap();
+        }
+
+        // Failure: the post-failure stage opens a fork of the full image.
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let _recovered = ObjPool::open(&mut post).unwrap();
+        for cell in 0..CELLS {
+            let expected = model.get(&cell).copied().unwrap_or(0);
+            prop_assert_eq!(
+                post.read_u64(cell_addr(rt, cell)).unwrap(),
+                expected,
+                "cell {} after rollback", cell
+            );
+        }
+    }
+
+    /// Committed data survives recovery verbatim, and recovery is
+    /// idempotent under repeated failures.
+    #[test]
+    fn committed_state_survives_repeated_recovery(
+        txs in prop::collection::vec(
+            prop::collection::vec((0..CELLS, 1u64..1000), 1..4),
+            1..5
+        ),
+    ) {
+        let (mut ctx, mut pool, rt) = setup();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for tx in &txs {
+            run_tx(&mut ctx, &mut pool, rt, tx).unwrap();
+            for &(cell, val) in tx {
+                model.insert(cell, val);
+            }
+        }
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let _p1 = ObjPool::open(&mut post).unwrap();
+        // Fail again immediately after recovery.
+        let img2 = post.pool().full_image();
+        let mut post2 = post.fork_post(&img2);
+        let _p2 = ObjPool::open(&mut post2).unwrap();
+        for (&cell, &val) in &model {
+            prop_assert_eq!(post2.read_u64(cell_addr(rt, cell)).unwrap(), val);
+        }
+    }
+
+    /// Abort restores the pre-transaction values exactly.
+    #[test]
+    fn abort_restores_snapshot(
+        committed in prop::collection::vec((0..CELLS, 1u64..1000), 1..6),
+        aborted in prop::collection::vec((0..CELLS, 1000u64..2000), 1..6),
+    ) {
+        let (mut ctx, mut pool, rt) = setup();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        run_tx(&mut ctx, &mut pool, rt, &committed).unwrap();
+        for &(cell, val) in &committed {
+            model.insert(cell, val);
+        }
+        pool.tx_begin(&mut ctx).unwrap();
+        for &(cell, val) in &aborted {
+            pool.tx_add(&mut ctx, cell_addr(rt, cell), 8).unwrap();
+            ctx.write_u64(cell_addr(rt, cell), val).unwrap();
+        }
+        pool.tx_abort(&mut ctx).unwrap();
+        for cell in 0..CELLS {
+            let expected = model.get(&cell).copied().unwrap_or(0);
+            prop_assert_eq!(ctx.read_u64(cell_addr(rt, cell)).unwrap(), expected);
+        }
+    }
+
+    /// Allocator invariant: live allocations never overlap, stay line
+    /// aligned and inside the heap, and freed chunks are recycled.
+    #[test]
+    fn allocations_are_disjoint_and_recycled(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (1u64..500).prop_map(|sz| (true, sz)),   // alloc of size sz
+                (0u64..8).prop_map(|i| (false, i)),       // free the i-th live alloc
+            ],
+            1..40
+        ),
+    ) {
+        let mut ctx = PmCtx::new(PmPool::new(POOL_SIZE).unwrap());
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (addr, size)
+        let mut freed: Vec<u64> = Vec::new();
+
+        for (is_alloc, arg) in ops {
+            if is_alloc {
+                match pool.alloc(&mut ctx, arg) {
+                    Ok(addr) => {
+                        prop_assert_eq!(addr % 64, 0, "line alignment");
+                        prop_assert!(addr >= pool.base() + pmdk_sim::HEAP_OFFSET);
+                        prop_assert!(addr + arg <= pool.base() + pool.len());
+                        for &(a, s) in &live {
+                            prop_assert!(
+                                addr + arg <= a || a + s <= addr,
+                                "allocation [{:#x},+{}] overlaps live [{:#x},+{}]",
+                                addr, arg, a, s
+                            );
+                        }
+                        if freed.contains(&addr) {
+                            freed.retain(|&f| f != addr); // recycled
+                        }
+                        live.push((addr, arg));
+                    }
+                    Err(PmdkError::OutOfSpace { .. }) => {}
+                    Err(e) => prop_assert!(false, "unexpected alloc error {e}"),
+                }
+            } else if !live.is_empty() {
+                let idx = (arg as usize) % live.len();
+                let (addr, _) = live.swap_remove(idx);
+                pool.free(&mut ctx, addr).unwrap();
+                freed.push(addr);
+            }
+        }
+    }
+
+    /// The undo log itself is bounded: adding ranges past the capacity is
+    /// an error, never a silent corruption.
+    #[test]
+    fn log_overflow_is_detected(extra in 1u64..4) {
+        let (mut ctx, mut pool, rt) = setup();
+        pool.tx_begin(&mut ctx).unwrap();
+        let mut result = Ok(());
+        // Each add of a 64-byte cell consumes one entry; overflow by
+        // re-adding cells repeatedly.
+        'outer: for _round in 0..(pmdk_sim::LOG_CAPACITY / CELLS + extra) {
+            for cell in 0..CELLS {
+                match pool.tx_add(&mut ctx, cell_addr(rt, cell), 64) {
+                    Ok(()) => {}
+                    Err(e) => { result = Err(e); break 'outer; }
+                }
+            }
+        }
+        prop_assert_eq!(result.unwrap_err(), PmdkError::LogOverflow);
+        // The pool is still usable after aborting.
+        pool.tx_abort(&mut ctx).unwrap();
+        run_tx(&mut ctx, &mut pool, rt, &[(0, 7)]).unwrap();
+        prop_assert_eq!(ctx.read_u64(cell_addr(rt, 0)).unwrap(), 7);
+    }
+}

@@ -1,0 +1,194 @@
+//! Crash-image policies: which non-persisted lines survive a simulated
+//! failure.
+
+use rand::Rng;
+
+use crate::{PmImage, PmPool};
+
+/// Policy for materializing the PM image seen by the post-failure stage.
+///
+/// XFDetector itself always copies the **full** image and reasons about
+/// persistence on the shadow PM (so one post-failure execution covers *all*
+/// interleavings of §3.1); the eviction policies below are an extension that
+/// materializes concrete crash states, useful for differential testing of the
+/// shadow-based approach and for demonstrating that a race found by the
+/// detector corresponds to a real divergent outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum CrashPolicy {
+    /// The paper's mode: the image contains every update, persisted or not
+    /// (Figure 8 step ③, footnote 3).
+    #[default]
+    FullImage,
+    /// Pessimal crash: only data guaranteed persistent survives — no dirty or
+    /// pending line made it out of the cache.
+    NoEviction,
+    /// Each non-persisted line independently survives with probability
+    /// `survive_prob`, modeling arbitrary cache eviction order.
+    RandomEviction {
+        /// Probability in `[0, 1]` that a given dirty/flushing line reached
+        /// media before the failure.
+        survive_prob: f64,
+    },
+}
+
+impl CrashPolicy {
+    /// Produces the post-failure image of `pool` under this policy, drawing
+    /// from `rng` when the policy is randomized.
+    pub fn image<R: Rng + ?Sized>(&self, pool: &PmPool, rng: &mut R) -> PmImage {
+        match *self {
+            CrashPolicy::FullImage => pool.full_image(),
+            CrashPolicy::NoEviction => pool.media_image(),
+            CrashPolicy::RandomEviction { survive_prob } => {
+                let p = survive_prob.clamp(0.0, 1.0);
+                pool.crash_image_with(|_| rng.gen_bool(p))
+            }
+        }
+    }
+}
+
+
+/// Enumerates **every** crash state reachable from the pool's current
+/// moment: one image per subset of the non-persisted (dirty or pending)
+/// cache lines, each subset modeling one eviction interleaving.
+///
+/// This is the exhaustive counterpart of [`CrashPolicy::RandomEviction`],
+/// in the spirit of PMDK's `pmreorder`: useful to *prove* that a small
+/// window of a crash-consistency protocol recovers from all interleavings,
+/// where XFDetector's shadow analysis reports the same result in one pass.
+/// The state count is `2^n`, so `max_lines` bounds the enumeration.
+///
+/// # Errors
+///
+/// Returns `Err(n)` with the number of non-persisted lines when it exceeds
+/// `max_lines`.
+pub fn exhaustive_crash_images(pool: &PmPool, max_lines: u32) -> Result<Vec<PmImage>, usize> {
+    let mut unpersisted = Vec::new();
+    for li in 0..(pool.len() / crate::CACHE_LINE) as usize {
+        let addr = pool.base() + li as u64 * crate::CACHE_LINE;
+        if pool
+            .line_state(addr)
+            .is_ok_and(|s| s != crate::LineState::Clean)
+        {
+            unpersisted.push(li);
+        }
+    }
+    if unpersisted.len() > max_lines as usize {
+        return Err(unpersisted.len());
+    }
+    let n = unpersisted.len();
+    let mut images = Vec::with_capacity(1 << n);
+    for mask in 0u64..(1u64 << n) {
+        images.push(pool.crash_image_with(|li| {
+            unpersisted
+                .iter()
+                .position(|&u| u == li)
+                .is_some_and(|idx| mask & (1 << idx) != 0)
+        }));
+    }
+    Ok(images)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dirty_pool() -> PmPool {
+        let mut p = PmPool::new(4096).unwrap();
+        for i in 0..16 {
+            p.write_u64(p.base() + i * 64, i + 1).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn full_image_keeps_everything() {
+        let p = dirty_pool();
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = CrashPolicy::FullImage.image(&p, &mut rng);
+        for i in 0..16u64 {
+            let off = (i * 64) as usize;
+            assert_eq!(
+                u64::from_le_bytes(img.bytes()[off..off + 8].try_into().unwrap()),
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn no_eviction_drops_everything_unpersisted() {
+        let p = dirty_pool();
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = CrashPolicy::NoEviction.image(&p, &mut rng);
+        assert!(img.bytes().iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn random_eviction_extremes_match_deterministic_policies() {
+        let p = dirty_pool();
+        let mut rng = StdRng::seed_from_u64(7);
+        let all = CrashPolicy::RandomEviction { survive_prob: 1.0 }.image(&p, &mut rng);
+        assert_eq!(all, p.full_image());
+        let none = CrashPolicy::RandomEviction { survive_prob: 0.0 }.image(&p, &mut rng);
+        assert_eq!(none, p.media_image());
+    }
+
+    #[test]
+    fn random_eviction_is_seed_deterministic() {
+        let p = dirty_pool();
+        let a = CrashPolicy::RandomEviction { survive_prob: 0.5 }
+            .image(&p, &mut StdRng::seed_from_u64(42));
+        let b = CrashPolicy::RandomEviction { survive_prob: 0.5 }
+            .image(&p, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhaustive_enumeration_covers_all_subsets() {
+        let mut p = PmPool::new(4096).unwrap();
+        p.write_u64(p.base(), 1).unwrap(); // line 0 dirty
+        p.write_u64(p.base() + 64, 2).unwrap(); // line 1 dirty
+        let images = exhaustive_crash_images(&p, 8).unwrap();
+        assert_eq!(images.len(), 4, "2 unpersisted lines -> 4 subsets");
+        let mut seen = std::collections::HashSet::new();
+        for img in &images {
+            let a = u64::from_le_bytes(img.bytes()[0..8].try_into().unwrap());
+            let b = u64::from_le_bytes(img.bytes()[64..72].try_into().unwrap());
+            seen.insert((a, b));
+        }
+        assert_eq!(
+            seen,
+            [(0, 0), (1, 0), (0, 2), (1, 2)].into_iter().collect(),
+            "every eviction interleaving enumerated exactly once"
+        );
+    }
+
+    #[test]
+    fn exhaustive_enumeration_is_bounded() {
+        let p = dirty_pool(); // 16 dirty lines
+        assert_eq!(exhaustive_crash_images(&p, 8), Err(16));
+        assert_eq!(exhaustive_crash_images(&p, 16).unwrap().len(), 1 << 16);
+    }
+
+    #[test]
+    fn exhaustive_of_clean_pool_is_the_single_media_image() {
+        let p = PmPool::new(4096).unwrap();
+        let images = exhaustive_crash_images(&p, 0).unwrap();
+        assert_eq!(images.len(), 1);
+        assert_eq!(images[0], p.media_image());
+    }
+
+    #[test]
+    fn random_eviction_only_touches_line_granularity() {
+        let p = dirty_pool();
+        let img = CrashPolicy::RandomEviction { survive_prob: 0.5 }
+            .image(&p, &mut StdRng::seed_from_u64(3));
+        for i in 0..16u64 {
+            let off = (i * 64) as usize;
+            let v = u64::from_le_bytes(img.bytes()[off..off + 8].try_into().unwrap());
+            assert!(v == 0 || v == i + 1, "line {i} must be all-or-nothing");
+        }
+    }
+}

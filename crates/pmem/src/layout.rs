@@ -1,0 +1,127 @@
+//! Field-offset computation for persistent structures.
+//!
+//! Persistent data lives at raw pool addresses; programs lay out their
+//! structs manually (like C code over `pmem_map_file`). [`LayoutBuilder`]
+//! computes naturally aligned field offsets so workload code does not hand
+//! count byte offsets.
+//!
+//! # Example
+//!
+//! ```
+//! use pmem::LayoutBuilder;
+//!
+//! let mut l = LayoutBuilder::new();
+//! let next = l.u64();        // offset 0
+//! let len = l.u32();         // offset 8
+//! let tag = l.u8();          // offset 12
+//! let key = l.bytes(16, 8);  // aligned up to 16
+//! assert_eq!((next, len, tag, key), (0, 8, 12, 16));
+//! assert_eq!(l.size(), 32);  // rounded up to max alignment
+//! ```
+
+/// Computes naturally aligned field offsets for a persistent struct.
+#[derive(Debug, Clone, Default)]
+pub struct LayoutBuilder {
+    next: u64,
+    max_align: u64,
+}
+
+impl LayoutBuilder {
+    /// Creates an empty layout.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves a field of `size` bytes aligned to `align` and returns its
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two.
+    pub fn bytes(&mut self, size: u64, align: u64) -> u64 {
+        assert!(
+            align.is_power_of_two(),
+            "alignment {align} must be a power of two"
+        );
+        let off = (self.next + align - 1) & !(align - 1);
+        self.next = off + size;
+        self.max_align = self.max_align.max(align);
+        off
+    }
+
+    /// Reserves an 8-byte, 8-aligned field.
+    pub fn u64(&mut self) -> u64 {
+        self.bytes(8, 8)
+    }
+
+    /// Reserves a 4-byte, 4-aligned field.
+    pub fn u32(&mut self) -> u64 {
+        self.bytes(4, 4)
+    }
+
+    /// Reserves a 1-byte field.
+    pub fn u8(&mut self) -> u64 {
+        self.bytes(1, 1)
+    }
+
+    /// Reserves an array of `n` 8-byte elements and returns the offset of
+    /// element 0.
+    pub fn u64_array(&mut self, n: u64) -> u64 {
+        self.bytes(8 * n, 8)
+    }
+
+    /// Total size of the struct, rounded up to its maximum field alignment.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        if self.max_align == 0 {
+            return self.next;
+        }
+        (self.next + self.max_align - 1) & !(self.max_align - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_u64s_are_packed() {
+        let mut l = LayoutBuilder::new();
+        assert_eq!(l.u64(), 0);
+        assert_eq!(l.u64(), 8);
+        assert_eq!(l.u64(), 16);
+        assert_eq!(l.size(), 24);
+    }
+
+    #[test]
+    fn mixed_fields_are_aligned() {
+        let mut l = LayoutBuilder::new();
+        assert_eq!(l.u8(), 0);
+        assert_eq!(l.u32(), 4, "u32 skips padding");
+        assert_eq!(l.u8(), 8);
+        assert_eq!(l.u64(), 16, "u64 skips padding");
+        assert_eq!(l.size(), 24);
+    }
+
+    #[test]
+    fn arrays_and_custom_alignment() {
+        let mut l = LayoutBuilder::new();
+        assert_eq!(l.u64_array(4), 0);
+        assert_eq!(l.bytes(10, 2), 32);
+        assert_eq!(l.size(), 48, "rounded to max alignment 8");
+    }
+
+    #[test]
+    fn empty_layout_is_zero_sized() {
+        let l = LayoutBuilder::new();
+        assert_eq!(l.size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_alignment_panics() {
+        let mut l = LayoutBuilder::new();
+        let _ = l.bytes(8, 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Persistent-memory hardware simulator for the XFDetector reproduction.
+//!
+//! The paper evaluates XFDetector on Intel Optane DC Persistent Memory: PM
+//! sits on the memory bus behind the volatile cache hierarchy, so a store
+//! only becomes *persistent* once its cache line has been written back
+//! (`CLWB`/`CLFLUSH`/`CLFLUSHOPT` or a non-temporal store) and ordered by a
+//! fence (`SFENCE`). This crate reproduces exactly that model in software:
+//!
+//! - [`PmPool`] is a byte-addressable pool with two views: the **volatile**
+//!   view (what loads return — the latest stores, possibly still in cache)
+//!   and the **media** view (what is guaranteed to survive a power failure).
+//!   Each 64-byte cache line carries a state ([`LineState`]) mirroring the
+//!   persistence FSM of the paper's shadow PM (Figure 9): clean → dirty
+//!   (on store) → flushing (on `CLWB`) → clean/persisted (on `SFENCE`).
+//! - [`PmImage`] is a snapshot of pool contents. [`CrashPolicy`] controls
+//!   which non-persisted lines a simulated failure preserves: the paper's
+//!   frontend copies the *full* image (detection happens on shadow state),
+//!   while the sampling policies materialize concrete crash states.
+//! - [`PmCtx`] wraps a pool with the tracing and failure-injection plumbing:
+//!   every operation emits an [`xftrace::TraceEntry`] and every ordering
+//!   point (fence) gives an installed [`EngineHook`] the chance to inject a
+//!   failure (§4.2 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use pmem::{PmCtx, PmPool};
+//!
+//! # fn main() -> Result<(), pmem::PmError> {
+//! let mut ctx = PmCtx::new(PmPool::new(4096)?);
+//! let base = ctx.pool().base();
+//! ctx.write_u64(base, 42)?;
+//! assert!(!ctx.pool().is_persisted(base, 8)); // still only in cache
+//! ctx.persist_barrier(base, 8)?;              // CLWB; SFENCE
+//! assert!(ctx.pool().is_persisted(base, 8));
+//! assert_eq!(ctx.read_u64(base)?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crash;
+mod ctx;
+mod error;
+mod layout;
+mod pool;
+
+pub use crash::{exhaustive_crash_images, CrashPolicy};
+pub use ctx::{EngineHook, InternalScope, OrderingPointInfo, PmCtx};
+pub use error::PmError;
+pub use layout::LayoutBuilder;
+pub use pool::{FlushOutcome, LineState, PmImage, PmPool, CACHE_LINE, DEFAULT_BASE};

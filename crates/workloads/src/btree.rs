@@ -1,0 +1,692 @@
+//! B-Tree: a transactional order-4 B-tree, ported from PMDK's `btree`
+//! example.
+//!
+//! Every mutation runs inside an undo-log transaction
+//! ([`pmdk_sim::ObjPool::tx_begin`] / `tx_add` / `tx_commit`): each node
+//! about to be modified is snapshotted first, so a failure anywhere inside
+//! the transaction rolls the tree back to the previous state. The root
+//! object additionally caches the item count, the tree height and the
+//! minimum key, and the leaves are chained — each of these is a distinct
+//! bug-injection surface for the Table 5 suite.
+//!
+//! Layout notes: node field groups live in separate cache lines so that a
+//! commit-time flush of one protected range never persists an unprotected
+//! sibling field as a side effect (which would change how an injected bug
+//! classifies).
+
+use pmdk_sim::ObjPool;
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload};
+
+use crate::bugs::{BugId, BugSet};
+use crate::common::{err, key_at, val_at};
+
+/// Maximum keys per node (order-4 / CLRS minimum degree 2).
+const MAX_KEYS: u64 = 3;
+
+// Root object layout: one field per cache line (see module docs).
+const RT_ROOT: u64 = 0;
+const RT_COUNT: u64 = 64;
+const RT_HEIGHT: u64 = 128;
+const RT_MIN_KEY: u64 = 192;
+const RT_SIZE: u64 = 256;
+
+// Node layout: header / entries / children / leaf chain, one line each.
+const ND_NITEMS: u64 = 0;
+const ND_IS_LEAF: u64 = 8;
+const ND_KEYS: u64 = 64; // 3 × u64
+const ND_VALUES: u64 = 88; // 3 × u64
+const ND_CHILDREN: u64 = 128; // 4 × u64
+const ND_NEXT: u64 = 192; // leaf chain
+const ND_SIZE: u64 = 256;
+
+/// The B-Tree workload: `ops` insertions pre-failure; recovery, full-tree
+/// validation and one resumed insertion post-failure.
+#[derive(Debug, Clone)]
+pub struct Btree {
+    ops: u64,
+    init: u64,
+    bugs: BugSet,
+}
+
+impl Btree {
+    /// Creates the workload with `ops` insertions and no injected bugs.
+    #[must_use]
+    pub fn new(ops: u64) -> Self {
+        Btree {
+            ops,
+            init: 0,
+            bugs: BugSet::none(),
+        }
+    }
+
+    /// Pre-populates the tree with `init` insertions during `setup` (the
+    /// artifact's INITSIZE), outside failure injection.
+    #[must_use]
+    pub fn with_init(mut self, init: u64) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Enables a set of injected bugs.
+    #[must_use]
+    pub fn with_bugs(mut self, bugs: impl Into<BugSet>) -> Self {
+        self.bugs = bugs.into();
+        self
+    }
+
+    fn has(&self, bug: BugId) -> bool {
+        self.bugs.has(bug)
+    }
+
+    // ---- raw node accessors -----------------------------------------------
+
+    fn key(ctx: &mut PmCtx, node: u64, i: u64) -> Result<u64, DynError> {
+        Ok(ctx.read_u64(node + ND_KEYS + i * 8)?)
+    }
+
+    fn value(ctx: &mut PmCtx, node: u64, i: u64) -> Result<u64, DynError> {
+        Ok(ctx.read_u64(node + ND_VALUES + i * 8)?)
+    }
+
+    fn child(ctx: &mut PmCtx, node: u64, i: u64) -> Result<u64, DynError> {
+        Ok(ctx.read_u64(node + ND_CHILDREN + i * 8)?)
+    }
+
+    fn nitems(ctx: &mut PmCtx, node: u64) -> Result<u64, DynError> {
+        Ok(ctx.read_u64(node + ND_NITEMS)?)
+    }
+
+    fn is_leaf(ctx: &mut PmCtx, node: u64) -> Result<bool, DynError> {
+        Ok(ctx.read_u64(node + ND_IS_LEAF)? != 0)
+    }
+
+    /// Snapshots an entire node into the transaction, once per transaction
+    /// (PMDK's `pmemobj_tx_add_range` likewise skips already-covered
+    /// ranges; re-adding would be the DuplicateTxAdd performance bug).
+    fn add_node(
+        pool: &mut ObjPool,
+        ctx: &mut PmCtx,
+        node: u64,
+        seen: &mut Vec<u64>,
+    ) -> Result<(), DynError> {
+        if !pool.in_tx() || seen.contains(&node) {
+            return Ok(());
+        }
+        seen.push(node);
+        pool.tx_add(ctx, node, ND_SIZE)?;
+        Ok(())
+    }
+
+    /// Allocates a fresh node inside the transaction (zeroed).
+    fn new_node(pool: &mut ObjPool, ctx: &mut PmCtx, leaf: bool) -> Result<u64, DynError> {
+        let node = pool.alloc_zeroed(ctx, ND_SIZE)?;
+        ctx.write_u64(node + ND_IS_LEAF, u64::from(leaf))?;
+        Ok(node)
+    }
+
+    /// CLRS `B-TREE-SPLIT-CHILD`: `child` (full) is split; its upper entry
+    /// moves to a fresh sibling and the middle entry is promoted into
+    /// `parent` at index `i`.
+    fn split_child(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        parent: u64,
+        i: u64,
+        child: u64,
+        seen: &mut Vec<u64>,
+    ) -> Result<(), DynError> {
+        if !self.has(BugId::BtNoAddSplitLeft) {
+            if self.has(BugId::BtNoAddLeafLink) {
+                // Protect everything except the leaf-chain line.
+                if pool.in_tx() {
+                    pool.tx_add(ctx, child, ND_NEXT)?;
+                }
+            } else {
+                Self::add_node(pool, ctx, child, seen)?;
+            }
+        }
+        if !self.has(BugId::BtNoAddParentInsert) {
+            Self::add_node(pool, ctx, parent, seen)?;
+        }
+        if self.has(BugId::BtDupAdd) && pool.in_tx() {
+            // Wasted undo-log space: the parent is snapshotted again,
+            // bypassing the already-added bookkeeping.
+            pool.tx_add(ctx, parent, ND_SIZE)?;
+        }
+
+        let leaf = Self::is_leaf(ctx, child)?;
+        let sibling = Self::new_node(pool, ctx, leaf)?;
+
+        // Move the top entry (index 2) to the sibling; entry 1 is promoted.
+        let top_key = Self::key(ctx, child, 2)?;
+        let top_val = Self::value(ctx, child, 2)?;
+        ctx.write_u64(sibling + ND_KEYS, top_key)?;
+        ctx.write_u64(sibling + ND_VALUES, top_val)?;
+        ctx.write_u64(sibling + ND_NITEMS, 1)?;
+        if !leaf {
+            for j in 0..2 {
+                let c = Self::child(ctx, child, 2 + j)?;
+                ctx.write_u64(sibling + ND_CHILDREN + j * 8, c)?;
+            }
+        } else {
+            // Maintain the leaf chain: sibling inherits the old successor.
+            let next = ctx.read_u64(child + ND_NEXT)?;
+            ctx.write_u64(sibling + ND_NEXT, next)?;
+            ctx.write_u64(child + ND_NEXT, sibling)?;
+        }
+        let mid_key = Self::key(ctx, child, 1)?;
+        let mid_val = Self::value(ctx, child, 1)?;
+        ctx.write_u64(child + ND_NITEMS, 1)?;
+
+        // Shift the parent's entries and child pointers right of slot `i`.
+        let pn = Self::nitems(ctx, parent)?;
+        let mut j = pn;
+        while j > i {
+            let k = Self::key(ctx, parent, j - 1)?;
+            let v = Self::value(ctx, parent, j - 1)?;
+            ctx.write_u64(parent + ND_KEYS + j * 8, k)?;
+            ctx.write_u64(parent + ND_VALUES + j * 8, v)?;
+            let c = Self::child(ctx, parent, j)?;
+            ctx.write_u64(parent + ND_CHILDREN + (j + 1) * 8, c)?;
+            j -= 1;
+        }
+        ctx.write_u64(parent + ND_KEYS + i * 8, mid_key)?;
+        ctx.write_u64(parent + ND_VALUES + i * 8, mid_val)?;
+        ctx.write_u64(parent + ND_CHILDREN + (i + 1) * 8, sibling)?;
+        ctx.write_u64(parent + ND_NITEMS, pn + 1)?;
+        Ok(())
+    }
+
+    /// CLRS `B-TREE-INSERT-NONFULL`.
+    fn insert_nonfull(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        mut node: u64,
+        key: u64,
+        value: u64,
+        seen: &mut Vec<u64>,
+    ) -> Result<bool, DynError> {
+        loop {
+            let n = Self::nitems(ctx, node)?;
+            // In-place update if the key already exists at this level.
+            for i in 0..n {
+                if Self::key(ctx, node, i)? == key {
+                    if !self.has(BugId::BtNoAddValueUpdate) {
+                        Self::add_node(pool, ctx, node, seen)?;
+                    }
+                    ctx.write_u64(node + ND_VALUES + i * 8, value)?;
+                    return Ok(false);
+                }
+            }
+            if Self::is_leaf(ctx, node)? {
+                if !self.has(BugId::BtNoAddLeafInsert) {
+                    if self.has(BugId::BtPartialAddLeaf) {
+                        // The header line (occupancy) is left out of the
+                        // snapshot and is never flushed by the commit.
+                        if pool.in_tx() {
+                            pool.tx_add(ctx, node + ND_KEYS, ND_SIZE - ND_KEYS)?;
+                        }
+                    } else {
+                        Self::add_node(pool, ctx, node, seen)?;
+                    }
+                }
+                // Sorted insert with shift.
+                let mut i = n;
+                while i > 0 && Self::key(ctx, node, i - 1)? > key {
+                    let k = Self::key(ctx, node, i - 1)?;
+                    let v = Self::value(ctx, node, i - 1)?;
+                    ctx.write_u64(node + ND_KEYS + i * 8, k)?;
+                    ctx.write_u64(node + ND_VALUES + i * 8, v)?;
+                    i -= 1;
+                }
+                ctx.write_u64(node + ND_KEYS + i * 8, key)?;
+                ctx.write_u64(node + ND_VALUES + i * 8, value)?;
+                ctx.write_u64(node + ND_NITEMS, n + 1)?;
+                return Ok(true);
+            }
+            // Internal: descend, splitting a full child on the way.
+            let mut i = n;
+            while i > 0 && Self::key(ctx, node, i - 1)? > key {
+                i -= 1;
+            }
+            let mut c = Self::child(ctx, node, i)?;
+            if Self::nitems(ctx, c)? == MAX_KEYS {
+                self.split_child(ctx, pool, node, i, c, seen)?;
+                let promoted = Self::key(ctx, node, i)?;
+                if key == promoted {
+                    // The key surfaced into this node; update in place.
+                    if !self.has(BugId::BtNoAddValueUpdate) {
+                        Self::add_node(pool, ctx, node, seen)?;
+                    }
+                    ctx.write_u64(node + ND_VALUES + i * 8, value)?;
+                    return Ok(false);
+                }
+                if key > promoted {
+                    i += 1;
+                }
+                c = Self::child(ctx, node, i)?;
+            }
+            node = c;
+        }
+    }
+
+    /// Inserts `key → value`, growing the tree as needed. Returns whether a
+    /// new item was added (vs. updated in place).
+    pub fn insert(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, DynError> {
+        let mut seen = Vec::new();
+        if self.has(BugId::BtOutsideTx) {
+            let added = self.insert_body(ctx, pool, rt, key, value, &mut seen)?;
+            return Ok(added);
+        }
+        pool.tx_begin(ctx)?;
+        let r = self.insert_body(ctx, pool, rt, key, value, &mut seen);
+        match r {
+            Ok(added) => {
+                pool.tx_commit(ctx)?;
+                if added && self.has(BugId::BtWriteAfterCommit) {
+                    // Post-commit "touch-up" that is never persisted.
+                    let root = ctx.read_u64(rt + RT_ROOT)?;
+                    if Self::nitems(ctx, root)? > 0 {
+                        let v = Self::value(ctx, root, 0)?;
+                        ctx.write_u64(root + ND_VALUES, v)?;
+                    }
+                }
+                if self.has(BugId::BtRedundantFlush) {
+                    // The commit already persisted the root line.
+                    let root = ctx.read_u64(rt + RT_ROOT)?;
+                    ctx.clwb(root)?;
+                    ctx.sfence();
+                }
+                Ok(added)
+            }
+            Err(e) => {
+                let _ = pool.tx_abort(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_body(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        value: u64,
+        seen: &mut Vec<u64>,
+    ) -> Result<bool, DynError> {
+        let in_tx = pool.in_tx();
+        // Fast path: pure value update, no structural change (and the
+        // BtNoAddValueUpdate injection site).
+        if let Some((node, idx)) = Self::find_slot(ctx, rt, key)? {
+            if in_tx && !self.has(BugId::BtNoAddValueUpdate) {
+                Self::add_node(pool, ctx, node, seen)?;
+            }
+            ctx.write_u64(node + ND_VALUES + idx * 8, value)?;
+            return Ok(false);
+        }
+        let mut root = ctx.read_u64(rt + RT_ROOT)?;
+        if root == 0 {
+            // First insertion: create the root leaf and publish it.
+            let leaf = if in_tx {
+                Self::new_node(pool, ctx, true)?
+            } else {
+                let leaf = pool.alloc_zeroed(ctx, ND_SIZE)?;
+                ctx.write_u64(leaf + ND_IS_LEAF, 1)?;
+                leaf
+            };
+            if in_tx && !self.has(BugId::BtNoAddRootPtr) {
+                pool.tx_add(ctx, rt + RT_ROOT, 8)?;
+            }
+            ctx.write_u64(rt + RT_ROOT, leaf)?;
+            if in_tx && !self.has(BugId::BtNoAddHeight) {
+                pool.tx_add(ctx, rt + RT_HEIGHT, 8)?;
+            }
+            ctx.write_u64(rt + RT_HEIGHT, 1)?;
+            root = leaf;
+        } else if Self::nitems(ctx, root)? == MAX_KEYS {
+            // Grow: fresh root above the old one.
+            let new_root = if in_tx {
+                Self::new_node(pool, ctx, false)?
+            } else {
+                let nr = pool.alloc_zeroed(ctx, ND_SIZE)?;
+                ctx.write_u64(nr + ND_IS_LEAF, 0)?;
+                nr
+            };
+            ctx.write_u64(new_root + ND_CHILDREN, root)?;
+            self.split_child(ctx, pool, new_root, 0, root, seen)?;
+            if in_tx && !self.has(BugId::BtNoAddRootPtr) {
+                pool.tx_add(ctx, rt + RT_ROOT, 8)?;
+            }
+            ctx.write_u64(rt + RT_ROOT, new_root)?;
+            if in_tx && !self.has(BugId::BtNoAddHeight) {
+                pool.tx_add(ctx, rt + RT_HEIGHT, 8)?;
+            }
+            let h = ctx.read_u64(rt + RT_HEIGHT)?;
+            ctx.write_u64(rt + RT_HEIGHT, h + 1)?;
+            root = new_root;
+        }
+
+        let added = self.insert_nonfull(ctx, pool, root, key, value, seen)?;
+        if added {
+            if in_tx && !self.has(BugId::BtNoAddCount) {
+                pool.tx_add(ctx, rt + RT_COUNT, 8)?;
+            }
+            let count = ctx.read_u64(rt + RT_COUNT)?;
+            ctx.write_u64(rt + RT_COUNT, count + 1)?;
+
+            let min = ctx.read_u64(rt + RT_MIN_KEY)?;
+            if min == 0 || key < min {
+                if in_tx && !self.has(BugId::BtNoAddMinKey) {
+                    pool.tx_add(ctx, rt + RT_MIN_KEY, 8)?;
+                }
+                ctx.write_u64(rt + RT_MIN_KEY, key)?;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Read-only descent to the node and slot holding `key`, if present.
+    fn find_slot(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<Option<(u64, u64)>, DynError> {
+        let mut node = ctx.read_u64(rt + RT_ROOT)?;
+        let mut depth = 0;
+        while node != 0 {
+            let n = Self::nitems(ctx, node)?;
+            let mut i = 0;
+            while i < n && Self::key(ctx, node, i)? < key {
+                i += 1;
+            }
+            if i < n && Self::key(ctx, node, i)? == key {
+                return Ok(Some((node, i)));
+            }
+            if Self::is_leaf(ctx, node)? {
+                return Ok(None);
+            }
+            node = Self::child(ctx, node, i)?;
+            depth += 1;
+            if depth > 64 {
+                return Err(err("descent too deep (corrupt tree)"));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Point lookup.
+    pub fn lookup(
+        ctx: &mut PmCtx,
+        rt: u64,
+        key: u64,
+    ) -> Result<Option<u64>, DynError> {
+        let mut node = ctx.read_u64(rt + RT_ROOT)?;
+        let mut depth = 0;
+        while node != 0 {
+            let n = Self::nitems(ctx, node)?;
+            let mut i = 0;
+            while i < n && Self::key(ctx, node, i)? < key {
+                i += 1;
+            }
+            if i < n && Self::key(ctx, node, i)? == key {
+                return Ok(Some(Self::value(ctx, node, i)?));
+            }
+            if Self::is_leaf(ctx, node)? {
+                return Ok(None);
+            }
+            node = Self::child(ctx, node, i)?;
+            depth += 1;
+            if depth > 64 {
+                return Err(err("lookup descended too deep (corrupt tree)"));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Walks the whole tree, validating key order and structural sanity;
+    /// returns `(items, observed_min_key)`.
+    fn validate(
+        ctx: &mut PmCtx,
+        node: u64,
+        depth: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(u64, u64), DynError> {
+        if depth > 64 {
+            return Err(err("tree deeper than 64 levels (corrupt)"));
+        }
+        let n = Self::nitems(ctx, node)?;
+        if n > MAX_KEYS {
+            return Err(err(format!("node occupancy {n} out of range")));
+        }
+        let leaf = Self::is_leaf(ctx, node)?;
+        let mut total = 0;
+        let mut min_seen = u64::MAX;
+        let mut prev = lo;
+        for i in 0..n {
+            let k = Self::key(ctx, node, i)?;
+            let _v = Self::value(ctx, node, i)?;
+            if k < prev || k > hi {
+                return Err(err(format!("key {k:#x} violates order")));
+            }
+            min_seen = min_seen.min(k);
+            if !leaf {
+                let c = Self::child(ctx, node, i)?;
+                let (cnt, cmin) = Self::validate(ctx, c, depth + 1, prev, k)?;
+                total += cnt;
+                min_seen = min_seen.min(cmin);
+            }
+            prev = k;
+            total += 1;
+        }
+        if !leaf {
+            let c = Self::child(ctx, node, n)?;
+            let (cnt, cmin) = Self::validate(ctx, c, depth + 1, prev, hi)?;
+            total += cnt;
+            min_seen = min_seen.min(cmin);
+        }
+        Ok((total, min_seen))
+    }
+}
+
+impl Workload for Btree {
+    fn name(&self) -> &str {
+        "btree"
+    }
+
+    fn pool_size(&self) -> u64 {
+        4 * 1024 * 1024
+    }
+
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::create_robust(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        let clean = Btree::new(0); // initialization is never buggy
+        for i in 0..self.init {
+            clean.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+        }
+        Ok(())
+    }
+
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        for i in self.init..self.init + self.ops {
+            self.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+        }
+        if self.ops > 0 {
+            // Exercise the in-place update path.
+            self.insert(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+        }
+        Ok(())
+    }
+
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        // Recovery: opening the pool rolls back any incomplete transaction.
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+
+        // Resumption: read the cached metadata and validate the tree —
+        // these reads are what expose cross-failure bugs.
+        let count = ctx.read_u64(rt + RT_COUNT)?;
+        let height = ctx.read_u64(rt + RT_HEIGHT)?;
+        let min_key = ctx.read_u64(rt + RT_MIN_KEY)?;
+        let root = ctx.read_u64(rt + RT_ROOT)?;
+        if root == 0 {
+            if count != 0 {
+                return Err(err("empty tree with nonzero count"));
+            }
+            return Ok(());
+        }
+        let (total, observed_min) = Self::validate(ctx, root, 0, 0, u64::MAX)?;
+        if total != count {
+            return Err(err(format!("count {count} != walked {total}")));
+        }
+        if total > 0 && observed_min != min_key {
+            return Err(err(format!(
+                "cached min {min_key:#x} != observed {observed_min:#x}"
+            )));
+        }
+        if height == 0 {
+            return Err(err("nonempty tree with zero height"));
+        }
+        // Resume normal operation: a lookup and one more insertion.
+        let _ = Self::lookup(ctx, rt, key_at(0))?;
+        let w = Btree::new(0); // resumption never injects bugs
+        w.insert(ctx, &mut pool, rt, key_at(7_777_777), 1)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+    use xfdetector::{BugCategory, XfDetector};
+
+    fn setup() -> (PmCtx, ObjPool, u64) {
+        let mut ctx = PmCtx::new(PmPool::new(4 * 1024 * 1024).unwrap());
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let rt = pool.root(&mut ctx, RT_SIZE).unwrap();
+        (ctx, pool, rt)
+    }
+
+    #[test]
+    fn insert_and_lookup_many() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Btree::new(0);
+        for i in 0..100 {
+            assert!(w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap());
+        }
+        for i in 0..100 {
+            assert_eq!(
+                Btree::lookup(&mut ctx, rt, key_at(i)).unwrap(),
+                Some(val_at(i)),
+                "key {i}"
+            );
+        }
+        assert_eq!(Btree::lookup(&mut ctx, rt, 0xdead_0000).unwrap(), None);
+        assert_eq!(ctx.read_u64(rt + RT_COUNT).unwrap(), 100);
+        let root = ctx.read_u64(rt + RT_ROOT).unwrap();
+        let (total, min) = Btree::validate(&mut ctx, root, 0, 0, u64::MAX).unwrap();
+        assert_eq!(total, 100);
+        assert_eq!(min, (0..100).map(key_at).min().unwrap());
+        assert!(ctx.read_u64(rt + RT_HEIGHT).unwrap() >= 3, "tree actually grew");
+    }
+
+    #[test]
+    fn update_in_place_does_not_grow_count() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Btree::new(0);
+        assert!(w.insert(&mut ctx, &mut pool, rt, 5, 1).unwrap());
+        assert!(!w.insert(&mut ctx, &mut pool, rt, 5, 2).unwrap());
+        assert_eq!(Btree::lookup(&mut ctx, rt, 5).unwrap(), Some(2));
+        assert_eq!(ctx.read_u64(rt + RT_COUNT).unwrap(), 1);
+    }
+
+    #[test]
+    fn sequential_and_reverse_insertions_stay_sorted() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Btree::new(0);
+        for k in (1..=40).rev() {
+            w.insert(&mut ctx, &mut pool, rt, k, k * 10).unwrap();
+        }
+        for k in 41..=80 {
+            w.insert(&mut ctx, &mut pool, rt, k, k * 10).unwrap();
+        }
+        let root = ctx.read_u64(rt + RT_ROOT).unwrap();
+        let (total, min) = Btree::validate(&mut ctx, root, 0, 0, u64::MAX).unwrap();
+        assert_eq!(total, 80);
+        assert_eq!(min, 1);
+    }
+
+    #[test]
+    fn uncommitted_insert_rolls_back_on_recovery() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Btree::new(0);
+        for i in 0..10 {
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+        }
+        // Start an insert but fail before commit.
+        pool.tx_begin(&mut ctx).unwrap();
+        let mut seen = Vec::new();
+        let _ = w
+            .insert_body(&mut ctx, &mut pool, rt, key_at(99), 1, &mut seen)
+            .unwrap();
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let mut rec = ObjPool::open(&mut post).unwrap();
+        let rt2 = rec.root(&mut post, RT_SIZE).unwrap();
+        assert_eq!(post.read_u64(rt2 + RT_COUNT).unwrap(), 10);
+        assert_eq!(Btree::lookup(&mut post, rt2, key_at(99)).unwrap(), None);
+        let root = post.read_u64(rt2 + RT_ROOT).unwrap();
+        let (total, _) = Btree::validate(&mut post, root, 0, 0, u64::MAX).unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn correct_version_is_clean_under_detection() {
+        let outcome = XfDetector::with_defaults().run(Btree::new(12)).unwrap();
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+        assert_eq!(outcome.report.performance_count(), 0, "{}", outcome.report);
+        assert!(outcome.stats.failure_points > 5);
+    }
+
+    #[test]
+    fn race_suite_is_detected() {
+        for bug in BugId::all().iter().filter(|b| {
+            b.workload() == crate::bugs::WorkloadKind::Btree
+                && b.expected_category() == BugCategory::Race
+        }) {
+            let outcome = XfDetector::with_defaults()
+                .run(Btree::new(12).with_bugs(*bug))
+                .unwrap();
+            assert!(
+                outcome.report.race_count() >= 1,
+                "{bug:?} not detected as race:\n{}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn performance_bugs_are_detected() {
+        for bug in [BugId::BtDupAdd, BugId::BtRedundantFlush] {
+            let outcome = XfDetector::with_defaults()
+                .run(Btree::new(12).with_bugs(bug))
+                .unwrap();
+            assert!(
+                outcome.report.performance_count() >= 1,
+                "{bug:?} not detected:\n{}",
+                outcome.report
+            );
+        }
+    }
+}

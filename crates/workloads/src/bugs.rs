@@ -1,0 +1,405 @@
+//! The synthetic-bug registry: every injectable bug across the evaluated
+//! workloads, reproducing the validation matrix of Table 5 plus the four new
+//! bugs of §6.3.2.
+//!
+//! Each [`BugId`] toggles one code path in one workload — typically omitting
+//! a `TX_ADD`, a persist, or mis-ordering a commit-variable update. The
+//! Table 5 accounting:
+//!
+//! | Workload        | PMTest suite R | P | additional R | additional S |
+//! |-----------------|---------------|---|--------------|--------------|
+//! | B-Tree          | 8             | 2 | 4            | –            |
+//! | C-Tree          | 5             | 1 | 1            | –            |
+//! | RB-Tree         | 7             | 1 | 1            | –            |
+//! | Hashmap-TX      | 6             | 1 | 3            | –            |
+//! | Hashmap-Atomic  | 10            | 2 | 3            | 4            |
+
+use std::collections::HashSet;
+use std::fmt;
+
+use xfdetector::BugCategory;
+
+/// Which workload a bug lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// The transactional B-Tree (PMDK example port).
+    Btree,
+    /// The transactional crit-bit tree.
+    Ctree,
+    /// The transactional red-black tree.
+    Rbtree,
+    /// The transactional hashmap.
+    HashmapTx,
+    /// The low-level hashmap (valid-flag / `count_dirty` discipline).
+    HashmapAtomic,
+    /// The PM-optimized mini-Redis.
+    Redis,
+    /// The PM-optimized mini-Memcached.
+    Memcached,
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkloadKind::Btree => "B-Tree",
+            WorkloadKind::Ctree => "C-Tree",
+            WorkloadKind::Rbtree => "RB-Tree",
+            WorkloadKind::HashmapTx => "Hashmap-TX",
+            WorkloadKind::HashmapAtomic => "Hashmap-Atomic",
+            WorkloadKind::Redis => "Redis",
+            WorkloadKind::Memcached => "Memcached",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which validation suite a bug belongs to (the column groups of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugSuite {
+    /// Ported from the PMTest bug suite.
+    PmTest,
+    /// Additional synthetic bugs created by the paper's authors.
+    Additional,
+    /// The four previously unknown bugs XFDetector found (§6.3.2).
+    NewBug,
+}
+
+macro_rules! bug_ids {
+    ($( $(#[$doc:meta])* $name:ident => ($wl:ident, $suite:ident, $cat:ident, $desc:literal), )*) => {
+        /// Identifier of one injectable synthetic bug.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(clippy::enum_variant_names)]
+        pub enum BugId {
+            $( $(#[$doc])* $name, )*
+        }
+
+        impl BugId {
+            /// Every registered bug.
+            #[must_use]
+            pub fn all() -> &'static [BugId] {
+                &[ $( BugId::$name, )* ]
+            }
+
+            /// The workload the bug is injected into.
+            #[must_use]
+            pub fn workload(&self) -> WorkloadKind {
+                match self {
+                    $( BugId::$name => WorkloadKind::$wl, )*
+                }
+            }
+
+            /// The suite the bug belongs to (Table 5 column group).
+            #[must_use]
+            pub fn suite(&self) -> BugSuite {
+                match self {
+                    $( BugId::$name => BugSuite::$suite, )*
+                }
+            }
+
+            /// The expected detection category (`R`, `S` or `P`).
+            #[must_use]
+            pub fn expected_category(&self) -> BugCategory {
+                match self {
+                    $( BugId::$name => BugCategory::$cat, )*
+                }
+            }
+
+            /// One-line description of the injected defect.
+            #[must_use]
+            pub fn description(&self) -> &'static str {
+                match self {
+                    $( BugId::$name => $desc, )*
+                }
+            }
+        }
+    };
+}
+
+bug_ids! {
+    // ---- B-Tree: 8 PMTest R, 2 P, 4 additional R -------------------------
+    /// Root pointer updated without `TX_ADD`.
+    BtNoAddRootPtr => (Btree, PmTest, Race, "root pointer updated without TX_ADD"),
+    /// Item count incremented without `TX_ADD`.
+    BtNoAddCount => (Btree, PmTest, Race, "item count incremented without TX_ADD"),
+    /// Leaf entry written without adding the leaf to the transaction.
+    BtNoAddLeafInsert => (Btree, PmTest, Race, "leaf entry written without TX_ADD"),
+    /// `TX_ADD` covers only part of the modified node: the header line with
+    /// the occupancy count is left unprotected.
+    BtPartialAddLeaf => (Btree, PmTest, Race, "TX_ADD covers only part of the modified node"),
+    /// Left sibling's occupancy update during a split without `TX_ADD`.
+    BtNoAddSplitLeft => (Btree, PmTest, Race, "split: left node occupancy updated without TX_ADD"),
+    /// Parent insertion during a split without `TX_ADD`.
+    BtNoAddParentInsert => (Btree, PmTest, Race, "split: parent updated without TX_ADD"),
+    /// Whole insert performed outside any transaction.
+    BtOutsideTx => (Btree, PmTest, Race, "insert performed outside a transaction"),
+    /// Value rewritten after the transaction committed, never persisted.
+    BtWriteAfterCommit => (Btree, PmTest, Race, "value written after TX_END without persisting"),
+    /// Value overwrite of an existing key without `TX_ADD`.
+    BtNoAddValueUpdate => (Btree, Additional, Race, "value update without TX_ADD"),
+    /// Tree height update without `TX_ADD`.
+    BtNoAddHeight => (Btree, Additional, Race, "height field updated without TX_ADD"),
+    /// Leaf chain (`next`) pointer updated without `TX_ADD`.
+    BtNoAddLeafLink => (Btree, Additional, Race, "leaf chain pointer updated without TX_ADD"),
+    /// Cached minimum key updated without `TX_ADD`.
+    BtNoAddMinKey => (Btree, Additional, Race, "cached minimum key updated without TX_ADD"),
+    /// The same node added to the transaction twice.
+    BtDupAdd => (Btree, PmTest, Performance, "node added to the transaction twice"),
+    /// Redundant `CLWB` of an already-committed node.
+    BtRedundantFlush => (Btree, PmTest, Performance, "redundant CLWB after commit"),
+
+    // ---- C-Tree: 5 PMTest R, 1 P, 1 additional R --------------------------
+    /// Root pointer updated without `TX_ADD`.
+    CtNoAddRootPtr => (Ctree, PmTest, Race, "root pointer updated without TX_ADD"),
+    /// Existing internal node's child pointer updated without `TX_ADD`.
+    CtNoAddParentChild => (Ctree, PmTest, Race, "internal child pointer updated without TX_ADD"),
+    /// Leaf count update without `TX_ADD`.
+    CtNoAddCount => (Ctree, PmTest, Race, "leaf count updated without TX_ADD"),
+    /// Whole insert performed outside any transaction.
+    CtOutsideTx => (Ctree, PmTest, Race, "insert performed outside a transaction"),
+    /// Leaf value rewritten after commit without persisting.
+    CtWriteAfterCommit => (Ctree, PmTest, Race, "leaf written after TX_END without persisting"),
+    /// Value overwrite of an existing key without `TX_ADD`.
+    CtNoAddValueUpdate => (Ctree, Additional, Race, "value update without TX_ADD"),
+    /// The root pointer added to the transaction twice.
+    CtDupAdd => (Ctree, PmTest, Performance, "root pointer added to the transaction twice"),
+
+    // ---- RB-Tree: 7 PMTest R, 1 P, 1 additional R --------------------------
+    /// Root pointer updated without `TX_ADD`.
+    RbNoAddRootPtr => (Rbtree, PmTest, Race, "root pointer updated without TX_ADD"),
+    /// Node recolored without `TX_ADD`.
+    RbNoAddColor => (Rbtree, PmTest, Race, "recoloring without TX_ADD"),
+    /// A rotation rewires its pivot and child without snapshotting them.
+    RbNoAddRotateChild => (Rbtree, PmTest, Race, "rotation performed without TX_ADD of the rewired nodes"),
+    /// Rotation rewires a parent pointer without `TX_ADD`.
+    RbNoAddRotateParent => (Rbtree, PmTest, Race, "rotation parent pointer without TX_ADD"),
+    /// New node linked into its parent without `TX_ADD`.
+    RbNoAddParentLink => (Rbtree, PmTest, Race, "parent link of new node without TX_ADD"),
+    /// Node count update without `TX_ADD`.
+    RbNoAddCount => (Rbtree, PmTest, Race, "node count updated without TX_ADD"),
+    /// Whole insert performed outside any transaction.
+    RbOutsideTx => (Rbtree, PmTest, Race, "insert performed outside a transaction"),
+    /// Value overwrite of an existing key without `TX_ADD`.
+    RbNoAddValueUpdate => (Rbtree, Additional, Race, "value update without TX_ADD"),
+    /// The same node added to the transaction twice.
+    RbDupAdd => (Rbtree, PmTest, Performance, "node added to the transaction twice"),
+
+    // ---- Hashmap-TX: 6 PMTest R, 1 P, 3 additional R -----------------------
+    /// Bucket head pointer updated without `TX_ADD`.
+    HmNoAddBucketHead => (HashmapTx, PmTest, Race, "bucket head updated without TX_ADD"),
+    /// Element count incremented without `TX_ADD`.
+    HmNoAddCount => (HashmapTx, PmTest, Race, "count incremented without TX_ADD"),
+    /// Removal unlinks a node without adding the predecessor.
+    HmNoAddRemoveUnlink => (HashmapTx, PmTest, Race, "remove: predecessor next updated without TX_ADD"),
+    /// Whole insert performed outside any transaction.
+    HmOutsideTx => (HashmapTx, PmTest, Race, "insert performed outside a transaction"),
+    /// Value rewritten after commit without persisting.
+    HmWriteAfterCommit => (HashmapTx, PmTest, Race, "value written after TX_END without persisting"),
+    /// Count decrement on removal without `TX_ADD`.
+    HmNoAddCountOnRemove => (HashmapTx, PmTest, Race, "remove: count decremented without TX_ADD"),
+    /// Value overwrite of an existing key without `TX_ADD`.
+    HmNoAddValueUpdate => (HashmapTx, Additional, Race, "value update without TX_ADD"),
+    /// Bucket count field updated without `TX_ADD` during rebuild.
+    HmNoAddBucketsLen => (HashmapTx, Additional, Race, "rebuild: bucket count updated without TX_ADD"),
+    /// Chain tail `next` pointer updated without `TX_ADD`.
+    HmNoAddChainNext => (HashmapTx, Additional, Race, "chain next pointer updated without TX_ADD"),
+    /// The same bucket added to the transaction twice.
+    HmDupAdd => (HashmapTx, PmTest, Performance, "bucket added to the transaction twice"),
+
+    // ---- Hashmap-Atomic: 10 PMTest R, 2 P, 3 additional R, 4 additional S --
+    /// New node's key/value never persisted before linking.
+    HaNoPersistNodeKv => (HashmapAtomic, PmTest, Race, "node key/value not persisted before linking"),
+    /// New node's next pointer never persisted.
+    HaNoPersistNodeNext => (HashmapAtomic, PmTest, Race, "node next pointer not persisted"),
+    /// Bucket head pointer never persisted.
+    HaNoPersistBucketHead => (HashmapAtomic, PmTest, Race, "bucket head not persisted"),
+    /// Fence issued but the cache-line write-back omitted: the data stays
+    /// in the cache across the barrier.
+    HaMissingFlush => (HashmapAtomic, PmTest, Race, "SFENCE without CLWB (write-back omitted)"),
+    /// Count update never persisted.
+    HaNoPersistCount => (HashmapAtomic, PmTest, Race, "count not persisted"),
+    /// `create_hashmap` leaves the hash seed/coefficients unpersisted
+    /// (the paper's **Bug 1**, hashmap_atomic.c:132-138).
+    HaCreateNoPersistSeed => (HashmapAtomic, NewBug, Race, "create: hash seed and coefficients not persisted"),
+    /// `create_hashmap` leaves the bucket array metadata unpersisted.
+    HaCreateNoPersistBuckets => (HashmapAtomic, PmTest, Race, "create: bucket metadata not persisted"),
+    /// The hashmap header is allocated without zeroing and `count` is never
+    /// initialized (the paper's **Bug 2**, hashmap_atomic.c:280).
+    HaUninitCount => (HashmapAtomic, NewBug, Race, "count read from non-zeroed allocation without initialization"),
+    /// The node is published through the bucket head *before* its contents
+    /// are persisted (reordered steps of the atomic-publish idiom).
+    HaPublishBeforePersist => (HashmapAtomic, PmTest, Race, "node published before its contents were persisted"),
+    /// Value overwrite of an existing key without persisting.
+    HaNoPersistValUpdate => (HashmapAtomic, PmTest, Race, "value update not persisted"),
+    /// The freshly written node flushed twice.
+    HaDoubleFlushNode => (HashmapAtomic, PmTest, Performance, "node flushed twice"),
+    /// A clean bucket line flushed needlessly.
+    HaFlushCleanBucket => (HashmapAtomic, PmTest, Performance, "clean bucket line flushed"),
+    /// Removal unlinks a node without persisting the predecessor.
+    HaNoPersistRemoveUnlink => (HashmapAtomic, Additional, Race, "remove: predecessor next not persisted"),
+    /// Only the first line of a multi-line node is flushed.
+    HaPartialNodeFlush => (HashmapAtomic, Additional, Race, "only the first line of the node flushed"),
+    /// Removal skips the `count_dirty` protocol entirely.
+    HaRemoveSkipsDirty => (HashmapAtomic, Additional, Race, "remove: count updated without the count_dirty protocol"),
+    /// Count incremented in the same epoch as the commit write
+    /// (no barrier between them) — Figure 11's F2 pattern.
+    HaSemCountSameEpoch => (HashmapAtomic, Additional, Semantic, "count and commit write in the same epoch"),
+    /// Count written again after the commit (`count_dirty = 0`) and
+    /// persisted, leaving it semantically uncommitted.
+    HaSemWriteAfterCommit => (HashmapAtomic, Additional, Semantic, "count written after commit, persisted but uncommitted"),
+    /// Count updated before `count_dirty` was set — stale under Equation 3.
+    HaSemStaleCount => (HashmapAtomic, Additional, Semantic, "count written before the count_dirty window"),
+    /// A spurious extra commit write makes committed data stale.
+    HaSemExtraCommit => (HashmapAtomic, Additional, Semantic, "spurious extra commit write makes data stale"),
+
+    // ---- New bugs outside the Table 5 matrix -------------------------------
+    /// Redis initializes `num_dict_entries` without transaction protection
+    /// (the paper's **Bug 3**, server.c:4029).
+    RdInitUnprotected => (Redis, NewBug, Race, "server init writes num_dict_entries without protection"),
+}
+
+impl fmt::Display for BugId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} [{}]: {}", self, self.workload(), self.description())
+    }
+}
+
+/// A set of bugs to inject into a workload instance.
+#[derive(Debug, Clone, Default)]
+pub struct BugSet {
+    inner: HashSet<BugId>,
+}
+
+impl BugSet {
+    /// The empty set (the correct program).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A set with a single bug.
+    #[must_use]
+    pub fn single(bug: BugId) -> Self {
+        let mut s = Self::default();
+        s.inner.insert(bug);
+        s
+    }
+
+    /// Whether `bug` is enabled.
+    #[must_use]
+    pub fn has(&self, bug: BugId) -> bool {
+        self.inner.contains(&bug)
+    }
+
+    /// Number of enabled bugs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no bug is enabled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl FromIterator<BugId> for BugSet {
+    fn from_iter<T: IntoIterator<Item = BugId>>(iter: T) -> Self {
+        BugSet {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<BugId> for BugSet {
+    fn extend<T: IntoIterator<Item = BugId>>(&mut self, iter: T) {
+        self.inner.extend(iter);
+    }
+}
+
+impl From<BugId> for BugSet {
+    fn from(bug: BugId) -> Self {
+        BugSet::single(bug)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(wl: WorkloadKind, suite: BugSuite, cat: BugCategory) -> usize {
+        BugId::all()
+            .iter()
+            .filter(|b| b.workload() == wl && b.suite() == suite && b.expected_category() == cat)
+            .count()
+    }
+
+    /// The registry reproduces the Table 5 counts exactly.
+    #[test]
+    fn table5_counts_match_the_paper() {
+        use BugCategory::{Performance, Race, Semantic};
+        use BugSuite::{Additional, PmTest};
+        use WorkloadKind::{Btree, Ctree, HashmapAtomic, HashmapTx, Rbtree};
+
+        assert_eq!(count(Btree, PmTest, Race), 8);
+        assert_eq!(count(Btree, PmTest, Performance), 2);
+        assert_eq!(count(Btree, Additional, Race), 4);
+
+        assert_eq!(count(Ctree, PmTest, Race), 5);
+        assert_eq!(count(Ctree, PmTest, Performance), 1);
+        assert_eq!(count(Ctree, Additional, Race), 1);
+
+        assert_eq!(count(Rbtree, PmTest, Race), 7);
+        assert_eq!(count(Rbtree, PmTest, Performance), 1);
+        assert_eq!(count(Rbtree, Additional, Race), 1);
+
+        assert_eq!(count(HashmapTx, PmTest, Race), 6);
+        assert_eq!(count(HashmapTx, PmTest, Performance), 1);
+        assert_eq!(count(HashmapTx, Additional, Race), 3);
+
+        // The paper's Hashmap-Atomic row: 10 R + 2 P from the PMTest suite,
+        // 3 additional R and 4 additional S. Two of the paper's new bugs
+        // (Bug 1 and Bug 2) also live in Hashmap-Atomic and are tagged
+        // NewBug; the PMTest row therefore counts 10 including... it does
+        // not: NewBug entries are excluded from the PmTest count below.
+        assert_eq!(count(HashmapAtomic, PmTest, Race), 8);
+        assert_eq!(
+            BugId::all()
+                .iter()
+                .filter(|b| b.workload() == WorkloadKind::HashmapAtomic
+                    && b.expected_category() == Race
+                    && (b.suite() == PmTest || b.suite() == BugSuite::NewBug))
+                .count(),
+            10,
+            "10 race bugs in the main Hashmap-Atomic suite (incl. new bugs 1-2)"
+        );
+        assert_eq!(count(HashmapAtomic, PmTest, Performance), 2);
+        assert_eq!(count(HashmapAtomic, Additional, Race), 3);
+        assert_eq!(count(HashmapAtomic, Additional, Semantic), 4);
+    }
+
+    #[test]
+    fn all_bugs_have_nonempty_descriptions() {
+        for b in BugId::all() {
+            assert!(!b.description().is_empty(), "{b:?}");
+            assert!(b.to_string().contains(b.description()));
+        }
+    }
+
+    #[test]
+    fn bug_set_semantics() {
+        let s = BugSet::single(BugId::BtNoAddCount);
+        assert!(s.has(BugId::BtNoAddCount));
+        assert!(!s.has(BugId::BtNoAddRootPtr));
+        assert_eq!(s.len(), 1);
+        assert!(BugSet::none().is_empty());
+
+        let multi: BugSet = [BugId::BtNoAddCount, BugId::BtDupAdd].into_iter().collect();
+        assert_eq!(multi.len(), 2);
+    }
+
+    #[test]
+    fn registry_has_sixty_bugs() {
+        assert_eq!(BugId::all().len(), 60);
+    }
+}

@@ -1,0 +1,335 @@
+//! Checksum-protected append-only log: the §5.5 extensibility case study.
+//!
+//! The checksum-based mechanism (last row of the paper's Table 1) does not
+//! fit the commit-variable model: consistency of a record is determined by
+//! verifying its checksum, and the verifying reads are benign cross-failure
+//! races by construction. Following §5.5, this workload:
+//!
+//! - wraps the recovery-time verification reads in a `skipDetection` region
+//!   (Table 2) — the checksum, not the shadow PM, decides validity there,
+//! - places **extra failure points** with `addFailurePoint` between the
+//!   record-payload persist and the tail-pointer update, where no ordering
+//!   point would otherwise exist to expose checksum bugs,
+//! - uses value assertions in the post-failure stage (the recovered prefix
+//!   must be exactly a prefix of what was appended), so semantic mistakes in
+//!   the checksum implementation surface as post-failure errors through the
+//!   failure-injection mechanism.
+
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload};
+
+use crate::common::{err, val_at};
+
+// Log layout: tail counter in its own line, then fixed-size records.
+const LOG_TAIL: u64 = 0;
+const RECORDS: u64 = 64;
+const REC_SEQ: u64 = 0;
+const REC_PAYLOAD: u64 = 8; // 4 × u64
+const REC_CSUM: u64 = 40;
+const REC_SIZE: u64 = 64;
+
+/// Deliberate defects in the checksum protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChecksumBug {
+    /// The protocol is correct.
+    None,
+    /// The checksum is computed before the last payload word is written, so
+    /// it never covers it.
+    StaleChecksum,
+    /// The tail pointer is bumped before the record is persisted.
+    EarlyTailUpdate,
+}
+
+/// The checksum-log workload.
+#[derive(Debug, Clone)]
+pub struct ChecksumLog {
+    appends: u64,
+    bug: ChecksumBug,
+}
+
+impl ChecksumLog {
+    /// Creates the workload with `appends` record appends and no defect.
+    #[must_use]
+    pub fn new(appends: u64) -> Self {
+        ChecksumLog {
+            appends,
+            bug: ChecksumBug::None,
+        }
+    }
+
+    /// Selects a protocol defect.
+    #[must_use]
+    pub fn with_bug(mut self, bug: ChecksumBug) -> Self {
+        self.bug = bug;
+        self
+    }
+
+    fn record_addr(base: u64, i: u64) -> u64 {
+        base + RECORDS + i * REC_SIZE
+    }
+
+    fn checksum(seq: u64, payload: &[u64; 4]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seq;
+        for &w in payload {
+            h ^= w;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h | 1 // never zero, so an all-zero record can never verify
+    }
+
+    /// Appends one record: payload + checksum, persist, extra failure
+    /// point, then the tail bump.
+    fn append(&self, ctx: &mut PmCtx, seq: u64) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        let rec = Self::record_addr(base, seq);
+        let payload = [val_at(seq), val_at(seq) ^ 0x5555, seq * 3, seq + 17];
+
+        ctx.write_u64(rec + REC_SEQ, seq)?;
+        for (i, &w) in payload.iter().enumerate() {
+            if i == 3 && self.bug == ChecksumBug::StaleChecksum {
+                // The checksum below was computed as if this word were 0.
+                continue;
+            }
+            ctx.write_u64(rec + REC_PAYLOAD + i as u64 * 8, w)?;
+        }
+        let csum = if self.bug == ChecksumBug::StaleChecksum {
+            Self::checksum(seq, &[payload[0], payload[1], payload[2], 0])
+        } else {
+            Self::checksum(seq, &payload)
+        };
+        ctx.write_u64(rec + REC_CSUM, csum)?;
+        // §5.5: checksum code needs failure points *between* ordering
+        // points — the record is complete-looking here but not yet sealed.
+        ctx.add_failure_point();
+        if self.bug == ChecksumBug::StaleChecksum {
+            // The last word lands *after* the checksum was fixed: a failure
+            // in between leaves a record that verifies but is wrong.
+            ctx.write_u64(rec + REC_PAYLOAD + 24, payload[3])?;
+        }
+
+        if self.bug == ChecksumBug::EarlyTailUpdate {
+            // Publish before persisting the record.
+            let tail = ctx.read_u64(base + LOG_TAIL)?;
+            ctx.write_u64(base + LOG_TAIL, tail + 1)?;
+            ctx.persist_barrier(base + LOG_TAIL, 8)?;
+            ctx.persist_barrier(rec, REC_SIZE)?;
+            return Ok(());
+        }
+
+        ctx.persist_barrier(rec, REC_SIZE)?;
+        // §5.5: between the record persist and the tail update there is no
+        // ordering point; inject one manually so the checksum path is
+        // tested exactly at its interesting boundary.
+        ctx.add_failure_point();
+        let tail = ctx.read_u64(base + LOG_TAIL)?;
+        ctx.write_u64(base + LOG_TAIL, tail + 1)?;
+        ctx.persist_barrier(base + LOG_TAIL, 8)?;
+        Ok(())
+    }
+
+    /// Scans the log, returning the sequence numbers of the valid prefix.
+    /// The reads happen inside a `skipDetection` region: the checksum, not
+    /// the shadow PM, decides validity (benign races by design).
+    fn recover_scan(ctx: &mut PmCtx) -> Result<Vec<u64>, DynError> {
+        let base = ctx.pool().base();
+        ctx.skip_detection_begin();
+        let result = (|| -> Result<Vec<u64>, DynError> {
+            let tail = ctx.read_u64(base + LOG_TAIL)?;
+            let mut valid = Vec::new();
+            // Scan one past the tail: a record may be fully persisted while
+            // its tail bump was lost, and the checksum proves it valid.
+            for i in 0..=(tail.min(1_000)) {
+                let rec = Self::record_addr(base, i);
+                let seq = ctx.read_u64(rec + REC_SEQ)?;
+                let mut payload = [0u64; 4];
+                for (j, slot) in payload.iter_mut().enumerate() {
+                    *slot = ctx.read_u64(rec + REC_PAYLOAD + j as u64 * 8)?;
+                }
+                let stored = ctx.read_u64(rec + REC_CSUM)?;
+                if stored != Self::checksum(seq, &payload) || seq != i {
+                    break;
+                }
+                valid.push(seq);
+            }
+            Ok(valid)
+        })();
+        ctx.skip_detection_end();
+        result
+    }
+}
+
+impl Workload for ChecksumLog {
+    fn name(&self) -> &str {
+        "checksum-log"
+    }
+
+    fn pool_size(&self) -> u64 {
+        64 * 1024
+    }
+
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        ctx.write_u64(base + LOG_TAIL, 0)?;
+        ctx.persist_barrier(base + LOG_TAIL, 8)?;
+        Ok(())
+    }
+
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        for seq in 0..self.appends {
+            self.append(ctx, seq)?;
+        }
+        Ok(())
+    }
+
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let valid = Self::recover_scan(ctx)?;
+        // Protocol invariant: the tail only moves after the record is
+        // durable, so every record below the tail must verify.
+        let base = ctx.pool().base();
+        ctx.skip_detection_begin();
+        let tail = ctx.read_u64(base + LOG_TAIL)?;
+        ctx.skip_detection_end();
+        if (valid.len() as u64) < tail {
+            return Err(err(format!(
+                "published record failed verification: tail {tail}, valid prefix {}",
+                valid.len()
+            )));
+        }
+        // Value assertions (§5.5): the recovered prefix must be exactly the
+        // records as appended — a checksum that verifies wrong data fails
+        // here, surfaced by the failure-injection mechanism.
+        for (i, &seq) in valid.iter().enumerate() {
+            if seq != i as u64 {
+                return Err(err(format!("recovered gap: slot {i} holds seq {seq}")));
+            }
+            let base = ctx.pool().base();
+            let rec = Self::record_addr(base, seq);
+            ctx.skip_detection_begin();
+            let w3 = ctx.read_u64(rec + REC_PAYLOAD + 24)?;
+            ctx.skip_detection_end();
+            if w3 != seq + 17 {
+                return Err(err(format!(
+                    "record {seq} verified but its payload is wrong ({w3} != {})",
+                    seq + 17
+                )));
+            }
+        }
+        // Resume: append one more record after the valid prefix.
+        ctx.write_u64(base + LOG_TAIL, valid.len() as u64)?;
+        ctx.persist_barrier(base + LOG_TAIL, 8)?;
+        self.append(ctx, valid.len() as u64)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+    use xfdetector::XfDetector;
+
+    #[test]
+    fn checksum_round_trip() {
+        let payload = [1, 2, 3, 4];
+        assert_eq!(
+            ChecksumLog::checksum(7, &payload),
+            ChecksumLog::checksum(7, &payload)
+        );
+        assert_ne!(
+            ChecksumLog::checksum(7, &payload),
+            ChecksumLog::checksum(8, &payload)
+        );
+        assert_ne!(ChecksumLog::checksum(7, &payload), 0);
+    }
+
+    #[test]
+    fn appends_then_scan_recovers_everything() {
+        let w = ChecksumLog::new(5);
+        let mut ctx = PmCtx::new(PmPool::new(w.pool_size()).unwrap());
+        w.setup(&mut ctx).unwrap();
+        w.pre_failure(&mut ctx).unwrap();
+        let valid = ChecksumLog::recover_scan(&mut ctx).unwrap();
+        assert_eq!(valid, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn torn_record_is_truncated_by_the_scan() {
+        let w = ChecksumLog::new(3);
+        let mut ctx = PmCtx::new(PmPool::new(w.pool_size()).unwrap());
+        w.setup(&mut ctx).unwrap();
+        w.pre_failure(&mut ctx).unwrap();
+        // Corrupt the last record's checksum behind the scenes (a torn
+        // write the fence never covered).
+        let rec = ChecksumLog::record_addr(ctx.pool().base(), 2);
+        ctx.pool_mut().write_u64(rec + REC_CSUM, 0xBAD).unwrap();
+        let valid = ChecksumLog::recover_scan(&mut ctx).unwrap();
+        assert_eq!(valid, vec![0, 1], "scan stops at the torn record");
+    }
+
+    #[test]
+    fn correct_protocol_is_clean_under_detection() {
+        let outcome = XfDetector::with_defaults().run(ChecksumLog::new(4)).unwrap();
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn manual_failure_points_are_injected() {
+        let outcome = XfDetector::with_defaults().run(ChecksumLog::new(4)).unwrap();
+        // Each append has 2 natural ordering points + 1 manual point.
+        assert!(
+            outcome.stats.failure_points > 2 * 4,
+            "manual addFailurePoint must add points: {}",
+            outcome.stats.failure_points
+        );
+    }
+
+    #[test]
+    fn stale_checksum_bug_is_caught_by_value_assertions() {
+        let outcome = XfDetector::with_defaults()
+            .run(ChecksumLog::new(4).with_bug(ChecksumBug::StaleChecksum))
+            .unwrap();
+        assert!(
+            outcome.report.execution_failure_count() >= 1,
+            "the §5.5 assertion + failure-injection combination must fire:\n{}",
+            outcome.report
+        );
+    }
+
+    #[test]
+    fn early_tail_update_is_caught_by_crash_sampling() {
+        // The verification reads are inside skipDetection and the paper's
+        // full-image mode always sees the record content, so this bug needs
+        // the concrete crash-state extension: under the pessimal policy the
+        // unpersisted record is lost while the early tail survives.
+        use pmem::CrashPolicy;
+        use xfdetector::XfConfig;
+        let cfg = XfConfig {
+            crash_policy: CrashPolicy::NoEviction,
+            ..XfConfig::default()
+        };
+        let outcome = XfDetector::new(cfg)
+            .run(ChecksumLog::new(4).with_bug(ChecksumBug::EarlyTailUpdate))
+            .unwrap();
+        assert!(
+            outcome.report.execution_failure_count() >= 1,
+            "publishing before persisting must be flagged:\n{}",
+            outcome.report
+        );
+    }
+
+    #[test]
+    fn correct_protocol_survives_pessimal_crashes() {
+        use pmem::CrashPolicy;
+        use xfdetector::XfConfig;
+        let cfg = XfConfig {
+            crash_policy: CrashPolicy::NoEviction,
+            ..XfConfig::default()
+        };
+        let outcome = XfDetector::new(cfg).run(ChecksumLog::new(4)).unwrap();
+        assert!(
+            !outcome.report.has_correctness_bugs(),
+            "{}",
+            outcome.report
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the evaluated workloads.
+
+use xfdetector::DynError;
+
+/// Deterministic pseudo-random key for operation `i` (Fibonacci hashing of
+/// the index; odd so keys never collide with the 0 sentinel).
+#[must_use]
+pub fn key_at(i: u64) -> u64 {
+    (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16) | 1
+}
+
+/// Deterministic value for operation `i`.
+#[must_use]
+pub fn val_at(i: u64) -> u64 {
+    i.wrapping_mul(31).wrapping_add(7)
+}
+
+/// Builds a boxed workload error from a message.
+#[must_use]
+pub fn err(msg: impl Into<String>) -> DynError {
+    msg.into().into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_distinct_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let k = key_at(i);
+            assert_ne!(k, 0);
+            assert!(seen.insert(k), "duplicate key at {i}");
+        }
+    }
+
+    #[test]
+    fn values_are_deterministic() {
+        assert_eq!(val_at(3), val_at(3));
+        assert_ne!(val_at(3), val_at(4));
+    }
+
+    #[test]
+    fn err_produces_displayable_error() {
+        let e = err("boom");
+        assert_eq!(e.to_string(), "boom");
+    }
+}

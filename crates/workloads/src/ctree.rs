@@ -1,0 +1,559 @@
+//! C-Tree: a transactional crit-bit tree, ported from PMDK's `ctree`
+//! example.
+//!
+//! Internal nodes hold the index of the highest bit on which their two
+//! subtrees differ; leaves hold a key/value pair. An insertion allocates one
+//! new leaf and one new internal node and splices them at the edge where the
+//! new key's critical bit belongs, so the only *existing* data modified is a
+//! single child pointer (or the root pointer) — the undo log protects it.
+
+use pmdk_sim::ObjPool;
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload};
+
+use crate::bugs::{BugId, BugSet};
+use crate::common::{err, key_at, val_at};
+
+// Root object layout (line-separated fields).
+const RT_ROOT: u64 = 0;
+const RT_COUNT: u64 = 64;
+const RT_SIZE: u64 = 128;
+
+// Node layout: header line + payload line.
+const ND_KIND: u64 = 0; // 0 = leaf, 1 = internal
+const ND_KEY: u64 = 8; // leaf: key; internal: diff bit index
+const ND_VALUE: u64 = 64; // leaf only
+const ND_CHILD0: u64 = 64; // internal only (overlays value)
+const ND_CHILD1: u64 = 72;
+const ND_SIZE: u64 = 128;
+
+const LEAF: u64 = 0;
+const INTERNAL: u64 = 1;
+
+/// The C-Tree workload.
+#[derive(Debug, Clone)]
+pub struct Ctree {
+    ops: u64,
+    init: u64,
+    bugs: BugSet,
+}
+
+impl Ctree {
+    /// Creates the workload with `ops` insertions and no injected bugs.
+    #[must_use]
+    pub fn new(ops: u64) -> Self {
+        Ctree {
+            ops,
+            init: 0,
+            bugs: BugSet::none(),
+        }
+    }
+
+    /// Pre-populates the tree with `init` insertions during `setup` (the
+    /// artifact's INITSIZE), outside failure injection.
+    #[must_use]
+    pub fn with_init(mut self, init: u64) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Enables a set of injected bugs.
+    #[must_use]
+    pub fn with_bugs(mut self, bugs: impl Into<BugSet>) -> Self {
+        self.bugs = bugs.into();
+        self
+    }
+
+    fn has(&self, bug: BugId) -> bool {
+        self.bugs.has(bug)
+    }
+
+    fn kind(ctx: &mut PmCtx, node: u64) -> Result<u64, DynError> {
+        Ok(ctx.read_u64(node + ND_KIND)?)
+    }
+
+    fn new_leaf(
+        pool: &mut ObjPool,
+        ctx: &mut PmCtx,
+        key: u64,
+        value: u64,
+    ) -> Result<u64, DynError> {
+        let leaf = pool.alloc_zeroed(ctx, ND_SIZE)?;
+        ctx.write_u64(leaf + ND_KIND, LEAF)?;
+        ctx.write_u64(leaf + ND_KEY, key)?;
+        ctx.write_u64(leaf + ND_VALUE, value)?;
+        Ok(leaf)
+    }
+
+    /// Descends to the leaf a full lookup of `key` would reach.
+    fn descend_to_leaf(ctx: &mut PmCtx, root: u64, key: u64) -> Result<u64, DynError> {
+        let mut cur = root;
+        let mut depth = 0;
+        while Self::kind(ctx, cur)? == INTERNAL {
+            let diff = ctx.read_u64(cur + ND_KEY)?;
+            let bit = (key >> diff) & 1;
+            cur = ctx.read_u64(cur + ND_CHILD0 + bit * 8)?;
+            depth += 1;
+            if depth > 128 {
+                return Err(err("crit-bit descent too deep (corrupt tree)"));
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Inserts `key → value`; returns whether a new leaf was added.
+    pub fn insert(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, DynError> {
+        if self.has(BugId::CtOutsideTx) {
+            return self.insert_body(ctx, pool, rt, key, value);
+        }
+        pool.tx_begin(ctx)?;
+        if self.has(BugId::CtDupAdd) {
+            // The root pointer snapshotted twice: wasted log space.
+            pool.tx_add(ctx, rt + RT_ROOT, 8)?;
+            pool.tx_add(ctx, rt + RT_ROOT, 8)?;
+        }
+        match self.insert_body(ctx, pool, rt, key, value) {
+            Ok(added) => {
+                pool.tx_commit(ctx)?;
+                if added && self.has(BugId::CtWriteAfterCommit) {
+                    // Touch-up of the new leaf after TX_END, never persisted.
+                    let root = ctx.read_u64(rt + RT_ROOT)?;
+                    let leaf = Self::descend_to_leaf(ctx, root, key)?;
+                    ctx.write_u64(leaf + ND_VALUE, value)?;
+                }
+                Ok(added)
+            }
+            Err(e) => {
+                let _ = pool.tx_abort(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_body(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, DynError> {
+        let in_tx = pool.in_tx();
+        let root = ctx.read_u64(rt + RT_ROOT)?;
+        if root == 0 {
+            let leaf = Self::new_leaf(pool, ctx, key, value)?;
+            if in_tx && !self.has(BugId::CtNoAddRootPtr) {
+                pool.tx_add(ctx, rt + RT_ROOT, 8)?;
+            }
+            ctx.write_u64(rt + RT_ROOT, leaf)?;
+            self.bump_count(ctx, pool, rt, in_tx)?;
+            return Ok(true);
+        }
+
+        let reached = Self::descend_to_leaf(ctx, root, key)?;
+        let existing = ctx.read_u64(reached + ND_KEY)?;
+        if existing == key {
+            if in_tx && !self.has(BugId::CtNoAddValueUpdate) {
+                pool.tx_add(ctx, reached + ND_VALUE, 8)?;
+            }
+            ctx.write_u64(reached + ND_VALUE, value)?;
+            return Ok(false);
+        }
+
+        // Critical bit: highest differing bit between the keys.
+        let diff = 63 - (existing ^ key).leading_zeros() as u64;
+        let bit = (key >> diff) & 1;
+
+        // Walk again, stopping where the new internal node belongs
+        // (internal diff bits strictly decrease downward).
+        let mut parent: Option<(u64, u64)> = None; // (node, child index)
+        let mut cur = root;
+        while Self::kind(ctx, cur)? == INTERNAL {
+            let cdiff = ctx.read_u64(cur + ND_KEY)?;
+            if cdiff < diff {
+                break;
+            }
+            let b = (key >> cdiff) & 1;
+            parent = Some((cur, b));
+            cur = ctx.read_u64(cur + ND_CHILD0 + b * 8)?;
+        }
+
+        let leaf = Self::new_leaf(pool, ctx, key, value)?;
+        let internal = pool.alloc_zeroed(ctx, ND_SIZE)?;
+        ctx.write_u64(internal + ND_KIND, INTERNAL)?;
+        ctx.write_u64(internal + ND_KEY, diff)?;
+        ctx.write_u64(internal + ND_CHILD0 + bit * 8, leaf)?;
+        ctx.write_u64(internal + ND_CHILD0 + (1 - bit) * 8, cur)?;
+
+        match parent {
+            Some((p, b)) => {
+                if in_tx && !self.has(BugId::CtNoAddParentChild) {
+                    pool.tx_add(ctx, p + ND_CHILD0 + b * 8, 8)?;
+                }
+                ctx.write_u64(p + ND_CHILD0 + b * 8, internal)?;
+            }
+            None => {
+                if in_tx && !self.has(BugId::CtNoAddRootPtr) {
+                    pool.tx_add(ctx, rt + RT_ROOT, 8)?;
+                }
+                ctx.write_u64(rt + RT_ROOT, internal)?;
+            }
+        }
+        self.bump_count(ctx, pool, rt, in_tx)?;
+        Ok(true)
+    }
+
+    fn bump_count(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        in_tx: bool,
+    ) -> Result<(), DynError> {
+        if in_tx && !self.has(BugId::CtNoAddCount) {
+            pool.tx_add(ctx, rt + RT_COUNT, 8)?;
+        }
+        let count = ctx.read_u64(rt + RT_COUNT)?;
+        ctx.write_u64(rt + RT_COUNT, count + 1)?;
+        Ok(())
+    }
+
+    /// Removes `key`; returns whether it was present. Crit-bit removal
+    /// splices the leaf's parent out: the grandparent (or the root pointer)
+    /// is redirected to the leaf's sibling — a single protected pointer
+    /// update, like insertion.
+    pub fn remove(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+    ) -> Result<bool, DynError> {
+        pool.tx_begin(ctx)?;
+        let r = self.remove_body(ctx, pool, rt, key);
+        match r {
+            Ok(found) => {
+                pool.tx_commit(ctx)?;
+                Ok(found)
+            }
+            Err(e) => {
+                let _ = pool.tx_abort(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    fn remove_body(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+    ) -> Result<bool, DynError> {
+        let root = ctx.read_u64(rt + RT_ROOT)?;
+        if root == 0 {
+            return Ok(false);
+        }
+        // Track the leaf, its parent and grandparent during the descent.
+        let mut grand: Option<(u64, u64)> = None; // (node, child idx)
+        let mut parent: Option<(u64, u64)> = None;
+        let mut cur = root;
+        let mut depth = 0;
+        while Self::kind(ctx, cur)? == INTERNAL {
+            let diff = ctx.read_u64(cur + ND_KEY)?;
+            let b = (key >> diff) & 1;
+            grand = parent;
+            parent = Some((cur, b));
+            cur = ctx.read_u64(cur + ND_CHILD0 + b * 8)?;
+            depth += 1;
+            if depth > 128 {
+                return Err(err("crit-bit descent too deep (corrupt tree)"));
+            }
+        }
+        if ctx.read_u64(cur + ND_KEY)? != key {
+            return Ok(false);
+        }
+
+        match parent {
+            None => {
+                // The root itself is the leaf.
+                pool.tx_add(ctx, rt + RT_ROOT, 8)?;
+                ctx.write_u64(rt + RT_ROOT, 0)?;
+            }
+            Some((p, b)) => {
+                let sibling = ctx.read_u64(p + ND_CHILD0 + (1 - b) * 8)?;
+                match grand {
+                    None => {
+                        pool.tx_add(ctx, rt + RT_ROOT, 8)?;
+                        ctx.write_u64(rt + RT_ROOT, sibling)?;
+                    }
+                    Some((g, gb)) => {
+                        pool.tx_add(ctx, g + ND_CHILD0 + gb * 8, 8)?;
+                        ctx.write_u64(g + ND_CHILD0 + gb * 8, sibling)?;
+                    }
+                }
+                pool.free(ctx, p)?;
+            }
+        }
+        pool.free(ctx, cur)?;
+        pool.tx_add(ctx, rt + RT_COUNT, 8)?;
+        let count = ctx.read_u64(rt + RT_COUNT)?;
+        ctx.write_u64(rt + RT_COUNT, count.saturating_sub(1))?;
+        Ok(true)
+    }
+
+    /// Point lookup.
+    pub fn lookup(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<Option<u64>, DynError> {
+        let root = ctx.read_u64(rt + RT_ROOT)?;
+        if root == 0 {
+            return Ok(None);
+        }
+        let leaf = Self::descend_to_leaf(ctx, root, key)?;
+        if ctx.read_u64(leaf + ND_KEY)? == key {
+            Ok(Some(ctx.read_u64(leaf + ND_VALUE)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Walks the whole tree, checking crit-bit structure; returns the number
+    /// of leaves.
+    fn validate(ctx: &mut PmCtx, node: u64, max_diff: u64, depth: u64) -> Result<u64, DynError> {
+        if depth > 128 {
+            return Err(err("tree deeper than 128 levels (corrupt)"));
+        }
+        match Self::kind(ctx, node)? {
+            LEAF => {
+                let _k = ctx.read_u64(node + ND_KEY)?;
+                let _v = ctx.read_u64(node + ND_VALUE)?;
+                Ok(1)
+            }
+            INTERNAL => {
+                let diff = ctx.read_u64(node + ND_KEY)?;
+                if diff >= max_diff {
+                    return Err(err(format!("diff bit {diff} not decreasing")));
+                }
+                let c0 = ctx.read_u64(node + ND_CHILD0)?;
+                let c1 = ctx.read_u64(node + ND_CHILD1)?;
+                if c0 == 0 || c1 == 0 {
+                    return Err(err("internal node with a missing child"));
+                }
+                Ok(Self::validate(ctx, c0, diff, depth + 1)?
+                    + Self::validate(ctx, c1, diff, depth + 1)?)
+            }
+            k => Err(err(format!("node kind {k} is invalid"))),
+        }
+    }
+}
+
+impl Workload for Ctree {
+    fn name(&self) -> &str {
+        "ctree"
+    }
+
+    fn pool_size(&self) -> u64 {
+        4 * 1024 * 1024
+    }
+
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::create_robust(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        let clean = Ctree::new(0);
+        for i in 0..self.init {
+            clean.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+        }
+        Ok(())
+    }
+
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        for i in self.init..self.init + self.ops {
+            self.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+        }
+        if self.ops > 0 {
+            self.insert(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+        }
+        if self.ops > 1 {
+            let _ = self.remove(ctx, &mut pool, rt, key_at(self.init + self.ops / 2))?;
+        }
+        Ok(())
+    }
+
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        let count = ctx.read_u64(rt + RT_COUNT)?;
+        let root = ctx.read_u64(rt + RT_ROOT)?;
+        if root == 0 {
+            if count != 0 {
+                return Err(err("empty tree with nonzero count"));
+            }
+            return Ok(());
+        }
+        let leaves = Self::validate(ctx, root, 64, 0)?;
+        if leaves != count {
+            return Err(err(format!("count {count} != walked {leaves}")));
+        }
+        let _ = Self::lookup(ctx, rt, key_at(0))?;
+        let w = Ctree::new(0);
+        w.insert(ctx, &mut pool, rt, key_at(5_555_555), 1)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+    use xfdetector::{BugCategory, XfDetector};
+
+    fn setup() -> (PmCtx, ObjPool, u64) {
+        let mut ctx = PmCtx::new(PmPool::new(4 * 1024 * 1024).unwrap());
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let rt = pool.root(&mut ctx, RT_SIZE).unwrap();
+        (ctx, pool, rt)
+    }
+
+    #[test]
+    fn insert_and_lookup_many() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Ctree::new(0);
+        for i in 0..100 {
+            assert!(w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap());
+        }
+        for i in 0..100 {
+            assert_eq!(
+                Ctree::lookup(&mut ctx, rt, key_at(i)).unwrap(),
+                Some(val_at(i))
+            );
+        }
+        assert_eq!(Ctree::lookup(&mut ctx, rt, 2).unwrap(), None);
+        let root = ctx.read_u64(rt + RT_ROOT).unwrap();
+        assert_eq!(Ctree::validate(&mut ctx, root, 64, 0).unwrap(), 100);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Ctree::new(0);
+        assert!(w.insert(&mut ctx, &mut pool, rt, 9, 1).unwrap());
+        assert!(!w.insert(&mut ctx, &mut pool, rt, 9, 2).unwrap());
+        assert_eq!(Ctree::lookup(&mut ctx, rt, 9).unwrap(), Some(2));
+        assert_eq!(ctx.read_u64(rt + RT_COUNT).unwrap(), 1);
+    }
+
+    #[test]
+    fn uncommitted_insert_rolls_back() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Ctree::new(0);
+        for i in 0..8 {
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+        }
+        pool.tx_begin(&mut ctx).unwrap();
+        let _ = w.insert_body(&mut ctx, &mut pool, rt, key_at(50), 1).unwrap();
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let mut rec = ObjPool::open(&mut post).unwrap();
+        let rt2 = rec.root(&mut post, RT_SIZE).unwrap();
+        assert_eq!(post.read_u64(rt2 + RT_COUNT).unwrap(), 8);
+        assert_eq!(Ctree::lookup(&mut post, rt2, key_at(50)).unwrap(), None);
+    }
+
+    #[test]
+    fn remove_round_trip_matches_model() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Ctree::new(0);
+        for i in 0..40 {
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+        }
+        for i in (0..40).step_by(2) {
+            assert!(w.remove(&mut ctx, &mut pool, rt, key_at(i)).unwrap());
+            assert!(!w.remove(&mut ctx, &mut pool, rt, key_at(i)).unwrap());
+        }
+        assert_eq!(ctx.read_u64(rt + RT_COUNT).unwrap(), 20);
+        for i in 0..40 {
+            let expect = if i % 2 == 0 { None } else { Some(val_at(i)) };
+            assert_eq!(Ctree::lookup(&mut ctx, rt, key_at(i)).unwrap(), expect);
+        }
+        let root = ctx.read_u64(rt + RT_ROOT).unwrap();
+        assert_eq!(Ctree::validate(&mut ctx, root, 64, 0).unwrap(), 20);
+    }
+
+    #[test]
+    fn remove_last_leaf_empties_the_tree() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Ctree::new(0);
+        w.insert(&mut ctx, &mut pool, rt, 5, 1).unwrap();
+        assert!(w.remove(&mut ctx, &mut pool, rt, 5).unwrap());
+        assert_eq!(ctx.read_u64(rt + RT_ROOT).unwrap(), 0);
+        assert_eq!(ctx.read_u64(rt + RT_COUNT).unwrap(), 0);
+        // The tree keeps working afterwards.
+        w.insert(&mut ctx, &mut pool, rt, 6, 2).unwrap();
+        assert_eq!(Ctree::lookup(&mut ctx, rt, 6).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn uncommitted_remove_rolls_back() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Ctree::new(0);
+        for i in 0..8 {
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+        }
+        pool.tx_begin(&mut ctx).unwrap();
+        let _ = w.remove_body(&mut ctx, &mut pool, rt, key_at(3)).unwrap();
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let mut rec = ObjPool::open(&mut post).unwrap();
+        let rt2 = rec.root(&mut post, RT_SIZE).unwrap();
+        assert_eq!(
+            Ctree::lookup(&mut post, rt2, key_at(3)).unwrap(),
+            Some(val_at(3)),
+            "uncommitted removal rolled back"
+        );
+        assert_eq!(post.read_u64(rt2 + RT_COUNT).unwrap(), 8);
+    }
+
+    #[test]
+    fn correct_version_is_clean_under_detection() {
+        let outcome = XfDetector::with_defaults().run(Ctree::new(8)).unwrap();
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+        assert_eq!(outcome.report.performance_count(), 0, "{}", outcome.report);
+    }
+
+    #[test]
+    fn race_suite_is_detected() {
+        for bug in BugId::all().iter().filter(|b| {
+            b.workload() == crate::bugs::WorkloadKind::Ctree
+                && b.expected_category() == BugCategory::Race
+        }) {
+            let outcome = XfDetector::with_defaults()
+                .run(Ctree::new(8).with_bugs(*bug))
+                .unwrap();
+            assert!(
+                outcome.report.race_count() >= 1,
+                "{bug:?} not detected as race:\n{}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_add_is_detected() {
+        let outcome = XfDetector::with_defaults()
+            .run(Ctree::new(4).with_bugs(BugId::CtDupAdd))
+            .unwrap();
+        assert!(
+            outcome.report.performance_count() >= 1,
+            "{}",
+            outcome.report
+        );
+    }
+}

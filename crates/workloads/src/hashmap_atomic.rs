@@ -1,0 +1,610 @@
+//! Hashmap-Atomic: a chained hash table built on **low-level** persistence
+//! primitives, ported from PMDK's `hashmap_atomic` example.
+//!
+//! Unlike the transactional workloads, crash consistency here relies on
+//! hand-placed persist barriers and the `count_dirty` valid-flag protocol:
+//! before mutating `count`, the program sets `count_dirty = 1` (persisted);
+//! after persisting the new `count` it clears the flag. Recovery reads
+//! `count_dirty` (a benign cross-failure race on a commit variable) and, if
+//! it is set, recounts the buckets and overwrites `count`.
+//!
+//! Chain linking is the "atomic pointer publish" idiom: a node is fully
+//! persisted *before* the single 8-byte bucket-head store that makes it
+//! reachable, so recovery sees either the old or the new chain — both
+//! consistent. The bucket array and the root pointer are annotated as commit
+//! variables so the detector treats those reads as benign (§3.1).
+//!
+//! This workload hosts the paper's **Bug 1** (`create_hashmap` leaves the
+//! hash seed/coefficients unpersisted, hashmap_atomic.c:132-138) and
+//! **Bug 2** (a non-zeroing allocation leaves `count` uninitialized,
+//! hashmap_atomic.c:280), plus the Table 5 synthetic suite for
+//! Hashmap-Atomic.
+
+use pmdk_sim::ObjPool;
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload};
+
+use crate::bugs::{BugId, BugSet};
+use crate::common::{err, key_at, val_at};
+
+// Hashmap header layout. Field groups with different persist schedules live
+// in separate cache lines so a barrier for one group never persists another
+// as a side effect.
+const HM_SEED: u64 = 0;
+const HM_HASH_A: u64 = 8;
+const HM_HASH_B: u64 = 16;
+const HM_NBUCKETS: u64 = 64;
+const HM_BUCKETS_PTR: u64 = 72;
+const HM_COUNT: u64 = 128;
+const HM_COUNT_DIRTY: u64 = 192;
+const HM_SIZE: u64 = 256;
+
+// Node layout: two cache lines; the payload exercises multi-line flushes.
+const ND_KEY: u64 = 0;
+const ND_VALUE: u64 = 8;
+const ND_NEXT: u64 = 16;
+const ND_PAYLOAD: u64 = 64;
+const ND_SIZE: u64 = 128;
+
+/// The Hashmap-Atomic workload.
+///
+/// `ops` keys are inserted during the pre-failure stage (after creating the
+/// hashmap inside the stage, so creation-time bugs are exposed to failure
+/// injection); the post-failure stage runs recovery, verifies the table and
+/// resumes with a lookup and one more insertion.
+#[derive(Debug, Clone)]
+pub struct HashmapAtomic {
+    ops: u64,
+    init: u64,
+    nbuckets: u64,
+    bugs: BugSet,
+}
+
+impl HashmapAtomic {
+    /// Creates the workload with `ops` insertions and no injected bugs.
+    #[must_use]
+    pub fn new(ops: u64) -> Self {
+        HashmapAtomic {
+            ops,
+            init: 0,
+            nbuckets: 4,
+            bugs: BugSet::none(),
+        }
+    }
+
+    /// Pre-populates the table with `init` insertions during `setup` (the
+    /// artifact's INITSIZE). With a nonzero `init` the hashmap is created
+    /// during `setup` as well, so creation-time bugs need `init == 0` to be
+    /// exposed to failure injection.
+    #[must_use]
+    pub fn with_init(mut self, init: u64) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Enables a set of injected bugs.
+    #[must_use]
+    pub fn with_bugs(mut self, bugs: impl Into<BugSet>) -> Self {
+        self.bugs = bugs.into();
+        self
+    }
+
+    fn has(&self, bug: BugId) -> bool {
+        self.bugs.has(bug)
+    }
+
+    /// Reads the hashmap address from the root object (0 while unlinked).
+    fn hm_addr(ctx: &mut PmCtx, pool: &mut ObjPool) -> Result<u64, DynError> {
+        let root = pool.root(ctx, 8)?;
+        Ok(ctx.read_u64(root)?)
+    }
+
+    /// `create_hashmap`: allocates and initializes the table, then publishes
+    /// it through the root pointer.
+    fn create(&self, ctx: &mut PmCtx, pool: &mut ObjPool) -> Result<u64, DynError> {
+        let root = pool.root(ctx, 8)?;
+
+        // Bug 2 (§6.3.2): the original uses an allocator that happens to
+        // zero memory; with a non-zeroing allocator `count` is read
+        // uninitialized after a failure.
+        let hm = if self.has(BugId::HaUninitCount) {
+            pool.alloc(ctx, HM_SIZE)?
+        } else {
+            pool.alloc_zeroed(ctx, HM_SIZE)?
+        };
+
+        // The count_dirty flag is the commit variable of the count protocol
+        // (Table 2 addCommitVar + addCommitRange); register it before its
+        // first commit write below.
+        ctx.register_commit_var(hm + HM_COUNT_DIRTY, 8);
+        ctx.register_commit_range(hm + HM_COUNT_DIRTY, hm + HM_COUNT, 8);
+
+        // Hash function parameters (the original's seed and rand()
+        // coefficients).
+        ctx.write_u64(hm + HM_SEED, 0x5eed_0000_0001)?;
+        ctx.write_u64(hm + HM_HASH_A, 0x9e37_79b9)?;
+        ctx.write_u64(hm + HM_HASH_B, 0x85eb_ca6b)?;
+        if !self.has(BugId::HaCreateNoPersistSeed) {
+            // Bug 1 (§6.3.2) omits this barrier: the metadata "updates are
+            // not protected by any crash consistency mechanism".
+            ctx.persist_barrier(hm + HM_SEED, 24)?;
+        }
+
+        let buckets = pool.alloc_zeroed(ctx, self.nbuckets * 8)?;
+        ctx.write_u64(hm + HM_NBUCKETS, self.nbuckets)?;
+        ctx.write_u64(hm + HM_BUCKETS_PTR, buckets)?;
+        if !self.has(BugId::HaCreateNoPersistBuckets) {
+            ctx.persist_barrier(hm + HM_NBUCKETS, 16)?;
+        }
+
+        if !self.has(BugId::HaUninitCount) {
+            ctx.write_u64(hm + HM_COUNT, 0)?;
+            ctx.persist_barrier(hm + HM_COUNT, 8)?;
+        }
+        ctx.write_u64(hm + HM_COUNT_DIRTY, 0)?;
+        ctx.persist_barrier(hm + HM_COUNT_DIRTY, 8)?;
+
+        // Publish with the library's failure-atomic pointer store (the
+        // POBJ_LIST/atomic-API idiom): recovery sees either "no hashmap yet"
+        // or the fully initialized one.
+        pool.atomic_store_u64(ctx, root, hm)?;
+        Ok(hm)
+    }
+
+    fn bucket_addr(ctx: &mut PmCtx, hm: u64, key: u64) -> Result<u64, DynError> {
+        let a = ctx.read_u64(hm + HM_HASH_A)?;
+        let b = ctx.read_u64(hm + HM_HASH_B)?;
+        let seed = ctx.read_u64(hm + HM_SEED)?;
+        let n = ctx.read_u64(hm + HM_NBUCKETS)?;
+        let buckets = ctx.read_u64(hm + HM_BUCKETS_PTR)?;
+        if n == 0 {
+            return Err(err("hashmap has zero buckets"));
+        }
+        let h = (a.wrapping_mul(key).wrapping_add(b) ^ seed) % n;
+        Ok(buckets + h * 8)
+    }
+
+    /// Sets `count_dirty` and persists it (the "open the commit window"
+    /// step).
+    fn set_dirty(&self, ctx: &mut PmCtx, hm: u64, v: u64) -> Result<(), DynError> {
+        ctx.write_u64(hm + HM_COUNT_DIRTY, v)?;
+        ctx.persist_barrier(hm + HM_COUNT_DIRTY, 8)?;
+        Ok(())
+    }
+
+    fn insert(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        hm: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<(), DynError> {
+        let bucket = Self::bucket_addr(ctx, hm, key)?;
+
+        // Update in place if the key exists: a failure-atomic single-word
+        // store in the correct program; the injected bug replaces it with a
+        // bare store that is never persisted.
+        if let Some(node) = Self::find(ctx, bucket, key)? {
+            if self.has(BugId::HaNoPersistValUpdate) {
+                ctx.write_u64(node + ND_VALUE, value)?;
+            } else {
+                pool.atomic_store_u64(ctx, node + ND_VALUE, value)?;
+            }
+            return Ok(());
+        }
+
+        // 1. Build the node off to the side and persist it fully.
+        let node = pool.alloc(ctx, ND_SIZE)?;
+        ctx.write_u64(node + ND_KEY, key)?;
+        ctx.write_u64(node + ND_VALUE, value)?;
+        ctx.write_u64(node + ND_PAYLOAD, value ^ 0xabcd)?;
+        if self.has(BugId::HaPublishBeforePersist) {
+            // Reordered idiom: the head swings to the node first; its
+            // contents are persisted only afterwards, so a failure in
+            // between exposes unpersisted data through a reachable pointer.
+            let head = ctx.read_u64(bucket)?;
+            ctx.write_u64(node + ND_NEXT, head)?;
+            pool.atomic_store_u64(ctx, bucket, node)?;
+            ctx.persist_barrier(node, ND_SIZE)?;
+            self.set_dirty(ctx, hm, 1)?;
+            let count = ctx.read_u64(hm + HM_COUNT)?;
+            ctx.write_u64(hm + HM_COUNT, count + 1)?;
+            ctx.persist_barrier(hm + HM_COUNT, 8)?;
+            self.set_dirty(ctx, hm, 0)?;
+            return Ok(());
+        }
+        if !self.has(BugId::HaNoPersistNodeKv) {
+            if self.has(BugId::HaPartialNodeFlush) {
+                // Only the first line reaches PM; the payload line races.
+                ctx.persist_barrier(node, 64)?;
+            } else if self.has(BugId::HaMissingFlush) {
+                // The barrier's CLWB half is missing: the fence orders
+                // nothing and the node stays volatile.
+                ctx.sfence();
+            } else {
+                ctx.persist_barrier(node, ND_SIZE)?;
+                if self.has(BugId::HaDoubleFlushNode) {
+                    // Wasted work: the node is already persistent.
+                    ctx.persist_barrier(node, ND_SIZE)?;
+                }
+            }
+        }
+        let head = ctx.read_u64(bucket)?;
+        ctx.write_u64(node + ND_NEXT, head)?;
+        if !self.has(BugId::HaNoPersistNodeNext) {
+            ctx.persist_barrier(node + ND_NEXT, 8)?;
+        }
+
+        // 2. Open the count commit window.
+        if self.has(BugId::HaSemStaleCount) {
+            // Count updated *before* the window opens: stale under Eq. 3.
+            let count = ctx.read_u64(hm + HM_COUNT)?;
+            ctx.write_u64(hm + HM_COUNT, count + 1)?;
+            ctx.persist_barrier(hm + HM_COUNT, 8)?;
+        }
+        self.set_dirty(ctx, hm, 1)?;
+
+        // 3. Publish the node with the library's failure-atomic head store;
+        // the injected bug bypasses the library with a bare volatile store.
+        if self.has(BugId::HaNoPersistBucketHead) {
+            ctx.write_u64(bucket, node)?;
+        } else {
+            pool.atomic_store_u64(ctx, bucket, node)?;
+        }
+        if self.has(BugId::HaFlushCleanBucket) {
+            // Flush of a line nothing was written to since the last fence.
+            ctx.clwb(bucket)?;
+            ctx.sfence();
+        }
+
+        // 4. Update the count inside the window and close it.
+        if !self.has(BugId::HaSemStaleCount) {
+            let count = ctx.read_u64(hm + HM_COUNT)?;
+            ctx.write_u64(hm + HM_COUNT, count + 1)?;
+            if self.has(BugId::HaSemCountSameEpoch) {
+                // The count store and the commit store share one epoch: the
+                // commit cannot order after the data (Figure 11, F2).
+                ctx.write_u64(hm + HM_COUNT_DIRTY, 0)?;
+                ctx.flush_range(hm + HM_COUNT, 8)?;
+                ctx.persist_barrier(hm + HM_COUNT_DIRTY, 8)?;
+                return Ok(());
+            }
+            if !self.has(BugId::HaNoPersistCount) {
+                ctx.persist_barrier(hm + HM_COUNT, 8)?;
+            }
+        }
+        self.set_dirty(ctx, hm, 0)?;
+
+        if self.has(BugId::HaSemWriteAfterCommit) {
+            // Count "fixed up" after the window closed: persisted but
+            // semantically uncommitted.
+            let count = ctx.read_u64(hm + HM_COUNT)?;
+            ctx.write_u64(hm + HM_COUNT, count)?;
+            ctx.persist_barrier(hm + HM_COUNT, 8)?;
+        }
+        if self.has(BugId::HaSemExtraCommit) {
+            // A gratuitous extra commit write shifts the window past the
+            // count update, making it stale.
+            self.set_dirty(ctx, hm, 0)?;
+        }
+        Ok(())
+    }
+
+    fn remove(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        hm: u64,
+        key: u64,
+    ) -> Result<bool, DynError> {
+        let bucket = Self::bucket_addr(ctx, hm, key)?;
+        let mut prev: Option<u64> = None;
+        let mut cur = ctx.read_u64(bucket)?;
+        while cur != 0 {
+            let k = ctx.read_u64(cur + ND_KEY)?;
+            let next = ctx.read_u64(cur + ND_NEXT)?;
+            if k == key {
+                if !self.has(BugId::HaRemoveSkipsDirty) {
+                    self.set_dirty(ctx, hm, 1)?;
+                }
+                match prev {
+                    Some(p) => {
+                        if self.has(BugId::HaNoPersistRemoveUnlink) {
+                            ctx.write_u64(p + ND_NEXT, next)?;
+                        } else {
+                            pool.atomic_store_u64(ctx, p + ND_NEXT, next)?;
+                        }
+                    }
+                    None => {
+                        pool.atomic_store_u64(ctx, bucket, next)?;
+                    }
+                }
+                let count = ctx.read_u64(hm + HM_COUNT)?;
+                ctx.write_u64(hm + HM_COUNT, count.saturating_sub(1))?;
+                ctx.persist_barrier(hm + HM_COUNT, 8)?;
+                if !self.has(BugId::HaRemoveSkipsDirty) {
+                    self.set_dirty(ctx, hm, 0)?;
+                }
+                pool.free(ctx, cur)?;
+                return Ok(true);
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+        Ok(false)
+    }
+
+    fn find(ctx: &mut PmCtx, bucket: u64, key: u64) -> Result<Option<u64>, DynError> {
+        let mut cur = ctx.read_u64(bucket)?;
+        while cur != 0 {
+            if ctx.read_u64(cur + ND_KEY)? == key {
+                return Ok(Some(cur));
+            }
+            cur = ctx.read_u64(cur + ND_NEXT)?;
+        }
+        Ok(None)
+    }
+
+    /// Walks every bucket, returning the number of reachable nodes. Reads
+    /// every node field (key, value, payload, next) — these post-failure
+    /// reads are what drive the detector's checks.
+    fn walk_and_check(ctx: &mut PmCtx, hm: u64) -> Result<u64, DynError> {
+        let n = ctx.read_u64(hm + HM_NBUCKETS)?;
+        let buckets = ctx.read_u64(hm + HM_BUCKETS_PTR)?;
+        let mut total = 0u64;
+        for i in 0..n {
+            let mut cur = ctx.read_u64(buckets + i * 8)?;
+            let mut steps = 0u64;
+            while cur != 0 {
+                let _key = ctx.read_u64(cur + ND_KEY)?;
+                let _value = ctx.read_u64(cur + ND_VALUE)?;
+                let _payload = ctx.read_u64(cur + ND_PAYLOAD)?;
+                total += 1;
+                steps += 1;
+                if steps > 1_000_000 {
+                    return Err(err("cycle detected in bucket chain"));
+                }
+                cur = ctx.read_u64(cur + ND_NEXT)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Returns a key whose node has a predecessor in its chain, if any.
+    fn chained_key(ctx: &mut PmCtx, hm: u64) -> Result<Option<u64>, DynError> {
+        let n = ctx.read_u64(hm + HM_NBUCKETS)?;
+        let buckets = ctx.read_u64(hm + HM_BUCKETS_PTR)?;
+        for i in 0..n {
+            let head = ctx.read_u64(buckets + i * 8)?;
+            if head != 0 {
+                let second = ctx.read_u64(head + ND_NEXT)?;
+                if second != 0 {
+                    return Ok(Some(ctx.read_u64(second + ND_KEY)?));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// `check_consistency` + resumption: the post-failure continuation.
+    fn recover_and_resume(&self, ctx: &mut PmCtx, pool: &mut ObjPool) -> Result<(), DynError> {
+        let hm = Self::hm_addr(ctx, pool)?;
+        if hm == 0 {
+            // The failure hit before the hashmap was published; the program
+            // would re-create it.
+            return Ok(());
+        }
+        let dirty = ctx.read_u64(hm + HM_COUNT_DIRTY)?;
+        if dirty != 0 {
+            // Recount and overwrite the inconsistent count (the
+            // recover_alt() pattern of Figure 1).
+            let total = Self::walk_and_check(ctx, hm)?;
+            ctx.write_u64(hm + HM_COUNT, total)?;
+            ctx.persist_barrier(hm + HM_COUNT, 8)?;
+            ctx.write_u64(hm + HM_COUNT_DIRTY, 0)?;
+            ctx.persist_barrier(hm + HM_COUNT_DIRTY, 8)?;
+        }
+
+        // Resumption: a length check, a lookup and one more insertion.
+        let count = ctx.read_u64(hm + HM_COUNT)?;
+        let reachable = Self::walk_and_check(ctx, hm)?;
+        if count > reachable {
+            // Not an error per se (the failure may have hit mid-insert with
+            // the window closed in the image); the detector is what flags
+            // the underlying race.
+        }
+        let probe = key_at(0);
+        let bucket = Self::bucket_addr(ctx, hm, probe)?;
+        let _ = Self::find(ctx, bucket, probe)?;
+        self.insert(ctx, pool, hm, key_at(1_000_000), val_at(1_000_000))?;
+        Ok(())
+    }
+}
+
+impl Workload for HashmapAtomic {
+    fn name(&self) -> &str {
+        "hashmap-atomic"
+    }
+
+    fn pool_size(&self) -> u64 {
+        4 * 1024 * 1024
+    }
+
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        // Pool creation only; the hashmap itself is created inside the
+        // pre-failure stage (unless INITSIZE pre-population is requested)
+        // so creation-time bugs see failure injection.
+        let mut pool = ObjPool::create_robust(ctx)?;
+        if self.init > 0 {
+            let clean = HashmapAtomic::new(0);
+            let hm = clean.create(ctx, &mut pool)?;
+            for i in 0..self.init {
+                clean.insert(ctx, &mut pool, hm, key_at(i), val_at(i))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let hm = if self.init > 0 {
+            Self::hm_addr(ctx, &mut pool)?
+        } else {
+            self.create(ctx, &mut pool)?
+        };
+        for i in self.init..self.init + self.ops {
+            self.insert(ctx, &mut pool, hm, key_at(i), val_at(i))?;
+        }
+        // Exercise the update and removal paths so their bug sites fire.
+        if self.ops > 0 {
+            self.insert(ctx, &mut pool, hm, key_at(self.init), val_at(self.init) ^ 0xff)?;
+        }
+        if self.ops > 1 {
+            // Prefer removing a node that has a predecessor so the
+            // unlink-in-chain path (and its bug site) is exercised.
+            let victim = Self::chained_key(ctx, hm)?.unwrap_or_else(|| key_at(self.ops / 2));
+            let _ = self.remove(ctx, &mut pool, hm, victim)?;
+        }
+        Ok(())
+    }
+
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        self.recover_and_resume(ctx, &mut pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+    use xfdetector::{BugCategory, XfDetector};
+
+    fn raw_ctx() -> PmCtx {
+        PmCtx::new(PmPool::new(4 * 1024 * 1024).unwrap())
+    }
+
+    #[test]
+    fn insert_find_remove_round_trip() {
+        let w = HashmapAtomic::new(0);
+        let mut ctx = raw_ctx();
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let hm = w.create(&mut ctx, &mut pool).unwrap();
+        for i in 0..50 {
+            w.insert(&mut ctx, &mut pool, hm, key_at(i), val_at(i)).unwrap();
+        }
+        assert_eq!(HashmapAtomic::walk_and_check(&mut ctx, hm).unwrap(), 50);
+        assert_eq!(ctx.read_u64(hm + HM_COUNT).unwrap(), 50);
+
+        let b = HashmapAtomic::bucket_addr(&mut ctx, hm, key_at(7)).unwrap();
+        let node = HashmapAtomic::find(&mut ctx, b, key_at(7)).unwrap().unwrap();
+        assert_eq!(ctx.read_u64(node + ND_VALUE).unwrap(), val_at(7));
+
+        assert!(w.remove(&mut ctx, &mut pool, hm, key_at(7)).unwrap());
+        assert!(!w.remove(&mut ctx, &mut pool, hm, key_at(7)).unwrap());
+        assert_eq!(ctx.read_u64(hm + HM_COUNT).unwrap(), 49);
+    }
+
+    #[test]
+    fn update_overwrites_in_place() {
+        let w = HashmapAtomic::new(0);
+        let mut ctx = raw_ctx();
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let hm = w.create(&mut ctx, &mut pool).unwrap();
+        w.insert(&mut ctx, &mut pool, hm, 42, 1).unwrap();
+        w.insert(&mut ctx, &mut pool, hm, 42, 2).unwrap();
+        assert_eq!(ctx.read_u64(hm + HM_COUNT).unwrap(), 1, "no duplicate");
+        let b = HashmapAtomic::bucket_addr(&mut ctx, hm, 42).unwrap();
+        let node = HashmapAtomic::find(&mut ctx, b, 42).unwrap().unwrap();
+        assert_eq!(ctx.read_u64(node + ND_VALUE).unwrap(), 2);
+    }
+
+    #[test]
+    fn correct_version_is_clean_under_detection() {
+        let outcome = XfDetector::with_defaults()
+            .run(HashmapAtomic::new(3))
+            .unwrap();
+        assert!(
+            !outcome.report.has_correctness_bugs(),
+            "{}",
+            outcome.report
+        );
+        assert_eq!(outcome.report.performance_count(), 0, "{}", outcome.report);
+        assert!(outcome.stats.failure_points > 5);
+    }
+
+    #[test]
+    fn new_bug_1_unpersisted_seed_is_detected_as_race() {
+        let outcome = XfDetector::with_defaults()
+            .run(HashmapAtomic::new(2).with_bugs(BugId::HaCreateNoPersistSeed))
+            .unwrap();
+        assert!(outcome.report.race_count() >= 1, "{}", outcome.report);
+    }
+
+    #[test]
+    fn new_bug_2_uninitialized_count_is_detected() {
+        let outcome = XfDetector::with_defaults()
+            .run(HashmapAtomic::new(2).with_bugs(BugId::HaUninitCount))
+            .unwrap();
+        assert!(
+            outcome
+                .report
+                .findings()
+                .iter()
+                .any(|f| f.kind == xfdetector::BugKind::UninitializedRace),
+            "{}",
+            outcome.report
+        );
+    }
+
+    #[test]
+    fn semantic_suite_is_detected_as_semantic() {
+        for bug in [
+            BugId::HaSemCountSameEpoch,
+            BugId::HaSemWriteAfterCommit,
+            BugId::HaSemStaleCount,
+            BugId::HaSemExtraCommit,
+        ] {
+            let outcome = XfDetector::with_defaults()
+                .run(HashmapAtomic::new(2).with_bugs(bug))
+                .unwrap();
+            assert!(
+                outcome.report.semantic_count() >= 1,
+                "{bug:?} not detected as semantic:\n{}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn performance_bugs_are_detected() {
+        for bug in [BugId::HaDoubleFlushNode, BugId::HaFlushCleanBucket] {
+            let outcome = XfDetector::with_defaults()
+                .run(HashmapAtomic::new(2).with_bugs(bug))
+                .unwrap();
+            assert!(
+                outcome.report.performance_count() >= 1,
+                "{bug:?} not detected:\n{}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn race_suite_is_detected() {
+        for bug in BugId::all().iter().filter(|b| {
+            b.workload() == crate::bugs::WorkloadKind::HashmapAtomic
+                && b.expected_category() == BugCategory::Race
+        }) {
+            let outcome = XfDetector::with_defaults()
+                .run(HashmapAtomic::new(8).with_bugs(*bug))
+                .unwrap();
+            assert!(
+                outcome.report.race_count() >= 1,
+                "{bug:?} not detected as race:\n{}",
+                outcome.report
+            );
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Hashmap-TX: a transactional chained hash table, ported from PMDK's
+//! `hashmap_tx` example.
+//!
+//! Every mutation — insertion, in-place update, removal, and the rebuild
+//! (rehash) that grows the bucket array — runs inside an undo-log
+//! transaction. The rebuild path relinks every node into a freshly
+//! allocated bucket array and swings the array pointer last, providing the
+//! `HmNoAddBucketsLen` injection site; chains are appended at the tail so
+//! the predecessor-`next` sites (`HmNoAddChainNext`, `HmNoAddRemoveUnlink`)
+//! are exercised.
+
+use pmdk_sim::ObjPool;
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload};
+
+use crate::bugs::{BugId, BugSet};
+use crate::common::{err, key_at, val_at};
+
+// Root object layout (line-separated fields with distinct schedules).
+const RT_BUCKETS: u64 = 0; // address of the bucket array
+const RT_NBUCKETS: u64 = 8; // same line: always updated together
+const RT_COUNT: u64 = 64;
+const RT_SIZE: u64 = 128;
+
+// Node layout (single line).
+const ND_KEY: u64 = 0;
+const ND_VALUE: u64 = 8;
+const ND_NEXT: u64 = 16;
+const ND_SIZE: u64 = 64;
+
+/// Initial bucket count (kept tiny so chains and rebuilds happen with few
+/// operations).
+const INIT_BUCKETS: u64 = 4;
+
+/// The Hashmap-TX workload.
+#[derive(Debug, Clone)]
+pub struct HashmapTx {
+    ops: u64,
+    init: u64,
+    bugs: BugSet,
+}
+
+impl HashmapTx {
+    /// Creates the workload with `ops` insertions and no injected bugs.
+    #[must_use]
+    pub fn new(ops: u64) -> Self {
+        HashmapTx {
+            ops,
+            init: 0,
+            bugs: BugSet::none(),
+        }
+    }
+
+    /// Pre-populates the table with `init` insertions during `setup` (the
+    /// artifact's INITSIZE), outside failure injection.
+    #[must_use]
+    pub fn with_init(mut self, init: u64) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Enables a set of injected bugs.
+    #[must_use]
+    pub fn with_bugs(mut self, bugs: impl Into<BugSet>) -> Self {
+        self.bugs = bugs.into();
+        self
+    }
+
+    fn has(&self, bug: BugId) -> bool {
+        self.bugs.has(bug)
+    }
+
+    fn hash(key: u64, nbuckets: u64) -> u64 {
+        (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 17) % nbuckets
+    }
+
+    fn bucket_slot(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<u64, DynError> {
+        let buckets = ctx.read_u64(rt + RT_BUCKETS)?;
+        let n = ctx.read_u64(rt + RT_NBUCKETS)?;
+        if buckets == 0 || n == 0 {
+            return Err(err("hashmap not initialized"));
+        }
+        Ok(buckets + Self::hash(key, n) * 8)
+    }
+
+    /// Creates the bucket array (called once, from `setup`).
+    fn create(ctx: &mut PmCtx, pool: &mut ObjPool, rt: u64) -> Result<(), DynError> {
+        pool.tx_begin(ctx)?;
+        let buckets = pool.alloc_zeroed(ctx, INIT_BUCKETS * 8)?;
+        pool.tx_add(ctx, rt + RT_BUCKETS, 16)?;
+        ctx.write_u64(rt + RT_BUCKETS, buckets)?;
+        ctx.write_u64(rt + RT_NBUCKETS, INIT_BUCKETS)?;
+        pool.tx_commit(ctx)?;
+        Ok(())
+    }
+
+    /// Inserts `key → value`; returns whether a new node was added.
+    pub fn insert(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, DynError> {
+        if self.has(BugId::HmOutsideTx) {
+            return self.insert_body(ctx, pool, rt, key, value);
+        }
+        pool.tx_begin(ctx)?;
+        match self.insert_body(ctx, pool, rt, key, value) {
+            Ok(added) => {
+                pool.tx_commit(ctx)?;
+                if added && self.has(BugId::HmWriteAfterCommit) {
+                    // Touch-up of the new node after TX_END, never persisted.
+                    if let Some(node) = Self::find(ctx, rt, key)? {
+                        ctx.write_u64(node + ND_VALUE, value)?;
+                    }
+                }
+                Ok(added)
+            }
+            Err(e) => {
+                let _ = pool.tx_abort(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_body(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, DynError> {
+        let in_tx = pool.in_tx();
+        let slot = Self::bucket_slot(ctx, rt, key)?;
+
+        // Walk the chain: update in place on a match, else remember the
+        // tail.
+        let mut tail = 0u64;
+        let mut cur = ctx.read_u64(slot)?;
+        let mut steps = 0;
+        while cur != 0 {
+            if ctx.read_u64(cur + ND_KEY)? == key {
+                if in_tx && !self.has(BugId::HmNoAddValueUpdate) {
+                    pool.tx_add(ctx, cur + ND_VALUE, 8)?;
+                }
+                ctx.write_u64(cur + ND_VALUE, value)?;
+                return Ok(false);
+            }
+            tail = cur;
+            cur = ctx.read_u64(cur + ND_NEXT)?;
+            steps += 1;
+            if steps > 1_000_000 {
+                return Err(err("cycle in bucket chain"));
+            }
+        }
+
+        let node = pool.alloc_zeroed(ctx, ND_SIZE)?;
+        ctx.write_u64(node + ND_KEY, key)?;
+        ctx.write_u64(node + ND_VALUE, value)?;
+
+        if tail == 0 {
+            // Empty bucket: publish through the bucket slot.
+            if in_tx && !self.has(BugId::HmNoAddBucketHead) {
+                pool.tx_add(ctx, slot, 8)?;
+            }
+            if self.has(BugId::HmDupAdd) && in_tx {
+                pool.tx_add(ctx, slot, 8)?;
+            }
+            ctx.write_u64(slot, node)?;
+        } else {
+            // Append at the tail: the predecessor's next pointer changes.
+            if in_tx && !self.has(BugId::HmNoAddChainNext) {
+                pool.tx_add(ctx, tail + ND_NEXT, 8)?;
+            }
+            ctx.write_u64(tail + ND_NEXT, node)?;
+        }
+
+        if in_tx && !self.has(BugId::HmNoAddCount) {
+            pool.tx_add(ctx, rt + RT_COUNT, 8)?;
+        }
+        let count = ctx.read_u64(rt + RT_COUNT)?;
+        ctx.write_u64(rt + RT_COUNT, count + 1)?;
+
+        // Grow when the load factor exceeds 1.
+        let n = ctx.read_u64(rt + RT_NBUCKETS)?;
+        if count + 1 > n {
+            self.rebuild(ctx, pool, rt, n * 2)?;
+        }
+        Ok(true)
+    }
+
+    /// Rehash into a bucket array of `new_n` slots.
+    fn rebuild(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        new_n: u64,
+    ) -> Result<(), DynError> {
+        let in_tx = pool.in_tx();
+        let old_buckets = ctx.read_u64(rt + RT_BUCKETS)?;
+        let old_n = ctx.read_u64(rt + RT_NBUCKETS)?;
+        let new_buckets = pool.alloc_zeroed(ctx, new_n * 8)?;
+
+        // Relink every node (its next pointer is about to change).
+        for i in 0..old_n {
+            let mut cur = ctx.read_u64(old_buckets + i * 8)?;
+            while cur != 0 {
+                let next = ctx.read_u64(cur + ND_NEXT)?;
+                let key = ctx.read_u64(cur + ND_KEY)?;
+                if in_tx {
+                    pool.tx_add(ctx, cur + ND_NEXT, 8)?;
+                }
+                let dst = new_buckets + Self::hash(key, new_n) * 8;
+                let head = ctx.read_u64(dst)?;
+                ctx.write_u64(cur + ND_NEXT, head)?;
+                ctx.write_u64(dst, cur)?;
+                cur = next;
+            }
+        }
+
+        if in_tx && !self.has(BugId::HmNoAddBucketsLen) {
+            pool.tx_add(ctx, rt + RT_BUCKETS, 16)?;
+        }
+        ctx.write_u64(rt + RT_BUCKETS, new_buckets)?;
+        ctx.write_u64(rt + RT_NBUCKETS, new_n)?;
+        pool.free(ctx, old_buckets)?;
+        Ok(())
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn remove(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+    ) -> Result<bool, DynError> {
+        pool.tx_begin(ctx)?;
+        let r = self.remove_body(ctx, pool, rt, key);
+        match r {
+            Ok(found) => {
+                pool.tx_commit(ctx)?;
+                Ok(found)
+            }
+            Err(e) => {
+                let _ = pool.tx_abort(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    fn remove_body(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+    ) -> Result<bool, DynError> {
+        let slot = Self::bucket_slot(ctx, rt, key)?;
+        let mut prev = 0u64;
+        let mut cur = ctx.read_u64(slot)?;
+        while cur != 0 {
+            let next = ctx.read_u64(cur + ND_NEXT)?;
+            if ctx.read_u64(cur + ND_KEY)? == key {
+                if prev == 0 {
+                    pool.tx_add(ctx, slot, 8)?;
+                    ctx.write_u64(slot, next)?;
+                } else {
+                    if !self.has(BugId::HmNoAddRemoveUnlink) {
+                        pool.tx_add(ctx, prev + ND_NEXT, 8)?;
+                    }
+                    ctx.write_u64(prev + ND_NEXT, next)?;
+                }
+                if !self.has(BugId::HmNoAddCountOnRemove) {
+                    pool.tx_add(ctx, rt + RT_COUNT, 8)?;
+                }
+                let count = ctx.read_u64(rt + RT_COUNT)?;
+                ctx.write_u64(rt + RT_COUNT, count.saturating_sub(1))?;
+                pool.free(ctx, cur)?;
+                return Ok(true);
+            }
+            prev = cur;
+            cur = next;
+        }
+        Ok(false)
+    }
+
+    /// Returns a key whose node has a predecessor in its chain, if any.
+    fn chained_key(ctx: &mut PmCtx, rt: u64) -> Result<Option<u64>, DynError> {
+        let buckets = ctx.read_u64(rt + RT_BUCKETS)?;
+        let n = ctx.read_u64(rt + RT_NBUCKETS)?;
+        for i in 0..n {
+            let head = ctx.read_u64(buckets + i * 8)?;
+            if head != 0 {
+                let second = ctx.read_u64(head + ND_NEXT)?;
+                if second != 0 {
+                    return Ok(Some(ctx.read_u64(second + ND_KEY)?));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Point lookup returning the node address.
+    fn find(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<Option<u64>, DynError> {
+        let slot = Self::bucket_slot(ctx, rt, key)?;
+        let mut cur = ctx.read_u64(slot)?;
+        let mut steps = 0;
+        while cur != 0 {
+            if ctx.read_u64(cur + ND_KEY)? == key {
+                return Ok(Some(cur));
+            }
+            cur = ctx.read_u64(cur + ND_NEXT)?;
+            steps += 1;
+            if steps > 1_000_000 {
+                return Err(err("cycle in bucket chain"));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Point lookup returning the value.
+    pub fn lookup(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<Option<u64>, DynError> {
+        match Self::find(ctx, rt, key)? {
+            Some(node) => Ok(Some(ctx.read_u64(node + ND_VALUE)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Walks every chain, reading all node fields; returns the node count.
+    fn walk(ctx: &mut PmCtx, rt: u64) -> Result<u64, DynError> {
+        let buckets = ctx.read_u64(rt + RT_BUCKETS)?;
+        let n = ctx.read_u64(rt + RT_NBUCKETS)?;
+        if buckets == 0 {
+            return Ok(0);
+        }
+        let mut total = 0;
+        for i in 0..n {
+            let mut cur = ctx.read_u64(buckets + i * 8)?;
+            let mut steps = 0;
+            while cur != 0 {
+                let _k = ctx.read_u64(cur + ND_KEY)?;
+                let _v = ctx.read_u64(cur + ND_VALUE)?;
+                total += 1;
+                cur = ctx.read_u64(cur + ND_NEXT)?;
+                steps += 1;
+                if steps > 1_000_000 {
+                    return Err(err("cycle in bucket chain"));
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl Workload for HashmapTx {
+    fn name(&self) -> &str {
+        "hashmap-tx"
+    }
+
+    fn pool_size(&self) -> u64 {
+        4 * 1024 * 1024
+    }
+
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::create_robust(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        Self::create(ctx, &mut pool, rt)?;
+        let clean = HashmapTx::new(0);
+        for i in 0..self.init {
+            clean.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+        }
+        Ok(())
+    }
+
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        for i in self.init..self.init + self.ops {
+            self.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+        }
+        if self.ops > 0 {
+            self.insert(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+        }
+        if self.ops > 1 {
+            // Prefer removing a node with a predecessor so the
+            // unlink-in-chain path (and its bug site) is exercised.
+            let victim = Self::chained_key(ctx, rt)?.unwrap_or_else(|| key_at(self.ops / 2));
+            let _ = self.remove(ctx, &mut pool, rt, victim)?;
+        }
+        Ok(())
+    }
+
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        let count = ctx.read_u64(rt + RT_COUNT)?;
+        let total = Self::walk(ctx, rt)?;
+        if total != count {
+            return Err(err(format!("count {count} != walked {total}")));
+        }
+        let _ = Self::lookup(ctx, rt, key_at(0))?;
+        let w = HashmapTx::new(0);
+        w.insert(ctx, &mut pool, rt, key_at(9_999_999), 1)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+    use xfdetector::{BugCategory, XfDetector};
+
+    fn setup() -> (PmCtx, ObjPool, u64) {
+        let mut ctx = PmCtx::new(PmPool::new(4 * 1024 * 1024).unwrap());
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let rt = pool.root(&mut ctx, RT_SIZE).unwrap();
+        HashmapTx::create(&mut ctx, &mut pool, rt).unwrap();
+        (ctx, pool, rt)
+    }
+
+    #[test]
+    fn insert_lookup_remove_round_trip() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = HashmapTx::new(0);
+        for i in 0..60 {
+            assert!(w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap());
+        }
+        for i in 0..60 {
+            assert_eq!(
+                HashmapTx::lookup(&mut ctx, rt, key_at(i)).unwrap(),
+                Some(val_at(i))
+            );
+        }
+        assert_eq!(ctx.read_u64(rt + RT_COUNT).unwrap(), 60);
+        assert!(
+            ctx.read_u64(rt + RT_NBUCKETS).unwrap() >= 64,
+            "rebuild grew the table"
+        );
+        assert!(w.remove(&mut ctx, &mut pool, rt, key_at(30)).unwrap());
+        assert!(!w.remove(&mut ctx, &mut pool, rt, key_at(30)).unwrap());
+        assert_eq!(HashmapTx::lookup(&mut ctx, rt, key_at(30)).unwrap(), None);
+        assert_eq!(ctx.read_u64(rt + RT_COUNT).unwrap(), 59);
+        assert_eq!(HashmapTx::walk(&mut ctx, rt).unwrap(), 59);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = HashmapTx::new(0);
+        assert!(w.insert(&mut ctx, &mut pool, rt, 3, 1).unwrap());
+        assert!(!w.insert(&mut ctx, &mut pool, rt, 3, 2).unwrap());
+        assert_eq!(HashmapTx::lookup(&mut ctx, rt, 3).unwrap(), Some(2));
+        assert_eq!(ctx.read_u64(rt + RT_COUNT).unwrap(), 1);
+    }
+
+    #[test]
+    fn uncommitted_insert_rolls_back() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = HashmapTx::new(0);
+        for i in 0..10 {
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+        }
+        pool.tx_begin(&mut ctx).unwrap();
+        let _ = w.insert_body(&mut ctx, &mut pool, rt, key_at(42), 1).unwrap();
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let mut rec = ObjPool::open(&mut post).unwrap();
+        let rt2 = rec.root(&mut post, RT_SIZE).unwrap();
+        assert_eq!(post.read_u64(rt2 + RT_COUNT).unwrap(), 10);
+        assert_eq!(HashmapTx::lookup(&mut post, rt2, key_at(42)).unwrap(), None);
+        assert_eq!(HashmapTx::walk(&mut post, rt2).unwrap(), 10);
+    }
+
+    #[test]
+    fn correct_version_is_clean_under_detection() {
+        let outcome = XfDetector::with_defaults().run(HashmapTx::new(8)).unwrap();
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+        assert_eq!(outcome.report.performance_count(), 0, "{}", outcome.report);
+    }
+
+    #[test]
+    fn race_suite_is_detected() {
+        for bug in BugId::all().iter().filter(|b| {
+            b.workload() == crate::bugs::WorkloadKind::HashmapTx
+                && b.expected_category() == BugCategory::Race
+        }) {
+            let outcome = XfDetector::with_defaults()
+                .run(HashmapTx::new(8).with_bugs(*bug))
+                .unwrap();
+            assert!(
+                outcome.report.race_count() >= 1,
+                "{bug:?} not detected as race:\n{}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_add_is_detected() {
+        let outcome = XfDetector::with_defaults()
+            .run(HashmapTx::new(8).with_bugs(BugId::HmDupAdd))
+            .unwrap();
+        assert!(
+            outcome.report.performance_count() >= 1,
+            "{}",
+            outcome.report
+        );
+    }
+}

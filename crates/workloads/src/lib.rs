@@ -1,0 +1,146 @@
+//! The evaluated PM programs of the XFDetector reproduction.
+//!
+//! Ports of the seven workloads from the paper's Table 4:
+//!
+//! | Workload | Type | Module |
+//! |---|---|---|
+//! | B-Tree | transactional | [`btree`] |
+//! | C-Tree | transactional | [`ctree`] |
+//! | RB-Tree | transactional | [`rbtree`] |
+//! | Hashmap-TX | transactional | [`hashmap_tx`] |
+//! | Hashmap-Atomic | low-level | [`hashmap_atomic`] |
+//! | Redis | transactional, real-world | [`redis`] |
+//! | Memcached | low-level, real-world | [`memcached`] |
+//!
+//! Each workload implements [`xfdetector::Workload`] and carries a
+//! [`bugs::BugSet`] of injectable defects reproducing the Table 5
+//! validation matrix and the four new bugs of §6.3.2 (see [`bugs`]).
+//! [`build`] constructs any of them dynamically for the benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod checksum_log;
+pub mod bugs;
+pub mod common;
+pub mod ctree;
+pub mod hashmap_atomic;
+pub mod hashmap_tx;
+pub mod memcached;
+pub mod rbtree;
+pub mod redis;
+
+use bugs::{BugId, BugSet, WorkloadKind};
+use xfdetector::Workload;
+
+/// Builds a workload of the given kind with `ops` operations and the given
+/// injected bugs.
+///
+/// # Example
+///
+/// ```
+/// use xfd_workloads::{build, bugs::{BugId, BugSet, WorkloadKind}};
+/// use xfdetector::XfDetector;
+///
+/// let w = build(WorkloadKind::Btree, 4, BugSet::single(BugId::BtNoAddCount));
+/// let outcome = XfDetector::with_defaults().run(w).unwrap();
+/// assert!(outcome.report.race_count() >= 1);
+/// ```
+#[must_use]
+pub fn build(kind: WorkloadKind, ops: u64, bugs: BugSet) -> Box<dyn Workload> {
+    build_with_init(kind, 0, ops, bugs)
+}
+
+/// As [`build`], with `init` pre-population operations performed during
+/// `setup` (the artifact's INITSIZE parameter).
+#[must_use]
+pub fn build_with_init(
+    kind: WorkloadKind,
+    init: u64,
+    ops: u64,
+    bugs: BugSet,
+) -> Box<dyn Workload> {
+    match kind {
+        WorkloadKind::Btree => Box::new(btree::Btree::new(ops).with_init(init).with_bugs(bugs)),
+        WorkloadKind::Ctree => Box::new(ctree::Ctree::new(ops).with_init(init).with_bugs(bugs)),
+        WorkloadKind::Rbtree => {
+            Box::new(rbtree::Rbtree::new(ops).with_init(init).with_bugs(bugs))
+        }
+        WorkloadKind::HashmapTx => {
+            Box::new(hashmap_tx::HashmapTx::new(ops).with_init(init).with_bugs(bugs))
+        }
+        WorkloadKind::HashmapAtomic => Box::new(
+            hashmap_atomic::HashmapAtomic::new(ops)
+                .with_init(init)
+                .with_bugs(bugs),
+        ),
+        WorkloadKind::Redis => Box::new(redis::Redis::new(ops).with_init(init).with_bugs(bugs)),
+        WorkloadKind::Memcached => Box::new(memcached::Memcached::new(ops).with_init(init)),
+    }
+}
+
+/// Operation count at which every injected bug in `kind` reliably fires
+/// (deep enough trees for splits/rotations, chained buckets, rebuilds).
+#[must_use]
+pub fn validation_ops(kind: WorkloadKind) -> u64 {
+    match kind {
+        WorkloadKind::Btree => 12,
+        WorkloadKind::Ctree => 8,
+        WorkloadKind::Rbtree => 16,
+        WorkloadKind::HashmapTx => 8,
+        WorkloadKind::HashmapAtomic => 8,
+        WorkloadKind::Redis => 5,
+        WorkloadKind::Memcached => 6,
+    }
+}
+
+/// Builds the workload hosting `bug` with the injection enabled, sized so
+/// the buggy path executes.
+#[must_use]
+pub fn build_with_bug(bug: BugId) -> Box<dyn Workload> {
+    let kind = bug.workload();
+    build(kind, validation_ops(kind), BugSet::single(bug))
+}
+
+/// The five microbenchmarks of Figures 12–13, in the paper's order.
+#[must_use]
+pub fn microbenchmarks() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::Btree,
+        WorkloadKind::Ctree,
+        WorkloadKind::Rbtree,
+        WorkloadKind::HashmapTx,
+        WorkloadKind::HashmapAtomic,
+    ]
+}
+
+/// All seven evaluated workloads (Table 4 / Figure 12), in the paper's
+/// order.
+#[must_use]
+pub fn all_workloads() -> Vec<WorkloadKind> {
+    let mut v = microbenchmarks();
+    v.push(WorkloadKind::Memcached);
+    v.push(WorkloadKind::Redis);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_named_workloads() {
+        for kind in all_workloads() {
+            let w = build(kind, 2, BugSet::none());
+            assert!(!w.name().is_empty());
+            assert!(w.pool_size() > 0);
+        }
+    }
+
+    #[test]
+    fn workload_lists_match_the_paper() {
+        assert_eq!(microbenchmarks().len(), 5);
+        assert_eq!(all_workloads().len(), 7);
+    }
+}

@@ -1,0 +1,292 @@
+//! Mini-Memcached: a PM-optimized item cache modeled on Lenovo's
+//! `memcached-pmem` (the paper's second real-world workload).
+//!
+//! Like the original, this is **low-level** PM code: items live in
+//! persistent slabs, the association table maps hashes to item chains, and
+//! all durability comes from hand-placed persist barriers plus atomic
+//! pointer publication — there is no transaction layer. Items are persisted
+//! completely before being linked into the table, so every reachable item
+//! is consistent after a failure.
+
+use pmdk_sim::ObjPool;
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload};
+
+use crate::common::{err, key_at, val_at};
+
+// Association-table header (root object).
+const RT_ASSOC: u64 = 0; // bucket array address
+const RT_NBUCKETS: u64 = 8;
+const RT_SIZE: u64 = 64;
+
+// Item layout: header line + data line (mimicking memcached's item struct
+// with key/flags/exptime in the header and the data block behind it).
+const IT_KEY: u64 = 0;
+const IT_FLAGS: u64 = 8;
+const IT_EXPTIME: u64 = 16;
+const IT_NEXT: u64 = 24;
+const IT_DATA: u64 = 64;
+const IT_SIZE: u64 = 128;
+
+const NBUCKETS: u64 = 32;
+
+/// The mini-Memcached workload: `ops` stores pre-failure, then a restart
+/// that warms the cache back up and serves gets.
+#[derive(Debug, Clone)]
+pub struct Memcached {
+    ops: u64,
+    init: u64,
+}
+
+impl Memcached {
+    /// Creates the workload with `ops` store commands.
+    #[must_use]
+    pub fn new(ops: u64) -> Self {
+        Memcached { ops, init: 0 }
+    }
+
+    /// Pre-populates the cache with `init` stores during `setup` (the
+    /// artifact's INITSIZE).
+    #[must_use]
+    pub fn with_init(mut self, init: u64) -> Self {
+        self.init = init;
+        self
+    }
+
+    fn assoc_init(ctx: &mut PmCtx, pool: &mut ObjPool, rt: u64) -> Result<u64, DynError> {
+        let existing = ctx.read_u64(rt + RT_ASSOC)?;
+        if existing != 0 {
+            return Ok(existing);
+        }
+        let assoc = pool.alloc_zeroed(ctx, NBUCKETS * 8)?;
+        ctx.write_u64(rt + RT_NBUCKETS, NBUCKETS)?;
+        ctx.persist_barrier(rt + RT_NBUCKETS, 8)?;
+        // Publish the table with a failure-atomic pointer store.
+        pool.atomic_store_u64(ctx, rt + RT_ASSOC, assoc)?;
+        Ok(assoc)
+    }
+
+    fn bucket(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<u64, DynError> {
+        let assoc = ctx.read_u64(rt + RT_ASSOC)?;
+        let n = ctx.read_u64(rt + RT_NBUCKETS)?;
+        if assoc == 0 || n == 0 {
+            return Err(err("assoc table not initialized"));
+        }
+        Ok(assoc + (key.wrapping_mul(0xc6a4_a793_5bd1_e995) % n) * 8)
+    }
+
+    /// `process_update_command` analogue: store an item.
+    fn store(
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        data: u64,
+    ) -> Result<(), DynError> {
+        let bucket = Self::bucket(ctx, rt, key)?;
+
+        // Overwrite in place when the key is resident.
+        let mut cur = ctx.read_u64(bucket)?;
+        while cur != 0 {
+            if ctx.read_u64(cur + IT_KEY)? == key {
+                pool.atomic_store_u64(ctx, cur + IT_DATA, data)?;
+                return Ok(());
+            }
+            cur = ctx.read_u64(cur + IT_NEXT)?;
+        }
+
+        // Allocate and fully persist the item, then publish it.
+        let item = pool.alloc(ctx, IT_SIZE)?;
+        ctx.write_u64(item + IT_KEY, key)?;
+        ctx.write_u64(item + IT_FLAGS, 0x20)?;
+        ctx.write_u64(item + IT_EXPTIME, u64::MAX)?;
+        ctx.write_u64(item + IT_DATA, data)?;
+        let head = ctx.read_u64(bucket)?;
+        ctx.write_u64(item + IT_NEXT, head)?;
+        ctx.persist_barrier(item, IT_SIZE)?;
+        pool.atomic_store_u64(ctx, bucket, item)?;
+        Ok(())
+    }
+
+    /// `process_get_command` analogue.
+    fn get(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<Option<u64>, DynError> {
+        let bucket = Self::bucket(ctx, rt, key)?;
+        let mut cur = ctx.read_u64(bucket)?;
+        let mut steps = 0;
+        while cur != 0 {
+            if ctx.read_u64(cur + IT_KEY)? == key {
+                let _flags = ctx.read_u64(cur + IT_FLAGS)?;
+                return Ok(Some(ctx.read_u64(cur + IT_DATA)?));
+            }
+            cur = ctx.read_u64(cur + IT_NEXT)?;
+            steps += 1;
+            if steps > 1_000_000 {
+                return Err(err("cycle in assoc chain"));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Deletes an item (unlink via atomic stores; the item is then freed).
+    fn delete(
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+    ) -> Result<bool, DynError> {
+        let bucket = Self::bucket(ctx, rt, key)?;
+        let mut prev = 0u64;
+        let mut cur = ctx.read_u64(bucket)?;
+        while cur != 0 {
+            let next = ctx.read_u64(cur + IT_NEXT)?;
+            if ctx.read_u64(cur + IT_KEY)? == key {
+                if prev == 0 {
+                    pool.atomic_store_u64(ctx, bucket, next)?;
+                } else {
+                    pool.atomic_store_u64(ctx, prev + IT_NEXT, next)?;
+                }
+                pool.free(ctx, cur)?;
+                return Ok(true);
+            }
+            prev = cur;
+            cur = next;
+        }
+        Ok(false)
+    }
+
+    /// Walks every chain, reading all item fields; returns the item count.
+    fn walk(ctx: &mut PmCtx, rt: u64) -> Result<u64, DynError> {
+        let assoc = ctx.read_u64(rt + RT_ASSOC)?;
+        if assoc == 0 {
+            return Ok(0);
+        }
+        let n = ctx.read_u64(rt + RT_NBUCKETS)?;
+        let mut total = 0;
+        for i in 0..n {
+            let mut cur = ctx.read_u64(assoc + i * 8)?;
+            let mut steps = 0;
+            while cur != 0 {
+                let _k = ctx.read_u64(cur + IT_KEY)?;
+                let _d = ctx.read_u64(cur + IT_DATA)?;
+                total += 1;
+                cur = ctx.read_u64(cur + IT_NEXT)?;
+                steps += 1;
+                if steps > 1_000_000 {
+                    return Err(err("cycle in assoc chain"));
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl Workload for Memcached {
+    fn name(&self) -> &str {
+        "memcached"
+    }
+
+    fn pool_size(&self) -> u64 {
+        4 * 1024 * 1024
+    }
+
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::create_robust(ctx)?;
+        if self.init > 0 {
+            let rt = pool.root(ctx, RT_SIZE)?;
+            Self::assoc_init(ctx, &mut pool, rt)?;
+            for i in 0..self.init {
+                Self::store(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        Self::assoc_init(ctx, &mut pool, rt)?;
+        for i in self.init..self.init + self.ops {
+            Self::store(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+        }
+        if self.ops > 0 {
+            // Exercise the in-place update and delete paths.
+            Self::store(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+        }
+        if self.ops > 1 {
+            let _ = Self::delete(ctx, &mut pool, rt, key_at(self.init + self.ops / 2))?;
+        }
+        Ok(())
+    }
+
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        if ctx.read_u64(rt + RT_ASSOC)? == 0 {
+            return Ok(()); // failure hit before the table was published
+        }
+        let _total = Self::walk(ctx, rt)?;
+        let _ = Self::get(ctx, rt, key_at(0))?;
+        Self::store(ctx, &mut pool, rt, key_at(6_666_666), 1)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+    use xfdetector::XfDetector;
+
+    fn setup() -> (PmCtx, ObjPool, u64) {
+        let mut ctx = PmCtx::new(PmPool::new(4 * 1024 * 1024).unwrap());
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let rt = pool.root(&mut ctx, RT_SIZE).unwrap();
+        Memcached::assoc_init(&mut ctx, &mut pool, rt).unwrap();
+        (ctx, pool, rt)
+    }
+
+    #[test]
+    fn store_get_delete_round_trip() {
+        let (mut ctx, mut pool, rt) = setup();
+        for i in 0..40 {
+            Memcached::store(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+        }
+        for i in 0..40 {
+            assert_eq!(
+                Memcached::get(&mut ctx, rt, key_at(i)).unwrap(),
+                Some(val_at(i))
+            );
+        }
+        assert_eq!(Memcached::walk(&mut ctx, rt).unwrap(), 40);
+        assert!(Memcached::delete(&mut ctx, &mut pool, rt, key_at(3)).unwrap());
+        assert!(!Memcached::delete(&mut ctx, &mut pool, rt, key_at(3)).unwrap());
+        assert_eq!(Memcached::get(&mut ctx, rt, key_at(3)).unwrap(), None);
+        assert_eq!(Memcached::walk(&mut ctx, rt).unwrap(), 39);
+    }
+
+    #[test]
+    fn store_overwrites_in_place() {
+        let (mut ctx, mut pool, rt) = setup();
+        Memcached::store(&mut ctx, &mut pool, rt, 5, 1).unwrap();
+        Memcached::store(&mut ctx, &mut pool, rt, 5, 2).unwrap();
+        assert_eq!(Memcached::get(&mut ctx, rt, 5).unwrap(), Some(2));
+        assert_eq!(Memcached::walk(&mut ctx, rt).unwrap(), 1);
+    }
+
+    #[test]
+    fn items_are_fully_persistent_once_reachable() {
+        let (mut ctx, mut pool, rt) = setup();
+        Memcached::store(&mut ctx, &mut pool, rt, 9, 99).unwrap();
+        let bucket = Memcached::bucket(&mut ctx, rt, 9).unwrap();
+        let item = ctx.read_u64(bucket).unwrap();
+        assert!(ctx.pool().is_persisted(item, IT_SIZE));
+    }
+
+    #[test]
+    fn correct_version_is_clean_under_detection() {
+        let outcome = XfDetector::with_defaults().run(Memcached::new(6)).unwrap();
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+        assert_eq!(outcome.report.performance_count(), 0, "{}", outcome.report);
+        assert!(outcome.stats.failure_points > 5);
+    }
+}

@@ -1,0 +1,592 @@
+//! RB-Tree: a transactional red-black tree, ported from PMDK's `rbtree`
+//! example.
+//!
+//! The classic CLRS insert with recoloring and rotations, where every node
+//! about to be modified is snapshotted into the undo log first. Rotations
+//! touch up to four existing nodes (the pivot, its child, the pivot's parent
+//! and the transferred subtree's root), giving the Table 5 suite distinct
+//! injection sites for child-pointer, parent-pointer, recoloring and
+//! root-pointer updates.
+
+use pmdk_sim::ObjPool;
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload};
+
+use crate::bugs::{BugId, BugSet};
+use crate::common::{err, key_at, val_at};
+
+// Root object layout (line-separated fields).
+const RT_ROOT: u64 = 0;
+const RT_COUNT: u64 = 64;
+const RT_SIZE: u64 = 128;
+
+// Node layout: kv line + link line.
+const ND_COLOR: u64 = 0; // 0 = black, 1 = red
+const ND_KEY: u64 = 8;
+const ND_VALUE: u64 = 16;
+const ND_PARENT: u64 = 64;
+const ND_LEFT: u64 = 72;
+const ND_RIGHT: u64 = 80;
+const ND_SIZE: u64 = 128;
+
+const BLACK: u64 = 0;
+const RED: u64 = 1;
+
+/// The RB-Tree workload.
+#[derive(Debug, Clone)]
+pub struct Rbtree {
+    ops: u64,
+    init: u64,
+    bugs: BugSet,
+}
+
+impl Rbtree {
+    /// Creates the workload with `ops` insertions and no injected bugs.
+    #[must_use]
+    pub fn new(ops: u64) -> Self {
+        Rbtree {
+            ops,
+            init: 0,
+            bugs: BugSet::none(),
+        }
+    }
+
+    /// Pre-populates the tree with `init` insertions during `setup` (the
+    /// artifact's INITSIZE), outside failure injection.
+    #[must_use]
+    pub fn with_init(mut self, init: u64) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Enables a set of injected bugs.
+    #[must_use]
+    pub fn with_bugs(mut self, bugs: impl Into<BugSet>) -> Self {
+        self.bugs = bugs.into();
+        self
+    }
+
+    fn has(&self, bug: BugId) -> bool {
+        self.bugs.has(bug)
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    fn color(ctx: &mut PmCtx, n: u64) -> Result<u64, DynError> {
+        if n == 0 {
+            return Ok(BLACK); // nil is black
+        }
+        Ok(ctx.read_u64(n + ND_COLOR)?)
+    }
+
+    fn parent(ctx: &mut PmCtx, n: u64) -> Result<u64, DynError> {
+        Ok(ctx.read_u64(n + ND_PARENT)?)
+    }
+
+    fn left(ctx: &mut PmCtx, n: u64) -> Result<u64, DynError> {
+        Ok(ctx.read_u64(n + ND_LEFT)?)
+    }
+
+    fn right(ctx: &mut PmCtx, n: u64) -> Result<u64, DynError> {
+        Ok(ctx.read_u64(n + ND_RIGHT)?)
+    }
+
+    /// Snapshots a node once per transaction.
+    fn add_node(
+        pool: &mut ObjPool,
+        ctx: &mut PmCtx,
+        node: u64,
+        seen: &mut Vec<u64>,
+    ) -> Result<(), DynError> {
+        if node == 0 || !pool.in_tx() || seen.contains(&node) {
+            return Ok(());
+        }
+        seen.push(node);
+        pool.tx_add(ctx, node, ND_SIZE)?;
+        Ok(())
+    }
+
+    fn set_color(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        n: u64,
+        color: u64,
+        seen: &mut Vec<u64>,
+    ) -> Result<(), DynError> {
+        if !self.has(BugId::RbNoAddColor) {
+            Self::add_node(pool, ctx, n, seen)?;
+        }
+        ctx.write_u64(n + ND_COLOR, color)?;
+        Ok(())
+    }
+
+    /// Updates the root pointer (protected unless the injection is active).
+    fn set_root(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        node: u64,
+    ) -> Result<(), DynError> {
+        if pool.in_tx() && !self.has(BugId::RbNoAddRootPtr) {
+            pool.tx_add(ctx, rt + RT_ROOT, 8)?;
+        }
+        ctx.write_u64(rt + RT_ROOT, node)?;
+        Ok(())
+    }
+
+    /// CLRS LEFT-ROTATE (dir = 0) / RIGHT-ROTATE (dir = 1) around `x`.
+    fn rotate(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        x: u64,
+        dir: u64,
+        seen: &mut Vec<u64>,
+    ) -> Result<(), DynError> {
+        let (near, far) = if dir == 0 {
+            (ND_LEFT, ND_RIGHT)
+        } else {
+            (ND_RIGHT, ND_LEFT)
+        };
+        let y = ctx.read_u64(x + far)?;
+        if y == 0 {
+            return Err(err("rotation pivot has no child"));
+        }
+        if !self.has(BugId::RbNoAddRotateChild) {
+            Self::add_node(pool, ctx, x, seen)?;
+            Self::add_node(pool, ctx, y, seen)?;
+        }
+
+        // x.far = y.near; y.near.parent = x
+        let transferred = ctx.read_u64(y + near)?;
+        ctx.write_u64(x + far, transferred)?;
+        if transferred != 0 {
+            Self::add_node(pool, ctx, transferred, seen)?;
+            ctx.write_u64(transferred + ND_PARENT, x)?;
+        }
+        // y.parent = x.parent; fix the parent's child pointer (or the root)
+        let xp = Self::parent(ctx, x)?;
+        ctx.write_u64(y + ND_PARENT, xp)?;
+        if xp == 0 {
+            self.set_root(ctx, pool, rt, y)?;
+        } else {
+            if !self.has(BugId::RbNoAddRotateParent) {
+                Self::add_node(pool, ctx, xp, seen)?;
+            }
+            if ctx.read_u64(xp + ND_LEFT)? == x {
+                ctx.write_u64(xp + ND_LEFT, y)?;
+            } else {
+                ctx.write_u64(xp + ND_RIGHT, y)?;
+            }
+        }
+        // y.near = x; x.parent = y
+        ctx.write_u64(y + near, x)?;
+        ctx.write_u64(x + ND_PARENT, y)?;
+        Ok(())
+    }
+
+    /// Inserts `key → value`; returns whether a new node was added.
+    pub fn insert(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<bool, DynError> {
+        let mut seen = Vec::new();
+        if self.has(BugId::RbOutsideTx) {
+            return self.insert_body(ctx, pool, rt, key, value, &mut seen);
+        }
+        pool.tx_begin(ctx)?;
+        match self.insert_body(ctx, pool, rt, key, value, &mut seen) {
+            Ok(added) => {
+                pool.tx_commit(ctx)?;
+                Ok(added)
+            }
+            Err(e) => {
+                let _ = pool.tx_abort(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    fn insert_body(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        value: u64,
+        seen: &mut Vec<u64>,
+    ) -> Result<bool, DynError> {
+        let in_tx = pool.in_tx();
+
+        // BST descent, updating in place on a match.
+        let mut parent = 0u64;
+        let mut cur = ctx.read_u64(rt + RT_ROOT)?;
+        let mut depth = 0;
+        while cur != 0 {
+            let k = ctx.read_u64(cur + ND_KEY)?;
+            if k == key {
+                if in_tx && !self.has(BugId::RbNoAddValueUpdate) {
+                    pool.tx_add(ctx, cur + ND_VALUE, 8)?;
+                }
+                ctx.write_u64(cur + ND_VALUE, value)?;
+                return Ok(false);
+            }
+            parent = cur;
+            cur = if key < k {
+                Self::left(ctx, cur)?
+            } else {
+                Self::right(ctx, cur)?
+            };
+            depth += 1;
+            if depth > 128 {
+                return Err(err("BST descent too deep (corrupt tree)"));
+            }
+        }
+
+        // Allocate the new red node (transaction-protected allocation).
+        let node = pool.alloc_zeroed(ctx, ND_SIZE)?;
+        ctx.write_u64(node + ND_COLOR, RED)?;
+        ctx.write_u64(node + ND_KEY, key)?;
+        ctx.write_u64(node + ND_VALUE, value)?;
+        ctx.write_u64(node + ND_PARENT, parent)?;
+
+        if parent == 0 {
+            self.set_root(ctx, pool, rt, node)?;
+        } else {
+            if !self.has(BugId::RbNoAddParentLink) {
+                Self::add_node(pool, ctx, parent, seen)?;
+            }
+            if self.has(BugId::RbDupAdd) && pool.in_tx() {
+                // The parent snapshotted a second time: wasted log space.
+                pool.tx_add(ctx, parent, ND_SIZE)?;
+            }
+            let pk = ctx.read_u64(parent + ND_KEY)?;
+            if key < pk {
+                ctx.write_u64(parent + ND_LEFT, node)?;
+            } else {
+                ctx.write_u64(parent + ND_RIGHT, node)?;
+            }
+        }
+
+        self.fixup(ctx, pool, rt, node, seen)?;
+
+        if in_tx && !self.has(BugId::RbNoAddCount) {
+            pool.tx_add(ctx, rt + RT_COUNT, 8)?;
+        }
+        let count = ctx.read_u64(rt + RT_COUNT)?;
+        ctx.write_u64(rt + RT_COUNT, count + 1)?;
+        Ok(true)
+    }
+
+    /// CLRS RB-INSERT-FIXUP.
+    fn fixup(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        mut z: u64,
+        seen: &mut Vec<u64>,
+    ) -> Result<(), DynError> {
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > 128 {
+                return Err(err("fixup did not converge (corrupt tree)"));
+            }
+            let p = Self::parent(ctx, z)?;
+            if p == 0 || Self::color(ctx, p)? == BLACK {
+                break;
+            }
+            let g = Self::parent(ctx, p)?;
+            if g == 0 {
+                break;
+            }
+            let p_is_left = ctx.read_u64(g + ND_LEFT)? == p;
+            let uncle = if p_is_left {
+                Self::right(ctx, g)?
+            } else {
+                Self::left(ctx, g)?
+            };
+            if Self::color(ctx, uncle)? == RED {
+                // Case 1: recolor and continue from the grandparent.
+                self.set_color(ctx, pool, p, BLACK, seen)?;
+                self.set_color(ctx, pool, uncle, BLACK, seen)?;
+                self.set_color(ctx, pool, g, RED, seen)?;
+                z = g;
+                continue;
+            }
+            // Cases 2+3: rotate.
+            let z_is_inner = if p_is_left {
+                ctx.read_u64(p + ND_RIGHT)? == z
+            } else {
+                ctx.read_u64(p + ND_LEFT)? == z
+            };
+            let mut pivot_parent = p;
+            if z_is_inner {
+                self.rotate(ctx, pool, rt, p, if p_is_left { 0 } else { 1 }, seen)?;
+                pivot_parent = z;
+            }
+            if self.has(BugId::RbNoAddRotateChild) {
+                // The whole rotation cluster skips its snapshots: recolor
+                // the pivots with bare stores so nothing protects them.
+                ctx.write_u64(pivot_parent + ND_COLOR, BLACK)?;
+                ctx.write_u64(g + ND_COLOR, RED)?;
+            } else {
+                self.set_color(ctx, pool, pivot_parent, BLACK, seen)?;
+                self.set_color(ctx, pool, g, RED, seen)?;
+            }
+            self.rotate(ctx, pool, rt, g, if p_is_left { 1 } else { 0 }, seen)?;
+            break;
+        }
+        // Root is always black.
+        let root = ctx.read_u64(rt + RT_ROOT)?;
+        if root != 0 && Self::color(ctx, root)? != BLACK {
+            self.set_color(ctx, pool, root, BLACK, seen)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn lookup(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<Option<u64>, DynError> {
+        let mut cur = ctx.read_u64(rt + RT_ROOT)?;
+        let mut depth = 0;
+        while cur != 0 {
+            let k = ctx.read_u64(cur + ND_KEY)?;
+            if k == key {
+                return Ok(Some(ctx.read_u64(cur + ND_VALUE)?));
+            }
+            cur = if key < k {
+                Self::left(ctx, cur)?
+            } else {
+                Self::right(ctx, cur)?
+            };
+            depth += 1;
+            if depth > 128 {
+                return Err(err("lookup descent too deep"));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Validates BST order, red-red absence, black-height balance and parent
+    /// pointers; returns `(node count, black height)`.
+    fn validate(
+        ctx: &mut PmCtx,
+        node: u64,
+        parent: u64,
+        lo: u64,
+        hi: u64,
+        depth: u64,
+    ) -> Result<(u64, u64), DynError> {
+        if node == 0 {
+            return Ok((0, 1));
+        }
+        if depth > 128 {
+            return Err(err("tree deeper than 128 levels (corrupt)"));
+        }
+        let k = ctx.read_u64(node + ND_KEY)?;
+        let _v = ctx.read_u64(node + ND_VALUE)?;
+        if k < lo || k > hi {
+            return Err(err(format!("key {k:#x} violates BST order")));
+        }
+        if Self::parent(ctx, node)? != parent {
+            return Err(err("parent pointer mismatch"));
+        }
+        let c = Self::color(ctx, node)?;
+        if c != RED && c != BLACK {
+            return Err(err(format!("invalid color {c}")));
+        }
+        let l = Self::left(ctx, node)?;
+        let r = Self::right(ctx, node)?;
+        if c == RED
+            && (Self::color(ctx, l)? == RED || Self::color(ctx, r)? == RED) {
+                return Err(err("red node with red child"));
+            }
+        let (lc, lb) = Self::validate(ctx, l, node, lo, k.saturating_sub(1), depth + 1)?;
+        let (rc, rb) = Self::validate(ctx, r, node, k.saturating_add(1), hi, depth + 1)?;
+        if lb != rb {
+            return Err(err(format!("black height mismatch {lb} vs {rb}")));
+        }
+        Ok((lc + rc + 1, lb + u64::from(c == BLACK)))
+    }
+}
+
+impl Workload for Rbtree {
+    fn name(&self) -> &str {
+        "rbtree"
+    }
+
+    fn pool_size(&self) -> u64 {
+        4 * 1024 * 1024
+    }
+
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::create_robust(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        let clean = Rbtree::new(0);
+        for i in 0..self.init {
+            clean.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+        }
+        Ok(())
+    }
+
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        for i in self.init..self.init + self.ops {
+            self.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
+        }
+        if self.ops > 0 {
+            self.insert(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+        }
+        Ok(())
+    }
+
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        let count = ctx.read_u64(rt + RT_COUNT)?;
+        let root = ctx.read_u64(rt + RT_ROOT)?;
+        if root == 0 {
+            if count != 0 {
+                return Err(err("empty tree with nonzero count"));
+            }
+            return Ok(());
+        }
+        if Self::color(ctx, root)? != BLACK {
+            return Err(err("root is not black"));
+        }
+        if Self::parent(ctx, root)? != 0 {
+            return Err(err("root has a parent"));
+        }
+        let (total, _bh) = Self::validate(ctx, root, 0, 0, u64::MAX, 0)?;
+        if total != count {
+            return Err(err(format!("count {count} != walked {total}")));
+        }
+        let _ = Self::lookup(ctx, rt, key_at(0))?;
+        let w = Rbtree::new(0);
+        w.insert(ctx, &mut pool, rt, key_at(3_333_333), 1)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+    use xfdetector::{BugCategory, XfDetector};
+
+    fn setup() -> (PmCtx, ObjPool, u64) {
+        let mut ctx = PmCtx::new(PmPool::new(8 * 1024 * 1024).unwrap());
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let rt = pool.root(&mut ctx, RT_SIZE).unwrap();
+        (ctx, pool, rt)
+    }
+
+    #[test]
+    fn insert_and_lookup_many_stays_balanced() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Rbtree::new(0);
+        for i in 0..200 {
+            assert!(w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap());
+        }
+        for i in 0..200 {
+            assert_eq!(
+                Rbtree::lookup(&mut ctx, rt, key_at(i)).unwrap(),
+                Some(val_at(i))
+            );
+        }
+        let root = ctx.read_u64(rt + RT_ROOT).unwrap();
+        let (total, bh) = Rbtree::validate(&mut ctx, root, 0, 0, u64::MAX, 0).unwrap();
+        assert_eq!(total, 200);
+        assert!(bh >= 4, "black height {bh} plausible for 200 nodes");
+    }
+
+    #[test]
+    fn sequential_keys_trigger_rotations() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Rbtree::new(0);
+        for k in 1..=64 {
+            w.insert(&mut ctx, &mut pool, rt, k, k).unwrap();
+        }
+        let root = ctx.read_u64(rt + RT_ROOT).unwrap();
+        let (total, _) = Rbtree::validate(&mut ctx, root, 0, 0, u64::MAX, 0).unwrap();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Rbtree::new(0);
+        assert!(w.insert(&mut ctx, &mut pool, rt, 10, 1).unwrap());
+        assert!(!w.insert(&mut ctx, &mut pool, rt, 10, 2).unwrap());
+        assert_eq!(Rbtree::lookup(&mut ctx, rt, 10).unwrap(), Some(2));
+        assert_eq!(ctx.read_u64(rt + RT_COUNT).unwrap(), 1);
+    }
+
+    #[test]
+    fn uncommitted_insert_rolls_back() {
+        let (mut ctx, mut pool, rt) = setup();
+        let w = Rbtree::new(0);
+        for i in 0..12 {
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+        }
+        pool.tx_begin(&mut ctx).unwrap();
+        let mut seen = Vec::new();
+        let _ = w
+            .insert_body(&mut ctx, &mut pool, rt, key_at(77), 1, &mut seen)
+            .unwrap();
+        let img = ctx.pool().full_image();
+        let mut post = ctx.fork_post(&img);
+        let mut rec = ObjPool::open(&mut post).unwrap();
+        let rt2 = rec.root(&mut post, RT_SIZE).unwrap();
+        assert_eq!(post.read_u64(rt2 + RT_COUNT).unwrap(), 12);
+        assert_eq!(Rbtree::lookup(&mut post, rt2, key_at(77)).unwrap(), None);
+        let root = post.read_u64(rt2 + RT_ROOT).unwrap();
+        let (total, _) = Rbtree::validate(&mut post, root, 0, 0, u64::MAX, 0).unwrap();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn correct_version_is_clean_under_detection() {
+        let outcome = XfDetector::with_defaults().run(Rbtree::new(16)).unwrap();
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+        assert_eq!(outcome.report.performance_count(), 0, "{}", outcome.report);
+    }
+
+    #[test]
+    fn race_suite_is_detected() {
+        for bug in BugId::all().iter().filter(|b| {
+            b.workload() == crate::bugs::WorkloadKind::Rbtree
+                && b.expected_category() == BugCategory::Race
+        }) {
+            let outcome = XfDetector::with_defaults()
+                .run(Rbtree::new(16).with_bugs(*bug))
+                .unwrap();
+            assert!(
+                outcome.report.race_count() >= 1,
+                "{bug:?} not detected as race:\n{}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_add_is_detected() {
+        let outcome = XfDetector::with_defaults()
+            .run(Rbtree::new(16).with_bugs(BugId::RbDupAdd))
+            .unwrap();
+        assert!(
+            outcome.report.performance_count() >= 1,
+            "{}",
+            outcome.report
+        );
+    }
+}

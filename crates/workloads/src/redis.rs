@@ -1,0 +1,429 @@
+//! Mini-Redis: a PM-optimized key-value server modeled on Intel's Redis
+//! port (`pmem/redis`, the paper's real-world transactional workload).
+//!
+//! The server keeps its dictionary in a PM pool: a root "server" object
+//! with the entry counter `num_dict_entries` and the bucket array, plus
+//! chained dict entries. Commands (`SET`/`GET`/`DEL`) run as undo-log
+//! transactions, like the original's persistent dict operations.
+//!
+//! **Bug 3** of the paper (server.c:4029) lives in server initialization:
+//! `initPersistentMemory()` zeroes `num_dict_entries` *without* transaction
+//! protection, so a failure during startup leaves its persistence unknown
+//! and the recovering server reads an inconsistent entry count.
+
+use pmdk_sim::ObjPool;
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload};
+
+use crate::bugs::{BugId, BugSet};
+use crate::common::{err, key_at, val_at};
+
+// Server (root object) layout.
+const RT_NUM_ENTRIES: u64 = 0; // num_dict_entries
+const RT_DICT: u64 = 64; // bucket array address
+const RT_NBUCKETS: u64 = 72;
+const RT_INITIALIZED: u64 = 128; // init-complete marker
+const RT_SIZE: u64 = 192;
+
+// Dict entry layout.
+const DE_KEY: u64 = 0;
+const DE_VALUE: u64 = 8;
+const DE_NEXT: u64 = 16;
+const DE_SIZE: u64 = 64;
+
+const NBUCKETS: u64 = 16;
+
+/// A client command, as the server's command loop would parse it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// `SET key value`.
+    Set(u64, u64),
+    /// `GET key`.
+    Get(u64),
+    /// `DEL key`.
+    Del(u64),
+}
+
+/// The mini-Redis workload: server startup plus a query stream.
+#[derive(Debug, Clone)]
+pub struct Redis {
+    queries: Vec<Command>,
+    init: u64,
+    bugs: BugSet,
+}
+
+impl Redis {
+    /// A workload whose query stream performs `n` `SET`s interleaved with
+    /// `GET`s and one `DEL`.
+    #[must_use]
+    pub fn new(n: u64) -> Self {
+        let mut queries = Vec::new();
+        for i in 0..n {
+            queries.push(Command::Set(key_at(i), val_at(i)));
+            if i % 3 == 2 {
+                queries.push(Command::Get(key_at(i - 1)));
+            }
+        }
+        if n > 1 {
+            queries.push(Command::Del(key_at(n / 2)));
+        }
+        Redis {
+            queries,
+            init: 0,
+            bugs: BugSet::none(),
+        }
+    }
+
+    /// A workload with an explicit query stream.
+    #[must_use]
+    pub fn with_queries(queries: Vec<Command>) -> Self {
+        Redis {
+            queries,
+            init: 0,
+            bugs: BugSet::none(),
+        }
+    }
+
+    /// Pre-populates the database with `init` SETs during `setup` (the
+    /// artifact's INITSIZE). With a nonzero `init`, server initialization
+    /// happens in `setup` too, so Bug 3 needs `init == 0` to be exposed.
+    #[must_use]
+    pub fn with_init(mut self, init: u64) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Enables a set of injected bugs.
+    #[must_use]
+    pub fn with_bugs(mut self, bugs: impl Into<BugSet>) -> Self {
+        self.bugs = bugs.into();
+        self
+    }
+
+    fn has(&self, bug: BugId) -> bool {
+        self.bugs.has(bug)
+    }
+
+    /// `initPersistentMemory()`: sets up the server's persistent state.
+    fn init_persistent_memory(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+    ) -> Result<(), DynError> {
+        if ctx.read_u64(rt + RT_INITIALIZED)? == 1 {
+            return Ok(());
+        }
+        if self.has(BugId::RdInitUnprotected) {
+            // Bug 3: the counter is zeroed outside any crash-consistency
+            // mechanism ("the initialization procedure is not protected by
+            // a transaction").
+            ctx.write_u64(rt + RT_NUM_ENTRIES, 0)?;
+            pool.tx_begin(ctx)?;
+            let dict = pool.alloc_zeroed(ctx, NBUCKETS * 8)?;
+            pool.tx_add(ctx, rt + RT_DICT, 16)?;
+            ctx.write_u64(rt + RT_DICT, dict)?;
+            ctx.write_u64(rt + RT_NBUCKETS, NBUCKETS)?;
+            pool.tx_add(ctx, rt + RT_INITIALIZED, 8)?;
+            ctx.write_u64(rt + RT_INITIALIZED, 1)?;
+            pool.tx_commit(ctx)?;
+        } else {
+            pool.tx_begin(ctx)?;
+            pool.tx_add(ctx, rt + RT_NUM_ENTRIES, 8)?;
+            ctx.write_u64(rt + RT_NUM_ENTRIES, 0)?;
+            let dict = pool.alloc_zeroed(ctx, NBUCKETS * 8)?;
+            pool.tx_add(ctx, rt + RT_DICT, 16)?;
+            ctx.write_u64(rt + RT_DICT, dict)?;
+            ctx.write_u64(rt + RT_NBUCKETS, NBUCKETS)?;
+            pool.tx_add(ctx, rt + RT_INITIALIZED, 8)?;
+            ctx.write_u64(rt + RT_INITIALIZED, 1)?;
+            pool.tx_commit(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn slot(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<u64, DynError> {
+        let dict = ctx.read_u64(rt + RT_DICT)?;
+        let n = ctx.read_u64(rt + RT_NBUCKETS)?;
+        if dict == 0 || n == 0 {
+            return Err(err("dict not initialized"));
+        }
+        let h = key.wrapping_mul(0xff51_afd7_ed55_8ccd) % n;
+        Ok(dict + h * 8)
+    }
+
+    /// Executes one command; returns `GET`'s result when applicable.
+    pub fn execute(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        cmd: Command,
+    ) -> Result<Option<u64>, DynError> {
+        match cmd {
+            Command::Get(key) => {
+                let slot = Self::slot(ctx, rt, key)?;
+                let mut cur = ctx.read_u64(slot)?;
+                while cur != 0 {
+                    if ctx.read_u64(cur + DE_KEY)? == key {
+                        return Ok(Some(ctx.read_u64(cur + DE_VALUE)?));
+                    }
+                    cur = ctx.read_u64(cur + DE_NEXT)?;
+                }
+                Ok(None)
+            }
+            Command::Set(key, value) => {
+                pool.tx_begin(ctx)?;
+                let r = self.set_body(ctx, pool, rt, key, value);
+                match r {
+                    Ok(()) => {
+                        pool.tx_commit(ctx)?;
+                        Ok(None)
+                    }
+                    Err(e) => {
+                        let _ = pool.tx_abort(ctx);
+                        Err(e)
+                    }
+                }
+            }
+            Command::Del(key) => {
+                pool.tx_begin(ctx)?;
+                let r = self.del_body(ctx, pool, rt, key);
+                match r {
+                    Ok(_) => {
+                        pool.tx_commit(ctx)?;
+                        Ok(None)
+                    }
+                    Err(e) => {
+                        let _ = pool.tx_abort(ctx);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    fn set_body(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<(), DynError> {
+        let slot = Self::slot(ctx, rt, key)?;
+        let mut cur = ctx.read_u64(slot)?;
+        while cur != 0 {
+            if ctx.read_u64(cur + DE_KEY)? == key {
+                pool.tx_add(ctx, cur + DE_VALUE, 8)?;
+                ctx.write_u64(cur + DE_VALUE, value)?;
+                return Ok(());
+            }
+            cur = ctx.read_u64(cur + DE_NEXT)?;
+        }
+        let entry = pool.alloc_zeroed(ctx, DE_SIZE)?;
+        ctx.write_u64(entry + DE_KEY, key)?;
+        ctx.write_u64(entry + DE_VALUE, value)?;
+        let head = ctx.read_u64(slot)?;
+        ctx.write_u64(entry + DE_NEXT, head)?;
+        pool.tx_add(ctx, slot, 8)?;
+        ctx.write_u64(slot, entry)?;
+        pool.tx_add(ctx, rt + RT_NUM_ENTRIES, 8)?;
+        let n = ctx.read_u64(rt + RT_NUM_ENTRIES)?;
+        ctx.write_u64(rt + RT_NUM_ENTRIES, n + 1)?;
+        Ok(())
+    }
+
+    fn del_body(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        key: u64,
+    ) -> Result<bool, DynError> {
+        let slot = Self::slot(ctx, rt, key)?;
+        let mut prev = 0u64;
+        let mut cur = ctx.read_u64(slot)?;
+        while cur != 0 {
+            let next = ctx.read_u64(cur + DE_NEXT)?;
+            if ctx.read_u64(cur + DE_KEY)? == key {
+                if prev == 0 {
+                    pool.tx_add(ctx, slot, 8)?;
+                    ctx.write_u64(slot, next)?;
+                } else {
+                    pool.tx_add(ctx, prev + DE_NEXT, 8)?;
+                    ctx.write_u64(prev + DE_NEXT, next)?;
+                }
+                pool.tx_add(ctx, rt + RT_NUM_ENTRIES, 8)?;
+                let n = ctx.read_u64(rt + RT_NUM_ENTRIES)?;
+                ctx.write_u64(rt + RT_NUM_ENTRIES, n.saturating_sub(1))?;
+                pool.free(ctx, cur)?;
+                return Ok(true);
+            }
+            prev = cur;
+            cur = next;
+        }
+        Ok(false)
+    }
+
+    /// Walks the dict, reading every entry; returns the entry count.
+    fn walk(ctx: &mut PmCtx, rt: u64) -> Result<u64, DynError> {
+        let dict = ctx.read_u64(rt + RT_DICT)?;
+        let n = ctx.read_u64(rt + RT_NBUCKETS)?;
+        if dict == 0 {
+            return Ok(0);
+        }
+        let mut total = 0;
+        for i in 0..n {
+            let mut cur = ctx.read_u64(dict + i * 8)?;
+            let mut steps = 0;
+            while cur != 0 {
+                let _k = ctx.read_u64(cur + DE_KEY)?;
+                let _v = ctx.read_u64(cur + DE_VALUE)?;
+                total += 1;
+                cur = ctx.read_u64(cur + DE_NEXT)?;
+                steps += 1;
+                if steps > 1_000_000 {
+                    return Err(err("cycle in dict chain"));
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+impl Workload for Redis {
+    fn name(&self) -> &str {
+        "redis"
+    }
+
+    fn pool_size(&self) -> u64 {
+        4 * 1024 * 1024
+    }
+
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::create_robust(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        if self.init > 0 {
+            let clean = Redis::with_queries(vec![]);
+            clean.init_persistent_memory(ctx, &mut pool, rt)?;
+            for i in 0..self.init {
+                let _ = clean.execute(
+                    ctx,
+                    &mut pool,
+                    rt,
+                    Command::Set(key_at(1_000 + i), val_at(i)),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        // Server startup happens inside the tested region so that
+        // initialization bugs see failure injection (the paper's RoI for
+        // Redis covers the code region that updates PM objects).
+        self.init_persistent_memory(ctx, &mut pool, rt)?;
+        for cmd in &self.queries {
+            let _ = self.execute(ctx, &mut pool, rt, *cmd)?;
+        }
+        Ok(())
+    }
+
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        // Server restart: open the pool (undo-log recovery) and reload.
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        if ctx.read_u64(rt + RT_INITIALIZED)? != 1 {
+            // Startup had not completed; the server would re-initialize.
+            return Ok(());
+        }
+        let expected = ctx.read_u64(rt + RT_NUM_ENTRIES)?;
+        let actual = Self::walk(ctx, rt)?;
+        if expected != actual {
+            return Err(err(format!(
+                "num_dict_entries {expected} != walked {actual}"
+            )));
+        }
+        // Serve traffic again.
+        let w = Redis::with_queries(vec![]);
+        let _ = w.execute(ctx, &mut pool, rt, Command::Get(key_at(0)))?;
+        let _ = w.execute(
+            ctx,
+            &mut pool,
+            rt,
+            Command::Set(key_at(8_888_888), 1),
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+    use xfdetector::XfDetector;
+
+    fn server() -> (PmCtx, ObjPool, u64, Redis) {
+        let mut ctx = PmCtx::new(PmPool::new(4 * 1024 * 1024).unwrap());
+        let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
+        let rt = pool.root(&mut ctx, RT_SIZE).unwrap();
+        let w = Redis::new(0);
+        w.init_persistent_memory(&mut ctx, &mut pool, rt).unwrap();
+        (ctx, pool, rt, w)
+    }
+
+    #[test]
+    fn set_get_del_round_trip() {
+        let (mut ctx, mut pool, rt, w) = server();
+        for i in 0..30 {
+            w.execute(&mut ctx, &mut pool, rt, Command::Set(key_at(i), val_at(i)))
+                .unwrap();
+        }
+        assert_eq!(
+            w.execute(&mut ctx, &mut pool, rt, Command::Get(key_at(7))).unwrap(),
+            Some(val_at(7))
+        );
+        assert_eq!(ctx.read_u64(rt + RT_NUM_ENTRIES).unwrap(), 30);
+        w.execute(&mut ctx, &mut pool, rt, Command::Del(key_at(7))).unwrap();
+        assert_eq!(
+            w.execute(&mut ctx, &mut pool, rt, Command::Get(key_at(7))).unwrap(),
+            None
+        );
+        assert_eq!(ctx.read_u64(rt + RT_NUM_ENTRIES).unwrap(), 29);
+        assert_eq!(Redis::walk(&mut ctx, rt).unwrap(), 29);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let (mut ctx, mut pool, rt, w) = server();
+        w.execute(&mut ctx, &mut pool, rt, Command::Set(1, 10)).unwrap();
+        w.execute(&mut ctx, &mut pool, rt, Command::Set(1, 20)).unwrap();
+        assert_eq!(
+            w.execute(&mut ctx, &mut pool, rt, Command::Get(1)).unwrap(),
+            Some(20)
+        );
+        assert_eq!(ctx.read_u64(rt + RT_NUM_ENTRIES).unwrap(), 1);
+    }
+
+    #[test]
+    fn correct_version_is_clean_under_detection() {
+        let outcome = XfDetector::with_defaults().run(Redis::new(5)).unwrap();
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+        assert_eq!(outcome.report.performance_count(), 0, "{}", outcome.report);
+    }
+
+    #[test]
+    fn new_bug_3_unprotected_init_is_detected() {
+        let outcome = XfDetector::with_defaults()
+            .run(Redis::new(5).with_bugs(BugId::RdInitUnprotected))
+            .unwrap();
+        assert!(
+            outcome.report.race_count() + outcome.report.semantic_count() >= 1,
+            "{}",
+            outcome.report
+        );
+    }
+}

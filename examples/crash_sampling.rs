@@ -1,0 +1,58 @@
+//! Crash-state sampling: the extension mode that materializes *concrete*
+//! crash images (dropping a random subset of non-persisted cache lines)
+//! instead of the paper's shadow-PM analysis over the full image.
+//!
+//! ```sh
+//! cargo run --example crash_sampling
+//! ```
+//!
+//! The demo shows why the paper's approach is preferable: a single
+//! shadow-based post-failure run covers *all* eviction interleavings, while
+//! sampling must get lucky — here the buggy hashmap's recovery only crashes
+//! in some sampled states, but the shadow finds the race deterministically.
+
+use pmem::CrashPolicy;
+use xfd_workloads::bugs::BugId;
+use xfd_workloads::hashmap_atomic::HashmapAtomic;
+use xfdetector::{XfConfig, XfDetector};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = || HashmapAtomic::new(4).with_bugs(BugId::HaNoPersistNodeKv);
+
+    println!("=== shadow-PM detection (the paper's mode) ===");
+    let shadow = XfDetector::with_defaults().run(workload())?;
+    println!(
+        "races: {}, failure points: {}",
+        shadow.report.race_count(),
+        shadow.stats.failure_points
+    );
+    assert!(shadow.report.race_count() >= 1);
+
+    println!("\n=== concrete crash-state sampling (extension) ===");
+    for seed in 0..5u64 {
+        let cfg = XfConfig {
+            crash_policy: CrashPolicy::RandomEviction { survive_prob: 0.5 },
+            rng_seed: seed,
+            ..XfConfig::default()
+        };
+        let sampled = XfDetector::new(cfg).run(workload())?;
+        println!(
+            "seed {seed}: {} post-failure error(s), {} race(s) via shadow state",
+            sampled.report.execution_failure_count(),
+            sampled.report.race_count(),
+        );
+    }
+
+    println!("\n=== pessimal crash: nothing unpersisted survives ===");
+    let cfg = XfConfig {
+        crash_policy: CrashPolicy::NoEviction,
+        ..XfConfig::default()
+    };
+    let pessimal = XfDetector::new(cfg).run(workload())?;
+    println!(
+        "{} post-failure error(s), {} race(s)",
+        pessimal.report.execution_failure_count(),
+        pessimal.report.race_count(),
+    );
+    Ok(())
+}

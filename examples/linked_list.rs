@@ -1,0 +1,140 @@
+//! The paper's Figure 1: a transactional persistent linked list whose
+//! `length` field is not covered by the transaction, tested with three
+//! recovery strategies.
+//!
+//! ```sh
+//! cargo run --example linked_list
+//! ```
+//!
+//! - **naive**: `recover()` only applies the undo logs; the resumed `pop()`
+//!   reads the inconsistent `length` → cross-failure bug (and potentially
+//!   the segfault the paper describes).
+//! - **pre-failure fix**: `length` is added to the transaction.
+//! - **post-failure fix**: `recover_alt()` recomputes `length` by walking
+//!   the list — the cheaper fix the paper highlights, which pre-failure-only
+//!   tools would wrongly flag.
+
+use pmdk_sim::ObjPool;
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload, XfDetector};
+
+const RT_HEAD: u64 = 0;
+const RT_LENGTH: u64 = 64;
+const RT_SIZE: u64 = 128;
+const ND_VALUE: u64 = 0;
+const ND_NEXT: u64 = 8;
+const ND_SIZE: u64 = 64;
+
+#[derive(Clone, Copy)]
+enum Recovery {
+    Naive,
+    FixPreFailure,
+    FixPostFailure,
+}
+
+struct LinkedList {
+    appends: u64,
+    recovery: Recovery,
+}
+
+impl LinkedList {
+    /// Figure 1 lines 1-8: append a node inside a transaction. `length++`
+    /// is protected only under the pre-failure fix.
+    fn append(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        value: u64,
+    ) -> Result<(), DynError> {
+        pool.tx_begin(ctx)?;
+        let node = pool.alloc_zeroed(ctx, ND_SIZE)?;
+        ctx.write_u64(node + ND_VALUE, value)?;
+        let head = ctx.read_u64(rt + RT_HEAD)?;
+        ctx.write_u64(node + ND_NEXT, head)?;
+        pool.tx_add(ctx, rt + RT_HEAD, 8)?; // TX_ADD(list.head)
+        ctx.write_u64(rt + RT_HEAD, node)?;
+        if matches!(self.recovery, Recovery::FixPreFailure) {
+            pool.tx_add(ctx, rt + RT_LENGTH, 8)?;
+        }
+        let len = ctx.read_u64(rt + RT_LENGTH)?;
+        ctx.write_u64(rt + RT_LENGTH, len + 1)?;
+        pool.tx_commit(ctx)?;
+        Ok(())
+    }
+
+    /// Figure 1 lines 13-21: remove the head if `length` is positive.
+    fn pop(&self, ctx: &mut PmCtx, pool: &mut ObjPool, rt: u64) -> Result<(), DynError> {
+        pool.tx_begin(ctx)?;
+        let len = ctx.read_u64(rt + RT_LENGTH)?;
+        if len > 0 {
+            let head = ctx.read_u64(rt + RT_HEAD)?;
+            if head == 0 {
+                let _ = pool.tx_abort(ctx);
+                return Err("pop from empty list: length lied (Figure 1 segfault)".into());
+            }
+            let next = ctx.read_u64(head + ND_NEXT)?;
+            pool.tx_add(ctx, rt + RT_HEAD, 8)?;
+            ctx.write_u64(rt + RT_HEAD, next)?;
+            pool.tx_add(ctx, rt + RT_LENGTH, 8)?;
+            ctx.write_u64(rt + RT_LENGTH, len - 1)?;
+        }
+        pool.tx_commit(ctx)?;
+        Ok(())
+    }
+}
+
+impl Workload for LinkedList {
+    fn name(&self) -> &str {
+        "linked-list"
+    }
+    fn pool_size(&self) -> u64 {
+        1024 * 1024
+    }
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::create_robust(ctx)?;
+        let _ = pool.root(ctx, RT_SIZE)?;
+        Ok(())
+    }
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        for i in 0..self.appends {
+            self.append(ctx, &mut pool, rt, i + 1)?;
+        }
+        Ok(())
+    }
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?; // recover(): apply undo logs
+        let rt = pool.root(ctx, RT_SIZE)?;
+        if matches!(self.recovery, Recovery::FixPostFailure) {
+            // recover_alt() (Figure 1 lines 22-31): traverse and overwrite.
+            let mut count = 0u64;
+            let mut cur = ctx.read_u64(rt + RT_HEAD)?;
+            while cur != 0 {
+                count += 1;
+                cur = ctx.read_u64(cur + ND_NEXT)?;
+            }
+            ctx.write_u64(rt + RT_LENGTH, count)?;
+            ctx.persist_barrier(rt + RT_LENGTH, 8)?;
+        }
+        self.pop(ctx, &mut pool, rt) // resumption
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let detector = XfDetector::with_defaults();
+    for (label, recovery) in [
+        ("naive recovery", Recovery::Naive),
+        ("pre-failure fix (TX_ADD length)", Recovery::FixPreFailure),
+        ("post-failure fix (recover_alt)", Recovery::FixPostFailure),
+    ] {
+        println!("=== {label} ===");
+        let outcome = detector.run(LinkedList {
+            appends: 3,
+            recovery,
+        })?;
+        println!("{}", outcome.report);
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! The decoupled backend (§5.5): record a detection run's traces, ship them
+//! as JSON, and re-run the analysis without the program.
+//!
+//! ```sh
+//! cargo run --example offline_analysis
+//! ```
+
+use xfd_workloads::bugs::BugId;
+use xfd_workloads::hashmap_atomic::HashmapAtomic;
+use xfdetector::{offline, XfConfig, XfDetector};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Frontend: run the buggy workload with trace recording enabled.
+    let cfg = XfConfig {
+        record_trace: true,
+        ..XfConfig::default()
+    };
+    let outcome = XfDetector::new(cfg)
+        .run(HashmapAtomic::new(3).with_bugs(BugId::HaNoPersistNodeKv))?;
+    let recorded = outcome.recorded.expect("recording was enabled");
+    println!(
+        "frontend: {} trace entries across {} failure points, {} finding(s)",
+        recorded.entry_count(),
+        recorded.failure_points.len(),
+        outcome.report.len(),
+    );
+
+    // "Ship" the trace: any process could pick this JSON up later.
+    let json = serde_json::to_string(&recorded)?;
+    println!("serialized trace: {} bytes of JSON", json.len());
+
+    // Backend: deserialize and analyze, no workload code involved.
+    let reloaded: offline::RecordedRun = serde_json::from_str(&json)?;
+    let report = offline::analyze(&reloaded, true);
+    println!("\nbackend replay:");
+    println!("{report}");
+
+    assert_eq!(report.race_count(), outcome.report.race_count());
+    println!("offline findings match the online run");
+    Ok(())
+}

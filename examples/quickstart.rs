@@ -1,0 +1,85 @@
+//! Quickstart: test a tiny persistent program for cross-failure bugs.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The program keeps a persistent counter guarded by a valid flag. The
+//! buggy variant forgets the persist barrier between the data and the flag;
+//! XFDetector injects a failure before every ordering point, runs the
+//! recovery continuation on a snapshot of the PM image, and reports the
+//! cross-failure race with reader/writer source locations.
+
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload, XfDetector};
+
+/// A persistent counter: `data` at offset 0, `ready` flag one line later.
+struct Counter {
+    /// Whether to persist `data` before publishing it via `ready`.
+    persist_data_first: bool,
+}
+
+impl Workload for Counter {
+    fn name(&self) -> &str {
+        "counter"
+    }
+
+    fn pool_size(&self) -> u64 {
+        4096
+    }
+
+    fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+        Ok(())
+    }
+
+    /// Normal execution: write the counter, then set the ready flag.
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        let (data, ready) = (base, base + 64);
+        ctx.register_commit_var(ready, 8); // Table 2: addCommitVar
+
+        ctx.write_u64(data, 42)?;
+        if self.persist_data_first {
+            ctx.persist_barrier(data, 8)?; // CLWB; SFENCE
+        }
+        ctx.write_u64(ready, 1)?;
+        ctx.persist_barrier(ready, 8)?;
+        Ok(())
+    }
+
+    /// Recovery: read the counter only if the flag says it is ready.
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        if ctx.read_u64(base + 64)? == 1 {
+            let value = ctx.read_u64(base)?; // races if never persisted!
+            if value != 42 {
+                return Err(format!("recovered garbage: {value}").into());
+            }
+        }
+        Ok(())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let detector = XfDetector::with_defaults();
+
+    println!("=== buggy version (no barrier between data and flag) ===");
+    let buggy = detector.run(Counter {
+        persist_data_first: false,
+    })?;
+    println!("{}", buggy.report);
+    println!(
+        "failure points injected: {}, post-failure executions: {}\n",
+        buggy.stats.failure_points, buggy.stats.post_runs
+    );
+
+    println!("=== fixed version ===");
+    let fixed = detector.run(Counter {
+        persist_data_first: true,
+    })?;
+    println!("{}", fixed.report);
+
+    assert!(buggy.report.has_correctness_bugs());
+    assert!(!fixed.report.has_correctness_bugs());
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Testing the mini-Redis server, including the paper's Bug 3: the server
+//! initializes `num_dict_entries` without crash-consistency protection
+//! (server.c:4029).
+//!
+//! ```sh
+//! cargo run --example redis_server
+//! ```
+
+use xfd_workloads::bugs::BugId;
+use xfd_workloads::redis::{Command, Redis};
+use xfdetector::XfDetector;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let detector = XfDetector::with_defaults();
+
+    // A custom query stream, as a client would issue it.
+    let queries = vec![
+        Command::Set(1001, 11),
+        Command::Set(1002, 22),
+        Command::Get(1001),
+        Command::Set(1003, 33),
+        Command::Del(1002),
+        Command::Get(1002),
+    ];
+
+    println!("=== buggy server: unprotected initPersistentMemory (Bug 3) ===");
+    let buggy = detector.run(
+        Redis::with_queries(queries.clone()).with_bugs(BugId::RdInitUnprotected),
+    )?;
+    println!("{}", buggy.report);
+    println!(
+        "pre-failure trace: {} entries, post-failure executions: {}\n",
+        buggy.stats.pre_entries, buggy.stats.post_runs
+    );
+
+    println!("=== fixed server ===");
+    let fixed = detector.run(Redis::with_queries(queries))?;
+    println!("{}", fixed.report);
+
+    assert!(buggy.report.has_correctness_bugs());
+    assert!(!fixed.report.has_correctness_bugs());
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! The paper's Figure 2: an array update protected by a valid flag, where
+//! the barriers are all in the right places but the *flag values* are
+//! inverted — a pre-failure semantic bug that only manifests after a
+//! failure.
+//!
+//! ```sh
+//! cargo run --example valid_flag
+//! ```
+
+use pmem::PmCtx;
+use xfdetector::{DynError, Workload, XfDetector};
+
+const BACKUP: u64 = 0;
+const BACKUP_IDX: u64 = 8;
+const VALID: u64 = 64;
+const ARR: u64 = 128; // arr[8]
+
+struct ArrayUpdate {
+    updates: u64,
+    inverted_valid: bool,
+}
+
+impl ArrayUpdate {
+    /// Figure 2 `update()`: back up the old value, set the valid flag,
+    /// update in place, clear the flag — each step persisted.
+    fn update(&self, ctx: &mut PmCtx, idx: u64, value: u64) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        let (open, close) = if self.inverted_valid { (0, 1) } else { (1, 0) };
+
+        let old = ctx.read_u64(base + ARR + idx * 8)?;
+        ctx.write_u64(base + BACKUP, old)?;
+        ctx.write_u64(base + BACKUP_IDX, idx)?;
+        ctx.persist_barrier(base + BACKUP, 16)?;
+
+        ctx.write_u64(base + VALID, open)?; // should be 1
+        ctx.persist_barrier(base + VALID, 8)?;
+
+        ctx.write_u64(base + ARR + idx * 8, value)?;
+        ctx.persist_barrier(base + ARR + idx * 8, 8)?;
+
+        ctx.write_u64(base + VALID, close)?; // should be 0
+        ctx.persist_barrier(base + VALID, 8)?;
+        Ok(())
+    }
+}
+
+impl Workload for ArrayUpdate {
+    fn name(&self) -> &str {
+        "valid-flag"
+    }
+    fn pool_size(&self) -> u64 {
+        4096
+    }
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        // Table 2: the valid flag is the commit variable; its reads during
+        // recovery are benign cross-failure races. Its associated set
+        // (Equation 2) is the backup record it validates — scoping it keeps
+        // unrelated old array slots out of the staleness check.
+        ctx.register_commit_var(base + VALID, 8);
+        ctx.register_commit_range(base + VALID, base + BACKUP, 16);
+        Ok(())
+    }
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        for i in 0..self.updates {
+            self.update(ctx, i % 8, 100 + i)?;
+        }
+        Ok(())
+    }
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        // Figure 2 `recover()`: roll back iff the backup is valid.
+        if ctx.read_u64(base + VALID)? == 1 {
+            let idx = ctx.read_u64(base + BACKUP_IDX)? % 8;
+            let backup = ctx.read_u64(base + BACKUP)?;
+            ctx.write_u64(base + ARR + idx * 8, backup)?;
+            ctx.persist_barrier(base + ARR + idx * 8, 8)?;
+        }
+        let _ = ctx.read_u64(base + ARR)?; // resume using the array
+        Ok(())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let detector = XfDetector::with_defaults();
+
+    println!("=== buggy: inverted valid-flag values (Figure 2) ===");
+    let buggy = detector.run(ArrayUpdate {
+        updates: 2,
+        inverted_valid: true,
+    })?;
+    println!("{}", buggy.report);
+
+    println!("=== fixed: correct valid-flag protocol ===");
+    let fixed = detector.run(ArrayUpdate {
+        updates: 2,
+        inverted_valid: false,
+    })?;
+    println!("{}", fixed.report);
+
+    assert!(buggy.report.semantic_count() >= 1);
+    assert!(!fixed.report.has_correctness_bugs());
+    Ok(())
+}

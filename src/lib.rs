@@ -1,0 +1,27 @@
+//! Facade crate for the XFDetector reproduction.
+//!
+//! Re-exports the full public API of the workspace so that examples and
+//! integration tests (and downstream users who want a single dependency) can
+//! reach every subsystem:
+//!
+//! - [`pmem`] — the persistent-memory hardware simulator,
+//! - [`xftrace`] — the PM-operation tracing substrate,
+//! - [`pmdk`] — the PMDK-workalike transactional library,
+//! - [`xfdetector`] — the cross-failure bug detector (the paper's
+//!   contribution),
+//! - [`workloads`] — the evaluated PM programs and the synthetic bug
+//!   registry.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end run of the detector against
+//! a small persistent data structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pmdk_sim as pmdk;
+pub use pmem;
+pub use xfd_workloads as workloads;
+pub use xfdetector;
+pub use xftrace;

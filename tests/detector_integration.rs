@@ -1,0 +1,396 @@
+//! Cross-crate integration tests: the paper's motivating examples
+//! (Figures 1 and 2) run end-to-end through the detector, plus engine-level
+//! properties that span pmem + pmdk + xfdetector.
+
+use xfd::pmdk::ObjPool;
+use xfd::pmem::{CrashPolicy, PmCtx};
+use xfd::xfdetector::{BugCategory, DynError, Workload, XfConfig, XfDetector};
+
+// ---------------------------------------------------------------------------
+// Figure 1: the persistent linked list whose `length` is not added to the
+// transaction, with both the naive and the corrected recovery.
+// ---------------------------------------------------------------------------
+
+const RT_HEAD: u64 = 0;
+const RT_LENGTH: u64 = 64;
+const RT_SIZE: u64 = 128;
+const ND_VALUE: u64 = 0;
+const ND_NEXT: u64 = 8;
+const ND_SIZE: u64 = 64;
+
+/// The Figure 1 linked list. `fix_pre_failure` adds `length` to the
+/// transaction (the pre-failure fix); `fix_post_failure` recomputes it
+/// during recovery (`recover_alt()`, the post-failure fix).
+struct LinkedList {
+    appends: u64,
+    fix_pre_failure: bool,
+    fix_post_failure: bool,
+}
+
+impl LinkedList {
+    fn append(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        rt: u64,
+        value: u64,
+    ) -> Result<(), DynError> {
+        pool.tx_begin(ctx)?;
+        let node = pool.alloc_zeroed(ctx, ND_SIZE)?;
+        ctx.write_u64(node + ND_VALUE, value)?;
+        let head = ctx.read_u64(rt + RT_HEAD)?;
+        ctx.write_u64(node + ND_NEXT, head)?;
+        pool.tx_add(ctx, rt + RT_HEAD, 8)?; // TX_ADD(list.head)
+        ctx.write_u64(rt + RT_HEAD, node)?;
+        if self.fix_pre_failure {
+            pool.tx_add(ctx, rt + RT_LENGTH, 8)?;
+        }
+        let len = ctx.read_u64(rt + RT_LENGTH)?;
+        ctx.write_u64(rt + RT_LENGTH, len + 1)?; // length++ (unprotected!)
+        pool.tx_commit(ctx)?;
+        Ok(())
+    }
+
+    /// `pop()`: reads `length` to decide whether the list is nonempty.
+    fn pop(&self, ctx: &mut PmCtx, pool: &mut ObjPool, rt: u64) -> Result<(), DynError> {
+        pool.tx_begin(ctx)?;
+        let len = ctx.read_u64(rt + RT_LENGTH)?;
+        if len > 0 {
+            let head = ctx.read_u64(rt + RT_HEAD)?;
+            if head == 0 {
+                let _ = pool.tx_abort(ctx);
+                return Err("length positive but list empty (the Figure 1 segfault)".into());
+            }
+            let next = ctx.read_u64(head + ND_NEXT)?;
+            pool.tx_add(ctx, rt + RT_HEAD, 8)?;
+            ctx.write_u64(rt + RT_HEAD, next)?;
+            pool.tx_add(ctx, rt + RT_LENGTH, 8)?;
+            ctx.write_u64(rt + RT_LENGTH, len - 1)?;
+        }
+        pool.tx_commit(ctx)?;
+        Ok(())
+    }
+}
+
+impl Workload for LinkedList {
+    fn name(&self) -> &str {
+        "figure1-linked-list"
+    }
+    fn pool_size(&self) -> u64 {
+        1024 * 1024
+    }
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::create_robust(ctx)?;
+        let _ = pool.root(ctx, RT_SIZE)?;
+        Ok(())
+    }
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?;
+        let rt = pool.root(ctx, RT_SIZE)?;
+        for i in 0..self.appends {
+            self.append(ctx, &mut pool, rt, i + 1)?;
+        }
+        Ok(())
+    }
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let mut pool = ObjPool::open(ctx)?; // recover(): apply undo logs
+        let rt = pool.root(ctx, RT_SIZE)?;
+        if self.fix_post_failure {
+            // recover_alt(): recompute the length from the list itself.
+            let mut count = 0u64;
+            let mut cur = ctx.read_u64(rt + RT_HEAD)?;
+            while cur != 0 {
+                count += 1;
+                cur = ctx.read_u64(cur + ND_NEXT)?;
+                if count > 1_000_000 {
+                    return Err("cycle".into());
+                }
+            }
+            ctx.write_u64(rt + RT_LENGTH, count)?;
+            ctx.persist_barrier(rt + RT_LENGTH, 8)?;
+        }
+        // Resume: the next operation is pop() (Figure 1 lines 13-21).
+        self.pop(ctx, &mut pool, rt)
+    }
+}
+
+#[test]
+fn figure1_naive_recovery_races_on_length() {
+    let outcome = XfDetector::with_defaults()
+        .run(LinkedList {
+            appends: 3,
+            fix_pre_failure: false,
+            fix_post_failure: false,
+        })
+        .unwrap();
+    assert!(
+        outcome.report.race_count() + outcome.report.semantic_count() >= 1,
+        "{}",
+        outcome.report
+    );
+}
+
+#[test]
+fn figure1_pre_failure_fix_is_clean() {
+    let outcome = XfDetector::with_defaults()
+        .run(LinkedList {
+            appends: 3,
+            fix_pre_failure: true,
+            fix_post_failure: false,
+        })
+        .unwrap();
+    assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+}
+
+#[test]
+fn figure1_post_failure_fix_recover_alt_is_clean() {
+    // The paper's point: the *post-failure* fix also makes the program
+    // crash-consistent, and testing only the pre-failure stage would
+    // falsely flag it.
+    let outcome = XfDetector::with_defaults()
+        .run(LinkedList {
+            appends: 3,
+            fix_pre_failure: false,
+            fix_post_failure: true,
+        })
+        .unwrap();
+    assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: the valid-flag update with correct barriers but inverted commit
+// values.
+// ---------------------------------------------------------------------------
+
+const F2_BACKUP: u64 = 0;
+const F2_VALID: u64 = 64;
+const F2_ARR: u64 = 128;
+
+/// The Figure 2 array update. `inverted_valid == true` reproduces the
+/// paper's buggy variant where the flag values are swapped.
+struct ValidFlag {
+    updates: u64,
+    inverted_valid: bool,
+}
+
+impl ValidFlag {
+    fn update(&self, ctx: &mut PmCtx, value: u64) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        let (set_val, clear_val) = if self.inverted_valid { (0, 1) } else { (1, 0) };
+        // backup = arr[idx]
+        let old = ctx.read_u64(base + F2_ARR)?;
+        ctx.write_u64(base + F2_BACKUP, old)?;
+        ctx.persist_barrier(base + F2_BACKUP, 8)?;
+        // valid = 1 (buggy: 0)
+        ctx.write_u64(base + F2_VALID, set_val)?;
+        ctx.persist_barrier(base + F2_VALID, 8)?;
+        // arr[idx] = new
+        ctx.write_u64(base + F2_ARR, value)?;
+        ctx.persist_barrier(base + F2_ARR, 8)?;
+        // valid = 0 (buggy: 1)
+        ctx.write_u64(base + F2_VALID, clear_val)?;
+        ctx.persist_barrier(base + F2_VALID, 8)?;
+        Ok(())
+    }
+}
+
+impl Workload for ValidFlag {
+    fn name(&self) -> &str {
+        "figure2-valid-flag"
+    }
+    fn pool_size(&self) -> u64 {
+        4096
+    }
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        ctx.register_commit_var(base + F2_VALID, 8);
+        Ok(())
+    }
+    fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        for i in 0..self.updates {
+            self.update(ctx, 100 + i)?;
+        }
+        Ok(())
+    }
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let base = ctx.pool().base();
+        // recover(): if valid, roll back with the backup.
+        if ctx.read_u64(base + F2_VALID)? == 1 {
+            let backup = ctx.read_u64(base + F2_BACKUP)?;
+            ctx.write_u64(base + F2_ARR, backup)?;
+            ctx.persist_barrier(base + F2_ARR, 8)?;
+        }
+        let _ = ctx.read_u64(base + F2_ARR)?;
+        Ok(())
+    }
+}
+
+#[test]
+fn figure2_inverted_valid_flag_is_a_semantic_bug() {
+    let outcome = XfDetector::with_defaults()
+        .run(ValidFlag {
+            updates: 2,
+            inverted_valid: true,
+        })
+        .unwrap();
+    assert!(
+        outcome.report.semantic_count() >= 1,
+        "{}",
+        outcome.report
+    );
+}
+
+#[test]
+fn figure2_correct_valid_flag_is_clean() {
+    let outcome = XfDetector::with_defaults()
+        .run(ValidFlag {
+            updates: 2,
+            inverted_valid: false,
+        })
+        .unwrap();
+    assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level integration properties.
+// ---------------------------------------------------------------------------
+
+/// Failure points scale linearly with the number of operations (the
+/// premise of Figure 13).
+#[test]
+fn failure_points_scale_linearly_with_transactions() {
+    use xfd::workloads::btree::Btree;
+    let fp = |n: u64| {
+        XfDetector::with_defaults()
+            .run(Btree::new(n))
+            .unwrap()
+            .stats
+            .failure_points
+    };
+    let (f2, f4, f8) = (fp(2), fp(4), fp(8));
+    assert!(f4 > f2 && f8 > f4);
+    // Roughly linear: doubling the ops should not much more than double
+    // the failure points.
+    assert!(f8 < f2 * 8, "f2={f2} f8={f8}");
+}
+
+/// Crash-state sampling (the extension mode) agrees with the shadow-based
+/// detection on a correct program: no post-failure execution fails.
+#[test]
+fn crash_sampling_mode_runs_clean_programs_cleanly() {
+    use xfd::workloads::memcached::Memcached;
+    let cfg = XfConfig {
+        crash_policy: CrashPolicy::RandomEviction { survive_prob: 0.5 },
+        rng_seed: 7,
+        ..XfConfig::default()
+    };
+    let outcome = XfDetector::new(cfg).run(Memcached::new(5)).unwrap();
+    assert_eq!(
+        outcome.report.execution_failure_count(),
+        0,
+        "a crash-consistent program must recover from every sampled crash state:\n{}",
+        outcome.report
+    );
+}
+
+/// Detection dedups: running the same buggy workload twice yields the same
+/// finding set.
+#[test]
+fn detection_is_deterministic() {
+    use xfd::workloads::build_with_bug;
+    use xfd::workloads::bugs::BugId;
+    let run = || {
+        let o = XfDetector::with_defaults()
+            .run(build_with_bug(BugId::HmNoAddCount))
+            .unwrap();
+        o.report
+            .findings()
+            .iter()
+            .map(|f| (f.kind, f.reader, f.writer))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+/// The two §5.4 optimizations do not change what is detected, only how much
+/// work is done (the DESIGN.md ablations).
+#[test]
+fn optimizations_preserve_detection_results() {
+    use xfd::workloads::build_with_bug;
+    use xfd::workloads::bugs::BugId;
+
+    let categories = |cfg: XfConfig| {
+        let o = XfDetector::new(cfg)
+            .run(build_with_bug(BugId::CtNoAddCount))
+            .unwrap();
+        (
+            o.report.race_count() > 0,
+            o.report.semantic_count() > 0,
+            o.stats.failure_points,
+        )
+    };
+
+    let base = categories(XfConfig::default());
+    let unskipped = categories(XfConfig {
+        skip_empty_failure_points: false,
+        ..XfConfig::default()
+    });
+    let allread = categories(XfConfig {
+        first_read_only: false,
+        ..XfConfig::default()
+    });
+
+    assert_eq!(base.0, unskipped.0);
+    assert_eq!(base.0, allread.0);
+    assert!(
+        unskipped.2 >= base.2,
+        "disabling skip-empty can only add failure points"
+    );
+}
+
+/// The whole-category sweep of BugCategory is exercised by the suite.
+#[test]
+fn bug_categories_are_complete() {
+    let mut seen = std::collections::HashSet::new();
+    for b in xfd::workloads::bugs::BugId::all() {
+        seen.insert(format!("{:?}", b.expected_category()));
+    }
+    assert!(seen.contains("Race"));
+    assert!(seen.contains("Semantic"));
+    assert!(seen.contains("Performance"));
+    let _ = BugCategory::Race; // type reachable from the facade
+}
+
+/// Parallel detection (the §6.2.1 future work) finds exactly the same bugs
+/// as the sequential engine on real workloads.
+#[test]
+fn parallel_detection_matches_sequential_on_workloads() {
+    use xfd::workloads::bugs::{BugId, BugSet};
+    use xfd::workloads::hashmap_atomic::HashmapAtomic;
+
+    let keys = |o: &xfd::xfdetector::RunOutcome| {
+        let mut v: Vec<_> = o
+            .report
+            .findings()
+            .iter()
+            .map(|f| (f.kind, f.reader, f.writer))
+            .collect();
+        v.sort();
+        v
+    };
+
+    for bugs in [
+        BugSet::none(),
+        BugSet::single(BugId::HaNoPersistNodeKv),
+        BugSet::single(BugId::HaSemStaleCount),
+    ] {
+        let seq = XfDetector::with_defaults()
+            .run(HashmapAtomic::new(5).with_bugs(bugs.clone()))
+            .unwrap();
+        let par = XfDetector::with_defaults()
+            .run_parallel(HashmapAtomic::new(5).with_bugs(bugs), 4)
+            .unwrap();
+        assert_eq!(keys(&seq), keys(&par));
+        assert_eq!(seq.stats.failure_points, par.stats.failure_points);
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end reproduction of the four previously unknown bugs XFDetector
+//! found (paper §6.3.2, Figure 14).
+
+use std::rc::Rc;
+
+use xfd::pmdk::ObjPool;
+use xfd::pmem::{EngineHook, OrderingPointInfo, PmCtx, PmImage, PmPool};
+use xfd::workloads::bugs::BugId;
+use xfd::workloads::hashmap_atomic::HashmapAtomic;
+use xfd::workloads::redis::Redis;
+use xfd::xfdetector::{BugKind, XfDetector};
+use xfd::xftrace::SourceLoc;
+
+/// Bug 1: `create_hashmap` assigns the hash seed and coefficients without
+/// any crash-consistency protection (hashmap_atomic.c:132-138). A failure
+/// before they are written back lets the recovering program read invalid
+/// hash parameters — a cross-failure race.
+#[test]
+fn bug1_hashmap_atomic_unpersisted_hash_metadata() {
+    let outcome = XfDetector::with_defaults()
+        .run(HashmapAtomic::new(2).with_bugs(BugId::HaCreateNoPersistSeed))
+        .unwrap();
+    assert!(
+        outcome.report.race_count() >= 1,
+        "{}",
+        outcome.report
+    );
+    // The fixed program (barrier present) is clean.
+    let fixed = XfDetector::with_defaults().run(HashmapAtomic::new(2)).unwrap();
+    assert!(!fixed.report.has_correctness_bugs(), "{}", fixed.report);
+}
+
+/// Bug 2: the hashmap header is allocated without implicit zeroing and
+/// `count` is read before ever being initialized (hashmap_atomic.c:280).
+#[test]
+fn bug2_hashmap_atomic_uninitialized_count() {
+    let outcome = XfDetector::with_defaults()
+        .run(HashmapAtomic::new(2).with_bugs(BugId::HaUninitCount))
+        .unwrap();
+    let finding = outcome
+        .report
+        .findings()
+        .iter()
+        .find(|f| f.kind == BugKind::UninitializedRace)
+        .unwrap_or_else(|| panic!("no uninitialized-read race:\n{}", outcome.report));
+    // The writer location is the allocation site inside create().
+    assert!(finding.writer.unwrap().file.contains("hashmap_atomic.rs"));
+}
+
+/// Bug 3: Redis's `initPersistentMemory()` zeroes `num_dict_entries`
+/// without transaction protection (server.c:4029).
+#[test]
+fn bug3_redis_unprotected_initialization() {
+    let outcome = XfDetector::with_defaults()
+        .run(Redis::new(4).with_bugs(BugId::RdInitUnprotected))
+        .unwrap();
+    assert!(
+        outcome.report.race_count() + outcome.report.semantic_count() >= 1,
+        "{}",
+        outcome.report
+    );
+    let fixed = XfDetector::with_defaults().run(Redis::new(4)).unwrap();
+    assert!(!fixed.report.has_correctness_bugs(), "{}", fixed.report);
+}
+
+/// Bug 4: `pmemobj_createU` persists pool metadata in several unordered
+/// steps (obj.c:1324); a failure mid-creation strands a pool that the
+/// post-failure `open()` rejects. The failure-injection mechanism makes the
+/// bug observable even though `open` itself is library code.
+#[test]
+fn bug4_pool_creation_is_not_failure_atomic() {
+    // Capture the PM image at every failure point inside create() and
+    // attempt the post-failure open, exactly as the engine would.
+    #[derive(Default)]
+    struct Capture {
+        images: std::cell::RefCell<Vec<PmImage>>,
+    }
+    impl EngineHook for Capture {
+        fn on_ordering_point(&self, ctx: &mut PmCtx, _l: SourceLoc, _i: OrderingPointInfo) {
+            self.images.borrow_mut().push(ctx.pool().full_image());
+        }
+    }
+
+    let mut ctx = PmCtx::new(PmPool::new(256 * 1024).unwrap());
+    let cap = Rc::new(Capture::default());
+    ctx.set_hook(cap.clone());
+    let _ = ObjPool::create(&mut ctx).unwrap();
+    ctx.clear_hook();
+
+    let images = cap.images.borrow();
+    assert!(images.len() >= 3, "create() exposes mid-creation states");
+    let mut failures = 0;
+    for img in images.iter() {
+        let mut post = ctx.fork_post(img);
+        if ObjPool::open(&mut post).is_err() {
+            failures += 1;
+        }
+    }
+    assert_eq!(
+        failures,
+        images.len(),
+        "every mid-creation image must fail to open"
+    );
+
+    // The remedy the reproduction ships: open_or_create re-creates the
+    // stranded pool instead of failing.
+    let mut post = ctx.fork_post(&images[1]);
+    assert!(ObjPool::open_or_create(&mut post).is_ok());
+}
+
+/// Bug 4, detected through the engine: a workload whose pre-failure stage
+/// creates the pool and whose recovery uses plain `open` reports
+/// post-failure execution errors.
+#[test]
+fn bug4_manifests_as_post_failure_errors_under_the_engine() {
+    use xfd::xfdetector::{DynError, Workload};
+
+    struct CreateThenOpen;
+    impl Workload for CreateThenOpen {
+        fn name(&self) -> &str {
+            "create-then-open"
+        }
+        fn pool_size(&self) -> u64 {
+            256 * 1024
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+            Ok(())
+        }
+        fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let _pool = ObjPool::create(ctx)?;
+            Ok(())
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let _pool = ObjPool::open(ctx)?; // Bug 4: fails mid-creation
+            Ok(())
+        }
+    }
+
+    let outcome = XfDetector::with_defaults().run(CreateThenOpen).unwrap();
+    assert!(
+        outcome
+            .report
+            .findings()
+            .iter()
+            .any(|f| f.kind == BugKind::PostFailureError),
+        "{}",
+        outcome.report
+    );
+}

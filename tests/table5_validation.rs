@@ -1,0 +1,100 @@
+//! End-to-end validation of the synthetic-bug suite (paper Table 5): every
+//! registered bug, injected into its workload, must be detected in its
+//! expected category — and every workload must be clean without injections.
+
+use xfd::workloads::bugs::{BugId, BugSet, BugSuite, WorkloadKind};
+use xfd::workloads::{build, build_with_bug, validation_ops};
+use xfd::xfdetector::{BugCategory, XfDetector};
+
+/// Without injected bugs, no workload produces any finding (no false
+/// positives — the premise of the whole validation).
+#[test]
+fn all_workloads_are_clean_without_injected_bugs() {
+    for kind in xfd::workloads::all_workloads() {
+        let w = build(kind, validation_ops(kind), BugSet::none());
+        let outcome = XfDetector::with_defaults().run(w).unwrap();
+        assert!(
+            !outcome.report.has_correctness_bugs(),
+            "{kind} reported spurious findings:\n{}",
+            outcome.report
+        );
+        assert_eq!(
+            outcome.report.performance_count(),
+            0,
+            "{kind} reported spurious performance bugs:\n{}",
+            outcome.report
+        );
+    }
+}
+
+/// Every bug in the registry is detected, in the expected category.
+#[test]
+fn every_synthetic_bug_is_detected_in_its_category() {
+    let mut validated = 0;
+    for &bug in BugId::all() {
+        let outcome = XfDetector::with_defaults().run(build_with_bug(bug)).unwrap();
+        let detected = match bug.expected_category() {
+            BugCategory::Race => outcome.report.race_count() >= 1,
+            BugCategory::Semantic => outcome.report.semantic_count() >= 1,
+            BugCategory::Performance => outcome.report.performance_count() >= 1,
+            _ => unreachable!("no registered bug expects {:?}", bug.expected_category()),
+        };
+        assert!(
+            detected,
+            "{bug} not detected as {:?}:\n{}",
+            bug.expected_category(),
+            outcome.report
+        );
+        validated += 1;
+    }
+    assert_eq!(validated, BugId::all().len());
+}
+
+/// The registry counts match Table 5 of the paper (also asserted in the
+/// workloads crate; re-checked here as the integration-level contract).
+#[test]
+fn registry_matches_table5_counts() {
+    let count = |wl: WorkloadKind, suite: BugSuite, cat: BugCategory| {
+        BugId::all()
+            .iter()
+            .filter(|b| b.workload() == wl && b.suite() == suite && b.expected_category() == cat)
+            .count()
+    };
+    use BugCategory::{Performance, Race, Semantic};
+    use BugSuite::{Additional, PmTest};
+
+    // (workload, pmtest R, pmtest P, additional R, additional S)
+    let rows = [
+        (WorkloadKind::Btree, 8, 2, 4, 0),
+        (WorkloadKind::Ctree, 5, 1, 1, 0),
+        (WorkloadKind::Rbtree, 7, 1, 1, 0),
+        (WorkloadKind::HashmapTx, 6, 1, 3, 0),
+        (WorkloadKind::HashmapAtomic, 8, 2, 3, 4),
+    ];
+    for (wl, r, p, ar, as_) in rows {
+        assert_eq!(count(wl, PmTest, Race), r, "{wl} PMTest R");
+        assert_eq!(count(wl, PmTest, Performance), p, "{wl} PMTest P");
+        assert_eq!(count(wl, Additional, Race), ar, "{wl} additional R");
+        assert_eq!(count(wl, Additional, Semantic), as_, "{wl} additional S");
+    }
+}
+
+/// Reports carry reader and writer source locations pointing into the
+/// workload code (the paper's file:line reporting, §5.4).
+#[test]
+fn findings_carry_workload_source_locations() {
+    let outcome = XfDetector::with_defaults()
+        .run(build_with_bug(BugId::BtNoAddCount))
+        .unwrap();
+    let race = outcome
+        .report
+        .findings()
+        .iter()
+        .find(|f| f.kind.category() == BugCategory::Race)
+        .expect("race finding present");
+    let reader = race.reader.expect("reader location");
+    let writer = race.writer.expect("writer location");
+    assert!(reader.file.contains("btree.rs"), "reader at {reader}");
+    assert!(writer.file.contains("btree.rs"), "writer at {writer}");
+    assert!(race.failure_point.is_some());
+}
