@@ -13,13 +13,9 @@ fn bench_scalability(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for kind in [WorkloadKind::Btree, WorkloadKind::HashmapTx] {
         for n in [1u64, 10, 20] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), n),
-                &n,
-                |b, &n| {
-                    b.iter(|| std::hint::black_box(run_detection(kind, n)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), n), &n, |b, &n| {
+                b.iter(|| std::hint::black_box(run_detection(kind, n)));
+            });
         }
     }
     group.finish();

@@ -110,13 +110,12 @@ fn bench_shadow_replay(c: &mut Criterion) {
             )
         })
         .collect();
-    let fp = FailurePoint {
-        id: 0,
-        loc,
-    };
+    let fp = FailurePoint { id: 0, loc };
 
-    for (label, first_only) in [("post_check_first_read_only", true), ("post_check_all_reads", false)]
-    {
+    for (label, first_only) in [
+        ("post_check_first_read_only", true),
+        ("post_check_all_reads", false),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut checker = shadow.begin_post(first_only);

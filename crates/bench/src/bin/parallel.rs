@@ -17,7 +17,10 @@ fn main() {
     let detector = XfDetector::with_defaults();
 
     println!("parallel post-failure execution (B-Tree, {OPS} transactions)");
-    println!("{:<12} {:>10} {:>10} {:>8}", "mode", "time[s]", "#fp", "speedup");
+    println!(
+        "{:<12} {:>10} {:>10} {:>8}",
+        "mode", "time[s]", "#fp", "speedup"
+    );
 
     let t0 = Instant::now();
     let seq = detector.run(Btree::new(OPS)).unwrap();
@@ -56,9 +59,7 @@ fn main() {
     let seq_time = t0.elapsed();
     println!("sequential: {:.3}s", seq_time.as_secs_f64());
     let t = Instant::now();
-    let par = detector
-        .run_parallel(HashmapAtomic::new(OPS), 4)
-        .unwrap();
+    let par = detector.run_parallel(HashmapAtomic::new(OPS), 4).unwrap();
     println!(
         "4 workers:  {:.3}s ({:.1}x), identical findings: {}",
         t.elapsed().as_secs_f64(),

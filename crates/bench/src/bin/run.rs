@@ -45,7 +45,9 @@ fn parse_bug(name: &str) -> Option<BugId> {
 
 fn usage() -> ExitCode {
     eprintln!("usage: run <WORKLOAD> <INITSIZE> <TESTSIZE> [BUG]");
-    eprintln!("  WORKLOAD: btree | ctree | rbtree | hashmap-tx | hashmap-atomic | redis | memcached");
+    eprintln!(
+        "  WORKLOAD: btree | ctree | rbtree | hashmap-tx | hashmap-atomic | redis | memcached"
+    );
     eprintln!("  BUG ids:");
     for b in BugId::all() {
         eprintln!("    {b:?} — {}", b.description());

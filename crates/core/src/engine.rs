@@ -15,6 +15,7 @@
 //!    operation finished.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::time::Instant;
@@ -22,8 +23,10 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pmem::{CrashPolicy, EngineHook, OrderingPointInfo, PmCtx, PmError, PmPool};
-use xftrace::SourceLoc;
+use pmem::{
+    CowImage, CrashPolicy, EngineHook, ImageHash, OrderingPointInfo, PmCtx, PmError, PmPool,
+};
+use xftrace::{SourceLoc, TraceEntry};
 
 use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
 use crate::shadow::ShadowPm;
@@ -124,6 +127,20 @@ pub struct XfConfig {
     /// [`RunOutcome::recorded`] for offline analysis
     /// ([`crate::offline::analyze`], the §5.5 decoupled backend).
     pub record_trace: bool,
+    /// Snapshot crash images in copy-on-write form (`{shared base + line
+    /// deltas}`) instead of copying the whole pool at every failure point.
+    /// Identical crash states and reports either way; this only changes
+    /// how much memory traffic each failure point costs (see
+    /// [`RunStats::snapshot_bytes_copied`]).
+    pub cow_snapshots: bool,
+    /// Skip the post-failure *execution* when a failure point's crash
+    /// image is byte-identical to one already explored, replaying the
+    /// cached post-failure trace re-anchored to the new failure point.
+    /// The report is unchanged (the post-failure run is a pure function of
+    /// the image); only redundant work is elided, in the spirit of the
+    /// §5.4 optimizations. Requires [`XfConfig::cow_snapshots`] (content
+    /// hashing is defined on COW images); has no effect without it.
+    pub dedup_images: bool,
 }
 
 impl Default for XfConfig {
@@ -138,6 +155,8 @@ impl Default for XfConfig {
             crash_policy: CrashPolicy::FullImage,
             rng_seed: 0x5eed_cafe,
             record_trace: false,
+            cow_snapshots: true,
+            dedup_images: true,
         }
     }
 }
@@ -280,6 +299,7 @@ impl XfDetector {
             shadow: RefCell::new(ShadowPm::new()),
             report: RefCell::new(DetectionReport::new()),
             stats: RefCell::new(RunStats::default()),
+            dedup: RefCell::new(HashMap::new()),
             rng: RefCell::new(StdRng::seed_from_u64(self.config.rng_seed)),
             recorded: RefCell::new(if self.config.record_trace {
                 Some(crate::offline::RecordedRun::default())
@@ -300,8 +320,7 @@ impl XfDetector {
             ctx.set_failure_point_on_writes(true);
         }
         let pre_result = workload.pre_failure(&mut ctx);
-        if pre_result.is_ok() && self.config.inject_at_completion && !ctx.is_detection_complete()
-        {
+        if pre_result.is_ok() && self.config.inject_at_completion && !ctx.is_detection_complete() {
             // One final failure point after the last operation: covers bugs
             // like the Figure 2 "failure after update() completed" scenario.
             ctx.add_failure_point_at(SourceLoc::synthetic("<completion>"));
@@ -325,6 +344,9 @@ impl XfDetector {
         }
 
         let mut stats = shared.stats.borrow().clone();
+        // The hook accounted each post-failure pool; the pre-failure pool's
+        // copying (image capture + COW faults) is read off at the end.
+        stats.snapshot_bytes_copied += ctx.pool().snapshot_bytes_copied();
         stats.total_time = t_start.elapsed();
         let report = shared.report.borrow().clone();
         let recorded = shared.recorded.borrow_mut().take();
@@ -340,14 +362,38 @@ impl XfDetector {
 /// The boxed post-failure continuation the engine re-runs per failure point.
 type PostFn = Box<dyn Fn(&mut PmCtx) -> Result<(), DynError>>;
 
+/// Cached result of one post-failure execution, keyed by the content hash
+/// of the crash image it ran on. The image itself is kept for the exact
+/// `same_content` confirmation (a hash collision must degrade to a miss,
+/// never to a wrong reuse).
+struct CachedPost {
+    image: CowImage,
+    post: Vec<TraceEntry>,
+    outcome: PostOutcome,
+}
+
 struct EngineState {
     shadow: RefCell<ShadowPm>,
     report: RefCell<DetectionReport>,
     stats: RefCell<RunStats>,
+    dedup: RefCell<HashMap<ImageHash, CachedPost>>,
     rng: RefCell<StdRng>,
     recorded: RefCell<Option<crate::offline::RecordedRun>>,
     config: XfConfig,
     post: PostFn,
+}
+
+impl EngineState {
+    fn execute_post(&self, post_ctx: &mut PmCtx) -> PostOutcome {
+        if self.config.catch_post_panics {
+            match catch_unwind(AssertUnwindSafe(|| (self.post)(post_ctx))) {
+                Ok(r) => PostOutcome::from(r),
+                Err(payload) => PostOutcome::Panicked(panic_message(&*payload)),
+            }
+        } else {
+            PostOutcome::from((self.post)(post_ctx))
+        }
+    }
 }
 
 impl EngineHook for EngineState {
@@ -388,36 +434,73 @@ impl EngineHook for EngineState {
             FailurePoint { id, loc }
         };
 
-        // Suspend / copy the PM image / spawn the post-failure execution
-        // (Figure 8a steps ②–⑤). The image copy and fork are part of the
-        // post-failure cost, as in the paper's breakdown (Figure 12a).
+        // Suspend / snapshot the PM image / spawn the post-failure
+        // execution (Figure 8a steps ②–⑤). The image capture and fork are
+        // part of the post-failure cost, as in the paper's breakdown
+        // (Figure 12a). With COW snapshots the capture copies only dirty
+        // line deltas, and with dedup a failure point whose image was
+        // already explored reuses the cached post-failure trace instead of
+        // executing at all (the post run is a pure function of the image,
+        // so the replayed findings are identical — only re-anchored to the
+        // current failure point).
         let t_post = Instant::now();
-        let image = self
-            .config
-            .crash_policy
-            .image(ctx.pool(), &mut *self.rng.borrow_mut());
-        let mut post_ctx = ctx.fork_post(&image);
-
-        let outcome = if self.config.catch_post_panics {
-            match catch_unwind(AssertUnwindSafe(|| (self.post)(&mut post_ctx))) {
-                Ok(r) => PostOutcome::from(r),
-                Err(payload) => PostOutcome::Panicked(panic_message(&*payload)),
+        let (post_entries, outcome, executed) = if self.config.cow_snapshots {
+            let image = self
+                .config
+                .crash_policy
+                .cow_image(ctx.pool(), &mut *self.rng.borrow_mut());
+            let hash = self.config.dedup_images.then(|| image.content_hash());
+            let cached = hash.and_then(|h| {
+                self.dedup
+                    .borrow()
+                    .get(&h)
+                    .filter(|c| c.image.same_content(&image))
+                    .map(|c| (c.post.clone(), c.outcome.clone()))
+            });
+            if let Some((post, outcome)) = cached {
+                (post, outcome, false)
+            } else {
+                let mut post_ctx = ctx.fork_post_cow(&image);
+                let outcome = self.execute_post(&mut post_ctx);
+                let post = post_ctx.trace().drain();
+                self.stats.borrow_mut().snapshot_bytes_copied +=
+                    post_ctx.pool().snapshot_bytes_copied();
+                if let Some(h) = hash {
+                    self.dedup.borrow_mut().insert(
+                        h,
+                        CachedPost {
+                            image,
+                            post: post.clone(),
+                            outcome: outcome.clone(),
+                        },
+                    );
+                }
+                (post, outcome, true)
             }
         } else {
-            PostOutcome::from((self.post)(&mut post_ctx))
+            let image = self
+                .config
+                .crash_policy
+                .image(ctx.pool(), &mut *self.rng.borrow_mut());
+            let mut post_ctx = ctx.fork_post(&image);
+            let outcome = self.execute_post(&mut post_ctx);
+            let post = post_ctx.trace().drain();
+            self.stats.borrow_mut().snapshot_bytes_copied +=
+                post_ctx.pool().snapshot_bytes_copied();
+            (post, outcome, true)
         };
         let post_time = t_post.elapsed();
 
         // Replay the post-failure trace against a clone of the shadow
         // (Figure 8b step ⑧).
-        let post_entries = post_ctx.trace().drain();
         if let Some(rec) = self.recorded.borrow_mut().as_mut() {
-            rec.failure_points.push(crate::offline::RecordedFailurePoint {
-                pre_len: rec.pre.len(),
-                file: loc.file.to_owned(),
-                line: loc.line,
-                post: post_entries.iter().copied().map(Into::into).collect(),
-            });
+            rec.failure_points
+                .push(crate::offline::RecordedFailurePoint {
+                    pre_len: rec.pre.len(),
+                    file: loc.file.to_owned(),
+                    line: loc.line,
+                    post: post_entries.iter().copied().map(Into::into).collect(),
+                });
         }
         let t_detect = Instant::now();
         {
@@ -457,13 +540,18 @@ impl EngineHook for EngineState {
         }
 
         let mut stats = self.stats.borrow_mut();
-        stats.post_runs += 1;
+        if executed {
+            stats.post_runs += 1;
+        } else {
+            stats.images_deduped += 1;
+        }
         stats.post_entries += post_entries.len() as u64;
         stats.post_exec_time += post_time;
         stats.detect_time += detect_time;
     }
 }
 
+#[derive(Clone)]
 enum PostOutcome {
     Completed,
     Failed(String),
@@ -532,19 +620,19 @@ mod tests {
 
     #[test]
     fn buggy_flag_reports_race() {
-        let outcome = XfDetector::with_defaults().run(Flag { persist: false }).unwrap();
+        let outcome = XfDetector::with_defaults()
+            .run(Flag { persist: false })
+            .unwrap();
         assert_eq!(outcome.report.race_count(), 1, "{}", outcome.report);
         assert!(outcome.stats.failure_points >= 1);
     }
 
     #[test]
     fn fixed_flag_is_clean() {
-        let outcome = XfDetector::with_defaults().run(Flag { persist: true }).unwrap();
-        assert!(
-            !outcome.report.has_correctness_bugs(),
-            "{}",
-            outcome.report
-        );
+        let outcome = XfDetector::with_defaults()
+            .run(Flag { persist: true })
+            .unwrap();
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
     }
 
     #[test]
@@ -579,7 +667,11 @@ mod tests {
             ..XfConfig::default()
         };
         let off = XfDetector::new(cfg).run(Tail).unwrap();
-        assert_eq!(off.report.race_count(), 0, "no ordinary ordering point fires");
+        assert_eq!(
+            off.report.race_count(),
+            0,
+            "no ordinary ordering point fires"
+        );
     }
 
     #[test]
@@ -790,12 +882,96 @@ mod tests {
 
     #[test]
     fn stats_account_time_and_entries() {
-        let outcome = XfDetector::with_defaults().run(Flag { persist: true }).unwrap();
+        let outcome = XfDetector::with_defaults()
+            .run(Flag { persist: true })
+            .unwrap();
         let s = &outcome.stats;
         assert!(s.pre_entries > 0);
         assert!(s.post_entries > 0);
         assert!(s.total_time >= s.post_exec_time + s.detect_time);
         assert!(s.pre_exec_time() <= s.total_time);
+    }
+
+    /// Repeatedly publishes the same value: every failure point after the
+    /// first sees a byte-identical crash image, so dedup elides all but
+    /// one post-failure execution.
+    struct Republish;
+    impl Workload for Republish {
+        fn name(&self) -> &str {
+            "republish"
+        }
+        fn pool_size(&self) -> u64 {
+            4096
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+            Ok(())
+        }
+        fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let a = ctx.pool().base();
+            for _ in 0..5 {
+                ctx.write_u64(a, 7)?;
+                ctx.persist_barrier(a, 8)?;
+            }
+            Ok(())
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let _ = ctx.read_u64(ctx.pool().base())?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dedup_elides_identical_images_without_changing_the_report() {
+        let dedup_off = XfConfig {
+            dedup_images: false,
+            ..XfConfig::default()
+        };
+        let off = XfDetector::new(dedup_off).run(Republish).unwrap();
+        let on = XfDetector::with_defaults().run(Republish).unwrap();
+
+        assert_eq!(off.stats.images_deduped, 0);
+        assert!(
+            on.stats.images_deduped >= 1,
+            "identical images must be recognized: {:?}",
+            on.stats
+        );
+        assert_eq!(
+            on.stats.post_runs + on.stats.images_deduped,
+            on.stats.failure_points
+        );
+        assert_eq!(off.stats.failure_points, on.stats.failure_points);
+        assert_eq!(off.stats.post_entries, on.stats.post_entries);
+        assert_eq!(
+            format!("{:?}", off.report.findings()),
+            format!("{:?}", on.report.findings()),
+            "dedup must never add or drop a finding"
+        );
+    }
+
+    #[test]
+    fn cow_and_flat_snapshots_produce_identical_reports() {
+        let flat_cfg = XfConfig {
+            cow_snapshots: false,
+            dedup_images: false,
+            ..XfConfig::default()
+        };
+        for persist in [false, true] {
+            let flat = XfDetector::new(flat_cfg.clone())
+                .run(Flag { persist })
+                .unwrap();
+            let cow = XfDetector::with_defaults().run(Flag { persist }).unwrap();
+            assert_eq!(
+                format!("{:?}", flat.report.findings()),
+                format!("{:?}", cow.report.findings()),
+                "persist={persist}"
+            );
+            assert!(
+                flat.stats.snapshot_bytes_copied > cow.stats.snapshot_bytes_copied,
+                "COW must copy less: {} !> {}",
+                flat.stats.snapshot_bytes_copied,
+                cow.stats.snapshot_bytes_copied
+            );
+        }
     }
 
     #[test]

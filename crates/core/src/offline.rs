@@ -41,7 +41,12 @@ impl RecordedRun {
     /// Total number of recorded trace entries.
     #[must_use]
     pub fn entry_count(&self) -> usize {
-        self.pre.len() + self.failure_points.iter().map(|f| f.post.len()).sum::<usize>()
+        self.pre.len()
+            + self
+                .failure_points
+                .iter()
+                .map(|f| f.post.len())
+                .sum::<usize>()
     }
 }
 
@@ -147,7 +152,13 @@ mod tests {
             let mut v: Vec<_> = r
                 .findings()
                 .iter()
-                .map(|f| (f.kind, f.reader.map(|l| (l.file.to_owned(), l.line)), f.addr))
+                .map(|f| {
+                    (
+                        f.kind,
+                        f.reader.map(|l| (l.file.to_owned(), l.line)),
+                        f.addr,
+                    )
+                })
                 .collect();
             v.sort();
             v

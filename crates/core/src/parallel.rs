@@ -20,6 +20,7 @@
 //! worker count, not to the failure-point count.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -28,7 +29,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pmem::{EngineHook, OrderingPointInfo, PmCtx, PmImage, PmPool};
+use pmem::{CowImage, EngineHook, ImageHash, OrderingPointInfo, PmCtx, PmImage, PmPool};
 use xftrace::{SourceLoc, TraceEntry};
 
 use crate::engine::{EngineError, RunOutcome, Workload, XfConfig, XfDetector};
@@ -36,12 +37,20 @@ use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
 use crate::shadow::ShadowPm;
 use crate::stats::RunStats;
 
+/// The crash snapshot shipped with a job: copy-on-write (cheap to send,
+/// shares the base across all in-flight jobs) or flat (the seed engine's
+/// representation, kept for the `cow_snapshots: false` configuration).
+enum JobImage {
+    Cow(CowImage),
+    Flat(PmImage),
+}
+
 /// A failure-point job shipped to a worker.
 struct Job {
     id: u64,
     loc: SourceLoc,
     pre_len: usize,
-    image: PmImage,
+    image: JobImage,
 }
 
 /// A worker's result for one failure point.
@@ -52,6 +61,18 @@ struct JobResult {
     post: Vec<TraceEntry>,
     outcome: Result<(), String>,
     panicked: bool,
+    /// Snapshot bytes copied building this job's post-failure pool.
+    bytes: u64,
+}
+
+/// A deduplicated failure point: its crash image was byte-identical to the
+/// one job `src_id` executed on, so no job was shipped — the backend
+/// replays `src_id`'s post-failure trace re-anchored at this failure point.
+struct DedupRef {
+    id: u64,
+    loc: SourceLoc,
+    pre_len: usize,
+    src_id: u64,
 }
 
 /// The frontend hook for parallel mode: collects the pre-failure trace and
@@ -65,6 +86,10 @@ struct ParallelFrontend {
     stats: RefCell<RunStats>,
     report: RefCell<DetectionReport>,
     shadow: RefCell<ShadowPm>,
+    /// Content hash → (job id that executed the image, the image itself
+    /// for exact confirmation).
+    dedup: RefCell<HashMap<ImageHash, (u64, CowImage)>>,
+    refs: RefCell<Vec<DedupRef>>,
 }
 
 impl EngineHook for ParallelFrontend {
@@ -99,18 +124,49 @@ impl EngineHook for ParallelFrontend {
             let mut stats = self.stats.borrow_mut();
             let id = stats.failure_points;
             stats.failure_points += 1;
-            stats.post_runs += 1;
             id
         };
         *self.next_id.borrow_mut() = id + 1;
-        let image = self
-            .config
-            .crash_policy
-            .image(ctx.pool(), &mut *self.rng.borrow_mut());
+        let pre_len = self.pre.borrow().len();
+        let image = if self.config.cow_snapshots {
+            let image = self
+                .config
+                .crash_policy
+                .cow_image(ctx.pool(), &mut *self.rng.borrow_mut());
+            if self.config.dedup_images {
+                let hash = image.content_hash();
+                let mut dedup = self.dedup.borrow_mut();
+                let hit = dedup
+                    .get(&hash)
+                    .filter(|(_, cached)| cached.same_content(&image))
+                    .map(|(src_id, _)| *src_id);
+                if let Some(src_id) = hit {
+                    // Already explored: record a reference instead of
+                    // shipping (and executing) a redundant job.
+                    self.refs.borrow_mut().push(DedupRef {
+                        id,
+                        loc,
+                        pre_len,
+                        src_id,
+                    });
+                    self.stats.borrow_mut().images_deduped += 1;
+                    return;
+                }
+                dedup.insert(hash, (id, image.clone()));
+            }
+            JobImage::Cow(image)
+        } else {
+            JobImage::Flat(
+                self.config
+                    .crash_policy
+                    .image(ctx.pool(), &mut *self.rng.borrow_mut()),
+            )
+        };
+        self.stats.borrow_mut().post_runs += 1;
         let job = Job {
             id,
             loc,
-            pre_len: self.pre.borrow().len(),
+            pre_len,
             image,
         };
         // Blocks when the bounded queue is full: backpressure bounds the
@@ -160,6 +216,8 @@ impl XfDetector {
             stats: RefCell::new(RunStats::default()),
             report: RefCell::new(DetectionReport::new()),
             shadow: RefCell::new(ShadowPm::new()),
+            dedup: RefCell::new(HashMap::new()),
+            refs: RefCell::new(Vec::new()),
         });
 
         let workload_ref = &workload;
@@ -177,8 +235,10 @@ impl XfDetector {
                         let Ok(job) = job else { break };
                         // Each worker builds its own post context from the
                         // image; nothing non-Send crosses threads.
-                        let throwaway = PmCtx::new(PmPool::from_image(&job.image));
-                        let mut post_ctx = throwaway.fork_post(&job.image);
+                        let mut post_ctx = match &job.image {
+                            JobImage::Cow(img) => PmCtx::new_post(PmPool::from_cow(img)),
+                            JobImage::Flat(img) => PmCtx::new_post(PmPool::from_image(img)),
+                        };
                         let t0 = Instant::now();
                         let (outcome, panicked) = if catch {
                             match catch_unwind(AssertUnwindSafe(|| {
@@ -195,6 +255,7 @@ impl XfDetector {
                             }
                         };
                         let _elapsed = t0.elapsed();
+                        let bytes = post_ctx.pool().snapshot_bytes_copied();
                         let _ = res_tx.send(JobResult {
                             id: job.id,
                             loc: job.loc,
@@ -202,6 +263,7 @@ impl XfDetector {
                             post: post_ctx.trace().drain(),
                             outcome,
                             panicked,
+                            bytes,
                         });
                     }
                 });
@@ -245,26 +307,73 @@ impl XfDetector {
         }
         pre_result.map_err(|e| EngineError::PreFailure(e.to_string()))?;
 
-        // Deterministic backend replay in failure-point order.
+        // Deterministic backend replay in failure-point order. Dedup
+        // references resolve to the executed result that explored the same
+        // crash image: its post-failure trace is replayed re-anchored at
+        // the reference's own failure point, exactly as the sequential
+        // engine does, so the merged report stays byte-identical.
         let mut results = results;
         results.sort_by_key(|r| r.id);
+        let by_id: HashMap<u64, usize> =
+            results.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        let refs = frontend.refs.borrow();
+        struct Replay<'a> {
+            id: u64,
+            loc: SourceLoc,
+            pre_len: usize,
+            post: &'a [TraceEntry],
+            outcome: &'a Result<(), String>,
+            panicked: bool,
+        }
+        let mut items: Vec<Replay<'_>> = results
+            .iter()
+            .map(|r| Replay {
+                id: r.id,
+                loc: r.loc,
+                pre_len: r.pre_len,
+                post: &r.post,
+                outcome: &r.outcome,
+                panicked: r.panicked,
+            })
+            .collect();
+        for d in refs.iter() {
+            // The source job always precedes its references; it can only
+            // be missing if a worker died mid-run, in which case the
+            // reference is dropped along with the lost result.
+            let Some(&src) = by_id.get(&d.src_id) else {
+                continue;
+            };
+            let src = &results[src];
+            items.push(Replay {
+                id: d.id,
+                loc: d.loc,
+                pre_len: d.pre_len,
+                post: &src.post,
+                outcome: &src.outcome,
+                panicked: src.panicked,
+            });
+        }
+        items.sort_by_key(|r| r.id);
         let t_detect = Instant::now();
         let pre = frontend.pre.borrow();
         let mut shadow = ShadowPm::new();
         let mut report = DetectionReport::new();
         let mut cursor = 0usize;
-        for r in &results {
+        for r in &items {
             while cursor < r.pre_len.min(pre.len()) {
                 shadow.apply_pre(&pre[cursor], &mut report);
                 cursor += 1;
             }
-            let fp = FailurePoint { id: r.id, loc: r.loc };
+            let fp = FailurePoint {
+                id: r.id,
+                loc: r.loc,
+            };
             let mut checker = shadow.begin_post(config.first_read_only);
-            for e in &r.post {
+            for e in r.post {
                 checker.apply_post(e, fp, &mut report);
             }
             frontend.stats.borrow_mut().post_entries += r.post.len() as u64;
-            if let Err(msg) = &r.outcome {
+            if let Err(msg) = r.outcome {
                 report.push(Finding {
                     kind: if r.panicked {
                         BugKind::PostFailurePanic
@@ -295,6 +404,10 @@ impl XfDetector {
         stats.detect_time = detect_time;
         // The incremental pass double-counted pre entries; normalize.
         stats.pre_entries = pre.len() as u64;
+        // Workers accounted their post-failure pools; the frontend pool's
+        // capture and COW-fault traffic is read off at the end.
+        stats.snapshot_bytes_copied +=
+            results.iter().map(|r| r.bytes).sum::<u64>() + ctx.pool().snapshot_bytes_copied();
         Ok(RunOutcome {
             report,
             stats,
@@ -388,7 +501,9 @@ mod tests {
                 Err("recovery failed".into())
             }
         }
-        let outcome = XfDetector::with_defaults().run_parallel(Failing, 3).unwrap();
+        let outcome = XfDetector::with_defaults()
+            .run_parallel(Failing, 3)
+            .unwrap();
         assert!(outcome.report.execution_failure_count() >= 1);
     }
 

@@ -275,10 +275,7 @@ mod tests {
     use super::*;
 
     fn loc(line: u32) -> SourceLoc {
-        SourceLoc {
-            file: "w.rs",
-            line,
-        }
+        SourceLoc { file: "w.rs", line }
     }
 
     fn race(reader: u32, writer: u32) -> Finding {

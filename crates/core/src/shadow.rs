@@ -179,7 +179,9 @@ impl ShadowPm {
             Op::TxBegin => {
                 self.tx = Some(TxShadow::default());
             }
-            Op::TxAdd { addr, size } => self.on_tx_add(addr, u64::from(size), e.loc, e.checked, out),
+            Op::TxAdd { addr, size } => {
+                self.on_tx_add(addr, u64::from(size), e.loc, e.checked, out)
+            }
             Op::TxCommit | Op::TxAbort => {
                 self.tx = None;
             }
@@ -465,11 +467,7 @@ impl ShadowPm {
     /// With several variables, range-less ones still mark their own reads
     /// benign but govern no other locations.
     fn governing_var(&self, b: u64) -> Option<&CommitVar> {
-        if let Some(v) = self
-            .commit_vars
-            .iter()
-            .find(|v| v.explicit_covers(b))
-        {
+        if let Some(v) = self.commit_vars.iter().find(|v| v.explicit_covers(b)) {
             return Some(v);
         }
         match self.commit_vars.as_slice() {
@@ -580,7 +578,10 @@ impl PostChecker {
             if st.tx_protected {
                 continue;
             }
-            let semantic = self.shadow.governing_var(b).map(|v| v.is_consistent(st.tlast));
+            let semantic = self
+                .shadow
+                .governing_var(b)
+                .map(|v| v.is_consistent(st.tlast));
             if semantic == Some(true) {
                 continue;
             }
@@ -619,10 +620,7 @@ mod tests {
     use xftrace::{FenceKind, FlushKind, Stage};
 
     fn loc(line: u32) -> SourceLoc {
-        SourceLoc {
-            file: "t.rs",
-            line,
-        }
+        SourceLoc { file: "t.rs", line }
     }
 
     fn entry(op: Op, line: u32) -> TraceEntry {
@@ -660,7 +658,13 @@ mod tests {
     }
 
     fn read(a: u64, s: u32, line: u32) -> TraceEntry {
-        TraceEntry::new(Op::Read { addr: a, size: s }, loc(line), Stage::Post, false, true)
+        TraceEntry::new(
+            Op::Read { addr: a, size: s },
+            loc(line),
+            Stage::Post,
+            false,
+            true,
+        )
     }
 
     fn replay(shadow: &mut ShadowPm, entries: &[TraceEntry]) -> DetectionReport {
@@ -756,7 +760,13 @@ mod tests {
         let mut s = ShadowPm::new();
         let out = replay(
             &mut s,
-            &[write(A, 8, 1), flush(A, 2), flush(A, 3), fence(4), flush(A, 5)],
+            &[
+                write(A, 8, 1),
+                flush(A, 2),
+                flush(A, 3),
+                fence(4),
+                flush(A, 5),
+            ],
         );
         assert_eq!(out.performance_count(), 2, "{out}");
         assert!(out
@@ -1099,10 +1109,7 @@ mod tests {
         let mut s = ShadowPm::new();
         let _ = replay(
             &mut s,
-            &[
-                write(A, 8, 1),
-                entry(Op::Free { addr: A, size: 64 }, 2),
-            ],
+            &[write(A, 8, 1), entry(Op::Free { addr: A, size: 64 }, 2)],
         );
         let mut post = s.begin_post(true);
         let mut out = DetectionReport::new();
@@ -1142,7 +1149,13 @@ mod tests {
         let mut post = s.begin_post(true);
         let mut out = DetectionReport::new();
         post.apply_post(
-            &TraceEntry::new(Op::Write { addr: A, size: 8 }, loc(2), Stage::Post, false, true),
+            &TraceEntry::new(
+                Op::Write { addr: A, size: 8 },
+                loc(2),
+                Stage::Post,
+                false,
+                true,
+            ),
             fp(),
             &mut out,
         );
@@ -1187,7 +1200,13 @@ mod tests {
             let mut post = s.begin_post(true);
             let mut out = DetectionReport::new();
             post.apply_post(
-                &TraceEntry::new(Op::Write { addr: A, size: 8 }, loc(2), Stage::Post, false, true),
+                &TraceEntry::new(
+                    Op::Write { addr: A, size: 8 },
+                    loc(2),
+                    Stage::Post,
+                    false,
+                    true,
+                ),
                 fp(),
                 &mut out,
             );
@@ -1210,8 +1229,20 @@ mod tests {
         let out = replay(
             &mut s,
             &[
-                entry(Op::RegisterCommitVar { addr: 0x10, size: 8 }, 1),
-                entry(Op::RegisterCommitVar { addr: 0x20, size: 8 }, 2),
+                entry(
+                    Op::RegisterCommitVar {
+                        addr: 0x10,
+                        size: 8,
+                    },
+                    1,
+                ),
+                entry(
+                    Op::RegisterCommitVar {
+                        addr: 0x20,
+                        size: 8,
+                    },
+                    2,
+                ),
                 write(0x400, 8, 3),
                 flush(0x400, 4),
                 fence(5),
@@ -1231,7 +1262,13 @@ mod tests {
         let out = replay(
             &mut s,
             &[
-                entry(Op::RegisterCommitVar { addr: 0x10, size: 8 }, 1),
+                entry(
+                    Op::RegisterCommitVar {
+                        addr: 0x10,
+                        size: 8,
+                    },
+                    1,
+                ),
                 entry(
                     Op::RegisterCommitRange {
                         var_addr: 0x10,
@@ -1240,7 +1277,13 @@ mod tests {
                     },
                     2,
                 ),
-                entry(Op::RegisterCommitVar { addr: 0x20, size: 8 }, 3),
+                entry(
+                    Op::RegisterCommitVar {
+                        addr: 0x20,
+                        size: 8,
+                    },
+                    3,
+                ),
                 entry(
                     Op::RegisterCommitRange {
                         var_addr: 0x20,
@@ -1280,7 +1323,13 @@ mod tests {
         let _ = replay(
             &mut s,
             &[
-                entry(Op::RegisterCommitVar { addr: 0x10, size: 8 }, 1),
+                entry(
+                    Op::RegisterCommitVar {
+                        addr: 0x10,
+                        size: 8,
+                    },
+                    1,
+                ),
                 entry(
                     Op::RegisterCommitRange {
                         var_addr: 0x10,

@@ -19,8 +19,19 @@ pub struct RunStats {
     /// Ordering points elided because no PM activity preceded them (§5.4
     /// optimization 2).
     pub skipped_empty: u64,
-    /// Post-failure executions performed (equals `failure_points`).
+    /// Post-failure executions actually performed. Equals `failure_points`
+    /// unless image deduplication elided some
+    /// (`failure_points == post_runs + images_deduped`).
     pub post_runs: u64,
+    /// Failure points whose crash image was byte-identical to one already
+    /// explored: the post-failure execution was skipped and the cached
+    /// trace replayed at the new failure point instead.
+    pub images_deduped: u64,
+    /// Bytes copied for snapshot bookkeeping across the run: crash-image
+    /// capture, post-failure pool forking, and copy-on-write line faults.
+    /// The seed engine copied `3 × pool_size` per failure point; the COW
+    /// engine copies proportionally to the lines actually written.
+    pub snapshot_bytes_copied: u64,
     /// Pre-failure trace entries replayed into the shadow PM.
     pub pre_entries: u64,
     /// Post-failure trace entries replayed across all failure points.
@@ -91,5 +102,7 @@ mod tests {
         let s = RunStats::default();
         let json = serde_json::to_string(&s).unwrap();
         assert!(json.contains("failure_points"), "{json}");
+        assert!(json.contains("images_deduped"), "{json}");
+        assert!(json.contains("snapshot_bytes_copied"), "{json}");
     }
 }

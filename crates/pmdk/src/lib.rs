@@ -63,5 +63,5 @@ mod redo;
 mod tx;
 
 pub use error::PmdkError;
-pub use redo::{RedoTx, REDO_CAPACITY};
 pub use pool::{ObjPool, HEADER_SIZE, HEAP_OFFSET, LOG_CAPACITY, LOG_DATA_MAX, LOG_OFFSET};
+pub use redo::{RedoTx, REDO_CAPACITY};

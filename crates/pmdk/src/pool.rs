@@ -298,9 +298,7 @@ impl ObjPool {
     pub(crate) fn check_heap_range(&self, addr: u64, size: u64) -> Result<(), PmdkError> {
         let heap_start = self.base + HEAP_OFFSET;
         let heap_end = self.base + self.len;
-        if size == 0
-            || addr < heap_start
-            || addr.checked_add(size).is_none_or(|end| end > heap_end)
+        if size == 0 || addr < heap_start || addr.checked_add(size).is_none_or(|end| end > heap_end)
         {
             return Err(PmdkError::BadRange { addr, size });
         }
@@ -390,7 +388,9 @@ mod tests {
         let _ = ObjPool::create(&mut c).unwrap();
         let base = c.pool().base();
         // Corrupt a checksummed field behind the library's back.
-        c.pool_mut().write_u64(base + OFF_ROOT_SIZE, 0x31337).unwrap();
+        c.pool_mut()
+            .write_u64(base + OFF_ROOT_SIZE, 0x31337)
+            .unwrap();
         assert_eq!(ObjPool::open(&mut c).unwrap_err(), PmdkError::CorruptHeader);
     }
 
@@ -510,12 +510,8 @@ mod tests {
         let pool = ObjPool::create(&mut c).unwrap();
         let base = pool.base();
         assert!(pool.check_heap_range(base, 8).is_err(), "header range");
-        assert!(pool
-            .check_heap_range(base + HEAP_OFFSET, 8)
-            .is_ok());
-        assert!(pool
-            .check_heap_range(base + pool.len() - 8, 16)
-            .is_err());
+        assert!(pool.check_heap_range(base + HEAP_OFFSET, 8).is_ok());
+        assert!(pool.check_heap_range(base + pool.len() - 8, 16).is_err());
         assert!(pool.check_heap_range(base + HEAP_OFFSET, 0).is_err());
         assert!(pool.check_heap_range(u64::MAX - 4, 8).is_err());
     }

@@ -232,7 +232,11 @@ mod tests {
         let (mut ctx, _pool, mut redo, cells) = setup();
         redo.stage(cells, &5u64.to_le_bytes()).unwrap();
         assert_eq!(ctx.read_u64(cells).unwrap(), 0, "in-place untouched");
-        assert_eq!(redo.read_u64(&mut ctx, cells).unwrap(), 5, "tx sees own write");
+        assert_eq!(
+            redo.read_u64(&mut ctx, cells).unwrap(),
+            5,
+            "tx sees own write"
+        );
         redo.commit(&mut ctx).unwrap();
         assert_eq!(ctx.read_u64(cells).unwrap(), 5);
         assert!(ctx.pool().is_persisted(cells, 8));

@@ -90,10 +90,7 @@ impl ObjPool {
             // counter (the validity ordering of undo logging).
             let new_entries = count - first_entry;
             if new_entries > 0 {
-                ctx.persist_barrier(
-                    self.entry_addr(first_entry),
-                    new_entries * LOG_ENTRY_SIZE,
-                )?;
+                ctx.persist_barrier(self.entry_addr(first_entry), new_entries * LOG_ENTRY_SIZE)?;
                 ctx.write_u64(self.log_count_addr(), count)?;
                 ctx.persist_barrier(self.log_count_addr(), 8)?;
             }
@@ -103,7 +100,13 @@ impl ObjPool {
             .expect("transaction checked active above")
             .added
             .push((addr, size));
-        ctx.emit_at(Op::TxAdd { addr, size: size as u32 }, loc);
+        ctx.emit_at(
+            Op::TxAdd {
+                addr,
+                size: size as u32,
+            },
+            loc,
+        );
         Ok(())
     }
 

@@ -3,7 +3,7 @@
 
 use rand::Rng;
 
-use crate::{PmImage, PmPool};
+use crate::{CowImage, PmImage, PmPool};
 
 /// Policy for materializing the PM image seen by the post-failure stage.
 ///
@@ -13,8 +13,7 @@ use crate::{PmImage, PmPool};
 /// materializes concrete crash states, useful for differential testing of the
 /// shadow-based approach and for demonstrating that a race found by the
 /// detector corresponds to a real divergent outcome.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CrashPolicy {
     /// The paper's mode: the image contains every update, persisted or not
     /// (Figure 8 step ③, footnote 3).
@@ -45,8 +44,24 @@ impl CrashPolicy {
             }
         }
     }
-}
 
+    /// Copy-on-write counterpart of [`CrashPolicy::image`]: same contents,
+    /// expressed as `{shared base + line deltas}` instead of a full copy.
+    ///
+    /// Randomized policies consult `rng` for exactly the same lines in the
+    /// same order as the materializing version, so the two paths produce
+    /// identical crash states from identical RNG streams.
+    pub fn cow_image<R: Rng + ?Sized>(&self, pool: &PmPool, rng: &mut R) -> CowImage {
+        match *self {
+            CrashPolicy::FullImage => pool.cow_full_image(),
+            CrashPolicy::NoEviction => pool.cow_media_image(),
+            CrashPolicy::RandomEviction { survive_prob } => {
+                let p = survive_prob.clamp(0.0, 1.0);
+                pool.cow_crash_image_with(|_| rng.gen_bool(p))
+            }
+        }
+    }
+}
 
 /// Enumerates **every** crash state reachable from the pool's current
 /// moment: one image per subset of the non-persisted (dirty or pending)
@@ -80,6 +95,42 @@ pub fn exhaustive_crash_images(pool: &PmPool, max_lines: u32) -> Result<Vec<PmIm
     let mut images = Vec::with_capacity(1 << n);
     for mask in 0u64..(1u64 << n) {
         images.push(pool.crash_image_with(|li| {
+            unpersisted
+                .iter()
+                .position(|&u| u == li)
+                .is_some_and(|idx| mask & (1 << idx) != 0)
+        }));
+    }
+    Ok(images)
+}
+
+/// Copy-on-write counterpart of [`exhaustive_crash_images`]: the `2^n`
+/// enumerated crash states all share the pool's media base `Arc`, so the
+/// enumeration allocates `O(2^n × dirty_lines)` delta lines instead of
+/// `O(2^n × pool_size)` bytes.
+///
+/// # Errors
+///
+/// Returns `Err(n)` with the number of non-persisted lines when it exceeds
+/// `max_lines`.
+pub fn exhaustive_cow_crash_images(pool: &PmPool, max_lines: u32) -> Result<Vec<CowImage>, usize> {
+    let mut unpersisted = Vec::new();
+    for li in 0..(pool.len() / crate::CACHE_LINE) as usize {
+        let addr = pool.base() + li as u64 * crate::CACHE_LINE;
+        if pool
+            .line_state(addr)
+            .is_ok_and(|s| s != crate::LineState::Clean)
+        {
+            unpersisted.push(li);
+        }
+    }
+    if unpersisted.len() > max_lines as usize {
+        return Err(unpersisted.len());
+    }
+    let n = unpersisted.len();
+    let mut images = Vec::with_capacity(1 << n);
+    for mask in 0u64..(1u64 << n) {
+        images.push(pool.cow_crash_image_with(|li| {
             unpersisted
                 .iter()
                 .position(|&u| u == li)
@@ -178,6 +229,64 @@ mod tests {
         let images = exhaustive_crash_images(&p, 0).unwrap();
         assert_eq!(images.len(), 1);
         assert_eq!(images[0], p.media_image());
+    }
+
+    #[test]
+    fn cow_image_matches_image_for_every_policy() {
+        let p = dirty_pool();
+        for policy in [
+            CrashPolicy::FullImage,
+            CrashPolicy::NoEviction,
+            CrashPolicy::RandomEviction { survive_prob: 0.4 },
+        ] {
+            let flat = policy.image(&p, &mut StdRng::seed_from_u64(11));
+            let cow = policy.cow_image(&p, &mut StdRng::seed_from_u64(11));
+            assert_eq!(cow.materialize(), flat, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn cow_and_flat_paths_drain_the_rng_identically() {
+        // Interleaving both forms on one RNG stream must stay in lockstep;
+        // this is what lets a config switch between them without changing
+        // which crash states a seeded run explores.
+        let p = dirty_pool();
+        let policy = CrashPolicy::RandomEviction { survive_prob: 0.5 };
+        let mut rng_flat = StdRng::seed_from_u64(99);
+        let mut rng_cow = StdRng::seed_from_u64(99);
+        for _ in 0..4 {
+            let flat = policy.image(&p, &mut rng_flat);
+            let cow = policy.cow_image(&p, &mut rng_cow);
+            assert_eq!(cow.materialize(), flat);
+        }
+        assert_eq!(rng_flat, rng_cow, "same number of draws consumed");
+    }
+
+    #[test]
+    fn exhaustive_cow_matches_exhaustive_flat() {
+        let mut p = PmPool::new(4096).unwrap();
+        p.write_u64(p.base(), 1).unwrap();
+        p.write_u64(p.base() + 64, 2).unwrap();
+        p.write_u64(p.base() + 256, 3).unwrap();
+        let flat = exhaustive_crash_images(&p, 8).unwrap();
+        let cow = exhaustive_cow_crash_images(&p, 8).unwrap();
+        assert_eq!(flat.len(), cow.len());
+        for (f, c) in flat.iter().zip(&cow) {
+            assert_eq!(c.materialize(), *f);
+        }
+        assert_eq!(exhaustive_cow_crash_images(&p, 2), Err(3), "same bound");
+    }
+
+    #[test]
+    fn exhaustive_cow_images_share_one_base() {
+        let mut p = PmPool::new(4096).unwrap();
+        p.write_u64(p.base(), 1).unwrap();
+        p.write_u64(p.base() + 64, 2).unwrap();
+        let images = exhaustive_cow_crash_images(&p, 8).unwrap();
+        assert_eq!(images.len(), 4);
+        let g = images[0].generation();
+        assert!(images.iter().all(|i| i.generation() == g));
+        assert!(images.iter().all(|i| i.delta_count() <= 2));
     }
 
     #[test]

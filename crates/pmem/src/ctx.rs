@@ -12,7 +12,7 @@ use std::rc::Rc;
 
 use xftrace::{FenceKind, FlushKind, Op, SourceLoc, Stage, TraceBuf, TraceEntry};
 
-use crate::{CACHE_LINE, FlushOutcome, PmError, PmImage, PmPool};
+use crate::{CowImage, FlushOutcome, PmError, PmImage, PmPool, CACHE_LINE};
 
 /// Metadata passed to the [`EngineHook`] at each ordering point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,8 +139,20 @@ impl PmCtx {
     /// buffer, no failure hook, shared `completeDetection` flag.
     #[must_use]
     pub fn fork_post(&self, image: &PmImage) -> PmCtx {
+        self.fork_post_pool(PmPool::from_image(image))
+    }
+
+    /// Forks a **post-failure** context over a copy-on-write crash image:
+    /// like [`PmCtx::fork_post`], but the forked pool shares the image's
+    /// base instead of copying the whole pool ([`PmPool::from_cow`]).
+    #[must_use]
+    pub fn fork_post_cow(&self, image: &CowImage) -> PmCtx {
+        self.fork_post_pool(PmPool::from_cow(image))
+    }
+
+    fn fork_post_pool(&self, pool: PmPool) -> PmCtx {
         PmCtx {
-            pool: PmPool::from_image(image),
+            pool,
             trace: TraceBuf::new(),
             stage: Stage::Post,
             hook: None,
@@ -155,6 +167,16 @@ impl PmCtx {
             fire_on_writes: false,
             tracing: true,
         }
+    }
+
+    /// Creates a standalone **post-failure** context over `pool`, with its
+    /// own `completeDetection` flag. Used by the parallel engine's workers,
+    /// which have no parent context on their own thread.
+    #[must_use]
+    pub fn new_post(pool: PmPool) -> PmCtx {
+        let mut ctx = PmCtx::new(pool);
+        ctx.stage = Stage::Post;
+        ctx
     }
 
     /// The underlying pool (volatile + media views).
@@ -877,7 +899,10 @@ mod tests {
         c.register_commit_var(a, 8);
         c.register_commit_range(a, a + 64, 128);
         let entries = c.trace().snapshot();
-        assert!(matches!(entries[0].op, Op::RegisterCommitVar { size: 8, .. }));
+        assert!(matches!(
+            entries[0].op,
+            Op::RegisterCommitVar { size: 8, .. }
+        ));
         assert!(matches!(
             entries[1].op,
             Op::RegisterCommitRange { size: 128, .. }

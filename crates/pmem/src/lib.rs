@@ -12,10 +12,14 @@
 //!   Each 64-byte cache line carries a state ([`LineState`]) mirroring the
 //!   persistence FSM of the paper's shadow PM (Figure 9): clean → dirty
 //!   (on store) → flushing (on `CLWB`) → clean/persisted (on `SFENCE`).
-//! - [`PmImage`] is a snapshot of pool contents. [`CrashPolicy`] controls
-//!   which non-persisted lines a simulated failure preserves: the paper's
-//!   frontend copies the *full* image (detection happens on shadow state),
-//!   while the sampling policies materialize concrete crash states.
+//! - [`PmImage`] is a flat snapshot of pool contents; [`CowImage`] is the
+//!   copy-on-write form (shared base + sparse line deltas) that the
+//!   detection engine uses so snapshot traffic scales with the lines
+//!   actually written, not with `pool_size × failure_points`.
+//!   [`CrashPolicy`] controls which non-persisted lines a simulated failure
+//!   preserves: the paper's frontend copies the *full* image (detection
+//!   happens on shadow state), while the sampling policies materialize
+//!   concrete crash states.
 //! - [`PmCtx`] wraps a pool with the tracing and failure-injection plumbing:
 //!   every operation emits an [`xftrace::TraceEntry`] and every ordering
 //!   point (fence) gives an installed [`EngineHook`] the chance to inject a
@@ -46,9 +50,11 @@ mod ctx;
 mod error;
 mod layout;
 mod pool;
+mod snapshot;
 
-pub use crash::{exhaustive_crash_images, CrashPolicy};
+pub use crash::{exhaustive_cow_crash_images, exhaustive_crash_images, CrashPolicy};
 pub use ctx::{EngineHook, InternalScope, OrderingPointInfo, PmCtx};
 pub use error::PmError;
 pub use layout::LayoutBuilder;
 pub use pool::{FlushOutcome, LineState, PmImage, PmPool, CACHE_LINE, DEFAULT_BASE};
+pub use snapshot::{CowImage, ImageHash};

@@ -1,7 +1,11 @@
 //! The persistent-memory pool: volatile view, media view, per-line states.
 
+use std::cell::Cell;
+use std::sync::Arc;
+
 use serde::Serialize;
 
+use crate::snapshot::{fresh_base, CowImage, LineBuf};
 use crate::PmError;
 
 /// Cache-line size in bytes (x86).
@@ -120,9 +124,12 @@ impl PmImage {
         }
         let base = u64::from_le_bytes(hdr[8..16].try_into().expect("8 bytes"));
         let len = u64::from_le_bytes(hdr[16..24].try_into().expect("8 bytes"));
-        let mut bytes = vec![0u8; usize::try_from(len).map_err(|_| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "image too large")
-        })?];
+        let mut bytes = vec![
+            0u8;
+            usize::try_from(len).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "image too large")
+            })?
+        ];
         f.read_exact(&mut bytes)?;
         Ok(PmImage { base, bytes })
     }
@@ -133,11 +140,19 @@ impl PmImage {
 
 /// A simulated persistent-memory pool.
 ///
-/// The pool keeps two byte arrays: `volatile` (the program-visible values,
+/// The pool keeps two byte views: `volatile` (the program-visible values,
 /// i.e. memory as filtered through the cache hierarchy) and `media` (the
 /// values guaranteed to be on the persistent medium). Stores update
 /// `volatile` and dirty the covering cache lines; flushes and fences move
 /// line contents to `media` following x86 persistence semantics.
+///
+/// Both views are copy-on-write [`LineBuf`]s over a shared base image: a
+/// fresh pool allocates **one** zeroed buffer that both views (and any
+/// [`CowImage`] snapshot taken later) reference, and only written cache
+/// lines are ever copied. [`PmPool::snapshot_bytes_copied`] counts every
+/// byte of snapshot-related copying (line faults, delta capture, image
+/// materialization and restoration), which is the raw material for the
+/// `snapshot_bytes_copied` statistic in the detection engine.
 ///
 /// # Example
 ///
@@ -159,13 +174,17 @@ impl PmImage {
 #[derive(Debug, Clone)]
 pub struct PmPool {
     base: u64,
-    volatile: Vec<u8>,
-    media: Vec<u8>,
+    volatile: LineBuf,
+    media: LineBuf,
     lines: Vec<LineState>,
     /// Indices of lines that may be in [`LineState::Flushing`]; lets
     /// [`PmPool::fence`] run in O(pending) instead of O(pool size). May
     /// contain stale entries for lines re-dirtied after their flush.
     flushing: Vec<usize>,
+    /// Bytes copied for snapshot bookkeeping (COW faults, delta capture,
+    /// materialization, restoration). A [`Cell`] because materializing an
+    /// image is conceptually `&self`.
+    copied: Cell<u64>,
 }
 
 impl PmPool {
@@ -195,27 +214,76 @@ impl PmPool {
             return Err(PmError::BadBaseAlignment { base });
         }
         let len = usize::try_from(size).map_err(|_| PmError::BadPoolSize { size })?;
+        // One zeroed allocation shared by both views: nothing is copied
+        // until a line is actually written.
+        let (shared, generation) = fresh_base(vec![0; len]);
         Ok(PmPool {
             base,
-            volatile: vec![0; len],
-            media: vec![0; len],
+            volatile: LineBuf::from_base(Arc::clone(&shared), generation),
+            media: LineBuf::from_base(shared, generation),
             lines: vec![LineState::Clean; len / CACHE_LINE as usize],
             flushing: Vec::new(),
+            copied: Cell::new(0),
         })
     }
 
     /// Reconstructs a pool from a failure-point image. All lines start clean:
     /// after a (simulated) power failure the cache hierarchy is empty, so
     /// memory and media agree.
+    ///
+    /// Copies the image bytes **once** into a base shared by both views
+    /// (the seed engine cloned them into each view separately).
     #[must_use]
     pub fn from_image(image: &PmImage) -> Self {
-        PmPool {
+        let (shared, generation) = fresh_base(image.bytes.clone());
+        let pool = PmPool {
             base: image.base,
-            volatile: image.bytes.clone(),
-            media: image.bytes.clone(),
+            volatile: LineBuf::from_base(Arc::clone(&shared), generation),
+            media: LineBuf::from_base(shared, generation),
             lines: vec![LineState::Clean; image.bytes.len() / CACHE_LINE as usize],
             flushing: Vec::new(),
+            copied: Cell::new(0),
+        };
+        pool.account(image.len());
+        pool
+    }
+
+    /// Reconstructs a pool from a copy-on-write crash image **without**
+    /// materializing it: both views share the image's base `Arc` and only
+    /// the delta lines are copied into the overlays.
+    #[must_use]
+    pub fn from_cow(image: &CowImage) -> Self {
+        let shared = Arc::clone(image.base_bytes());
+        let generation = image.generation();
+        let mut volatile = LineBuf::from_base(Arc::clone(&shared), generation);
+        let mut media = LineBuf::from_base(shared, generation);
+        for (li, line) in image.delta_lines() {
+            volatile.set_line(*li as usize, line);
+            media.set_line(*li as usize, line);
         }
+        let pool = PmPool {
+            base: image.base(),
+            lines: vec![LineState::Clean; volatile.len() / CACHE_LINE as usize],
+            volatile,
+            media,
+            flushing: Vec::new(),
+            copied: Cell::new(0),
+        };
+        pool.account(2 * CACHE_LINE * image.delta_count() as u64);
+        pool
+    }
+
+    /// Total bytes copied so far for snapshot bookkeeping on this pool:
+    /// COW line faults, delta capture, image materialization
+    /// ([`PmPool::full_image`] and friends) and restoration. The detection
+    /// engine aggregates this into its `snapshot_bytes_copied` statistic.
+    #[must_use]
+    pub fn snapshot_bytes_copied(&self) -> u64 {
+        self.copied.get()
+    }
+
+    fn account(&self, bytes: u64) {
+        self.copied.set(self.copied.get() + bytes);
     }
 
     /// Pool base address.
@@ -233,7 +301,7 @@ impl PmPool {
     /// Whether the pool has zero length (never true for a constructed pool).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.volatile.is_empty()
+        self.volatile.len() == 0
     }
 
     /// Whether `[addr, addr + size)` lies inside the pool.
@@ -273,19 +341,8 @@ impl PmPool {
     /// ranges.
     pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), PmError> {
         let off = self.offset_of(addr, buf.len() as u64)?;
-        buf.copy_from_slice(&self.volatile[off..off + buf.len()]);
+        self.volatile.read_into(off, buf);
         Ok(())
-    }
-
-    /// Returns a borrowed slice of the volatile view.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PmError::OutOfBounds`] / [`PmError::ZeroSize`] for invalid
-    /// ranges.
-    pub fn read_slice(&self, addr: u64, size: u64) -> Result<&[u8], PmError> {
-        let off = self.offset_of(addr, size)?;
-        Ok(&self.volatile[off..off + size as usize])
     }
 
     /// Stores `data` at `addr`, dirtying every covered cache line.
@@ -309,7 +366,8 @@ impl PmPool {
             }
             self.lines[li] = LineState::Dirty;
         }
-        self.volatile[off..off + data.len()].copy_from_slice(data);
+        let faulted = self.volatile.write_at(off, data) + self.volatile.maybe_rebase();
+        self.account(faulted);
         Ok(())
     }
 
@@ -323,7 +381,8 @@ impl PmPool {
     /// ranges.
     pub fn nt_write(&mut self, addr: u64, data: &[u8]) -> Result<(), PmError> {
         let off = self.offset_of(addr, data.len() as u64)?;
-        self.volatile[off..off + data.len()].copy_from_slice(data);
+        let faulted = self.volatile.write_at(off, data) + self.volatile.maybe_rebase();
+        self.account(faulted);
         let first = self.line_index(addr);
         let last = self.line_index(addr + data.len() as u64 - 1);
         for li in first..=last {
@@ -371,9 +430,19 @@ impl PmPool {
     }
 
     fn persist_line_to_media(&mut self, li: usize) {
-        let start = li * CACHE_LINE as usize;
-        let end = start + CACHE_LINE as usize;
-        self.media[start..end].copy_from_slice(&self.volatile[start..end]);
+        // Fast path: neither view has faulted the line and both still share
+        // the same base, so media already equals volatile for this line.
+        if self.volatile.overlay_is_none(li)
+            && self.media.overlay_is_none(li)
+            && Arc::ptr_eq(self.volatile.base_arc(), self.media.base_arc())
+        {
+            return;
+        }
+        let mut line = [0u8; CACHE_LINE as usize];
+        line.copy_from_slice(self.volatile.line(li));
+        self.media.set_line(li, &line);
+        let rebased = self.media.maybe_rebase();
+        self.account(rebased);
     }
 
     /// State of the line containing `addr`.
@@ -413,21 +482,29 @@ impl PmPool {
     /// Snapshot of the **volatile** view — the paper's failure-point image
     /// copy, which contains all updates including non-persisted ones
     /// (footnote 3).
+    ///
+    /// This is a full materialization (it copies the pool); the engine's
+    /// copy-on-write path uses [`PmPool::cow_full_image`] instead.
     #[must_use]
     pub fn full_image(&self) -> PmImage {
+        self.account(self.len());
         PmImage {
             base: self.base,
-            bytes: self.volatile.clone(),
+            bytes: self.volatile.to_bytes(),
         }
     }
 
     /// Snapshot of the **media** view — what a failure is guaranteed to
     /// preserve if no further eviction happened.
+    ///
+    /// A full materialization; see [`PmPool::cow_media_image`] for the
+    /// copy-on-write form.
     #[must_use]
     pub fn media_image(&self) -> PmImage {
+        self.account(self.len());
         PmImage {
             base: self.base,
-            bytes: self.media.clone(),
+            bytes: self.media.to_bytes(),
         }
     }
 
@@ -435,23 +512,86 @@ impl PmPool {
     /// decides whether the volatile contents made it to media before the
     /// failure. This enumerates the "possible interleavings" of §3.1: any
     /// subset of dirty/flushing lines may have been evicted or drained.
+    ///
+    /// A full materialization; see [`PmPool::cow_crash_image_with`] for the
+    /// copy-on-write form (which consults `keep` identically, so randomized
+    /// policies draw the same decisions from a given RNG stream).
     #[must_use]
     pub fn crash_image_with<F>(&self, mut keep: F) -> PmImage
     where
         F: FnMut(usize) -> bool,
     {
-        let mut bytes = self.media.clone();
+        self.account(self.len());
+        let mut bytes = self.media.to_bytes();
         for (li, state) in self.lines.iter().enumerate() {
             if *state != LineState::Clean && keep(li) {
                 let start = li * CACHE_LINE as usize;
                 let end = start + CACHE_LINE as usize;
-                bytes[start..end].copy_from_slice(&self.volatile[start..end]);
+                bytes[start..end].copy_from_slice(self.volatile.line(li));
             }
         }
         PmImage {
             base: self.base,
             bytes,
         }
+    }
+
+    /// Copy-on-write snapshot of the **volatile** view: shares the view's
+    /// base `Arc` and copies only the lines that differ from it. Same
+    /// contents as [`PmPool::full_image`] at a fraction of the copying.
+    #[must_use]
+    pub fn cow_full_image(&self) -> CowImage {
+        let (image, copied) = self.volatile.capture(self.base);
+        self.account(copied);
+        image
+    }
+
+    /// Copy-on-write snapshot of the **media** view; same contents as
+    /// [`PmPool::media_image`].
+    #[must_use]
+    pub fn cow_media_image(&self) -> CowImage {
+        let (image, copied) = self.media.capture(self.base);
+        self.account(copied);
+        image
+    }
+
+    /// Copy-on-write counterpart of [`PmPool::crash_image_with`]: the image
+    /// is expressed as deltas against the media view's base. `keep` is
+    /// consulted for exactly the same lines in the same order as in the
+    /// materializing version, so a randomized policy produces the same
+    /// crash state through either path.
+    #[must_use]
+    pub fn cow_crash_image_with<F>(&self, mut keep: F) -> CowImage
+    where
+        F: FnMut(usize) -> bool,
+    {
+        let mut deltas: Vec<(u32, [u8; CACHE_LINE as usize])> = Vec::new();
+        let mut push_if_differs = |li: usize, line: &[u8], base_line: &[u8]| {
+            if line != base_line {
+                let mut copy = [0u8; CACHE_LINE as usize];
+                copy.copy_from_slice(line);
+                deltas.push((li as u32, copy));
+            }
+        };
+        for (li, state) in self.lines.iter().enumerate() {
+            let start = li * CACHE_LINE as usize;
+            let base_line = &self.media.base_arc()[start..start + CACHE_LINE as usize];
+            if *state != LineState::Clean && keep(li) {
+                // The line drained to media before the failure: volatile
+                // contents survive.
+                push_if_differs(li, self.volatile.line(li), base_line);
+            } else if !self.media.overlay_is_none(li) {
+                push_if_differs(li, self.media.line(li), base_line);
+            }
+        }
+        let copied = (deltas.len() as u64) * CACHE_LINE;
+        self.account(copied);
+        CowImage::from_base_and_deltas(
+            self.base,
+            self.media.generation(),
+            Arc::clone(self.media.base_arc()),
+            deltas,
+        )
     }
 
     /// Overwrites the pool from `image` and marks everything clean.
@@ -469,10 +609,12 @@ impl PmPool {
                 pool_len: self.len(),
             });
         }
-        self.volatile.copy_from_slice(&image.bytes);
-        self.media.copy_from_slice(&image.bytes);
+        let (shared, generation) = fresh_base(image.bytes.clone());
+        self.volatile = LineBuf::from_base(Arc::clone(&shared), generation);
+        self.media = LineBuf::from_base(shared, generation);
         self.lines.fill(LineState::Clean);
         self.flushing.clear();
+        self.account(image.len());
         Ok(())
     }
 
@@ -516,7 +658,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_geometry() {
-        assert_eq!(PmPool::new(0).unwrap_err(), PmError::BadPoolSize { size: 0 });
+        assert_eq!(
+            PmPool::new(0).unwrap_err(),
+            PmError::BadPoolSize { size: 0 }
+        );
         assert_eq!(
             PmPool::new(100).unwrap_err(),
             PmError::BadPoolSize { size: 100 }
@@ -542,7 +687,10 @@ mod tests {
         p.fence();
         assert_eq!(p.line_state(a).unwrap(), LineState::Clean);
         assert!(p.is_persisted(a, 8));
-        assert_eq!(p.media_image().bytes()[128..136], 0xdead_beefu64.to_le_bytes());
+        assert_eq!(
+            p.media_image().bytes()[128..136],
+            0xdead_beefu64.to_le_bytes()
+        );
     }
 
     #[test]
@@ -708,6 +856,122 @@ mod tests {
         let err = PmImage::read_from_file(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn cow_images_match_their_materializing_counterparts() {
+        let mut p = pool();
+        p.write_u64(p.base(), 10).unwrap();
+        p.write_u64(p.base() + 64, 20).unwrap();
+        p.flush_line(p.base() + 64).unwrap();
+        p.fence();
+        p.write_u64(p.base() + 128, 30).unwrap();
+        assert_eq!(p.cow_full_image().materialize(), p.full_image());
+        assert_eq!(p.cow_media_image().materialize(), p.media_image());
+        assert_eq!(
+            p.cow_crash_image_with(|li| li % 2 == 0).materialize(),
+            p.crash_image_with(|li| li % 2 == 0)
+        );
+    }
+
+    #[test]
+    fn cow_crash_image_consults_keep_like_the_materializing_version() {
+        let mut p = pool();
+        p.write_u64(p.base(), 1).unwrap();
+        p.write_u64(p.base() + 192, 2).unwrap();
+        let mut asked_flat = Vec::new();
+        let _ = p.crash_image_with(|li| {
+            asked_flat.push(li);
+            true
+        });
+        let mut asked_cow = Vec::new();
+        let _ = p.cow_crash_image_with(|li| {
+            asked_cow.push(li);
+            true
+        });
+        assert_eq!(asked_flat, vec![0, 3]);
+        assert_eq!(asked_cow, asked_flat, "same lines, same order");
+    }
+
+    #[test]
+    fn from_cow_round_trip_is_clean_and_cheap() {
+        let mut p = pool();
+        p.write_u64(p.base() + 256, 5).unwrap();
+        let img = p.cow_full_image();
+        assert_eq!(img.delta_count(), 1);
+        let q = PmPool::from_cow(&img);
+        assert_eq!(q.read_u64(q.base() + 256).unwrap(), 5);
+        assert_eq!(q.unpersisted_line_count(), 0);
+        assert!(q.is_persisted(q.base(), q.len()));
+        assert_eq!(
+            q.snapshot_bytes_copied(),
+            2 * CACHE_LINE,
+            "one delta line into two overlays — not two pool copies"
+        );
+    }
+
+    #[test]
+    fn cow_snapshot_traffic_is_proportional_to_deltas_not_pool_size() {
+        let mut p = pool();
+        p.write_u64(p.base(), 1).unwrap();
+        let before = p.snapshot_bytes_copied();
+        let img = p.cow_full_image();
+        let capture_cost = p.snapshot_bytes_copied() - before;
+        assert_eq!(capture_cost, CACHE_LINE, "one dirty line captured");
+
+        let mut q = pool();
+        q.write_u64(q.base(), 1).unwrap();
+        let before = q.snapshot_bytes_copied();
+        let _flat = q.full_image();
+        assert_eq!(
+            q.snapshot_bytes_copied() - before,
+            q.len(),
+            "materialization copies the whole pool"
+        );
+        drop(img);
+    }
+
+    #[test]
+    fn writes_after_from_cow_do_not_leak_into_the_image() {
+        let mut p = pool();
+        p.write_u64(p.base(), 7).unwrap();
+        let img = p.cow_full_image();
+        let mut q = PmPool::from_cow(&img);
+        q.write_u64(q.base(), 99).unwrap();
+        q.write_u64(q.base() + 512, 100).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(img.materialize().bytes()[0..8].try_into().unwrap()),
+            7,
+            "the shared base is immutable; writes go to overlays"
+        );
+        assert_eq!(p.read_u64(p.base()).unwrap(), 7);
+    }
+
+    #[test]
+    fn equal_pool_states_produce_equal_cow_hashes() {
+        let mut p = pool();
+        p.write_u64(p.base(), 1).unwrap();
+        let a = p.cow_full_image();
+        p.write_u64(p.base(), 1).unwrap(); // same value again
+        let b = p.cow_full_image();
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert!(a.same_content(&b));
+        p.write_u64(p.base(), 2).unwrap();
+        let c = p.cow_full_image();
+        assert!(!a.same_content(&c));
+    }
+
+    #[test]
+    fn restore_after_rebase_keeps_views_consistent() {
+        let mut p = PmPool::new(256).unwrap(); // 4 lines: rebases quickly
+        let snapshot = p.full_image();
+        for i in 0..4 {
+            p.write_u64(p.base() + i * 64, i + 1).unwrap(); // forces a rebase
+        }
+        p.restore(&snapshot).unwrap();
+        assert_eq!(p.read_u64(p.base()).unwrap(), 0);
+        assert_eq!(p.media_image(), p.full_image());
+        assert_eq!(p.unpersisted_line_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! Copy-on-write snapshot machinery: shared base images plus sparse
+//! per-line overlays and deltas.
+//!
+//! The paper's frontend copies the whole PM pool file at every failure
+//! point (Figure 8, step ③), so snapshot memory traffic scales as
+//! `pool_size × failure_points` — the dominant cost in the Figure 12-style
+//! breakdown once the §5.4 optimizations are in place. This module removes
+//! the full copies:
+//!
+//! - [`LineBuf`] backs each pool view (volatile and media) with a shared,
+//!   immutable base image ([`Arc<[u8]>`]) plus a sparse overlay of 64-byte
+//!   cache lines that have been written since the base was established.
+//!   Stores fault individual lines into the overlay; everything untouched
+//!   stays shared.
+//! - [`CowImage`] is a crash snapshot represented as `{base Arc + sorted
+//!   line deltas}`. Capturing one copies only the lines that differ from
+//!   the base, and forking a post-failure pool from one
+//!   ([`crate::PmPool::from_cow`]) shares the base again instead of cloning
+//!   the pool twice.
+//! - [`ImageHash`] is a content hash over `(generation, deltas)`, letting
+//!   the detection engine recognize crash images it has already explored
+//!   and skip the redundant post-failure execution (image deduplication).
+//!
+//! Every base `Arc` carries a process-unique **generation** number. Within
+//! one generation the delta list is canonical (only lines whose bytes
+//! differ from the base are recorded, sorted by line index), so two
+//! [`CowImage`]s with equal generation and equal deltas hold exactly equal
+//! bytes — that is what makes the cheap [`CowImage::same_content`] check
+//! sound.
+
+// The snapshot layer is the new trusted hot path: panicking on a logic
+// error here would take down a detection run, so `unwrap`/`expect` are
+// denied outside tests (errors must be handled or designed out).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{PmImage, CACHE_LINE};
+
+const LINE: usize = CACHE_LINE as usize;
+
+/// Process-wide generation counter: every fresh base `Arc` gets a unique
+/// generation, so `(generation, deltas)` identifies image contents.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A pool view backed by a shared base image plus a sparse overlay of
+/// written cache lines.
+#[derive(Debug, Clone)]
+pub(crate) struct LineBuf {
+    base: Arc<[u8]>,
+    generation: u64,
+    overlay: Vec<Option<Box<[u8; LINE]>>>,
+    overlay_count: usize,
+}
+
+impl LineBuf {
+    /// A view over `base`; the caller supplies the generation so that two
+    /// views sharing one `Arc` (volatile + media of a fresh pool) also
+    /// share the generation.
+    pub(crate) fn from_base(base: Arc<[u8]>, generation: u64) -> Self {
+        let lines = base.len() / LINE;
+        LineBuf {
+            base,
+            generation,
+            overlay: vec![None; lines],
+            overlay_count: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn line_count(&self) -> usize {
+        self.overlay.len()
+    }
+
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub(crate) fn base_arc(&self) -> &Arc<[u8]> {
+        &self.base
+    }
+
+    pub(crate) fn overlay_is_none(&self, li: usize) -> bool {
+        self.overlay[li].is_none()
+    }
+
+    fn base_line(&self, li: usize) -> &[u8] {
+        &self.base[li * LINE..(li + 1) * LINE]
+    }
+
+    /// The effective 64 bytes of line `li` (overlay if faulted, else base).
+    pub(crate) fn line(&self, li: usize) -> &[u8] {
+        match &self.overlay[li] {
+            Some(b) => &b[..],
+            None => self.base_line(li),
+        }
+    }
+
+    /// Ensures line `li` is in the overlay; returns the bytes copied to
+    /// fault it in (0 if already present).
+    fn fault(&mut self, li: usize) -> u64 {
+        if self.overlay[li].is_some() {
+            return 0;
+        }
+        let mut line = Box::new([0u8; LINE]);
+        line.copy_from_slice(self.base_line(li));
+        self.overlay[li] = Some(line);
+        self.overlay_count += 1;
+        CACHE_LINE
+    }
+
+    /// Copies `buf.len()` bytes starting at byte offset `off` into `buf`.
+    pub(crate) fn read_into(&self, off: usize, buf: &mut [u8]) {
+        let mut pos = 0;
+        while pos < buf.len() {
+            let abs = off + pos;
+            let (li, lo) = (abs / LINE, abs % LINE);
+            let n = (LINE - lo).min(buf.len() - pos);
+            buf[pos..pos + n].copy_from_slice(&self.line(li)[lo..lo + n]);
+            pos += n;
+        }
+    }
+
+    /// Writes `data` at byte offset `off`, faulting covered lines into the
+    /// overlay. Returns the bytes copied by the faults.
+    pub(crate) fn write_at(&mut self, off: usize, data: &[u8]) -> u64 {
+        let mut faulted = 0;
+        let mut pos = 0;
+        while pos < data.len() {
+            let abs = off + pos;
+            let (li, lo) = (abs / LINE, abs % LINE);
+            let n = (LINE - lo).min(data.len() - pos);
+            faulted += self.fault(li);
+            if let Some(line) = &mut self.overlay[li] {
+                line[lo..lo + n].copy_from_slice(&data[pos..pos + n]);
+            }
+            pos += n;
+        }
+        faulted
+    }
+
+    /// Overwrites the full line `li` with `src` (no base fault needed: the
+    /// line is completely replaced).
+    pub(crate) fn set_line(&mut self, li: usize, src: &[u8; LINE]) {
+        match &mut self.overlay[li] {
+            Some(line) => line.copy_from_slice(src),
+            None => {
+                self.overlay[li] = Some(Box::new(*src));
+                self.overlay_count += 1;
+            }
+        }
+    }
+
+    /// Flattens overlay + base into a fresh `Vec` (a full materialization).
+    pub(crate) fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = self.base.to_vec();
+        for (li, slot) in self.overlay.iter().enumerate() {
+            if let Some(line) = slot {
+                bytes[li * LINE..(li + 1) * LINE].copy_from_slice(&line[..]);
+            }
+        }
+        bytes
+    }
+
+    /// When the overlay covers more than half the pool the sharing has
+    /// stopped paying for itself: flatten into a fresh base `Arc` (new
+    /// generation) and drop the overlay. Returns the bytes copied (0 when
+    /// no rebase happened).
+    pub(crate) fn maybe_rebase(&mut self) -> u64 {
+        if self.overlay_count * 2 <= self.line_count() {
+            return 0;
+        }
+        self.base = Arc::from(self.to_bytes());
+        self.generation = next_generation();
+        self.overlay.iter_mut().for_each(|slot| *slot = None);
+        self.overlay_count = 0;
+        self.base.len() as u64
+    }
+
+    /// The canonical delta list of this view against its own base: one
+    /// entry per line whose effective bytes differ from the base bytes,
+    /// sorted by line index.
+    fn deltas(&self) -> Vec<(u32, [u8; LINE])> {
+        let mut deltas = Vec::new();
+        for (li, slot) in self.overlay.iter().enumerate() {
+            if let Some(line) = slot {
+                if line[..] != *self.base_line(li) {
+                    deltas.push((li as u32, **line));
+                }
+            }
+        }
+        deltas
+    }
+
+    /// Captures this view as a [`CowImage`] at `base_addr`. Returns the
+    /// image and the bytes copied into its delta list.
+    pub(crate) fn capture(&self, base_addr: u64) -> (CowImage, u64) {
+        let deltas = self.deltas();
+        let copied = (deltas.len() as u64) * CACHE_LINE;
+        (
+            CowImage {
+                base_addr,
+                generation: self.generation,
+                base: Arc::clone(&self.base),
+                deltas: deltas.into(),
+            },
+            copied,
+        )
+    }
+}
+
+/// A crash snapshot in copy-on-write form: a shared base image plus the
+/// sorted list of 64-byte lines that differ from it.
+///
+/// Cheap to clone and [`Send`]/[`Sync`] (the parallel engine ships these to
+/// worker threads instead of full pool copies). [`CowImage::materialize`]
+/// converts to the flat [`PmImage`] representation when the full bytes are
+/// needed (file round-trips, differential tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CowImage {
+    base_addr: u64,
+    generation: u64,
+    base: Arc<[u8]>,
+    deltas: Arc<[(u32, [u8; LINE])]>,
+}
+
+impl CowImage {
+    /// Assembles an image from a base view and a canonical (sorted, only
+    /// lines differing from the base) delta list. The caller guarantees
+    /// canonicality; [`CowImage::same_content`] relies on it.
+    pub(crate) fn from_base_and_deltas(
+        base_addr: u64,
+        generation: u64,
+        base: Arc<[u8]>,
+        deltas: Vec<(u32, [u8; LINE])>,
+    ) -> Self {
+        CowImage {
+            base_addr,
+            generation,
+            base,
+            deltas: deltas.into(),
+        }
+    }
+
+    /// Base address the image was captured at.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Length of the image in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.base.len() as u64
+    }
+
+    /// Whether the image is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Number of cache lines recorded as differing from the base image.
+    #[must_use]
+    pub fn delta_count(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Generation of the base `Arc` this image references.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub(crate) fn base_bytes(&self) -> &Arc<[u8]> {
+        &self.base
+    }
+
+    pub(crate) fn delta_lines(&self) -> &[(u32, [u8; LINE])] {
+        &self.deltas
+    }
+
+    /// The effective bytes of line `li`.
+    #[must_use]
+    pub fn line(&self, li: u32) -> &[u8] {
+        match self.deltas.binary_search_by_key(&li, |(i, _)| *i) {
+            Ok(pos) => &self.deltas[pos].1[..],
+            Err(_) => {
+                let start = li as usize * LINE;
+                &self.base[start..start + LINE]
+            }
+        }
+    }
+
+    /// Flattens the image into the legacy [`PmImage`] representation
+    /// (a full copy — the escape hatch for file round-trips and any
+    /// consumer of the flat byte API).
+    #[must_use]
+    pub fn materialize(&self) -> PmImage {
+        let mut bytes = self.base.to_vec();
+        for (li, line) in self.deltas.iter() {
+            let start = *li as usize * LINE;
+            bytes[start..start + LINE].copy_from_slice(&line[..]);
+        }
+        PmImage::from_parts(self.base_addr, bytes)
+    }
+
+    /// Content hash over `(base address, generation, deltas)`.
+    ///
+    /// Two images with equal hashes are *candidates* for being identical;
+    /// [`CowImage::same_content`] gives the exact answer. The hash is
+    /// conservative across generations: equal bytes reachable from
+    /// different base `Arc`s hash differently, which can only cost a
+    /// missed deduplication, never a wrong one.
+    #[must_use]
+    pub fn content_hash(&self) -> ImageHash {
+        // Two independent FNV-1a streams (different offset bases) over the
+        // same feed; 128 collision-resistant-enough bits for a hash-map
+        // key, with `same_content` as the exact confirmation.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = [OFFSET, OFFSET ^ 0x5bd1_e995_9d1b_899d];
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                for x in &mut h {
+                    *x = (*x ^ u64::from(b)).wrapping_mul(PRIME);
+                }
+            }
+        };
+        feed(&self.base_addr.to_le_bytes());
+        feed(&self.generation.to_le_bytes());
+        feed(&(self.deltas.len() as u64).to_le_bytes());
+        for (li, line) in self.deltas.iter() {
+            feed(&li.to_le_bytes());
+            feed(&line[..]);
+        }
+        ImageHash(h)
+    }
+
+    /// Exact content equality, in O(deltas) instead of O(pool size).
+    ///
+    /// Sound because the delta list is canonical within a generation: same
+    /// generation ⇒ same base `Arc`, and only lines that differ from the
+    /// base are recorded (sorted), so equal deltas ⇔ equal bytes.
+    #[must_use]
+    pub fn same_content(&self, other: &CowImage) -> bool {
+        self.base_addr == other.base_addr
+            && self.generation == other.generation
+            && self.deltas == other.deltas
+    }
+}
+
+/// A 128-bit content hash of a [`CowImage`], usable as a hash-map key for
+/// crash-image deduplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImageHash([u64; 2]);
+
+/// Creates the shared zeroed/initialized base for a fresh pool: one `Arc`
+/// plus the generation both views will share.
+pub(crate) fn fresh_base(bytes: Vec<u8>) -> (Arc<[u8]>, u64) {
+    (Arc::from(bytes), next_generation())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn buf(len: usize) -> LineBuf {
+        let (base, generation) = fresh_base(vec![0; len]);
+        LineBuf::from_base(base, generation)
+    }
+
+    #[test]
+    fn reads_fall_through_to_base_until_written() {
+        let (base, generation) = fresh_base((0..=255).cycle().take(256).collect());
+        let b = LineBuf::from_base(base, generation);
+        let mut out = [0u8; 8];
+        b.read_into(100, &mut out);
+        assert_eq!(out, [100, 101, 102, 103, 104, 105, 106, 107]);
+        assert_eq!(b.overlay_count, 0);
+    }
+
+    #[test]
+    fn writes_fault_lines_once_and_count_bytes() {
+        let mut b = buf(256);
+        assert_eq!(b.write_at(0, &[1, 2, 3]), 64, "first touch faults");
+        assert_eq!(b.write_at(10, &[9]), 0, "same line already faulted");
+        assert_eq!(b.write_at(60, &[7; 8]), 64, "spans into line 1");
+        let mut out = [0u8; 3];
+        b.read_into(0, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        let mut out = [0u8; 8];
+        b.read_into(60, &mut out);
+        assert_eq!(out, [7; 8]);
+        assert_eq!(b.overlay_count, 2);
+    }
+
+    #[test]
+    fn capture_records_only_lines_that_differ() {
+        let mut b = buf(256);
+        b.write_at(64, &[5]);
+        b.write_at(128, &[0]); // faulted, but identical to base
+        let (img, copied) = b.capture(0);
+        assert_eq!(img.delta_count(), 1, "canonical: unchanged line dropped");
+        assert_eq!(copied, 64);
+        assert_eq!(img.line(1)[0], 5);
+        assert_eq!(img.line(2)[0], 0);
+    }
+
+    #[test]
+    fn materialize_equals_to_bytes() {
+        let mut b = buf(512);
+        b.write_at(3, &[1, 2, 3, 4]);
+        b.write_at(200, &[9; 64]);
+        let (img, _) = b.capture(0);
+        assert_eq!(img.materialize().bytes(), &b.to_bytes()[..]);
+    }
+
+    #[test]
+    fn equal_content_hashes_and_compares_equal() {
+        let mut a = buf(256);
+        let mut b = a.clone(); // shares base + generation
+        a.write_at(0, &[42]);
+        b.write_at(0, &[42]);
+        let (ia, _) = a.capture(0);
+        let (ib, _) = b.capture(0);
+        assert_eq!(ia.content_hash(), ib.content_hash());
+        assert!(ia.same_content(&ib));
+    }
+
+    #[test]
+    fn different_content_differs() {
+        let mut a = buf(256);
+        let mut b = a.clone();
+        a.write_at(0, &[1]);
+        b.write_at(0, &[2]);
+        let (ia, _) = a.capture(0);
+        let (ib, _) = b.capture(0);
+        assert_ne!(ia.content_hash(), ib.content_hash());
+        assert!(!ia.same_content(&ib));
+    }
+
+    #[test]
+    fn generations_keep_distinct_bases_apart() {
+        let a = buf(256);
+        let b = buf(256); // same (zero) contents, fresh base
+        let (ia, _) = a.capture(0);
+        let (ib, _) = b.capture(0);
+        assert_ne!(ia.content_hash(), ib.content_hash(), "conservative");
+        assert!(!ia.same_content(&ib));
+    }
+
+    #[test]
+    fn rebase_flattens_and_changes_generation() {
+        let mut b = buf(256); // 4 lines
+        let g0 = b.generation();
+        b.write_at(0, &[1]);
+        b.write_at(64, &[2]);
+        assert_eq!(b.maybe_rebase(), 0, "half the lines: not yet");
+        b.write_at(128, &[3]);
+        assert_eq!(b.maybe_rebase(), 256, "3 of 4 lines faulted");
+        assert_ne!(b.generation(), g0);
+        assert_eq!(b.overlay_count, 0);
+        let mut out = [0u8; 1];
+        b.read_into(128, &mut out);
+        assert_eq!(out, [3], "contents preserved across rebase");
+    }
+
+    #[test]
+    fn set_line_replaces_without_reading_base() {
+        let mut b = buf(128);
+        b.set_line(1, &[8; LINE]);
+        assert_eq!(b.line(1), &[8; LINE]);
+        assert_eq!(b.overlay_count, 1);
+    }
+}

@@ -422,11 +422,7 @@ impl Btree {
     }
 
     /// Point lookup.
-    pub fn lookup(
-        ctx: &mut PmCtx,
-        rt: u64,
-        key: u64,
-    ) -> Result<Option<u64>, DynError> {
+    pub fn lookup(ctx: &mut PmCtx, rt: u64, key: u64) -> Result<Option<u64>, DynError> {
         let mut node = ctx.read_u64(rt + RT_ROOT)?;
         let mut depth = 0;
         while node != 0 {
@@ -523,7 +519,13 @@ impl Workload for Btree {
         }
         if self.ops > 0 {
             // Exercise the in-place update path.
-            self.insert(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+            self.insert(
+                ctx,
+                &mut pool,
+                rt,
+                key_at(self.init),
+                val_at(self.init) ^ 0xff,
+            )?;
         }
         Ok(())
     }
@@ -583,7 +585,9 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = Btree::new(0);
         for i in 0..100 {
-            assert!(w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap());
+            assert!(w
+                .insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap());
         }
         for i in 0..100 {
             assert_eq!(
@@ -598,7 +602,10 @@ mod tests {
         let (total, min) = Btree::validate(&mut ctx, root, 0, 0, u64::MAX).unwrap();
         assert_eq!(total, 100);
         assert_eq!(min, (0..100).map(key_at).min().unwrap());
-        assert!(ctx.read_u64(rt + RT_HEIGHT).unwrap() >= 3, "tree actually grew");
+        assert!(
+            ctx.read_u64(rt + RT_HEIGHT).unwrap() >= 3,
+            "tree actually grew"
+        );
     }
 
     #[test]
@@ -632,7 +639,8 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = Btree::new(0);
         for i in 0..10 {
-            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap();
         }
         // Start an insert but fail before commit.
         pool.tx_begin(&mut ctx).unwrap();

@@ -259,7 +259,13 @@ bug_ids! {
 
 impl fmt::Display for BugId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?} [{}]: {}", self, self.workload(), self.description())
+        write!(
+            f,
+            "{:?} [{}]: {}",
+            self,
+            self.workload(),
+            self.description()
+        )
     }
 }
 

@@ -268,13 +268,17 @@ mod tests {
 
     #[test]
     fn correct_protocol_is_clean_under_detection() {
-        let outcome = XfDetector::with_defaults().run(ChecksumLog::new(4)).unwrap();
+        let outcome = XfDetector::with_defaults()
+            .run(ChecksumLog::new(4))
+            .unwrap();
         assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
     }
 
     #[test]
     fn manual_failure_points_are_injected() {
-        let outcome = XfDetector::with_defaults().run(ChecksumLog::new(4)).unwrap();
+        let outcome = XfDetector::with_defaults()
+            .run(ChecksumLog::new(4))
+            .unwrap();
         // Each append has 2 natural ordering points + 1 manual point.
         assert!(
             outcome.stats.failure_points > 2 * 4,
@@ -326,10 +330,6 @@ mod tests {
             ..XfConfig::default()
         };
         let outcome = XfDetector::new(cfg).run(ChecksumLog::new(4)).unwrap();
-        assert!(
-            !outcome.report.has_correctness_bugs(),
-            "{}",
-            outcome.report
-        );
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
     }
 }

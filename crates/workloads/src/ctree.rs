@@ -379,7 +379,13 @@ impl Workload for Ctree {
             self.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
         }
         if self.ops > 0 {
-            self.insert(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+            self.insert(
+                ctx,
+                &mut pool,
+                rt,
+                key_at(self.init),
+                val_at(self.init) ^ 0xff,
+            )?;
         }
         if self.ops > 1 {
             let _ = self.remove(ctx, &mut pool, rt, key_at(self.init + self.ops / 2))?;
@@ -427,7 +433,9 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = Ctree::new(0);
         for i in 0..100 {
-            assert!(w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap());
+            assert!(w
+                .insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap());
         }
         for i in 0..100 {
             assert_eq!(
@@ -455,10 +463,13 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = Ctree::new(0);
         for i in 0..8 {
-            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap();
         }
         pool.tx_begin(&mut ctx).unwrap();
-        let _ = w.insert_body(&mut ctx, &mut pool, rt, key_at(50), 1).unwrap();
+        let _ = w
+            .insert_body(&mut ctx, &mut pool, rt, key_at(50), 1)
+            .unwrap();
         let img = ctx.pool().full_image();
         let mut post = ctx.fork_post(&img);
         let mut rec = ObjPool::open(&mut post).unwrap();
@@ -472,7 +483,8 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = Ctree::new(0);
         for i in 0..40 {
-            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap();
         }
         for i in (0..40).step_by(2) {
             assert!(w.remove(&mut ctx, &mut pool, rt, key_at(i)).unwrap());
@@ -505,7 +517,8 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = Ctree::new(0);
         for i in 0..8 {
-            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap();
         }
         pool.tx_begin(&mut ctx).unwrap();
         let _ = w.remove_body(&mut ctx, &mut pool, rt, key_at(3)).unwrap();

@@ -458,7 +458,13 @@ impl Workload for HashmapAtomic {
         }
         // Exercise the update and removal paths so their bug sites fire.
         if self.ops > 0 {
-            self.insert(ctx, &mut pool, hm, key_at(self.init), val_at(self.init) ^ 0xff)?;
+            self.insert(
+                ctx,
+                &mut pool,
+                hm,
+                key_at(self.init),
+                val_at(self.init) ^ 0xff,
+            )?;
         }
         if self.ops > 1 {
             // Prefer removing a node that has a predecessor so the
@@ -492,13 +498,16 @@ mod tests {
         let mut pool = ObjPool::create_robust(&mut ctx).unwrap();
         let hm = w.create(&mut ctx, &mut pool).unwrap();
         for i in 0..50 {
-            w.insert(&mut ctx, &mut pool, hm, key_at(i), val_at(i)).unwrap();
+            w.insert(&mut ctx, &mut pool, hm, key_at(i), val_at(i))
+                .unwrap();
         }
         assert_eq!(HashmapAtomic::walk_and_check(&mut ctx, hm).unwrap(), 50);
         assert_eq!(ctx.read_u64(hm + HM_COUNT).unwrap(), 50);
 
         let b = HashmapAtomic::bucket_addr(&mut ctx, hm, key_at(7)).unwrap();
-        let node = HashmapAtomic::find(&mut ctx, b, key_at(7)).unwrap().unwrap();
+        let node = HashmapAtomic::find(&mut ctx, b, key_at(7))
+            .unwrap()
+            .unwrap();
         assert_eq!(ctx.read_u64(node + ND_VALUE).unwrap(), val_at(7));
 
         assert!(w.remove(&mut ctx, &mut pool, hm, key_at(7)).unwrap());
@@ -525,11 +534,7 @@ mod tests {
         let outcome = XfDetector::with_defaults()
             .run(HashmapAtomic::new(3))
             .unwrap();
-        assert!(
-            !outcome.report.has_correctness_bugs(),
-            "{}",
-            outcome.report
-        );
+        assert!(!outcome.report.has_correctness_bugs(), "{}", outcome.report);
         assert_eq!(outcome.report.performance_count(), 0, "{}", outcome.report);
         assert!(outcome.stats.failure_points > 5);
     }

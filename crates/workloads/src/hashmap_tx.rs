@@ -384,7 +384,13 @@ impl Workload for HashmapTx {
             self.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
         }
         if self.ops > 0 {
-            self.insert(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+            self.insert(
+                ctx,
+                &mut pool,
+                rt,
+                key_at(self.init),
+                val_at(self.init) ^ 0xff,
+            )?;
         }
         if self.ops > 1 {
             // Prefer removing a node with a predecessor so the
@@ -429,7 +435,9 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = HashmapTx::new(0);
         for i in 0..60 {
-            assert!(w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap());
+            assert!(w
+                .insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap());
         }
         for i in 0..60 {
             assert_eq!(
@@ -464,10 +472,13 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = HashmapTx::new(0);
         for i in 0..10 {
-            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap();
         }
         pool.tx_begin(&mut ctx).unwrap();
-        let _ = w.insert_body(&mut ctx, &mut pool, rt, key_at(42), 1).unwrap();
+        let _ = w
+            .insert_body(&mut ctx, &mut pool, rt, key_at(42), 1)
+            .unwrap();
         let img = ctx.pool().full_image();
         let mut post = ctx.fork_post(&img);
         let mut rec = ObjPool::open(&mut post).unwrap();

@@ -21,8 +21,8 @@
 #![warn(missing_docs)]
 
 pub mod btree;
-pub mod checksum_log;
 pub mod bugs;
+pub mod checksum_log;
 pub mod common;
 pub mod ctree;
 pub mod hashmap_atomic;
@@ -55,21 +55,16 @@ pub fn build(kind: WorkloadKind, ops: u64, bugs: BugSet) -> Box<dyn Workload> {
 /// As [`build`], with `init` pre-population operations performed during
 /// `setup` (the artifact's INITSIZE parameter).
 #[must_use]
-pub fn build_with_init(
-    kind: WorkloadKind,
-    init: u64,
-    ops: u64,
-    bugs: BugSet,
-) -> Box<dyn Workload> {
+pub fn build_with_init(kind: WorkloadKind, init: u64, ops: u64, bugs: BugSet) -> Box<dyn Workload> {
     match kind {
         WorkloadKind::Btree => Box::new(btree::Btree::new(ops).with_init(init).with_bugs(bugs)),
         WorkloadKind::Ctree => Box::new(ctree::Ctree::new(ops).with_init(init).with_bugs(bugs)),
-        WorkloadKind::Rbtree => {
-            Box::new(rbtree::Rbtree::new(ops).with_init(init).with_bugs(bugs))
-        }
-        WorkloadKind::HashmapTx => {
-            Box::new(hashmap_tx::HashmapTx::new(ops).with_init(init).with_bugs(bugs))
-        }
+        WorkloadKind::Rbtree => Box::new(rbtree::Rbtree::new(ops).with_init(init).with_bugs(bugs)),
+        WorkloadKind::HashmapTx => Box::new(
+            hashmap_tx::HashmapTx::new(ops)
+                .with_init(init)
+                .with_bugs(bugs),
+        ),
         WorkloadKind::HashmapAtomic => Box::new(
             hashmap_atomic::HashmapAtomic::new(ops)
                 .with_init(init)

@@ -128,12 +128,7 @@ impl Memcached {
     }
 
     /// Deletes an item (unlink via atomic stores; the item is then freed).
-    fn delete(
-        ctx: &mut PmCtx,
-        pool: &mut ObjPool,
-        rt: u64,
-        key: u64,
-    ) -> Result<bool, DynError> {
+    fn delete(ctx: &mut PmCtx, pool: &mut ObjPool, rt: u64, key: u64) -> Result<bool, DynError> {
         let bucket = Self::bucket(ctx, rt, key)?;
         let mut prev = 0u64;
         let mut cur = ctx.read_u64(bucket)?;
@@ -210,7 +205,13 @@ impl Workload for Memcached {
         }
         if self.ops > 0 {
             // Exercise the in-place update and delete paths.
-            Self::store(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+            Self::store(
+                ctx,
+                &mut pool,
+                rt,
+                key_at(self.init),
+                val_at(self.init) ^ 0xff,
+            )?;
         }
         if self.ops > 1 {
             let _ = Self::delete(ctx, &mut pool, rt, key_at(self.init + self.ops / 2))?;

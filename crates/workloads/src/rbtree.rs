@@ -405,10 +405,9 @@ impl Rbtree {
         }
         let l = Self::left(ctx, node)?;
         let r = Self::right(ctx, node)?;
-        if c == RED
-            && (Self::color(ctx, l)? == RED || Self::color(ctx, r)? == RED) {
-                return Err(err("red node with red child"));
-            }
+        if c == RED && (Self::color(ctx, l)? == RED || Self::color(ctx, r)? == RED) {
+            return Err(err("red node with red child"));
+        }
         let (lc, lb) = Self::validate(ctx, l, node, lo, k.saturating_sub(1), depth + 1)?;
         let (rc, rb) = Self::validate(ctx, r, node, k.saturating_add(1), hi, depth + 1)?;
         if lb != rb {
@@ -444,7 +443,13 @@ impl Workload for Rbtree {
             self.insert(ctx, &mut pool, rt, key_at(i), val_at(i))?;
         }
         if self.ops > 0 {
-            self.insert(ctx, &mut pool, rt, key_at(self.init), val_at(self.init) ^ 0xff)?;
+            self.insert(
+                ctx,
+                &mut pool,
+                rt,
+                key_at(self.init),
+                val_at(self.init) ^ 0xff,
+            )?;
         }
         Ok(())
     }
@@ -495,7 +500,9 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = Rbtree::new(0);
         for i in 0..200 {
-            assert!(w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap());
+            assert!(w
+                .insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap());
         }
         for i in 0..200 {
             assert_eq!(
@@ -536,7 +543,8 @@ mod tests {
         let (mut ctx, mut pool, rt) = setup();
         let w = Rbtree::new(0);
         for i in 0..12 {
-            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i)).unwrap();
+            w.insert(&mut ctx, &mut pool, rt, key_at(i), val_at(i))
+                .unwrap();
         }
         pool.tx_begin(&mut ctx).unwrap();
         let mut seen = Vec::new();

@@ -350,12 +350,7 @@ impl Workload for Redis {
         // Serve traffic again.
         let w = Redis::with_queries(vec![]);
         let _ = w.execute(ctx, &mut pool, rt, Command::Get(key_at(0)))?;
-        let _ = w.execute(
-            ctx,
-            &mut pool,
-            rt,
-            Command::Set(key_at(8_888_888), 1),
-        )?;
+        let _ = w.execute(ctx, &mut pool, rt, Command::Set(key_at(8_888_888), 1))?;
         Ok(())
     }
 }
@@ -383,13 +378,16 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(
-            w.execute(&mut ctx, &mut pool, rt, Command::Get(key_at(7))).unwrap(),
+            w.execute(&mut ctx, &mut pool, rt, Command::Get(key_at(7)))
+                .unwrap(),
             Some(val_at(7))
         );
         assert_eq!(ctx.read_u64(rt + RT_NUM_ENTRIES).unwrap(), 30);
-        w.execute(&mut ctx, &mut pool, rt, Command::Del(key_at(7))).unwrap();
+        w.execute(&mut ctx, &mut pool, rt, Command::Del(key_at(7)))
+            .unwrap();
         assert_eq!(
-            w.execute(&mut ctx, &mut pool, rt, Command::Get(key_at(7))).unwrap(),
+            w.execute(&mut ctx, &mut pool, rt, Command::Get(key_at(7)))
+                .unwrap(),
             None
         );
         assert_eq!(ctx.read_u64(rt + RT_NUM_ENTRIES).unwrap(), 29);
@@ -399,8 +397,10 @@ mod tests {
     #[test]
     fn set_overwrites() {
         let (mut ctx, mut pool, rt, w) = server();
-        w.execute(&mut ctx, &mut pool, rt, Command::Set(1, 10)).unwrap();
-        w.execute(&mut ctx, &mut pool, rt, Command::Set(1, 20)).unwrap();
+        w.execute(&mut ctx, &mut pool, rt, Command::Set(1, 10))
+            .unwrap();
+        w.execute(&mut ctx, &mut pool, rt, Command::Set(1, 20))
+            .unwrap();
         assert_eq!(
             w.execute(&mut ctx, &mut pool, rt, Command::Get(1)).unwrap(),
             Some(20)

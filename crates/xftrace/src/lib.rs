@@ -286,7 +286,11 @@ impl fmt::Display for Op {
             Op::RegisterCommitVar { addr, size } => {
                 write!(f, "COMMIT_VAR {addr:#x} {size}")
             }
-            Op::RegisterCommitRange { var_addr, addr, size } => {
+            Op::RegisterCommitRange {
+                var_addr,
+                addr,
+                size,
+            } => {
                 write!(f, "COMMIT_RANGE var={var_addr:#x} {addr:#x} {size}")
             }
         }
@@ -638,8 +642,14 @@ mod tests {
     #[test]
     fn owned_entry_round_trips_through_json() {
         let e = TraceEntry::new(
-            Op::Write { addr: 0x40, size: 8 },
-            SourceLoc { file: "w.rs", line: 9 },
+            Op::Write {
+                addr: 0x40,
+                size: 8,
+            },
+            SourceLoc {
+                file: "w.rs",
+                line: 9,
+            },
             Stage::Pre,
             false,
             true,
@@ -666,10 +676,16 @@ mod tests {
             internal: false,
             checked: true,
         };
-        let b = OwnedTraceEntry { line: 2, ..a.clone() };
+        let b = OwnedTraceEntry {
+            line: 2,
+            ..a.clone()
+        };
         let ea = a.to_entry();
         let eb = b.to_entry();
-        assert!(std::ptr::eq(ea.loc.file, eb.loc.file), "same interned pointer");
+        assert!(
+            std::ptr::eq(ea.loc.file, eb.loc.file),
+            "same interned pointer"
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         record_trace: true,
         ..XfConfig::default()
     };
-    let outcome = XfDetector::new(cfg)
-        .run(HashmapAtomic::new(3).with_bugs(BugId::HaNoPersistNodeKv))?;
+    let outcome =
+        XfDetector::new(cfg).run(HashmapAtomic::new(3).with_bugs(BugId::HaNoPersistNodeKv))?;
     let recorded = outcome.recorded.expect("recording was enabled");
     println!(
         "frontend: {} trace entries across {} failure points, {} finding(s)",

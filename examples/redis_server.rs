@@ -24,9 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("=== buggy server: unprotected initPersistentMemory (Bug 3) ===");
-    let buggy = detector.run(
-        Redis::with_queries(queries.clone()).with_bugs(BugId::RdInitUnprotected),
-    )?;
+    let buggy =
+        detector.run(Redis::with_queries(queries.clone()).with_bugs(BugId::RdInitUnprotected))?;
     println!("{}", buggy.report);
     println!(
         "pre-failure trace: {} entries, post-failure executions: {}\n",

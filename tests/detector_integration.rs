@@ -233,11 +233,7 @@ fn figure2_inverted_valid_flag_is_a_semantic_bug() {
             inverted_valid: true,
         })
         .unwrap();
-    assert!(
-        outcome.report.semantic_count() >= 1,
-        "{}",
-        outcome.report
-    );
+    assert!(outcome.report.semantic_count() >= 1, "{}", outcome.report);
 }
 
 #[test]
@@ -297,8 +293,8 @@ fn crash_sampling_mode_runs_clean_programs_cleanly() {
 /// finding set.
 #[test]
 fn detection_is_deterministic() {
-    use xfd::workloads::build_with_bug;
     use xfd::workloads::bugs::BugId;
+    use xfd::workloads::build_with_bug;
     let run = || {
         let o = XfDetector::with_defaults()
             .run(build_with_bug(BugId::HmNoAddCount))
@@ -316,8 +312,8 @@ fn detection_is_deterministic() {
 /// work is done (the DESIGN.md ablations).
 #[test]
 fn optimizations_preserve_detection_results() {
-    use xfd::workloads::build_with_bug;
     use xfd::workloads::bugs::BugId;
+    use xfd::workloads::build_with_bug;
 
     let categories = |cfg: XfConfig| {
         let o = XfDetector::new(cfg)

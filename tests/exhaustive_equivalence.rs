@@ -14,8 +14,11 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use xfd::pmem::{exhaustive_crash_images, EngineHook, OrderingPointInfo, PmCtx, PmPool};
-use xfd::xfdetector::{DynError, Workload, XfDetector};
+use xfd::pmem::{
+    exhaustive_cow_crash_images, exhaustive_crash_images, EngineHook, OrderingPointInfo, PmCtx,
+    PmPool,
+};
+use xfd::xfdetector::{DynError, RunOutcome, Workload, XfConfig, XfDetector};
 use xfd::xftrace::SourceLoc;
 
 const DATA: u64 = 0; // line 0
@@ -148,6 +151,109 @@ fn racy_program_has_a_genuinely_divergent_crash_state() {
         divergent,
         "the detector's race must correspond to a real divergent crash state: {all:?}"
     );
+}
+
+/// Serializes the report so runs can be compared byte-for-byte.
+fn report_json(outcome: &RunOutcome) -> String {
+    serde_json::to_string(&outcome.report).expect("reports serialize")
+}
+
+#[test]
+fn every_engine_configuration_produces_the_identical_report() {
+    // Acceptance criterion: sequential, parallel, and dedup-enabled runs
+    // all yield byte-identical `DetectionReport`s — the snapshot
+    // representation and the dedup cache are pure optimizations.
+    for persist_data in [true, false] {
+        let w = Publish { persist_data };
+        let baseline_cfg = XfConfig {
+            cow_snapshots: false,
+            dedup_images: false,
+            ..XfConfig::default()
+        };
+        let baseline = XfDetector::new(baseline_cfg.clone()).run(w).unwrap();
+        let expected = report_json(&baseline);
+        assert_eq!(baseline.stats.images_deduped, 0);
+
+        let cow_only_cfg = XfConfig {
+            dedup_images: false,
+            ..XfConfig::default()
+        };
+        let cow_only = XfDetector::new(cow_only_cfg.clone()).run(w).unwrap();
+        assert_eq!(
+            report_json(&cow_only),
+            expected,
+            "COW snapshots changed the report (persist_data={persist_data})"
+        );
+        assert!(
+            baseline.stats.snapshot_bytes_copied > cow_only.stats.snapshot_bytes_copied,
+            "COW must copy fewer bytes (persist_data={persist_data}): {} !> {}",
+            baseline.stats.snapshot_bytes_copied,
+            cow_only.stats.snapshot_bytes_copied
+        );
+
+        let dedup = XfDetector::with_defaults().run(w).unwrap();
+        assert_eq!(
+            report_json(&dedup),
+            expected,
+            "image dedup changed the report (persist_data={persist_data})"
+        );
+        assert!(
+            dedup.stats.images_deduped >= 1,
+            "Publish repeats a crash image at the completion failure point, \
+             so dedup must fire (persist_data={persist_data}): {:?}",
+            dedup.stats
+        );
+        assert_eq!(
+            dedup.stats.post_runs + dedup.stats.images_deduped,
+            dedup.stats.failure_points
+        );
+
+        for workers in [1, 3] {
+            for cfg in [&baseline_cfg, &cow_only_cfg, &XfConfig::default()] {
+                let par = XfDetector::new(cfg.clone())
+                    .run_parallel(w, workers)
+                    .unwrap();
+                assert_eq!(
+                    report_json(&par),
+                    expected,
+                    "parallel run diverged (persist_data={persist_data}, workers={workers}, \
+                     cow={}, dedup={})",
+                    cfg.cow_snapshots,
+                    cfg.dedup_images
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cow_enumeration_recovers_identically_to_flat_enumeration() {
+    // The COW form of the exhaustive enumeration drives recovery to the
+    // same observations as the materializing form, crash state by crash
+    // state.
+    struct Compare;
+    impl EngineHook for Compare {
+        fn on_ordering_point(&self, ctx: &mut PmCtx, _l: SourceLoc, _i: OrderingPointInfo) {
+            let flat = exhaustive_crash_images(ctx.pool(), 16).expect("small protocol");
+            let cow = exhaustive_cow_crash_images(ctx.pool(), 16).expect("small protocol");
+            assert_eq!(flat.len(), cow.len());
+            for (img, cimg) in flat.iter().zip(&cow) {
+                let mut a = ctx.fork_post(img);
+                let mut b = ctx.fork_post_cow(cimg);
+                assert_eq!(
+                    Publish::recover(&mut a).expect("recovery runs"),
+                    Publish::recover(&mut b).expect("recovery runs"),
+                );
+            }
+        }
+    }
+
+    for persist_data in [true, false] {
+        let mut ctx = PmCtx::new(PmPool::new(4096).unwrap());
+        ctx.set_hook(Rc::new(Compare));
+        Publish { persist_data }.run_pre(&mut ctx).unwrap();
+        ctx.clear_hook();
+    }
 }
 
 #[test]

@@ -20,13 +20,11 @@ fn bug1_hashmap_atomic_unpersisted_hash_metadata() {
     let outcome = XfDetector::with_defaults()
         .run(HashmapAtomic::new(2).with_bugs(BugId::HaCreateNoPersistSeed))
         .unwrap();
-    assert!(
-        outcome.report.race_count() >= 1,
-        "{}",
-        outcome.report
-    );
+    assert!(outcome.report.race_count() >= 1, "{}", outcome.report);
     // The fixed program (barrier present) is clean.
-    let fixed = XfDetector::with_defaults().run(HashmapAtomic::new(2)).unwrap();
+    let fixed = XfDetector::with_defaults()
+        .run(HashmapAtomic::new(2))
+        .unwrap();
     assert!(!fixed.report.has_correctness_bugs(), "{}", fixed.report);
 }
 

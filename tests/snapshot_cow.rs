@@ -1,0 +1,45 @@
+//! Acceptance test for the copy-on-write snapshot subsystem: on the
+//! `btree` and `hashmap_tx` workloads from Figure 12, the COW engine must
+//! copy at least 2× fewer snapshot bytes than the seed engine (which
+//! materialized three full pool copies per failure point), while producing
+//! a byte-identical `DetectionReport`.
+
+use xfd::workloads::bugs::{BugSet, WorkloadKind};
+use xfd::workloads::{build, validation_ops};
+use xfd::xfdetector::{XfConfig, XfDetector};
+
+fn bytes_copied(kind: WorkloadKind, config: XfConfig) -> (u64, String, u64) {
+    let w = build(kind, validation_ops(kind), BugSet::none());
+    let outcome = XfDetector::new(config).run(w).unwrap();
+    let report = serde_json::to_string(&outcome.report).unwrap();
+    (
+        outcome.stats.snapshot_bytes_copied,
+        report,
+        outcome.stats.images_deduped,
+    )
+}
+
+#[test]
+fn cow_halves_snapshot_traffic_on_the_figure_12_workloads() {
+    for kind in [WorkloadKind::Btree, WorkloadKind::HashmapTx] {
+        let seed_cfg = XfConfig {
+            cow_snapshots: false,
+            dedup_images: false,
+            ..XfConfig::default()
+        };
+        let (seed_bytes, seed_report, seed_deduped) = bytes_copied(kind, seed_cfg);
+        let (cow_bytes, cow_report, _) = bytes_copied(kind, XfConfig::default());
+
+        assert_eq!(seed_deduped, 0);
+        assert_eq!(
+            seed_report, cow_report,
+            "{kind:?}: COW+dedup must not change the report"
+        );
+        assert!(
+            seed_bytes >= 2 * cow_bytes,
+            "{kind:?}: expected >= 2x reduction, got seed={seed_bytes} cow={cow_bytes} \
+             ({:.2}x)",
+            seed_bytes as f64 / cow_bytes.max(1) as f64
+        );
+    }
+}

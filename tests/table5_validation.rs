@@ -32,7 +32,9 @@ fn all_workloads_are_clean_without_injected_bugs() {
 fn every_synthetic_bug_is_detected_in_its_category() {
     let mut validated = 0;
     for &bug in BugId::all() {
-        let outcome = XfDetector::with_defaults().run(build_with_bug(bug)).unwrap();
+        let outcome = XfDetector::with_defaults()
+            .run(build_with_bug(bug))
+            .unwrap();
         let detected = match bug.expected_category() {
             BugCategory::Race => outcome.report.race_count() >= 1,
             BugCategory::Semantic => outcome.report.semantic_count() >= 1,

@@ -1,0 +1,123 @@
+//! Minimal, dependency-free workalike of the `rand` crate.
+//!
+//! The workspace vendors this because the build environment has no access to
+//! a crates.io mirror. Only the surface actually used by the repository is
+//! provided: the [`Rng`] trait (with [`Rng::gen_bool`]), [`SeedableRng`],
+//! and a deterministic [`rngs::StdRng`].
+//!
+//! The generator is SplitMix64 — statistically fine for test-time sampling,
+//! deterministic across platforms, and not intended for cryptography.
+
+#![forbid(unsafe_code)]
+
+/// A random number generator.
+///
+/// Only the methods used by this workspace are provided. The trait is
+/// object-safe for the `next_u64` core; `gen_bool` has a default
+/// implementation in terms of it and therefore works through `&mut R` with
+/// `R: Rng + ?Sized`, like the real crate.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // 53 uniform mantissa bits in [0, 1), compared against p.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64));
+        unit < p
+    }
+
+    /// Returns a uniformly distributed value in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    fn gen_range_u64(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "empty range");
+        // Modulo bias is irrelevant for the test-time ranges used here.
+        low + self.next_u64() % (high - low)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams, on every platform.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64).
+    ///
+    /// Unlike the real `rand::rngs::StdRng` this is *stable across
+    /// versions* — the workspace relies on seeded runs being reproducible.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_bias() {
+        let mut r = StdRng::seed_from_u64(7);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn dyn_compatible() {
+        fn take(rng: &mut dyn Rng) -> bool {
+            rng.gen_bool(0.5)
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = take(&mut r);
+    }
+}

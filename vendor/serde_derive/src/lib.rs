@@ -1,0 +1,386 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! Value-tree serde.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build environment
+//! has no `syn`/`quote`), so it supports exactly the shapes this workspace
+//! uses — which match serde's externally-tagged default representation:
+//!
+//! - structs with named fields → JSON objects in declaration order,
+//! - enums with unit variants → the variant name as a string,
+//! - enums with struct variants → `{"Variant": {fields...}}`,
+//! - `#[serde(skip)]` fields → omitted on serialize, `Default::default()`
+//!   on deserialize.
+//!
+//! Tuple structs, tuple variants and generic types are rejected with a
+//! compile-time panic rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// A named field and whether `#[serde(skip)]` was present on it.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// An enum variant: unit (`fields == None`) or struct-like.
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+/// Derives `serde::Serialize` (conversion to a `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_input(input);
+    let code = match body {
+        Body::Struct(fields) => gen_struct_serialize(&name, &fields),
+        Body::Enum(variants) => gen_enum_serialize(&name, &variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (reconstruction from a `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_input(input);
+    let code = match body {
+        Body::Struct(fields) => gen_struct_deserialize(&name, &fields),
+        Body::Enum(variants) => gen_enum_deserialize(&name, &variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_input(input: TokenStream) -> (String, Body) {
+    let mut tokens = input.into_iter().peekable();
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute (doc comments included): '#' '[...]'.
+                let _ = tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                skip_visibility_restriction(&mut tokens);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break "enum",
+            other => panic!("serde_derive: unexpected token before item keyword: {other:?}"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    let group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde_derive: `{name}` must be a brace-delimited {kind} without generics, \
+             found {other:?}"
+        ),
+    };
+    let body = if kind == "struct" {
+        Body::Struct(parse_fields(group.stream()))
+    } else {
+        Body::Enum(parse_variants(group.stream()))
+    };
+    (name, body)
+}
+
+/// After a `pub` token: consume a following `(crate)`-style restriction.
+fn skip_visibility_restriction(tokens: &mut Tokens) {
+    if let Some(TokenTree::Group(g)) = tokens.peek() {
+        if g.delimiter() == Delimiter::Parenthesis {
+            let _ = tokens.next();
+        }
+    }
+}
+
+/// Parses `(attrs vis name: Type,)*` from a brace-group stream.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = consume_attrs(&mut tokens);
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                let _ = tokens.next();
+                skip_visibility_restriction(&mut tokens);
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde_derive: field `{name}` must be named (tuple shapes are \
+                 unsupported), found {other:?}"
+            ),
+        }
+        skip_type(&mut tokens);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Consumes the field's type: everything up to the next comma at
+/// angle-bracket depth zero. Commas inside `(...)`/`[...]` are invisible
+/// here because groups are single token trees.
+fn skip_type(tokens: &mut Tokens) {
+    let mut depth = 0i64;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses `(attrs Name ({fields})? ,)*` from an enum's brace-group stream.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = consume_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = parse_fields(g.stream());
+                let _ = tokens.next();
+                Some(inner)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple variant `{name}` is unsupported")
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                let _ = tokens.next();
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Consumes leading attributes; returns whether `#[serde(skip)]` was among
+/// them.
+fn consume_attrs(tokens: &mut Tokens) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _ = tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        skip |= attr_is_serde_skip(g.stream());
+                    }
+                    other => panic!("serde_derive: malformed attribute: {other:?}"),
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `vec![("name", value), ...]` for the serialized fields of a struct or
+/// struct variant. `access` is the expression prefix for reaching a field
+/// (`&self.` for structs, `` for match bindings which are already
+/// references).
+fn fields_object(fields: &[Field], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{0}\"), \
+                 ::serde::Serialize::to_value({access}{0}))",
+                f.name
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {}\n\
+             }}\n\
+         }}",
+        fields_object(fields, "&self.")
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default()", f.name)
+            } else {
+                format!("{0}: ::serde::de_field(__v, \"{0}\")?", f.name)
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n\
+             }}\n\
+         }}",
+        inits.join(", ")
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| match &v.fields {
+            None => format!(
+                "{name}::{0} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{0}\")),",
+                v.name
+            ),
+            Some(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                format!(
+                    "{name}::{0} {{ {1} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{0}\"), {2})]),",
+                    v.name,
+                    binds.join(", "),
+                    fields_object(fields, "")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| v.fields.is_none())
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let struct_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| v.fields.as_ref().map(|fields| (v, fields)))
+        .map(|(v, fields)| {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!("{0}: ::serde::de_field(__inner, \"{0}\")?", f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0} {{ {1} }}),",
+                v.name,
+                inits.join(", ")
+            )
+        })
+        .collect();
+    let bad_variant = format!(
+        "::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+         \"unknown variant `{{}}` of `{name}`\", __tag)))"
+    );
+    let str_arm = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {}\n\
+                 _ => {bad_variant},\n\
+             }},",
+            unit_arms.join("\n")
+        )
+    };
+    let obj_arm = if struct_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__fields[0];\n\
+                 match __tag.as_str() {{\n\
+                     {}\n\
+                     _ => {bad_variant},\n\
+                 }}\n\
+             }}",
+            struct_arms.join("\n")
+        )
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                     {str_arm}\n\
+                     {obj_arm}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                         \"expected a variant of `{name}`\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
