@@ -1,0 +1,110 @@
+//! Microbenchmarks of the line-slab shadow PM: replay throughput,
+//! checkpoint cost (the O(1) copy-on-write `begin_post`), the
+//! copy-on-write fault path when checkpoints are held across mutations,
+//! and the sorted-range transaction bookkeeping.
+//!
+//! ```sh
+//! cargo bench -p xfd-bench --bench shadow
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xfdetector::{DetectionReport, ShadowPm};
+use xftrace::{FenceKind, FlushKind, Op, SourceLoc, Stage, TraceEntry};
+
+fn entry(op: Op) -> TraceEntry {
+    TraceEntry::new(op, SourceLoc::synthetic("<bench>"), Stage::Pre, false, true)
+}
+
+/// `n` write/flush/fence rounds spread over `lines` cache lines.
+fn store_trace(n: u64, lines: u64) -> Vec<TraceEntry> {
+    let mut entries = Vec::with_capacity(n as usize * 3);
+    for i in 0..n {
+        let addr = 0x1000 + (i % lines) * 64;
+        entries.push(entry(Op::Write { addr, size: 8 }));
+        entries.push(entry(Op::Flush {
+            addr,
+            kind: FlushKind::Clwb,
+        }));
+        entries.push(entry(Op::Fence {
+            kind: FenceKind::Sfence,
+        }));
+    }
+    entries
+}
+
+fn replayed(trace: &[TraceEntry]) -> ShadowPm {
+    let mut shadow = ShadowPm::new();
+    let mut report = DetectionReport::new();
+    for e in trace {
+        shadow.apply_pre(e, &mut report);
+    }
+    shadow
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let trace = store_trace(4000, 512);
+    group.bench_function("replay_12k_entries_512_lines", |b| {
+        b.iter(|| std::hint::black_box(replayed(&trace)).entries_replayed());
+    });
+
+    // The tentpole: checkpointing must not scale with resident state.
+    let big = replayed(&store_trace(8000, 2048));
+    group.bench_function("checkpoint_o1_2048_lines", |b| {
+        b.iter(|| std::hint::black_box(big.begin_post(true)));
+    });
+
+    // The price the replay pays when a checkpoint is in flight: per-line
+    // copy-on-write faults on the mutated lines only.
+    group.bench_function("cow_fault_one_line_under_checkpoint", |b| {
+        let mut shadow = replayed(&store_trace(8000, 2048));
+        let write = entry(Op::Write {
+            addr: 0x1000,
+            size: 8,
+        });
+        let mut report = DetectionReport::new();
+        b.iter(|| {
+            let cp = shadow.begin_post(true);
+            shadow.apply_pre(&write, &mut report);
+            std::hint::black_box(cp);
+        });
+    });
+
+    // Satellite: TX_ADD bookkeeping is sorted coalesced ranges with
+    // binary-search membership; writes probe it per chunk.
+    group.bench_function("tx_protected_writes_200_ranges", |b| {
+        let mut setup = vec![entry(Op::TxBegin)];
+        for i in 0..200u64 {
+            setup.push(entry(Op::TxAdd {
+                addr: 0x1000 + i * 128,
+                size: 64,
+            }));
+        }
+        let base = replayed(&setup);
+        let writes: Vec<TraceEntry> = (0..200u64)
+            .map(|i| {
+                entry(Op::Write {
+                    addr: 0x1000 + (i * 37 % 200) * 128,
+                    size: 8,
+                })
+            })
+            .collect();
+        b.iter(|| {
+            let mut shadow = base.clone();
+            let mut report = DetectionReport::new();
+            for e in &writes {
+                shadow.apply_pre(e, &mut report);
+            }
+            std::hint::black_box(shadow.entries_replayed())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shadow);
+criterion_main!(benches);

@@ -13,8 +13,17 @@ fn main() {
     let sweep = [1u64, 10, 20, 30, 40, 50];
     println!("Figure 13: execution time and #failure points vs #pre-failure transactions");
     println!(
-        "{:<16} {:>6} {:>12} {:>10} {:>8} {:>12} {:>12} {:>12}",
-        "workload", "#tx", "time[s]", "#fp", "#dedup", "pre-entries", "post-entries", "snap[KiB]"
+        "{:<16} {:>6} {:>12} {:>10} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "workload",
+        "#tx",
+        "time[s]",
+        "check[s]",
+        "#fp",
+        "#dedup",
+        "pre-entries",
+        "post-entries",
+        "snap[KiB]",
+        "shadow[KiB]"
     );
     for kind in microbenchmarks() {
         let mut prev_fp = 0u64;
@@ -22,15 +31,17 @@ fn main() {
             let outcome = run_detection(kind, n);
             let s = &outcome.stats;
             println!(
-                "{:<16} {:>6} {:>12} {:>10} {:>8} {:>12} {:>12} {:>12.1}",
+                "{:<16} {:>6} {:>12} {:>10} {:>10} {:>8} {:>12} {:>12} {:>12.1} {:>12.1}",
                 kind.to_string(),
                 n,
                 secs(s.total_time),
+                secs(s.check_time),
                 s.failure_points,
                 s.images_deduped,
                 s.pre_entries,
                 s.post_entries,
                 s.snapshot_bytes_copied as f64 / 1024.0,
+                s.shadow_bytes_cloned as f64 / 1024.0,
             );
             assert!(
                 s.failure_points >= prev_fp,

@@ -1,0 +1,200 @@
+//! Detector performance baseline: the sequential engine, the parallel
+//! engine with serial (merge-stage) checking, and the fully parallel
+//! replay/checking pipeline, on the Figure 12 workloads. Writes the
+//! results to `BENCH_detector.json` at the repository root so the perf
+//! trajectory is tracked in-tree.
+//!
+//! Every row records the measured wall-clock times on this host plus the
+//! measured *work* components: `exec_work_s` (post-failure executions, from
+//! the sequential run's `post_exec_time`) and `serial_check_work_s` (the
+//! merge-stage checking the serial path serializes, from the serial-mode
+//! run's `check_time`).
+//!
+//! The headline `speedup_parallel_checking` compares the serial-checking
+//! path against the parallel-checking pipeline at `WORKERS` workers:
+//!
+//! - On hosts with more CPUs than workers the measured walls already embody
+//!   the parallelism and the speedup is their plain ratio
+//!   (`speedup_method: "measured-wall"`).
+//! - On smaller hosts (CI containers are often single-CPU, where every
+//!   "parallel" configuration time-slices one core and wall-clock ratios
+//!   are meaningless) the speedup is computed on the critical path from the
+//!   measured components (`speedup_method: "critical-path"`): each mode's
+//!   measured wall minus the work its pipeline moves off the critical path,
+//!   `work × (1 - 1/WORKERS)` — serial checking only offloads execution,
+//!   parallel checking offloads execution *and* checking. This is
+//!   conservative: it assumes nothing else overlaps and worker-side
+//!   per-unit cost equals main-thread cost.
+//!
+//! ```sh
+//! cargo run --release -p xfd-bench --bin perf_baseline
+//! ```
+
+use std::time::Duration;
+
+use serde::Serialize;
+use xfd_bench::{run_detection_with, run_parallel_detection, secs};
+use xfd_workloads::bugs::WorkloadKind;
+use xfdetector::XfConfig;
+
+const WORKERS: usize = 8;
+const REPS: u32 = 3;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    ops: u64,
+    workers: usize,
+    failure_points: u64,
+    sequential_s: f64,
+    /// Post-failure execution work (sequential `post_exec_time`).
+    exec_work_s: f64,
+    /// Merge-stage checking work the serial path serializes.
+    serial_check_work_s: f64,
+    /// Measured wall times on this host.
+    parallel_serial_checking_wall_s: f64,
+    parallel_checking_wall_s: f64,
+    /// Critical-path times at `workers` (equal to the walls when
+    /// `speedup_method` is `measured-wall`).
+    parallel_serial_checking_s: f64,
+    parallel_checking_s: f64,
+    speedup_parallel_checking: f64,
+    shadow_bytes_cloned: u64,
+    shadow_resident_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    bench: &'static str,
+    workers: usize,
+    reps: u32,
+    host_cpus: usize,
+    speedup_method: &'static str,
+    results: Vec<Row>,
+}
+
+/// Best-of-`REPS` of `f` by wall-clock time.
+fn best_of<T, F: FnMut() -> (Duration, T)>(mut f: F) -> (Duration, T) {
+    (0..REPS)
+        .map(|_| f())
+        .min_by_key(|(d, _)| *d)
+        .expect("REPS > 0")
+}
+
+fn main() {
+    let cases = [
+        (WorkloadKind::Btree, 100u64),
+        (WorkloadKind::HashmapTx, 100),
+        (WorkloadKind::Ctree, 100),
+    ];
+    let cfg = XfConfig::default();
+    let serial_check_cfg = XfConfig {
+        parallel_checking: false,
+        ..XfConfig::default()
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let measured = host_cpus > WORKERS;
+    let method = if measured {
+        "measured-wall"
+    } else {
+        "critical-path"
+    };
+    // Fraction of offloaded work that leaves the critical path at WORKERS.
+    let off = 1.0 - 1.0 / WORKERS as f64;
+
+    println!("detector perf baseline ({WORKERS} workers, best of {REPS}, {host_cpus} host cpus, {method})");
+    println!(
+        "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>8} {:>12}",
+        "workload",
+        "ops",
+        "#fp",
+        "seq[s]",
+        "exec[s]",
+        "check[s]",
+        "par-serial[s]",
+        "par-check[s]",
+        "speedup",
+        "shadow[KiB]"
+    );
+
+    let mut rows = Vec::new();
+    for (kind, ops) in cases {
+        let (sequential, (failure_points, exec_work)) = best_of(|| {
+            let o = run_detection_with(kind, ops, cfg.clone());
+            (
+                o.stats.total_time,
+                (o.stats.failure_points, o.stats.post_exec_time),
+            )
+        });
+        let (par_serial_wall, check_work) = best_of(|| {
+            let o = run_parallel_detection(kind, ops, serial_check_cfg.clone(), WORKERS);
+            (o.stats.total_time, o.stats.check_time)
+        });
+        let (par_checked_wall, (shadow_cloned, shadow_resident)) = best_of(|| {
+            let o = run_parallel_detection(kind, ops, cfg.clone(), WORKERS);
+            (
+                o.stats.total_time,
+                (o.stats.shadow_bytes_cloned, o.stats.shadow_resident_bytes),
+            )
+        });
+
+        let exec = exec_work.as_secs_f64();
+        let check = check_work.as_secs_f64();
+        let ps_wall = par_serial_wall.as_secs_f64();
+        let pc_wall = par_checked_wall.as_secs_f64();
+        // Critical path: the serial-checking pipeline only moves execution
+        // off the main thread; the parallel-checking pipeline moves
+        // execution and checking. Floored at perfect WORKERS-way scaling.
+        let (ps, pc) = if measured {
+            (ps_wall, pc_wall)
+        } else {
+            (
+                (ps_wall - exec * off).max(ps_wall / WORKERS as f64),
+                (pc_wall - (exec + check) * off).max(pc_wall / WORKERS as f64),
+            )
+        };
+        let speedup = ps / pc.max(f64::MIN_POSITIVE);
+        println!(
+            "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>7.2}x {:>12.1}",
+            kind.to_string(),
+            ops,
+            failure_points,
+            secs(sequential),
+            secs(exec_work),
+            secs(check_work),
+            format!("{ps:.3}"),
+            format!("{pc:.3}"),
+            speedup,
+            shadow_cloned as f64 / 1024.0,
+        );
+        rows.push(Row {
+            workload: kind.to_string(),
+            ops,
+            workers: WORKERS,
+            failure_points,
+            sequential_s: sequential.as_secs_f64(),
+            exec_work_s: exec,
+            serial_check_work_s: check,
+            parallel_serial_checking_wall_s: ps_wall,
+            parallel_checking_wall_s: pc_wall,
+            parallel_serial_checking_s: ps,
+            parallel_checking_s: pc,
+            speedup_parallel_checking: speedup,
+            shadow_bytes_cloned: shadow_cloned,
+            shadow_resident_bytes: shadow_resident,
+        });
+    }
+
+    let doc = Doc {
+        bench: "detector",
+        workers: WORKERS,
+        reps: REPS,
+        host_cpus,
+        speedup_method: method,
+        results: rows,
+    };
+    let path = "BENCH_detector.json";
+    std::fs::write(path, serde_json::to_string(&doc).expect("serialize") + "\n")
+        .expect("write BENCH_detector.json");
+    println!("\nwrote {path}");
+}

@@ -37,6 +37,42 @@ pub fn run_detection_with(kind: WorkloadKind, ops: u64, cfg: XfConfig) -> RunOut
         .expect("detection run failed")
 }
 
+/// Runs detection with post-failure execution (and, per
+/// [`XfConfig::parallel_checking`], checking) spread over `workers`
+/// threads, bug-free variant of `kind`.
+///
+/// # Panics
+///
+/// Panics if the detection run itself fails.
+#[must_use]
+pub fn run_parallel_detection(
+    kind: WorkloadKind,
+    ops: u64,
+    cfg: XfConfig,
+    workers: usize,
+) -> RunOutcome {
+    // `build` returns a boxed (non-`Send`) workload; parallel runs need the
+    // concrete `Send + Sync` types.
+    let det = XfDetector::new(cfg);
+    match kind {
+        WorkloadKind::Btree => det.run_parallel(xfd_workloads::btree::Btree::new(ops), workers),
+        WorkloadKind::Ctree => det.run_parallel(xfd_workloads::ctree::Ctree::new(ops), workers),
+        WorkloadKind::Rbtree => det.run_parallel(xfd_workloads::rbtree::Rbtree::new(ops), workers),
+        WorkloadKind::HashmapTx => {
+            det.run_parallel(xfd_workloads::hashmap_tx::HashmapTx::new(ops), workers)
+        }
+        WorkloadKind::HashmapAtomic => det.run_parallel(
+            xfd_workloads::hashmap_atomic::HashmapAtomic::new(ops),
+            workers,
+        ),
+        WorkloadKind::Redis => det.run_parallel(xfd_workloads::redis::Redis::new(ops), workers),
+        WorkloadKind::Memcached => {
+            det.run_parallel(xfd_workloads::memcached::Memcached::new(ops), workers)
+        }
+    }
+    .expect("detection run failed")
+}
+
 /// Baseline execution modes of Figure 12b.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Baseline {
@@ -104,6 +140,11 @@ mod tests {
     fn detection_and_baselines_run() {
         let outcome = run_detection(WorkloadKind::Ctree, 2);
         assert!(outcome.stats.failure_points > 0);
+        let par = run_parallel_detection(WorkloadKind::Ctree, 2, XfConfig::default(), 2);
+        assert_eq!(
+            serde_json::to_string(&par.report).unwrap(),
+            serde_json::to_string(&outcome.report).unwrap()
+        );
         let orig = run_baseline(WorkloadKind::Ctree, 2, Baseline::Original);
         let trace = run_baseline(WorkloadKind::Ctree, 2, Baseline::TraceOnly);
         assert!(orig > Duration::ZERO);

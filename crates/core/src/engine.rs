@@ -141,6 +141,13 @@ pub struct XfConfig {
     /// §5.4 optimizations. Requires [`XfConfig::cow_snapshots`] (content
     /// hashing is defined on COW images); has no effect without it.
     pub dedup_images: bool,
+    /// Run post-failure trace checking inside the worker pool (each job
+    /// ships an O(1) COW checkpoint of the shadow PM and its worker replays
+    /// the post-failure trace against it), leaving only report merging on
+    /// the main thread. Only affects [`XfDetector::run_parallel`]; reports
+    /// are byte-identical either way (fragments are merged in failure-point
+    /// order through the same deduplicating report).
+    pub parallel_checking: bool,
 }
 
 impl Default for XfConfig {
@@ -157,6 +164,7 @@ impl Default for XfConfig {
             record_trace: false,
             cow_snapshots: true,
             dedup_images: true,
+            parallel_checking: true,
         }
     }
 }
@@ -347,6 +355,14 @@ impl XfDetector {
         // The hook accounted each post-failure pool; the pre-failure pool's
         // copying (image capture + COW faults) is read off at the end.
         stats.snapshot_bytes_copied += ctx.pool().snapshot_bytes_copied();
+        {
+            let shadow = shared.shadow.borrow();
+            stats.shadow_bytes_cloned = shadow.bytes_cloned();
+            stats.shadow_resident_bytes = shadow.resident_bytes();
+        }
+        // Sequentially, `detect_time` is exactly the per-failure-point
+        // checking time; nothing ran in workers.
+        stats.check_time = stats.detect_time;
         stats.total_time = t_start.elapsed();
         let report = shared.report.borrow().clone();
         let recorded = shared.recorded.borrow_mut().take();

@@ -7,24 +7,37 @@
 //! [`XfDetector::run_parallel`] does exactly that: the pre-failure stage
 //! runs on the main thread as usual, but instead of executing each
 //! post-failure continuation inline at its failure point, the engine ships
-//! `(failure point, PM image)` jobs over a bounded channel to a pool of
-//! worker threads that run the recovery concurrently with the continuing
-//! pre-failure execution. Trace replay and checking happen afterwards, in
-//! failure-point order, so the resulting report is deterministic and
-//! identical to the sequential engine's (post-failure *outcome* findings
-//! included).
+//! `(failure point, PM image, shadow checkpoint)` jobs over a bounded
+//! channel to a pool of worker threads. Each worker runs the recovery *and*
+//! — with [`XfConfig::parallel_checking`] — replays the resulting
+//! post-failure trace against the shipped O(1) copy-on-write checkpoint of
+//! the shadow PM, returning a per-failure-point fragment of findings. The
+//! main thread merges fragments in failure-point order (interleaved with
+//! the pre-failure findings at the positions where the sequential engine
+//! would have discovered them), so the resulting report is deterministic
+//! and byte-identical to [`XfDetector::run`]'s, post-failure *outcome*
+//! findings included.
+//!
+//! With `parallel_checking: false`, workers only execute recoveries; the
+//! frontend still takes a shadow checkpoint per failure point, and the
+//! merge stage replays each post-failure trace against its checkpoint
+//! serially — the PR-1-era pipeline, kept as an ablation.
 //!
 //! Requirements: the workload must be [`Send`] + [`Sync`] (each worker calls
 //! `post_failure` on its own forked context). The bounded channel keeps at
 //! most `2 × workers` PM images alive, so memory stays proportional to the
-//! worker count, not to the failure-point count.
+//! worker count, not to the failure-point count. Shadow checkpoints are
+//! `Arc`-shared with the live shadow and cost no copying up front; the
+//! pre-failure replay pays per-line copy-on-write faults only for lines it
+//! mutates while checkpoints are in flight (see
+//! [`RunStats::shadow_bytes_cloned`]).
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,6 +64,9 @@ struct Job {
     loc: SourceLoc,
     pre_len: usize,
     image: JobImage,
+    /// Shadow checkpoint at this failure point, when the worker is to do
+    /// the checking itself ([`XfConfig::parallel_checking`]).
+    shadow: Option<ShadowPm>,
 }
 
 /// A worker's result for one failure point.
@@ -63,33 +79,72 @@ struct JobResult {
     panicked: bool,
     /// Snapshot bytes copied building this job's post-failure pool.
     bytes: u64,
+    /// The worker's checking fragment (`None` when checking is left to the
+    /// merge stage).
+    findings: Option<Vec<Finding>>,
+    /// Wall-clock time the worker spent checking.
+    check_time: Duration,
 }
 
 /// A deduplicated failure point: its crash image was byte-identical to the
 /// one job `src_id` executed on, so no job was shipped — the backend
 /// replays `src_id`'s post-failure trace re-anchored at this failure point.
+/// An identical crash *image* does not imply identical *shadow* state, so
+/// the reference carries its own checkpoint and is always checked at merge.
 struct DedupRef {
     id: u64,
     loc: SourceLoc,
     pre_len: usize,
     src_id: u64,
+    shadow: ShadowPm,
 }
 
-/// The frontend hook for parallel mode: collects the pre-failure trace and
-/// ships snapshot jobs instead of running recoveries inline.
+/// The frontend hook for parallel mode: replays the pre-failure trace
+/// incrementally and ships snapshot jobs instead of running recoveries
+/// inline.
 struct ParallelFrontend {
     config: XfConfig,
     rng: RefCell<StdRng>,
-    pre: RefCell<Vec<TraceEntry>>,
     jobs: RefCell<Option<mpsc::SyncSender<Job>>>,
-    next_id: RefCell<u64>,
     stats: RefCell<RunStats>,
-    report: RefCell<DetectionReport>,
     shadow: RefCell<ShadowPm>,
+    /// Pre-failure entries replayed into the shadow so far.
+    pre_replayed: RefCell<usize>,
+    /// Pre-failure findings (performance bugs, annotation conflicts) with
+    /// the 1-based index of the entry that produced each — the merge stage
+    /// interleaves them at the exact positions the sequential engine would
+    /// have pushed them. The scratch report keeps the sequential engine's
+    /// first-wins dedup; `taken` marks findings already moved out.
+    pre_findings: RefCell<Vec<(usize, Finding)>>,
+    pre_scratch: RefCell<(DetectionReport, usize)>,
+    /// Per-failure-point shadow checkpoints for the serial-checking mode
+    /// (`parallel_checking: false`).
+    checkpoints: RefCell<HashMap<u64, ShadowPm>>,
     /// Content hash → (job id that executed the image, the image itself
     /// for exact confirmation).
     dedup: RefCell<HashMap<ImageHash, (u64, CowImage)>>,
     refs: RefCell<Vec<DedupRef>>,
+}
+
+impl ParallelFrontend {
+    /// Replays freshly drained pre-failure entries into the shadow,
+    /// recording any findings with the entry index that produced them.
+    fn replay_pre(&self, drained: Vec<TraceEntry>) {
+        let mut shadow = self.shadow.borrow_mut();
+        let mut replayed = self.pre_replayed.borrow_mut();
+        let mut scratch = self.pre_scratch.borrow_mut();
+        let mut tagged = self.pre_findings.borrow_mut();
+        for e in &drained {
+            *replayed += 1;
+            shadow.apply_pre(e, &mut scratch.0);
+            let (report, taken) = &mut *scratch;
+            for f in &report.findings()[*taken..] {
+                tagged.push((*replayed, f.clone()));
+            }
+            *taken = report.findings().len();
+        }
+        self.stats.borrow_mut().pre_entries += drained.len() as u64;
+    }
 }
 
 impl EngineHook for ParallelFrontend {
@@ -107,27 +162,21 @@ impl EngineHook for ParallelFrontend {
                 }
             }
         }
-        // Keep the shadow up to date on the main thread (it is needed only
-        // at the end, but replaying incrementally here overlaps with the
-        // workers, like the paper's overlapped tracing/detection).
-        {
-            let drained = ctx.trace().drain();
-            let mut shadow = self.shadow.borrow_mut();
-            let mut report = self.report.borrow_mut();
-            for e in &drained {
-                shadow.apply_pre(e, &mut report);
-            }
-            self.stats.borrow_mut().pre_entries += drained.len() as u64;
-            self.pre.borrow_mut().extend(drained);
-        }
+        // Keep the shadow up to date on the main thread: replaying
+        // incrementally here overlaps with the workers, like the paper's
+        // overlapped tracing/detection.
+        self.replay_pre(ctx.trace().drain());
         let id = {
             let mut stats = self.stats.borrow_mut();
             let id = stats.failure_points;
             stats.failure_points += 1;
             id
         };
-        *self.next_id.borrow_mut() = id + 1;
-        let pre_len = self.pre.borrow().len();
+        let pre_len = *self.pre_replayed.borrow();
+        // O(1) copy-on-write checkpoint of the shadow at this failure
+        // point — the line slabs are shared until the continuing replay
+        // mutates them.
+        let checkpoint = self.shadow.borrow().clone();
         let image = if self.config.cow_snapshots {
             let image = self
                 .config
@@ -142,12 +191,15 @@ impl EngineHook for ParallelFrontend {
                     .map(|(src_id, _)| *src_id);
                 if let Some(src_id) = hit {
                     // Already explored: record a reference instead of
-                    // shipping (and executing) a redundant job.
+                    // shipping (and executing) a redundant job. It keeps
+                    // its own checkpoint — the image may repeat while the
+                    // shadow state differs.
                     self.refs.borrow_mut().push(DedupRef {
                         id,
                         loc,
                         pre_len,
                         src_id,
+                        shadow: checkpoint,
                     });
                     self.stats.borrow_mut().images_deduped += 1;
                     return;
@@ -163,11 +215,18 @@ impl EngineHook for ParallelFrontend {
             )
         };
         self.stats.borrow_mut().post_runs += 1;
+        let shadow = if self.config.parallel_checking {
+            Some(checkpoint)
+        } else {
+            self.checkpoints.borrow_mut().insert(id, checkpoint);
+            None
+        };
         let job = Job {
             id,
             loc,
             pre_len,
             image,
+            shadow,
         };
         // Blocks when the bounded queue is full: backpressure bounds the
         // number of in-flight PM images.
@@ -178,22 +237,26 @@ impl EngineHook for ParallelFrontend {
 }
 
 impl XfDetector {
-    /// Runs the detection procedure with post-failure executions spread
-    /// over `workers` threads. Produces the same report as
+    /// Runs the detection procedure with post-failure executions — and,
+    /// with [`XfConfig::parallel_checking`], post-failure trace checking —
+    /// spread over `workers` threads. Produces the same report as
     /// [`XfDetector::run`], in deterministic (failure-point) order.
+    ///
+    /// `workers == 0` means "use all available parallelism"
+    /// ([`std::thread::available_parallelism`]).
     ///
     /// # Errors
     ///
     /// As [`XfDetector::run`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers == 0`.
     pub fn run_parallel<W>(&self, workload: W, workers: usize) -> Result<RunOutcome, EngineError>
     where
         W: Workload + Send + Sync + 'static,
     {
-        assert!(workers > 0, "at least one worker is required");
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            workers
+        };
         let config = self.config().clone();
         let pool = PmPool::new(workload.pool_size()).map_err(EngineError::Pm)?;
         let mut ctx = PmCtx::new(pool);
@@ -210,17 +273,19 @@ impl XfDetector {
         let frontend = std::rc::Rc::new(ParallelFrontend {
             config: config.clone(),
             rng: RefCell::new(StdRng::seed_from_u64(config.rng_seed)),
-            pre: RefCell::new(Vec::new()),
             jobs: RefCell::new(Some(job_tx)),
-            next_id: RefCell::new(0),
             stats: RefCell::new(RunStats::default()),
-            report: RefCell::new(DetectionReport::new()),
             shadow: RefCell::new(ShadowPm::new()),
+            pre_replayed: RefCell::new(0),
+            pre_findings: RefCell::new(Vec::new()),
+            pre_scratch: RefCell::new((DetectionReport::new(), 0)),
+            checkpoints: RefCell::new(HashMap::new()),
             dedup: RefCell::new(HashMap::new()),
             refs: RefCell::new(Vec::new()),
         });
 
         let workload_ref = &workload;
+        let first_read_only = config.first_read_only;
         let (pre_result, results, post_exec_time) = std::thread::scope(|scope| {
             for _ in 0..workers {
                 let job_rx = &job_rx;
@@ -239,7 +304,6 @@ impl XfDetector {
                             JobImage::Cow(img) => PmCtx::new_post(PmPool::from_cow(img)),
                             JobImage::Flat(img) => PmCtx::new_post(PmPool::from_image(img)),
                         };
-                        let t0 = Instant::now();
                         let (outcome, panicked) = if catch {
                             match catch_unwind(AssertUnwindSafe(|| {
                                 workload_ref.post_failure(&mut post_ctx)
@@ -254,16 +318,39 @@ impl XfDetector {
                                 Err(e) => (Err(e.to_string()), false),
                             }
                         };
-                        let _elapsed = t0.elapsed();
                         let bytes = post_ctx.pool().snapshot_bytes_copied();
+                        let post = post_ctx.trace().drain();
+                        // Worker-side checking: replay the post trace
+                        // against the shipped shadow checkpoint into a
+                        // fragment. Pre- and post-stage bug kinds are
+                        // disjoint, so fragment-local dedup composes with
+                        // the merge report's global dedup.
+                        let (findings, check_time) = match &job.shadow {
+                            Some(shadow) => {
+                                let t1 = Instant::now();
+                                let fp = FailurePoint {
+                                    id: job.id,
+                                    loc: job.loc,
+                                };
+                                let mut checker = shadow.begin_post(first_read_only);
+                                let mut frag = DetectionReport::new();
+                                for e in &post {
+                                    checker.apply_post(e, fp, &mut frag);
+                                }
+                                (Some(frag.into_findings()), t1.elapsed())
+                            }
+                            None => (None, Duration::ZERO),
+                        };
                         let _ = res_tx.send(JobResult {
                             id: job.id,
                             loc: job.loc,
                             pre_len: job.pre_len,
-                            post: post_ctx.trace().drain(),
+                            post,
                             outcome,
                             panicked,
                             bytes,
+                            findings,
+                            check_time,
                         });
                     }
                 });
@@ -294,46 +381,61 @@ impl XfDetector {
             (pre_result, results, post_exec_time)
         });
 
-        // Trailing pre entries (after the last failure point).
-        {
-            let drained = ctx.trace().drain();
-            let mut shadow = frontend.shadow.borrow_mut();
-            let mut report = frontend.report.borrow_mut();
-            for e in &drained {
-                shadow.apply_pre(e, &mut report);
-            }
-            frontend.stats.borrow_mut().pre_entries += drained.len() as u64;
-            frontend.pre.borrow_mut().extend(drained);
-        }
+        // Trailing pre entries (after the last failure point): tail-end
+        // performance bugs are still reported.
+        frontend.replay_pre(ctx.trace().drain());
         pre_result.map_err(|e| EngineError::PreFailure(e.to_string()))?;
 
-        // Deterministic backend replay in failure-point order. Dedup
-        // references resolve to the executed result that explored the same
-        // crash image: its post-failure trace is replayed re-anchored at
-        // the reference's own failure point, exactly as the sequential
-        // engine does, so the merged report stays byte-identical.
+        // Deterministic merge in failure-point order. Fragments checked by
+        // workers are spliced in as-is; serial-checking jobs and dedup
+        // references are checked here against their own checkpoints. Dedup
+        // references replay the source job's post-failure trace (the post
+        // run is a pure function of the crash image) but against their own
+        // shadow state and failure point, exactly as the sequential engine
+        // does, so the merged report stays byte-identical.
         let mut results = results;
         results.sort_by_key(|r| r.id);
         let by_id: HashMap<u64, usize> =
             results.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        let checkpoints = frontend.checkpoints.borrow();
         let refs = frontend.refs.borrow();
-        struct Replay<'a> {
+        enum Work<'a> {
+            /// The worker already checked; splice its fragment in.
+            Checked(&'a [Finding]),
+            /// Check here: replay `post` against `shadow`.
+            Check {
+                shadow: &'a ShadowPm,
+                post: &'a [TraceEntry],
+            },
+        }
+        struct Item<'a> {
             id: u64,
             loc: SourceLoc,
             pre_len: usize,
-            post: &'a [TraceEntry],
             outcome: &'a Result<(), String>,
             panicked: bool,
+            post_len: usize,
+            work: Work<'a>,
         }
-        let mut items: Vec<Replay<'_>> = results
+        let mut items: Vec<Item<'_>> = results
             .iter()
-            .map(|r| Replay {
+            .map(|r| Item {
                 id: r.id,
                 loc: r.loc,
                 pre_len: r.pre_len,
-                post: &r.post,
                 outcome: &r.outcome,
                 panicked: r.panicked,
+                post_len: r.post.len(),
+                work: match (&r.findings, checkpoints.get(&r.id)) {
+                    (Some(f), _) => Work::Checked(f),
+                    (None, Some(shadow)) => Work::Check {
+                        shadow,
+                        post: &r.post,
+                    },
+                    // Unreachable in practice: every unchecked job left a
+                    // checkpoint behind. Degrade to an empty fragment.
+                    (None, None) => Work::Checked(&[]),
+                },
             })
             .collect();
         for d in refs.iter() {
@@ -344,66 +446,90 @@ impl XfDetector {
                 continue;
             };
             let src = &results[src];
-            items.push(Replay {
+            items.push(Item {
                 id: d.id,
                 loc: d.loc,
                 pre_len: d.pre_len,
-                post: &src.post,
                 outcome: &src.outcome,
                 panicked: src.panicked,
+                post_len: src.post.len(),
+                work: Work::Check {
+                    shadow: &d.shadow,
+                    post: &src.post,
+                },
             });
         }
         items.sort_by_key(|r| r.id);
-        let t_detect = Instant::now();
-        let pre = frontend.pre.borrow();
-        let mut shadow = ShadowPm::new();
+
+        let pre_findings = frontend.pre_findings.borrow();
+        let mut pf_cursor = 0usize;
         let mut report = DetectionReport::new();
-        let mut cursor = 0usize;
-        for r in &items {
-            while cursor < r.pre_len.min(pre.len()) {
-                shadow.apply_pre(&pre[cursor], &mut report);
-                cursor += 1;
+        let mut post_entries = 0u64;
+        let mut main_check_time = Duration::ZERO;
+        let t_detect = Instant::now();
+        for it in &items {
+            // Pre-failure findings discovered up to this failure point go
+            // first, as in the sequential engine's incremental replay.
+            while pf_cursor < pre_findings.len() && pre_findings[pf_cursor].0 <= it.pre_len {
+                report.push(pre_findings[pf_cursor].1.clone());
+                pf_cursor += 1;
             }
             let fp = FailurePoint {
-                id: r.id,
-                loc: r.loc,
+                id: it.id,
+                loc: it.loc,
             };
-            let mut checker = shadow.begin_post(config.first_read_only);
-            for e in r.post {
-                checker.apply_post(e, fp, &mut report);
+            match it.work {
+                Work::Checked(fragment) => {
+                    for f in fragment {
+                        report.push(f.clone());
+                    }
+                }
+                Work::Check { shadow, post } => {
+                    let t1 = Instant::now();
+                    let mut checker = shadow.begin_post(config.first_read_only);
+                    for e in post {
+                        checker.apply_post(e, fp, &mut report);
+                    }
+                    main_check_time += t1.elapsed();
+                }
             }
-            frontend.stats.borrow_mut().post_entries += r.post.len() as u64;
-            if let Err(msg) = r.outcome {
+            post_entries += it.post_len as u64;
+            if let Err(msg) = it.outcome {
                 report.push(Finding {
-                    kind: if r.panicked {
+                    kind: if it.panicked {
                         BugKind::PostFailurePanic
                     } else {
                         BugKind::PostFailureError
                     },
                     addr: 0,
                     size: 0,
-                    reader: Some(r.loc),
+                    reader: Some(it.loc),
                     writer: None,
                     failure_point: Some(fp),
                     message: Some(msg.clone()),
                 });
             }
         }
-        while cursor < pre.len() {
-            shadow.apply_pre(&pre[cursor], &mut report);
-            cursor += 1;
+        while pf_cursor < pre_findings.len() {
+            report.push(pre_findings[pf_cursor].1.clone());
+            pf_cursor += 1;
         }
         let detect_time = t_detect.elapsed();
 
-        // Merge pre-replay findings collected on the fly (performance bugs)
-        // — the final replay above already recomputed them identically, so
-        // `report` is complete.
         let mut stats = frontend.stats.borrow().clone();
         stats.total_time = t_start.elapsed();
         stats.post_exec_time = post_exec_time;
+        // `detect_time` is the residual serial merge; `check_time` is the
+        // summed checking time wherever it ran.
         stats.detect_time = detect_time;
-        // The incremental pass double-counted pre entries; normalize.
-        stats.pre_entries = pre.len() as u64;
+        stats.check_time = results.iter().map(|r| r.check_time).sum::<Duration>() + main_check_time;
+        stats.checks_parallelized = results.iter().filter(|r| r.findings.is_some()).count() as u64;
+        stats.post_entries = post_entries;
+        {
+            let shadow = frontend.shadow.borrow();
+            stats.shadow_bytes_cloned = shadow.bytes_cloned();
+            stats.shadow_resident_bytes = shadow.resident_bytes();
+        }
         // Workers accounted their post-failure pools; the frontend pool's
         // capture and COW-fault traffic is read off at the end.
         stats.snapshot_bytes_copied +=
@@ -475,7 +601,23 @@ mod tests {
                 "worker count {workers}"
             );
             assert_eq!(seq.stats.failure_points, par.stats.failure_points);
+            assert_eq!(
+                par.stats.checks_parallelized, par.stats.post_runs,
+                "every executed job must have been checked by its worker"
+            );
         }
+    }
+
+    #[test]
+    fn serial_checking_mode_matches_parallel_checking() {
+        let cfg = XfConfig {
+            parallel_checking: false,
+            ..XfConfig::default()
+        };
+        let serial = XfDetector::new(cfg).run_parallel(Racy, 4).unwrap();
+        let parallel = XfDetector::with_defaults().run_parallel(Racy, 4).unwrap();
+        assert_eq!(finding_keys(&serial), finding_keys(&parallel));
+        assert_eq!(serial.stats.checks_parallelized, 0);
     }
 
     #[test]
@@ -515,8 +657,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_panics() {
-        let _ = XfDetector::with_defaults().run_parallel(Racy, 0);
+    fn zero_workers_clamps_to_available_parallelism() {
+        let seq = XfDetector::with_defaults().run(Racy).unwrap();
+        let par = XfDetector::with_defaults().run_parallel(Racy, 0).unwrap();
+        assert_eq!(finding_keys(&seq), finding_keys(&par));
     }
 }

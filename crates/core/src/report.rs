@@ -193,6 +193,14 @@ impl DetectionReport {
         &self.findings
     }
 
+    /// Consumes the report, yielding the findings in detection order. Used
+    /// by the parallel pipeline to ship per-failure-point fragments from
+    /// workers to the merge stage.
+    #[must_use]
+    pub fn into_findings(self) -> Vec<Finding> {
+        self.findings
+    }
+
     /// Findings of a given category.
     pub fn of_category(&self, cat: BugCategory) -> impl Iterator<Item = &Finding> {
         self.findings

@@ -6,10 +6,24 @@
 //! last write, the source location of its last writer, and
 //! consistency-related flags (transaction protection, commit-variable
 //! bookkeeping for the version-based mechanisms of §3.2). At each failure
-//! point the engine clones the shadow into a [`PostChecker`] that replays the
-//! post-failure trace and reports cross-failure races and semantic bugs.
+//! point the engine checkpoints the shadow into a [`PostChecker`] that
+//! replays the post-failure trace and reports cross-failure races and
+//! semantic bugs.
+//!
+//! # Representation
+//!
+//! Byte states are stored line-granularly: a dense 64-entry [`Slab`] per
+//! touched 64-byte cache line, keyed by line index, matching the persist
+//! granularity of the hardware (and of `pmem::snapshot::LineBuf` on the
+//! data side). The line map is held behind an [`Arc`] and every slab is an
+//! `Arc` of its own, so [`ShadowPm::begin_post`] is an O(1) copy-on-write
+//! checkpoint: the frontend keeps replaying the pre-failure trace and only
+//! the slabs it actually touches while a checkpoint is alive get deep-copied
+//! (counted in [`ShadowPm::bytes_cloned`]). The `WritebackPending` set is a
+//! per-slab bitmask plus a volatile set of pending line indices.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use xftrace::{Op, SourceLoc, TraceEntry};
 
@@ -17,6 +31,14 @@ use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
 
 /// Cache-line size used for flush granularity (matches the simulator).
 const LINE: u64 = 64;
+
+/// Bytes accounted per deep-copied slab (the dense states plus its
+/// bitmasks).
+const SLAB_BYTES: u64 = std::mem::size_of::<Slab>() as u64;
+
+/// Bytes accounted per spine entry when the line map itself is detached
+/// from a shared checkpoint (key plus `Arc` pointer).
+const SPINE_ENTRY_BYTES: u64 = (std::mem::size_of::<u64>() + std::mem::size_of::<usize>()) as u64;
 
 /// Persistence state of one PM byte (Figure 9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +77,51 @@ struct ByteState {
     writer: SourceLoc,
 }
 
+impl ByteState {
+    const EMPTY: ByteState = ByteState {
+        persist: PersistState::Unmodified,
+        written: false,
+        allocated: false,
+        zeroed_alloc: false,
+        tx_protected: false,
+        unprotected_tx_write: false,
+        tlast: 0,
+        writer: SourceLoc::synthetic("<untracked>"),
+    };
+}
+
+/// Dense shadow state of one 64-byte cache line. `present` marks the bytes
+/// that are tracked (the per-byte map entries of the seed representation);
+/// `pending` marks tracked bytes in [`PersistState::WritebackPending`].
+#[derive(Debug, Clone)]
+struct Slab {
+    present: u64,
+    pending: u64,
+    states: [ByteState; LINE as usize],
+}
+
+impl Slab {
+    const EMPTY: Slab = Slab {
+        present: 0,
+        pending: 0,
+        states: [ByteState::EMPTY; LINE as usize],
+    };
+
+    fn state(&self, idx: usize) -> Option<&ByteState> {
+        (self.present & (1 << idx) != 0).then(|| &self.states[idx])
+    }
+}
+
+/// Bitmask covering byte offsets `[lo, hi)` of a line (`hi - lo <= 64`).
+fn range_mask(lo: u64, hi: u64) -> u64 {
+    let len = hi - lo;
+    if len >= LINE {
+        u64::MAX
+    } else {
+        ((1u64 << len) - 1) << lo
+    }
+}
+
 /// A registered commit variable (§3.2). `ranges` empty means the variable
 /// covers all PM locations (the paper's default).
 #[derive(Debug, Clone)]
@@ -91,39 +158,73 @@ impl CommitVar {
     }
 }
 
+/// A sorted, coalesced set of half-open `[start, end)` ranges with
+/// binary-search membership — the `TX_ADD` bookkeeping used to be a flat
+/// `Vec` with O(n) linear-scan lookups on every protected-byte query.
+#[derive(Debug, Clone, Default)]
+struct RangeSet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// Inserts `[start, end)`, merging overlapping or adjacent ranges.
+    fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let hi = self.ranges.partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.ranges.insert(lo, (start, end));
+        } else {
+            let merged = (start.min(self.ranges[lo].0), end.max(self.ranges[hi - 1].1));
+            self.ranges.splice(lo..hi, std::iter::once(merged));
+        }
+    }
+
+    fn contains(&self, b: u64) -> bool {
+        let i = self.ranges.partition_point(|&(s, _)| s <= b);
+        i > 0 && b < self.ranges[i - 1].1
+    }
+
+    fn overlaps(&self, start: u64, end: u64) -> bool {
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        i < self.ranges.len() && self.ranges[i].0 < end
+    }
+}
+
 /// Volatile view of the currently active transaction during replay.
 #[derive(Debug, Clone, Default)]
 struct TxShadow {
-    added: Vec<(u64, u64)>,
-    allocs: Vec<(u64, u64)>,
+    added: RangeSet,
+    allocs: RangeSet,
 }
 
 impl TxShadow {
     fn protects(&self, b: u64) -> bool {
-        self.added
-            .iter()
-            .chain(self.allocs.iter())
-            .any(|&(a, s)| b >= a && b < a + s)
+        self.added.contains(b) || self.allocs.contains(b)
     }
 
     fn overlaps_added(&self, addr: u64, size: u64) -> bool {
-        self.added
-            .iter()
-            .any(|&(a, s)| addr < a + s && addr + size > a)
+        self.added.overlaps(addr, addr + size)
     }
 }
 
 /// The shadow PM, updated by replaying the pre-failure trace.
 #[derive(Debug, Clone, Default)]
 pub struct ShadowPm {
-    bytes: HashMap<u64, ByteState>,
-    /// Bytes currently in [`PersistState::WritebackPending`].
-    pending: HashSet<u64>,
+    /// Line index → dense per-line byte states, doubly `Arc`-shared so a
+    /// clone is an O(1) checkpoint and mutation faults only touched slabs.
+    lines: Arc<HashMap<u64, Arc<Slab>>>,
+    /// Lines whose slab has a non-empty `pending` bitmask.
+    pending_lines: HashSet<u64>,
     /// Global timestamp, incremented after each ordering point (§5.4).
     ts: u32,
     commit_vars: Vec<CommitVar>,
     tx: Option<TxShadow>,
     entries_replayed: u64,
+    /// Bytes deep-copied by copy-on-write faults against live checkpoints.
+    bytes_cloned: u64,
 }
 
 impl ShadowPm {
@@ -145,12 +246,65 @@ impl ShadowPm {
         self.entries_replayed
     }
 
+    /// Bytes deep-copied so far by copy-on-write faults: mutations that hit
+    /// a slab (or the line map itself) still shared with a live checkpoint.
+    /// Zero when every checkpoint is dropped before the next mutation, as in
+    /// the sequential engine.
+    #[must_use]
+    pub fn bytes_cloned(&self) -> u64 {
+        self.bytes_cloned
+    }
+
+    /// Approximate resident size of the shadow state in bytes — what a
+    /// per-failure-point deep copy of the whole map would cost.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.lines.len() as u64 * (SLAB_BYTES + SPINE_ENTRY_BYTES)
+    }
+
+    fn byte(&self, addr: u64) -> Option<&ByteState> {
+        self.lines
+            .get(&(addr / LINE))
+            .and_then(|slab| slab.state((addr % LINE) as usize))
+    }
+
+    /// Detaches the line map from any shared checkpoint, accounting the
+    /// spine copy.
+    fn detach_spine(&mut self) {
+        if Arc::strong_count(&self.lines) > 1 {
+            self.bytes_cloned += self.lines.len() as u64 * SPINE_ENTRY_BYTES;
+            let _ = Arc::make_mut(&mut self.lines);
+        }
+    }
+
+    /// Mutable access to the slab of line `li`, creating it if absent and
+    /// faulting (deep-copying) it if shared with a checkpoint.
+    fn slab_mut(&mut self, li: u64) -> &mut Slab {
+        self.detach_spine();
+        if self
+            .lines
+            .get(&li)
+            .is_some_and(|s| Arc::strong_count(s) > 1)
+        {
+            self.bytes_cloned += SLAB_BYTES;
+        }
+        let map = Arc::make_mut(&mut self.lines);
+        Arc::make_mut(map.entry(li).or_insert_with(|| Arc::new(Slab::EMPTY)))
+    }
+
+    /// As [`ShadowPm::slab_mut`] but never creates an absent slab.
+    fn slab_mut_existing(&mut self, li: u64) -> Option<&mut Slab> {
+        if !self.lines.contains_key(&li) {
+            return None;
+        }
+        Some(self.slab_mut(li))
+    }
+
     /// Persistence state of `addr` (bytes never touched are
     /// [`PersistState::Unmodified`]).
     #[must_use]
     pub fn persist_state(&self, addr: u64) -> PersistState {
-        self.bytes
-            .get(&addr)
+        self.byte(addr)
             .map_or(PersistState::Unmodified, |b| b.persist)
     }
 
@@ -206,94 +360,136 @@ impl ShadowPm {
                 var.last_commit = Some(ts);
             }
         }
-        let (protected, unprotected_tx) = match &self.tx {
-            Some(tx) => {
-                let p = (addr..addr + size).all(|b| tx.protects(b));
-                (p, !p)
-            }
-            None => (false, false),
+        let in_tx = self.tx.is_some();
+        let protected = match &self.tx {
+            Some(tx) => (addr..addr + size).all(|b| tx.protects(b)),
+            None => false,
         };
+        let unprotected_tx = in_tx && !protected;
         let state = if non_temporal {
             PersistState::WritebackPending
         } else {
             PersistState::Modified
         };
-        for b in addr..addr + size {
-            let protected_b = if protected {
-                true
-            } else {
-                self.tx.as_ref().is_some_and(|tx| tx.protects(b))
+        let end = addr + size;
+        let mut b = addr;
+        while b < end {
+            let li = b / LINE;
+            let chunk_end = end.min((li + 1) * LINE);
+            // Per-byte protection must be resolved before the slab borrow.
+            let prot_mask = match (&self.tx, protected) {
+                (Some(tx), false) => {
+                    let mut m = 0u64;
+                    for x in b..chunk_end {
+                        if tx.protects(x) {
+                            m |= 1 << (x % LINE);
+                        }
+                    }
+                    m
+                }
+                _ => u64::MAX,
             };
-            let entry = self.bytes.entry(b).or_insert(ByteState {
-                persist: PersistState::Unmodified,
-                written: false,
-                allocated: false,
-                zeroed_alloc: false,
-                tx_protected: false,
-                unprotected_tx_write: false,
-                tlast: 0,
-                writer: loc,
-            });
-            entry.persist = state;
-            entry.written = true;
-            entry.tlast = ts;
-            entry.writer = loc;
-            if self.tx.is_some() {
-                entry.tx_protected = protected_b;
-                entry.unprotected_tx_write = unprotected_tx && !protected_b;
-            } else {
-                entry.tx_protected = false;
-                entry.unprotected_tx_write = false;
+            let slab = self.slab_mut(li);
+            for x in b..chunk_end {
+                let i = (x % LINE) as usize;
+                let bit = 1u64 << i;
+                if slab.present & bit == 0 {
+                    slab.states[i] = ByteState::EMPTY;
+                    slab.present |= bit;
+                }
+                let protected_b = protected || prot_mask & bit != 0;
+                let st = &mut slab.states[i];
+                st.persist = state;
+                st.written = true;
+                st.tlast = ts;
+                st.writer = loc;
+                if in_tx {
+                    st.tx_protected = protected_b;
+                    st.unprotected_tx_write = unprotected_tx && !protected_b;
+                } else {
+                    st.tx_protected = false;
+                    st.unprotected_tx_write = false;
+                }
             }
+            let mask = range_mask(b % LINE, b % LINE + (chunk_end - b));
             if non_temporal {
-                self.pending.insert(b);
+                slab.pending |= mask;
             } else {
-                self.pending.remove(&b);
+                slab.pending &= !mask;
             }
+            let pending_now = slab.pending;
+            if pending_now != 0 {
+                self.pending_lines.insert(li);
+            } else {
+                self.pending_lines.remove(&li);
+            }
+            b = chunk_end;
         }
         if non_temporal {
             // An NT store snoops the cache: a hit on a modified line forces
             // that line to be written back and invalidated (Intel SDM), so
             // earlier plain stores to the covered lines become
             // writeback-pending and persist at the same fence.
-            let first_line = addr & !(LINE - 1);
-            let last_line = (addr + size - 1) & !(LINE - 1);
-            let mut line = first_line;
-            loop {
-                for b in line..line + LINE {
-                    if let Some(st) = self.bytes.get_mut(&b) {
-                        if st.persist == PersistState::Modified {
-                            st.persist = PersistState::WritebackPending;
-                            self.pending.insert(b);
+            let first_line = addr / LINE;
+            let last_line = (addr + size - 1) / LINE;
+            for li in first_line..=last_line {
+                let modified = self.lines.get(&li).map_or(0u64, |slab| {
+                    let mut m = 0u64;
+                    for i in 0..LINE as usize {
+                        if slab
+                            .state(i)
+                            .is_some_and(|s| s.persist == PersistState::Modified)
+                        {
+                            m |= 1 << i;
                         }
                     }
+                    m
+                });
+                if modified == 0 {
+                    continue;
                 }
-                if line == last_line {
-                    break;
+                let slab = self.slab_mut(li);
+                for i in 0..LINE as usize {
+                    if modified & (1 << i) != 0 {
+                        slab.states[i].persist = PersistState::WritebackPending;
+                    }
                 }
-                line += LINE;
+                slab.pending |= modified;
+                self.pending_lines.insert(li);
             }
         }
     }
 
     fn on_flush(&mut self, addr: u64, loc: SourceLoc, checked: bool, out: &mut DetectionReport) {
-        let line = addr & !(LINE - 1);
-        let mut initiated = false;
-        for b in line..line + LINE {
-            if let Some(st) = self.bytes.get_mut(&b) {
-                if st.persist == PersistState::Modified {
-                    st.persist = PersistState::WritebackPending;
-                    self.pending.insert(b);
-                    initiated = true;
+        let li = addr / LINE;
+        // Read-only probe first: a redundant flush must not fault the slab.
+        let modified = self.lines.get(&li).map_or(0u64, |slab| {
+            let mut m = 0u64;
+            for i in 0..LINE as usize {
+                if slab
+                    .state(i)
+                    .is_some_and(|s| s.persist == PersistState::Modified)
+                {
+                    m |= 1 << i;
                 }
             }
-        }
-        if !initiated && checked {
+            m
+        });
+        if modified != 0 {
+            let slab = self.slab_mut(li);
+            for i in 0..LINE as usize {
+                if modified & (1 << i) != 0 {
+                    slab.states[i].persist = PersistState::WritebackPending;
+                }
+            }
+            slab.pending |= modified;
+            self.pending_lines.insert(li);
+        } else if checked {
             // Yellow edges of Figure 9: flushing a line with no modified
             // data is wasted work.
             out.push(Finding {
                 kind: BugKind::RedundantFlush,
-                addr: line,
+                addr: li * LINE,
                 size: LINE as u32,
                 reader: Some(loc),
                 writer: None,
@@ -304,10 +500,17 @@ impl ShadowPm {
     }
 
     fn on_fence(&mut self) {
-        for b in std::mem::take(&mut self.pending) {
-            if let Some(st) = self.bytes.get_mut(&b) {
-                st.persist = PersistState::Persisted;
+        for li in std::mem::take(&mut self.pending_lines) {
+            let Some(slab) = self.slab_mut_existing(li) else {
+                continue;
+            };
+            let mut pending = slab.pending;
+            while pending != 0 {
+                let i = pending.trailing_zeros() as usize;
+                slab.states[i].persist = PersistState::Persisted;
+                pending &= pending - 1;
             }
+            slab.pending = 0;
         }
         self.ts += 1;
     }
@@ -320,10 +523,15 @@ impl ShadowPm {
         checked: bool,
         out: &mut DetectionReport,
     ) {
-        let Some(tx) = self.tx.as_mut() else {
+        if self.tx.is_none() {
             return; // library rejects this; nothing to track
-        };
-        if tx.overlaps_added(addr, size) && checked {
+        }
+        if self
+            .tx
+            .as_ref()
+            .is_some_and(|tx| tx.overlaps_added(addr, size))
+            && checked
+        {
             out.push(Finding {
                 kind: BugKind::DuplicateTxAdd,
                 addr,
@@ -334,65 +542,108 @@ impl ShadowPm {
                 message: Some("range already added to this transaction".to_owned()),
             });
         }
-        tx.added.push((addr, size));
+        if let Some(tx) = self.tx.as_mut() {
+            tx.added.insert(addr, addr + size);
+        }
         // The snapshot makes the current contents recoverable: the range is
         // consistent from here on (the PMTest-style handling of §5.4).
         // Exception: bytes already written inside this transaction *before*
         // being added — the snapshot captures the modified data, so rolling
         // back restores a potentially inconsistent value; they stay flagged.
-        for b in addr..addr + size {
-            if let Some(st) = self.bytes.get_mut(&b) {
-                if !st.unprotected_tx_write {
-                    st.tx_protected = true;
-                }
-            } else {
-                self.bytes.insert(
-                    b,
-                    ByteState {
-                        persist: PersistState::Unmodified,
-                        written: false,
-                        allocated: false,
-                        zeroed_alloc: false,
+        let ts = self.ts;
+        let end = addr + size;
+        let mut b = addr;
+        while b < end {
+            let li = b / LINE;
+            let chunk_end = end.min((li + 1) * LINE);
+            let slab = self.slab_mut(li);
+            for x in b..chunk_end {
+                let i = (x % LINE) as usize;
+                let bit = 1u64 << i;
+                if slab.present & bit != 0 {
+                    if !slab.states[i].unprotected_tx_write {
+                        slab.states[i].tx_protected = true;
+                    }
+                } else {
+                    slab.states[i] = ByteState {
                         tx_protected: true,
-                        unprotected_tx_write: false,
-                        tlast: self.ts,
+                        tlast: ts,
                         writer: loc,
-                    },
-                );
+                        ..ByteState::EMPTY
+                    };
+                    slab.present |= bit;
+                }
             }
+            b = chunk_end;
         }
     }
 
     fn on_alloc(&mut self, addr: u64, size: u64, zeroed: bool, loc: SourceLoc) {
-        for b in addr..addr + size {
-            self.pending.remove(&b);
-            self.bytes.insert(
-                b,
-                ByteState {
-                    persist: if zeroed {
-                        PersistState::Persisted
-                    } else {
-                        PersistState::Unmodified
-                    },
-                    written: false,
-                    allocated: true,
-                    zeroed_alloc: zeroed,
-                    tx_protected: false,
-                    unprotected_tx_write: false,
-                    tlast: self.ts,
-                    writer: loc,
-                },
-            );
+        let fresh = ByteState {
+            persist: if zeroed {
+                PersistState::Persisted
+            } else {
+                PersistState::Unmodified
+            },
+            allocated: true,
+            zeroed_alloc: zeroed,
+            tlast: self.ts,
+            writer: loc,
+            ..ByteState::EMPTY
+        };
+        let end = addr + size;
+        let mut b = addr;
+        while b < end {
+            let li = b / LINE;
+            let chunk_end = end.min((li + 1) * LINE);
+            let mask = range_mask(b % LINE, b % LINE + (chunk_end - b));
+            let pending_now = {
+                let slab = self.slab_mut(li);
+                for x in b..chunk_end {
+                    slab.states[(x % LINE) as usize] = fresh;
+                }
+                slab.present |= mask;
+                slab.pending &= !mask;
+                slab.pending
+            };
+            if pending_now == 0 {
+                self.pending_lines.remove(&li);
+            }
+            b = chunk_end;
         }
         if let Some(tx) = self.tx.as_mut() {
-            tx.allocs.push((addr, size));
+            tx.allocs.insert(addr, addr + size);
         }
     }
 
     fn on_free(&mut self, addr: u64, size: u64) {
-        for b in addr..addr + size {
-            self.bytes.remove(&b);
-            self.pending.remove(&b);
+        let end = addr + size;
+        let mut b = addr;
+        while b < end {
+            let li = b / LINE;
+            let chunk_end = end.min((li + 1) * LINE);
+            let mask = range_mask(b % LINE, b % LINE + (chunk_end - b));
+            let Some(slab) = self.lines.get(&li) else {
+                b = chunk_end;
+                continue;
+            };
+            if slab.present & !mask == 0 {
+                // The whole slab dies: drop the Arc instead of faulting it.
+                self.detach_spine();
+                Arc::make_mut(&mut self.lines).remove(&li);
+                self.pending_lines.remove(&li);
+            } else if slab.present & mask != 0 || slab.pending & mask != 0 {
+                let pending_now = {
+                    let slab = self.slab_mut(li);
+                    slab.present &= !mask;
+                    slab.pending &= !mask;
+                    slab.pending
+                };
+                if pending_now == 0 {
+                    self.pending_lines.remove(&li);
+                }
+            }
+            b = chunk_end;
         }
     }
 
@@ -476,7 +727,9 @@ impl ShadowPm {
         }
     }
 
-    /// Clones the shadow into a checker for one post-failure execution.
+    /// Checkpoints the shadow into a checker for one post-failure execution.
+    /// An O(1) copy-on-write clone: no per-byte state is copied until the
+    /// pre-failure replay mutates a line while this checkpoint is alive.
     #[must_use]
     pub fn begin_post(&self, first_read_only: bool) -> PostChecker {
         PostChecker {
@@ -549,7 +802,7 @@ impl PostChecker {
             if self.post_written.contains(&b) {
                 continue;
             }
-            let Some(st) = self.shadow.bytes.get(&b) else {
+            let Some(st) = self.shadow.byte(b) else {
                 continue; // never touched pre-failure
             };
             if self.shadow.is_commit_var_byte(b) {
@@ -1218,145 +1471,87 @@ mod tests {
         assert_eq!(out.race_count(), 1);
     }
 
-    // --- annotation conflicts ----------------------------------------------
+    // --- copy-on-write checkpointing ---------------------------------------
 
     #[test]
-    fn multiple_rangeless_vars_govern_nothing() {
-        // With several commit variables and no explicit ranges, none of them
-        // governs other locations (the paper's cover-all default applies
-        // only to a sole variable); their own reads remain benign.
+    fn checkpoint_is_isolated_from_later_pre_writes() {
         let mut s = ShadowPm::new();
-        let out = replay(
-            &mut s,
-            &[
-                entry(
-                    Op::RegisterCommitVar {
-                        addr: 0x10,
-                        size: 8,
-                    },
-                    1,
-                ),
-                entry(
-                    Op::RegisterCommitVar {
-                        addr: 0x20,
-                        size: 8,
-                    },
-                    2,
-                ),
-                write(0x400, 8, 3),
-                flush(0x400, 4),
-                fence(5),
-            ],
-        );
-        assert!(out.is_empty(), "{out}");
-        let mut post = s.begin_post(true);
-        let mut o = DetectionReport::new();
-        post.apply_post(&read(0x400, 8, 6), fp(), &mut o);
-        post.apply_post(&read(0x10, 8, 7), fp(), &mut o);
-        assert!(o.is_empty(), "persisted + ungoverned + benign: {o}");
-    }
-
-    #[test]
-    fn overlapping_commit_ranges_conflict() {
-        let mut s = ShadowPm::new();
-        let out = replay(
-            &mut s,
-            &[
-                entry(
-                    Op::RegisterCommitVar {
-                        addr: 0x10,
-                        size: 8,
-                    },
-                    1,
-                ),
-                entry(
-                    Op::RegisterCommitRange {
-                        var_addr: 0x10,
-                        addr: 0x100,
-                        size: 64,
-                    },
-                    2,
-                ),
-                entry(
-                    Op::RegisterCommitVar {
-                        addr: 0x20,
-                        size: 8,
-                    },
-                    3,
-                ),
-                entry(
-                    Op::RegisterCommitRange {
-                        var_addr: 0x20,
-                        addr: 0x120,
-                        size: 64,
-                    },
-                    4,
-                ),
-            ],
-        );
-        assert_eq!(out.len(), 1, "{out}");
-        assert_eq!(out.findings()[0].kind, BugKind::AnnotationConflict);
-    }
-
-    #[test]
-    fn range_for_unknown_var_conflicts() {
-        let mut s = ShadowPm::new();
-        let out = replay(
-            &mut s,
-            &[entry(
-                Op::RegisterCommitRange {
-                    var_addr: 0x999,
-                    addr: 0x100,
-                    size: 8,
-                },
-                1,
-            )],
-        );
-        assert_eq!(out.findings()[0].kind, BugKind::AnnotationConflict);
-    }
-
-    #[test]
-    fn explicit_ranges_scope_semantic_checks() {
-        // Two commit variables with disjoint explicit ranges: each governs
-        // only its own range.
-        let mut s = ShadowPm::new();
-        let _ = replay(
-            &mut s,
-            &[
-                entry(
-                    Op::RegisterCommitVar {
-                        addr: 0x10,
-                        size: 8,
-                    },
-                    1,
-                ),
-                entry(
-                    Op::RegisterCommitRange {
-                        var_addr: 0x10,
-                        addr: 0x100,
-                        size: 64,
-                    },
-                    2,
-                ),
-                // Data in the governed range, persisted but never committed.
-                write(0x100, 8, 3),
-                flush(0x100, 4),
-                fence(5),
-                // Data outside any governed range, persisted.
-                write(0x400, 8, 6),
-                flush(0x400, 7),
-                fence(8),
-            ],
-        );
-        let mut post = s.begin_post(true);
-        let mut out = DetectionReport::new();
-        post.apply_post(&read(0x100, 8, 9), fp(), &mut out);
-        post.apply_post(&read(0x400, 8, 10), fp(), &mut out);
-        assert_eq!(out.semantic_count(), 1, "{out}");
+        let _ = replay(&mut s, &[write(A, 8, 1), flush(A, 2), fence(3)]);
+        let cp = s.clone();
+        let _ = replay(&mut s, &[write(A, 8, 4), write(A + 256, 8, 5)]);
+        assert_eq!(s.persist_state(A), PersistState::Modified);
         assert_eq!(
-            out.findings()[0].addr,
-            0x100,
-            "only the governed range is checked semantically"
+            cp.persist_state(A),
+            PersistState::Persisted,
+            "checkpoint must not observe later mutations"
+        );
+        assert_eq!(cp.persist_state(A + 256), PersistState::Unmodified);
+        assert!(
+            s.bytes_cloned() > 0,
+            "mutating while a checkpoint is alive must fault state"
+        );
+        assert_eq!(cp.bytes_cloned(), 0);
+    }
+
+    #[test]
+    fn dropped_checkpoints_cost_nothing() {
+        // The sequential engine's pattern: checkpoint, check, drop, resume.
+        let mut s = ShadowPm::new();
+        for round in 0..10u64 {
+            let _ = replay(&mut s, &[write(A + round * 64, 8, 1)]);
+            let post = s.begin_post(true);
+            drop(post);
+        }
+        assert_eq!(
+            s.bytes_cloned(),
+            0,
+            "no checkpoint was alive across a mutation"
+        );
+        assert!(s.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn live_checkpoint_faults_only_touched_lines() {
+        let mut s = ShadowPm::new();
+        for i in 0..8u64 {
+            let _ = replay(&mut s, &[write(A + i * 64, 8, 1)]);
+        }
+        let resident = s.resident_bytes();
+        let _cp = s.begin_post(true);
+        let _ = replay(&mut s, &[write(A, 1, 2)]); // touches one line
+        assert!(s.bytes_cloned() > 0);
+        assert!(
+            s.bytes_cloned() < resident,
+            "one-line fault must copy less than the whole shadow: {} !< {}",
+            s.bytes_cloned(),
+            resident
+        );
+    }
+
+    #[test]
+    fn range_set_membership_matches_linear_scan() {
+        let mut rs = RangeSet::default();
+        let ranges = [(10u64, 20u64), (30, 35), (15, 32), (50, 60), (60, 64)];
+        let mut flat: Vec<(u64, u64)> = Vec::new();
+        for &(a, b) in &ranges {
+            rs.insert(a, b);
+            flat.push((a, b));
+        }
+        for b in 0..80u64 {
+            let expect = flat.iter().any(|&(s, e)| b >= s && b < e);
+            assert_eq!(rs.contains(b), expect, "byte {b}");
+        }
+        for start in 0..80u64 {
+            for len in 1..4u64 {
+                let end = start + len;
+                let expect = flat.iter().any(|&(s, e)| start < e && end > s);
+                assert_eq!(rs.overlaps(start, end), expect, "[{start}, {end})");
+            }
+        }
+        assert_eq!(
+            rs.ranges,
+            vec![(10, 35), (50, 64)],
+            "ranges coalesce into sorted disjoint spans"
         );
     }
 }

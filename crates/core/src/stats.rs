@@ -36,12 +36,34 @@ pub struct RunStats {
     pub pre_entries: u64,
     /// Post-failure trace entries replayed across all failure points.
     pub post_entries: u64,
+    /// Shadow-PM bytes deep-copied by copy-on-write faults: pre-failure
+    /// replay mutating a line slab still shared with a live failure-point
+    /// checkpoint. The seed shadow cloned its whole per-byte map at every
+    /// failure point; the line-slab shadow only faults touched lines, so
+    /// this grows sub-linearly in failure-point count.
+    pub shadow_bytes_cloned: u64,
+    /// Approximate resident size of the shadow PM at the end of the run —
+    /// the per-failure-point cost a deep-copying checkpoint would pay.
+    pub shadow_resident_bytes: u64,
+    /// Failure points whose post-failure replay + checking ran inside a
+    /// worker thread instead of the merge stage (zero for sequential runs
+    /// and for `parallel_checking: false`).
+    pub checks_parallelized: u64,
     /// Total wall-clock time of the detection run.
     pub total_time: Duration,
     /// Summed wall-clock time of post-failure executions.
     pub post_exec_time: Duration,
-    /// Summed wall-clock time of backend trace replay and checking.
+    /// Summed wall-clock time of backend trace replay and checking. For
+    /// parallel runs with worker-side checking this is the residual serial
+    /// merge time, not the summed per-failure-point checking time (which
+    /// moves into `check_time`).
     pub detect_time: Duration,
+    /// Summed wall-clock time of post-failure trace checking across all
+    /// failure points, wherever it ran (worker threads or the merge
+    /// stage). For sequential runs this equals `detect_time`'s checking
+    /// component; comparing it against `detect_time` shows how much
+    /// checking left the critical path.
+    pub check_time: Duration,
 }
 
 impl RunStats {
@@ -104,5 +126,8 @@ mod tests {
         assert!(json.contains("failure_points"), "{json}");
         assert!(json.contains("images_deduped"), "{json}");
         assert!(json.contains("snapshot_bytes_copied"), "{json}");
+        assert!(json.contains("shadow_bytes_cloned"), "{json}");
+        assert!(json.contains("checks_parallelized"), "{json}");
+        assert!(json.contains("check_time"), "{json}");
     }
 }

@@ -1,0 +1,265 @@
+//! Property-based equivalence of the line-slab shadow PM against a
+//! reference per-byte model.
+//!
+//! The production [`ShadowPm`] stores byte states in dense 64-entry line
+//! slabs behind `Arc`s so checkpoints are O(1) copy-on-write clones. This
+//! test pins its observable behavior (`persist_state`,
+//! `is_range_persisted`, `timestamp`) to a deliberately naive per-byte
+//! `HashMap` model — the seed representation — under arbitrary operation
+//! sequences, including unaligned multi-line writes, allocation and free.
+//! Checkpoints taken mid-sequence are held alive across later mutations and
+//! re-verified at the end, so copy-on-write isolation is exercised under
+//! the same arbitrary traces.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+
+use xfdetector::{DetectionReport, PersistState, ShadowPm};
+use xftrace::{FenceKind, FlushKind, Op, SourceLoc, Stage, TraceEntry};
+
+const BASE: u64 = 0x1000;
+const LINE: u64 = 64;
+const LINES: u64 = 8;
+const POOL: u64 = LINES * LINE;
+
+/// The seed engine's representation: one map entry per touched byte.
+#[derive(Debug, Clone, Default)]
+struct RefModel {
+    bytes: HashMap<u64, PersistState>,
+    pending: HashSet<u64>,
+    ts: u32,
+}
+
+impl RefModel {
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Write { addr, size } => {
+                for b in addr..addr + u64::from(size) {
+                    self.bytes.insert(b, PersistState::Modified);
+                    self.pending.remove(&b);
+                }
+            }
+            Op::NtWrite { addr, size } => {
+                for b in addr..addr + u64::from(size) {
+                    self.bytes.insert(b, PersistState::WritebackPending);
+                    self.pending.insert(b);
+                }
+                // NT-store snoop: modified bytes anywhere in the covered
+                // lines become writeback-pending too.
+                let first = addr / LINE;
+                let last = (addr + u64::from(size) - 1) / LINE;
+                for li in first..=last {
+                    for b in li * LINE..(li + 1) * LINE {
+                        if self.bytes.get(&b) == Some(&PersistState::Modified) {
+                            self.bytes.insert(b, PersistState::WritebackPending);
+                            self.pending.insert(b);
+                        }
+                    }
+                }
+            }
+            Op::Flush { addr, .. } => {
+                let li = addr / LINE;
+                for b in li * LINE..(li + 1) * LINE {
+                    if self.bytes.get(&b) == Some(&PersistState::Modified) {
+                        self.bytes.insert(b, PersistState::WritebackPending);
+                        self.pending.insert(b);
+                    }
+                }
+            }
+            Op::Fence { .. } => {
+                for b in std::mem::take(&mut self.pending) {
+                    self.bytes.insert(b, PersistState::Persisted);
+                }
+                self.ts += 1;
+            }
+            Op::Alloc { addr, size, zeroed } => {
+                for b in addr..addr + u64::from(size) {
+                    self.bytes.insert(
+                        b,
+                        if zeroed {
+                            PersistState::Persisted
+                        } else {
+                            PersistState::Unmodified
+                        },
+                    );
+                    self.pending.remove(&b);
+                }
+            }
+            Op::Free { addr, size } => {
+                for b in addr..addr + u64::from(size) {
+                    self.bytes.remove(&b);
+                    self.pending.remove(&b);
+                }
+            }
+            _ => unreachable!("not generated"),
+        }
+    }
+
+    fn persist_state(&self, b: u64) -> PersistState {
+        self.bytes
+            .get(&b)
+            .copied()
+            .unwrap_or(PersistState::Unmodified)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Write { off: u64, size: u32 },
+    NtWrite { off: u64, size: u32 },
+    Flush { off: u64 },
+    Fence,
+    Alloc { off: u64, size: u32, zeroed: bool },
+    Free { off: u64, size: u32 },
+}
+
+impl Step {
+    fn op(&self) -> Op {
+        match *self {
+            Step::Write { off, size } => Op::Write {
+                addr: BASE + off,
+                size,
+            },
+            Step::NtWrite { off, size } => Op::NtWrite {
+                addr: BASE + off,
+                size,
+            },
+            Step::Flush { off } => Op::Flush {
+                addr: BASE + off,
+                kind: FlushKind::Clwb,
+            },
+            Step::Fence => Op::Fence {
+                kind: FenceKind::Sfence,
+            },
+            Step::Alloc { off, size, zeroed } => Op::Alloc {
+                addr: BASE + off,
+                size,
+                zeroed,
+            },
+            Step::Free { off, size } => Op::Free {
+                addr: BASE + off,
+                size,
+            },
+        }
+    }
+}
+
+/// Offsets and sizes deliberately straddle line boundaries (size up to
+/// 96 > 64) and stay inside the pool.
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let span = (0..POOL - 96, 1..96u32);
+    prop_oneof![
+        4 => span.clone().prop_map(|(off, size)| Step::Write { off, size }),
+        2 => span.clone().prop_map(|(off, size)| Step::NtWrite { off, size }),
+        3 => (0..POOL).prop_map(|off| Step::Flush { off }),
+        2 => Just(Step::Fence),
+        1 => (span.clone(), any::<bool>())
+            .prop_map(|((off, size), zeroed)| Step::Alloc { off, size, zeroed }),
+        1 => span.prop_map(|(off, size)| Step::Free { off, size }),
+    ]
+}
+
+fn entry(op: Op, line: u32) -> TraceEntry {
+    TraceEntry::new(
+        op,
+        SourceLoc { file: "p.rs", line },
+        Stage::Pre,
+        false,
+        true,
+    )
+}
+
+fn assert_equivalent(shadow: &ShadowPm, model: &RefModel, what: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(shadow.timestamp(), model.ts, "timestamp ({})", what);
+    for b in BASE..BASE + POOL {
+        prop_assert_eq!(
+            shadow.persist_state(b),
+            model.persist_state(b),
+            "byte {:#x} ({})",
+            b,
+            what
+        );
+    }
+    // Range queries derive from per-byte state; sample line-sized and
+    // line-straddling windows.
+    for start in (0..POOL - LINE).step_by(24) {
+        let expect = (BASE + start..BASE + start + LINE).all(|b| {
+            matches!(
+                model.persist_state(b),
+                PersistState::Persisted | PersistState::Unmodified
+            )
+        });
+        prop_assert_eq!(
+            shadow.is_range_persisted(BASE + start, LINE),
+            expect,
+            "range at +{} ({})",
+            start,
+            what
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The line-slab shadow is observationally equivalent to the per-byte
+    /// reference model, and checkpoints held across later mutations stay
+    /// frozen at their capture point (copy-on-write isolation).
+    #[test]
+    fn line_slab_shadow_equals_per_byte_model(
+        steps in prop::collection::vec(step_strategy(), 0..200),
+        checkpoint_every in 13..40usize,
+    ) {
+        let mut shadow = ShadowPm::new();
+        let mut model = RefModel::default();
+        let mut report = DetectionReport::new();
+        let mut checkpoints: Vec<(usize, ShadowPm, RefModel)> = Vec::new();
+
+        for (i, s) in steps.iter().enumerate() {
+            if i % checkpoint_every == checkpoint_every - 1 {
+                // Held alive across the rest of the run, like in-flight
+                // parallel jobs.
+                checkpoints.push((i, shadow.clone(), model.clone()));
+            }
+            shadow.apply_pre(&entry(s.op(), i as u32 + 1), &mut report);
+            model.apply(&s.op());
+        }
+
+        assert_equivalent(&shadow, &model, "live shadow")?;
+        for (i, cp_shadow, cp_model) in &checkpoints {
+            assert_equivalent(cp_shadow, cp_model, &format!("checkpoint@{i}"))?;
+        }
+        // The live shadow pays for copy-on-write faults; a checkpoint's
+        // counter stays frozen at its capture value.
+        for (_, cp, _) in &checkpoints {
+            prop_assert!(cp.bytes_cloned() <= shadow.bytes_cloned());
+        }
+    }
+
+    /// Deep-copy equivalence of the checkpoint itself: replaying further
+    /// entries on the live shadow and on an eagerly isolated copy diverges
+    /// nowhere.
+    #[test]
+    fn checkpoint_then_diverge(
+        prefix in prop::collection::vec(step_strategy(), 0..60),
+        suffix in prop::collection::vec(step_strategy(), 1..60),
+    ) {
+        let mut shadow = ShadowPm::new();
+        let mut model = RefModel::default();
+        let mut report = DetectionReport::new();
+        for (i, s) in prefix.iter().enumerate() {
+            shadow.apply_pre(&entry(s.op(), i as u32 + 1), &mut report);
+            model.apply(&s.op());
+        }
+        let frozen = shadow.clone();
+        let frozen_model = model.clone();
+        for (i, s) in suffix.iter().enumerate() {
+            shadow.apply_pre(&entry(s.op(), 1000 + i as u32), &mut report);
+            model.apply(&s.op());
+        }
+        assert_equivalent(&shadow, &model, "diverged live")?;
+        assert_equivalent(&frozen, &frozen_model, "frozen checkpoint")?;
+    }
+}

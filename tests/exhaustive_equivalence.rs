@@ -209,18 +209,32 @@ fn every_engine_configuration_produces_the_identical_report() {
         );
 
         for workers in [1, 3] {
-            for cfg in [&baseline_cfg, &cow_only_cfg, &XfConfig::default()] {
-                let par = XfDetector::new(cfg.clone())
-                    .run_parallel(w, workers)
-                    .unwrap();
-                assert_eq!(
-                    report_json(&par),
-                    expected,
-                    "parallel run diverged (persist_data={persist_data}, workers={workers}, \
-                     cow={}, dedup={})",
-                    cfg.cow_snapshots,
-                    cfg.dedup_images
-                );
+            for base in [&baseline_cfg, &cow_only_cfg, &XfConfig::default()] {
+                for parallel_checking in [false, true] {
+                    let cfg = XfConfig {
+                        parallel_checking,
+                        ..base.clone()
+                    };
+                    let par = XfDetector::new(cfg.clone())
+                        .run_parallel(w, workers)
+                        .unwrap();
+                    assert_eq!(
+                        report_json(&par),
+                        expected,
+                        "parallel run diverged (persist_data={persist_data}, workers={workers}, \
+                         cow={}, dedup={}, parallel_checking={parallel_checking})",
+                        cfg.cow_snapshots,
+                        cfg.dedup_images
+                    );
+                    if parallel_checking {
+                        assert_eq!(
+                            par.stats.checks_parallelized, par.stats.post_runs,
+                            "every executed post run must be checked by its worker"
+                        );
+                    } else {
+                        assert_eq!(par.stats.checks_parallelized, 0);
+                    }
+                }
             }
         }
     }
