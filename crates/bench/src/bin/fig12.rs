@@ -10,7 +10,9 @@
 //! insertion operation per run (plus its recovery continuation per failure
 //! point).
 
-use xfd_bench::{geo_mean, run_baseline, run_detection, run_detection_with, secs, Baseline};
+use xfd_bench::{
+    geo_mean, run_baseline, run_detection, run_detection_with, secs, trace_sizes, Baseline,
+};
 use xfd_workloads::all_workloads;
 use xfd_workloads::bugs::WorkloadKind;
 use xfdetector::XfConfig;
@@ -123,9 +125,28 @@ fn main() {
     }
 
     println!();
+    println!("Trace transport: compact .xft encoding vs the serde_json fallback");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>10}",
+        "workload", "#entries", "xft[KiB]", "json[KiB]", "ratio"
+    );
+    for kind in all_workloads() {
+        let t = trace_sizes(kind, OPS);
+        println!(
+            "{:<16} {:>10} {:>12.1} {:>12.1} {:>9.1}x",
+            kind.to_string(),
+            t.entries,
+            t.xft_bytes as f64 / 1024.0,
+            t.json_bytes as f64 / 1024.0,
+            t.ratio(),
+        );
+    }
+
+    println!();
     println!(
         "paper shape: post-failure dominates total time; detection is ~12x \
          slower than trace-only and ~400x slower than the original; COW \
-         snapshots cut image-copy traffic by orders of magnitude"
+         snapshots cut image-copy traffic by orders of magnitude; the .xft \
+         trace stream is several times denser than JSON"
     );
 }

@@ -6,14 +6,14 @@
 //! cargo run --release -p xfd-bench --bin fig13
 //! ```
 
-use xfd_bench::{run_detection, secs};
+use xfd_bench::{run_detection, secs, trace_sizes};
 use xfd_workloads::microbenchmarks;
 
 fn main() {
     let sweep = [1u64, 10, 20, 30, 40, 50];
     println!("Figure 13: execution time and #failure points vs #pre-failure transactions");
     println!(
-        "{:<16} {:>6} {:>12} {:>10} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "{:<16} {:>6} {:>12} {:>10} {:>10} {:>8} {:>12} {:>12} {:>12} {:>12} {:>11}",
         "workload",
         "#tx",
         "time[s]",
@@ -23,15 +23,17 @@ fn main() {
         "pre-entries",
         "post-entries",
         "snap[KiB]",
-        "shadow[KiB]"
+        "shadow[KiB]",
+        "trace[KiB]"
     );
     for kind in microbenchmarks() {
         let mut prev_fp = 0u64;
         for &n in &sweep {
             let outcome = run_detection(kind, n);
             let s = &outcome.stats;
+            let trace = trace_sizes(kind, n);
             println!(
-                "{:<16} {:>6} {:>12} {:>10} {:>10} {:>8} {:>12} {:>12} {:>12.1} {:>12.1}",
+                "{:<16} {:>6} {:>12} {:>10} {:>10} {:>8} {:>12} {:>12} {:>12.1} {:>12.1} {:>11.1}",
                 kind.to_string(),
                 n,
                 secs(s.total_time),
@@ -42,6 +44,7 @@ fn main() {
                 s.post_entries,
                 s.snapshot_bytes_copied as f64 / 1024.0,
                 s.shadow_bytes_cloned as f64 / 1024.0,
+                trace.xft_bytes as f64 / 1024.0,
             );
             assert!(
                 s.failure_points >= prev_fp,

@@ -33,7 +33,7 @@
 use std::time::Duration;
 
 use serde::Serialize;
-use xfd_bench::{run_detection_with, run_parallel_detection, secs};
+use xfd_bench::{run_detection_with, run_parallel_detection, secs, trace_sizes};
 use xfd_workloads::bugs::WorkloadKind;
 use xfdetector::XfConfig;
 
@@ -61,6 +61,14 @@ struct Row {
     speedup_parallel_checking: f64,
     shadow_bytes_cloned: u64,
     shadow_resident_bytes: u64,
+    /// Recorded trace entries (pre-failure plus all post-failure traces).
+    trace_entries: u64,
+    /// Size of the compact `.xft` binary trace encoding.
+    trace_xft_bytes: u64,
+    /// Size of the `serde_json` fallback trace encoding.
+    trace_json_bytes: u64,
+    /// JSON-over-`.xft` compression ratio.
+    trace_json_over_xft: f64,
 }
 
 #[derive(Serialize)]
@@ -104,7 +112,7 @@ fn main() {
 
     println!("detector perf baseline ({WORKERS} workers, best of {REPS}, {host_cpus} host cpus, {method})");
     println!(
-        "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>8} {:>12}",
+        "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>8} {:>12} {:>11} {:>7}",
         "workload",
         "ops",
         "#fp",
@@ -114,7 +122,9 @@ fn main() {
         "par-serial[s]",
         "par-check[s]",
         "speedup",
-        "shadow[KiB]"
+        "shadow[KiB]",
+        "trace[KiB]",
+        "vs-json"
     );
 
     let mut rows = Vec::new();
@@ -154,8 +164,9 @@ fn main() {
             )
         };
         let speedup = ps / pc.max(f64::MIN_POSITIVE);
+        let trace = trace_sizes(kind, ops);
         println!(
-            "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>7.2}x {:>12.1}",
+            "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>7.2}x {:>12.1} {:>11.1} {:>6.1}x",
             kind.to_string(),
             ops,
             failure_points,
@@ -166,6 +177,8 @@ fn main() {
             format!("{pc:.3}"),
             speedup,
             shadow_cloned as f64 / 1024.0,
+            trace.xft_bytes as f64 / 1024.0,
+            trace.ratio(),
         );
         rows.push(Row {
             workload: kind.to_string(),
@@ -182,6 +195,10 @@ fn main() {
             speedup_parallel_checking: speedup,
             shadow_bytes_cloned: shadow_cloned,
             shadow_resident_bytes: shadow_resident,
+            trace_entries: trace.entries,
+            trace_xft_bytes: trace.xft_bytes,
+            trace_json_bytes: trace.json_bytes,
+            trace_json_over_xft: trace.ratio(),
         });
     }
 

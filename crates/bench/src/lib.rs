@@ -73,6 +73,50 @@ pub fn run_parallel_detection(
     .expect("detection run failed")
 }
 
+/// Size of one recorded detection trace in its two serialized forms — the
+/// raw material for the `trace[KiB]` benchmark columns.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSizes {
+    /// Total recorded entries (pre-failure plus all post-failure traces).
+    pub entries: u64,
+    /// Bytes of the compact `.xft` binary encoding.
+    pub xft_bytes: u64,
+    /// Bytes of the `serde_json` fallback encoding.
+    pub json_bytes: u64,
+}
+
+impl TraceSizes {
+    /// JSON-over-`.xft` compression ratio.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.json_bytes as f64 / self.xft_bytes.max(1) as f64
+    }
+}
+
+/// Records the bug-free `kind` trace at `ops` operations and measures both
+/// encodings.
+///
+/// # Panics
+///
+/// Panics if the detection run or the encoding fails.
+#[must_use]
+pub fn trace_sizes(kind: WorkloadKind, ops: u64) -> TraceSizes {
+    let cfg = XfConfig {
+        record_trace: true,
+        ..XfConfig::default()
+    };
+    let run = run_detection_with(kind, ops, cfg)
+        .recorded
+        .expect("trace recorded");
+    let xft = xfstream::encode_recorded_run(&run).expect("xft encoding");
+    let json = serde_json::to_string(&run).expect("json encoding");
+    TraceSizes {
+        entries: run.entry_count() as u64,
+        xft_bytes: xft.len() as u64,
+        json_bytes: json.len() as u64,
+    }
+}
+
 /// Baseline execution modes of Figure 12b.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Baseline {

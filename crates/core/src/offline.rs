@@ -71,7 +71,7 @@ pub fn analyze(run: &RecordedRun, first_read_only: bool) -> DetectionReport {
         let fp = FailurePoint {
             id: id as u64,
             loc: SourceLoc {
-                file: intern(&rfp.file),
+                file: xftrace::intern_file(&rfp.file),
                 line: rfp.line,
             },
         };
@@ -85,21 +85,6 @@ pub fn analyze(run: &RecordedRun, first_read_only: bool) -> DetectionReport {
         cursor += 1;
     }
     report
-}
-
-/// Interns via the owned-entry machinery (one shared interner).
-fn intern(file: &str) -> &'static str {
-    OwnedTraceEntry {
-        op: xftrace::Op::TxBegin,
-        file: file.to_owned(),
-        line: 0,
-        stage: xftrace::Stage::Pre,
-        internal: false,
-        checked: false,
-    }
-    .to_entry()
-    .loc
-    .file
 }
 
 #[cfg(test)]

@@ -49,6 +49,16 @@ pub struct RunStats {
     /// worker thread instead of the merge stage (zero for sequential runs
     /// and for `parallel_checking: false`).
     pub checks_parallelized: u64,
+    /// Batches handed from the streaming frontend to the detection backend
+    /// through the bounded trace FIFO (zero outside
+    /// `xfstream::run_pipelined`).
+    pub stream_batches: u64,
+    /// High-water occupancy of the trace FIFO, in batches.
+    pub stream_max_depth: u64,
+    /// Time the streaming frontend spent blocked on a full trace FIFO —
+    /// the backpressure the paper's 2 GB shared-memory FIFO exerts on the
+    /// traced program when detection falls behind (§5.1).
+    pub stream_stall_time: Duration,
     /// Total wall-clock time of the detection run.
     pub total_time: Duration,
     /// Summed wall-clock time of post-failure executions.
@@ -129,5 +139,7 @@ mod tests {
         assert!(json.contains("shadow_bytes_cloned"), "{json}");
         assert!(json.contains("checks_parallelized"), "{json}");
         assert!(json.contains("check_time"), "{json}");
+        assert!(json.contains("stream_batches"), "{json}");
+        assert!(json.contains("stream_stall_time"), "{json}");
     }
 }

@@ -38,6 +38,34 @@ pub enum WorkloadKind {
     Memcached,
 }
 
+impl WorkloadKind {
+    /// All seven kinds, in the paper's order (Table 4 / Figure 12).
+    pub const ALL: [WorkloadKind; 7] = [
+        WorkloadKind::Btree,
+        WorkloadKind::Ctree,
+        WorkloadKind::Rbtree,
+        WorkloadKind::HashmapTx,
+        WorkloadKind::HashmapAtomic,
+        WorkloadKind::Memcached,
+        WorkloadKind::Redis,
+    ];
+
+    /// Stable machine-readable name, as accepted by the `xfd` CLI and
+    /// produced in its JSON output.
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            WorkloadKind::Btree => "btree",
+            WorkloadKind::Ctree => "ctree",
+            WorkloadKind::Rbtree => "rbtree",
+            WorkloadKind::HashmapTx => "hashmap_tx",
+            WorkloadKind::HashmapAtomic => "hashmap_atomic",
+            WorkloadKind::Redis => "redis",
+            WorkloadKind::Memcached => "memcached",
+        }
+    }
+}
+
 impl fmt::Display for WorkloadKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -50,6 +78,37 @@ impl fmt::Display for WorkloadKind {
             WorkloadKind::Memcached => "Memcached",
         };
         f.write_str(s)
+    }
+}
+
+/// Error returned when parsing an unknown workload name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload(pub String);
+
+impl fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown workload '{}' (expected one of: {})",
+            self.0,
+            WorkloadKind::ALL.map(|k| k.slug()).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+impl std::str::FromStr for WorkloadKind {
+    type Err = UnknownWorkload;
+
+    /// Parses a [`WorkloadKind::slug`] (case-insensitive; `-` and `_` are
+    /// interchangeable).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.to_ascii_lowercase().replace('-', "_");
+        WorkloadKind::ALL
+            .into_iter()
+            .find(|k| k.slug() == norm)
+            .ok_or_else(|| UnknownWorkload(s.to_owned()))
     }
 }
 
@@ -407,5 +466,19 @@ mod tests {
     #[test]
     fn registry_has_sixty_bugs() {
         assert_eq!(BugId::all().len(), 60);
+    }
+
+    #[test]
+    fn workload_slugs_round_trip() {
+        for kind in WorkloadKind::ALL {
+            assert_eq!(kind.slug().parse::<WorkloadKind>().unwrap(), kind);
+        }
+        assert_eq!(
+            "Hashmap-TX".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::HashmapTx,
+            "case-insensitive, dash-tolerant"
+        );
+        let err = "no_such".parse::<WorkloadKind>().unwrap_err();
+        assert!(err.to_string().contains("btree"), "{err}");
     }
 }

@@ -1,0 +1,1080 @@
+//! The `.xft` compact binary trace format.
+//!
+//! [`crate::offline`]-style recorded runs round-trip through `serde_json`,
+//! but a JSON trace repeats every source-file path and spells every address
+//! out in decimal — an order of magnitude more bytes than the information
+//! content. The `.xft` codec is the compact on-disk form:
+//!
+//! - a **versioned header** (`XFT1`, format version, optional entry/failure
+//!   point counts when known up front),
+//! - a **string table** built incrementally: the first reference to a
+//!   source file emits a `FileDef` record and assigns the next id; every
+//!   later reference is a small varint,
+//! - **varint + delta encoding** for the hot fields: addresses are
+//!   zigzag-encoded deltas against the previous address (PM traces are
+//!   strongly local), line numbers are deltas against the previous line,
+//!   sizes are plain varints,
+//! - an **`End` record** carrying the authoritative entry/failure-point
+//!   counts, so streaming writers (which cannot know counts up front) stay
+//!   valid and readers can verify they saw the whole trace.
+//!
+//! Records appear in execution order: pre-failure entries interleaved with
+//! `FailurePoint` markers, each marker followed by that failure point's
+//! post-failure entries. The position of a `FailurePoint` record encodes
+//! the paper's "how much of the pre-failure trace had executed" (`pre_len`)
+//! implicitly, so no sequence numbers are stored at all.
+//!
+//! [`XftWriter`]/[`XftReader`] stream entry-by-entry — a recorded run never
+//! has to be fully resident — and [`analyze_xft`] runs the detection
+//! backend directly off a reader, mirroring [`xfdetector::offline::analyze`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use xfdetector::offline::{RecordedFailurePoint, RecordedRun};
+use xfdetector::{DetectionReport, FailurePoint, ShadowPm};
+use xftrace::{FenceKind, FlushKind, Op, OwnedTraceEntry, SourceLoc, Stage, TraceEntry};
+
+/// File magic: `XFT` + format generation `1`.
+pub const MAGIC: [u8; 4] = *b"XFT1";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Header flag: the header carries authoritative entry/failure-point counts
+/// (set by [`write_recorded_run`]; streaming writers leave it clear and
+/// rely on the `End` record alone).
+const FLAG_COUNTS_IN_HEADER: u8 = 0b0000_0001;
+
+// Record tags.
+const REC_FILE_DEF: u8 = 0x01;
+const REC_PRE: u8 = 0x02;
+const REC_FAILURE_POINT: u8 = 0x03;
+const REC_POST: u8 = 0x04;
+const REC_END: u8 = 0xFF;
+
+// Op codes (bits 0..=3 of the entry head byte).
+const OP_WRITE: u8 = 0;
+const OP_READ: u8 = 1;
+const OP_NT_WRITE: u8 = 2;
+const OP_FLUSH: u8 = 3;
+const OP_FENCE: u8 = 4;
+const OP_TX_BEGIN: u8 = 5;
+const OP_TX_COMMIT: u8 = 6;
+const OP_TX_ABORT: u8 = 7;
+const OP_TX_ADD: u8 = 8;
+const OP_ALLOC: u8 = 9;
+const OP_FREE: u8 = 10;
+const OP_COMMIT_VAR: u8 = 11;
+const OP_COMMIT_RANGE: u8 = 12;
+
+// Entry head-byte flags (bits 4..=6).
+const ENT_STAGE_POST: u8 = 0b0001_0000;
+const ENT_INTERNAL: u8 = 0b0010_0000;
+const ENT_CHECKED: u8 = 0b0100_0000;
+
+/// Errors produced while encoding or decoding `.xft` data.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum XftError {
+    /// An underlying I/O error.
+    Io(io::Error),
+    /// The input does not start with the `XFT1` magic.
+    BadMagic([u8; 4]),
+    /// The input's format version is newer than this reader understands.
+    UnsupportedVersion(u8),
+    /// Structurally invalid input (truncated, unknown tags, count
+    /// mismatches, invalid UTF-8 in the string table, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for XftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XftError::Io(e) => write!(f, "i/o error: {e}"),
+            XftError::BadMagic(m) => write!(f, "not an .xft trace (magic {m:02x?})"),
+            XftError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported .xft version {v} (this build reads {VERSION})"
+                )
+            }
+            XftError::Corrupt(msg) => write!(f, "corrupt .xft trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XftError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XftError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for XftError {
+    fn from(e: io::Error) -> Self {
+        XftError::Io(e)
+    }
+}
+
+/// Zigzag-encodes a signed delta into an unsigned varint payload.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, XftError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        if shift >= 64 {
+            return Err(XftError::Corrupt("varint longer than 10 bytes".into()));
+        }
+        v |= u64::from(b[0] & 0x7f) << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// The decoded `.xft` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XftHeader {
+    /// Format version.
+    pub version: u8,
+    /// Total entry count, when the writer knew it up front.
+    pub entry_count: Option<u64>,
+    /// Failure-point count, when the writer knew it up front.
+    pub fp_count: Option<u64>,
+}
+
+/// Shared delta-coding state between writer and reader.
+#[derive(Debug, Default)]
+struct DeltaState {
+    prev_addr: u64,
+    prev_line: i64,
+}
+
+impl DeltaState {
+    fn addr_delta(&mut self, addr: u64) -> u64 {
+        let d = zigzag(addr.wrapping_sub(self.prev_addr) as i64);
+        self.prev_addr = addr;
+        d
+    }
+
+    fn addr_undelta(&mut self, raw: u64) -> u64 {
+        let addr = self.prev_addr.wrapping_add(unzigzag(raw) as u64);
+        self.prev_addr = addr;
+        addr
+    }
+
+    fn line_delta(&mut self, line: u32) -> u64 {
+        let d = zigzag(i64::from(line) - self.prev_line);
+        self.prev_line = i64::from(line);
+        d
+    }
+
+    fn line_undelta(&mut self, raw: u64) -> Result<u32, XftError> {
+        let line = self.prev_line + unzigzag(raw);
+        self.prev_line = line;
+        u32::try_from(line)
+            .map_err(|_| XftError::Corrupt(format!("line delta out of range ({line})")))
+    }
+}
+
+/// The per-entry head-byte modifiers shared by the owned and borrowed
+/// entry forms.
+#[derive(Debug, Clone, Copy)]
+struct EntryFlags {
+    stage: Stage,
+    internal: bool,
+    checked: bool,
+}
+
+/// A streaming `.xft` encoder.
+///
+/// Emit pre-failure entries with [`XftWriter::write_pre`], start each
+/// failure point with [`XftWriter::begin_failure_point`] followed by its
+/// post-failure entries, and call [`XftWriter::finish`] to write the `End`
+/// record. Nothing is buffered: a recorded run never has to be fully
+/// resident.
+#[derive(Debug)]
+pub struct XftWriter<W: Write> {
+    w: W,
+    files: HashMap<String, u64>,
+    delta: DeltaState,
+    entries: u64,
+    fps: u64,
+}
+
+impl<W: Write> XftWriter<W> {
+    /// Starts a streaming trace: the header carries no counts; readers rely
+    /// on the `End` record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn new(w: W) -> Result<Self, XftError> {
+        Self::start(w, None)
+    }
+
+    /// Starts a trace whose totals are known up front; the header carries
+    /// the counts and the reader cross-checks them against the `End` record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn with_counts(w: W, entry_count: u64, fp_count: u64) -> Result<Self, XftError> {
+        Self::start(w, Some((entry_count, fp_count)))
+    }
+
+    fn start(mut w: W, counts: Option<(u64, u64)>) -> Result<Self, XftError> {
+        w.write_all(&MAGIC)?;
+        let flags = if counts.is_some() {
+            FLAG_COUNTS_IN_HEADER
+        } else {
+            0
+        };
+        w.write_all(&[VERSION, flags])?;
+        if let Some((entries, fps)) = counts {
+            write_varint(&mut w, entries)?;
+            write_varint(&mut w, fps)?;
+        }
+        Ok(XftWriter {
+            w,
+            files: HashMap::new(),
+            delta: DeltaState::default(),
+            entries: 0,
+            fps: 0,
+        })
+    }
+
+    /// Packs the per-entry head-byte modifiers of the two entry forms.
+    fn flags(stage: Stage, internal: bool, checked: bool) -> EntryFlags {
+        EntryFlags {
+            stage,
+            internal,
+            checked,
+        }
+    }
+
+    /// Interns `file` into the string table, emitting a `FileDef` record on
+    /// first sight.
+    fn file_id(&mut self, file: &str) -> Result<u64, XftError> {
+        if let Some(&id) = self.files.get(file) {
+            return Ok(id);
+        }
+        let id = self.files.len() as u64;
+        self.w.write_all(&[REC_FILE_DEF])?;
+        write_varint(&mut self.w, file.len() as u64)?;
+        self.w.write_all(file.as_bytes())?;
+        self.files.insert(file.to_owned(), id);
+        Ok(id)
+    }
+
+    fn write_entry(
+        &mut self,
+        tag: u8,
+        op: Op,
+        file: &str,
+        line: u32,
+        flags: EntryFlags,
+    ) -> Result<(), XftError> {
+        let EntryFlags {
+            stage,
+            internal,
+            checked,
+        } = flags;
+        let file_id = self.file_id(file)?;
+        let (code, payload_addr) = match op {
+            Op::Write { .. } => (OP_WRITE, true),
+            Op::Read { .. } => (OP_READ, true),
+            Op::NtWrite { .. } => (OP_NT_WRITE, true),
+            Op::Flush { .. } => (OP_FLUSH, true),
+            Op::Fence { .. } => (OP_FENCE, false),
+            Op::TxBegin => (OP_TX_BEGIN, false),
+            Op::TxCommit => (OP_TX_COMMIT, false),
+            Op::TxAbort => (OP_TX_ABORT, false),
+            Op::TxAdd { .. } => (OP_TX_ADD, true),
+            Op::Alloc { .. } => (OP_ALLOC, true),
+            Op::Free { .. } => (OP_FREE, true),
+            Op::RegisterCommitVar { .. } => (OP_COMMIT_VAR, true),
+            Op::RegisterCommitRange { .. } => (OP_COMMIT_RANGE, true),
+        };
+        let mut head = code;
+        if stage == Stage::Post {
+            head |= ENT_STAGE_POST;
+        }
+        if internal {
+            head |= ENT_INTERNAL;
+        }
+        if checked {
+            head |= ENT_CHECKED;
+        }
+        self.w.write_all(&[tag, head])?;
+        if payload_addr {
+            match op {
+                Op::Write { addr, size }
+                | Op::Read { addr, size }
+                | Op::NtWrite { addr, size }
+                | Op::TxAdd { addr, size }
+                | Op::Free { addr, size }
+                | Op::RegisterCommitVar { addr, size } => {
+                    let d = self.delta.addr_delta(addr);
+                    write_varint(&mut self.w, d)?;
+                    write_varint(&mut self.w, u64::from(size))?;
+                }
+                Op::Flush { addr, kind } => {
+                    let d = self.delta.addr_delta(addr);
+                    write_varint(&mut self.w, d)?;
+                    self.w.write_all(&[flush_kind_code(kind)])?;
+                }
+                Op::Alloc { addr, size, zeroed } => {
+                    let d = self.delta.addr_delta(addr);
+                    write_varint(&mut self.w, d)?;
+                    write_varint(&mut self.w, u64::from(size))?;
+                    self.w.write_all(&[u8::from(zeroed)])?;
+                }
+                Op::RegisterCommitRange {
+                    var_addr,
+                    addr,
+                    size,
+                } => {
+                    let dv = self.delta.addr_delta(var_addr);
+                    write_varint(&mut self.w, dv)?;
+                    let da = self.delta.addr_delta(addr);
+                    write_varint(&mut self.w, da)?;
+                    write_varint(&mut self.w, u64::from(size))?;
+                }
+                _ => unreachable!("payload_addr implies an addressed op"),
+            }
+        } else if let Op::Fence { kind } = op {
+            self.w.write_all(&[fence_kind_code(kind)])?;
+        }
+        write_varint(&mut self.w, file_id)?;
+        let dl = self.delta.line_delta(line);
+        write_varint(&mut self.w, dl)?;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Appends one pre-failure entry (owned form).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_pre(&mut self, e: &OwnedTraceEntry) -> Result<(), XftError> {
+        let flags = Self::flags(e.stage, e.internal, e.checked);
+        self.write_entry(REC_PRE, e.op, &e.file, e.line, flags)
+    }
+
+    /// Appends one pre-failure entry (borrowed form, as produced live by
+    /// [`xftrace::TraceBuf`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_pre_entry(&mut self, e: &TraceEntry) -> Result<(), XftError> {
+        let flags = Self::flags(e.stage, e.internal, e.checked);
+        self.write_entry(REC_PRE, e.op, e.loc.file, e.loc.line, flags)
+    }
+
+    /// Starts a failure point at the ordering point `file:line`. Subsequent
+    /// [`XftWriter::write_post`] calls attach to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn begin_failure_point(&mut self, file: &str, line: u32) -> Result<(), XftError> {
+        let file_id = self.file_id(file)?;
+        self.w.write_all(&[REC_FAILURE_POINT])?;
+        write_varint(&mut self.w, file_id)?;
+        write_varint(&mut self.w, u64::from(line))?;
+        self.fps += 1;
+        Ok(())
+    }
+
+    /// Appends one post-failure entry of the current failure point (owned
+    /// form).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_post(&mut self, e: &OwnedTraceEntry) -> Result<(), XftError> {
+        let flags = Self::flags(e.stage, e.internal, e.checked);
+        self.write_entry(REC_POST, e.op, &e.file, e.line, flags)
+    }
+
+    /// Appends one post-failure entry (borrowed form).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_post_entry(&mut self, e: &TraceEntry) -> Result<(), XftError> {
+        let flags = Self::flags(e.stage, e.internal, e.checked);
+        self.write_entry(REC_POST, e.op, e.loc.file, e.loc.line, flags)
+    }
+
+    /// Entries written so far.
+    #[must_use]
+    pub fn entry_count(&self) -> u64 {
+        self.entries
+    }
+
+    /// Writes the `End` record with the authoritative counts and returns
+    /// the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn finish(mut self) -> Result<W, XftError> {
+        self.w.write_all(&[REC_END])?;
+        write_varint(&mut self.w, self.entries)?;
+        write_varint(&mut self.w, self.fps)?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+fn flush_kind_code(kind: FlushKind) -> u8 {
+    match kind {
+        FlushKind::Clwb => 0,
+        FlushKind::Clflush => 1,
+        FlushKind::Clflushopt => 2,
+    }
+}
+
+fn flush_kind_from(code: u8) -> Result<FlushKind, XftError> {
+    match code {
+        0 => Ok(FlushKind::Clwb),
+        1 => Ok(FlushKind::Clflush),
+        2 => Ok(FlushKind::Clflushopt),
+        other => Err(XftError::Corrupt(format!("unknown flush kind {other}"))),
+    }
+}
+
+fn fence_kind_code(kind: FenceKind) -> u8 {
+    match kind {
+        FenceKind::Sfence => 0,
+        FenceKind::Mfence => 1,
+        FenceKind::Drain => 2,
+    }
+}
+
+fn fence_kind_from(code: u8) -> Result<FenceKind, XftError> {
+    match code {
+        0 => Ok(FenceKind::Sfence),
+        1 => Ok(FenceKind::Mfence),
+        2 => Ok(FenceKind::Drain),
+        other => Err(XftError::Corrupt(format!("unknown fence kind {other}"))),
+    }
+}
+
+/// One decoded event of an `.xft` stream, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XftEvent {
+    /// A pre-failure trace entry.
+    Pre(OwnedTraceEntry),
+    /// A failure point injected at the ordering point `file:line`;
+    /// subsequent [`XftEvent::Post`] events belong to it.
+    FailurePoint {
+        /// Source file of the ordering point.
+        file: String,
+        /// Source line of the ordering point.
+        line: u32,
+    },
+    /// A post-failure trace entry of the most recent failure point.
+    Post(OwnedTraceEntry),
+}
+
+/// A streaming `.xft` decoder.
+#[derive(Debug)]
+pub struct XftReader<R: Read> {
+    r: R,
+    header: XftHeader,
+    files: Vec<String>,
+    delta: DeltaState,
+    entries_read: u64,
+    fps_read: u64,
+    done: bool,
+}
+
+impl<R: Read> XftReader<R> {
+    /// Parses the header and prepares to stream events.
+    ///
+    /// # Errors
+    ///
+    /// [`XftError::BadMagic`] / [`XftError::UnsupportedVersion`] for foreign
+    /// input, or any I/O error.
+    pub fn new(mut r: R) -> Result<Self, XftError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(XftError::BadMagic(magic));
+        }
+        let mut vf = [0u8; 2];
+        r.read_exact(&mut vf)?;
+        let (version, flags) = (vf[0], vf[1]);
+        if version > VERSION {
+            return Err(XftError::UnsupportedVersion(version));
+        }
+        let (entry_count, fp_count) = if flags & FLAG_COUNTS_IN_HEADER != 0 {
+            (Some(read_varint(&mut r)?), Some(read_varint(&mut r)?))
+        } else {
+            (None, None)
+        };
+        Ok(XftReader {
+            r,
+            header: XftHeader {
+                version,
+                entry_count,
+                fp_count,
+            },
+            files: Vec::new(),
+            delta: DeltaState::default(),
+            entries_read: 0,
+            fps_read: 0,
+            done: false,
+        })
+    }
+
+    /// The decoded header.
+    #[must_use]
+    pub fn header(&self) -> XftHeader {
+        self.header
+    }
+
+    /// The string table seen so far (complete once the stream is drained).
+    #[must_use]
+    pub fn files(&self) -> &[String] {
+        &self.files
+    }
+
+    /// Entries decoded so far.
+    #[must_use]
+    pub fn entries_read(&self) -> u64 {
+        self.entries_read
+    }
+
+    /// Failure points decoded so far.
+    #[must_use]
+    pub fn failure_points_read(&self) -> u64 {
+        self.fps_read
+    }
+
+    fn read_entry(&mut self) -> Result<OwnedTraceEntry, XftError> {
+        let mut head = [0u8; 1];
+        self.r.read_exact(&mut head)?;
+        let head = head[0];
+        let code = head & 0x0f;
+        let stage = if head & ENT_STAGE_POST != 0 {
+            Stage::Post
+        } else {
+            Stage::Pre
+        };
+        let internal = head & ENT_INTERNAL != 0;
+        let checked = head & ENT_CHECKED != 0;
+        let size_of = |v: u64| -> Result<u32, XftError> {
+            u32::try_from(v).map_err(|_| XftError::Corrupt(format!("size {v} exceeds u32")))
+        };
+        let op = match code {
+            OP_WRITE | OP_READ | OP_NT_WRITE | OP_TX_ADD | OP_FREE | OP_COMMIT_VAR => {
+                let addr = {
+                    let raw = read_varint(&mut self.r)?;
+                    self.delta.addr_undelta(raw)
+                };
+                let size = size_of(read_varint(&mut self.r)?)?;
+                match code {
+                    OP_WRITE => Op::Write { addr, size },
+                    OP_READ => Op::Read { addr, size },
+                    OP_NT_WRITE => Op::NtWrite { addr, size },
+                    OP_TX_ADD => Op::TxAdd { addr, size },
+                    OP_FREE => Op::Free { addr, size },
+                    _ => Op::RegisterCommitVar { addr, size },
+                }
+            }
+            OP_FLUSH => {
+                let raw = read_varint(&mut self.r)?;
+                let addr = self.delta.addr_undelta(raw);
+                let mut k = [0u8; 1];
+                self.r.read_exact(&mut k)?;
+                Op::Flush {
+                    addr,
+                    kind: flush_kind_from(k[0])?,
+                }
+            }
+            OP_FENCE => {
+                let mut k = [0u8; 1];
+                self.r.read_exact(&mut k)?;
+                Op::Fence {
+                    kind: fence_kind_from(k[0])?,
+                }
+            }
+            OP_TX_BEGIN => Op::TxBegin,
+            OP_TX_COMMIT => Op::TxCommit,
+            OP_TX_ABORT => Op::TxAbort,
+            OP_ALLOC => {
+                let raw = read_varint(&mut self.r)?;
+                let addr = self.delta.addr_undelta(raw);
+                let size = size_of(read_varint(&mut self.r)?)?;
+                let mut z = [0u8; 1];
+                self.r.read_exact(&mut z)?;
+                Op::Alloc {
+                    addr,
+                    size,
+                    zeroed: z[0] != 0,
+                }
+            }
+            OP_COMMIT_RANGE => {
+                let raw_v = read_varint(&mut self.r)?;
+                let var_addr = self.delta.addr_undelta(raw_v);
+                let raw_a = read_varint(&mut self.r)?;
+                let addr = self.delta.addr_undelta(raw_a);
+                let size = size_of(read_varint(&mut self.r)?)?;
+                Op::RegisterCommitRange {
+                    var_addr,
+                    addr,
+                    size,
+                }
+            }
+            other => return Err(XftError::Corrupt(format!("unknown op code {other}"))),
+        };
+        let file_id = read_varint(&mut self.r)?;
+        let file = self
+            .files
+            .get(file_id as usize)
+            .ok_or_else(|| XftError::Corrupt(format!("undefined file id {file_id}")))?
+            .clone();
+        let raw_line = read_varint(&mut self.r)?;
+        let line = self.delta.line_undelta(raw_line)?;
+        self.entries_read += 1;
+        Ok(OwnedTraceEntry {
+            op,
+            file,
+            line,
+            stage,
+            internal,
+            checked,
+        })
+    }
+
+    /// Decodes the next event, or `None` once the `End` record is reached.
+    ///
+    /// # Errors
+    ///
+    /// [`XftError::Corrupt`] on malformed input or when the `End` counts do
+    /// not match what was decoded; I/O errors (including unexpected EOF,
+    /// which surfaces as [`XftError::Io`]) otherwise.
+    pub fn next_event(&mut self) -> Result<Option<XftEvent>, XftError> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            let mut tag = [0u8; 1];
+            self.r.read_exact(&mut tag)?;
+            match tag[0] {
+                REC_FILE_DEF => {
+                    let len = read_varint(&mut self.r)? as usize;
+                    let mut buf = vec![0u8; len];
+                    self.r.read_exact(&mut buf)?;
+                    let name = String::from_utf8(buf)
+                        .map_err(|_| XftError::Corrupt("file name is not UTF-8".into()))?;
+                    self.files.push(name);
+                }
+                REC_PRE => return Ok(Some(XftEvent::Pre(self.read_entry()?))),
+                REC_POST => return Ok(Some(XftEvent::Post(self.read_entry()?))),
+                REC_FAILURE_POINT => {
+                    let file_id = read_varint(&mut self.r)?;
+                    let file = self
+                        .files
+                        .get(file_id as usize)
+                        .ok_or_else(|| XftError::Corrupt(format!("undefined file id {file_id}")))?
+                        .clone();
+                    let line = u32::try_from(read_varint(&mut self.r)?)
+                        .map_err(|_| XftError::Corrupt("failure-point line exceeds u32".into()))?;
+                    self.fps_read += 1;
+                    return Ok(Some(XftEvent::FailurePoint { file, line }));
+                }
+                REC_END => {
+                    let entries = read_varint(&mut self.r)?;
+                    let fps = read_varint(&mut self.r)?;
+                    if entries != self.entries_read || fps != self.fps_read {
+                        return Err(XftError::Corrupt(format!(
+                            "End record counts ({entries} entries, {fps} failure points) \
+                             disagree with decoded stream ({}, {})",
+                            self.entries_read, self.fps_read
+                        )));
+                    }
+                    if let (Some(h), e) = (self.header.entry_count, entries) {
+                        if h != e {
+                            return Err(XftError::Corrupt(format!(
+                                "header claims {h} entries, End record has {e}"
+                            )));
+                        }
+                    }
+                    if let (Some(h), p) = (self.header.fp_count, fps) {
+                        if h != p {
+                            return Err(XftError::Corrupt(format!(
+                                "header claims {h} failure points, End record has {p}"
+                            )));
+                        }
+                    }
+                    self.done = true;
+                    return Ok(None);
+                }
+                other => return Err(XftError::Corrupt(format!("unknown record tag {other:#x}"))),
+            }
+        }
+    }
+}
+
+/// Encodes a complete [`RecordedRun`] (counts go into the header). Pre
+/// entries are interleaved with their failure points by `pre_len`, so the
+/// on-disk order is execution order.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_recorded_run<W: Write>(w: W, run: &RecordedRun) -> Result<W, XftError> {
+    let mut wr =
+        XftWriter::with_counts(w, run.entry_count() as u64, run.failure_points.len() as u64)?;
+    let mut cursor = 0usize;
+    for rfp in &run.failure_points {
+        let upto = rfp.pre_len.min(run.pre.len());
+        while cursor < upto {
+            wr.write_pre(&run.pre[cursor])?;
+            cursor += 1;
+        }
+        wr.begin_failure_point(&rfp.file, rfp.line)?;
+        for e in &rfp.post {
+            wr.write_post(e)?;
+        }
+    }
+    while cursor < run.pre.len() {
+        wr.write_pre(&run.pre[cursor])?;
+        cursor += 1;
+    }
+    wr.finish()
+}
+
+/// Encodes a [`RecordedRun`] into an in-memory `.xft` buffer.
+///
+/// # Errors
+///
+/// Propagates encoder errors (I/O cannot fail on a `Vec`).
+pub fn encode_recorded_run(run: &RecordedRun) -> Result<Vec<u8>, XftError> {
+    write_recorded_run(Vec::new(), run)
+}
+
+/// Decodes a complete `.xft` stream back into a [`RecordedRun`].
+///
+/// # Errors
+///
+/// Any decode error; post-failure entries before the first failure point
+/// are [`XftError::Corrupt`].
+pub fn read_recorded_run<R: Read>(r: R) -> Result<RecordedRun, XftError> {
+    let mut reader = XftReader::new(r)?;
+    let mut run = RecordedRun::default();
+    while let Some(ev) = reader.next_event()? {
+        match ev {
+            XftEvent::Pre(e) => run.pre.push(e),
+            XftEvent::FailurePoint { file, line } => {
+                run.failure_points.push(RecordedFailurePoint {
+                    pre_len: run.pre.len(),
+                    file,
+                    line,
+                    post: Vec::new(),
+                });
+            }
+            XftEvent::Post(e) => match run.failure_points.last_mut() {
+                Some(fp) => fp.post.push(e),
+                None => {
+                    return Err(XftError::Corrupt(
+                        "post-failure entry before any failure point".into(),
+                    ))
+                }
+            },
+        }
+    }
+    Ok(run)
+}
+
+/// Runs the detection backend directly off an `.xft` stream — the
+/// file-driven form of [`xfdetector::offline::analyze`], with the same
+/// findings in the same order. The trace is never fully resident: entries
+/// stream through the shadow PM one at a time.
+///
+/// # Errors
+///
+/// Any decode error.
+pub fn analyze_xft<R: Read>(r: R, first_read_only: bool) -> Result<DetectionReport, XftError> {
+    let mut reader = XftReader::new(r)?;
+    let mut report = DetectionReport::new();
+    let mut shadow = ShadowPm::new();
+    let mut fp_id = 0u64;
+    let mut pending = reader.next_event()?;
+    while let Some(ev) = pending.take() {
+        match ev {
+            XftEvent::Pre(e) => {
+                shadow.apply_pre(&e.to_entry(), &mut report);
+                pending = reader.next_event()?;
+            }
+            XftEvent::FailurePoint { file, line } => {
+                let fp = FailurePoint {
+                    id: fp_id,
+                    loc: SourceLoc {
+                        file: xftrace::intern_file(&file),
+                        line,
+                    },
+                };
+                fp_id += 1;
+                let mut checker = shadow.begin_post(first_read_only);
+                loop {
+                    match reader.next_event()? {
+                        Some(XftEvent::Post(e)) => {
+                            checker.apply_post(&e.to_entry(), fp, &mut report);
+                        }
+                        other => {
+                            pending = other;
+                            break;
+                        }
+                    }
+                }
+            }
+            XftEvent::Post(_) => {
+                return Err(XftError::Corrupt(
+                    "post-failure entry before any failure point".into(),
+                ))
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(op: Op, file: &str, line: u32, stage: Stage) -> OwnedTraceEntry {
+        OwnedTraceEntry {
+            op,
+            file: file.to_owned(),
+            line,
+            stage,
+            internal: false,
+            checked: true,
+        }
+    }
+
+    fn sample_run() -> RecordedRun {
+        RecordedRun {
+            pre: vec![
+                entry(
+                    Op::Write {
+                        addr: 0x1000_0000,
+                        size: 8,
+                    },
+                    "a.rs",
+                    10,
+                    Stage::Pre,
+                ),
+                entry(
+                    Op::Flush {
+                        addr: 0x1000_0000,
+                        kind: FlushKind::Clwb,
+                    },
+                    "a.rs",
+                    11,
+                    Stage::Pre,
+                ),
+                entry(
+                    Op::Fence {
+                        kind: FenceKind::Sfence,
+                    },
+                    "a.rs",
+                    11,
+                    Stage::Pre,
+                ),
+                entry(
+                    Op::Alloc {
+                        addr: 0x1000_0040,
+                        size: 64,
+                        zeroed: true,
+                    },
+                    "b.rs",
+                    3,
+                    Stage::Pre,
+                ),
+                OwnedTraceEntry {
+                    internal: true,
+                    checked: false,
+                    ..entry(Op::TxBegin, "lib.rs", 99, Stage::Pre)
+                },
+                entry(
+                    Op::RegisterCommitRange {
+                        var_addr: 0x1000_0000,
+                        addr: 0x1000_0040,
+                        size: 64,
+                    },
+                    "a.rs",
+                    12,
+                    Stage::Pre,
+                ),
+            ],
+            failure_points: vec![RecordedFailurePoint {
+                pre_len: 3,
+                file: "a.rs".to_owned(),
+                line: 11,
+                post: vec![entry(
+                    Op::Read {
+                        addr: 0x1000_0000,
+                        size: 8,
+                    },
+                    "a.rs",
+                    20,
+                    Stage::Post,
+                )],
+            }],
+        }
+    }
+
+    fn run_json(run: &RecordedRun) -> String {
+        serde_json::to_string(run).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let run = sample_run();
+        let bytes = encode_recorded_run(&run).unwrap();
+        let back = read_recorded_run(&bytes[..]).unwrap();
+        assert_eq!(run_json(&run), run_json(&back));
+    }
+
+    #[test]
+    fn header_carries_counts_for_complete_runs() {
+        let run = sample_run();
+        let bytes = encode_recorded_run(&run).unwrap();
+        let reader = XftReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.header().version, VERSION);
+        assert_eq!(reader.header().entry_count, Some(7));
+        assert_eq!(reader.header().fp_count, Some(1));
+    }
+
+    #[test]
+    fn streaming_writer_round_trips_without_header_counts() {
+        let run = sample_run();
+        let mut wr = XftWriter::new(Vec::new()).unwrap();
+        for e in &run.pre[..3] {
+            wr.write_pre(e).unwrap();
+        }
+        wr.begin_failure_point("a.rs", 11).unwrap();
+        for e in &run.failure_points[0].post {
+            wr.write_post(e).unwrap();
+        }
+        for e in &run.pre[3..] {
+            wr.write_pre(e).unwrap();
+        }
+        let bytes = wr.finish().unwrap();
+        let mut reader = XftReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.header().entry_count, None);
+        let back = read_recorded_run(&bytes[..]).unwrap();
+        assert_eq!(run_json(&sample_run()), run_json(&back));
+        // Drain the first reader too: events must match the run's order.
+        let first = reader.next_event().unwrap().unwrap();
+        assert!(matches!(first, XftEvent::Pre(_)));
+    }
+
+    #[test]
+    fn string_table_interns_each_file_once() {
+        let run = sample_run();
+        let bytes = encode_recorded_run(&run).unwrap();
+        let mut reader = XftReader::new(&bytes[..]).unwrap();
+        while reader.next_event().unwrap().is_some() {}
+        assert_eq!(reader.files(), &["a.rs", "b.rs", "lib.rs"]);
+        assert_eq!(reader.entries_read(), 7);
+        assert_eq!(reader.failure_points_read(), 1);
+    }
+
+    #[test]
+    fn empty_run_round_trips() {
+        let bytes = encode_recorded_run(&RecordedRun::default()).unwrap();
+        let back = read_recorded_run(&bytes[..]).unwrap();
+        assert_eq!(back.entry_count(), 0);
+        assert!(back.failure_points.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = XftReader::new(&b"JSON{}xx"[..]).unwrap_err();
+        assert!(matches!(err, XftError::BadMagic(_)), "{err}");
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = encode_recorded_run(&RecordedRun::default()).unwrap();
+        bytes[4] = VERSION + 1;
+        let err = XftReader::new(&bytes[..]).unwrap_err();
+        assert!(matches!(err, XftError::UnsupportedVersion(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let run = sample_run();
+        let bytes = encode_recorded_run(&run).unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(read_recorded_run(cut).is_err());
+    }
+
+    #[test]
+    fn tampered_end_counts_are_detected() {
+        let run = sample_run();
+        let mut bytes = encode_recorded_run(&run).unwrap();
+        // The End record trailer is `REC_END, entries, fps`; bump entries.
+        let n = bytes.len();
+        bytes[n - 2] = bytes[n - 2].wrapping_add(1);
+        let err = read_recorded_run(&bytes[..]).unwrap_err();
+        assert!(matches!(err, XftError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn post_entry_without_failure_point_is_corrupt() {
+        let mut wr = XftWriter::new(Vec::new()).unwrap();
+        wr.write_post(&entry(
+            Op::Read { addr: 0, size: 8 },
+            "a.rs",
+            1,
+            Stage::Post,
+        ))
+        .unwrap();
+        let bytes = wr.finish().unwrap();
+        assert!(read_recorded_run(&bytes[..]).is_err());
+        assert!(analyze_xft(&bytes[..], true).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

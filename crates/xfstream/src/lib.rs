@@ -1,0 +1,37 @@
+//! # xfstream — streaming trace transport for the XFDetector reproduction
+//!
+//! XFDetector deploys as two processes: a Pin-based frontend that traces
+//! the program under test and a detection backend, coupled by a 2 GB
+//! shared-memory FIFO so that detection overlaps execution (§5.1,
+//! Figure 8). The core crates reproduce the *algorithms*; this crate
+//! reproduces that *deployment shape*, in three layers:
+//!
+//! - [`ring`] — a bounded SPSC FIFO channel with blocking hand-off,
+//!   backpressure and occupancy/stall instrumentation: the in-process
+//!   analogue of the paper's shared-memory queue,
+//! - [`pipeline`] — [`run_pipelined`], which runs the workload/injection
+//!   frontend and the shadow-PM/checking backend as concurrent stages over
+//!   that FIFO, producing a byte-identical [`xfdetector::DetectionReport`]
+//!   to the sequential engine,
+//! - [`codec`] — the compact `.xft` binary trace format (varint + delta
+//!   encoding, string-tabled source locations, streaming reader/writer),
+//!   so recorded runs persist at a fraction of their JSON size and can be
+//!   re-analyzed by [`analyze_xft`] without ever being fully resident.
+//!
+//! The `xfd` CLI binary wires these together: `xfd record` writes `.xft`
+//! traces, `xfd analyze` replays them through the offline backend, and
+//! `xfd report` runs live detection in batch, pipelined or parallel mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod pipeline;
+pub mod ring;
+
+pub use codec::{
+    analyze_xft, encode_recorded_run, read_recorded_run, write_recorded_run, XftError, XftEvent,
+    XftHeader, XftReader, XftWriter,
+};
+pub use pipeline::{run_pipelined, StreamOptions};
+pub use ring::{channel, Receiver, RingStats, Sender};

@@ -1,0 +1,566 @@
+//! The pipelined detection engine: frontend and backend as concurrent
+//! stages coupled by the bounded trace FIFO.
+//!
+//! This is the reproduction of the paper's deployment shape (§5.1,
+//! Figure 8): the *frontend* — workload execution, failure injection,
+//! post-failure runs — produces trace batches, and the *backend* — shadow-PM
+//! replay and cross-failure checking — consumes them from a bounded FIFO on
+//! its own thread. Detection overlaps program execution; when the backend
+//! falls behind, the FIFO fills and the frontend blocks (backpressure),
+//! exactly like the paper's 2 GB shared-memory queue.
+//!
+//! [`run_pipelined`] is report-equivalent to [`xfdetector::XfDetector::run`]:
+//! batches arrive in program order and a single backend thread owns the
+//! shadow PM and the report, so the findings are pushed in exactly the
+//! sequential engine's order — the serialized [`DetectionReport`]s are
+//! byte-identical (enforced by the equivalence tests).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pmem::{CowImage, EngineHook, ImageHash, OrderingPointInfo, PmCtx, PmPool};
+use xfdetector::offline::{RecordedFailurePoint, RecordedRun};
+use xfdetector::{
+    BugKind, DetectionReport, DynError, EngineError, FailurePoint, Finding, RunOutcome, RunStats,
+    ShadowPm, Workload, XfConfig,
+};
+use xftrace::{SourceLoc, TraceEntry};
+
+use crate::ring::{self, Receiver, RingStats, Sender};
+
+/// Tuning knobs of the streaming pipeline.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// FIFO capacity in *batches* (one batch per failure-point interval),
+    /// the analogue of the paper's FIFO size. Small values exercise
+    /// backpressure; large values decouple the stages further.
+    pub capacity: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions { capacity: 64 }
+    }
+}
+
+/// One message through the trace FIFO, in program order.
+enum Msg {
+    /// Pre-failure entries produced since the previous message.
+    Pre(Vec<TraceEntry>),
+    /// A failure point: its identity, the post-failure trace it produced
+    /// and how the post-failure execution ended.
+    FailurePoint {
+        fp: FailurePoint,
+        post: Vec<TraceEntry>,
+        outcome: PostOutcome,
+    },
+}
+
+/// How a post-failure execution ended (mirror of the engine's private
+/// enum; the outcome is a *finding*, never an error).
+#[derive(Clone)]
+enum PostOutcome {
+    Completed,
+    Failed(String),
+    Panicked(String),
+}
+
+impl From<Result<(), DynError>> for PostOutcome {
+    fn from(r: Result<(), DynError>) -> Self {
+        match r {
+            Ok(()) => PostOutcome::Completed,
+            Err(e) => PostOutcome::Failed(e.to_string()),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Cached result of one post-failure execution, keyed by crash-image
+/// content hash (same scheme as the sequential engine: the image is kept
+/// so a hash collision degrades to a miss, never a wrong reuse).
+struct CachedPost {
+    image: CowImage,
+    post: Vec<TraceEntry>,
+    outcome: PostOutcome,
+}
+
+/// The frontend half: runs on the workload thread as the ordering-point
+/// hook. It mirrors the sequential engine's injection logic exactly —
+/// skip-empty elision, failure-point budget, crash snapshotting, image
+/// dedup, post-failure execution — but hands every trace batch to the
+/// backend instead of replaying it inline.
+struct StreamFrontend {
+    tx: Sender<Msg>,
+    stats: RefCell<RunStats>,
+    dedup: RefCell<HashMap<ImageHash, CachedPost>>,
+    rng: RefCell<StdRng>,
+    config: XfConfig,
+    post: PostFn,
+}
+
+/// The boxed post-failure continuation the frontend re-executes at every
+/// failure point.
+type PostFn = Box<dyn Fn(&mut PmCtx) -> Result<(), DynError>>;
+
+impl StreamFrontend {
+    fn execute_post(&self, post_ctx: &mut PmCtx) -> PostOutcome {
+        if self.config.catch_post_panics {
+            match catch_unwind(AssertUnwindSafe(|| (self.post)(post_ctx))) {
+                Ok(r) => PostOutcome::from(r),
+                Err(payload) => PostOutcome::Panicked(panic_message(&*payload)),
+            }
+        } else {
+            PostOutcome::from((self.post)(post_ctx))
+        }
+    }
+
+    /// Ships a message to the backend. A send only fails when the backend
+    /// died mid-run; the join below surfaces its panic, so the error is
+    /// swallowed here.
+    fn ship(&self, msg: Msg) {
+        let _ = self.tx.send(msg);
+    }
+}
+
+impl EngineHook for StreamFrontend {
+    fn on_ordering_point(&self, ctx: &mut PmCtx, loc: SourceLoc, info: OrderingPointInfo) {
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.ordering_points += 1;
+            if !info.forced && self.config.skip_empty_failure_points && !info.had_pm_mutation {
+                stats.skipped_empty += 1;
+                return;
+            }
+            if let Some(max) = self.config.max_failure_points {
+                if stats.failure_points >= max {
+                    return;
+                }
+            }
+        }
+
+        // Hand the pre-failure entries produced since the last failure
+        // point to the backend (one batch per interval, as §5.4's
+        // incremental tracing batches them).
+        {
+            let pre = ctx.trace().drain();
+            self.stats.borrow_mut().pre_entries += pre.len() as u64;
+            if !pre.is_empty() {
+                self.ship(Msg::Pre(pre));
+            }
+        }
+
+        let fp = {
+            let mut stats = self.stats.borrow_mut();
+            let id = stats.failure_points;
+            stats.failure_points += 1;
+            FailurePoint { id, loc }
+        };
+
+        // Snapshot the PM image and run the post-failure stage — identical
+        // to the sequential engine, including COW capture and image dedup.
+        let t_post = Instant::now();
+        let (post_entries, outcome, executed) = if self.config.cow_snapshots {
+            let image = self
+                .config
+                .crash_policy
+                .cow_image(ctx.pool(), &mut *self.rng.borrow_mut());
+            let hash = self.config.dedup_images.then(|| image.content_hash());
+            let cached = hash.and_then(|h| {
+                self.dedup
+                    .borrow()
+                    .get(&h)
+                    .filter(|c| c.image.same_content(&image))
+                    .map(|c| (c.post.clone(), c.outcome.clone()))
+            });
+            if let Some((post, outcome)) = cached {
+                (post, outcome, false)
+            } else {
+                let mut post_ctx = ctx.fork_post_cow(&image);
+                let outcome = self.execute_post(&mut post_ctx);
+                let post = post_ctx.trace().drain();
+                self.stats.borrow_mut().snapshot_bytes_copied +=
+                    post_ctx.pool().snapshot_bytes_copied();
+                if let Some(h) = hash {
+                    self.dedup.borrow_mut().insert(
+                        h,
+                        CachedPost {
+                            image,
+                            post: post.clone(),
+                            outcome: outcome.clone(),
+                        },
+                    );
+                }
+                (post, outcome, true)
+            }
+        } else {
+            let image = self
+                .config
+                .crash_policy
+                .image(ctx.pool(), &mut *self.rng.borrow_mut());
+            let mut post_ctx = ctx.fork_post(&image);
+            let outcome = self.execute_post(&mut post_ctx);
+            let post = post_ctx.trace().drain();
+            self.stats.borrow_mut().snapshot_bytes_copied +=
+                post_ctx.pool().snapshot_bytes_copied();
+            (post, outcome, true)
+        };
+        let post_time = t_post.elapsed();
+
+        let mut stats = self.stats.borrow_mut();
+        if executed {
+            stats.post_runs += 1;
+        } else {
+            stats.images_deduped += 1;
+        }
+        stats.post_entries += post_entries.len() as u64;
+        stats.post_exec_time += post_time;
+        drop(stats);
+
+        self.ship(Msg::FailurePoint {
+            fp,
+            post: post_entries,
+            outcome,
+        });
+    }
+}
+
+/// What the backend thread hands back after draining the FIFO.
+struct BackendResult {
+    report: DetectionReport,
+    recorded: Option<RecordedRun>,
+    detect_time: Duration,
+    shadow_bytes_cloned: u64,
+    shadow_resident_bytes: u64,
+    ring: RingStats,
+}
+
+/// The backend half: owns the shadow PM and the report, drains the FIFO
+/// until the frontend hangs up. Single-threaded ownership of both is what
+/// makes the report byte-identical to the sequential engine's.
+fn backend_loop(rx: Receiver<Msg>, first_read_only: bool, record: bool) -> BackendResult {
+    let mut shadow = ShadowPm::new();
+    let mut report = DetectionReport::new();
+    let mut recorded = record.then(RecordedRun::default);
+    let mut detect_time = Duration::ZERO;
+
+    while let Some(msg) = rx.recv() {
+        match msg {
+            Msg::Pre(batch) => {
+                for e in &batch {
+                    shadow.apply_pre(e, &mut report);
+                }
+                if let Some(rec) = recorded.as_mut() {
+                    rec.pre.extend(batch.into_iter().map(Into::into));
+                }
+            }
+            Msg::FailurePoint { fp, post, outcome } => {
+                if let Some(rec) = recorded.as_mut() {
+                    rec.failure_points.push(RecordedFailurePoint {
+                        pre_len: rec.pre.len(),
+                        file: fp.loc.file.to_owned(),
+                        line: fp.loc.line,
+                        post: post.iter().copied().map(Into::into).collect(),
+                    });
+                }
+                let t_detect = Instant::now();
+                {
+                    let mut checker = shadow.begin_post(first_read_only);
+                    for e in &post {
+                        checker.apply_post(e, fp, &mut report);
+                    }
+                }
+                detect_time += t_detect.elapsed();
+
+                match outcome {
+                    PostOutcome::Completed => {}
+                    PostOutcome::Failed(msg) => {
+                        report.push(Finding {
+                            kind: BugKind::PostFailureError,
+                            addr: 0,
+                            size: 0,
+                            reader: Some(fp.loc),
+                            writer: None,
+                            failure_point: Some(fp),
+                            message: Some(msg),
+                        });
+                    }
+                    PostOutcome::Panicked(msg) => {
+                        report.push(Finding {
+                            kind: BugKind::PostFailurePanic,
+                            addr: 0,
+                            size: 0,
+                            reader: Some(fp.loc),
+                            writer: None,
+                            failure_point: Some(fp),
+                            message: Some(msg),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    BackendResult {
+        report,
+        recorded,
+        detect_time,
+        shadow_bytes_cloned: shadow.bytes_cloned(),
+        shadow_resident_bytes: shadow.resident_bytes(),
+        ring: rx.stats(),
+    }
+}
+
+/// Runs the full detection procedure with frontend and backend as
+/// concurrent pipeline stages over a bounded trace FIFO.
+///
+/// Report-equivalent to [`xfdetector::XfDetector::run`] with the same
+/// `config` — the serialized [`DetectionReport`]s are byte-identical — but
+/// trace replay and checking overlap workload execution, and
+/// [`RunStats::stream_batches`] / [`RunStats::stream_max_depth`] /
+/// [`RunStats::stream_stall_time`] expose the FIFO's behavior.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] if the pool cannot be created or the setup or
+/// pre-failure stages fail, exactly like the sequential engine.
+///
+/// # Panics
+///
+/// Propagates a panic of the backend thread (which only panics on internal
+/// invariant violations, never on workload behavior).
+pub fn run_pipelined<W: Workload + 'static>(
+    config: &XfConfig,
+    workload: W,
+    opts: &StreamOptions,
+) -> Result<RunOutcome, EngineError> {
+    let pool = PmPool::new(workload.pool_size()).map_err(EngineError::Pm)?;
+    let mut ctx = PmCtx::new(pool);
+    let workload = Rc::new(workload);
+
+    let t_start = Instant::now();
+    workload
+        .setup(&mut ctx)
+        .map_err(|e| EngineError::Setup(e.to_string()))?;
+
+    let first_read_only = config.first_read_only;
+    let record_trace = config.record_trace;
+    let (pre_result, mut stats, backend) = std::thread::scope(|s| {
+        let (tx, rx) = ring::channel(opts.capacity);
+        let handle = s.spawn(move || backend_loop(rx, first_read_only, record_trace));
+
+        let post_workload = Rc::clone(&workload);
+        let frontend = Rc::new(StreamFrontend {
+            tx,
+            stats: RefCell::new(RunStats::default()),
+            dedup: RefCell::new(HashMap::new()),
+            rng: RefCell::new(StdRng::seed_from_u64(config.rng_seed)),
+            config: config.clone(),
+            post: Box::new(move |ctx| post_workload.post_failure(ctx)),
+        });
+
+        ctx.set_hook(Rc::clone(&frontend) as Rc<dyn EngineHook>);
+        if config.fire_on_every_write {
+            ctx.set_failure_point_on_writes(true);
+        }
+        let pre_result = workload.pre_failure(&mut ctx);
+        if pre_result.is_ok() && config.inject_at_completion && !ctx.is_detection_complete() {
+            ctx.add_failure_point_at(SourceLoc::synthetic("<completion>"));
+        }
+        ctx.clear_hook();
+
+        // Ship any trailing pre-failure entries so tail-end performance
+        // bugs are still reported (mirrors the sequential engine).
+        if pre_result.is_ok() {
+            let tail = ctx.trace().drain();
+            frontend.stats.borrow_mut().pre_entries += tail.len() as u64;
+            if !tail.is_empty() {
+                frontend.ship(Msg::Pre(tail));
+            }
+        }
+
+        let stats = frontend.stats.borrow().clone();
+        // Dropping the frontend drops the Sender: the backend drains the
+        // FIFO, observes end-of-stream and returns.
+        drop(frontend);
+        let backend = handle.join().expect("detection backend panicked");
+        (pre_result, stats, backend)
+    });
+    pre_result.map_err(|e| EngineError::PreFailure(e.to_string()))?;
+
+    stats.snapshot_bytes_copied += ctx.pool().snapshot_bytes_copied();
+    stats.shadow_bytes_cloned = backend.shadow_bytes_cloned;
+    stats.shadow_resident_bytes = backend.shadow_resident_bytes;
+    stats.detect_time = backend.detect_time;
+    stats.check_time = backend.detect_time;
+    stats.stream_batches = backend.ring.sends;
+    stats.stream_max_depth = backend.ring.max_depth;
+    stats.stream_stall_time = backend.ring.producer_stall;
+    stats.total_time = t_start.elapsed();
+
+    Ok(RunOutcome {
+        report: backend.report,
+        stats,
+        recorded: backend.recorded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfdetector::XfDetector;
+
+    /// The engine test's valid-flag workload: data at `base`, commit flag
+    /// at `base + 64`; the buggy variant skips the data persist barrier.
+    struct Flag {
+        persist: bool,
+    }
+
+    impl Workload for Flag {
+        fn name(&self) -> &str {
+            "flag"
+        }
+        fn pool_size(&self) -> u64 {
+            4096
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+            Ok(())
+        }
+        fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let a = ctx.pool().base();
+            ctx.register_commit_var(a + 64, 8);
+            ctx.write_u64(a, 1)?;
+            if self.persist {
+                ctx.persist_barrier(a, 8)?;
+            }
+            ctx.write_u64(a + 64, 1)?;
+            ctx.persist_barrier(a + 64, 8)?;
+            Ok(())
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let a = ctx.pool().base();
+            if ctx.read_u64(a + 64)? == 1 {
+                let _ = ctx.read_u64(a)?;
+            }
+            Ok(())
+        }
+    }
+
+    fn report_json(o: &RunOutcome) -> String {
+        serde_json::to_string(&o.report).unwrap()
+    }
+
+    #[test]
+    fn pipelined_report_is_byte_identical_to_sequential() {
+        for persist in [false, true] {
+            let cfg = XfConfig::default();
+            let seq = XfDetector::new(cfg.clone()).run(Flag { persist }).unwrap();
+            let pipe = run_pipelined(&cfg, Flag { persist }, &StreamOptions::default()).unwrap();
+            assert_eq!(report_json(&seq), report_json(&pipe), "persist={persist}");
+            assert_eq!(seq.stats.failure_points, pipe.stats.failure_points);
+            assert_eq!(seq.stats.pre_entries, pipe.stats.pre_entries);
+            assert_eq!(seq.stats.post_entries, pipe.stats.post_entries);
+            assert!(pipe.stats.stream_batches > 0);
+        }
+    }
+
+    #[test]
+    fn capacity_one_exercises_backpressure_without_changing_the_report() {
+        let cfg = XfConfig::default();
+        let wide = run_pipelined(&cfg, Flag { persist: false }, &StreamOptions::default()).unwrap();
+        let narrow = run_pipelined(
+            &cfg,
+            Flag { persist: false },
+            &StreamOptions { capacity: 1 },
+        )
+        .unwrap();
+        assert_eq!(report_json(&wide), report_json(&narrow));
+        assert!(narrow.stats.stream_max_depth <= 1);
+    }
+
+    #[test]
+    fn recorded_run_matches_the_sequential_recording() {
+        let cfg = XfConfig {
+            record_trace: true,
+            ..XfConfig::default()
+        };
+        let seq = XfDetector::new(cfg.clone())
+            .run(Flag { persist: false })
+            .unwrap();
+        let pipe = run_pipelined(&cfg, Flag { persist: false }, &StreamOptions::default()).unwrap();
+        let json = |r: &RunOutcome| serde_json::to_string(r.recorded.as_ref().unwrap()).unwrap();
+        assert_eq!(json(&seq), json(&pipe));
+    }
+
+    #[test]
+    fn post_failure_outcome_findings_survive_the_pipeline() {
+        struct Panicking;
+        impl Workload for Panicking {
+            fn name(&self) -> &str {
+                "panicking"
+            }
+            fn pool_size(&self) -> u64 {
+                4096
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                ctx.write_u64(a, 1)?;
+                ctx.persist_barrier(a, 8)?;
+                Ok(())
+            }
+            fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                panic!("segfault analogue");
+            }
+        }
+        let cfg = XfConfig::default();
+        let seq = XfDetector::new(cfg.clone()).run(Panicking).unwrap();
+        let pipe = run_pipelined(&cfg, Panicking, &StreamOptions::default()).unwrap();
+        assert_eq!(report_json(&seq), report_json(&pipe));
+        assert!(pipe
+            .report
+            .findings()
+            .iter()
+            .any(|f| f.kind == BugKind::PostFailurePanic));
+    }
+
+    #[test]
+    fn pre_failure_errors_abort_like_the_sequential_engine() {
+        struct Broken;
+        impl Workload for Broken {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn pool_size(&self) -> u64 {
+                4096
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Err("pre blew up".into())
+            }
+            fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+        }
+        let err = run_pipelined(&XfConfig::default(), Broken, &StreamOptions::default());
+        assert!(matches!(err, Err(EngineError::PreFailure(_))));
+    }
+}

@@ -1,0 +1,255 @@
+//! A bounded SPSC FIFO channel: the reproduction of the paper's
+//! shared-memory trace FIFO.
+//!
+//! XFDetector's Pin frontend and detection backend are separate processes
+//! coupled by a 2 GB shared-memory FIFO (§5.1, Figure 8): the frontend
+//! blocks when the FIFO is full, the backend blocks when it is empty, and
+//! detection overlaps program execution instead of following it. This
+//! module is the in-process analogue: a bounded single-producer
+//! single-consumer channel with blocking hand-off on both ends and
+//! instrumentation ([`RingStats`]) for the queue-depth high-water mark and
+//! the time either side spent stalled.
+//!
+//! Capacity is counted in *messages*, not bytes; the pipeline batches trace
+//! entries into messages (one batch per failure-point interval) so a small
+//! message capacity still bounds a large number of in-flight entries.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Instrumentation counters of one channel, mirroring what the paper's FIFO
+/// would expose: occupancy high-water mark and stall time on either side.
+#[derive(Debug, Clone, Default)]
+pub struct RingStats {
+    /// Messages successfully enqueued.
+    pub sends: u64,
+    /// Messages successfully dequeued.
+    pub recvs: u64,
+    /// Highest queue occupancy observed (messages).
+    pub max_depth: u64,
+    /// Total time the producer spent blocked on a full queue.
+    pub producer_stall: Duration,
+    /// Total time the consumer spent blocked on an empty queue.
+    pub consumer_stall: Duration,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    /// Set when either endpoint is dropped; wakes the other side.
+    closed: bool,
+    stats: RingStats,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Locks the state, recovering from poisoning (a panicking peer must
+    /// not wedge the other endpoint).
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// The producing endpoint. Dropping it closes the channel; the consumer
+/// drains the remaining messages and then observes end-of-stream.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming endpoint. Dropping it closes the channel; subsequent sends
+/// fail fast instead of blocking forever.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded SPSC channel holding at most `capacity` messages.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (a zero-capacity FIFO would deadlock the
+/// blocking hand-off).
+#[must_use]
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "ring capacity must be non-zero");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            closed: false,
+            stats: RingStats::default(),
+        }),
+        capacity,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back if the receiver hung up.
+    pub fn send(&self, msg: T) -> Result<(), T> {
+        let mut st = self.shared.lock();
+        while st.buf.len() >= self.shared.capacity && !st.closed {
+            let t0 = Instant::now();
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.stats.producer_stall += t0.elapsed();
+        }
+        if st.closed {
+            return Err(msg);
+        }
+        st.buf.push_back(msg);
+        st.stats.sends += 1;
+        st.stats.max_depth = st.stats.max_depth.max(st.buf.len() as u64);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Current queue occupancy (messages buffered and not yet received).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.shared.lock().buf.len()
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking while the queue is empty.
+    /// Returns `None` once the channel is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.shared.lock();
+        while st.buf.is_empty() && !st.closed {
+            let t0 = Instant::now();
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.stats.consumer_stall += t0.elapsed();
+        }
+        let msg = st.buf.pop_front();
+        if msg.is_some() {
+            st.stats.recvs += 1;
+            drop(st);
+            self.shared.not_full.notify_one();
+        }
+        msg
+    }
+
+    /// A snapshot of the channel's instrumentation counters.
+    #[must_use]
+    pub fn stats(&self) -> RingStats {
+        self.shared.lock().stats.clone()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = channel(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+    }
+
+    #[test]
+    fn producer_blocks_until_consumer_drains() {
+        let (tx, rx) = channel(2);
+        let producer = thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        let stats = rx.stats();
+        assert_eq!(stats.sends, 100);
+        assert_eq!(stats.recvs, 100);
+        assert!(stats.max_depth <= 2, "bounded at capacity: {stats:?}");
+    }
+
+    #[test]
+    fn dropping_sender_ends_the_stream_after_draining() {
+        let (tx, rx) = channel(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "stays closed");
+    }
+
+    #[test]
+    fn dropping_receiver_fails_sends_fast() {
+        let (tx, rx) = channel(1);
+        tx.send(7).unwrap();
+        drop(rx);
+        assert_eq!(tx.send(8), Err(8), "no deadlock on a full, closed queue");
+    }
+
+    #[test]
+    fn max_depth_tracks_high_water_mark() {
+        let (tx, rx) = channel(16);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let _ = rx.recv();
+        assert_eq!(rx.stats().max_depth, 5);
+        assert_eq!(tx.depth(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_is_rejected() {
+        let _ = channel::<u8>(0);
+    }
+}

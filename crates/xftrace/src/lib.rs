@@ -476,7 +476,13 @@ impl OwnedTraceEntry {
 }
 
 /// Interns a file name into a `&'static str` (deduplicated).
-fn intern_file(name: &str) -> &'static str {
+///
+/// This is the bridge from owned trace representations (JSON, the `.xft`
+/// binary codec) back to the borrowed [`SourceLoc`] the detector works
+/// with. Names are deduplicated in a process-global table and live for the
+/// rest of the process — the set of distinct source files is small and
+/// bounded, so this is the standard leak-based interning trade-off.
+pub fn intern_file(name: &str) -> &'static str {
     use std::collections::HashSet;
     use std::sync::Mutex;
     static INTERNER: Mutex<Option<HashSet<&'static str>>> = Mutex::new(None);

@@ -1,0 +1,530 @@
+//! `xfd` — the command-line driver of the XFDetector reproduction.
+//!
+//! Four subcommands tie the workload registry, the detection engine and the
+//! `.xft` streaming trace codec together:
+//!
+//! - `xfd record`  — run pipelined detection on a workload and persist the
+//!   recorded trace as a compact `.xft` file (plus optional JSON forms),
+//! - `xfd analyze` — replay a `.xft` trace through the offline detection
+//!   backend (§5.5: the backend is independent of the frontend),
+//! - `xfd report`  — run live detection (batch, streaming-pipelined or
+//!   parallel) and print the findings,
+//! - `xfd info`    — inspect a `.xft` trace, or list workloads and bugs.
+//!
+//! Run `xfd --help` for the full flag reference.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use serde::Serialize;
+use xfd::workloads::bugs::{BugId, BugSet, WorkloadKind};
+use xfd::workloads::{build_with_init, validation_ops};
+use xfd::xfdetector::{DetectionReport, RunOutcome, RunStats, XfConfig, XfDetector};
+use xfd::xfstream::{self, StreamOptions, XftReader};
+
+const USAGE: &str = "\
+xfd — cross-failure bug detection for persistent-memory programs
+
+USAGE:
+    xfd record  --workload <name> [--ops N] [--init N] [--bug ID]...
+                [--out FILE.xft] [--json-trace FILE.json] [--report FILE.json]
+                [--capacity N] [CONFIG FLAGS]
+    xfd analyze <FILE.xft> [--all-reads] [--json] [--out FILE.json]
+    xfd report  --workload <name> [--ops N] [--init N] [--bug ID]...
+                [--mode batch|stream|parallel] [--workers N] [--capacity N]
+                [--json] [CONFIG FLAGS]
+    xfd info    [FILE.xft]
+
+SUBCOMMANDS:
+    record     Run pipelined detection and persist the trace as .xft
+    analyze    Replay a .xft trace through the offline detection backend
+    report     Run live detection and print the findings
+    info       Inspect a .xft trace; with no argument, list workloads & bugs
+
+COMMON OPTIONS:
+    --workload <name>     One of: btree, ctree, rbtree, hashmap_tx,
+                          hashmap_atomic, memcached, redis
+    --ops N               Pre-failure operations (default: per-workload size
+                          at which every registered bug fires)
+    --init N              Pre-population operations during setup (default 0)
+    --bug ID              Inject a registered bug (repeatable; see `xfd info`)
+    --json                Print the report as JSON on stdout
+    --fail-on-bugs        Exit with status 3 if correctness bugs were found
+
+CONFIG FLAGS (detector axes; defaults reproduce the paper's setup):
+    --all-reads           Check every post-failure read, not just the first
+                          per location (disables §5.4 optimization 1)
+    --no-skip-empty       Keep failure points at ordering points without PM
+                          activity (disables §5.4 optimization 2)
+    --no-completion-fp    No failure point after the last operation
+    --max-failure-points N  Stop injecting failures after N failure points
+    --fire-on-every-write Failure point before every PM store (ablation)
+    --no-catch-panics     Let post-failure panics propagate
+    --no-cow              Full-copy crash snapshots instead of copy-on-write
+    --no-dedup            Re-execute post-failure runs on identical images
+    --no-parallel-checking  Keep checking on the merge thread (parallel mode)
+    --seed N              RNG seed for randomized crash policies
+    --capacity N          Trace-FIFO capacity in batches (stream mode)
+    --workers N           Worker threads (parallel mode; 0 = all cores)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("xfd: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return Ok(ExitCode::from(1));
+    };
+    match cmd.as_str() {
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "record" => cmd_record(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "report" => cmd_report(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        other => Err(format!("unknown subcommand '{other}' (see xfd --help)")),
+    }
+}
+
+/// Options shared by the workload-running subcommands.
+struct WorkOpts {
+    workload: Option<WorkloadKind>,
+    ops: Option<u64>,
+    init: u64,
+    bugs: Vec<BugId>,
+    cfg: XfConfig,
+    capacity: usize,
+    workers: usize,
+    mode: Mode,
+    json: bool,
+    fail_on_bugs: bool,
+    out: Option<String>,
+    json_trace: Option<String>,
+    report_path: Option<String>,
+}
+
+impl Default for WorkOpts {
+    fn default() -> Self {
+        WorkOpts {
+            workload: None,
+            ops: None,
+            init: 0,
+            bugs: Vec::new(),
+            cfg: XfConfig::default(),
+            capacity: StreamOptions::default().capacity,
+            workers: 0,
+            mode: Mode::Batch,
+            json: false,
+            fail_on_bugs: false,
+            out: None,
+            json_trace: None,
+            report_path: None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Batch,
+    Stream,
+    Parallel,
+}
+
+fn parse_bug(s: &str) -> Result<BugId, String> {
+    BugId::all()
+        .iter()
+        .copied()
+        .find(|b| format!("{b:?}").eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown bug '{s}' (list them with `xfd info`)"))
+}
+
+fn next_value<'a, I: Iterator<Item = &'a String>>(
+    flag: &str,
+    it: &mut I,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num<T: FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid number '{v}'"))
+}
+
+fn parse_work_opts(args: &[String]) -> Result<WorkOpts, String> {
+    let mut o = WorkOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workload" | "-w" => {
+                let v = next_value(arg, &mut it)?;
+                o.workload = Some(WorkloadKind::from_str(v).map_err(|e| e.to_string())?);
+            }
+            "--ops" => o.ops = Some(parse_num(arg, next_value(arg, &mut it)?)?),
+            "--init" => o.init = parse_num(arg, next_value(arg, &mut it)?)?,
+            "--bug" => o.bugs.push(parse_bug(next_value(arg, &mut it)?)?),
+            "--mode" => {
+                o.mode = match next_value(arg, &mut it)?.as_str() {
+                    "batch" => Mode::Batch,
+                    "stream" => Mode::Stream,
+                    "parallel" => Mode::Parallel,
+                    other => {
+                        return Err(format!(
+                            "--mode: expected batch|stream|parallel, got '{other}'"
+                        ))
+                    }
+                }
+            }
+            "--workers" => o.workers = parse_num(arg, next_value(arg, &mut it)?)?,
+            "--capacity" => {
+                o.capacity = parse_num(arg, next_value(arg, &mut it)?)?;
+                if o.capacity == 0 {
+                    return Err("--capacity must be at least 1".into());
+                }
+            }
+            "--json" => o.json = true,
+            "--fail-on-bugs" => o.fail_on_bugs = true,
+            "--out" | "-o" => o.out = Some(next_value(arg, &mut it)?.clone()),
+            "--json-trace" => o.json_trace = Some(next_value(arg, &mut it)?.clone()),
+            "--report" => o.report_path = Some(next_value(arg, &mut it)?.clone()),
+            "--all-reads" => o.cfg.first_read_only = false,
+            "--no-skip-empty" => o.cfg.skip_empty_failure_points = false,
+            "--no-completion-fp" => o.cfg.inject_at_completion = false,
+            "--max-failure-points" => {
+                o.cfg.max_failure_points = Some(parse_num(arg, next_value(arg, &mut it)?)?);
+            }
+            "--fire-on-every-write" => o.cfg.fire_on_every_write = true,
+            "--no-catch-panics" => o.cfg.catch_post_panics = false,
+            "--no-cow" => o.cfg.cow_snapshots = false,
+            "--no-dedup" => o.cfg.dedup_images = false,
+            "--no-parallel-checking" => o.cfg.parallel_checking = false,
+            "--seed" => o.cfg.rng_seed = parse_num(arg, next_value(arg, &mut it)?)?,
+            other => return Err(format!("unexpected argument '{other}' (see xfd --help)")),
+        }
+    }
+    Ok(o)
+}
+
+impl WorkOpts {
+    fn workload(&self) -> Result<WorkloadKind, String> {
+        self.workload
+            .ok_or_else(|| "--workload is required".to_owned())
+    }
+
+    fn ops_for(&self, kind: WorkloadKind) -> u64 {
+        self.ops.unwrap_or_else(|| validation_ops(kind))
+    }
+
+    fn bug_set(&self, kind: WorkloadKind) -> Result<BugSet, String> {
+        if let Some(bad) = self.bugs.iter().find(|b| b.workload() != kind) {
+            return Err(format!(
+                "bug {bad:?} belongs to {}, not {kind}",
+                bad.workload()
+            ));
+        }
+        Ok(self.bugs.iter().copied().collect())
+    }
+
+    fn exit_code(&self, report: &DetectionReport) -> ExitCode {
+        if self.fail_on_bugs && report.has_correctness_bugs() {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Runs detection in the requested mode. `record` forces the pipelined
+/// engine (the trace transport under test) with trace recording on.
+fn run_mode(o: &WorkOpts, kind: WorkloadKind, record: bool) -> Result<RunOutcome, String> {
+    let mut cfg = o.cfg.clone();
+    if record {
+        cfg.record_trace = true;
+    }
+    let ops = o.ops_for(kind);
+    let bugs = o.bug_set(kind)?;
+    let mode = if record { Mode::Stream } else { o.mode };
+    let outcome = match mode {
+        Mode::Batch => XfDetector::new(cfg).run(build_with_init(kind, o.init, ops, bugs)),
+        Mode::Stream => xfstream::run_pipelined(
+            &cfg,
+            build_with_init(kind, o.init, ops, bugs),
+            &StreamOptions {
+                capacity: o.capacity,
+            },
+        ),
+        Mode::Parallel => run_parallel_by_kind(&cfg, kind, o.init, ops, bugs, o.workers),
+    };
+    outcome.map_err(|e| format!("{} detection failed: {e}", kind.slug()))
+}
+
+/// Parallel runs need the concrete `Send + Sync` workload types; this is
+/// the dynamic-dispatch seam (same shape as the bench harness).
+fn run_parallel_by_kind(
+    cfg: &XfConfig,
+    kind: WorkloadKind,
+    init: u64,
+    ops: u64,
+    bugs: BugSet,
+    workers: usize,
+) -> Result<RunOutcome, xfd::xfdetector::EngineError> {
+    use xfd::workloads as w;
+    let det = XfDetector::new(cfg.clone());
+    match kind {
+        WorkloadKind::Btree => det.run_parallel(
+            w::btree::Btree::new(ops).with_init(init).with_bugs(bugs),
+            workers,
+        ),
+        WorkloadKind::Ctree => det.run_parallel(
+            w::ctree::Ctree::new(ops).with_init(init).with_bugs(bugs),
+            workers,
+        ),
+        WorkloadKind::Rbtree => det.run_parallel(
+            w::rbtree::Rbtree::new(ops).with_init(init).with_bugs(bugs),
+            workers,
+        ),
+        WorkloadKind::HashmapTx => det.run_parallel(
+            w::hashmap_tx::HashmapTx::new(ops)
+                .with_init(init)
+                .with_bugs(bugs),
+            workers,
+        ),
+        WorkloadKind::HashmapAtomic => det.run_parallel(
+            w::hashmap_atomic::HashmapAtomic::new(ops)
+                .with_init(init)
+                .with_bugs(bugs),
+            workers,
+        ),
+        WorkloadKind::Redis => det.run_parallel(
+            w::redis::Redis::new(ops).with_init(init).with_bugs(bugs),
+            workers,
+        ),
+        WorkloadKind::Memcached => {
+            det.run_parallel(w::memcached::Memcached::new(ops).with_init(init), workers)
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ReportOut {
+    workload: String,
+    mode: String,
+    report: DetectionReport,
+    stats: RunStats,
+}
+
+fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Batch => "batch",
+        Mode::Stream => "stream",
+        Mode::Parallel => "parallel",
+    }
+}
+
+fn human_summary(report: &DetectionReport, stats: &RunStats) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{report}\n\
+         failure points: {} ({} post runs, {} deduped, {} ordering points, {} skipped empty)\n\
+         trace:          {} pre + {} post entries\n\
+         wall clock:     {:.3}s total ({:.3}s post-failure, {:.3}s checking)",
+        stats.failure_points,
+        stats.post_runs,
+        stats.images_deduped,
+        stats.ordering_points,
+        stats.skipped_empty,
+        stats.pre_entries,
+        stats.post_entries,
+        stats.total_time.as_secs_f64(),
+        stats.post_exec_time.as_secs_f64(),
+        stats.check_time.as_secs_f64(),
+    );
+    if stats.stream_batches > 0 {
+        let _ = write!(
+            s,
+            "\nstream FIFO:    {} batches, max depth {}, {:.3}s frontend stall",
+            stats.stream_batches,
+            stats.stream_max_depth,
+            stats.stream_stall_time.as_secs_f64(),
+        );
+    }
+    s
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), String> {
+    fs::write(path, bytes).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_work_opts(args)?;
+    let kind = o.workload()?;
+    let outcome = run_mode(&o, kind, true)?;
+    let run = outcome
+        .recorded
+        .as_ref()
+        .expect("record mode always records");
+
+    let out = o
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("{}.xft", kind.slug()));
+    let file = fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    xfstream::write_recorded_run(BufWriter::new(file), run)
+        .map_err(|e| format!("encoding {out} failed: {e}"))?;
+    let xft_bytes = fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+
+    let json = serde_json::to_string(run).map_err(|e| e.to_string())?;
+    if let Some(path) = &o.json_trace {
+        write_file(path, json.as_bytes())?;
+    }
+    if let Some(path) = &o.report_path {
+        let report_json = serde_json::to_string(&outcome.report).map_err(|e| e.to_string())?;
+        write_file(path, report_json.as_bytes())?;
+    }
+
+    println!(
+        "recorded {}: {} entries, {} failure points -> {} ({} bytes, {:.1}x smaller than JSON)",
+        kind.slug(),
+        run.entry_count(),
+        run.failure_points.len(),
+        out,
+        xft_bytes,
+        json.len() as f64 / xft_bytes.max(1) as f64,
+    );
+    if o.json {
+        println!(
+            "{}",
+            serde_json::to_string(&outcome.report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{}", human_summary(&outcome.report, &outcome.stats));
+    }
+    Ok(o.exit_code(&outcome.report))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut rest = Vec::new();
+    for a in args {
+        if !a.starts_with('-') && path.is_none() {
+            path = Some(a.clone());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let path = path.ok_or("analyze needs a .xft trace path")?;
+    let o = parse_work_opts(&rest)?;
+
+    let file = fs::File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let report = xfstream::analyze_xft(BufReader::new(file), o.cfg.first_read_only)
+        .map_err(|e| format!("analyzing {path} failed: {e}"))?;
+
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    if let Some(out) = &o.out {
+        write_file(out, json.as_bytes())?;
+    }
+    if o.json {
+        println!("{json}");
+    } else {
+        println!("{report}");
+    }
+    Ok(o.exit_code(&report))
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_work_opts(args)?;
+    let kind = o.workload()?;
+    let outcome = run_mode(&o, kind, false)?;
+    if o.json {
+        let out = ReportOut {
+            workload: kind.slug().to_owned(),
+            mode: mode_name(o.mode).to_owned(),
+            report: outcome.report.clone(),
+            stats: outcome.stats.clone(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&out).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "workload:       {} ({} mode)",
+            kind.slug(),
+            mode_name(o.mode)
+        );
+        println!("{}", human_summary(&outcome.report, &outcome.stats));
+    }
+    Ok(o.exit_code(&outcome.report))
+}
+
+fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
+    let Some(path) = args.iter().find(|a| !a.starts_with('-')) else {
+        println!("workloads:");
+        for kind in WorkloadKind::ALL {
+            println!(
+                "  {:<16} {} (default ops: {})",
+                kind.slug(),
+                kind,
+                validation_ops(kind)
+            );
+        }
+        println!(
+            "\nbugs ({} registered, inject with --bug <ID>):",
+            BugId::all().len()
+        );
+        for bug in BugId::all() {
+            println!(
+                "  {:<24} [{}] {}",
+                format!("{bug:?}"),
+                bug.workload(),
+                bug.description()
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    };
+
+    let file = fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let size = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let mut reader =
+        XftReader::new(BufReader::new(file)).map_err(|e| format!("reading {path} failed: {e}"))?;
+    let header = reader.header();
+    while reader
+        .next_event()
+        .map_err(|e| format!("reading {path} failed: {e}"))?
+        .is_some()
+    {}
+
+    println!("trace:          {path}");
+    println!("format version: {}", header.version);
+    println!("size:           {size} bytes");
+    println!(
+        "entries:        {}{}",
+        reader.entries_read(),
+        match header.entry_count {
+            Some(n) => format!(" (header: {n})"),
+            None => " (streaming trace, counts from End record)".to_owned(),
+        }
+    );
+    println!("failure points: {}", reader.failure_points_read());
+    println!("source files:   {}", reader.files().len());
+    for f in reader.files() {
+        println!("  {f}");
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -10,7 +10,10 @@
 //! - [`xfdetector`] — the cross-failure bug detector (the paper's
 //!   contribution),
 //! - [`workloads`] — the evaluated PM programs and the synthetic bug
-//!   registry.
+//!   registry,
+//! - [`xfstream`] — the streaming frontend/backend transport: bounded trace
+//!   FIFO, pipelined detection and the compact `.xft` trace codec behind
+//!   the `xfd` CLI.
 //!
 //! # Quickstart
 //!
@@ -24,4 +27,5 @@ pub use pmdk_sim as pmdk;
 pub use pmem;
 pub use xfd_workloads as workloads;
 pub use xfdetector;
+pub use xfstream;
 pub use xftrace;

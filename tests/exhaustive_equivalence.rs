@@ -241,6 +241,75 @@ fn every_engine_configuration_produces_the_identical_report() {
 }
 
 #[test]
+fn streaming_pipeline_matches_every_configuration_byte_for_byte() {
+    // The pipelined engine (frontend and backend as concurrent stages over
+    // the bounded trace FIFO) is a pure transport change: for every
+    // snapshot/dedup configuration, FIFO capacity and recording mode it
+    // must produce the byte-identical report — and the byte-identical
+    // recorded run — of the sequential engine.
+    use xfd::xfstream::{analyze_xft, encode_recorded_run, run_pipelined, StreamOptions};
+
+    for persist_data in [true, false] {
+        let w = Publish { persist_data };
+        for base in [
+            XfConfig {
+                cow_snapshots: false,
+                dedup_images: false,
+                ..XfConfig::default()
+            },
+            XfConfig {
+                dedup_images: false,
+                ..XfConfig::default()
+            },
+            XfConfig::default(),
+        ] {
+            for record_trace in [false, true] {
+                let cfg = XfConfig {
+                    record_trace,
+                    ..base.clone()
+                };
+                let seq = XfDetector::new(cfg.clone()).run(w).unwrap();
+                for capacity in [1, 64] {
+                    let pipe = run_pipelined(&cfg, w, &StreamOptions { capacity }).unwrap();
+                    assert_eq!(
+                        report_json(&pipe),
+                        report_json(&seq),
+                        "pipelined run diverged (persist_data={persist_data}, cow={}, \
+                         dedup={}, record={record_trace}, capacity={capacity})",
+                        cfg.cow_snapshots,
+                        cfg.dedup_images
+                    );
+                    assert!(pipe.stats.stream_batches > 0);
+                    assert!(pipe.stats.stream_max_depth as usize <= capacity);
+                    assert_eq!(pipe.stats.failure_points, seq.stats.failure_points);
+                    assert_eq!(pipe.stats.pre_entries, seq.stats.pre_entries);
+                    assert_eq!(pipe.stats.post_entries, seq.stats.post_entries);
+
+                    if record_trace {
+                        let rec_json = |o: &RunOutcome| {
+                            serde_json::to_string(o.recorded.as_ref().unwrap()).unwrap()
+                        };
+                        assert_eq!(rec_json(&pipe), rec_json(&seq));
+                        // Publish's recovery never errors, so the offline
+                        // replay of the recorded trace — via the compact
+                        // .xft encoding — reproduces the full report.
+                        let bytes = encode_recorded_run(pipe.recorded.as_ref().unwrap()).unwrap();
+                        let offline = analyze_xft(&bytes[..], cfg.first_read_only).unwrap();
+                        assert_eq!(
+                            serde_json::to_string(&offline).unwrap(),
+                            report_json(&seq),
+                            "offline .xft replay diverged (persist_data={persist_data})"
+                        );
+                    } else {
+                        assert!(pipe.recorded.is_none());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn cow_enumeration_recovers_identically_to_flat_enumeration() {
     // The COW form of the exhaustive enumeration drives recovery to the
     // same observations as the materializing form, crash state by crash
