@@ -20,8 +20,8 @@ use std::fs;
 use std::process::ExitCode;
 
 use xfd_workloads::bugs::{BugId, BugSet, WorkloadKind};
-use xfd_workloads::build_with_init;
-use xfdetector::XfDetector;
+use xfd_workloads::{build_with_init, validation_config};
+use xfdetector::{XfConfig, XfDetector};
 
 fn parse_workload(name: &str) -> Option<WorkloadKind> {
     Some(match name.to_ascii_lowercase().as_str() {
@@ -68,6 +68,9 @@ fn main() -> ExitCode {
         eprintln!("INITSIZE/TESTSIZE must be integers");
         return usage();
     };
+    // Bugs that hang the post-failure stage need the validation budget;
+    // everything else runs with the default configuration.
+    let mut config = XfConfig::default();
     let bugs = match args.get(3) {
         None => BugSet::none(),
         Some(name) => match parse_bug(name) {
@@ -76,6 +79,7 @@ fn main() -> ExitCode {
                     eprintln!("bug {bug:?} belongs to workload {}", bug.workload());
                     return ExitCode::FAILURE;
                 }
+                config = validation_config(bug);
                 BugSet::single(bug)
             }
             None => {
@@ -86,7 +90,7 @@ fn main() -> ExitCode {
     };
 
     let workload = build_with_init(kind, init, test, bugs);
-    let outcome = match XfDetector::with_defaults().run(workload) {
+    let outcome = match XfDetector::new(config).run(workload) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("detection run failed: {e}");

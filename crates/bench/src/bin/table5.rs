@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use xfd_workloads::bugs::{BugId, BugSuite};
-use xfd_workloads::build_with_bug;
+use xfd_workloads::{build_with_bug, validation_config};
 use xfdetector::{BugCategory, XfDetector};
 
 fn main() {
@@ -18,13 +18,17 @@ fn main() {
     let mut missed = Vec::new();
 
     for &bug in BugId::all() {
-        let outcome = XfDetector::with_defaults()
+        // Hanging bugs (expected ExecutionFailure) carry a trace-entry
+        // budget in their validation config; everything else runs with
+        // the defaults.
+        let outcome = XfDetector::new(validation_config(bug))
             .run(build_with_bug(bug))
             .expect("detection run failed");
         let detected = match bug.expected_category() {
             BugCategory::Race => outcome.report.race_count() > 0,
             BugCategory::Semantic => outcome.report.semantic_count() > 0,
             BugCategory::Performance => outcome.report.performance_count() > 0,
+            BugCategory::ExecutionFailure => outcome.report.execution_failure_count() > 0,
             _ => false,
         };
         let suite = match bug.suite() {

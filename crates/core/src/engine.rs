@@ -24,10 +24,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pmem::{
-    CowImage, CrashPolicy, EngineHook, ImageHash, OrderingPointInfo, PmCtx, PmError, PmPool,
+    Budget, BudgetOverrun, CowImage, CrashPolicy, EngineHook, ImageHash, OrderingPointInfo, PmCtx,
+    PmError, PmPool,
 };
 use xftrace::{SourceLoc, TraceEntry};
 
+use crate::error::ConfigError;
 use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
 use crate::shadow::ShadowPm;
 use crate::stats::RunStats;
@@ -148,6 +150,16 @@ pub struct XfConfig {
     /// are byte-identical either way (fragments are merged in failure-point
     /// order through the same deduplicating report).
     pub parallel_checking: bool,
+    /// Execution budget armed on every post-failure context. A post-failure
+    /// stage that hangs, spins, or mutates PM without bound is killed by
+    /// the watchdog when it exhausts any axis, and the kill is recorded as
+    /// a [`BugKind::BudgetExceeded`] finding instead of wedging the run.
+    /// `None` (the default) runs unbudgeted, like the seed engine.
+    ///
+    /// When a budget is armed the engine always unwinds post-failure
+    /// overruns safely, even with [`XfConfig::catch_post_panics`] off:
+    /// the watchdog kill is a finding, never an engine crash.
+    pub post_budget: Option<Budget>,
 }
 
 impl Default for XfConfig {
@@ -165,7 +177,111 @@ impl Default for XfConfig {
             cow_snapshots: true,
             dedup_images: true,
             parallel_checking: true,
+            post_budget: None,
         }
+    }
+}
+
+impl XfConfig {
+    /// Starts a builder seeded with the default configuration.
+    ///
+    /// The builder validates invariants at [`XfConfigBuilder::build`] time
+    /// that free-field struct construction cannot (`dedup_images` requires
+    /// `cow_snapshots`; a supplied budget must limit at least one axis).
+    /// Prefer it over struct-literal construction, which is kept compiling
+    /// for existing callers but checks nothing.
+    #[must_use]
+    pub fn builder() -> XfConfigBuilder {
+        XfConfigBuilder {
+            config: XfConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`XfConfig`] with build-time invariant checks.
+///
+/// ```
+/// use xfdetector::XfConfig;
+///
+/// let cfg = XfConfig::builder()
+///     .max_failure_points(Some(16))
+///     .first_read_only(false)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.max_failure_points, Some(16));
+///
+/// // Invalid combinations are rejected instead of silently ignored:
+/// assert!(XfConfig::builder()
+///     .cow_snapshots(false)
+///     .dedup_images(true)
+///     .build()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct XfConfigBuilder {
+    config: XfConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.config.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl XfConfigBuilder {
+    builder_setters! {
+        /// See [`XfConfig::skip_empty_failure_points`].
+        skip_empty_failure_points: bool,
+        /// See [`XfConfig::first_read_only`].
+        first_read_only: bool,
+        /// See [`XfConfig::inject_at_completion`].
+        inject_at_completion: bool,
+        /// See [`XfConfig::max_failure_points`].
+        max_failure_points: Option<u64>,
+        /// See [`XfConfig::fire_on_every_write`].
+        fire_on_every_write: bool,
+        /// See [`XfConfig::catch_post_panics`].
+        catch_post_panics: bool,
+        /// See [`XfConfig::crash_policy`].
+        crash_policy: CrashPolicy,
+        /// See [`XfConfig::rng_seed`].
+        rng_seed: u64,
+        /// See [`XfConfig::record_trace`].
+        record_trace: bool,
+        /// See [`XfConfig::cow_snapshots`].
+        cow_snapshots: bool,
+        /// See [`XfConfig::dedup_images`].
+        dedup_images: bool,
+        /// See [`XfConfig::parallel_checking`].
+        parallel_checking: bool,
+        /// See [`XfConfig::post_budget`].
+        post_budget: Option<Budget>,
+    }
+
+    /// Validates the configuration and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::DedupRequiresCow`] when `dedup_images` is set without
+    /// `cow_snapshots`, and [`ConfigError::EmptyBudget`] when a budget is
+    /// supplied that limits no axis.
+    pub fn build(self) -> Result<XfConfig, ConfigError> {
+        if self.config.dedup_images && !self.config.cow_snapshots {
+            return Err(ConfigError::DedupRequiresCow);
+        }
+        if let Some(budget) = &self.config.post_budget {
+            if budget.is_unlimited() {
+                return Err(ConfigError::EmptyBudget);
+            }
+        }
+        Ok(self.config)
     }
 }
 
@@ -298,6 +414,18 @@ impl XfDetector {
     /// pre-failure stages fail. Post-failure failures are *findings*, not
     /// errors.
     pub fn run<W: Workload + 'static>(&self, workload: W) -> Result<RunOutcome, EngineError> {
+        self.run_with_ctl(workload, crate::xfrun::RunCtl::inert())
+    }
+
+    /// [`XfDetector::run`] with an orchestration control handle attached:
+    /// journal skip/append per failure point and live counters. The
+    /// [`crate::Session`] layer drives this; the public entry point passes
+    /// an inert handle.
+    pub(crate) fn run_with_ctl<W: Workload + 'static>(
+        &self,
+        workload: W,
+        ctl: crate::xfrun::RunCtl,
+    ) -> Result<RunOutcome, EngineError> {
         let pool = PmPool::new(workload.pool_size()).map_err(EngineError::Pm)?;
         let mut ctx = PmCtx::new(pool);
         let workload = Rc::new(workload);
@@ -315,6 +443,7 @@ impl XfDetector {
                 None
             }),
             config: self.config.clone(),
+            ctl,
             post: Box::new(move |ctx| post_workload.post_failure(ctx)),
         });
 
@@ -396,15 +525,29 @@ struct EngineState {
     rng: RefCell<StdRng>,
     recorded: RefCell<Option<crate::offline::RecordedRun>>,
     config: XfConfig,
+    ctl: crate::xfrun::RunCtl,
     post: PostFn,
 }
 
 impl EngineState {
     fn execute_post(&self, post_ctx: &mut PmCtx) -> PostOutcome {
-        if self.config.catch_post_panics {
+        if let Some(budget) = &self.config.post_budget {
+            post_ctx.arm_budget(budget.clone());
+        }
+        // A budget overrun is delivered by unwinding out of the traced
+        // operation, so a budgeted run must always catch — even with
+        // `catch_post_panics` off, where genuine workload panics are
+        // re-raised to preserve the configured behavior.
+        if self.config.catch_post_panics || self.config.post_budget.is_some() {
             match catch_unwind(AssertUnwindSafe(|| (self.post)(post_ctx))) {
                 Ok(r) => PostOutcome::from(r),
-                Err(payload) => PostOutcome::Panicked(panic_message(&*payload)),
+                Err(payload) => match payload.downcast::<BudgetOverrun>() {
+                    Ok(overrun) => PostOutcome::BudgetExceeded(overrun.to_string()),
+                    Err(payload) if self.config.catch_post_panics => {
+                        PostOutcome::Panicked(panic_message(&*payload))
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
             }
         } else {
             PostOutcome::from((self.post)(post_ctx))
@@ -449,6 +592,38 @@ impl EngineHook for EngineState {
             stats.failure_points += 1;
             FailurePoint { id, loc }
         };
+
+        // Resume elision: a journaled failure point's report delta is
+        // merged verbatim instead of re-executing the post-failure stage.
+        // The pre-failure replay above already regenerated everything that
+        // precedes it, so the report stays byte-identical to an
+        // uninterrupted run. The dedup cache is deliberately left alone —
+        // a later live failure point with a repeated image simply executes
+        // instead of hitting a cache entry the skipped run never made.
+        if let Some(rec) = self.ctl.journaled(fp.id) {
+            {
+                let mut report = self.report.borrow_mut();
+                for f in &rec.findings {
+                    report.push(f.clone());
+                }
+            }
+            if let Some(recorded) = self.recorded.borrow_mut().as_mut() {
+                let pre_len = recorded.pre.len();
+                recorded
+                    .failure_points
+                    .push(crate::offline::RecordedFailurePoint {
+                        pre_len,
+                        file: loc.file.to_owned(),
+                        line: loc.line,
+                        post: Vec::new(),
+                    });
+            }
+            self.stats.borrow_mut().journal_skipped += 1;
+            self.ctl.obs().journal_skip();
+            self.ctl.obs().fp_done();
+            return;
+        }
+        let delta_start = self.report.borrow().findings().len();
 
         // Suspend / snapshot the PM image / spawn the post-failure
         // execution (Figure 8a steps ②–⑤). The image capture and fork are
@@ -553,17 +728,47 @@ impl EngineHook for EngineState {
                     message: Some(msg),
                 });
             }
+            PostOutcome::BudgetExceeded(msg) => {
+                self.stats.borrow_mut().budget_exceeded += 1;
+                self.ctl.obs().budget_kill();
+                self.report.borrow_mut().push(Finding {
+                    kind: BugKind::BudgetExceeded,
+                    addr: 0,
+                    size: 0,
+                    reader: Some(loc),
+                    writer: None,
+                    failure_point: Some(fp),
+                    message: Some(msg),
+                });
+            }
         }
 
-        let mut stats = self.stats.borrow_mut();
-        if executed {
-            stats.post_runs += 1;
-        } else {
-            stats.images_deduped += 1;
+        {
+            let mut stats = self.stats.borrow_mut();
+            if executed {
+                stats.post_runs += 1;
+            } else {
+                stats.images_deduped += 1;
+            }
+            stats.post_entries += post_entries.len() as u64;
+            stats.post_exec_time += post_time;
+            stats.detect_time += detect_time;
         }
-        stats.post_entries += post_entries.len() as u64;
-        stats.post_exec_time += post_time;
-        stats.detect_time += detect_time;
+
+        // Journal the failure point's report delta (post-failure checking
+        // plus the outcome finding; the pre-failure findings regenerate on
+        // resume) and bump the live counters.
+        {
+            let report = self.report.borrow();
+            self.ctl
+                .append_fp(fp.id, loc, &report.findings()[delta_start..]);
+        }
+        if executed {
+            self.ctl.obs().post_run();
+        } else {
+            self.ctl.obs().dedup_hit();
+        }
+        self.ctl.obs().fp_done();
     }
 }
 
@@ -572,6 +777,10 @@ enum PostOutcome {
     Completed,
     Failed(String),
     Panicked(String),
+    /// The watchdog killed the execution; the message is the deterministic
+    /// [`BudgetOverrun`] rendering (it names the limit, never the observed
+    /// count, so deduplicated replays stay byte-identical).
+    BudgetExceeded(String),
 }
 
 impl From<Result<(), DynError>> for PostOutcome {
@@ -1025,5 +1234,108 @@ mod tests {
         let outcome = XfDetector::with_defaults().run(Stopper).unwrap();
         assert_eq!(outcome.stats.post_runs, 1);
         POSTS.with(|c| assert_eq!(c.get(), 1));
+    }
+
+    /// A recovery loop that polls PM forever: the trace-entry budget is the
+    /// only thing standing between this and a wedged run.
+    struct Spinner;
+    impl Workload for Spinner {
+        fn name(&self) -> &str {
+            "spinner"
+        }
+        fn pool_size(&self) -> u64 {
+            4096
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+            Ok(())
+        }
+        fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let a = ctx.pool().base();
+            ctx.write_u64(a, 1)?;
+            ctx.persist_barrier(a, 8)?;
+            Ok(())
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let a = ctx.pool().base();
+            // Waits for a sentinel the pre-failure stage never writes.
+            while ctx.read_u64(a)? != u64::MAX {}
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn budget_kills_hanging_post_failure_and_reports_it() {
+        let cfg = XfConfig::builder()
+            .post_budget(Some(Budget::default().with_max_trace_entries(10_000)))
+            .build()
+            .unwrap();
+        let outcome = XfDetector::new(cfg).run(Spinner).unwrap();
+        assert!(outcome.stats.budget_exceeded >= 1, "{:?}", outcome.stats);
+        let f = outcome
+            .report
+            .findings()
+            .iter()
+            .find(|f| f.kind == BugKind::BudgetExceeded)
+            .expect("watchdog kill must surface as a finding");
+        assert_eq!(
+            f.message.as_deref().unwrap(),
+            "post-failure trace-entry budget exceeded (10000 entries)"
+        );
+    }
+
+    #[test]
+    fn budget_kill_is_a_finding_even_without_catch_post_panics() {
+        let cfg = XfConfig::builder()
+            .catch_post_panics(false)
+            .post_budget(Some(Budget::default().with_max_trace_entries(1_000)))
+            .build()
+            .unwrap();
+        let outcome = XfDetector::new(cfg).run(Spinner).unwrap();
+        assert!(outcome
+            .report
+            .findings()
+            .iter()
+            .any(|f| f.kind == BugKind::BudgetExceeded));
+    }
+
+    #[test]
+    fn budget_does_not_disturb_well_behaved_workloads() {
+        let unbudgeted = XfDetector::with_defaults()
+            .run(Flag { persist: false })
+            .unwrap();
+        let cfg = XfConfig::builder()
+            .post_budget(Some(Budget::default().with_max_trace_entries(1_000_000)))
+            .build()
+            .unwrap();
+        let budgeted = XfDetector::new(cfg).run(Flag { persist: false }).unwrap();
+        assert_eq!(
+            serde_json::to_string(&unbudgeted.report).unwrap(),
+            serde_json::to_string(&budgeted.report).unwrap(),
+            "an ample budget must leave the report untouched"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_combinations() {
+        assert!(matches!(
+            XfConfig::builder()
+                .cow_snapshots(false)
+                .dedup_images(true)
+                .build(),
+            Err(ConfigError::DedupRequiresCow)
+        ));
+        assert!(matches!(
+            XfConfig::builder()
+                .post_budget(Some(Budget::default()))
+                .build(),
+            Err(ConfigError::EmptyBudget)
+        ));
+        // cow off + dedup off is fine.
+        let cfg = XfConfig::builder()
+            .cow_snapshots(false)
+            .dedup_images(false)
+            .build()
+            .unwrap();
+        assert!(!cfg.cow_snapshots);
     }
 }

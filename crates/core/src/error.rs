@@ -1,0 +1,161 @@
+//! The consolidated error type of the detection stack.
+//!
+//! Each layer historically grew its own failure vocabulary: `pmem` has
+//! [`PmError`], the engines return [`EngineError`](crate::EngineError), the
+//! codec wraps `io::Error`, and configuration mistakes either panicked or
+//! were silently ignored. [`XfError`] is the single surface the redesigned
+//! [`Session`](crate::Session) API exposes: every lower-level error converts
+//! into it via `From`, so `?` composes across layers.
+
+use std::fmt;
+use std::io;
+
+use pmem::PmError;
+
+use crate::engine::EngineError;
+
+/// A configuration rejected by [`XfConfig::builder`](crate::XfConfig::builder)
+/// or [`Session::builder`](crate::Session::builder) at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `dedup_images` requires `cow_snapshots`: content hashing is defined
+    /// on copy-on-write images only. (The free-field struct silently
+    /// ignored the combination; the builder rejects it.)
+    DedupRequiresCow,
+    /// The streaming FIFO capacity must be at least one batch.
+    ZeroStreamCapacity,
+    /// An execution budget was supplied with no limit on any axis.
+    EmptyBudget,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DedupRequiresCow => {
+                write!(f, "dedup_images requires cow_snapshots (content hashing is defined on copy-on-write images)")
+            }
+            ConfigError::ZeroStreamCapacity => {
+                write!(f, "stream capacity must be at least 1 batch")
+            }
+            ConfigError::EmptyBudget => {
+                write!(f, "a post-failure budget must limit at least one axis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Any error of the detection stack, as surfaced by the [`Session`] API.
+///
+/// [`Session`]: crate::Session
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum XfError {
+    /// The PM pool could not be created.
+    Pm(PmError),
+    /// The workload's `setup` stage failed.
+    Setup(String),
+    /// The workload's `pre_failure` stage failed.
+    PreFailure(String),
+    /// The configuration was rejected at build time.
+    Config(ConfigError),
+    /// An I/O failure (journal, metrics, trace files).
+    Io(io::Error),
+    /// The run journal is malformed or does not belong to this run
+    /// (fingerprint mismatch, foreign magic, corrupt record).
+    Journal(String),
+    /// [`Mode::Stream`](crate::Mode::Stream) was requested on a session
+    /// without a stream engine. Build the session through
+    /// `xfstream::session()` (or inject an engine with
+    /// [`SessionBuilder::stream_engine`](crate::SessionBuilder::stream_engine)).
+    StreamEngineMissing,
+    /// A trace codec failure, reported by the codec crate.
+    Codec(String),
+}
+
+impl fmt::Display for XfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XfError::Pm(e) => write!(f, "pool creation failed: {e}"),
+            XfError::Setup(m) => write!(f, "workload setup failed: {m}"),
+            XfError::PreFailure(m) => write!(f, "pre-failure execution failed: {m}"),
+            XfError::Config(e) => write!(f, "invalid configuration: {e}"),
+            XfError::Io(e) => write!(f, "i/o error: {e}"),
+            XfError::Journal(m) => write!(f, "run journal error: {m}"),
+            XfError::StreamEngineMissing => {
+                write!(
+                    f,
+                    "stream mode requires a stream engine (use xfstream::session())"
+                )
+            }
+            XfError::Codec(m) => write!(f, "trace codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XfError::Pm(e) => Some(e),
+            XfError::Config(e) => Some(e),
+            XfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmError> for XfError {
+    fn from(e: PmError) -> Self {
+        XfError::Pm(e)
+    }
+}
+
+impl From<ConfigError> for XfError {
+    fn from(e: ConfigError) -> Self {
+        XfError::Config(e)
+    }
+}
+
+impl From<io::Error> for XfError {
+    fn from(e: io::Error) -> Self {
+        XfError::Io(e)
+    }
+}
+
+impl From<EngineError> for XfError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Pm(e) => XfError::Pm(e),
+            EngineError::Setup(m) => XfError::Setup(m),
+            EngineError::PreFailure(m) => XfError::PreFailure(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_errors_convert_losslessly() {
+        let e: XfError = EngineError::Setup("nope".into()).into();
+        assert!(matches!(e, XfError::Setup(ref m) if m == "nope"));
+        let e: XfError = EngineError::PreFailure("boom".into()).into();
+        assert!(matches!(e, XfError::PreFailure(_)));
+    }
+
+    #[test]
+    fn config_errors_render_guidance() {
+        let msg = XfError::from(ConfigError::DedupRequiresCow).to_string();
+        assert!(msg.contains("cow_snapshots"), "{msg}");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: XfError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, XfError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

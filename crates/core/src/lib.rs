@@ -40,13 +40,35 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod error;
 pub mod offline;
 mod parallel;
 mod report;
 mod shadow;
 mod stats;
+mod xfrun;
 
-pub use engine::{DynError, EngineError, RunOutcome, Workload, XfConfig, XfDetector};
+pub use engine::{
+    DynError, EngineError, RunOutcome, Workload, XfConfig, XfConfigBuilder, XfDetector,
+};
+pub use error::{ConfigError, XfError};
 pub use report::{BugCategory, BugKind, DetectionReport, FailurePoint, Finding};
 pub use shadow::{PersistState, PostChecker, ShadowPm};
 pub use stats::RunStats;
+pub use xfrun::{
+    JournalFp, Mode, ObsCounts, ObsHandle, Progress, RunCtl, RunMetrics, Session, SessionBuilder,
+    StageMillis, StreamEngine,
+};
+
+/// One-stop imports for the session-based API.
+///
+/// ```
+/// use xfdetector::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::{
+        BugCategory, BugKind, DetectionReport, DynError, Finding, Mode, Progress, RunOutcome,
+        Session, SessionBuilder, Workload, XfConfig, XfError,
+    };
+    pub use pmem::{Budget, PmCtx};
+}

@@ -42,13 +42,17 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pmem::{CowImage, EngineHook, ImageHash, OrderingPointInfo, PmCtx, PmImage, PmPool};
+use pmem::{
+    BudgetOverrun, CowImage, EngineHook, ImageHash, OrderingPointInfo, PmCtx, PmImage, PmPool,
+};
 use xftrace::{SourceLoc, TraceEntry};
 
 use crate::engine::{EngineError, RunOutcome, Workload, XfConfig, XfDetector};
+use crate::offline::{RecordedFailurePoint, RecordedRun};
 use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
 use crate::shadow::ShadowPm;
 use crate::stats::RunStats;
+use crate::xfrun::RunCtl;
 
 /// The crash snapshot shipped with a job: copy-on-write (cheap to send,
 /// shares the base across all in-flight jobs) or flat (the seed engine's
@@ -77,6 +81,9 @@ struct JobResult {
     post: Vec<TraceEntry>,
     outcome: Result<(), String>,
     panicked: bool,
+    /// The budget watchdog killed this job's post-failure execution
+    /// (`outcome` then carries the deterministic overrun message).
+    budget_exceeded: bool,
     /// Snapshot bytes copied building this job's post-failure pool.
     bytes: u64,
     /// The worker's checking fragment (`None` when checking is left to the
@@ -97,6 +104,14 @@ struct DedupRef {
     pre_len: usize,
     src_id: u64,
     shadow: ShadowPm,
+}
+
+/// A failure point elided by the resumed run journal: no job is shipped;
+/// the merge stage pushes its journaled report delta verbatim.
+struct JournaledRef {
+    id: u64,
+    loc: SourceLoc,
+    pre_len: usize,
 }
 
 /// The frontend hook for parallel mode: replays the pre-failure trace
@@ -124,6 +139,9 @@ struct ParallelFrontend {
     /// for exact confirmation).
     dedup: RefCell<HashMap<ImageHash, (u64, CowImage)>>,
     refs: RefCell<Vec<DedupRef>>,
+    journaled: RefCell<Vec<JournaledRef>>,
+    recorded: RefCell<Option<RecordedRun>>,
+    ctl: RunCtl,
 }
 
 impl ParallelFrontend {
@@ -144,6 +162,9 @@ impl ParallelFrontend {
             *taken = report.findings().len();
         }
         self.stats.borrow_mut().pre_entries += drained.len() as u64;
+        if let Some(rec) = self.recorded.borrow_mut().as_mut() {
+            rec.pre.extend(drained.into_iter().map(Into::into));
+        }
     }
 }
 
@@ -173,6 +194,18 @@ impl EngineHook for ParallelFrontend {
             id
         };
         let pre_len = *self.pre_replayed.borrow();
+        // Resume elision: a journaled failure point ships no job at all.
+        // Its recorded report delta is merged verbatim, in order, by the
+        // merge stage.
+        if self.ctl.journaled(id).is_some() {
+            self.journaled
+                .borrow_mut()
+                .push(JournaledRef { id, loc, pre_len });
+            self.stats.borrow_mut().journal_skipped += 1;
+            self.ctl.obs().journal_skip();
+            self.ctl.obs().fp_done();
+            return;
+        }
         // O(1) copy-on-write checkpoint of the shadow at this failure
         // point — the line slabs are shared until the continuing replay
         // mutates them.
@@ -202,6 +235,8 @@ impl EngineHook for ParallelFrontend {
                         shadow: checkpoint,
                     });
                     self.stats.borrow_mut().images_deduped += 1;
+                    self.ctl.obs().dedup_hit();
+                    self.ctl.obs().fp_done();
                     return;
                 }
                 dedup.insert(hash, (id, image.clone()));
@@ -252,6 +287,21 @@ impl XfDetector {
     where
         W: Workload + Send + Sync + 'static,
     {
+        self.run_parallel_with_ctl(workload, workers, RunCtl::inert())
+    }
+
+    /// [`XfDetector::run_parallel`] with an orchestration control handle:
+    /// journal elision/appends and live counters. Driven by
+    /// [`crate::Session`]; the public entry point passes an inert handle.
+    pub(crate) fn run_parallel_with_ctl<W>(
+        &self,
+        workload: W,
+        workers: usize,
+        ctl: RunCtl,
+    ) -> Result<RunOutcome, EngineError>
+    where
+        W: Workload + Send + Sync + 'static,
+    {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
@@ -282,6 +332,13 @@ impl XfDetector {
             checkpoints: RefCell::new(HashMap::new()),
             dedup: RefCell::new(HashMap::new()),
             refs: RefCell::new(Vec::new()),
+            journaled: RefCell::new(Vec::new()),
+            recorded: RefCell::new(if config.record_trace {
+                Some(RecordedRun::default())
+            } else {
+                None
+            }),
+            ctl: ctl.clone(),
         });
 
         let workload_ref = &workload;
@@ -290,7 +347,8 @@ impl XfDetector {
             for _ in 0..workers {
                 let job_rx = &job_rx;
                 let res_tx = res_tx.clone();
-                let catch = config.catch_post_panics;
+                let budget = config.post_budget.clone();
+                let obs = ctl.obs().clone();
                 scope.spawn(move || {
                     loop {
                         let job = match job_rx.lock() {
@@ -304,20 +362,26 @@ impl XfDetector {
                             JobImage::Cow(img) => PmCtx::new_post(PmPool::from_cow(img)),
                             JobImage::Flat(img) => PmCtx::new_post(PmPool::from_image(img)),
                         };
-                        let (outcome, panicked) = if catch {
+                        if let Some(b) = &budget {
+                            post_ctx.arm_budget(b.clone());
+                        }
+                        // Workers always quarantine: a panic (or a budget
+                        // watchdog kill, delivered by unwinding) is
+                        // confined to this failure point and reported as
+                        // a finding — it never takes down the pool, so
+                        // the run continues past the failing job even
+                        // with `catch_post_panics` off.
+                        let (outcome, panicked, budget_exceeded) =
                             match catch_unwind(AssertUnwindSafe(|| {
                                 workload_ref.post_failure(&mut post_ctx)
                             })) {
-                                Ok(Ok(())) => (Ok(()), false),
-                                Ok(Err(e)) => (Err(e.to_string()), false),
-                                Err(p) => (Err(crate::engine::panic_message(&*p)), true),
-                            }
-                        } else {
-                            match workload_ref.post_failure(&mut post_ctx) {
-                                Ok(()) => (Ok(()), false),
-                                Err(e) => (Err(e.to_string()), false),
-                            }
-                        };
+                                Ok(Ok(())) => (Ok(()), false, false),
+                                Ok(Err(e)) => (Err(e.to_string()), false, false),
+                                Err(p) => match p.downcast::<BudgetOverrun>() {
+                                    Ok(overrun) => (Err(overrun.to_string()), false, true),
+                                    Err(p) => (Err(crate::engine::panic_message(&*p)), true, false),
+                                },
+                            };
                         let bytes = post_ctx.pool().snapshot_bytes_copied();
                         let post = post_ctx.trace().drain();
                         // Worker-side checking: replay the post trace
@@ -341,6 +405,11 @@ impl XfDetector {
                             }
                             None => (None, Duration::ZERO),
                         };
+                        obs.post_run();
+                        if budget_exceeded {
+                            obs.budget_kill();
+                        }
+                        obs.fp_done();
                         let _ = res_tx.send(JobResult {
                             id: job.id,
                             loc: job.loc,
@@ -348,6 +417,7 @@ impl XfDetector {
                             post,
                             outcome,
                             panicked,
+                            budget_exceeded,
                             bytes,
                             findings,
                             check_time,
@@ -399,6 +469,8 @@ impl XfDetector {
             results.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
         let checkpoints = frontend.checkpoints.borrow();
         let refs = frontend.refs.borrow();
+        let journaled_refs = frontend.journaled.borrow();
+        let ok_outcome: Result<(), String> = Ok(());
         enum Work<'a> {
             /// The worker already checked; splice its fragment in.
             Checked(&'a [Finding]),
@@ -414,7 +486,11 @@ impl XfDetector {
             pre_len: usize,
             outcome: &'a Result<(), String>,
             panicked: bool,
-            post_len: usize,
+            budget_exceeded: bool,
+            /// Came from the resumed journal: its findings are merged
+            /// verbatim and it must not be re-appended.
+            from_journal: bool,
+            post: &'a [TraceEntry],
             work: Work<'a>,
         }
         let mut items: Vec<Item<'_>> = results
@@ -425,7 +501,9 @@ impl XfDetector {
                 pre_len: r.pre_len,
                 outcome: &r.outcome,
                 panicked: r.panicked,
-                post_len: r.post.len(),
+                budget_exceeded: r.budget_exceeded,
+                from_journal: false,
+                post: &r.post,
                 work: match (&r.findings, checkpoints.get(&r.id)) {
                     (Some(f), _) => Work::Checked(f),
                     (None, Some(shadow)) => Work::Check {
@@ -452,11 +530,29 @@ impl XfDetector {
                 pre_len: d.pre_len,
                 outcome: &src.outcome,
                 panicked: src.panicked,
-                post_len: src.post.len(),
+                budget_exceeded: src.budget_exceeded,
+                from_journal: false,
+                post: &src.post,
                 work: Work::Check {
                     shadow: &d.shadow,
                     post: &src.post,
                 },
+            });
+        }
+        for j in journaled_refs.iter() {
+            let Some(rec) = frontend.ctl.journaled(j.id) else {
+                continue;
+            };
+            items.push(Item {
+                id: j.id,
+                loc: j.loc,
+                pre_len: j.pre_len,
+                outcome: &ok_outcome,
+                panicked: false,
+                budget_exceeded: false,
+                from_journal: true,
+                post: &[],
+                work: Work::Checked(&rec.findings),
             });
         }
         items.sort_by_key(|r| r.id);
@@ -478,6 +574,7 @@ impl XfDetector {
                 id: it.id,
                 loc: it.loc,
             };
+            let delta_start = report.findings().len();
             match it.work {
                 Work::Checked(fragment) => {
                     for f in fragment {
@@ -493,10 +590,12 @@ impl XfDetector {
                     main_check_time += t1.elapsed();
                 }
             }
-            post_entries += it.post_len as u64;
+            post_entries += it.post.len() as u64;
             if let Err(msg) = it.outcome {
                 report.push(Finding {
-                    kind: if it.panicked {
+                    kind: if it.budget_exceeded {
+                        BugKind::BudgetExceeded
+                    } else if it.panicked {
                         BugKind::PostFailurePanic
                     } else {
                         BugKind::PostFailureError
@@ -508,6 +607,14 @@ impl XfDetector {
                     failure_point: Some(fp),
                     message: Some(msg.clone()),
                 });
+            }
+            // Journal appends happen here, in id order, so the journal is
+            // as deterministic as the report. A journaled item is already
+            // on disk and is not re-appended.
+            if !it.from_journal {
+                frontend
+                    .ctl
+                    .append_fp(it.id, it.loc, &report.findings()[delta_start..]);
             }
         }
         while pf_cursor < pre_findings.len() {
@@ -534,10 +641,27 @@ impl XfDetector {
         // capture and COW-fault traffic is read off at the end.
         stats.snapshot_bytes_copied +=
             results.iter().map(|r| r.bytes).sum::<u64>() + ctx.pool().snapshot_bytes_copied();
+        // Budget kills count per failure point, dedup replays included,
+        // matching the sequential engine's accounting.
+        stats.budget_exceeded = items.iter().filter(|it| it.budget_exceeded).count() as u64;
+        // Assemble the recorded run from the merged items: the frontend
+        // accumulated the pre trace, each item contributes its (possibly
+        // shared) post trace in failure-point order.
+        let recorded = frontend.recorded.borrow_mut().take().map(|mut rec| {
+            for it in &items {
+                rec.failure_points.push(RecordedFailurePoint {
+                    pre_len: it.pre_len,
+                    file: it.loc.file.to_owned(),
+                    line: it.loc.line,
+                    post: it.post.iter().copied().map(Into::into).collect(),
+                });
+            }
+            rec
+        });
         Ok(RunOutcome {
             report,
             stats,
-            recorded: None,
+            recorded,
         })
     }
 }

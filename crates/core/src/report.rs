@@ -38,6 +38,10 @@ pub enum BugKind {
     /// The post-failure stage panicked (the analogue of the segmentation
     /// fault in the paper's Figure 1 scenario).
     PostFailurePanic,
+    /// The post-failure stage exhausted its execution
+    /// [`Budget`](pmem::Budget) (hung, spun, or mutated PM without bound)
+    /// and was killed by the watchdog instead of wedging the run.
+    BudgetExceeded,
     /// Commit-variable annotations violate the disjointness requirement of
     /// Equation 2.
     AnnotationConflict,
@@ -53,7 +57,9 @@ impl BugKind {
             BugKind::CrossFailureRace | BugKind::UninitializedRace => BugCategory::Race,
             BugKind::CrossFailureSemantic => BugCategory::Semantic,
             BugKind::RedundantFlush | BugKind::DuplicateTxAdd => BugCategory::Performance,
-            BugKind::PostFailureError | BugKind::PostFailurePanic => BugCategory::ExecutionFailure,
+            BugKind::PostFailureError | BugKind::PostFailurePanic | BugKind::BudgetExceeded => {
+                BugCategory::ExecutionFailure
+            }
             BugKind::AnnotationConflict => BugCategory::Annotation,
         }
     }
@@ -69,6 +75,7 @@ impl fmt::Display for BugKind {
             BugKind::DuplicateTxAdd => "performance bug (duplicated TX_ADD)",
             BugKind::PostFailureError => "post-failure execution error",
             BugKind::PostFailurePanic => "post-failure execution panic",
+            BugKind::BudgetExceeded => "post-failure execution budget exceeded",
             BugKind::AnnotationConflict => "commit-variable annotation conflict",
         };
         f.write_str(s)

@@ -27,6 +27,15 @@ pub struct RunStats {
     /// explored: the post-failure execution was skipped and the cached
     /// trace replayed at the new failure point instead.
     pub images_deduped: u64,
+    /// Failure points skipped because a resumed run journal already
+    /// recorded their completion (their journaled findings were merged
+    /// verbatim instead of re-exploring).
+    pub journal_skipped: u64,
+    /// Post-failure executions killed by the execution budget watchdog
+    /// (each also surfaces as a [`BugKind::BudgetExceeded`] finding).
+    ///
+    /// [`BugKind::BudgetExceeded`]: crate::BugKind::BudgetExceeded
+    pub budget_exceeded: u64,
     /// Bytes copied for snapshot bookkeeping across the run: crash-image
     /// capture, post-failure pool forking, and copy-on-write line faults.
     /// The seed engine copied `3 × pool_size` per failure point; the COW

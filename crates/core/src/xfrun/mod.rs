@@ -1,0 +1,713 @@
+//! Fault-tolerant run orchestration: the [`Session`] API.
+//!
+//! The low-level engines ([`XfDetector::run`], [`XfDetector::run_parallel`]
+//! and `xfstream::run_pipelined`) execute one detection pass and assume
+//! nothing goes wrong around them. A [`Session`] wraps them in an
+//! orchestration layer that assumes things *do* go wrong:
+//!
+//! - **Execution budgets** ([`pmem::Budget`]): post-failure stages run
+//!   under a watchdog; a hang or unbounded mutation becomes a
+//!   [`BugKind::BudgetExceeded`](crate::BugKind::BudgetExceeded) finding
+//!   instead of a wedged run.
+//! - **Resumable run journal** (`.xfj`, see [`mod@self`] submodule docs in
+//!   `journal`): each completed failure point is appended to an
+//!   append-only journal; a killed run resumed against the same journal
+//!   skips the explored failure points and merges to a byte-identical
+//!   final report.
+//! - **Structured observability**: live counters drive a progress
+//!   callback, and a machine-readable [`RunMetrics`] JSON document can be
+//!   exported at the end of the run.
+//!
+//! The three engines collapse into one entry point:
+//!
+//! ```
+//! use xfdetector::{Mode, Session};
+//! # use pmem::PmCtx;
+//! # struct W;
+//! # impl xfdetector::Workload for W {
+//! #     fn name(&self) -> &str { "w" }
+//! #     fn pool_size(&self) -> u64 { 4096 }
+//! #     fn setup(&self, _ctx: &mut PmCtx) -> Result<(), xfdetector::DynError> { Ok(()) }
+//! #     fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), xfdetector::DynError> {
+//! #         let a = ctx.pool().base();
+//! #         ctx.write_u64(a, 1)?;
+//! #         ctx.persist_barrier(a, 8)?;
+//! #         Ok(())
+//! #     }
+//! #     fn post_failure(&self, _ctx: &mut PmCtx) -> Result<(), xfdetector::DynError> { Ok(()) }
+//! # }
+//! let session = Session::builder().build().unwrap();
+//! let outcome = session.run(W, Mode::Batch).unwrap();
+//! assert!(outcome.stats.failure_points > 0);
+//! ```
+
+mod journal;
+mod obs;
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pmem::Budget;
+use xftrace::SourceLoc;
+
+use crate::engine::{RunOutcome, Workload, XfConfig, XfDetector};
+use crate::error::{ConfigError, XfError};
+use crate::report::Finding;
+
+pub use journal::JournalFp;
+pub use obs::{ObsCounts, ObsHandle, Progress, RunMetrics, StageMillis};
+
+use journal::JournalWriter;
+use obs::RunClock;
+
+/// How a [`Session`] executes the detection pass.
+///
+/// All modes produce the same report for the same workload and
+/// configuration (byte-identical under JSON serialization); they differ
+/// only in how the work is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Sequential in-process execution ([`XfDetector::run`]).
+    Batch,
+    /// Post-failure executions spread over a worker pool
+    /// ([`XfDetector::run_parallel`], with the session's
+    /// [`worker`](SessionBuilder::workers) setting).
+    Parallel,
+    /// Frontend/backend split over a bounded trace FIFO (the paper's §5.1
+    /// deployment; requires a [`StreamEngine`], normally injected by
+    /// `xfstream::session()`).
+    Stream,
+}
+
+impl Mode {
+    /// Lower-case name, as used in metrics and CLI flags.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Batch => "batch",
+            Mode::Parallel => "parallel",
+            Mode::Stream => "stream",
+        }
+    }
+}
+
+/// The streaming engine seam.
+///
+/// `xfdetector` cannot depend on `xfstream` (the dependency points the
+/// other way), so [`Mode::Stream`] is dispatched through this trait.
+/// `xfstream` implements it for its pipelined engine and provides a
+/// pre-wired `session()` builder; running [`Mode::Stream`] on a session
+/// without an engine fails with [`XfError::StreamEngineMissing`].
+pub trait StreamEngine: Send + Sync {
+    /// Runs the pipelined detection pass.
+    ///
+    /// # Errors
+    ///
+    /// As [`XfDetector::run`], plus any streaming-transport failure.
+    fn run_stream(
+        &self,
+        config: &XfConfig,
+        workload: Box<dyn Workload + Send + Sync>,
+        capacity: usize,
+        ctl: RunCtl,
+    ) -> Result<RunOutcome, XfError>;
+}
+
+#[derive(Debug, Default)]
+struct JournalCell {
+    writer: Option<JournalWriter>,
+    error: Option<io::Error>,
+}
+
+/// The orchestration control handle threaded through an engine run.
+///
+/// Carries the resume skip-set, the journal append side and the live
+/// observability counters. Engines call [`RunCtl::journaled`] per failure
+/// point to honor resume elision and [`RunCtl::append_fp`] after
+/// completing one; an inert handle (the default) makes every call a
+/// no-op, which is how the plain `XfDetector` entry points run.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtl {
+    skip: Option<Arc<HashMap<u64, JournalFp>>>,
+    journal: Option<Arc<Mutex<JournalCell>>>,
+    obs: ObsHandle,
+}
+
+impl RunCtl {
+    /// A handle with no journal and no skip-set: every method is a no-op
+    /// except the observability counters.
+    #[must_use]
+    pub fn inert() -> Self {
+        RunCtl::default()
+    }
+
+    /// The journaled record for failure point `id`, when a resumed journal
+    /// already explored it. The engine must push the record's findings
+    /// verbatim and skip the post-failure execution.
+    #[must_use]
+    pub fn journaled(&self, id: u64) -> Option<&JournalFp> {
+        self.skip.as_ref()?.get(&id)
+    }
+
+    /// Appends a completed failure point and its report delta to the
+    /// journal (no-op without one). Write failures are latched and
+    /// surfaced when the session finishes — the engine run itself is
+    /// never interrupted by a journaling problem.
+    pub fn append_fp(&self, id: u64, loc: SourceLoc, findings: &[Finding]) {
+        let Some(journal) = &self.journal else { return };
+        let Ok(mut cell) = journal.lock() else { return };
+        if cell.error.is_some() {
+            return;
+        }
+        if let Some(w) = cell.writer.as_mut() {
+            if let Err(e) = w.record_fp(id, loc, findings) {
+                cell.error = Some(e);
+                cell.writer = None;
+            }
+        }
+    }
+
+    /// The live counters.
+    #[must_use]
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Writes the END record (when the run saw the full failure-point
+    /// space and can vouch for a total) and surfaces any latched
+    /// journaling error.
+    fn finish(&self, total_failure_points: Option<u64>) -> io::Result<()> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        let mut cell = journal.lock().expect("journal lock");
+        if let Some(e) = cell.error.take() {
+            return Err(e);
+        }
+        if let (Some(w), Some(total)) = (cell.writer.as_mut(), total_failure_points) {
+            w.finish(total)?;
+        }
+        Ok(())
+    }
+}
+
+type ProgressFn = Arc<dyn Fn(&Progress) + Send + Sync>;
+
+/// Builder for [`Session`]; see [`Session::builder`].
+#[derive(Default)]
+pub struct SessionBuilder {
+    config: XfConfig,
+    workers: usize,
+    stream_capacity: Option<usize>,
+    journal_path: Option<PathBuf>,
+    resume: bool,
+    metrics_out: Option<PathBuf>,
+    record_repro: bool,
+    progress: Option<ProgressFn>,
+    progress_interval: Duration,
+    stream_engine: Option<Arc<dyn StreamEngine>>,
+}
+
+impl std::fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("config", &self.config)
+            .field("workers", &self.workers)
+            .field("journal_path", &self.journal_path)
+            .field("resume", &self.resume)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionBuilder {
+    /// Uses `config` for the detection pass (defaults to
+    /// [`XfConfig::default`]). Build it with [`XfConfig::builder`] for
+    /// validated construction; [`SessionBuilder::build`] re-checks the
+    /// invariants either way.
+    #[must_use]
+    pub fn config(mut self, config: XfConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Arms an execution budget on every post-failure context (shorthand
+    /// for setting [`XfConfig::post_budget`]).
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.post_budget = Some(budget);
+        self
+    }
+
+    /// Worker threads for [`Mode::Parallel`]. `0` (the default) means all
+    /// available parallelism; the builder clamps it at build time.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Trace-FIFO capacity (in batches) for [`Mode::Stream`].
+    #[must_use]
+    pub fn stream_capacity(mut self, capacity: usize) -> Self {
+        self.stream_capacity = Some(capacity);
+        self
+    }
+
+    /// Writes a fresh run journal to `path` (any existing file is
+    /// overwritten). See [`SessionBuilder::resume`] to continue one.
+    #[must_use]
+    pub fn journal<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.journal_path = Some(path.into());
+        self.resume = false;
+        self
+    }
+
+    /// Resumes from the journal at `path`: failure points it records are
+    /// skipped and their findings merged verbatim, and newly completed
+    /// failure points are appended to the same file. A missing file
+    /// starts a fresh journal; a fingerprint mismatch (different
+    /// workload or report-affecting configuration) is an error.
+    #[must_use]
+    pub fn resume<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.journal_path = Some(path.into());
+        self.resume = true;
+        self
+    }
+
+    /// Writes [`RunMetrics`] JSON to `path` when the run finishes.
+    #[must_use]
+    pub fn metrics_out<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.metrics_out = Some(path.into());
+        self
+    }
+
+    /// Records full traces so failing failure points can be exported as
+    /// standalone `.xft` repro artifacts (implies
+    /// [`XfConfig::record_trace`]).
+    #[must_use]
+    pub fn record_repro(mut self, on: bool) -> Self {
+        self.record_repro = on;
+        self
+    }
+
+    /// Installs a live progress callback, invoked from a ticker thread
+    /// roughly every `interval` while the run is in flight (and once
+    /// when it ends).
+    #[must_use]
+    pub fn on_progress<F>(mut self, interval: Duration, f: F) -> Self
+    where
+        F: Fn(&Progress) + Send + Sync + 'static,
+    {
+        self.progress = Some(Arc::new(f));
+        self.progress_interval = interval;
+        self
+    }
+
+    /// Injects the streaming engine used by [`Mode::Stream`]. Normally
+    /// called by `xfstream::session()`, which returns a builder with its
+    /// pipelined engine pre-wired.
+    #[must_use]
+    pub fn stream_engine(mut self, engine: Arc<dyn StreamEngine>) -> Self {
+        self.stream_engine = Some(engine);
+        self
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// The same invariants as [`XfConfigBuilder::build`]
+    /// ([`ConfigError::DedupRequiresCow`], [`ConfigError::EmptyBudget`]),
+    /// plus [`ConfigError::ZeroStreamCapacity`] for an explicit zero
+    /// stream capacity.
+    ///
+    /// [`XfConfigBuilder::build`]: crate::XfConfigBuilder::build
+    pub fn build(self) -> Result<Session, ConfigError> {
+        if self.config.dedup_images && !self.config.cow_snapshots {
+            return Err(ConfigError::DedupRequiresCow);
+        }
+        if let Some(b) = &self.config.post_budget {
+            if b.is_unlimited() {
+                return Err(ConfigError::EmptyBudget);
+            }
+        }
+        if self.stream_capacity == Some(0) {
+            return Err(ConfigError::ZeroStreamCapacity);
+        }
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        };
+        Ok(Session {
+            config: self.config,
+            workers,
+            stream_capacity: self.stream_capacity,
+            journal_path: self.journal_path,
+            resume: self.resume,
+            metrics_out: self.metrics_out,
+            record_repro: self.record_repro,
+            progress: self.progress,
+            progress_interval: if self.progress_interval.is_zero() {
+                Duration::from_millis(100)
+            } else {
+                self.progress_interval
+            },
+            stream_engine: self.stream_engine,
+        })
+    }
+}
+
+/// A configured, fault-tolerant detection session.
+///
+/// Construct with [`Session::builder`] and execute with [`Session::run`].
+/// One session can run multiple workloads back to back, but a journal
+/// binds to a single (workload, configuration) pair — reusing a journal
+/// path across different workloads fails the fingerprint check.
+pub struct Session {
+    config: XfConfig,
+    workers: usize,
+    stream_capacity: Option<usize>,
+    journal_path: Option<PathBuf>,
+    resume: bool,
+    metrics_out: Option<PathBuf>,
+    record_repro: bool,
+    progress: Option<ProgressFn>,
+    progress_interval: Duration,
+    stream_engine: Option<Arc<dyn StreamEngine>>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("workers", &self.workers)
+            .field("journal_path", &self.journal_path)
+            .field("resume", &self.resume)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Starts a session builder with default settings.
+    #[must_use]
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The session's detection configuration.
+    #[must_use]
+    pub fn config(&self) -> &XfConfig {
+        &self.config
+    }
+
+    /// Runs the detection pass in the given mode.
+    ///
+    /// # Errors
+    ///
+    /// Any [`XfError`]: engine failures, journal I/O or fingerprint
+    /// mismatches, or [`XfError::StreamEngineMissing`] for
+    /// [`Mode::Stream`] without an injected engine.
+    pub fn run<W>(&self, workload: W, mode: Mode) -> Result<RunOutcome, XfError>
+    where
+        W: Workload + Send + Sync + 'static,
+    {
+        let mut config = self.config.clone();
+        if self.record_repro {
+            config.record_trace = true;
+        }
+        let workload_name = workload.name().to_owned();
+
+        // Journal: read the skip-set when resuming, then open for append.
+        let fingerprint = journal::fingerprint(&workload_name, &config);
+        let mut skip = None;
+        let mut total_hint = config.max_failure_points;
+        let writer = match &self.journal_path {
+            None => None,
+            Some(path) => {
+                if self.resume && path.exists() {
+                    let contents = journal::read_journal(path)?;
+                    if contents.fingerprint != fingerprint {
+                        return Err(XfError::Journal(format!(
+                            "journal {} belongs to a different run \
+                             (fingerprint mismatch)",
+                            path.display()
+                        )));
+                    }
+                    if total_hint.is_none() {
+                        total_hint = contents.completed_total;
+                    }
+                    if !contents.fps.is_empty() {
+                        skip = Some(Arc::new(contents.fps));
+                    }
+                    Some(JournalWriter::append(path)?)
+                } else {
+                    Some(JournalWriter::create(path, &fingerprint)?)
+                }
+            }
+        };
+        let ctl = RunCtl {
+            skip,
+            journal: writer.map(|w| {
+                Arc::new(Mutex::new(JournalCell {
+                    writer: Some(w),
+                    error: None,
+                }))
+            }),
+            obs: ObsHandle::new(),
+        };
+
+        // Progress ticker: a detached observer thread over the shared
+        // counters, stopped (and given a final tick) when the run ends.
+        let stop = Arc::new(AtomicBool::new(false));
+        let ticker = self.progress.clone().map(|cb| {
+            let obs = ctl.obs().clone();
+            let stop = Arc::clone(&stop);
+            let clock = RunClock::start();
+            let interval = self.progress_interval;
+            std::thread::spawn(move || loop {
+                cb(&Progress {
+                    counts: obs.snapshot(),
+                    total_hint,
+                    elapsed: clock.elapsed(),
+                });
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(interval);
+            })
+        });
+
+        let result = match mode {
+            Mode::Batch => XfDetector::new(config.clone())
+                .run_with_ctl(workload, ctl.clone())
+                .map_err(XfError::from),
+            Mode::Parallel => XfDetector::new(config.clone())
+                .run_parallel_with_ctl(workload, self.workers, ctl.clone())
+                .map_err(XfError::from),
+            Mode::Stream => match &self.stream_engine {
+                Some(engine) => engine.run_stream(
+                    &config,
+                    Box::new(workload),
+                    self.stream_capacity.unwrap_or(64),
+                    ctl.clone(),
+                ),
+                None => Err(XfError::StreamEngineMissing),
+            },
+        };
+
+        stop.store(true, Ordering::Relaxed);
+        if let Some(t) = ticker {
+            let _ = t.join();
+        }
+        let outcome = result?;
+
+        // A run capped by max_failure_points never saw the full
+        // failure-point space, so its count is not the run total — omit
+        // the END record rather than mislead a resume's progress ETA.
+        ctl.finish((config.max_failure_points.is_none()).then_some(outcome.stats.failure_points))?;
+
+        if let Some(path) = &self.metrics_out {
+            let metrics = RunMetrics::new(
+                &workload_name,
+                mode.name(),
+                outcome.report.len() as u64,
+                outcome.report.has_correctness_bugs(),
+                &outcome.stats,
+                ctl.obs().snapshot(),
+            );
+            write_json(path, &metrics)?;
+        }
+        Ok(outcome)
+    }
+}
+
+fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), XfError> {
+    let json = serde_json::to_string(value)
+        .map_err(|e| XfError::Journal(format!("metrics serialization failed: {e}")))?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmCtx;
+    use std::sync::atomic::AtomicU64;
+
+    struct Racy;
+    impl Workload for Racy {
+        fn name(&self) -> &str {
+            "racy"
+        }
+        fn pool_size(&self) -> u64 {
+            64 * 1024
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            Ok(())
+        }
+        fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            let a = ctx.pool().base();
+            for i in 0..8 {
+                ctx.write_u64(a + i * 128, i)?; // never flushed
+                ctx.write_u64(a + i * 128 + 64, i)?;
+                ctx.persist_barrier(a + i * 128 + 64, 8)?;
+            }
+            Ok(())
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            let a = ctx.pool().base();
+            for i in 0..8 {
+                let _ = ctx.read_u64(a + i * 128)?;
+            }
+            Ok(())
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("xfrun-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn report_json(o: &RunOutcome) -> String {
+        serde_json::to_string(&o.report).unwrap()
+    }
+
+    #[test]
+    fn session_batch_matches_plain_detector() {
+        let plain = XfDetector::with_defaults().run(Racy).unwrap();
+        let session = Session::builder().build().unwrap();
+        let s = session.run(Racy, Mode::Batch).unwrap();
+        assert_eq!(report_json(&plain), report_json(&s));
+    }
+
+    #[test]
+    fn session_parallel_matches_batch() {
+        let session = Session::builder().workers(2).build().unwrap();
+        let b = session.run(Racy, Mode::Batch).unwrap();
+        let p = session.run(Racy, Mode::Parallel).unwrap();
+        assert_eq!(report_json(&b), report_json(&p));
+    }
+
+    #[test]
+    fn stream_without_engine_is_a_structured_error() {
+        let session = Session::builder().build().unwrap();
+        let err = session.run(Racy, Mode::Stream).unwrap_err();
+        assert!(matches!(err, XfError::StreamEngineMissing), "{err:?}");
+    }
+
+    #[test]
+    fn kill_and_resume_merge_to_byte_identical_report() {
+        let path = tmp("resume.xfj");
+        std::fs::remove_file(&path).ok();
+
+        let full = Session::builder().build().unwrap();
+        let reference = full.run(Racy, Mode::Batch).unwrap();
+        assert!(reference.stats.failure_points > 3);
+
+        // "Kill" after 3 failure points: a capped run writing the journal.
+        let killed = Session::builder()
+            .config(
+                XfConfig::builder()
+                    .max_failure_points(Some(3))
+                    .build()
+                    .unwrap(),
+            )
+            .journal(&path)
+            .build()
+            .unwrap();
+        killed.run(Racy, Mode::Batch).unwrap();
+
+        // Resume under the full configuration.
+        let resumed = Session::builder().resume(&path).build().unwrap();
+        let outcome = resumed.run(Racy, Mode::Batch).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(outcome.stats.journal_skipped, 3, "{:?}", outcome.stats);
+        assert_eq!(
+            report_json(&reference),
+            report_json(&outcome),
+            "resume must merge to a byte-identical report"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_fingerprint() {
+        let path = tmp("foreign.xfj");
+        std::fs::remove_file(&path).ok();
+        let first = Session::builder().journal(&path).build().unwrap();
+        first.run(Racy, Mode::Batch).unwrap();
+
+        // Different report-affecting configuration → rejected.
+        let other = Session::builder()
+            .config(XfConfig::builder().first_read_only(false).build().unwrap())
+            .resume(&path)
+            .build()
+            .unwrap();
+        let err = other.run(Racy, Mode::Batch).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, XfError::Journal(_)), "{err:?}");
+    }
+
+    #[test]
+    fn resume_of_a_missing_journal_starts_fresh() {
+        let path = tmp("fresh.xfj");
+        std::fs::remove_file(&path).ok();
+        let session = Session::builder().resume(&path).build().unwrap();
+        let outcome = session.run(Racy, Mode::Batch).unwrap();
+        assert_eq!(outcome.stats.journal_skipped, 0);
+        assert!(path.exists(), "a fresh journal must have been written");
+        let again = Session::builder().resume(&path).build().unwrap();
+        let second = again.run(Racy, Mode::Batch).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            second.stats.journal_skipped, second.stats.failure_points,
+            "a completed journal elides everything"
+        );
+        assert_eq!(report_json(&outcome), report_json(&second));
+    }
+
+    #[test]
+    fn metrics_json_is_written() {
+        let path = tmp("metrics.json");
+        std::fs::remove_file(&path).ok();
+        let session = Session::builder().metrics_out(&path).build().unwrap();
+        session.run(Racy, Mode::Batch).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(raw.contains("\"schema_version\":1"), "{raw}");
+        assert!(raw.contains("\"workload\":\"racy\""), "{raw}");
+        assert!(raw.contains("\"mode\":\"batch\""), "{raw}");
+        assert!(raw.contains("\"stage_ms\""), "{raw}");
+        assert!(raw.contains("\"failure_points\""), "{raw}");
+    }
+
+    #[test]
+    fn progress_callback_fires_at_least_once() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&ticks);
+        let session = Session::builder()
+            .on_progress(Duration::from_millis(1), move |p| {
+                let _ = p.counts.dedup_hit_rate();
+                seen.fetch_add(1, Ordering::Relaxed);
+            })
+            .build()
+            .unwrap();
+        session.run(Racy, Mode::Batch).unwrap();
+        assert!(ticks.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn record_repro_forces_recording() {
+        let session = Session::builder().record_repro(true).build().unwrap();
+        let outcome = session.run(Racy, Mode::Batch).unwrap();
+        assert!(outcome.recorded.is_some());
+    }
+}

@@ -1,0 +1,269 @@
+//! Execution budgets for post-failure runs.
+//!
+//! A failure-injection campaign executes arbitrary recovery code thousands
+//! of times; a single recovery that spins forever (or allocates without
+//! bound) must not wedge the whole run. A [`Budget`] caps a post-failure
+//! execution along three axes — wall-clock time, traced operations, and PM
+//! bytes mutated — and the traced context enforces it cooperatively: every
+//! traced operation passes through [`crate::PmCtx`]'s single recording
+//! choke point, where an armed budget is charged. On overrun the context
+//! raises a [`BudgetOverrun`] panic payload, which the engines catch and
+//! convert into a finding instead of an error, so the campaign continues.
+//!
+//! The watchdog is cooperative: a recovery that hangs without touching PM
+//! (a pure CPU spin) is not interrupted, because enforcement lives at the
+//! trace choke point. In practice PM recovery code reads or writes the pool
+//! in every loop worth worrying about — the same assumption the paper's
+//! trace-driven backend rests on.
+//!
+//! Overrun messages are deterministic (they name the configured limit, not
+//! the observed count), so reports stay byte-identical across engines and
+//! across interrupted-and-resumed runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Resource limits for one post-failure execution.
+///
+/// `None` along an axis means unlimited; [`Budget::default`] is unlimited
+/// along every axis. Budgets are charged per post-failure execution, not
+/// per run: every failure point's recovery gets a fresh allowance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum wall-clock time of one post-failure execution. Checked at
+    /// the trace choke point (cooperatively), so resolution is one traced
+    /// operation. Inherently nondeterministic: a run killed on wall time
+    /// may differ between machines — use [`Budget::max_trace_entries`] when
+    /// reports must be reproducible.
+    pub wall_time: Option<Duration>,
+    /// Maximum traced operations in one post-failure execution. Fully
+    /// deterministic: the same workload overruns at the same operation on
+    /// every machine and in every engine.
+    pub max_trace_entries: Option<u64>,
+    /// Maximum PM bytes mutated (summed over mutating operations) in one
+    /// post-failure execution. Deterministic.
+    pub max_pm_bytes: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits (never overruns).
+    #[must_use]
+    pub const fn unlimited() -> Self {
+        Budget {
+            wall_time: None,
+            max_trace_entries: None,
+            max_pm_bytes: None,
+        }
+    }
+
+    /// Whether no axis carries a limit.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_time.is_none() && self.max_trace_entries.is_none() && self.max_pm_bytes.is_none()
+    }
+
+    /// Caps wall-clock time.
+    #[must_use]
+    pub fn with_wall_time(mut self, limit: Duration) -> Self {
+        self.wall_time = Some(limit);
+        self
+    }
+
+    /// Caps traced operations.
+    #[must_use]
+    pub fn with_max_trace_entries(mut self, limit: u64) -> Self {
+        self.max_trace_entries = Some(limit);
+        self
+    }
+
+    /// Caps PM bytes mutated.
+    #[must_use]
+    pub fn with_max_pm_bytes(mut self, limit: u64) -> Self {
+        self.max_pm_bytes = Some(limit);
+        self
+    }
+}
+
+/// Which budget axis was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetAxis {
+    /// [`Budget::wall_time`] elapsed.
+    WallTime,
+    /// [`Budget::max_trace_entries`] reached.
+    TraceEntries,
+    /// [`Budget::max_pm_bytes`] exceeded.
+    PmBytes,
+}
+
+/// The panic payload raised by a traced context whose armed [`Budget`] was
+/// exhausted. Engines downcast the payload of a caught unwind to this type
+/// to distinguish a budget kill from a genuine workload panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetOverrun {
+    /// The exhausted axis.
+    pub axis: BudgetAxis,
+    /// The configured limit on that axis (milliseconds for
+    /// [`BudgetAxis::WallTime`], a count for the others).
+    pub limit: u64,
+}
+
+impl fmt::Display for BudgetOverrun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deterministic by construction: only the configured limit appears,
+        // never the observed count or elapsed time.
+        match self.axis {
+            BudgetAxis::WallTime => {
+                write!(
+                    f,
+                    "post-failure wall-time budget exceeded ({}ms)",
+                    self.limit
+                )
+            }
+            BudgetAxis::TraceEntries => write!(
+                f,
+                "post-failure trace-entry budget exceeded ({} entries)",
+                self.limit
+            ),
+            BudgetAxis::PmBytes => write!(
+                f,
+                "post-failure PM-mutation budget exceeded ({} bytes)",
+                self.limit
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetOverrun {}
+
+/// How many traced operations pass between wall-clock checks. Reading the
+/// clock is far more expensive than bumping a counter; the budget's
+/// resolution is `WALL_CHECK_PERIOD` operations, which is ample for a
+/// watchdog.
+const WALL_CHECK_PERIOD: u64 = 64;
+
+/// An armed budget: the per-execution charge state the context carries.
+#[derive(Debug)]
+pub(crate) struct ArmedBudget {
+    budget: Budget,
+    started: Instant,
+    entries: u64,
+    pm_bytes: u64,
+}
+
+impl ArmedBudget {
+    pub(crate) fn new(budget: Budget) -> Self {
+        ArmedBudget {
+            budget,
+            started: Instant::now(),
+            entries: 0,
+            pm_bytes: 0,
+        }
+    }
+
+    /// Charges one traced operation (`mutated` PM bytes) against the
+    /// budget. Returns the overrun, if this operation exhausted an axis.
+    pub(crate) fn charge(&mut self, mutated: u64) -> Result<(), BudgetOverrun> {
+        self.entries += 1;
+        self.pm_bytes += mutated;
+        if let Some(max) = self.budget.max_trace_entries {
+            if self.entries > max {
+                return Err(BudgetOverrun {
+                    axis: BudgetAxis::TraceEntries,
+                    limit: max,
+                });
+            }
+        }
+        if let Some(max) = self.budget.max_pm_bytes {
+            if self.pm_bytes > max {
+                return Err(BudgetOverrun {
+                    axis: BudgetAxis::PmBytes,
+                    limit: max,
+                });
+            }
+        }
+        if let Some(limit) = self.budget.wall_time {
+            if self.entries.is_multiple_of(WALL_CHECK_PERIOD) && self.started.elapsed() > limit {
+                return Err(BudgetOverrun {
+                    axis: BudgetAxis::WallTime,
+                    limit: limit.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+static QUIET_OVERRUN_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// message-and-backtrace printing for [`BudgetOverrun`] payloads. An
+/// overrun unwind is control flow — the engines always catch it and turn
+/// it into a finding — so the default hook's output would spam stderr with
+/// a spurious crash report per budget kill. All other panics still reach
+/// the previously installed hook.
+pub(crate) fn install_quiet_overrun_hook() {
+    QUIET_OVERRUN_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<BudgetOverrun>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(Budget::default().is_unlimited());
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(!Budget::default().with_max_trace_entries(1).is_unlimited());
+    }
+
+    #[test]
+    fn entry_budget_charges_deterministically() {
+        let mut armed = ArmedBudget::new(Budget::default().with_max_trace_entries(3));
+        assert!(armed.charge(0).is_ok());
+        assert!(armed.charge(0).is_ok());
+        assert!(armed.charge(0).is_ok());
+        let overrun = armed.charge(0).unwrap_err();
+        assert_eq!(overrun.axis, BudgetAxis::TraceEntries);
+        assert_eq!(overrun.limit, 3);
+    }
+
+    #[test]
+    fn pm_byte_budget_counts_mutations_only() {
+        let mut armed = ArmedBudget::new(Budget::default().with_max_pm_bytes(16));
+        assert!(armed.charge(8).is_ok());
+        assert!(armed.charge(0).is_ok()); // reads are free on this axis
+        assert!(armed.charge(8).is_ok());
+        let overrun = armed.charge(1).unwrap_err();
+        assert_eq!(overrun.axis, BudgetAxis::PmBytes);
+    }
+
+    #[test]
+    fn wall_time_overrun_fires_on_the_check_period() {
+        let mut armed = ArmedBudget::new(Budget::default().with_wall_time(Duration::ZERO));
+        // The clock is only consulted every WALL_CHECK_PERIOD charges.
+        for _ in 0..WALL_CHECK_PERIOD - 1 {
+            assert!(armed.charge(0).is_ok());
+        }
+        let overrun = armed.charge(0).unwrap_err();
+        assert_eq!(overrun.axis, BudgetAxis::WallTime);
+    }
+
+    #[test]
+    fn overrun_messages_name_the_limit_not_the_observation() {
+        let o = BudgetOverrun {
+            axis: BudgetAxis::TraceEntries,
+            limit: 500,
+        };
+        assert_eq!(
+            o.to_string(),
+            "post-failure trace-entry budget exceeded (500 entries)"
+        );
+    }
+}

@@ -76,6 +76,7 @@ pub struct PmCtx {
     in_hook: bool,
     fire_on_writes: bool,
     tracing: bool,
+    budget: Option<crate::budget::ArmedBudget>,
 }
 
 impl std::fmt::Debug for dyn EngineHook {
@@ -104,6 +105,7 @@ impl PmCtx {
             in_hook: false,
             fire_on_writes: false,
             tracing: true,
+            budget: None,
         }
     }
 
@@ -123,6 +125,22 @@ impl PmCtx {
     /// the "Pure Pin" trace-only baseline.
     pub fn set_tracing(&mut self, on: bool) {
         self.tracing = on;
+    }
+
+    /// Arms an execution [`Budget`](crate::Budget) on this context: every
+    /// traced operation from now on is charged against it, and the first
+    /// operation that exhausts an axis raises a
+    /// [`BudgetOverrun`](crate::BudgetOverrun) panic payload (which the
+    /// detection engines catch and record as a finding). The detector arms
+    /// a fresh budget on every post-failure context it forks, so each
+    /// recovery gets its own allowance. An unlimited budget is not armed.
+    pub fn arm_budget(&mut self, budget: crate::Budget) {
+        self.budget = if budget.is_unlimited() {
+            None
+        } else {
+            crate::budget::install_quiet_overrun_hook();
+            Some(crate::budget::ArmedBudget::new(budget))
+        };
     }
 
     /// Ablation switch (DESIGN.md §4.1): when enabled, a failure point is
@@ -166,6 +184,7 @@ impl PmCtx {
             in_hook: false,
             fire_on_writes: false,
             tracing: true,
+            budget: None,
         }
     }
 
@@ -346,6 +365,20 @@ impl PmCtx {
     fn record(&mut self, op: Op, loc: SourceLoc) {
         if !self.tracing {
             return;
+        }
+        if let Some(budget) = self.budget.as_mut() {
+            let mutated = if op.is_pm_mutation() {
+                u64::from(op.range().map_or(0, |(_, size)| size))
+            } else {
+                0
+            };
+            if let Err(overrun) = budget.charge(mutated) {
+                // Disarm before unwinding: a charge must never fire twice
+                // for one overrun, even if workload code traces more
+                // operations from inside a Drop impl during the unwind.
+                self.budget = None;
+                std::panic::panic_any(overrun);
+            }
         }
         let internal = self.internal_depth.get() > 0;
         let checked = self.roi && self.skip_detection_depth == 0 && !internal;

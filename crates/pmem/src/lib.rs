@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod crash;
 mod ctx;
 mod error;
@@ -52,6 +53,7 @@ mod layout;
 mod pool;
 mod snapshot;
 
+pub use budget::{Budget, BudgetAxis, BudgetOverrun};
 pub use crash::{exhaustive_cow_crash_images, exhaustive_crash_images, CrashPolicy};
 pub use ctx::{EngineHook, InternalScope, OrderingPointInfo, PmCtx};
 pub use error::PmError;

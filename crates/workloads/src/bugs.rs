@@ -314,6 +314,12 @@ bug_ids! {
     /// Redis initializes `num_dict_entries` without transaction protection
     /// (the paper's **Bug 3**, server.c:4029).
     RdInitUnprotected => (Redis, NewBug, Race, "server init writes num_dict_entries without protection"),
+    /// Recovery spins on `count_dirty`, waiting for a writer that died with
+    /// the failure — the post-failure stage never terminates. Detectable
+    /// only under an execution budget ([`pmem::Budget`]): every loop
+    /// iteration reads PM, so the trace-entry watchdog interrupts it and
+    /// the hang surfaces as a `BudgetExceeded` finding.
+    HaHangRecoveryLoop => (HashmapAtomic, NewBug, ExecutionFailure, "recovery spins on count_dirty that no surviving thread will ever clear"),
 }
 
 impl fmt::Display for BugId {
@@ -464,8 +470,17 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_sixty_bugs() {
-        assert_eq!(BugId::all().len(), 60);
+    fn registry_has_sixty_one_bugs() {
+        assert_eq!(BugId::all().len(), 61);
+    }
+
+    #[test]
+    fn the_hang_bug_expects_an_execution_failure() {
+        assert_eq!(
+            BugId::HaHangRecoveryLoop.expected_category(),
+            BugCategory::ExecutionFailure
+        );
+        assert_eq!(BugId::HaHangRecoveryLoop.suite(), BugSuite::NewBug);
     }
 
     #[test]

@@ -395,6 +395,14 @@ impl HashmapAtomic {
             // would re-create it.
             return Ok(());
         }
+        if self.has(BugId::HaHangRecoveryLoop) {
+            // A recovery that polls PM for a writer that died with the
+            // failure: it never terminates on its own. Every iteration
+            // reads PM, so an armed trace-entry budget interrupts it; a
+            // hang that performs no PM operation would not be
+            // interruptible by the cooperative watchdog.
+            while ctx.read_u64(hm + HM_COUNT_DIRTY)? != u64::MAX {}
+        }
         let dirty = ctx.read_u64(hm + HM_COUNT_DIRTY)?;
         if dirty != 0 {
             // Recount and overwrite the inconsistent count (the

@@ -32,7 +32,8 @@ pub mod rbtree;
 pub mod redis;
 
 use bugs::{BugId, BugSet, WorkloadKind};
-use xfdetector::Workload;
+use pmem::Budget;
+use xfdetector::{BugCategory, Workload, XfConfig};
 
 /// Builds a workload of the given kind with `ops` operations and the given
 /// injected bugs.
@@ -48,14 +49,19 @@ use xfdetector::Workload;
 /// assert!(outcome.report.race_count() >= 1);
 /// ```
 #[must_use]
-pub fn build(kind: WorkloadKind, ops: u64, bugs: BugSet) -> Box<dyn Workload> {
+pub fn build(kind: WorkloadKind, ops: u64, bugs: BugSet) -> Box<dyn Workload + Send + Sync> {
     build_with_init(kind, 0, ops, bugs)
 }
 
 /// As [`build`], with `init` pre-population operations performed during
 /// `setup` (the artifact's INITSIZE parameter).
 #[must_use]
-pub fn build_with_init(kind: WorkloadKind, init: u64, ops: u64, bugs: BugSet) -> Box<dyn Workload> {
+pub fn build_with_init(
+    kind: WorkloadKind,
+    init: u64,
+    ops: u64,
+    bugs: BugSet,
+) -> Box<dyn Workload + Send + Sync> {
     match kind {
         WorkloadKind::Btree => Box::new(btree::Btree::new(ops).with_init(init).with_bugs(bugs)),
         WorkloadKind::Ctree => Box::new(ctree::Ctree::new(ops).with_init(init).with_bugs(bugs)),
@@ -93,9 +99,23 @@ pub fn validation_ops(kind: WorkloadKind) -> u64 {
 /// Builds the workload hosting `bug` with the injection enabled, sized so
 /// the buggy path executes.
 #[must_use]
-pub fn build_with_bug(bug: BugId) -> Box<dyn Workload> {
+pub fn build_with_bug(bug: BugId) -> Box<dyn Workload + Send + Sync> {
     let kind = bug.workload();
     build(kind, validation_ops(kind), BugSet::single(bug))
+}
+
+/// Detection configuration for validating `bug`: the defaults, except that
+/// bugs expected to hang the post-failure stage
+/// ([`BugCategory::ExecutionFailure`], e.g. [`BugId::HaHangRecoveryLoop`])
+/// run under a trace-entry budget — without one the validation harness
+/// itself would hang.
+#[must_use]
+pub fn validation_config(bug: BugId) -> XfConfig {
+    let mut cfg = XfConfig::default();
+    if bug.expected_category() == BugCategory::ExecutionFailure {
+        cfg.post_budget = Some(Budget::default().with_max_trace_entries(20_000));
+    }
+    cfg
 }
 
 /// The five microbenchmarks of Figures 12–13, in the paper's order.

@@ -119,42 +119,29 @@ impl From<io::Error> for XftError {
     }
 }
 
-/// Zigzag-encodes a signed delta into an unsigned varint payload.
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-/// Inverse of [`zigzag`].
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            return w.write_all(&[byte]);
+impl From<XftError> for xfdetector::XfError {
+    fn from(e: XftError) -> Self {
+        match e {
+            // Preserve I/O errors structurally; everything else renders
+            // through the codec's own Display.
+            XftError::Io(io) => xfdetector::XfError::Io(io),
+            other => xfdetector::XfError::Codec(other.to_string()),
         }
-        w.write_all(&[byte | 0x80])?;
     }
 }
 
+use xftrace::varint::{unzigzag, write_varint, zigzag};
+
+/// [`xftrace::varint::read_varint`], with decode failures mapped into this
+/// format's error type.
 fn read_varint<R: Read>(r: &mut R) -> Result<u64, XftError> {
-    let mut v = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut b = [0u8; 1];
-        r.read_exact(&mut b)?;
-        if shift >= 64 {
-            return Err(XftError::Corrupt("varint longer than 10 bytes".into()));
+    xftrace::varint::read_varint(r).map_err(|e| {
+        if e.kind() == io::ErrorKind::InvalidData {
+            XftError::Corrupt(e.to_string())
+        } else {
+            XftError::Io(e)
         }
-        v |= u64::from(b[0] & 0x7f) << shift;
-        if b[0] & 0x80 == 0 {
-            return Ok(v);
-        }
-        shift += 7;
-    }
+    })
 }
 
 /// The decoded `.xft` header.

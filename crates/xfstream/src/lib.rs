@@ -18,6 +18,12 @@
 //!   so recorded runs persist at a fraction of their JSON size and can be
 //!   re-analyzed by [`analyze_xft`] without ever being fully resident.
 //!
+//! The session layer rides on top: [`session`] returns an
+//! [`xfdetector::SessionBuilder`] with the [`PipelinedEngine`] pre-wired,
+//! so `Mode::Stream` runs get budgets, journaling and live progress like
+//! the in-process modes, and [`write_repro_artifacts`] exports failing
+//! failure points as standalone `.xft` repro traces.
+//!
 //! The `xfd` CLI binary wires these together: `xfd record` writes `.xft`
 //! traces, `xfd analyze` replays them through the offline backend, and
 //! `xfd report` runs live detection in batch, pipelined or parallel mode.
@@ -27,11 +33,28 @@
 
 pub mod codec;
 pub mod pipeline;
+pub mod repro;
 pub mod ring;
 
 pub use codec::{
     analyze_xft, encode_recorded_run, read_recorded_run, write_recorded_run, XftError, XftEvent,
     XftHeader, XftReader, XftWriter,
 };
-pub use pipeline::{run_pipelined, StreamOptions};
+pub use pipeline::{run_pipelined, run_pipelined_with_ctl, PipelinedEngine, StreamOptions};
+pub use repro::write_repro_artifacts;
 pub use ring::{channel, Receiver, RingStats, Sender};
+
+/// An [`xfdetector::SessionBuilder`] with this crate's [`PipelinedEngine`]
+/// injected, so [`xfdetector::Mode::Stream`] works out of the box:
+///
+/// ```no_run
+/// use xfdetector::Mode;
+/// # fn run(w: impl xfdetector::Workload + Send + Sync + 'static) {
+/// let session = xfstream::session().build().unwrap();
+/// let outcome = session.run(w, Mode::Stream).unwrap();
+/// # }
+/// ```
+#[must_use]
+pub fn session() -> xfdetector::SessionBuilder {
+    xfdetector::Session::builder().stream_engine(std::sync::Arc::new(PipelinedEngine))
+}

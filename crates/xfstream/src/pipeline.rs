@@ -24,11 +24,11 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pmem::{CowImage, EngineHook, ImageHash, OrderingPointInfo, PmCtx, PmPool};
+use pmem::{BudgetOverrun, CowImage, EngineHook, ImageHash, OrderingPointInfo, PmCtx, PmPool};
 use xfdetector::offline::{RecordedFailurePoint, RecordedRun};
 use xfdetector::{
-    BugKind, DetectionReport, DynError, EngineError, FailurePoint, Finding, RunOutcome, RunStats,
-    ShadowPm, Workload, XfConfig,
+    BugKind, DetectionReport, DynError, EngineError, FailurePoint, Finding, RunCtl, RunOutcome,
+    RunStats, ShadowPm, Workload, XfConfig,
 };
 use xftrace::{SourceLoc, TraceEntry};
 
@@ -60,6 +60,12 @@ enum Msg {
         post: Vec<TraceEntry>,
         outcome: PostOutcome,
     },
+    /// A failure point elided on resume: the journal's report delta is
+    /// merged verbatim by the backend instead of re-running anything.
+    Journaled {
+        fp: FailurePoint,
+        findings: Vec<Finding>,
+    },
 }
 
 /// How a post-failure execution ended (mirror of the engine's private
@@ -69,6 +75,7 @@ enum PostOutcome {
     Completed,
     Failed(String),
     Panicked(String),
+    BudgetExceeded(String),
 }
 
 impl From<Result<(), DynError>> for PostOutcome {
@@ -110,6 +117,7 @@ struct StreamFrontend {
     dedup: RefCell<HashMap<ImageHash, CachedPost>>,
     rng: RefCell<StdRng>,
     config: XfConfig,
+    ctl: RunCtl,
     post: PostFn,
 }
 
@@ -119,10 +127,23 @@ type PostFn = Box<dyn Fn(&mut PmCtx) -> Result<(), DynError>>;
 
 impl StreamFrontend {
     fn execute_post(&self, post_ctx: &mut PmCtx) -> PostOutcome {
-        if self.config.catch_post_panics {
+        if let Some(budget) = &self.config.post_budget {
+            post_ctx.arm_budget(budget.clone());
+        }
+        // A budget overrun unwinds out of the traced operation, so a
+        // budgeted run must always catch — genuine workload panics are
+        // still re-raised when `catch_post_panics` is off (same policy as
+        // the sequential engine).
+        if self.config.catch_post_panics || self.config.post_budget.is_some() {
             match catch_unwind(AssertUnwindSafe(|| (self.post)(post_ctx))) {
                 Ok(r) => PostOutcome::from(r),
-                Err(payload) => PostOutcome::Panicked(panic_message(&*payload)),
+                Err(payload) => match payload.downcast::<BudgetOverrun>() {
+                    Ok(overrun) => PostOutcome::BudgetExceeded(overrun.to_string()),
+                    Err(payload) if self.config.catch_post_panics => {
+                        PostOutcome::Panicked(panic_message(&*payload))
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
             }
         } else {
             PostOutcome::from((self.post)(post_ctx))
@@ -170,6 +191,21 @@ impl EngineHook for StreamFrontend {
             stats.failure_points += 1;
             FailurePoint { id, loc }
         };
+
+        // Resume elision: a journaled failure point ships its recorded
+        // report delta downstream instead of re-running the post-failure
+        // stage. The dedup cache is deliberately left unpopulated, exactly
+        // as in the sequential engine.
+        if let Some(rec) = self.ctl.journaled(fp.id) {
+            self.stats.borrow_mut().journal_skipped += 1;
+            self.ctl.obs().journal_skip();
+            self.ctl.obs().fp_done();
+            self.ship(Msg::Journaled {
+                fp,
+                findings: rec.findings.clone(),
+            });
+            return;
+        }
 
         // Snapshot the PM image and run the post-failure stage — identical
         // to the sequential engine, including COW capture and image dedup.
@@ -227,9 +263,22 @@ impl EngineHook for StreamFrontend {
         } else {
             stats.images_deduped += 1;
         }
+        // Budget kills are counted per failure point, dedup replays
+        // included — the cached outcome of a killed run is still a kill.
+        if matches!(outcome, PostOutcome::BudgetExceeded(_)) {
+            stats.budget_exceeded += 1;
+            self.ctl.obs().budget_kill();
+        }
         stats.post_entries += post_entries.len() as u64;
         stats.post_exec_time += post_time;
         drop(stats);
+
+        if executed {
+            self.ctl.obs().post_run();
+        } else {
+            self.ctl.obs().dedup_hit();
+        }
+        self.ctl.obs().fp_done();
 
         self.ship(Msg::FailurePoint {
             fp,
@@ -251,8 +300,15 @@ struct BackendResult {
 
 /// The backend half: owns the shadow PM and the report, drains the FIFO
 /// until the frontend hangs up. Single-threaded ownership of both is what
-/// makes the report byte-identical to the sequential engine's.
-fn backend_loop(rx: Receiver<Msg>, first_read_only: bool, record: bool) -> BackendResult {
+/// makes the report byte-identical to the sequential engine's. It also
+/// owns the journal-append side of the [`RunCtl`]: only the backend knows
+/// each failure point's report delta.
+fn backend_loop(
+    rx: Receiver<Msg>,
+    first_read_only: bool,
+    record: bool,
+    ctl: RunCtl,
+) -> BackendResult {
     let mut shadow = ShadowPm::new();
     let mut report = DetectionReport::new();
     let mut recorded = record.then(RecordedRun::default);
@@ -268,6 +324,19 @@ fn backend_loop(rx: Receiver<Msg>, first_read_only: bool, record: bool) -> Backe
                     rec.pre.extend(batch.into_iter().map(Into::into));
                 }
             }
+            Msg::Journaled { fp, findings } => {
+                if let Some(rec) = recorded.as_mut() {
+                    rec.failure_points.push(RecordedFailurePoint {
+                        pre_len: rec.pre.len(),
+                        file: fp.loc.file.to_owned(),
+                        line: fp.loc.line,
+                        post: Vec::new(),
+                    });
+                }
+                for f in findings {
+                    report.push(f);
+                }
+            }
             Msg::FailurePoint { fp, post, outcome } => {
                 if let Some(rec) = recorded.as_mut() {
                     rec.failure_points.push(RecordedFailurePoint {
@@ -277,6 +346,7 @@ fn backend_loop(rx: Receiver<Msg>, first_read_only: bool, record: bool) -> Backe
                         post: post.iter().copied().map(Into::into).collect(),
                     });
                 }
+                let delta_start = report.findings().len();
                 let t_detect = Instant::now();
                 {
                     let mut checker = shadow.begin_post(first_read_only);
@@ -310,7 +380,19 @@ fn backend_loop(rx: Receiver<Msg>, first_read_only: bool, record: bool) -> Backe
                             message: Some(msg),
                         });
                     }
+                    PostOutcome::BudgetExceeded(msg) => {
+                        report.push(Finding {
+                            kind: BugKind::BudgetExceeded,
+                            addr: 0,
+                            size: 0,
+                            reader: Some(fp.loc),
+                            writer: None,
+                            failure_point: Some(fp),
+                            message: Some(msg),
+                        });
+                    }
                 }
+                ctl.append_fp(fp.id, fp.loc, &report.findings()[delta_start..]);
             }
         }
     }
@@ -348,6 +430,24 @@ pub fn run_pipelined<W: Workload + 'static>(
     workload: W,
     opts: &StreamOptions,
 ) -> Result<RunOutcome, EngineError> {
+    run_pipelined_with_ctl(config, workload, opts, RunCtl::inert())
+}
+
+/// [`run_pipelined`] with an orchestration handle threaded through both
+/// stages: the frontend honors the resume skip-set and drives the live
+/// counters, the backend appends completed failure points to the journal.
+/// This is the entry point `xfstream`'s [`StreamEngine`] implementation
+/// uses; [`run_pipelined`] itself passes an inert handle.
+///
+/// # Errors
+///
+/// As [`run_pipelined`].
+pub fn run_pipelined_with_ctl<W: Workload + 'static>(
+    config: &XfConfig,
+    workload: W,
+    opts: &StreamOptions,
+    ctl: RunCtl,
+) -> Result<RunOutcome, EngineError> {
     let pool = PmPool::new(workload.pool_size()).map_err(EngineError::Pm)?;
     let mut ctx = PmCtx::new(pool);
     let workload = Rc::new(workload);
@@ -361,7 +461,8 @@ pub fn run_pipelined<W: Workload + 'static>(
     let record_trace = config.record_trace;
     let (pre_result, mut stats, backend) = std::thread::scope(|s| {
         let (tx, rx) = ring::channel(opts.capacity);
-        let handle = s.spawn(move || backend_loop(rx, first_read_only, record_trace));
+        let backend_ctl = ctl.clone();
+        let handle = s.spawn(move || backend_loop(rx, first_read_only, record_trace, backend_ctl));
 
         let post_workload = Rc::clone(&workload);
         let frontend = Rc::new(StreamFrontend {
@@ -370,6 +471,7 @@ pub fn run_pipelined<W: Workload + 'static>(
             dedup: RefCell::new(HashMap::new()),
             rng: RefCell::new(StdRng::seed_from_u64(config.rng_seed)),
             config: config.clone(),
+            ctl,
             post: Box::new(move |ctx| post_workload.post_failure(ctx)),
         });
 
@@ -417,6 +519,29 @@ pub fn run_pipelined<W: Workload + 'static>(
         stats,
         recorded: backend.recorded,
     })
+}
+
+/// The [`StreamEngine`] implementation backing [`Mode::Stream`] sessions:
+/// dispatches to [`run_pipelined_with_ctl`]. Inject it with
+/// [`SessionBuilder::stream_engine`] or use [`crate::session`], which
+/// returns a builder with it pre-wired.
+///
+/// [`Mode::Stream`]: xfdetector::Mode::Stream
+/// [`SessionBuilder::stream_engine`]: xfdetector::SessionBuilder::stream_engine
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelinedEngine;
+
+impl xfdetector::StreamEngine for PipelinedEngine {
+    fn run_stream(
+        &self,
+        config: &XfConfig,
+        workload: Box<dyn Workload + Send + Sync>,
+        capacity: usize,
+        ctl: RunCtl,
+    ) -> Result<RunOutcome, xfdetector::XfError> {
+        run_pipelined_with_ctl(config, workload, &StreamOptions { capacity }, ctl)
+            .map_err(xfdetector::XfError::from)
+    }
 }
 
 #[cfg(test)]
@@ -538,6 +663,95 @@ mod tests {
             .findings()
             .iter()
             .any(|f| f.kind == BugKind::PostFailurePanic));
+    }
+
+    #[test]
+    fn stream_sessions_run_through_the_engine_seam() {
+        use xfdetector::Mode;
+        let session = crate::session().build().unwrap();
+        let via_session = session.run(Flag { persist: false }, Mode::Stream).unwrap();
+        let direct = run_pipelined(
+            &XfConfig::default(),
+            Flag { persist: false },
+            &StreamOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report_json(&via_session), report_json(&direct));
+    }
+
+    #[test]
+    fn stream_kill_and_resume_merge_to_byte_identical_report() {
+        use xfdetector::Mode;
+        let mut path = std::env::temp_dir();
+        path.push(format!("xfstream-resume-{}.xfj", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let reference = crate::session()
+            .build()
+            .unwrap()
+            .run(Flag { persist: false }, Mode::Stream)
+            .unwrap();
+        assert!(reference.stats.failure_points > 1);
+
+        let killed = crate::session()
+            .config(XfConfig {
+                max_failure_points: Some(1),
+                ..XfConfig::default()
+            })
+            .journal(&path)
+            .build()
+            .unwrap();
+        killed.run(Flag { persist: false }, Mode::Stream).unwrap();
+
+        let resumed = crate::session().resume(&path).build().unwrap();
+        let outcome = resumed.run(Flag { persist: false }, Mode::Stream).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(outcome.stats.journal_skipped, 1, "{:?}", outcome.stats);
+        assert_eq!(report_json(&reference), report_json(&outcome));
+    }
+
+    #[test]
+    fn stream_budget_kill_matches_the_sequential_engine() {
+        use pmem::Budget;
+        struct Spinner;
+        impl Workload for Spinner {
+            fn name(&self) -> &str {
+                "spinner"
+            }
+            fn pool_size(&self) -> u64 {
+                4096
+            }
+            fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Ok(())
+            }
+            fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                ctx.write_u64(a, 1)?;
+                ctx.persist_barrier(a, 8)?;
+                Ok(())
+            }
+            fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+                let a = ctx.pool().base();
+                while ctx.read_u64(a)? != u64::MAX {}
+                unreachable!("the budget interrupts the recovery loop");
+            }
+        }
+        let cfg = XfConfig {
+            post_budget: Some(Budget::default().with_max_trace_entries(500)),
+            ..XfConfig::default()
+        };
+        let seq = xfdetector::XfDetector::new(cfg.clone())
+            .run(Spinner)
+            .unwrap();
+        let pipe = run_pipelined(&cfg, Spinner, &StreamOptions::default()).unwrap();
+        assert_eq!(report_json(&seq), report_json(&pipe));
+        assert!(pipe.stats.budget_exceeded > 0);
+        assert!(pipe
+            .report
+            .findings()
+            .iter()
+            .any(|f| f.kind == BugKind::BudgetExceeded));
     }
 
     #[test]

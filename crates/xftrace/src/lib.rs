@@ -44,6 +44,8 @@ use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 
+pub mod varint;
+
 /// A source-code location attached to every trace entry.
 ///
 /// This is the reproduction's stand-in for the instruction pointer that the

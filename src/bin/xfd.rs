@@ -18,13 +18,16 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::process::ExitCode;
 use std::str::FromStr;
+use std::time::Duration;
 
 use serde::Serialize;
+use xfd::pmem::Budget;
 use xfd::workloads::bugs::{BugId, BugSet, WorkloadKind};
 use xfd::workloads::{build_with_init, validation_ops};
-use xfd::xfdetector::{DetectionReport, RunOutcome, RunStats, XfConfig, XfDetector};
+use xfd::xfdetector::{BugKind, DetectionReport, Mode, Progress, RunOutcome, RunStats, XfConfig};
 use xfd::xfstream::{self, StreamOptions, XftReader};
 
 const USAGE: &str = "\
@@ -55,6 +58,20 @@ COMMON OPTIONS:
     --bug ID              Inject a registered bug (repeatable; see `xfd info`)
     --json                Print the report as JSON on stdout
     --fail-on-bugs        Exit with status 3 if correctness bugs were found
+                          (budget overruns always exit 3)
+
+SESSION OPTIONS (fault-tolerant orchestration; record & report):
+    --budget-ms N         Kill post-failure runs after N ms of wall time and
+                          report them as budget-exceeded findings
+    --budget-entries N    Kill post-failure runs after N trace entries
+    --journal FILE.xfj    Write a resumable run journal (overwrites FILE)
+    --resume FILE.xfj     Resume a killed run from its journal: explored
+                          failure points are skipped, findings merged
+    --metrics-out FILE    Write machine-readable run metrics JSON
+    --repro-dir DIR       Export failing failure points (panics, budget
+                          kills) as standalone .xft repro traces under DIR
+    --progress            Live progress line on stderr (fps done/total,
+                          dedup hit rate, ETA)
 
 CONFIG FLAGS (detector axes; defaults reproduce the paper's setup):
     --all-reads           Check every post-failure read, not just the first
@@ -103,6 +120,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 }
 
 /// Options shared by the workload-running subcommands.
+#[derive(Debug)]
 struct WorkOpts {
     workload: Option<WorkloadKind>,
     ops: Option<u64>,
@@ -117,6 +135,13 @@ struct WorkOpts {
     out: Option<String>,
     json_trace: Option<String>,
     report_path: Option<String>,
+    budget_ms: Option<u64>,
+    budget_entries: Option<u64>,
+    journal: Option<String>,
+    resume: Option<String>,
+    metrics_out: Option<String>,
+    repro_dir: Option<String>,
+    progress: bool,
 }
 
 impl Default for WorkOpts {
@@ -135,15 +160,15 @@ impl Default for WorkOpts {
             out: None,
             json_trace: None,
             report_path: None,
+            budget_ms: None,
+            budget_entries: None,
+            journal: None,
+            resume: None,
+            metrics_out: None,
+            repro_dir: None,
+            progress: false,
         }
     }
-}
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Batch,
-    Stream,
-    Parallel,
 }
 
 fn parse_bug(s: &str) -> Result<BugId, String> {
@@ -199,6 +224,35 @@ fn parse_work_opts(args: &[String]) -> Result<WorkOpts, String> {
             }
             "--json" => o.json = true,
             "--fail-on-bugs" => o.fail_on_bugs = true,
+            "--budget-ms" => {
+                let ms: u64 = parse_num(arg, next_value(arg, &mut it)?)?;
+                if ms == 0 {
+                    return Err("--budget-ms must be at least 1".into());
+                }
+                o.budget_ms = Some(ms);
+            }
+            "--budget-entries" => {
+                let n: u64 = parse_num(arg, next_value(arg, &mut it)?)?;
+                if n == 0 {
+                    return Err("--budget-entries must be at least 1".into());
+                }
+                o.budget_entries = Some(n);
+            }
+            "--journal" => {
+                o.journal = Some(next_value(arg, &mut it)?.clone());
+                if o.resume.is_some() {
+                    return Err("--journal and --resume are mutually exclusive".into());
+                }
+            }
+            "--resume" => {
+                o.resume = Some(next_value(arg, &mut it)?.clone());
+                if o.journal.is_some() {
+                    return Err("--journal and --resume are mutually exclusive".into());
+                }
+            }
+            "--metrics-out" => o.metrics_out = Some(next_value(arg, &mut it)?.clone()),
+            "--repro-dir" => o.repro_dir = Some(next_value(arg, &mut it)?.clone()),
+            "--progress" => o.progress = true,
             "--out" | "-o" => o.out = Some(next_value(arg, &mut it)?.clone()),
             "--json-trace" => o.json_trace = Some(next_value(arg, &mut it)?.clone()),
             "--report" => o.report_path = Some(next_value(arg, &mut it)?.clone()),
@@ -240,8 +294,28 @@ impl WorkOpts {
         Ok(self.bugs.iter().copied().collect())
     }
 
+    /// The session budget assembled from `--budget-ms`/`--budget-entries`,
+    /// if either was given.
+    fn budget(&self) -> Option<Budget> {
+        if self.budget_ms.is_none() && self.budget_entries.is_none() {
+            return None;
+        }
+        let mut b = Budget::default();
+        if let Some(ms) = self.budget_ms {
+            b = b.with_wall_time(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.budget_entries {
+            b = b.with_max_trace_entries(n);
+        }
+        Some(b)
+    }
+
     fn exit_code(&self, report: &DetectionReport) -> ExitCode {
-        if self.fail_on_bugs && report.has_correctness_bugs() {
+        let budget_overrun = report
+            .findings()
+            .iter()
+            .any(|f| f.kind == BugKind::BudgetExceeded);
+        if budget_overrun || (self.fail_on_bugs && report.has_correctness_bugs()) {
             ExitCode::from(3)
         } else {
             ExitCode::SUCCESS
@@ -249,75 +323,78 @@ impl WorkOpts {
     }
 }
 
-/// Runs detection in the requested mode. `record` forces the pipelined
-/// engine (the trace transport under test) with trace recording on.
+/// The `--progress` stderr line: failure points done/total, dedup hit
+/// rate, budget kills and a linear-extrapolation ETA.
+fn progress_line(p: &Progress) {
+    let c = &p.counts;
+    let total = p
+        .total_hint
+        .map_or_else(|| "?".to_owned(), |t| t.to_string());
+    let eta = p
+        .eta()
+        .map_or_else(String::new, |d| format!(" eta {:.1}s", d.as_secs_f64()));
+    eprint!(
+        "\r[{:7.1}s] fps {}/{total} | posts {} | dedup {:.0}% | skipped {} | kills {}{eta}   ",
+        p.elapsed.as_secs_f64(),
+        c.failure_points_done,
+        c.post_runs,
+        c.dedup_hit_rate() * 100.0,
+        c.journal_skipped,
+        c.budget_exceeded,
+    );
+}
+
+/// Runs detection in the requested mode through a [`xfd::xfdetector::Session`]
+/// (with `xfstream`'s pipelined engine wired in for stream mode). `record`
+/// forces the pipelined engine with trace recording on.
 fn run_mode(o: &WorkOpts, kind: WorkloadKind, record: bool) -> Result<RunOutcome, String> {
     let mut cfg = o.cfg.clone();
     if record {
         cfg.record_trace = true;
     }
+    if let Some(b) = o.budget() {
+        cfg.post_budget = Some(b);
+    }
     let ops = o.ops_for(kind);
     let bugs = o.bug_set(kind)?;
     let mode = if record { Mode::Stream } else { o.mode };
-    let outcome = match mode {
-        Mode::Batch => XfDetector::new(cfg).run(build_with_init(kind, o.init, ops, bugs)),
-        Mode::Stream => xfstream::run_pipelined(
-            &cfg,
-            build_with_init(kind, o.init, ops, bugs),
-            &StreamOptions {
-                capacity: o.capacity,
-            },
-        ),
-        Mode::Parallel => run_parallel_by_kind(&cfg, kind, o.init, ops, bugs, o.workers),
-    };
-    outcome.map_err(|e| format!("{} detection failed: {e}", kind.slug()))
-}
 
-/// Parallel runs need the concrete `Send + Sync` workload types; this is
-/// the dynamic-dispatch seam (same shape as the bench harness).
-fn run_parallel_by_kind(
-    cfg: &XfConfig,
-    kind: WorkloadKind,
-    init: u64,
-    ops: u64,
-    bugs: BugSet,
-    workers: usize,
-) -> Result<RunOutcome, xfd::xfdetector::EngineError> {
-    use xfd::workloads as w;
-    let det = XfDetector::new(cfg.clone());
-    match kind {
-        WorkloadKind::Btree => det.run_parallel(
-            w::btree::Btree::new(ops).with_init(init).with_bugs(bugs),
-            workers,
-        ),
-        WorkloadKind::Ctree => det.run_parallel(
-            w::ctree::Ctree::new(ops).with_init(init).with_bugs(bugs),
-            workers,
-        ),
-        WorkloadKind::Rbtree => det.run_parallel(
-            w::rbtree::Rbtree::new(ops).with_init(init).with_bugs(bugs),
-            workers,
-        ),
-        WorkloadKind::HashmapTx => det.run_parallel(
-            w::hashmap_tx::HashmapTx::new(ops)
-                .with_init(init)
-                .with_bugs(bugs),
-            workers,
-        ),
-        WorkloadKind::HashmapAtomic => det.run_parallel(
-            w::hashmap_atomic::HashmapAtomic::new(ops)
-                .with_init(init)
-                .with_bugs(bugs),
-            workers,
-        ),
-        WorkloadKind::Redis => det.run_parallel(
-            w::redis::Redis::new(ops).with_init(init).with_bugs(bugs),
-            workers,
-        ),
-        WorkloadKind::Memcached => {
-            det.run_parallel(w::memcached::Memcached::new(ops).with_init(init), workers)
+    let mut builder = xfstream::session()
+        .config(cfg)
+        .workers(o.workers)
+        .stream_capacity(o.capacity)
+        .record_repro(o.repro_dir.is_some());
+    if let Some(p) = &o.journal {
+        builder = builder.journal(p);
+    }
+    if let Some(p) = &o.resume {
+        builder = builder.resume(p);
+    }
+    if let Some(p) = &o.metrics_out {
+        builder = builder.metrics_out(p);
+    }
+    if o.progress {
+        builder = builder.on_progress(Duration::from_millis(200), progress_line);
+    }
+    let session = builder
+        .build()
+        .map_err(|e| format!("invalid session configuration: {e}"))?;
+
+    let result = session.run(build_with_init(kind, o.init, ops, bugs), mode);
+    if o.progress {
+        eprintln!();
+    }
+    let outcome = result.map_err(|e| format!("{} detection failed: {e}", kind.slug()))?;
+
+    if let Some(dir) = &o.repro_dir {
+        let paths = xfstream::write_repro_artifacts(&outcome, Path::new(dir))
+            .map_err(|e| format!("repro export failed: {e}"))?;
+        match paths.len() {
+            0 => eprintln!("no failing failure points; nothing to export to {dir}"),
+            n => eprintln!("exported {n} repro artifact(s) to {dir}"),
         }
     }
+    Ok(outcome)
 }
 
 #[derive(Serialize)]
@@ -326,14 +403,6 @@ struct ReportOut {
     mode: String,
     report: DetectionReport,
     stats: RunStats,
-}
-
-fn mode_name(mode: Mode) -> &'static str {
-    match mode {
-        Mode::Batch => "batch",
-        Mode::Stream => "stream",
-        Mode::Parallel => "parallel",
-    }
 }
 
 fn human_summary(report: &DetectionReport, stats: &RunStats) -> String {
@@ -454,7 +523,7 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     if o.json {
         let out = ReportOut {
             workload: kind.slug().to_owned(),
-            mode: mode_name(o.mode).to_owned(),
+            mode: o.mode.name().to_owned(),
             report: outcome.report.clone(),
             stats: outcome.stats.clone(),
         };
@@ -463,11 +532,7 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
             serde_json::to_string(&out).map_err(|e| e.to_string())?
         );
     } else {
-        println!(
-            "workload:       {} ({} mode)",
-            kind.slug(),
-            mode_name(o.mode)
-        );
+        println!("workload:       {} ({} mode)", kind.slug(), o.mode.name());
         println!("{}", human_summary(&outcome.report, &outcome.stats));
     }
     Ok(o.exit_code(&outcome.report))
@@ -527,4 +592,143 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
         println!("  {f}");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xfd::xfdetector::{FailurePoint, Finding};
+    use xfd::xftrace::SourceLoc;
+
+    fn parse(args: &[&str]) -> Result<WorkOpts, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        parse_work_opts(&owned)
+    }
+
+    #[test]
+    fn session_flags_parse() {
+        let o = parse(&[
+            "--workload",
+            "btree",
+            "--budget-ms",
+            "250",
+            "--budget-entries",
+            "5000",
+            "--journal",
+            "run.xfj",
+            "--metrics-out",
+            "metrics.json",
+            "--repro-dir",
+            "repro",
+            "--progress",
+        ])
+        .unwrap();
+        assert_eq!(o.workload, Some(WorkloadKind::Btree));
+        assert_eq!(o.budget_ms, Some(250));
+        assert_eq!(o.budget_entries, Some(5000));
+        assert_eq!(o.journal.as_deref(), Some("run.xfj"));
+        assert_eq!(o.metrics_out.as_deref(), Some("metrics.json"));
+        assert_eq!(o.repro_dir.as_deref(), Some("repro"));
+        assert!(o.progress);
+
+        let b = o.budget().expect("budget assembled");
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn resume_flag_parses_and_excludes_journal() {
+        let o = parse(&["--resume", "run.xfj"]).unwrap();
+        assert_eq!(o.resume.as_deref(), Some("run.xfj"));
+        assert!(o.journal.is_none());
+
+        let err = parse(&["--journal", "a.xfj", "--resume", "b.xfj"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse(&["--resume", "b.xfj", "--journal", "a.xfj"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn zero_budgets_are_rejected() {
+        assert!(parse(&["--budget-ms", "0"]).is_err());
+        assert!(parse(&["--budget-entries", "0"]).is_err());
+        assert!(parse(&["--budget-ms", "abc"]).is_err());
+    }
+
+    #[test]
+    fn no_budget_flags_means_no_budget() {
+        let o = parse(&["--workload", "btree"]).unwrap();
+        assert!(o.budget().is_none());
+    }
+
+    #[test]
+    fn mode_flag_parses_all_three() {
+        for (name, mode) in [
+            ("batch", Mode::Batch),
+            ("stream", Mode::Stream),
+            ("parallel", Mode::Parallel),
+        ] {
+            assert_eq!(parse(&["--mode", name]).unwrap().mode, mode);
+        }
+        assert!(parse(&["--mode", "turbo"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    fn finding(kind: BugKind) -> Finding {
+        let loc = SourceLoc::synthetic("<test>");
+        Finding {
+            kind,
+            addr: 0,
+            size: 0,
+            reader: Some(loc),
+            writer: None,
+            failure_point: Some(FailurePoint { id: 0, loc }),
+            message: None,
+        }
+    }
+
+    #[test]
+    fn exit_codes_follow_the_report() {
+        let quiet = WorkOpts::default();
+        let strict = WorkOpts {
+            fail_on_bugs: true,
+            ..WorkOpts::default()
+        };
+
+        let clean = DetectionReport::new();
+        assert_eq!(quiet.exit_code(&clean), ExitCode::SUCCESS);
+        assert_eq!(strict.exit_code(&clean), ExitCode::SUCCESS);
+
+        let mut racy = DetectionReport::new();
+        racy.push(finding(BugKind::CrossFailureRace));
+        assert_eq!(quiet.exit_code(&racy), ExitCode::SUCCESS);
+        assert_eq!(strict.exit_code(&racy), ExitCode::from(3));
+
+        // Budget overruns exit 3 even without --fail-on-bugs.
+        let mut killed = DetectionReport::new();
+        killed.push(finding(BugKind::BudgetExceeded));
+        assert_eq!(quiet.exit_code(&killed), ExitCode::from(3));
+        assert_eq!(strict.exit_code(&killed), ExitCode::from(3));
+    }
+
+    #[test]
+    fn bug_ids_parse_case_insensitively() {
+        assert_eq!(parse_bug("btnoaddcount").unwrap(), BugId::BtNoAddCount);
+        assert_eq!(
+            parse_bug("HaHangRecoveryLoop").unwrap(),
+            BugId::HaHangRecoveryLoop
+        );
+        assert!(parse_bug("NoSuchBug").is_err());
+    }
+
+    #[test]
+    fn bug_workload_mismatch_is_rejected() {
+        let o = parse(&["--workload", "ctree", "--bug", "BtNoAddCount"]).unwrap();
+        assert!(o.bug_set(WorkloadKind::Ctree).is_err());
+        assert!(o.bug_set(WorkloadKind::Btree).is_ok());
+    }
 }

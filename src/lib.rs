@@ -29,3 +29,28 @@ pub use xfd_workloads as workloads;
 pub use xfdetector;
 pub use xfstream;
 pub use xftrace;
+
+/// One-stop imports for driving detection runs through the session API.
+///
+/// Pulls in the detector's own prelude (session builder, config, report and
+/// error types), the workload registry needed to name a program and a bug,
+/// and the streaming engine entry point:
+///
+/// ```no_run
+/// use xfd::prelude::*;
+///
+/// let outcome = stream_session()
+///     .build()
+///     .unwrap()
+///     .run(build(WorkloadKind::Btree, 32, BugSet::none()), Mode::Stream)
+///     .unwrap();
+/// println!("{}", outcome.report);
+/// ```
+pub mod prelude {
+    pub use xfd_workloads::bugs::{BugId, BugSet, WorkloadKind};
+    pub use xfd_workloads::{
+        build, build_with_bug, build_with_init, validation_config, validation_ops,
+    };
+    pub use xfdetector::prelude::*;
+    pub use xfstream::{session as stream_session, PipelinedEngine};
+}

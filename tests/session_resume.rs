@@ -1,0 +1,204 @@
+//! Fault-tolerant orchestration, end to end: a detection run killed partway
+//! through and resumed from its journal must merge to a report
+//! byte-identical to an uninterrupted run — in every execution mode, on
+//! multiple workloads — and a workload that hangs its own recovery must
+//! terminate under a budget with the overrun reported as a finding.
+
+use xfd::prelude::*;
+
+/// Serialized form used for byte-identity comparisons (the same form the
+/// CLI and the cross-mode equivalence suite compare).
+fn report_json(outcome: &RunOutcome) -> String {
+    serde_json::to_string(&outcome.report).expect("reports serialize")
+}
+
+fn journal_path(tag: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "xfd-session-resume-{}-{tag}.xfj",
+        std::process::id()
+    ));
+    path
+}
+
+/// Builds a session for `mode`: every mode goes through the stream-capable
+/// builder so the one test body covers all three dispatch paths.
+fn session() -> SessionBuilder {
+    stream_session()
+}
+
+const KILL_AFTER: u64 = 3;
+
+/// Kill-and-resume on `kind` in `mode`: run to completion for reference,
+/// run again capped at [`KILL_AFTER`] failure points while journaling
+/// (the "killed" run), then resume from the journal and demand a
+/// byte-identical report.
+fn assert_resume_equivalence(kind: WorkloadKind, mode: Mode) {
+    let ops = validation_ops(kind);
+    let build_workload = || build(kind, ops, BugSet::none());
+    let path = journal_path(&format!("{kind}-{}", mode.name()));
+    std::fs::remove_file(&path).ok();
+
+    let reference = session()
+        .build()
+        .unwrap()
+        .run(build_workload(), mode)
+        .unwrap();
+    assert!(
+        reference.stats.failure_points > KILL_AFTER,
+        "{kind}/{}: too few failure points ({}) to exercise a mid-run kill",
+        mode.name(),
+        reference.stats.failure_points
+    );
+
+    let killed = session()
+        .config(
+            XfConfig::builder()
+                .max_failure_points(Some(KILL_AFTER))
+                .build()
+                .unwrap(),
+        )
+        .journal(&path)
+        .build()
+        .unwrap();
+    killed.run(build_workload(), mode).unwrap();
+
+    let resumed = session().resume(&path).build().unwrap();
+    let outcome = resumed.run(build_workload(), mode).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(
+        outcome.stats.journal_skipped,
+        KILL_AFTER,
+        "{kind}/{}: resume must skip exactly the journaled failure points",
+        mode.name()
+    );
+    assert_eq!(
+        report_json(&reference),
+        report_json(&outcome),
+        "{kind}/{}: resumed report must be byte-identical to an uninterrupted run",
+        mode.name()
+    );
+}
+
+#[test]
+fn batch_resume_is_byte_identical_on_btree() {
+    assert_resume_equivalence(WorkloadKind::Btree, Mode::Batch);
+}
+
+#[test]
+fn batch_resume_is_byte_identical_on_hashmap_atomic() {
+    assert_resume_equivalence(WorkloadKind::HashmapAtomic, Mode::Batch);
+}
+
+#[test]
+fn parallel_resume_is_byte_identical_on_btree() {
+    assert_resume_equivalence(WorkloadKind::Btree, Mode::Parallel);
+}
+
+#[test]
+fn parallel_resume_is_byte_identical_on_hashmap_atomic() {
+    assert_resume_equivalence(WorkloadKind::HashmapAtomic, Mode::Parallel);
+}
+
+#[test]
+fn stream_resume_is_byte_identical_on_btree() {
+    assert_resume_equivalence(WorkloadKind::Btree, Mode::Stream);
+}
+
+#[test]
+fn stream_resume_is_byte_identical_on_hashmap_atomic() {
+    assert_resume_equivalence(WorkloadKind::HashmapAtomic, Mode::Stream);
+}
+
+/// The registry's hanging bug ([`BugId::HaHangRecoveryLoop`]): recovery
+/// spins forever on a PM read, so the run only terminates because the
+/// budget watchdog kills each overrunning execution — and every kill must
+/// surface as an execution-failure finding rather than wedging the run.
+#[test]
+fn hanging_recovery_terminates_under_budget_with_findings() {
+    let bug = BugId::HaHangRecoveryLoop;
+    let outcome = session()
+        .config(validation_config(bug))
+        .build()
+        .unwrap()
+        .run(build_with_bug(bug), Mode::Batch)
+        .unwrap();
+    assert!(
+        outcome.stats.budget_exceeded >= 1,
+        "expected budget kills, got {:?}",
+        outcome.stats
+    );
+    assert!(
+        outcome.report.execution_failure_count() >= 1,
+        "budget kills must be reported as findings:\n{}",
+        outcome.report
+    );
+    // Budget overruns classify as execution failures only — they never
+    // contaminate the race/semantic/performance verdicts.
+    assert_eq!(outcome.report.race_count(), 0);
+    assert_eq!(outcome.report.semantic_count(), 0);
+    assert_eq!(outcome.report.performance_count(), 0);
+}
+
+/// The same hang, killed by the deterministic trace-entry axis through the
+/// explicit [`SessionBuilder::budget`] knob, across the parallel engine —
+/// the quarantine path must report the identical findings as batch.
+#[test]
+fn budget_kills_are_identical_across_batch_and_parallel() {
+    let bug = BugId::HaHangRecoveryLoop;
+    let budget = Budget::default().with_max_trace_entries(20_000);
+    let run = |mode: Mode| {
+        session()
+            .budget(budget.clone())
+            .build()
+            .unwrap()
+            .run(build_with_bug(bug), mode)
+            .unwrap()
+    };
+    let batch = run(Mode::Batch);
+    let parallel = run(Mode::Parallel);
+    assert!(batch.stats.budget_exceeded >= 1);
+    assert_eq!(report_json(&batch), report_json(&parallel));
+}
+
+/// A budget-killed run is itself resumable: the journaled overrun findings
+/// replay verbatim and the merged report stays byte-identical.
+#[test]
+fn resume_preserves_budget_overrun_findings() {
+    let bug = BugId::HaHangRecoveryLoop;
+    let path = journal_path("budget-resume");
+    std::fs::remove_file(&path).ok();
+    let config = validation_config(bug);
+
+    let reference = session()
+        .config(config.clone())
+        .build()
+        .unwrap()
+        .run(build_with_bug(bug), Mode::Batch)
+        .unwrap();
+    assert!(reference.stats.failure_points > KILL_AFTER);
+
+    let mut capped = config.clone();
+    capped.max_failure_points = Some(KILL_AFTER);
+    session()
+        .config(capped)
+        .journal(&path)
+        .build()
+        .unwrap()
+        .run(build_with_bug(bug), Mode::Batch)
+        .unwrap();
+
+    let outcome = session()
+        .config(config)
+        .resume(&path)
+        .build()
+        .unwrap()
+        .run(build_with_bug(bug), Mode::Batch)
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(outcome.stats.journal_skipped, KILL_AFTER);
+    assert_eq!(report_json(&reference), report_json(&outcome));
+    assert!(outcome.report.execution_failure_count() >= 1);
+}

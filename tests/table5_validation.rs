@@ -3,7 +3,7 @@
 //! expected category — and every workload must be clean without injections.
 
 use xfd::workloads::bugs::{BugId, BugSet, BugSuite, WorkloadKind};
-use xfd::workloads::{build, build_with_bug, validation_ops};
+use xfd::workloads::{build, build_with_bug, validation_config, validation_ops};
 use xfd::xfdetector::{BugCategory, XfDetector};
 
 /// Without injected bugs, no workload produces any finding (no false
@@ -28,17 +28,22 @@ fn all_workloads_are_clean_without_injected_bugs() {
 }
 
 /// Every bug in the registry is detected, in the expected category.
+/// Hanging bugs (expected `ExecutionFailure`) run under the validation
+/// budget and must surface as budget-exceeded findings.
 #[test]
 fn every_synthetic_bug_is_detected_in_its_category() {
     let mut validated = 0;
     for &bug in BugId::all() {
-        let outcome = XfDetector::with_defaults()
+        let outcome = XfDetector::new(validation_config(bug))
             .run(build_with_bug(bug))
             .unwrap();
         let detected = match bug.expected_category() {
             BugCategory::Race => outcome.report.race_count() >= 1,
             BugCategory::Semantic => outcome.report.semantic_count() >= 1,
             BugCategory::Performance => outcome.report.performance_count() >= 1,
+            BugCategory::ExecutionFailure => {
+                outcome.stats.budget_exceeded >= 1 && outcome.report.execution_failure_count() >= 1
+            }
             _ => unreachable!("no registered bug expects {:?}", bug.expected_category()),
         };
         assert!(
