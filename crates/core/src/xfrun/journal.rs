@@ -17,7 +17,7 @@
 //!
 //! ```text
 //! header  := "XFJ1" version:u8 fingerprint:string
-//! record  := tag:u8 payload_len:varint payload
+//! record  := tag:u8 payload_len:varint payload checksum:varint
 //! FP_DONE := 0x01, payload = fp_id file line n_findings finding*
 //! END     := 0xFF, payload = total_failure_points
 //! finding := kind:u8 addr size flags:u8 [reader] [writer] [fp] [message]
@@ -27,7 +27,11 @@
 //! The `flags` byte marks which optional fields follow (bit 0 reader,
 //! bit 1 writer, bit 2 failure point, bit 3 message). Records are length
 //! framed, so a reader tolerates a torn tail — a run killed mid-append
-//! loses at most the record being written. The fingerprint binds the
+//! loses at most the record being written. Each record carries an FNV-1a
+//! checksum of its payload (format version 2): findings journaled records
+//! are merged into the final report *verbatim*, so silent single-byte
+//! corruption would flow straight into the report — a checksum mismatch
+//! is rejected as [`XfError::Journal`] instead. The fingerprint binds the
 //! journal to the workload and to every configuration axis that affects
 //! the report; `max_failure_points` is deliberately excluded so a capped
 //! (killed-early) run can be resumed under the full configuration.
@@ -45,9 +49,17 @@ use crate::error::XfError;
 use crate::report::{BugKind, FailurePoint, Finding};
 
 const MAGIC: &[u8; 4] = b"XFJ1";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 const REC_FP_DONE: u8 = 0x01;
 const REC_END: u8 = 0xFF;
+
+/// FNV-1a over a record payload: cheap, dependency-free corruption
+/// detection for records whose findings are merged verbatim on resume.
+fn payload_checksum(payload: &[u8]) -> u64 {
+    payload.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
+}
 
 const FLAG_READER: u8 = 1 << 0;
 const FLAG_WRITER: u8 = 1 << 1;
@@ -265,6 +277,7 @@ impl JournalWriter {
         self.w.write_all(&[tag])?;
         write_varint(&mut self.w, payload.len() as u64)?;
         self.w.write_all(payload)?;
+        write_varint(&mut self.w, payload_checksum(payload))?;
         self.w.flush()
     }
 
@@ -348,6 +361,16 @@ pub(crate) fn read_journal(path: &Path) -> Result<JournalContents, XfError> {
         let mut payload = vec![0u8; len as usize];
         if r.read_exact(&mut payload).is_err() {
             break;
+        }
+        // A torn tail may end inside the checksum (tolerated); a complete
+        // record with a wrong checksum is corruption, not truncation.
+        let Ok(checksum) = read_varint(&mut r) else {
+            break;
+        };
+        if checksum != payload_checksum(&payload) {
+            return Err(XfError::Journal(
+                "record checksum mismatch (corrupt journal)".into(),
+            ));
         }
         let mut p = &payload[..];
         match tag[0] {
@@ -518,6 +541,41 @@ mod tests {
             assert!(c.fps.len() <= 2);
             assert_eq!(c.completed_total, None, "END was in the torn region");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn payload_corruption_is_rejected_by_the_checksum() {
+        let path = tmp("checksum");
+        let mut w = JournalWriter::create(&path, "fp=sum").unwrap();
+        w.record_fp(
+            0,
+            SourceLoc {
+                file: "a.rs",
+                line: 1,
+            },
+            &[sample_finding(2)],
+        )
+        .unwrap();
+        w.finish(1).unwrap();
+        drop(w);
+
+        let full = std::fs::read(&path).unwrap();
+        // Flip one byte inside the FP_DONE payload (skipping the header):
+        // the record parses structurally but the checksum must catch it.
+        let header_len = 4 + 1 + 1 + "fp=sum".len(); // magic, version, len, fp
+        let mut corrupt = full.clone();
+        corrupt[header_len + 4] ^= 0x10;
+        std::fs::write(&path, &corrupt).unwrap();
+        let err = read_journal(&path).unwrap_err();
+        assert!(
+            matches!(&err, XfError::Journal(m) if m.contains("checksum")),
+            "{err:?}"
+        );
+
+        // The pristine file still parses.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(read_journal(&path).unwrap().fps.len(), 1);
         std::fs::remove_file(&path).ok();
     }
 

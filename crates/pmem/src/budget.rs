@@ -141,20 +141,48 @@ impl std::error::Error for BudgetOverrun {}
 /// watchdog.
 const WALL_CHECK_PERIOD: u64 = 64;
 
+/// The wall-time axis' clock source. Production budgets read the monotonic
+/// system clock; tests inject a manually advanced clock so the at-limit vs
+/// one-over boundary is exercised deterministically instead of by
+/// sleeping.
+#[derive(Debug, Clone)]
+pub(crate) enum BudgetClock {
+    /// Monotonic elapsed time since arming.
+    Wall(Instant),
+    /// Injected elapsed milliseconds, advanced explicitly by the owner.
+    #[cfg_attr(not(test), allow(dead_code))]
+    Manual(std::sync::Arc<std::sync::atomic::AtomicU64>),
+}
+
+impl BudgetClock {
+    fn elapsed(&self) -> Duration {
+        match self {
+            BudgetClock::Wall(started) => started.elapsed(),
+            BudgetClock::Manual(ms) => {
+                Duration::from_millis(ms.load(std::sync::atomic::Ordering::Relaxed))
+            }
+        }
+    }
+}
+
 /// An armed budget: the per-execution charge state the context carries.
 #[derive(Debug)]
 pub(crate) struct ArmedBudget {
     budget: Budget,
-    started: Instant,
+    clock: BudgetClock,
     entries: u64,
     pm_bytes: u64,
 }
 
 impl ArmedBudget {
     pub(crate) fn new(budget: Budget) -> Self {
+        ArmedBudget::with_clock(budget, BudgetClock::Wall(Instant::now()))
+    }
+
+    pub(crate) fn with_clock(budget: Budget, clock: BudgetClock) -> Self {
         ArmedBudget {
             budget,
-            started: Instant::now(),
+            clock,
             entries: 0,
             pm_bytes: 0,
         }
@@ -182,7 +210,7 @@ impl ArmedBudget {
             }
         }
         if let Some(limit) = self.budget.wall_time {
-            if self.entries.is_multiple_of(WALL_CHECK_PERIOD) && self.started.elapsed() > limit {
+            if self.entries.is_multiple_of(WALL_CHECK_PERIOD) && self.clock.elapsed() > limit {
                 return Err(BudgetOverrun {
                     axis: BudgetAxis::WallTime,
                     limit: limit.as_millis() as u64,
@@ -253,6 +281,112 @@ mod tests {
         }
         let overrun = armed.charge(0).unwrap_err();
         assert_eq!(overrun.axis, BudgetAxis::WallTime);
+    }
+
+    #[test]
+    fn entry_budget_boundary_exactly_at_vs_one_over() {
+        // Exactly at the limit is within budget; the next charge overruns.
+        let mut armed = ArmedBudget::new(Budget::default().with_max_trace_entries(5));
+        for _ in 0..5 {
+            assert!(armed.charge(0).is_ok());
+        }
+        let overrun = armed.charge(0).unwrap_err();
+        assert_eq!(overrun.axis, BudgetAxis::TraceEntries);
+        assert_eq!(
+            overrun.to_string(),
+            "post-failure trace-entry budget exceeded (5 entries)"
+        );
+    }
+
+    #[test]
+    fn pm_byte_budget_boundary_exactly_at_vs_one_over() {
+        let mut armed = ArmedBudget::new(Budget::default().with_max_pm_bytes(64));
+        assert!(armed.charge(64).is_ok(), "exactly at the limit is fine");
+        let overrun = armed.charge(1).unwrap_err();
+        assert_eq!(overrun.axis, BudgetAxis::PmBytes);
+        assert_eq!(
+            overrun.to_string(),
+            "post-failure PM-mutation budget exceeded (64 bytes)"
+        );
+    }
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn manual_clock(budget: Budget) -> (ArmedBudget, Arc<AtomicU64>) {
+        let ms = Arc::new(AtomicU64::new(0));
+        let armed = ArmedBudget::with_clock(budget, BudgetClock::Manual(Arc::clone(&ms)));
+        (armed, ms)
+    }
+
+    #[test]
+    fn wall_budget_boundary_exactly_at_vs_one_over() {
+        let limit = Duration::from_millis(100);
+        let (mut armed, clock) = manual_clock(Budget::default().with_wall_time(limit));
+
+        // Elapsed exactly equal to the limit never overruns (the check is
+        // strictly greater), even across many check periods.
+        clock.store(100, Ordering::Relaxed);
+        for _ in 0..3 * WALL_CHECK_PERIOD {
+            assert!(armed.charge(0).is_ok(), "at-limit must stay within budget");
+        }
+
+        // One millisecond over trips the next periodic check.
+        clock.store(101, Ordering::Relaxed);
+        let mut result = Ok(());
+        for _ in 0..WALL_CHECK_PERIOD {
+            result = armed.charge(0);
+            if result.is_err() {
+                break;
+            }
+        }
+        let overrun = result.unwrap_err();
+        assert_eq!(overrun.axis, BudgetAxis::WallTime);
+        assert_eq!(overrun.limit, 100);
+    }
+
+    #[test]
+    fn wall_overrun_fires_only_on_the_check_period() {
+        let (mut armed, clock) = manual_clock(Budget::default().with_wall_time(Duration::ZERO));
+        clock.store(1, Ordering::Relaxed);
+        // Charges between periodic checks never consult the clock.
+        for i in 1..WALL_CHECK_PERIOD {
+            assert!(armed.charge(0).is_ok(), "charge {i} is off-period");
+        }
+        let overrun = armed.charge(0).unwrap_err();
+        assert_eq!(overrun.axis, BudgetAxis::WallTime);
+    }
+
+    #[test]
+    fn wall_overrun_message_is_deterministic_under_manual_clock() {
+        let (mut armed, clock) =
+            manual_clock(Budget::default().with_wall_time(Duration::from_millis(250)));
+        // Wildly different observed elapsed times, identical message: the
+        // report must only ever name the configured limit.
+        clock.store(9999, Ordering::Relaxed);
+        let mut first = None;
+        for _ in 0..WALL_CHECK_PERIOD {
+            if let Err(e) = armed.charge(0) {
+                first = Some(e);
+                break;
+            }
+        }
+        let (mut armed2, clock2) =
+            manual_clock(Budget::default().with_wall_time(Duration::from_millis(250)));
+        clock2.store(251, Ordering::Relaxed);
+        let mut second = None;
+        for _ in 0..WALL_CHECK_PERIOD {
+            if let Err(e) = armed2.charge(0) {
+                second = Some(e);
+                break;
+            }
+        }
+        let (first, second) = (first.unwrap(), second.unwrap());
+        assert_eq!(first, second);
+        assert_eq!(
+            first.to_string(),
+            "post-failure wall-time budget exceeded (250ms)"
+        );
     }
 
     #[test]

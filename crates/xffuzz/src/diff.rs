@@ -1,0 +1,538 @@
+//! The differential driver: engines vs engines vs oracle, with shrinking.
+//!
+//! Each generated program runs through [`Session::run`] in all three
+//! [`Mode`]s plus two trace replays — the production offline backend
+//! ([`xfdetector::offline::analyze`]) and the independent per-byte oracle
+//! ([`crate::oracle::oracle_report`]). Three comparisons must all hold:
+//!
+//! 1. **Engine equivalence** — Batch, Parallel and Stream reports are
+//!    byte-identical under JSON serialization (the repo-wide discipline).
+//! 2. **Oracle parity** — the offline backend and the naive oracle compute
+//!    identical findings from the recorded trace. Both are pure trace
+//!    interpreters with the same replay order, but share no detection
+//!    code, so agreement here pins down the FSM semantics.
+//! 3. **Online/offline parity** — the Batch report minus execution-outcome
+//!    findings (which are not part of the trace) equals the offline
+//!    replay, finding for finding.
+//!
+//! On divergence the driver delta-debugs the op list down to a minimal
+//! still-diverging program and writes a repro bundle (`program.fuzz`,
+//! `minimized.fuzz`, `repro.xft`, `divergence.txt`) into the corpus
+//! directory.
+
+use std::path::PathBuf;
+
+use xfdetector::offline::{analyze, RecordedRun};
+use xfdetector::{BugCategory, BugKind, DetectionReport, Finding, Mode, Session, XfError};
+
+use crate::gen::generate;
+use crate::oracle::oracle_report;
+use crate::program::FuzzProgram;
+
+/// A deliberately injected engine defect, for validating that the harness
+/// actually catches and shrinks divergences. Test/CI-only: a real campaign
+/// runs with [`EngineFault::None`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineFault {
+    /// No fault: the engines run as built.
+    #[default]
+    None,
+    /// Drop every finding of the given kind from the Parallel engine's
+    /// report before comparison, simulating a detection bug in one engine.
+    DropKind(BugKind),
+}
+
+/// Campaign configuration (the `xfd fuzz` flag surface).
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Campaign seed; each iteration derives its own RNG stream from it.
+    pub seed: u64,
+    /// Number of programs to generate and check.
+    pub iters: u64,
+    /// Maximum ops per generated program.
+    pub max_ops: usize,
+    /// Delta-debug diverging programs down to a minimal repro.
+    pub shrink: bool,
+    /// Where to write repro bundles for diverging programs.
+    pub corpus_dir: Option<PathBuf>,
+    /// Post-failure trace-entry budget (deterministic watchdog axis); a
+    /// runaway post-failure stage becomes a `BudgetExceeded` finding
+    /// instead of a hung campaign.
+    pub budget_entries: Option<u64>,
+    /// Injected engine defect (tests/CI only).
+    pub fault: EngineFault,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            seed: 1,
+            iters: 100,
+            max_ops: 32,
+            shrink: true,
+            corpus_dir: None,
+            budget_entries: Some(100_000),
+            fault: EngineFault::None,
+        }
+    }
+}
+
+/// Why a program diverged: which comparison failed and both sides of it.
+#[derive(Debug, Clone)]
+pub struct DivergenceInfo {
+    /// Comparison that failed: `engine-equivalence`, `oracle-parity` or
+    /// `online-offline-parity`.
+    pub check: &'static str,
+    /// Left-hand report, serialized.
+    pub left: String,
+    /// Right-hand report, serialized.
+    pub right: String,
+}
+
+/// The result of checking one program.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// Batch-mode report, JSON-serialized (the campaign digest input).
+    pub batch_json: String,
+    /// The recorded Batch run (for `.xft` repro export).
+    pub recorded: RecordedRun,
+    /// The first failed comparison, if any.
+    pub divergence: Option<DivergenceInfo>,
+}
+
+/// A diverging program, optionally minimized.
+#[derive(Debug)]
+pub struct Divergence {
+    /// Iteration that produced the program.
+    pub iter: u64,
+    /// The failed comparison and both sides.
+    pub info: DivergenceInfo,
+    /// The generated program.
+    pub program: FuzzProgram,
+    /// The delta-debugged minimal program (when shrinking ran).
+    pub minimized: Option<FuzzProgram>,
+}
+
+/// Campaign summary.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Programs generated and checked.
+    pub programs_checked: u64,
+    /// Diverging programs, in iteration order.
+    pub divergences: Vec<Divergence>,
+    /// FNV-1a digest over every program text and Batch report, in
+    /// iteration order. Bit-reproducibility contract: the same `(seed,
+    /// iters, max_ops)` yields the same digest on every run.
+    pub digest: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// The online findings a trace replay can reproduce (execution outcomes —
+/// post-failure errors, panics, budget kills — are not in the trace).
+fn trace_derived(report: &DetectionReport) -> Vec<&Finding> {
+    report
+        .findings()
+        .iter()
+        .filter(|f| f.kind.category() != BugCategory::ExecutionFailure)
+        .collect()
+}
+
+fn apply_fault(report: DetectionReport, fault: EngineFault) -> DetectionReport {
+    match fault {
+        EngineFault::None => report,
+        EngineFault::DropKind(kind) => {
+            let mut out = DetectionReport::new();
+            for f in report.into_findings() {
+                if f.kind != kind {
+                    out.push(f);
+                }
+            }
+            out
+        }
+    }
+}
+
+fn session(cfg: &DiffConfig) -> Result<Session, XfError> {
+    let mut builder = xfstream::session().record_repro(true).workers(2);
+    if let Some(entries) = cfg.budget_entries {
+        builder = builder.budget(pmem::Budget::default().with_max_trace_entries(entries));
+    }
+    builder.build().map_err(XfError::from)
+}
+
+/// Runs one program through all engines and both trace replays, returning
+/// the first comparison that fails (or none).
+///
+/// # Errors
+///
+/// Any [`XfError`] from the engines themselves — an engine *erroring* on a
+/// generated program is an infrastructure failure, distinct from a report
+/// divergence.
+pub fn check_program(program: &FuzzProgram, cfg: &DiffConfig) -> Result<CheckOutcome, XfError> {
+    let session = session(cfg)?;
+    let batch = session.run(program.clone(), Mode::Batch)?;
+    let parallel = session.run(program.clone(), Mode::Parallel)?;
+    let stream = session.run(program.clone(), Mode::Stream)?;
+
+    let recorded = batch
+        .recorded
+        .clone()
+        .expect("record_repro implies a recorded run");
+    let first_read_only = session.config().first_read_only;
+
+    let batch_json = serde_json::to_string(&batch.report).expect("report serializes");
+    let parallel_report = apply_fault(parallel.report, cfg.fault);
+    let parallel_json = serde_json::to_string(&parallel_report).expect("report serializes");
+    let stream_json = serde_json::to_string(&stream.report).expect("report serializes");
+
+    let divergence = if parallel_json != batch_json {
+        Some(DivergenceInfo {
+            check: "engine-equivalence",
+            left: batch_json.clone(),
+            right: parallel_json,
+        })
+    } else if stream_json != batch_json {
+        Some(DivergenceInfo {
+            check: "engine-equivalence",
+            left: batch_json.clone(),
+            right: stream_json,
+        })
+    } else {
+        let offline = analyze(&recorded, first_read_only);
+        let oracle = oracle_report(&recorded, first_read_only);
+        let offline_json = serde_json::to_string(&offline).expect("report serializes");
+        let oracle_json = serde_json::to_string(&oracle).expect("report serializes");
+        if oracle_json != offline_json {
+            Some(DivergenceInfo {
+                check: "oracle-parity",
+                left: offline_json,
+                right: oracle_json,
+            })
+        } else {
+            let online = format!("{:?}", trace_derived(&batch.report));
+            let replayed = format!("{:?}", offline.findings().iter().collect::<Vec<_>>());
+            (online != replayed).then_some(DivergenceInfo {
+                check: "online-offline-parity",
+                left: online,
+                right: replayed,
+            })
+        }
+    };
+
+    Ok(CheckOutcome {
+        batch_json,
+        recorded,
+        divergence,
+    })
+}
+
+/// Cap on shrink re-evaluations; each one is three engine runs plus two
+/// trace replays, so an unlucky shrink stays bounded.
+const MAX_SHRINK_EVALS: usize = 400;
+
+/// Delta-debugs `program` down to a minimal op list that still fails the
+/// same comparison. Classic ddmin over chunk removal: try dropping chunks
+/// of halving size until no single op can be removed.
+///
+/// Soundness rests on the replayer's skip-invalid-ops rule: any
+/// subsequence of a program's ops is itself a valid program, so candidate
+/// removal never creates an unrunnable program.
+///
+/// # Errors
+///
+/// Propagates engine [`XfError`]s from candidate evaluations.
+pub fn shrink_program(
+    program: &FuzzProgram,
+    cfg: &DiffConfig,
+    check: &'static str,
+) -> Result<FuzzProgram, XfError> {
+    let mut ops = program.ops.clone();
+    let mut evals = 0usize;
+    let mut chunk = ops.len().div_ceil(2).max(1);
+
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < ops.len() && evals < MAX_SHRINK_EVALS {
+            let end = (i + chunk).min(ops.len());
+            let mut cand_ops = Vec::with_capacity(ops.len() - (end - i));
+            cand_ops.extend_from_slice(&ops[..i]);
+            cand_ops.extend_from_slice(&ops[end..]);
+            if cand_ops.is_empty() {
+                i = end;
+                continue;
+            }
+            let cand = FuzzProgram {
+                name: program.name.clone(),
+                ops: cand_ops,
+            };
+            evals += 1;
+            let still_fails = check_program(&cand, cfg)?
+                .divergence
+                .is_some_and(|d| d.check == check);
+            if still_fails {
+                ops = cand.ops;
+                removed = true;
+            } else {
+                i = end;
+            }
+        }
+        if evals >= MAX_SHRINK_EVALS || (chunk == 1 && !removed) {
+            break;
+        }
+        if chunk > 1 {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    Ok(FuzzProgram {
+        name: format!("{}-min", program.name),
+        ops,
+    })
+}
+
+fn write_repro(
+    dir: &std::path::Path,
+    div: &Divergence,
+    recorded: &RecordedRun,
+    min_recorded: Option<&RecordedRun>,
+) -> std::io::Result<()> {
+    let bundle = dir.join(&div.program.name);
+    std::fs::create_dir_all(&bundle)?;
+    std::fs::write(bundle.join("program.fuzz"), div.program.to_text())?;
+    if let Some(min) = &div.minimized {
+        std::fs::write(bundle.join("minimized.fuzz"), min.to_text())?;
+    }
+    let repro = min_recorded.unwrap_or(recorded);
+    let bytes = xfstream::encode_recorded_run(repro)
+        .map_err(|e| std::io::Error::other(format!("xft encoding failed: {e}")))?;
+    std::fs::write(bundle.join("repro.xft"), bytes)?;
+    std::fs::write(
+        bundle.join("divergence.txt"),
+        format!(
+            "check: {}\niter: {}\n\n--- left ---\n{}\n\n--- right ---\n{}\n",
+            div.info.check, div.iter, div.info.left, div.info.right
+        ),
+    )?;
+    Ok(())
+}
+
+/// Runs a full campaign: generate, check, shrink, write repros.
+///
+/// # Errors
+///
+/// Engine [`XfError`]s and corpus-directory I/O failures.
+pub fn run_campaign(cfg: &DiffConfig) -> Result<CampaignOutcome, XfError> {
+    run_campaign_with(cfg, |_, _| {})
+}
+
+/// [`run_campaign`] with a per-iteration progress callback
+/// `(iter, diverged)`.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_with<F>(cfg: &DiffConfig, mut progress: F) -> Result<CampaignOutcome, XfError>
+where
+    F: FnMut(u64, bool),
+{
+    let mut digest = FNV_OFFSET;
+    let mut divergences = Vec::new();
+
+    for iter in 0..cfg.iters {
+        let program = generate(cfg.seed, iter, cfg.max_ops);
+        let outcome = check_program(&program, cfg)?;
+        digest = fnv1a(digest, program.to_text().as_bytes());
+        digest = fnv1a(digest, outcome.batch_json.as_bytes());
+
+        let diverged = outcome.divergence.is_some();
+        if let Some(info) = outcome.divergence {
+            let minimized = if cfg.shrink {
+                Some(shrink_program(&program, cfg, info.check)?)
+            } else {
+                None
+            };
+            let min_recorded = match &minimized {
+                Some(min) => Some(check_program(min, cfg)?.recorded),
+                None => None,
+            };
+            let div = Divergence {
+                iter,
+                info,
+                program,
+                minimized,
+            };
+            if let Some(dir) = &cfg.corpus_dir {
+                write_repro(dir, &div, &outcome.recorded, min_recorded.as_ref())
+                    .map_err(XfError::from)?;
+            }
+            divergences.push(div);
+        }
+        progress(iter, diverged);
+    }
+
+    Ok(CampaignOutcome {
+        programs_checked: cfg.iters,
+        divergences,
+        digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::FuzzOp;
+
+    fn quick(iters: u64) -> DiffConfig {
+        DiffConfig {
+            iters,
+            max_ops: 16,
+            shrink: false,
+            ..DiffConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_campaign_has_no_divergences() {
+        let out = run_campaign(&quick(8)).unwrap();
+        assert_eq!(out.programs_checked, 8);
+        assert!(
+            out.divergences.is_empty(),
+            "engines diverged: {:?}",
+            out.divergences[0].info
+        );
+    }
+
+    #[test]
+    fn campaign_digest_is_bit_reproducible() {
+        let a = run_campaign(&quick(6)).unwrap();
+        let b = run_campaign(&quick(6)).unwrap();
+        assert_eq!(a.digest, b.digest);
+        let other = run_campaign(&DiffConfig {
+            seed: 2,
+            ..quick(6)
+        })
+        .unwrap();
+        assert_ne!(a.digest, other.digest, "seed must steer the campaign");
+    }
+
+    #[test]
+    fn injected_engine_fault_is_caught_and_shrunk() {
+        // Drop every cross-failure race from the Parallel engine: any
+        // program whose report contains a race now diverges. The shrinker
+        // must reduce it to a handful of ops (the acceptance bound is 20).
+        let cfg = DiffConfig {
+            iters: 40,
+            max_ops: 24,
+            shrink: true,
+            fault: EngineFault::DropKind(BugKind::CrossFailureRace),
+            ..DiffConfig::default()
+        };
+        let out = run_campaign(&cfg).unwrap();
+        assert!(
+            !out.divergences.is_empty(),
+            "an injected fault must surface within the campaign"
+        );
+        let div = &out.divergences[0];
+        assert_eq!(div.info.check, "engine-equivalence");
+        let min = div.minimized.as_ref().expect("shrink ran");
+        assert!(
+            min.ops.len() <= 20,
+            "shrunk repro still has {} ops: {:?}",
+            min.ops.len(),
+            min.ops
+        );
+        // The minimized program must still fail the same check.
+        let recheck = check_program(min, &cfg).unwrap();
+        assert_eq!(
+            recheck.divergence.map(|d| d.check),
+            Some("engine-equivalence")
+        );
+    }
+
+    #[test]
+    fn repro_bundle_is_written_and_replayable() {
+        let dir = std::env::temp_dir().join(format!("xffuzz-corpus-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = DiffConfig {
+            iters: 40,
+            max_ops: 16,
+            shrink: true,
+            corpus_dir: Some(dir.clone()),
+            fault: EngineFault::DropKind(BugKind::CrossFailureRace),
+            ..DiffConfig::default()
+        };
+        let out = run_campaign(&cfg).unwrap();
+        let div = &out.divergences[0];
+        let bundle = dir.join(&div.program.name);
+        let text = std::fs::read_to_string(bundle.join("program.fuzz")).unwrap();
+        assert_eq!(FuzzProgram::from_text(&text).unwrap(), div.program);
+        let min_text = std::fs::read_to_string(bundle.join("minimized.fuzz")).unwrap();
+        assert_eq!(
+            &FuzzProgram::from_text(&min_text).unwrap().ops,
+            &div.minimized.as_ref().unwrap().ops
+        );
+        let xft = std::fs::read(bundle.join("repro.xft")).unwrap();
+        let run = xfstream::read_recorded_run(&xft[..]).unwrap();
+        assert!(!run.pre.is_empty());
+        assert!(std::fs::read_to_string(bundle.join("divergence.txt"))
+            .unwrap()
+            .contains("engine-equivalence"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_kills_runaway_programs_identically() {
+        // A tiny entry budget turns every post-failure stage into a
+        // BudgetExceeded finding; the engines must still agree exactly.
+        let cfg = DiffConfig {
+            iters: 4,
+            budget_entries: Some(3),
+            shrink: false,
+            ..DiffConfig::default()
+        };
+        let out = run_campaign(&cfg).unwrap();
+        assert!(out.divergences.is_empty());
+    }
+
+    #[test]
+    fn shrink_preserves_a_minimal_handwritten_divergence() {
+        // A two-op racy program plus noise: shrink must strip the noise.
+        let mut ops = vec![FuzzOp::Write { off: 0, val: 1 }];
+        for i in 0..10 {
+            ops.push(FuzzOp::Write {
+                off: 64 + i * 8,
+                val: 7,
+            });
+            ops.push(FuzzOp::Flush {
+                off: 64 + i * 8,
+                kind: xftrace::FlushKind::Clwb,
+            });
+            ops.push(FuzzOp::Fence {
+                kind: xftrace::FenceKind::Sfence,
+            });
+        }
+        let program = FuzzProgram {
+            name: "hand-racy".into(),
+            ops,
+        };
+        let cfg = DiffConfig {
+            fault: EngineFault::DropKind(BugKind::CrossFailureRace),
+            ..DiffConfig::default()
+        };
+        let info = check_program(&program, &cfg)
+            .unwrap()
+            .divergence
+            .expect("the unflushed word races");
+        let min = shrink_program(&program, &cfg, info.check).unwrap();
+        assert!(min.ops.len() <= 3, "{:?}", min.ops);
+    }
+}

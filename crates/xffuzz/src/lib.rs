@@ -1,0 +1,38 @@
+//! Differential PM-program fuzzer with a model-checking oracle.
+//!
+//! The detector's seven workloads are hand-written and exercise a narrow
+//! corner of the WRITE/CLWB/SFENCE/TX space. This crate turns the repo's
+//! byte-identical-report discipline into a continuously self-verifying
+//! harness:
+//!
+//! - [`gen`] deterministically generates random PM programs over the
+//!   `pmdk` surface (transactions, redo logging, raw stores, flush/fence
+//!   sequences, allocator churn) from a campaign seed.
+//! - [`program`] makes each generated program a replayable
+//!   [`Workload`](xfdetector::Workload), with a text codec for repro
+//!   files.
+//! - [`oracle`] is an independent reference implementation of the
+//!   persistence FSM — per-byte, no line slabs, no copy-on-write, no
+//!   shadow optimizations — computing ground-truth findings from a
+//!   recorded trace.
+//! - [`diff`] cross-checks Batch/Parallel/Stream engine reports against
+//!   each other and against the oracle, delta-debugs any diverging
+//!   program to a minimal repro, and writes `.xft` + `program.fuzz`
+//!   bundles.
+//!
+//! Entry points: [`run_campaign`] for a whole seeded campaign (what `xfd
+//! fuzz` drives), [`check_program`] for one program, [`generate`] +
+//! [`FuzzProgram::from_text`] for replaying repro files.
+
+pub mod diff;
+pub mod gen;
+pub mod oracle;
+pub mod program;
+
+pub use diff::{
+    check_program, run_campaign, run_campaign_with, shrink_program, CampaignOutcome, CheckOutcome,
+    DiffConfig, Divergence, DivergenceInfo, EngineFault,
+};
+pub use gen::{generate, iter_seed};
+pub use oracle::oracle_report;
+pub use program::{FuzzOp, FuzzProgram};

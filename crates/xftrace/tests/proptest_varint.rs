@@ -1,0 +1,110 @@
+//! Property-based round-trip tests of the varint/zigzag substrate every
+//! `.xft` trace is built on: encode-decode identity over the full `u64`
+//! and `i64` domains, exact boundary values, and the multi-byte
+//! continuation edges (`2^(7k) - 1` vs `2^(7k)`), where an off-by-one in
+//! the shift loop would corrupt every downstream trace silently.
+
+use proptest::prelude::*;
+
+use xftrace::varint::{read_varint, unzigzag, write_varint, zigzag};
+
+fn encode(v: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_varint(&mut buf, v).expect("writing to a Vec cannot fail");
+    buf
+}
+
+fn decode(bytes: &[u8]) -> std::io::Result<u64> {
+    read_varint(&mut &bytes[..])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn varint_round_trips_any_u64(v in any::<u64>()) {
+        let buf = encode(v);
+        prop_assert_eq!(decode(&buf).unwrap(), v);
+        // Base-128: one byte per started 7-bit group, never more than 10.
+        let groups = ((64 - v.leading_zeros()).div_ceil(7)).max(1) as usize;
+        prop_assert_eq!(buf.len(), groups);
+    }
+
+    #[test]
+    fn zigzag_round_trips_any_i64(v in any::<i64>()) {
+        prop_assert_eq!(unzigzag(zigzag(v)), v);
+    }
+
+    #[test]
+    fn zigzag_varint_composition_round_trips(v in any::<i64>()) {
+        let buf = encode(zigzag(v));
+        prop_assert_eq!(unzigzag(decode(&buf).unwrap()), v);
+    }
+
+    #[test]
+    fn small_magnitudes_encode_small(raw in 0u64..128) {
+        // Zigzag exists so near-zero deltas stay single-byte.
+        let v = raw as i64 - 64; // -64..=63, the single-byte zigzag domain
+        prop_assert_eq!(encode(zigzag(v)).len(), 1);
+    }
+}
+
+#[test]
+fn boundary_values_round_trip_exactly() {
+    for v in [
+        0i64,
+        1,
+        -1,
+        63,
+        -64, // the single-byte zigzag extremes
+        64,
+        -65,
+        i64::MIN,
+        i64::MAX,
+    ] {
+        assert_eq!(unzigzag(zigzag(v)), v, "zigzag identity for {v}");
+        assert_eq!(
+            unzigzag(decode(&encode(zigzag(v))).unwrap()),
+            v,
+            "varint round trip for {v}"
+        );
+    }
+    assert_eq!(zigzag(0), 0);
+    assert_eq!(zigzag(-1), 1);
+    assert_eq!(zigzag(1), 2);
+    assert_eq!(zigzag(i64::MAX), u64::MAX - 1);
+    assert_eq!(zigzag(i64::MIN), u64::MAX);
+}
+
+#[test]
+fn continuation_edges_use_the_minimal_byte_count() {
+    // 2^(7k) - 1 fits in k bytes; 2^(7k) needs k + 1.
+    for k in 1..=9u32 {
+        let below = (1u64 << (7 * k)) - 1;
+        let at = 1u64 << (7 * k);
+        assert_eq!(encode(below).len(), k as usize, "2^({k}*7)-1");
+        assert_eq!(encode(at).len(), k as usize + 1, "2^({k}*7)");
+        assert_eq!(decode(&encode(below)).unwrap(), below);
+        assert_eq!(decode(&encode(at)).unwrap(), at);
+    }
+    assert_eq!(encode(u64::MAX).len(), 10);
+    assert_eq!(decode(&encode(u64::MAX)).unwrap(), u64::MAX);
+}
+
+#[test]
+fn truncated_and_overlong_inputs_are_structured_errors() {
+    // Truncation at every prefix of a maximal encoding.
+    let full = encode(u64::MAX);
+    for cut in 0..full.len() {
+        let err = decode(&full[..cut]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut={cut}");
+    }
+    // An 11-byte continuation chain overflows the 64-bit shift window.
+    let overlong = [0x80u8; 10]
+        .iter()
+        .copied()
+        .chain([0x01])
+        .collect::<Vec<_>>();
+    let err = decode(&overlong).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}

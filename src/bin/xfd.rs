@@ -9,6 +9,9 @@
 //!   backend (§5.5: the backend is independent of the frontend),
 //! - `xfd report`  — run live detection (batch, streaming-pipelined or
 //!   parallel) and print the findings,
+//! - `xfd fuzz`    — run a seeded differential fuzzing campaign: random PM
+//!   programs through all three engines plus the model-checking oracle,
+//!   shrinking any divergence to a minimal repro,
 //! - `xfd info`    — inspect a `.xft` trace, or list workloads and bugs.
 //!
 //! Run `xfd --help` for the full flag reference.
@@ -28,6 +31,7 @@ use xfd::pmem::Budget;
 use xfd::workloads::bugs::{BugId, BugSet, WorkloadKind};
 use xfd::workloads::{build_with_init, validation_ops};
 use xfd::xfdetector::{BugKind, DetectionReport, Mode, Progress, RunOutcome, RunStats, XfConfig};
+use xfd::xffuzz::{self, DiffConfig, FuzzProgram};
 use xfd::xfstream::{self, StreamOptions, XftReader};
 
 const USAGE: &str = "\
@@ -41,13 +45,29 @@ USAGE:
     xfd report  --workload <name> [--ops N] [--init N] [--bug ID]...
                 [--mode batch|stream|parallel] [--workers N] [--capacity N]
                 [--json] [CONFIG FLAGS]
+    xfd fuzz    [--seed N] [--iters N] [--max-ops N] [--no-shrink]
+                [--corpus-dir DIR] [--budget-entries N] [--replay FILE.fuzz]
+                [--progress] [--json]
     xfd info    [FILE.xft]
 
 SUBCOMMANDS:
     record     Run pipelined detection and persist the trace as .xft
     analyze    Replay a .xft trace through the offline detection backend
     report     Run live detection and print the findings
+    fuzz       Differential fuzzing: generated programs vs the oracle
     info       Inspect a .xft trace; with no argument, list workloads & bugs
+
+FUZZ OPTIONS:
+    --seed N              Campaign seed (default 1); same seed => same
+                          programs, same reports, same campaign digest
+    --iters N             Programs to generate and check (default 100)
+    --max-ops N           Maximum ops per generated program (default 32)
+    --no-shrink           Skip delta-debugging diverging programs
+    --corpus-dir DIR      Write repro bundles (program.fuzz, minimized.fuzz,
+                          repro.xft, divergence.txt) under DIR on divergence
+    --budget-entries N    Post-failure trace-entry watchdog (default 100000)
+    --replay FILE.fuzz    Re-check one saved program instead of a campaign
+    Exit status: 3 if any divergence was found, 2 on infrastructure errors
 
 COMMON OPTIONS:
     --workload <name>     One of: btree, ctree, rbtree, hashmap_tx,
@@ -114,6 +134,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "record" => cmd_record(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "report" => cmd_report(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
         "info" => cmd_info(&args[1..]),
         other => Err(format!("unknown subcommand '{other}' (see xfd --help)")),
     }
@@ -538,6 +559,174 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     Ok(o.exit_code(&outcome.report))
 }
 
+/// `xfd fuzz` options: the [`DiffConfig`] surface plus replay/output modes.
+#[derive(Debug)]
+struct FuzzOpts {
+    diff: DiffConfig,
+    replay: Option<String>,
+    progress: bool,
+    json: bool,
+}
+
+fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, String> {
+    let mut o = FuzzOpts {
+        diff: DiffConfig::default(),
+        replay: None,
+        progress: false,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => o.diff.seed = parse_num(arg, next_value(arg, &mut it)?)?,
+            "--iters" => {
+                o.diff.iters = parse_num(arg, next_value(arg, &mut it)?)?;
+                if o.diff.iters == 0 {
+                    return Err("--iters must be at least 1".into());
+                }
+            }
+            "--max-ops" => {
+                o.diff.max_ops = parse_num(arg, next_value(arg, &mut it)?)?;
+                if o.diff.max_ops == 0 {
+                    return Err("--max-ops must be at least 1".into());
+                }
+            }
+            "--shrink" => o.diff.shrink = true,
+            "--no-shrink" => o.diff.shrink = false,
+            "--corpus-dir" => {
+                o.diff.corpus_dir = Some(next_value(arg, &mut it)?.clone().into());
+            }
+            "--budget-entries" => {
+                let n: u64 = parse_num(arg, next_value(arg, &mut it)?)?;
+                if n == 0 {
+                    return Err("--budget-entries must be at least 1".into());
+                }
+                o.diff.budget_entries = Some(n);
+            }
+            "--replay" => o.replay = Some(next_value(arg, &mut it)?.clone()),
+            "--progress" => o.progress = true,
+            "--json" => o.json = true,
+            other => return Err(format!("unexpected argument '{other}' (see xfd --help)")),
+        }
+    }
+    Ok(o)
+}
+
+#[derive(Serialize)]
+struct FuzzDivergenceOut {
+    iter: u64,
+    check: &'static str,
+    program: String,
+    minimized: Option<String>,
+}
+
+#[derive(Serialize)]
+struct FuzzOut {
+    seed: u64,
+    iters: u64,
+    max_ops: usize,
+    programs_checked: u64,
+    digest: String,
+    divergences: Vec<FuzzDivergenceOut>,
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_fuzz_opts(args)?;
+
+    // Replay mode: one saved program through the full differential check.
+    if let Some(path) = &o.replay {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program =
+            FuzzProgram::from_text(&text).map_err(|e| format!("parsing {path} failed: {e}"))?;
+        let outcome = xffuzz::check_program(&program, &o.diff)
+            .map_err(|e| format!("differential check failed: {e}"))?;
+        return match outcome.divergence {
+            None => {
+                println!(
+                    "{}: {} ops, engines and oracle agree",
+                    program.name,
+                    program.ops.len()
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            Some(d) => {
+                println!("{}: DIVERGENCE on {}", program.name, d.check);
+                println!("--- left ---\n{}", d.left);
+                println!("--- right ---\n{}", d.right);
+                Ok(ExitCode::from(3))
+            }
+        };
+    }
+
+    let progress = o.progress;
+    let outcome = xffuzz::run_campaign_with(&o.diff, |iter, diverged| {
+        if progress {
+            eprint!("\rfuzz: {}/{} programs checked   ", iter + 1, o.diff.iters);
+        }
+        if diverged {
+            eprintln!("\nfuzz: divergence at iteration {iter}");
+        }
+    })
+    .map_err(|e| format!("fuzz campaign failed: {e}"))?;
+    if progress {
+        eprintln!();
+    }
+
+    let digest = format!("{:016x}", outcome.digest);
+    if o.json {
+        let out = FuzzOut {
+            seed: o.diff.seed,
+            iters: o.diff.iters,
+            max_ops: o.diff.max_ops,
+            programs_checked: outcome.programs_checked,
+            digest,
+            divergences: outcome
+                .divergences
+                .iter()
+                .map(|d| FuzzDivergenceOut {
+                    iter: d.iter,
+                    check: d.info.check,
+                    program: d.program.to_text(),
+                    minimized: d.minimized.as_ref().map(FuzzProgram::to_text),
+                })
+                .collect(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&out).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "fuzz campaign: seed {}, {} programs, max {} ops each",
+            o.diff.seed, outcome.programs_checked, o.diff.max_ops
+        );
+        println!("campaign digest: {digest}");
+        if outcome.divergences.is_empty() {
+            println!("engines and oracle agree on every program");
+        } else {
+            for d in &outcome.divergences {
+                let min = d.minimized.as_ref().map_or_else(String::new, |m| {
+                    format!(" (minimized to {} ops)", m.ops.len())
+                });
+                println!(
+                    "DIVERGENCE at iteration {}: {} on {} ops{min}",
+                    d.iter,
+                    d.info.check,
+                    d.program.ops.len()
+                );
+            }
+            if let Some(dir) = &o.diff.corpus_dir {
+                println!("repro bundles written under {}", dir.display());
+            }
+        }
+    }
+    Ok(if outcome.divergences.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    })
+}
+
 fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
     let Some(path) = args.iter().find(|a| !a.starts_with('-')) else {
         println!("workloads:");
@@ -713,6 +902,58 @@ mod tests {
         killed.push(finding(BugKind::BudgetExceeded));
         assert_eq!(quiet.exit_code(&killed), ExitCode::from(3));
         assert_eq!(strict.exit_code(&killed), ExitCode::from(3));
+    }
+
+    fn parse_fuzz(args: &[&str]) -> Result<FuzzOpts, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        parse_fuzz_opts(&owned)
+    }
+
+    #[test]
+    fn fuzz_flags_parse() {
+        let o = parse_fuzz(&[
+            "--seed",
+            "7",
+            "--iters",
+            "250",
+            "--max-ops",
+            "48",
+            "--no-shrink",
+            "--corpus-dir",
+            "corpus",
+            "--budget-entries",
+            "5000",
+            "--progress",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(o.diff.seed, 7);
+        assert_eq!(o.diff.iters, 250);
+        assert_eq!(o.diff.max_ops, 48);
+        assert!(!o.diff.shrink);
+        assert_eq!(o.diff.corpus_dir.as_deref(), Some(Path::new("corpus")));
+        assert_eq!(o.diff.budget_entries, Some(5000));
+        assert!(o.progress && o.json);
+    }
+
+    #[test]
+    fn fuzz_defaults_and_replay() {
+        let o = parse_fuzz(&[]).unwrap();
+        assert_eq!(o.diff.seed, 1);
+        assert!(o.diff.shrink, "shrinking is on by default");
+        assert!(o.replay.is_none());
+
+        let o = parse_fuzz(&["--replay", "min.fuzz", "--shrink"]).unwrap();
+        assert_eq!(o.replay.as_deref(), Some("min.fuzz"));
+        assert!(o.diff.shrink);
+    }
+
+    #[test]
+    fn fuzz_rejects_degenerate_values() {
+        assert!(parse_fuzz(&["--iters", "0"]).is_err());
+        assert!(parse_fuzz(&["--max-ops", "0"]).is_err());
+        assert!(parse_fuzz(&["--budget-entries", "0"]).is_err());
+        assert!(parse_fuzz(&["--frobnicate"]).is_err());
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   registry,
 //! - [`xfstream`] — the streaming frontend/backend transport: bounded trace
 //!   FIFO, pipelined detection and the compact `.xft` trace codec behind
-//!   the `xfd` CLI.
+//!   the `xfd` CLI,
+//! - [`xffuzz`] — the differential fuzzer: seeded PM-program generation, a
+//!   per-byte model-checking oracle and delta-debugging repro
+//!   minimization (the `xfd fuzz` subcommand).
 //!
 //! # Quickstart
 //!
@@ -27,6 +30,7 @@ pub use pmdk_sim as pmdk;
 pub use pmem;
 pub use xfd_workloads as workloads;
 pub use xfdetector;
+pub use xffuzz;
 pub use xfstream;
 pub use xftrace;
 
