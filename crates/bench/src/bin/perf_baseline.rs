@@ -35,7 +35,7 @@ use std::time::Duration;
 use serde::Serialize;
 use xfd_bench::{run_detection_with, run_parallel_detection, secs, trace_sizes};
 use xfd_workloads::bugs::WorkloadKind;
-use xfdetector::XfConfig;
+use xfdetector::{Pruning, XfConfig};
 
 const WORKERS: usize = 8;
 const REPS: u32 = 3;
@@ -59,6 +59,14 @@ struct Row {
     parallel_serial_checking_s: f64,
     parallel_checking_s: f64,
     speedup_parallel_checking: f64,
+    /// Sequential wall time under `Pruning::Equivalence`.
+    pruned_s: f64,
+    /// Persistence-state equivalence classes among the failure points.
+    classes_total: u64,
+    /// Failure points whose post-failure execution was pruned.
+    fps_pruned: u64,
+    /// Failure points per class: the post-failure execution reduction.
+    pruning_ratio: f64,
     shadow_bytes_cloned: u64,
     shadow_resident_bytes: u64,
     /// Recorded trace entries (pre-failure plus all post-failure traces).
@@ -110,9 +118,14 @@ fn main() {
     // Fraction of offloaded work that leaves the critical path at WORKERS.
     let off = 1.0 - 1.0 / WORKERS as f64;
 
+    let pruned_cfg = XfConfig {
+        pruning: Pruning::Equivalence,
+        ..XfConfig::default()
+    };
+
     println!("detector perf baseline ({WORKERS} workers, best of {REPS}, {host_cpus} host cpus, {method})");
     println!(
-        "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>8} {:>12} {:>11} {:>7}",
+        "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>8} {:>9} {:>8} {:>12} {:>11} {:>7}",
         "workload",
         "ops",
         "#fp",
@@ -122,6 +135,8 @@ fn main() {
         "par-serial[s]",
         "par-check[s]",
         "speedup",
+        "pruned[s]",
+        "prune",
         "shadow[KiB]",
         "trace[KiB]",
         "vs-json"
@@ -147,6 +162,17 @@ fn main() {
                 (o.stats.shadow_bytes_cloned, o.stats.shadow_resident_bytes),
             )
         });
+        let (pruned_wall, (classes_total, fps_pruned, pruning_ratio)) = best_of(|| {
+            let o = run_detection_with(kind, ops, pruned_cfg.clone());
+            (
+                o.stats.total_time,
+                (
+                    o.stats.classes_total,
+                    o.stats.fps_pruned,
+                    o.stats.pruning_ratio,
+                ),
+            )
+        });
 
         let exec = exec_work.as_secs_f64();
         let check = check_work.as_secs_f64();
@@ -166,7 +192,7 @@ fn main() {
         let speedup = ps / pc.max(f64::MIN_POSITIVE);
         let trace = trace_sizes(kind, ops);
         println!(
-            "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>7.2}x {:>12.1} {:>11.1} {:>6.1}x",
+            "{:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>14} {:>13} {:>7.2}x {:>9} {:>7.2}x {:>12.1} {:>11.1} {:>6.1}x",
             kind.to_string(),
             ops,
             failure_points,
@@ -176,6 +202,8 @@ fn main() {
             format!("{ps:.3}"),
             format!("{pc:.3}"),
             speedup,
+            secs(pruned_wall),
+            pruning_ratio,
             shadow_cloned as f64 / 1024.0,
             trace.xft_bytes as f64 / 1024.0,
             trace.ratio(),
@@ -193,6 +221,10 @@ fn main() {
             parallel_serial_checking_s: ps,
             parallel_checking_s: pc,
             speedup_parallel_checking: speedup,
+            pruned_s: pruned_wall.as_secs_f64(),
+            classes_total,
+            fps_pruned,
+            pruning_ratio,
             shadow_bytes_cloned: shadow_cloned,
             shadow_resident_bytes: shadow_resident,
             trace_entries: trace.entries,

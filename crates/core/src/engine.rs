@@ -30,6 +30,7 @@ use pmem::{
 use xftrace::{SourceLoc, TraceEntry};
 
 use crate::error::ConfigError;
+use crate::prune::{PruneCache, Pruning};
 use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
 use crate::shadow::ShadowPm;
 use crate::stats::RunStats;
@@ -160,6 +161,13 @@ pub struct XfConfig {
     /// overruns safely, even with [`XfConfig::catch_post_panics`] off:
     /// the watchdog kill is a finding, never an engine crash.
     pub post_budget: Option<Budget>,
+    /// Failure-point pruning policy: collapse failure points into
+    /// persistence-state equivalence classes and run one representative
+    /// post-failure execution per class, replaying its trace against every
+    /// other member's own shadow checkpoint (see [`crate::Pruning`]). The
+    /// merged report is byte-identical to exhaustive mode; only redundant
+    /// executions and image captures are elided.
+    pub pruning: Pruning,
 }
 
 impl Default for XfConfig {
@@ -178,6 +186,7 @@ impl Default for XfConfig {
             dedup_images: true,
             parallel_checking: true,
             post_budget: None,
+            pruning: Pruning::Off,
         }
     }
 }
@@ -263,6 +272,8 @@ impl XfConfigBuilder {
         parallel_checking: bool,
         /// See [`XfConfig::post_budget`].
         post_budget: Option<Budget>,
+        /// See [`XfConfig::pruning`].
+        pruning: Pruning,
     }
 
     /// Validates the configuration and returns it.
@@ -281,6 +292,7 @@ impl XfConfigBuilder {
                 return Err(ConfigError::EmptyBudget);
             }
         }
+        self.config.pruning.validate()?;
         Ok(self.config)
     }
 }
@@ -431,11 +443,16 @@ impl XfDetector {
         let workload = Rc::new(workload);
 
         let post_workload = Rc::clone(&workload);
+        let mut shadow = ShadowPm::new();
+        if self.config.pruning.is_enabled() {
+            shadow.enable_fingerprinting();
+        }
         let shared = Rc::new(EngineState {
-            shadow: RefCell::new(ShadowPm::new()),
+            shadow: RefCell::new(shadow),
             report: RefCell::new(DetectionReport::new()),
             stats: RefCell::new(RunStats::default()),
             dedup: RefCell::new(HashMap::new()),
+            prune: RefCell::new(PruneCache::new(self.config.pruning)),
             rng: RefCell::new(StdRng::seed_from_u64(self.config.rng_seed)),
             recorded: RefCell::new(if self.config.record_trace {
                 Some(crate::offline::RecordedRun::default())
@@ -489,6 +506,10 @@ impl XfDetector {
             stats.shadow_bytes_cloned = shadow.bytes_cloned();
             stats.shadow_resident_bytes = shadow.resident_bytes();
         }
+        {
+            let prune = shared.prune.borrow();
+            stats.finish_pruning(prune.classes_total(), prune.fps_pruned());
+        }
         // Sequentially, `detect_time` is exactly the per-failure-point
         // checking time; nothing ran in workers.
         stats.check_time = stats.detect_time;
@@ -517,11 +538,22 @@ struct CachedPost {
     outcome: PostOutcome,
 }
 
+/// How a failure point's post-failure trace was obtained: by running the
+/// post-failure stage, from the image-dedup cache, or from the pruning
+/// layer's class representative.
+#[derive(Clone, Copy, PartialEq)]
+enum PostSource {
+    Executed,
+    ImageDedup,
+    Pruned,
+}
+
 struct EngineState {
     shadow: RefCell<ShadowPm>,
     report: RefCell<DetectionReport>,
     stats: RefCell<RunStats>,
     dedup: RefCell<HashMap<ImageHash, CachedPost>>,
+    prune: RefCell<PruneCache<(Vec<TraceEntry>, PostOutcome)>>,
     rng: RefCell<StdRng>,
     recorded: RefCell<Option<crate::offline::RecordedRun>>,
     config: XfConfig,
@@ -551,6 +583,58 @@ impl EngineState {
             }
         } else {
             PostOutcome::from((self.post)(post_ctx))
+        }
+    }
+
+    /// Captures the crash image and obtains this failure point's
+    /// post-failure trace — by running the post-failure stage, or from the
+    /// image-dedup cache when the image was already explored. Returns
+    /// `(trace, outcome, executed)`.
+    fn obtain_post(&self, ctx: &mut PmCtx) -> (Vec<TraceEntry>, PostOutcome, bool) {
+        if self.config.cow_snapshots {
+            let image = self
+                .config
+                .crash_policy
+                .cow_image(ctx.pool(), &mut *self.rng.borrow_mut());
+            let hash = self.config.dedup_images.then(|| image.content_hash());
+            let cached = hash.and_then(|h| {
+                self.dedup
+                    .borrow()
+                    .get(&h)
+                    .filter(|c| c.image.same_content(&image))
+                    .map(|c| (c.post.clone(), c.outcome.clone()))
+            });
+            if let Some((post, outcome)) = cached {
+                (post, outcome, false)
+            } else {
+                let mut post_ctx = ctx.fork_post_cow(&image);
+                let outcome = self.execute_post(&mut post_ctx);
+                let post = post_ctx.trace().drain();
+                self.stats.borrow_mut().snapshot_bytes_copied +=
+                    post_ctx.pool().snapshot_bytes_copied();
+                if let Some(h) = hash {
+                    self.dedup.borrow_mut().insert(
+                        h,
+                        CachedPost {
+                            image,
+                            post: post.clone(),
+                            outcome: outcome.clone(),
+                        },
+                    );
+                }
+                (post, outcome, true)
+            }
+        } else {
+            let image = self
+                .config
+                .crash_policy
+                .image(ctx.pool(), &mut *self.rng.borrow_mut());
+            let mut post_ctx = ctx.fork_post(&image);
+            let outcome = self.execute_post(&mut post_ctx);
+            let post = post_ctx.trace().drain();
+            self.stats.borrow_mut().snapshot_bytes_copied +=
+                post_ctx.pool().snapshot_bytes_copied();
+            (post, outcome, true)
         }
     }
 }
@@ -635,50 +719,41 @@ impl EngineHook for EngineState {
         // so the replayed findings are identical — only re-anchored to the
         // current failure point).
         let t_post = Instant::now();
-        let (post_entries, outcome, executed) = if self.config.cow_snapshots {
-            let image = self
-                .config
-                .crash_policy
-                .cow_image(ctx.pool(), &mut *self.rng.borrow_mut());
-            let hash = self.config.dedup_images.then(|| image.content_hash());
-            let cached = hash.and_then(|h| {
-                self.dedup
-                    .borrow()
-                    .get(&h)
-                    .filter(|c| c.image.same_content(&image))
-                    .map(|c| (c.post.clone(), c.outcome.clone()))
-            });
-            if let Some((post, outcome)) = cached {
-                (post, outcome, false)
-            } else {
-                let mut post_ctx = ctx.fork_post_cow(&image);
-                let outcome = self.execute_post(&mut post_ctx);
-                let post = post_ctx.trace().drain();
-                self.stats.borrow_mut().snapshot_bytes_copied +=
-                    post_ctx.pool().snapshot_bytes_copied();
-                if let Some(h) = hash {
-                    self.dedup.borrow_mut().insert(
-                        h,
-                        CachedPost {
-                            image,
-                            post: post.clone(),
-                            outcome: outcome.clone(),
-                        },
-                    );
-                }
-                (post, outcome, true)
-            }
+        // Pruning: a failure point whose persistence fingerprint matches an
+        // already-explored equivalence class skips both the image capture
+        // and the post-failure execution. The representative's trace is
+        // still replayed (checked) against *this* failure point's own
+        // shadow checkpoint below, exactly like an image-dedup hit, so the
+        // report is unchanged — only the redundant execution is elided.
+        let fingerprint = self
+            .prune
+            .borrow()
+            .is_enabled()
+            .then(|| self.shadow.borrow_mut().persistence_fingerprint());
+        let pruned = fingerprint.and_then(|key| {
+            self.prune
+                .borrow_mut()
+                .lookup(key, fp.id)
+                .map(|(post, outcome)| (post.clone(), outcome.clone()))
+        });
+        let (post_entries, outcome, source) = if let Some((post, outcome)) = pruned {
+            (post, outcome, PostSource::Pruned)
         } else {
-            let image = self
-                .config
-                .crash_policy
-                .image(ctx.pool(), &mut *self.rng.borrow_mut());
-            let mut post_ctx = ctx.fork_post(&image);
-            let outcome = self.execute_post(&mut post_ctx);
-            let post = post_ctx.trace().drain();
-            self.stats.borrow_mut().snapshot_bytes_copied +=
-                post_ctx.pool().snapshot_bytes_copied();
-            (post, outcome, true)
+            let (post, outcome, executed) = self.obtain_post(ctx);
+            // An image-dedup'd result is as good a class representative as
+            // an executed one (the post run is a pure function of the
+            // image); first member in wins either way.
+            if let Some(key) = fingerprint {
+                self.prune
+                    .borrow_mut()
+                    .insert(key, (post.clone(), outcome.clone()));
+            }
+            let source = if executed {
+                PostSource::Executed
+            } else {
+                PostSource::ImageDedup
+            };
+            (post, outcome, source)
         };
         let post_time = t_post.elapsed();
 
@@ -729,8 +804,13 @@ impl EngineHook for EngineState {
                 });
             }
             PostOutcome::BudgetExceeded(msg) => {
-                self.stats.borrow_mut().budget_exceeded += 1;
-                self.ctl.obs().budget_kill();
+                // The watchdog only fired on representative *executions*;
+                // dedup/prune replays of a killed run re-emit the finding
+                // but must not inflate the kill counter.
+                if source == PostSource::Executed {
+                    self.stats.borrow_mut().budget_exceeded += 1;
+                    self.ctl.obs().budget_kill();
+                }
                 self.report.borrow_mut().push(Finding {
                     kind: BugKind::BudgetExceeded,
                     addr: 0,
@@ -745,10 +825,10 @@ impl EngineHook for EngineState {
 
         {
             let mut stats = self.stats.borrow_mut();
-            if executed {
-                stats.post_runs += 1;
-            } else {
-                stats.images_deduped += 1;
+            match source {
+                PostSource::Executed => stats.post_runs += 1,
+                PostSource::ImageDedup => stats.images_deduped += 1,
+                PostSource::Pruned => {} // tallied via the prune cache
             }
             stats.post_entries += post_entries.len() as u64;
             stats.post_exec_time += post_time;
@@ -763,10 +843,10 @@ impl EngineHook for EngineState {
             self.ctl
                 .append_fp(fp.id, loc, &report.findings()[delta_start..]);
         }
-        if executed {
-            self.ctl.obs().post_run();
-        } else {
-            self.ctl.obs().dedup_hit();
+        match source {
+            PostSource::Executed => self.ctl.obs().post_run(),
+            PostSource::ImageDedup => self.ctl.obs().dedup_hit(),
+            PostSource::Pruned => self.ctl.obs().prune_hit(),
         }
         self.ctl.obs().fp_done();
     }

@@ -27,6 +27,9 @@ pub enum ConfigError {
     ZeroStreamCapacity,
     /// An execution budget was supplied with no limit on any axis.
     EmptyBudget,
+    /// A [`Pruning::Sampled`](crate::Pruning::Sampled) audit rate outside
+    /// `[0, 1]` (or NaN).
+    InvalidSamplingRate,
 }
 
 impl fmt::Display for ConfigError {
@@ -40,6 +43,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EmptyBudget => {
                 write!(f, "a post-failure budget must limit at least one axis")
+            }
+            ConfigError::InvalidSamplingRate => {
+                write!(f, "sampled pruning audit rate must lie in [0, 1]")
             }
         }
     }

@@ -43,6 +43,7 @@ mod engine;
 mod error;
 pub mod offline;
 mod parallel;
+mod prune;
 mod report;
 mod shadow;
 mod stats;
@@ -52,6 +53,7 @@ pub use engine::{
     DynError, EngineError, RunOutcome, Workload, XfConfig, XfConfigBuilder, XfDetector,
 };
 pub use error::{ConfigError, XfError};
+pub use prune::{PruneCache, Pruning};
 pub use report::{BugCategory, BugKind, DetectionReport, FailurePoint, Finding};
 pub use shadow::{PersistState, PostChecker, ShadowPm};
 pub use stats::RunStats;
@@ -67,8 +69,8 @@ pub use xfrun::{
 /// ```
 pub mod prelude {
     pub use crate::{
-        BugCategory, BugKind, DetectionReport, DynError, Finding, Mode, Progress, RunOutcome,
-        Session, SessionBuilder, Workload, XfConfig, XfError,
+        BugCategory, BugKind, DetectionReport, DynError, Finding, Mode, Progress, Pruning,
+        RunOutcome, Session, SessionBuilder, Workload, XfConfig, XfError,
     };
     pub use pmem::{Budget, PmCtx};
 }

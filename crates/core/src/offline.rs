@@ -7,6 +7,8 @@
 //! which any process can later [`analyze`] — replaying the identical shadow
 //! PM computation without re-executing the program.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 use xftrace::{OwnedTraceEntry, SourceLoc};
 
@@ -85,6 +87,59 @@ pub fn analyze(run: &RecordedRun, first_read_only: bool) -> DetectionReport {
         cursor += 1;
     }
     report
+}
+
+/// Equivalence-class structure of a recorded run: how the failure points
+/// collapse under the persistence fingerprint
+/// ([`ShadowPm::persistence_fingerprint`]). This is what
+/// [`crate::Pruning::Equivalence`] would exploit on a live run — `xfd
+/// analyze --pruning` prints it so a recorded trace can be sized up
+/// without re-executing anything.
+#[derive(Debug, Clone, Serialize)]
+pub struct PruningCensus {
+    /// Recorded failure points inspected.
+    pub failure_points: u64,
+    /// Distinct persistence-state equivalence classes among them.
+    pub classes: u64,
+    /// Members of the most populous class.
+    pub largest_class: u64,
+}
+
+impl PruningCensus {
+    /// Failure points per class — the post-failure execution reduction a
+    /// pruned live run of the same trace would see.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.classes == 0 {
+            return 1.0;
+        }
+        self.failure_points as f64 / self.classes as f64
+    }
+}
+
+/// Computes the [`PruningCensus`] of a recorded run by replaying its
+/// pre-failure trace and fingerprinting the persistence state at each
+/// recorded failure point.
+#[must_use]
+pub fn pruning_census(run: &RecordedRun) -> PruningCensus {
+    let mut shadow = ShadowPm::new();
+    shadow.enable_fingerprinting();
+    let mut scratch = DetectionReport::new();
+    let mut cursor = 0usize;
+    let mut classes: HashMap<u64, u64> = HashMap::new();
+    for rfp in &run.failure_points {
+        let upto = rfp.pre_len.min(run.pre.len());
+        while cursor < upto {
+            shadow.apply_pre(&run.pre[cursor].to_entry(), &mut scratch);
+            cursor += 1;
+        }
+        *classes.entry(shadow.persistence_fingerprint()).or_insert(0) += 1;
+    }
+    PruningCensus {
+        failure_points: run.failure_points.len() as u64,
+        classes: classes.len() as u64,
+        largest_class: classes.values().copied().max().unwrap_or(0),
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +228,41 @@ mod tests {
     fn empty_run_analyzes_cleanly() {
         let report = analyze(&RecordedRun::default(), true);
         assert!(report.is_empty());
+    }
+
+    #[test]
+    fn pruning_census_matches_a_pruned_live_run() {
+        use crate::Pruning;
+        let cfg = XfConfig {
+            record_trace: true,
+            ..XfConfig::default()
+        };
+        let outcome = XfDetector::new(cfg).run(Racy).unwrap();
+        let census = pruning_census(outcome.recorded.as_ref().unwrap());
+        assert_eq!(census.failure_points, outcome.stats.failure_points);
+
+        let pruned = XfDetector::new(XfConfig {
+            pruning: Pruning::Equivalence,
+            ..XfConfig::default()
+        })
+        .run(Racy)
+        .unwrap();
+        assert_eq!(census.classes, pruned.stats.classes_total);
+        // Every class has exactly one representative; all other members
+        // were pruned.
+        assert_eq!(
+            census.failure_points - census.classes,
+            pruned.stats.fps_pruned
+        );
+        assert!(census.largest_class >= 1);
+    }
+
+    #[test]
+    fn empty_census_is_degenerate() {
+        let census = pruning_census(&RecordedRun::default());
+        assert_eq!(census.failure_points, 0);
+        assert_eq!(census.classes, 0);
+        assert_eq!(census.largest_class, 0);
+        assert!((census.ratio() - 1.0).abs() < f64::EPSILON);
     }
 }

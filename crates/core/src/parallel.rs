@@ -49,6 +49,7 @@ use xftrace::{SourceLoc, TraceEntry};
 
 use crate::engine::{EngineError, RunOutcome, Workload, XfConfig, XfDetector};
 use crate::offline::{RecordedFailurePoint, RecordedRun};
+use crate::prune::PruneCache;
 use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
 use crate::shadow::ShadowPm;
 use crate::stats::RunStats;
@@ -138,6 +139,11 @@ struct ParallelFrontend {
     /// Content hash → (job id that executed the image, the image itself
     /// for exact confirmation).
     dedup: RefCell<HashMap<ImageHash, (u64, CowImage)>>,
+    /// Persistence-state equivalence classes ([`XfConfig::pruning`]): class
+    /// fingerprint → the job id of the representative that executed it.
+    /// Class hits become [`DedupRef`]s, so no image is captured and no job
+    /// is shipped for them.
+    prune: RefCell<PruneCache<u64>>,
     refs: RefCell<Vec<DedupRef>>,
     journaled: RefCell<Vec<JournaledRef>>,
     recorded: RefCell<Option<RecordedRun>>,
@@ -206,10 +212,34 @@ impl EngineHook for ParallelFrontend {
             self.ctl.obs().fp_done();
             return;
         }
+        // Equivalence-class pruning: a failure point whose persistence
+        // fingerprint matches an already-explored class captures no image
+        // and ships no job — the merge stage replays the representative's
+        // post-failure trace against this member's own checkpoint, exactly
+        // like an image-dedup reference.
+        let fingerprint = self
+            .prune
+            .borrow()
+            .is_enabled()
+            .then(|| self.shadow.borrow_mut().persistence_fingerprint());
         // O(1) copy-on-write checkpoint of the shadow at this failure
         // point — the line slabs are shared until the continuing replay
         // mutates them.
         let checkpoint = self.shadow.borrow().clone();
+        if let Some(key) = fingerprint {
+            if let Some(&src_id) = self.prune.borrow_mut().lookup(key, id) {
+                self.refs.borrow_mut().push(DedupRef {
+                    id,
+                    loc,
+                    pre_len,
+                    src_id,
+                    shadow: checkpoint,
+                });
+                self.ctl.obs().prune_hit();
+                self.ctl.obs().fp_done();
+                return;
+            }
+        }
         let image = if self.config.cow_snapshots {
             let image = self
                 .config
@@ -234,6 +264,11 @@ impl EngineHook for ParallelFrontend {
                         src_id,
                         shadow: checkpoint,
                     });
+                    // The image's executor stands in as this class's
+                    // representative: later class hits replay its trace.
+                    if let Some(key) = fingerprint {
+                        self.prune.borrow_mut().insert(key, src_id);
+                    }
                     self.stats.borrow_mut().images_deduped += 1;
                     self.ctl.obs().dedup_hit();
                     self.ctl.obs().fp_done();
@@ -249,6 +284,11 @@ impl EngineHook for ParallelFrontend {
                     .image(ctx.pool(), &mut *self.rng.borrow_mut()),
             )
         };
+        // This job becomes its class's representative. On an audit run
+        // (`Pruning::Sampled`) the class already has one; `insert` keeps it.
+        if let Some(key) = fingerprint {
+            self.prune.borrow_mut().insert(key, id);
+        }
         self.stats.borrow_mut().post_runs += 1;
         let shadow = if self.config.parallel_checking {
             Some(checkpoint)
@@ -325,12 +365,19 @@ impl XfDetector {
             rng: RefCell::new(StdRng::seed_from_u64(config.rng_seed)),
             jobs: RefCell::new(Some(job_tx)),
             stats: RefCell::new(RunStats::default()),
-            shadow: RefCell::new(ShadowPm::new()),
+            shadow: RefCell::new({
+                let mut shadow = ShadowPm::new();
+                if config.pruning.is_enabled() {
+                    shadow.enable_fingerprinting();
+                }
+                shadow
+            }),
             pre_replayed: RefCell::new(0),
             pre_findings: RefCell::new(Vec::new()),
             pre_scratch: RefCell::new((DetectionReport::new(), 0)),
             checkpoints: RefCell::new(HashMap::new()),
             dedup: RefCell::new(HashMap::new()),
+            prune: RefCell::new(PruneCache::new(config.pruning)),
             refs: RefCell::new(Vec::new()),
             journaled: RefCell::new(Vec::new()),
             recorded: RefCell::new(if config.record_trace {
@@ -641,9 +688,14 @@ impl XfDetector {
         // capture and COW-fault traffic is read off at the end.
         stats.snapshot_bytes_copied +=
             results.iter().map(|r| r.bytes).sum::<u64>() + ctx.pool().snapshot_bytes_copied();
-        // Budget kills count per failure point, dedup replays included,
-        // matching the sequential engine's accounting.
-        stats.budget_exceeded = items.iter().filter(|it| it.budget_exceeded).count() as u64;
+        // Budget kills count per *executed* representative only — dedup and
+        // pruning references inherit the representative's overrun finding
+        // but not its kill, matching the sequential engine's accounting.
+        stats.budget_exceeded = results.iter().filter(|r| r.budget_exceeded).count() as u64;
+        {
+            let prune = frontend.prune.borrow();
+            stats.finish_pruning(prune.classes_total(), prune.fps_pruned());
+        }
         // Assemble the recorded run from the merged items: the frontend
         // accumulated the pre trace, each item contributes its (possibly
         // shared) post trace in failure-point order.

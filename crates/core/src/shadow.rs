@@ -112,6 +112,44 @@ impl Slab {
     }
 }
 
+/// FNV-1a 64-bit offset basis and prime (the same constants the `.xft`
+/// codec and the fuzz campaign digest use).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, v: u64) -> u64 {
+    fnv_bytes(h, &v.to_le_bytes())
+}
+
+// The suspect predicate of the fingerprint lives on `ShadowPm`
+// ([`ShadowPm::byte_has_potential`]) because it consults commit-variable
+// verdicts, mirroring `PostChecker::check_read` exactly.
+
+/// Folds byte record hashes into one fingerprint: sorted and
+/// *deduplicated*, so the result is independent both of which addresses the
+/// records live at and of how many identically-shaped bytes exist. Findings
+/// are keyed by (kind, reader, writer) source locations, never addresses,
+/// so N suspect bytes with identical records have exactly the same finding
+/// potential as one — folding the distinct set is what lets a growing
+/// structure's failure points (one more node each iteration) collapse into
+/// a single class.
+fn fold_records(mut records: Vec<u64>) -> u64 {
+    records.sort_unstable();
+    records.dedup();
+    let mut h = fnv_u64(FNV_OFFSET, records.len() as u64);
+    for r in records {
+        h = fnv_u64(h, r);
+    }
+    h
+}
+
 /// Bitmask covering byte offsets `[lo, hi)` of a line (`hi - lo <= 64`).
 fn range_mask(lo: u64, hi: u64) -> u64 {
     let len = hi - lo;
@@ -211,7 +249,7 @@ impl TxShadow {
 }
 
 /// The shadow PM, updated by replaying the pre-failure trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ShadowPm {
     /// Line index → dense per-line byte states, doubly `Arc`-shared so a
     /// clone is an O(1) checkpoint and mutation faults only touched slabs.
@@ -225,6 +263,31 @@ pub struct ShadowPm {
     entries_replayed: u64,
     /// Bytes deep-copied by copy-on-write faults against live checkpoints.
     bytes_cloned: u64,
+    /// Incremental index of suspect lines (see
+    /// [`ShadowPm::enable_fingerprinting`]); `None` until enabled.
+    fp_lines: Option<HashSet<u64>>,
+    /// The index needs a re-seed: commit-variable verdicts moved under lines
+    /// that were never themselves mutated.
+    fp_stale: bool,
+}
+
+impl Clone for ShadowPm {
+    fn clone(&self) -> Self {
+        ShadowPm {
+            lines: Arc::clone(&self.lines),
+            pending_lines: self.pending_lines.clone(),
+            ts: self.ts,
+            commit_vars: self.commit_vars.clone(),
+            tx: self.tx.clone(),
+            entries_replayed: self.entries_replayed,
+            bytes_cloned: self.bytes_cloned,
+            // The fingerprint index is a volatile acceleration structure for
+            // the *replaying* shadow only: checkpoints never compute
+            // fingerprints, so dropping it keeps `begin_post` lean.
+            fp_lines: None,
+            fp_stale: false,
+        }
+    }
 }
 
 impl ShadowPm {
@@ -266,6 +329,186 @@ impl ShadowPm {
         self.lines
             .get(&(addr / LINE))
             .and_then(|slab| slab.state((addr % LINE) as usize))
+    }
+
+    // --- persistence-state fingerprinting (equivalence-class pruning) ----
+
+    /// Whether a post-failure read of byte `b` could produce a finding — the
+    /// exact mirror of `PostChecker::check_read`: an allocated but
+    /// never-initialized byte, an unpersisted (or unprotected-tx-written)
+    /// write, or a persisted write that is semantically inconsistent under
+    /// its governing commit variable. Commit-variable bytes, `TX_ADD`ed
+    /// ranges and consistent locations can never be reported and are
+    /// excluded, whatever their persistence state.
+    fn byte_has_potential(&self, b: u64, st: &ByteState) -> bool {
+        if self.is_commit_var_byte(b) {
+            return false;
+        }
+        if !st.written {
+            return st.allocated && !st.zeroed_alloc;
+        }
+        if st.tx_protected {
+            return false;
+        }
+        let semantic = self.governing_var(b).map(|v| v.is_consistent(st.tlast));
+        if semantic == Some(true) {
+            return false;
+        }
+        st.persist != PersistState::Persisted || semantic == Some(false) || st.unprotected_tx_write
+    }
+
+    /// Whether byte `b` contributes a fingerprint record: it has finding
+    /// potential, or it is a written commit variable that is not yet
+    /// persisted. Commit-variable reads are benign, but an in-flight commit
+    /// write steers recovery control flow (a persisted valid flag makes
+    /// recovery walk the structure, an unpersisted one makes it start over),
+    /// so two crash states that differ there must land in different classes.
+    fn byte_contributes(&self, b: u64, st: &ByteState) -> bool {
+        self.byte_has_potential(b, st)
+            || (st.written && st.persist != PersistState::Persisted && self.is_commit_var_byte(b))
+    }
+
+    fn line_contributes(&self, li: u64, slab: &Slab) -> bool {
+        (0..LINE as usize).any(|i| {
+            slab.state(i)
+                .is_some_and(|st| self.byte_contributes(li * LINE + i as u64, st))
+        })
+    }
+
+    /// Enables the incremental suspect-line index used by
+    /// [`ShadowPm::persistence_fingerprint`], seeding it from the current
+    /// state. Engines running with pruning enabled call this once before
+    /// replay; without the index a fingerprint query falls back to a full
+    /// scan of every tracked line.
+    pub fn enable_fingerprinting(&mut self) {
+        let index = self
+            .lines
+            .iter()
+            .filter(|&(&li, slab)| self.line_contributes(li, slab))
+            .map(|(&li, _)| li)
+            .collect();
+        self.fp_lines = Some(index);
+        self.fp_stale = false;
+    }
+
+    /// Re-evaluates line `li`'s membership in the suspect-line index after a
+    /// mutation of that line's own bytes. No-op while fingerprinting is
+    /// disabled. Mutations that shift commit-variable verdicts move
+    /// membership of lines *not* written to — those mark the whole index
+    /// stale ([`ShadowPm::fp_mark_stale`]) and it is re-seeded at the next
+    /// fingerprint query.
+    fn fp_update_line(&mut self, li: u64) {
+        if self.fp_lines.is_none() {
+            return;
+        }
+        let suspect = self
+            .lines
+            .get(&li)
+            .is_some_and(|s| self.line_contributes(li, s));
+        let index = self.fp_lines.as_mut().expect("checked above");
+        if suspect {
+            index.insert(li);
+        } else {
+            index.remove(&li);
+        }
+    }
+
+    /// Marks the suspect-line index stale: a commit-variable write or
+    /// registration changed consistency verdicts of bytes on lines the
+    /// mutation never touched.
+    fn fp_mark_stale(&mut self) {
+        if self.fp_lines.is_some() {
+            self.fp_stale = true;
+        }
+    }
+
+    /// FNV-1a fingerprint of the persistence state a crash at this point
+    /// exposes to recovery — the equivalence-class key of the pruning layer.
+    ///
+    /// The fingerprint deliberately abstracts *addresses*: pool allocators
+    /// hand every loop iteration fresh lines, so a key over raw line ids
+    /// would never repeat. Instead every byte with finding potential
+    /// ([`ShadowPm::byte_has_potential`], the exact mirror of the
+    /// post-failure read checker) contributes a record hash over its state
+    /// flags, commit-variable consistency verdict and writer source location
+    /// (file *contents*, not interned pointers, so fingerprints are stable
+    /// across processes); the fingerprint folds the *distinct* record hashes
+    /// in sorted order plus their count. Two failure points with equal
+    /// fingerprints present recovery with the same set of reportable
+    /// (kind, writer) outcomes, wherever it reads them — any novel in-flight
+    /// writer location forces a new class.
+    #[must_use]
+    pub fn persistence_fingerprint(&mut self) -> u64 {
+        if self.fp_stale {
+            self.enable_fingerprinting();
+        }
+        match &self.fp_lines {
+            Some(index) => {
+                let mut records = Vec::new();
+                for &li in index {
+                    if let Some(slab) = self.lines.get(&li) {
+                        self.byte_records(li, slab, &mut records);
+                    }
+                }
+                fold_records(records)
+            }
+            None => self.fingerprint_from_scratch(),
+        }
+    }
+
+    /// [`ShadowPm::persistence_fingerprint`] computed by scanning every
+    /// tracked line, ignoring the incremental index — the ground truth the
+    /// index is tested against.
+    #[must_use]
+    pub fn fingerprint_from_scratch(&self) -> u64 {
+        let mut records = Vec::new();
+        for (&li, slab) in self.lines.iter() {
+            if self.line_contributes(li, slab) {
+                self.byte_records(li, slab, &mut records);
+            }
+        }
+        fold_records(records)
+    }
+
+    /// Appends one record hash per contributing byte of line `li`
+    /// ([`ShadowPm::byte_contributes`]): the byte's state flags, consistency
+    /// verdict and writer source location. Neither the line id nor the
+    /// in-line offset participates (see
+    /// [`ShadowPm::persistence_fingerprint`]) — a finding is identified by
+    /// (kind, reader, writer) locations alone, so two bytes with equal
+    /// records have equal finding potential wherever they live.
+    fn byte_records(&self, li: u64, slab: &Slab, out: &mut Vec<u64>) {
+        for i in 0..LINE as usize {
+            let Some(st) = slab.state(i) else { continue };
+            let b = li * LINE + i as u64;
+            if !self.byte_contributes(b, st) {
+                continue;
+            }
+            let persist_code = match st.persist {
+                PersistState::Unmodified => 0u64,
+                PersistState::Modified => 1,
+                PersistState::WritebackPending => 2,
+                PersistState::Persisted => 3,
+            };
+            let verdict_code = match self.governing_var(b).map(|v| v.is_consistent(st.tlast)) {
+                None => 0u64,
+                Some(false) => 1,
+                Some(true) => 2,
+            };
+            let pending_bit = u64::from(slab.pending & (1 << i) != 0);
+            let flags = persist_code
+                | u64::from(st.written) << 2
+                | u64::from(st.allocated) << 3
+                | u64::from(st.zeroed_alloc) << 4
+                | u64::from(st.unprotected_tx_write) << 5
+                | verdict_code << 6
+                | pending_bit << 8
+                | u64::from(self.is_commit_var_byte(b)) << 9;
+            let mut h = fnv_u64(FNV_OFFSET, flags);
+            h = fnv_bytes(h, st.writer.file.as_bytes());
+            h = fnv_u64(h, u64::from(st.writer.line));
+            out.push(h);
+        }
     }
 
     /// Detaches the line map from any shared checkpoint, accounting the
@@ -354,11 +597,18 @@ impl ShadowPm {
         // Commit-write bookkeeping: one commit event per overlapping
         // variable per store (§3.2, the Cx notation).
         let ts = self.ts;
+        let mut commit_moved = false;
         for var in &mut self.commit_vars {
             if var.overlaps_own(addr, size) {
                 var.prelast_commit = var.last_commit;
                 var.last_commit = Some(ts);
+                commit_moved = true;
             }
+        }
+        if commit_moved {
+            // Every governed byte's consistency verdict may have flipped,
+            // on lines this store never touches.
+            self.fp_mark_stale();
         }
         let in_tx = self.tx.is_some();
         let protected = match &self.tx {
@@ -423,6 +673,7 @@ impl ShadowPm {
             } else {
                 self.pending_lines.remove(&li);
             }
+            self.fp_update_line(li);
             b = chunk_end;
         }
         if non_temporal {
@@ -456,6 +707,7 @@ impl ShadowPm {
                 }
                 slab.pending |= modified;
                 self.pending_lines.insert(li);
+                self.fp_update_line(li);
             }
         }
     }
@@ -511,6 +763,7 @@ impl ShadowPm {
                 pending &= pending - 1;
             }
             slab.pending = 0;
+            self.fp_update_line(li);
         }
         self.ts += 1;
     }
@@ -574,6 +827,8 @@ impl ShadowPm {
                     slab.present |= bit;
                 }
             }
+            // Newly protected bytes lose their finding potential.
+            self.fp_update_line(li);
             b = chunk_end;
         }
     }
@@ -609,6 +864,7 @@ impl ShadowPm {
             if pending_now == 0 {
                 self.pending_lines.remove(&li);
             }
+            self.fp_update_line(li);
             b = chunk_end;
         }
         if let Some(tx) = self.tx.as_mut() {
@@ -643,6 +899,7 @@ impl ShadowPm {
                     self.pending_lines.remove(&li);
                 }
             }
+            self.fp_update_line(li);
             b = chunk_end;
         }
     }
@@ -658,6 +915,9 @@ impl ShadowPm {
             last_commit: None,
             prelast_commit: None,
         });
+        // Registration changes which bytes are governed (and which are
+        // benign commit-variable bytes) everywhere.
+        self.fp_mark_stale();
     }
 
     fn on_register_range(
@@ -688,7 +948,10 @@ impl ShadowPm {
             });
         }
         match self.commit_vars.iter_mut().find(|v| v.addr == var_addr) {
-            Some(var) => var.ranges.push((addr, size)),
+            Some(var) => {
+                var.ranges.push((addr, size));
+                self.fp_mark_stale();
+            }
             None => {
                 out.push(Finding {
                     kind: BugKind::AnnotationConflict,
@@ -1525,6 +1788,100 @@ mod tests {
             "one-line fault must copy less than the whole shadow: {} !< {}",
             s.bytes_cloned(),
             resident
+        );
+    }
+
+    // --- persistence-state fingerprints ------------------------------------
+
+    #[test]
+    fn fingerprint_is_address_invariant() {
+        // The same protocol phase at disjoint addresses (a fresh allocation
+        // per loop iteration) must land in the same equivalence class.
+        let program = |base: u64| {
+            let mut s = ShadowPm::new();
+            s.enable_fingerprinting();
+            let _ = replay(
+                &mut s,
+                &[write(base, 8, 1), write(base + 64, 4, 2), flush(base, 3)],
+            );
+            s.persistence_fingerprint()
+        };
+        assert_eq!(program(A), program(A + 0x4000));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_writer_and_state() {
+        let run = |line: u32, flushed: bool| {
+            let mut s = ShadowPm::new();
+            s.enable_fingerprinting();
+            let mut entries = vec![write(A, 8, line)];
+            if flushed {
+                entries.push(flush(A, 90));
+            }
+            let _ = replay(&mut s, &entries);
+            s.persistence_fingerprint()
+        };
+        assert_ne!(run(1, false), run(2, false), "novel writer → new class");
+        assert_ne!(run(1, false), run(1, true), "persist state is keyed");
+    }
+
+    #[test]
+    fn persisted_state_has_the_empty_fingerprint() {
+        let mut s = ShadowPm::new();
+        s.enable_fingerprinting();
+        let empty = s.persistence_fingerprint();
+        let _ = replay(&mut s, &[write(A, 8, 1), flush(A, 2), fence(3)]);
+        assert_eq!(
+            s.persistence_fingerprint(),
+            empty,
+            "fully persisted state must collapse with the initial state"
+        );
+        assert_eq!(s.fingerprint_from_scratch(), empty);
+    }
+
+    #[test]
+    fn enabling_fingerprinting_late_seeds_the_index() {
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[write(A, 8, 1), write(A + 256, 8, 2), flush(A, 3)]);
+        let scratch = s.fingerprint_from_scratch();
+        s.enable_fingerprinting();
+        assert_eq!(s.persistence_fingerprint(), scratch);
+    }
+
+    #[test]
+    fn checkpoints_drop_the_index_but_not_the_state() {
+        let mut s = ShadowPm::new();
+        s.enable_fingerprinting();
+        let _ = replay(&mut s, &[write(A, 8, 1)]);
+        let cp = s.clone();
+        assert!(cp.fp_lines.is_none(), "checkpoints shed the volatile index");
+        assert_eq!(
+            cp.fingerprint_from_scratch(),
+            s.persistence_fingerprint(),
+            "the state itself is unaffected"
+        );
+    }
+
+    #[test]
+    fn uninitialized_alloc_is_fingerprinted() {
+        let mut s = ShadowPm::new();
+        s.enable_fingerprinting();
+        let clean = s.persistence_fingerprint();
+        let _ = replay(
+            &mut s,
+            &[entry(
+                Op::Alloc {
+                    addr: A,
+                    size: 8,
+                    zeroed: false,
+                },
+                1,
+            )],
+        );
+        assert_ne!(
+            s.persistence_fingerprint(),
+            clean,
+            "an uninitialized allocation changes what recovery can observe"
         );
     }
 

@@ -31,6 +31,21 @@ pub struct RunStats {
     /// recorded their completion (their journaled findings were merged
     /// verbatim instead of re-exploring).
     pub journal_skipped: u64,
+    /// Distinct persistence-state equivalence classes observed when pruning
+    /// is enabled ([`Pruning`]); zero with pruning off.
+    ///
+    /// [`Pruning`]: crate::Pruning
+    pub classes_total: u64,
+    /// Failure points whose post-failure execution was skipped because an
+    /// earlier member of their equivalence class already executed (the
+    /// representative's trace was replayed against this failure point's own
+    /// shadow checkpoint instead).
+    pub fps_pruned: u64,
+    /// Failure points per executed post-failure run,
+    /// `failure_points / post_runs` — the execution-reduction factor the
+    /// pruning layer (plus image deduplication) achieved. `1.0` when
+    /// nothing was pruned or nothing ran.
+    pub pruning_ratio: f64,
     /// Post-failure executions killed by the execution budget watchdog
     /// (each also surfaces as a [`BugKind::BudgetExceeded`] finding).
     ///
@@ -104,6 +119,19 @@ impl RunStats {
         }
         (self.post_exec_time + self.detect_time).as_secs_f64() / self.total_time.as_secs_f64()
     }
+
+    /// Fills the pruning counters and derives [`RunStats::pruning_ratio`]
+    /// from the final `failure_points`/`post_runs` split. Engines call this
+    /// once at the end of a run.
+    pub fn finish_pruning(&mut self, classes_total: u64, fps_pruned: u64) {
+        self.classes_total = classes_total;
+        self.fps_pruned = fps_pruned;
+        self.pruning_ratio = if self.post_runs == 0 {
+            1.0
+        } else {
+            self.failure_points as f64 / self.post_runs as f64
+        };
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +178,25 @@ mod tests {
         assert!(json.contains("check_time"), "{json}");
         assert!(json.contains("stream_batches"), "{json}");
         assert!(json.contains("stream_stall_time"), "{json}");
+        assert!(json.contains("classes_total"), "{json}");
+        assert!(json.contains("fps_pruned"), "{json}");
+        assert!(json.contains("pruning_ratio"), "{json}");
+    }
+
+    #[test]
+    fn finish_pruning_derives_the_ratio() {
+        let mut s = RunStats {
+            failure_points: 100,
+            post_runs: 20,
+            ..RunStats::default()
+        };
+        s.finish_pruning(20, 80);
+        assert_eq!(s.classes_total, 20);
+        assert_eq!(s.fps_pruned, 80);
+        assert!((s.pruning_ratio - 5.0).abs() < 1e-9);
+
+        let mut idle = RunStats::default();
+        idle.finish_pruning(0, 0);
+        assert_eq!(idle.pruning_ratio, 1.0, "no runs → neutral ratio");
     }
 }

@@ -56,6 +56,7 @@ use xftrace::SourceLoc;
 
 use crate::engine::{RunOutcome, Workload, XfConfig, XfDetector};
 use crate::error::{ConfigError, XfError};
+use crate::prune::Pruning;
 use crate::report::Finding;
 
 pub use journal::JournalFp;
@@ -250,6 +251,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Failure-point pruning policy (shorthand for setting
+    /// [`XfConfig::pruning`]): collapse failure points into
+    /// persistence-state equivalence classes and execute one
+    /// representative per class. All three [`Mode`]s honor it and stay
+    /// report-equivalent.
+    #[must_use]
+    pub fn pruning(mut self, pruning: Pruning) -> Self {
+        self.config.pruning = pruning;
+        self
+    }
+
     /// Trace-FIFO capacity (in batches) for [`Mode::Stream`].
     #[must_use]
     pub fn stream_capacity(mut self, capacity: usize) -> Self {
@@ -321,9 +333,10 @@ impl SessionBuilder {
     /// # Errors
     ///
     /// The same invariants as [`XfConfigBuilder::build`]
-    /// ([`ConfigError::DedupRequiresCow`], [`ConfigError::EmptyBudget`]),
-    /// plus [`ConfigError::ZeroStreamCapacity`] for an explicit zero
-    /// stream capacity.
+    /// ([`ConfigError::DedupRequiresCow`], [`ConfigError::EmptyBudget`],
+    /// [`ConfigError::InvalidSamplingRate`]), plus
+    /// [`ConfigError::ZeroStreamCapacity`] for an explicit zero stream
+    /// capacity.
     ///
     /// [`XfConfigBuilder::build`]: crate::XfConfigBuilder::build
     pub fn build(self) -> Result<Session, ConfigError> {
@@ -338,6 +351,7 @@ impl SessionBuilder {
         if self.stream_capacity == Some(0) {
             return Err(ConfigError::ZeroStreamCapacity);
         }
+        self.config.pruning.validate()?;
         let workers = if self.workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {

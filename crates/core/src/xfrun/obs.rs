@@ -20,6 +20,7 @@ struct ObsInner {
     failure_points_done: AtomicU64,
     post_runs: AtomicU64,
     images_deduped: AtomicU64,
+    fps_pruned: AtomicU64,
     journal_skipped: AtomicU64,
     budget_exceeded: AtomicU64,
 }
@@ -58,6 +59,12 @@ impl ObsHandle {
         self.inner.images_deduped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A failure point was elided by equivalence-class pruning (the
+    /// representative's post-failure trace was replayed instead).
+    pub fn prune_hit(&self) {
+        self.inner.fps_pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A failure point was elided by the resumed run journal.
     pub fn journal_skip(&self) {
         self.inner.journal_skipped.fetch_add(1, Ordering::Relaxed);
@@ -75,6 +82,7 @@ impl ObsHandle {
             failure_points_done: self.inner.failure_points_done.load(Ordering::Relaxed),
             post_runs: self.inner.post_runs.load(Ordering::Relaxed),
             images_deduped: self.inner.images_deduped.load(Ordering::Relaxed),
+            fps_pruned: self.inner.fps_pruned.load(Ordering::Relaxed),
             journal_skipped: self.inner.journal_skipped.load(Ordering::Relaxed),
             budget_exceeded: self.inner.budget_exceeded.load(Ordering::Relaxed),
         }
@@ -90,6 +98,8 @@ pub struct ObsCounts {
     pub post_runs: u64,
     /// Failure points elided by crash-image deduplication.
     pub images_deduped: u64,
+    /// Failure points elided by equivalence-class pruning.
+    pub fps_pruned: u64,
     /// Failure points elided by the resumed run journal.
     pub journal_skipped: u64,
     /// Post-failure executions killed by the budget watchdog.
@@ -243,12 +253,14 @@ mod tests {
         obs.fp_done();
         obs.post_run();
         obs.dedup_hit();
+        obs.prune_hit();
         obs.journal_skip();
         obs.budget_kill();
         let c = obs.snapshot();
         assert_eq!(c.failure_points_done, 2);
         assert_eq!(c.post_runs, 1);
         assert_eq!(c.images_deduped, 1);
+        assert_eq!(c.fps_pruned, 1);
         assert_eq!(c.journal_skipped, 1);
         assert_eq!(c.budget_exceeded, 1);
         assert!((c.dedup_hit_rate() - 0.5).abs() < 1e-9);

@@ -1,0 +1,154 @@
+//! Property-based tests of the persistence-state fingerprint that keys the
+//! equivalence-class pruning layer: the incrementally indexed fingerprint
+//! must equal a from-scratch hash of the shadow's suspect-line state after
+//! *any* operation sequence, and the fingerprint must abstract addresses
+//! (translating a whole program does not change its class keys).
+
+use proptest::prelude::*;
+
+use xfdetector::{DetectionReport, ShadowPm};
+use xftrace::{FenceKind, FlushKind, Op, SourceLoc, Stage, TraceEntry};
+
+const LINES: u64 = 16;
+const POOL: u64 = LINES * 64;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Write { off: u64, size: u8 },
+    NtWrite { off: u64, size: u8 },
+    Flush { off: u64 },
+    Fence,
+    TxBegin,
+    TxAdd { off: u64, size: u8 },
+    TxCommit,
+    Alloc { off: u64, size: u8, zeroed: bool },
+    Free { off: u64, size: u8 },
+    RegisterCommitVar { off: u64 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let off = 0..(POOL / 8);
+    let size = 1..=32u8;
+    prop_oneof![
+        5 => (off.clone(), size.clone()).prop_map(|(o, s)| Step::Write { off: o * 8, size: s }),
+        1 => (off.clone(), size.clone()).prop_map(|(o, s)| Step::NtWrite { off: o * 8, size: s }),
+        3 => off.clone().prop_map(|o| Step::Flush { off: o * 8 }),
+        3 => Just(Step::Fence),
+        1 => Just(Step::TxBegin),
+        1 => (off.clone(), size.clone()).prop_map(|(o, s)| Step::TxAdd { off: o * 8, size: s }),
+        1 => Just(Step::TxCommit),
+        1 => (off.clone(), size.clone(), any::<bool>())
+            .prop_map(|(o, s, z)| Step::Alloc { off: o * 8, size: s, zeroed: z }),
+        1 => (off.clone(), size).prop_map(|(o, s)| Step::Free { off: o * 8, size: s }),
+        1 => off.prop_map(|o| Step::RegisterCommitVar { off: o * 8 }),
+    ]
+}
+
+fn entry_for(step: &Step, base: u64, line: u32) -> TraceEntry {
+    let loc = SourceLoc {
+        file: "fingerprint-prop.rs",
+        line,
+    };
+    let op = match *step {
+        Step::Write { off, size } => Op::Write {
+            addr: base + off,
+            size: u32::from(size),
+        },
+        Step::NtWrite { off, size } => Op::NtWrite {
+            addr: base + off,
+            size: u32::from(size),
+        },
+        Step::Flush { off } => Op::Flush {
+            addr: base + off,
+            kind: FlushKind::Clwb,
+        },
+        Step::Fence => Op::Fence {
+            kind: FenceKind::Sfence,
+        },
+        Step::TxBegin => Op::TxBegin,
+        Step::TxAdd { off, size } => Op::TxAdd {
+            addr: base + off,
+            size: u32::from(size),
+        },
+        Step::TxCommit => Op::TxCommit,
+        Step::Alloc { off, size, zeroed } => Op::Alloc {
+            addr: base + off,
+            size: u32::from(size),
+            zeroed,
+        },
+        Step::Free { off, size } => Op::Free {
+            addr: base + off,
+            size: u32::from(size),
+        },
+        Step::RegisterCommitVar { off } => Op::RegisterCommitVar {
+            addr: base + off,
+            size: 8,
+        },
+    };
+    TraceEntry::new(op, loc, Stage::Pre, false, true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The tentpole invariant: after every single replayed entry, the
+    /// incrementally maintained suspect-line index produces exactly the
+    /// fingerprint a full scan of the shadow state produces.
+    #[test]
+    fn incremental_fingerprint_equals_from_scratch(
+        steps in prop::collection::vec(step_strategy(), 0..200)
+    ) {
+        let mut shadow = ShadowPm::new();
+        shadow.enable_fingerprinting();
+        let mut report = DetectionReport::new();
+        for (i, step) in steps.iter().enumerate() {
+            let e = entry_for(step, 0x1000, i as u32 + 1);
+            shadow.apply_pre(&e, &mut report);
+            prop_assert_eq!(
+                shadow.persistence_fingerprint(),
+                shadow.fingerprint_from_scratch(),
+                "index diverged from ground truth after step {} ({:?})", i, step
+            );
+        }
+    }
+
+    /// Address abstraction: running the identical program at a translated
+    /// base address yields the identical fingerprint — the property that
+    /// lets per-iteration pool allocations collapse into one class.
+    #[test]
+    fn fingerprint_is_translation_invariant(
+        steps in prop::collection::vec(step_strategy(), 0..150),
+        shift_lines in 1..64u64,
+    ) {
+        let run = |base: u64| {
+            let mut shadow = ShadowPm::new();
+            shadow.enable_fingerprinting();
+            let mut report = DetectionReport::new();
+            for (i, step) in steps.iter().enumerate() {
+                shadow.apply_pre(&entry_for(step, base, i as u32 + 1), &mut report);
+            }
+            shadow.persistence_fingerprint()
+        };
+        prop_assert_eq!(run(0x1000), run(0x1000 + shift_lines * 64));
+    }
+
+    /// Enabling the index on an already-populated shadow seeds it
+    /// correctly: a late `enable_fingerprinting` matches a shadow that
+    /// indexed from the start.
+    #[test]
+    fn late_enable_matches_indexed_from_start(
+        steps in prop::collection::vec(step_strategy(), 0..150)
+    ) {
+        let mut indexed = ShadowPm::new();
+        indexed.enable_fingerprinting();
+        let mut late = ShadowPm::new();
+        let mut report = DetectionReport::new();
+        for (i, step) in steps.iter().enumerate() {
+            let e = entry_for(step, 0x1000, i as u32 + 1);
+            indexed.apply_pre(&e, &mut report);
+            late.apply_pre(&e, &mut report);
+        }
+        late.enable_fingerprinting();
+        prop_assert_eq!(late.persistence_fingerprint(), indexed.persistence_fingerprint());
+    }
+}

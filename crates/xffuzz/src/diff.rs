@@ -23,7 +23,7 @@
 use std::path::PathBuf;
 
 use xfdetector::offline::{analyze, RecordedRun};
-use xfdetector::{BugCategory, BugKind, DetectionReport, Finding, Mode, Session, XfError};
+use xfdetector::{BugCategory, BugKind, DetectionReport, Finding, Mode, Pruning, Session, XfError};
 
 use crate::gen::generate;
 use crate::oracle::oracle_report;
@@ -59,6 +59,12 @@ pub struct DiffConfig {
     /// runaway post-failure stage becomes a `BudgetExceeded` finding
     /// instead of a hung campaign.
     pub budget_entries: Option<u64>,
+    /// Failure-point pruning policy, applied to all three engines alike:
+    /// the engine-equivalence comparison then checks that Batch, Parallel
+    /// and Stream prune in lockstep (same classes, same representatives,
+    /// byte-identical reports), and the parity checks ensure the recorded
+    /// pruned run still replays to the online findings.
+    pub pruning: Pruning,
     /// Injected engine defect (tests/CI only).
     pub fault: EngineFault,
 }
@@ -72,6 +78,7 @@ impl Default for DiffConfig {
             shrink: true,
             corpus_dir: None,
             budget_entries: Some(100_000),
+            pruning: Pruning::Off,
             fault: EngineFault::None,
         }
     }
@@ -161,7 +168,10 @@ fn apply_fault(report: DetectionReport, fault: EngineFault) -> DetectionReport {
 }
 
 fn session(cfg: &DiffConfig) -> Result<Session, XfError> {
-    let mut builder = xfstream::session().record_repro(true).workers(2);
+    let mut builder = xfstream::session()
+        .record_repro(true)
+        .workers(2)
+        .pruning(cfg.pruning);
     if let Some(entries) = cfg.budget_entries {
         builder = builder.budget(pmem::Budget::default().with_max_trace_entries(entries));
     }
@@ -487,6 +497,24 @@ mod tests {
             .unwrap()
             .contains("engine-equivalence"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pruned_campaign_stays_in_lockstep() {
+        // All three engines prune; they must agree on classes and
+        // representatives or the engine-equivalence check fires.
+        let cfg = DiffConfig {
+            pruning: Pruning::Equivalence,
+            ..quick(8)
+        };
+        let out = run_campaign(&cfg).unwrap();
+        assert!(
+            out.divergences.is_empty(),
+            "engines diverged under pruning: {:?}",
+            out.divergences[0].info
+        );
+        let again = run_campaign(&cfg).unwrap();
+        assert_eq!(out.digest, again.digest, "pruned digest must reproduce");
     }
 
     #[test]

@@ -27,8 +27,8 @@ use rand::SeedableRng;
 use pmem::{BudgetOverrun, CowImage, EngineHook, ImageHash, OrderingPointInfo, PmCtx, PmPool};
 use xfdetector::offline::{RecordedFailurePoint, RecordedRun};
 use xfdetector::{
-    BugKind, DetectionReport, DynError, EngineError, FailurePoint, Finding, RunCtl, RunOutcome,
-    RunStats, ShadowPm, Workload, XfConfig,
+    BugKind, DetectionReport, DynError, EngineError, FailurePoint, Finding, PruneCache, RunCtl,
+    RunOutcome, RunStats, ShadowPm, Workload, XfConfig,
 };
 use xftrace::{SourceLoc, TraceEntry};
 
@@ -115,10 +115,30 @@ struct StreamFrontend {
     tx: Sender<Msg>,
     stats: RefCell<RunStats>,
     dedup: RefCell<HashMap<ImageHash, CachedPost>>,
+    /// Persistence-state equivalence classes ([`XfConfig::pruning`]). The
+    /// authoritative shadow lives on the backend thread, so the frontend
+    /// keeps its own fingerprint replica (`fp_shadow`), replaying each pre
+    /// batch into it before shipping. A class hit skips the image capture
+    /// and the post-failure execution; the representative's cached trace is
+    /// shipped downstream and checked by the backend against this failure
+    /// point's own shadow state, exactly like an image-dedup hit.
+    prune: RefCell<PruneCache<(Vec<TraceEntry>, PostOutcome)>>,
+    fp_shadow: RefCell<ShadowPm>,
+    /// Sink for the replica's pre-replay findings: the backend owns the
+    /// real report; the replica's copy is discarded.
+    fp_scratch: RefCell<DetectionReport>,
     rng: RefCell<StdRng>,
     config: XfConfig,
     ctl: RunCtl,
     post: PostFn,
+}
+
+/// Where a failure point's post-failure trace came from.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum PostSource {
+    Executed,
+    ImageDedup,
+    Pruned,
 }
 
 /// The boxed post-failure continuation the frontend re-executes at every
@@ -180,6 +200,13 @@ impl EngineHook for StreamFrontend {
         {
             let pre = ctx.trace().drain();
             self.stats.borrow_mut().pre_entries += pre.len() as u64;
+            if self.prune.borrow().is_enabled() {
+                let mut shadow = self.fp_shadow.borrow_mut();
+                let mut scratch = self.fp_scratch.borrow_mut();
+                for e in &pre {
+                    shadow.apply_pre(e, &mut scratch);
+                }
+            }
             if !pre.is_empty() {
                 self.ship(Msg::Pre(pre));
             }
@@ -207,10 +234,29 @@ impl EngineHook for StreamFrontend {
             return;
         }
 
+        // Equivalence-class pruning: a failure point whose persistence
+        // fingerprint matches an already-explored class skips both the
+        // image capture and the post-failure execution, shipping the
+        // representative's cached trace instead (checked by the backend
+        // against this failure point's own shadow state).
+        let fingerprint = self
+            .prune
+            .borrow()
+            .is_enabled()
+            .then(|| self.fp_shadow.borrow_mut().persistence_fingerprint());
+        let pruned = fingerprint.and_then(|key| {
+            self.prune
+                .borrow_mut()
+                .lookup(key, fp.id)
+                .map(|(post, outcome)| (post.clone(), outcome.clone()))
+        });
+
         // Snapshot the PM image and run the post-failure stage — identical
         // to the sequential engine, including COW capture and image dedup.
         let t_post = Instant::now();
-        let (post_entries, outcome, executed) = if self.config.cow_snapshots {
+        let (post_entries, outcome, source) = if let Some((post, outcome)) = pruned {
+            (post, outcome, PostSource::Pruned)
+        } else if self.config.cow_snapshots {
             let image = self
                 .config
                 .crash_policy
@@ -224,7 +270,7 @@ impl EngineHook for StreamFrontend {
                     .map(|c| (c.post.clone(), c.outcome.clone()))
             });
             if let Some((post, outcome)) = cached {
-                (post, outcome, false)
+                (post, outcome, PostSource::ImageDedup)
             } else {
                 let mut post_ctx = ctx.fork_post_cow(&image);
                 let outcome = self.execute_post(&mut post_ctx);
@@ -241,7 +287,7 @@ impl EngineHook for StreamFrontend {
                         },
                     );
                 }
-                (post, outcome, true)
+                (post, outcome, PostSource::Executed)
             }
         } else {
             let image = self
@@ -253,19 +299,31 @@ impl EngineHook for StreamFrontend {
             let post = post_ctx.trace().drain();
             self.stats.borrow_mut().snapshot_bytes_copied +=
                 post_ctx.pool().snapshot_bytes_copied();
-            (post, outcome, true)
+            (post, outcome, PostSource::Executed)
         };
         let post_time = t_post.elapsed();
 
-        let mut stats = self.stats.borrow_mut();
-        if executed {
-            stats.post_runs += 1;
-        } else {
-            stats.images_deduped += 1;
+        // An image-dedup'd result is as good a class representative as an
+        // executed one (the post run is a pure function of the image);
+        // first member in wins either way.
+        if source != PostSource::Pruned {
+            if let Some(key) = fingerprint {
+                self.prune
+                    .borrow_mut()
+                    .insert(key, (post_entries.clone(), outcome.clone()));
+            }
         }
-        // Budget kills are counted per failure point, dedup replays
-        // included — the cached outcome of a killed run is still a kill.
-        if matches!(outcome, PostOutcome::BudgetExceeded(_)) {
+
+        let mut stats = self.stats.borrow_mut();
+        match source {
+            PostSource::Executed => stats.post_runs += 1,
+            PostSource::ImageDedup => stats.images_deduped += 1,
+            PostSource::Pruned => {} // tallied via the prune cache
+        }
+        // The watchdog only fired on representative *executions*;
+        // dedup/prune replays of a killed run re-emit the finding but must
+        // not inflate the kill counter.
+        if source == PostSource::Executed && matches!(outcome, PostOutcome::BudgetExceeded(_)) {
             stats.budget_exceeded += 1;
             self.ctl.obs().budget_kill();
         }
@@ -273,10 +331,10 @@ impl EngineHook for StreamFrontend {
         stats.post_exec_time += post_time;
         drop(stats);
 
-        if executed {
-            self.ctl.obs().post_run();
-        } else {
-            self.ctl.obs().dedup_hit();
+        match source {
+            PostSource::Executed => self.ctl.obs().post_run(),
+            PostSource::ImageDedup => self.ctl.obs().dedup_hit(),
+            PostSource::Pruned => self.ctl.obs().prune_hit(),
         }
         self.ctl.obs().fp_done();
 
@@ -469,6 +527,15 @@ pub fn run_pipelined_with_ctl<W: Workload + 'static>(
             tx,
             stats: RefCell::new(RunStats::default()),
             dedup: RefCell::new(HashMap::new()),
+            prune: RefCell::new(PruneCache::new(config.pruning)),
+            fp_shadow: RefCell::new({
+                let mut shadow = ShadowPm::new();
+                if config.pruning.is_enabled() {
+                    shadow.enable_fingerprinting();
+                }
+                shadow
+            }),
+            fp_scratch: RefCell::new(DetectionReport::new()),
             rng: RefCell::new(StdRng::seed_from_u64(config.rng_seed)),
             config: config.clone(),
             ctl,
@@ -495,7 +562,11 @@ pub fn run_pipelined_with_ctl<W: Workload + 'static>(
             }
         }
 
-        let stats = frontend.stats.borrow().clone();
+        let mut stats = frontend.stats.borrow().clone();
+        {
+            let prune = frontend.prune.borrow();
+            stats.finish_pruning(prune.classes_total(), prune.fps_pruned());
+        }
         // Dropping the frontend drops the Sender: the backend drains the
         // FIFO, observes end-of-stream and returns.
         drop(frontend);

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for BENCH_detector.json.
+
+Compares a freshly generated detector baseline against the committed one
+and fails (exit 1) when the pruning trajectory regresses:
+
+- `failure_points`, `classes_total` and `fps_pruned` are functions of the
+  workload trace alone, so they must match the committed baseline exactly;
+  a drift means the detector or the fingerprint changed behavior.
+- `pruning_ratio` may only fall below the committed value by the relative
+  tolerance (default 1%) — and must stay above the absolute acceptance
+  floor (5x) on every measured workload.
+
+Wall-clock columns are host-dependent and are printed for information
+only; they never gate.
+
+Usage:
+    check_perf_trajectory.py COMMITTED.json FRESH.json [--tolerance 0.01]
+
+Standard library only.
+"""
+
+import argparse
+import json
+import sys
+
+RATIO_FLOOR = 5.0
+
+
+def rows_by_key(doc):
+    return {(r["workload"], r["ops"]): r for r in doc["results"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("committed")
+    ap.add_argument("fresh")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="allowed relative drop in pruning_ratio (default 0.01)",
+    )
+    args = ap.parse_args()
+
+    with open(args.committed) as f:
+        committed = rows_by_key(json.load(f))
+    with open(args.fresh) as f:
+        fresh = rows_by_key(json.load(f))
+
+    errors = []
+
+    missing = set(committed) - set(fresh)
+    for key in sorted(missing):
+        errors.append(f"{key[0]} (ops={key[1]}): row missing from fresh baseline")
+
+    for key in sorted(set(committed) & set(fresh)):
+        old, new = committed[key], fresh[key]
+        name = f"{key[0]} (ops={key[1]})"
+
+        for field in ("failure_points", "classes_total", "fps_pruned"):
+            if old[field] != new[field]:
+                errors.append(
+                    f"{name}: {field} drifted: committed {old[field]}, "
+                    f"fresh {new[field]} (trace-deterministic, must match exactly)"
+                )
+
+        floor = old["pruning_ratio"] * (1.0 - args.tolerance)
+        if new["pruning_ratio"] < floor:
+            errors.append(
+                f"{name}: pruning_ratio regressed: committed "
+                f"{old['pruning_ratio']:.2f}, fresh {new['pruning_ratio']:.2f} "
+                f"(tolerance floor {floor:.2f})"
+            )
+        if new["pruning_ratio"] < RATIO_FLOOR:
+            errors.append(
+                f"{name}: pruning_ratio {new['pruning_ratio']:.2f} below the "
+                f"{RATIO_FLOOR:.0f}x acceptance floor"
+            )
+
+        print(
+            f"{name}: fps={new['failure_points']} classes={new['classes_total']} "
+            f"pruned={new['fps_pruned']} ratio={new['pruning_ratio']:.2f}x "
+            f"(committed {old['pruning_ratio']:.2f}x) | walls [info only]: "
+            f"seq {old['sequential_s']:.3f}->{new['sequential_s']:.3f}s, "
+            f"pruned {old['pruned_s']:.3f}->{new['pruned_s']:.3f}s"
+        )
+
+    if errors:
+        print()
+        for e in errors:
+            print(f"REGRESSION: {e}", file=sys.stderr)
+        return 1
+    print("\nperf trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,10 @@ use serde::Serialize;
 use xfd::pmem::Budget;
 use xfd::workloads::bugs::{BugId, BugSet, WorkloadKind};
 use xfd::workloads::{build_with_init, validation_ops};
-use xfd::xfdetector::{BugKind, DetectionReport, Mode, Progress, RunOutcome, RunStats, XfConfig};
+use xfd::xfdetector::offline::pruning_census;
+use xfd::xfdetector::{
+    BugKind, DetectionReport, Mode, Progress, Pruning, RunOutcome, RunStats, XfConfig,
+};
 use xfd::xffuzz::{self, DiffConfig, FuzzProgram};
 use xfd::xfstream::{self, StreamOptions, XftReader};
 
@@ -41,10 +44,11 @@ USAGE:
     xfd record  --workload <name> [--ops N] [--init N] [--bug ID]...
                 [--out FILE.xft] [--json-trace FILE.json] [--report FILE.json]
                 [--capacity N] [CONFIG FLAGS]
-    xfd analyze <FILE.xft> [--all-reads] [--json] [--out FILE.json]
+    xfd analyze <FILE.xft> [--all-reads] [--pruning MODE] [--json]
+                [--out FILE.json]
     xfd report  --workload <name> [--ops N] [--init N] [--bug ID]...
                 [--mode batch|stream|parallel] [--workers N] [--capacity N]
-                [--json] [CONFIG FLAGS]
+                [--json] [--report FILE.json] [CONFIG FLAGS]
     xfd fuzz    [--seed N] [--iters N] [--max-ops N] [--no-shrink]
                 [--corpus-dir DIR] [--budget-entries N] [--replay FILE.fuzz]
                 [--progress] [--json]
@@ -66,6 +70,8 @@ FUZZ OPTIONS:
     --corpus-dir DIR      Write repro bundles (program.fuzz, minimized.fuzz,
                           repro.xft, divergence.txt) under DIR on divergence
     --budget-entries N    Post-failure trace-entry watchdog (default 100000)
+    --pruning MODE        Run all three engines under the given pruning
+                          policy; engine equivalence must hold in lockstep
     --replay FILE.fuzz    Re-check one saved program instead of a campaign
     Exit status: 3 if any divergence was found, 2 on infrastructure errors
 
@@ -105,6 +111,13 @@ CONFIG FLAGS (detector axes; defaults reproduce the paper's setup):
     --no-cow              Full-copy crash snapshots instead of copy-on-write
     --no-dedup            Re-execute post-failure runs on identical images
     --no-parallel-checking  Keep checking on the merge thread (parallel mode)
+    --pruning MODE        off | equivalence | sampled:RATE[:SEED] — collapse
+                          failure points into persistence-state equivalence
+                          classes and run one representative post-failure
+                          execution per class (reports stay byte-identical;
+                          sampled re-executes an audit fraction of class
+                          hits). With `analyze`, prints the trace's
+                          equivalence-class census instead
     --seed N              RNG seed for randomized crash policies
     --capacity N          Trace-FIFO capacity in batches (stream mode)
     --workers N           Worker threads (parallel mode; 0 = all cores)
@@ -212,6 +225,36 @@ fn parse_num<T: FromStr>(flag: &str, v: &str) -> Result<T, String> {
         .map_err(|_| format!("{flag}: invalid number '{v}'"))
 }
 
+/// Parses `--pruning off|equivalence|sampled:RATE[:SEED]`.
+fn parse_pruning(v: &str) -> Result<Pruning, String> {
+    if v.eq_ignore_ascii_case("off") {
+        return Ok(Pruning::Off);
+    }
+    if v.eq_ignore_ascii_case("equivalence") {
+        return Ok(Pruning::Equivalence);
+    }
+    if let Some(rest) = v.strip_prefix("sampled:") {
+        let mut parts = rest.splitn(2, ':');
+        let rate: f64 = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| "--pruning sampled needs a rate (sampled:RATE[:SEED])".to_owned())?
+            .parse()
+            .map_err(|_| format!("--pruning: invalid audit rate in '{v}'"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--pruning: audit rate {rate} outside [0, 1]"));
+        }
+        let seed = match parts.next() {
+            Some(s) => parse_num("--pruning", s)?,
+            None => 0,
+        };
+        return Ok(Pruning::Sampled { rate, seed });
+    }
+    Err(format!(
+        "--pruning: expected off|equivalence|sampled:RATE[:SEED], got '{v}'"
+    ))
+}
+
 fn parse_work_opts(args: &[String]) -> Result<WorkOpts, String> {
     let mut o = WorkOpts::default();
     let mut it = args.iter();
@@ -288,6 +331,7 @@ fn parse_work_opts(args: &[String]) -> Result<WorkOpts, String> {
             "--no-cow" => o.cfg.cow_snapshots = false,
             "--no-dedup" => o.cfg.dedup_images = false,
             "--no-parallel-checking" => o.cfg.parallel_checking = false,
+            "--pruning" => o.cfg.pruning = parse_pruning(next_value(arg, &mut it)?)?,
             "--seed" => o.cfg.rng_seed = parse_num(arg, next_value(arg, &mut it)?)?,
             other => return Err(format!("unexpected argument '{other}' (see xfd --help)")),
         }
@@ -445,6 +489,13 @@ fn human_summary(report: &DetectionReport, stats: &RunStats) -> String {
         stats.post_exec_time.as_secs_f64(),
         stats.check_time.as_secs_f64(),
     );
+    if stats.classes_total > 0 {
+        let _ = write!(
+            s,
+            "\npruning:        {} classes, {} failure points pruned ({:.1}x fewer post runs)",
+            stats.classes_total, stats.fps_pruned, stats.pruning_ratio,
+        );
+    }
     if stats.stream_batches > 0 {
         let _ = write!(
             s,
@@ -525,7 +576,31 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let report = xfstream::analyze_xft(BufReader::new(file), o.cfg.first_read_only)
         .map_err(|e| format!("analyzing {path} failed: {e}"))?;
 
-    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    // `--pruning`: fingerprint the persistence state at every recorded
+    // failure point and report how the trace collapses into equivalence
+    // classes — the reduction a pruned live run would see.
+    let census = if o.cfg.pruning.is_enabled() {
+        let bytes = fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let run = xfstream::read_recorded_run(&bytes[..])
+            .map_err(|e| format!("decoding {path} failed: {e}"))?;
+        Some(pruning_census(&run))
+    } else {
+        None
+    };
+
+    #[derive(Serialize)]
+    struct AnalyzeOut {
+        report: DetectionReport,
+        pruning_census: xfd::xfdetector::offline::PruningCensus,
+    }
+    let json = match &census {
+        None => serde_json::to_string(&report).map_err(|e| e.to_string())?,
+        Some(c) => serde_json::to_string(&AnalyzeOut {
+            report: report.clone(),
+            pruning_census: c.clone(),
+        })
+        .map_err(|e| e.to_string())?,
+    };
     if let Some(out) = &o.out {
         write_file(out, json.as_bytes())?;
     }
@@ -533,6 +608,16 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         println!("{json}");
     } else {
         println!("{report}");
+        if let Some(c) = &census {
+            println!(
+                "pruning census: {} failure points in {} equivalence classes \
+                 ({:.1}x; largest class {})",
+                c.failure_points,
+                c.classes,
+                c.ratio(),
+                c.largest_class,
+            );
+        }
     }
     Ok(o.exit_code(&report))
 }
@@ -541,6 +626,12 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
     let o = parse_work_opts(args)?;
     let kind = o.workload()?;
     let outcome = run_mode(&o, kind, false)?;
+    // Bare report, byte-comparable with `xfd analyze --out` and `xfd
+    // record --report` output (the CI equivalence gates `cmp` these).
+    if let Some(path) = &o.report_path {
+        let report_json = serde_json::to_string(&outcome.report).map_err(|e| e.to_string())?;
+        write_file(path, report_json.as_bytes())?;
+    }
     if o.json {
         let out = ReportOut {
             workload: kind.slug().to_owned(),
@@ -603,6 +694,7 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, String> {
                 }
                 o.diff.budget_entries = Some(n);
             }
+            "--pruning" => o.diff.pruning = parse_pruning(next_value(arg, &mut it)?)?,
             "--replay" => o.replay = Some(next_value(arg, &mut it)?.clone()),
             "--progress" => o.progress = true,
             "--json" => o.json = true,
@@ -859,6 +951,48 @@ mod tests {
             assert_eq!(parse(&["--mode", name]).unwrap().mode, mode);
         }
         assert!(parse(&["--mode", "turbo"]).is_err());
+    }
+
+    #[test]
+    fn pruning_flag_parses_all_modes() {
+        assert_eq!(parse(&[]).unwrap().cfg.pruning, Pruning::Off);
+        assert_eq!(
+            parse(&["--pruning", "off"]).unwrap().cfg.pruning,
+            Pruning::Off
+        );
+        assert_eq!(
+            parse(&["--pruning", "equivalence"]).unwrap().cfg.pruning,
+            Pruning::Equivalence
+        );
+        assert_eq!(
+            parse(&["--pruning", "sampled:0.25:7"]).unwrap().cfg.pruning,
+            Pruning::Sampled {
+                rate: 0.25,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            parse(&["--pruning", "sampled:0.5"]).unwrap().cfg.pruning,
+            Pruning::Sampled { rate: 0.5, seed: 0 },
+            "the audit seed defaults to 0"
+        );
+    }
+
+    #[test]
+    fn pruning_flag_rejects_malformed_modes() {
+        assert!(parse(&["--pruning", "sometimes"]).is_err());
+        assert!(parse(&["--pruning", "sampled:"]).is_err());
+        assert!(parse(&["--pruning", "sampled:1.5"]).is_err());
+        assert!(parse(&["--pruning", "sampled:-0.1"]).is_err());
+        assert!(parse(&["--pruning", "sampled:0.5:abc"]).is_err());
+        assert!(parse(&["--pruning"]).is_err(), "--pruning needs a value");
+    }
+
+    #[test]
+    fn fuzz_pruning_flag_reaches_the_diff_config() {
+        let o = parse_fuzz(&["--pruning", "equivalence"]).unwrap();
+        assert_eq!(o.diff.pruning, Pruning::Equivalence);
+        assert_eq!(parse_fuzz(&[]).unwrap().diff.pruning, Pruning::Off);
     }
 
     #[test]

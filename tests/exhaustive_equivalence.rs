@@ -18,7 +18,7 @@ use xfd::pmem::{
     exhaustive_cow_crash_images, exhaustive_crash_images, EngineHook, OrderingPointInfo, PmCtx,
     PmPool,
 };
-use xfd::xfdetector::{DynError, RunOutcome, Workload, XfConfig, XfDetector};
+use xfd::xfdetector::{DynError, Pruning, RunOutcome, Workload, XfConfig, XfDetector};
 use xfd::xftrace::SourceLoc;
 
 const DATA: u64 = 0; // line 0
@@ -307,6 +307,177 @@ fn streaming_pipeline_matches_every_configuration_byte_for_byte() {
             }
         }
     }
+}
+
+/// Every post-failure execution must be accounted for exactly once: it
+/// either ran (representative), reused a deduped image's trace, was pruned
+/// into an equivalence class, or was elided by the resume journal.
+fn assert_accounting(outcome: &RunOutcome, label: &str) {
+    let s = &outcome.stats;
+    assert_eq!(
+        s.post_runs + s.images_deduped + s.fps_pruned + s.journal_skipped,
+        s.failure_points,
+        "failure-point accounting broke ({label}): {s:?}"
+    );
+    if s.fps_pruned > 0 {
+        assert!(
+            s.classes_total > 0 && s.pruning_ratio >= 1.0,
+            "pruning fired without class bookkeeping ({label}): {s:?}"
+        );
+    }
+}
+
+#[test]
+fn pruned_runs_match_exhaustive_byte_for_byte_across_every_engine() {
+    // The tentpole acceptance criterion: persistence-state equivalence
+    // pruning is report-invariant. For every pruning mode, engine, snapshot
+    // representation, checking mode and FIFO capacity, the merged report
+    // must be byte-identical to the exhaustive sequential run — pruning
+    // only changes *how many* post-failure executions happen, never what
+    // the detector concludes.
+    use xfd::xfstream::{run_pipelined, StreamOptions};
+
+    let modes = [
+        Pruning::Equivalence,
+        // rate 0.0 audits nothing: maximal pruning, same as Equivalence.
+        Pruning::Sampled { rate: 0.0, seed: 7 },
+        // rate 1.0 audits everything: pruning degenerates to exhaustive.
+        Pruning::Sampled { rate: 1.0, seed: 7 },
+        Pruning::Sampled { rate: 0.5, seed: 3 },
+    ];
+
+    for persist_data in [true, false] {
+        let w = Publish { persist_data };
+        let exhaustive = XfDetector::with_defaults().run(w).unwrap();
+        let expected = report_json(&exhaustive);
+        assert_eq!(exhaustive.stats.fps_pruned, 0);
+        assert_eq!(exhaustive.stats.classes_total, 0);
+
+        for pruning in modes {
+            for base in [
+                XfConfig {
+                    cow_snapshots: false,
+                    dedup_images: false,
+                    ..XfConfig::default()
+                },
+                XfConfig::default(),
+            ] {
+                let cfg = XfConfig {
+                    pruning,
+                    ..base.clone()
+                };
+                let label = |engine: &str| {
+                    format!(
+                        "{engine}, persist_data={persist_data}, pruning={pruning:?}, \
+                         cow={}, dedup={}",
+                        cfg.cow_snapshots, cfg.dedup_images
+                    )
+                };
+
+                let seq = XfDetector::new(cfg.clone()).run(w).unwrap();
+                assert_eq!(report_json(&seq), expected, "{}", label("sequential"));
+                assert_accounting(&seq, &label("sequential"));
+                assert_eq!(seq.stats.failure_points, exhaustive.stats.failure_points);
+                if matches!(pruning, Pruning::Sampled { rate, .. } if rate >= 1.0) {
+                    assert_eq!(
+                        seq.stats.fps_pruned, 0,
+                        "auditing every class hit means nothing is pruned"
+                    );
+                }
+
+                for workers in [1, 3] {
+                    for parallel_checking in [false, true] {
+                        let pcfg = XfConfig {
+                            parallel_checking,
+                            ..cfg.clone()
+                        };
+                        let par = XfDetector::new(pcfg).run_parallel(w, workers).unwrap();
+                        let l = format!(
+                            "{} workers={workers} parallel_checking={parallel_checking}",
+                            label("parallel")
+                        );
+                        assert_eq!(report_json(&par), expected, "{l}");
+                        assert_accounting(&par, &l);
+                        // Class structure is a function of the trace alone,
+                        // so every engine must agree on it.
+                        assert_eq!(par.stats.classes_total, seq.stats.classes_total, "{l}");
+                        assert_eq!(par.stats.fps_pruned, seq.stats.fps_pruned, "{l}");
+                    }
+                }
+
+                for capacity in [1, 64] {
+                    let pipe = run_pipelined(&cfg, w, &StreamOptions { capacity }).unwrap();
+                    let l = format!("{} capacity={capacity}", label("streaming"));
+                    assert_eq!(report_json(&pipe), expected, "{l}");
+                    assert_accounting(&pipe, &l);
+                    assert_eq!(pipe.stats.classes_total, seq.stats.classes_total, "{l}");
+                    assert_eq!(pipe.stats.fps_pruned, seq.stats.fps_pruned, "{l}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_pruning_collapses_repeated_persistence_states() {
+    // Publish never revisits a persistence state (every failure point has a
+    // distinct fingerprint, so `classes_total == failure_points` and nothing
+    // prunes). This workload does the opposite: each loop iteration returns
+    // the pool to the same fully-persisted state, so all three post-barrier
+    // failure points share one equivalence class and exactly one
+    // representative executes.
+    use xfd::xfstream::{run_pipelined, StreamOptions};
+
+    struct RepeatedFlush;
+    impl Workload for RepeatedFlush {
+        fn name(&self) -> &str {
+            "repeated-flush"
+        }
+        fn pool_size(&self) -> u64 {
+            4096
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+            Ok(())
+        }
+        fn pre_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let base = ctx.pool().base();
+            for i in 0..3u64 {
+                ctx.write_u64(base + DATA, i)?;
+                ctx.persist_barrier(base + DATA, 8)?;
+            }
+            Ok(())
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+            let _ = ctx.read_u64(ctx.pool().base() + DATA)?;
+            Ok(())
+        }
+    }
+
+    let cfg = XfConfig {
+        pruning: Pruning::Equivalence,
+        ..XfConfig::default()
+    };
+    let exhaustive = XfDetector::with_defaults().run(RepeatedFlush).unwrap();
+    let seq = XfDetector::new(cfg.clone()).run(RepeatedFlush).unwrap();
+    assert_eq!(report_json(&seq), report_json(&exhaustive));
+    assert!(
+        seq.stats.fps_pruned >= 2,
+        "three identical fully-persisted states must collapse: {:?}",
+        seq.stats
+    );
+    assert!(seq.stats.classes_total < seq.stats.failure_points);
+    assert!(seq.stats.pruning_ratio > 1.0);
+    assert_accounting(&seq, "sequential repeated-flush");
+
+    let par = XfDetector::new(cfg.clone())
+        .run_parallel(RepeatedFlush, 2)
+        .unwrap();
+    assert_eq!(report_json(&par), report_json(&exhaustive));
+    assert_eq!(par.stats.fps_pruned, seq.stats.fps_pruned);
+
+    let pipe = run_pipelined(&cfg, RepeatedFlush, &StreamOptions::default()).unwrap();
+    assert_eq!(report_json(&pipe), report_json(&exhaustive));
+    assert_eq!(pipe.stats.fps_pruned, seq.stats.fps_pruned);
 }
 
 #[test]

@@ -162,6 +162,148 @@ fn budget_kills_are_identical_across_batch_and_parallel() {
     assert_eq!(report_json(&batch), report_json(&parallel));
 }
 
+/// Budget accounting under pruning: the watchdog tallies *representative*
+/// executions only. A pruned class member replays its representative's
+/// trace — re-emitting the overrun finding so the report stays complete —
+/// but never inflates the kill counter, because nothing was executed (let
+/// alone killed) on its behalf.
+#[test]
+fn budget_kills_count_representative_executions_only() {
+    let bug = BugId::HaHangRecoveryLoop;
+    let budget = Budget::default().with_max_trace_entries(20_000);
+    let run = |pruning: Pruning, mode: Mode| {
+        session()
+            .budget(budget.clone())
+            .pruning(pruning)
+            .build()
+            .unwrap()
+            .run(build_with_bug(bug), mode)
+            .unwrap()
+    };
+
+    let exhaustive = run(Pruning::Off, Mode::Batch);
+    assert!(exhaustive.stats.budget_exceeded >= 1);
+
+    for mode in [Mode::Batch, Mode::Parallel, Mode::Stream] {
+        let pruned = run(Pruning::Equivalence, mode);
+        // Kills can only come from executions that actually ran.
+        assert!(
+            pruned.stats.budget_exceeded <= pruned.stats.post_runs,
+            "{}: more kills than representative executions: {:?}",
+            mode.name(),
+            pruned.stats
+        );
+        assert!(
+            pruned.stats.budget_exceeded >= 1,
+            "{}: the hang's representative must still be killed: {:?}",
+            mode.name(),
+            pruned.stats
+        );
+        // Replayed members re-emit the finding, so detection is intact.
+        assert!(
+            pruned.report.execution_failure_count() >= 1,
+            "{}: pruned run lost the overrun finding:\n{}",
+            mode.name(),
+            pruned.report
+        );
+        // Determinism: the representative choice (first member in trace
+        // order) and the kill tally reproduce run over run.
+        let again = run(Pruning::Equivalence, mode);
+        assert_eq!(report_json(&pruned), report_json(&again));
+        assert_eq!(pruned.stats.budget_exceeded, again.stats.budget_exceeded);
+    }
+}
+
+/// `workers == 0` clamps to one worker instead of deadlocking an empty
+/// pool, and the clamped run still honors representative-only budget
+/// accounting under pruning.
+#[test]
+fn zero_workers_clamps_to_one_under_pruning() {
+    let bug = BugId::HaHangRecoveryLoop;
+    let budget = Budget::default().with_max_trace_entries(20_000);
+    let run = |workers: usize| {
+        session()
+            .budget(budget.clone())
+            .pruning(Pruning::Equivalence)
+            .workers(workers)
+            .build()
+            .unwrap()
+            .run(build_with_bug(bug), Mode::Parallel)
+            .unwrap()
+    };
+    let clamped = run(0);
+    let one = run(1);
+    assert_eq!(report_json(&clamped), report_json(&one));
+    assert_eq!(clamped.stats.budget_exceeded, one.stats.budget_exceeded);
+    assert!(clamped.stats.budget_exceeded <= clamped.stats.post_runs);
+    assert!(clamped.stats.fps_pruned >= 1, "{:?}", clamped.stats);
+}
+
+/// Resume and pruning compose: a pruned run killed partway and resumed
+/// from its journal merges to the byte-identical report of an
+/// uninterrupted pruned run. Representatives are not journaled — the
+/// prune cache rebuilds from scratch after resume, so a class whose
+/// representative fell before the kill simply elects a new one.
+#[test]
+fn pruned_runs_resume_byte_identically() {
+    let kind = WorkloadKind::Btree;
+    let ops = validation_ops(kind);
+    let build_workload = || build(kind, ops, BugSet::none());
+    for mode in [Mode::Batch, Mode::Parallel, Mode::Stream] {
+        let path = journal_path(&format!("pruned-{}", mode.name()));
+        std::fs::remove_file(&path).ok();
+
+        let reference = session()
+            .pruning(Pruning::Equivalence)
+            .build()
+            .unwrap()
+            .run(build_workload(), mode)
+            .unwrap();
+        assert!(reference.stats.fps_pruned >= 1, "{:?}", reference.stats);
+
+        session()
+            .config(
+                XfConfig::builder()
+                    .max_failure_points(Some(KILL_AFTER))
+                    .build()
+                    .unwrap(),
+            )
+            .pruning(Pruning::Equivalence)
+            .journal(&path)
+            .build()
+            .unwrap()
+            .run(build_workload(), mode)
+            .unwrap();
+
+        let outcome = session()
+            .pruning(Pruning::Equivalence)
+            .resume(&path)
+            .build()
+            .unwrap()
+            .run(build_workload(), mode)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(outcome.stats.journal_skipped, KILL_AFTER);
+        assert_eq!(
+            outcome.stats.post_runs
+                + outcome.stats.images_deduped
+                + outcome.stats.fps_pruned
+                + outcome.stats.journal_skipped,
+            outcome.stats.failure_points,
+            "{}: accounting broke: {:?}",
+            mode.name(),
+            outcome.stats
+        );
+        assert_eq!(
+            report_json(&reference),
+            report_json(&outcome),
+            "{}: resumed pruned report must match an uninterrupted pruned run",
+            mode.name()
+        );
+    }
+}
+
 /// A budget-killed run is itself resumable: the journaled overrun findings
 /// replay verbatim and the merged report stays byte-identical.
 #[test]

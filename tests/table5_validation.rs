@@ -4,7 +4,7 @@
 
 use xfd::workloads::bugs::{BugId, BugSet, BugSuite, WorkloadKind};
 use xfd::workloads::{build, build_with_bug, validation_config, validation_ops};
-use xfd::xfdetector::{BugCategory, XfDetector};
+use xfd::xfdetector::{BugCategory, Pruning, XfDetector};
 
 /// Without injected bugs, no workload produces any finding (no false
 /// positives — the premise of the whole validation).
@@ -55,6 +55,61 @@ fn every_synthetic_bug_is_detected_in_its_category() {
         validated += 1;
     }
     assert_eq!(validated, BugId::all().len());
+}
+
+/// The pruning soundness contract: equivalence pruning never loses a
+/// detection. The full registry re-runs under [`Pruning::Equivalence`] —
+/// one representative post-failure execution per persistence-state class,
+/// with its report delta replayed to every pruned member — and every bug
+/// must still surface in its expected category. (On bug-injected variants
+/// the *report bytes* may legitimately differ from exhaustive runs where
+/// recovery control flow depends on crash-image content; what must never
+/// change is whether the bug is found.)
+#[test]
+fn every_synthetic_bug_is_still_detected_under_pruning() {
+    let mut missed = Vec::new();
+    for &bug in BugId::all() {
+        let mut cfg = validation_config(bug);
+        cfg.pruning = Pruning::Equivalence;
+        let outcome = XfDetector::new(cfg).run(build_with_bug(bug)).unwrap();
+        let detected = match bug.expected_category() {
+            BugCategory::Race => outcome.report.race_count() >= 1,
+            BugCategory::Semantic => outcome.report.semantic_count() >= 1,
+            BugCategory::Performance => outcome.report.performance_count() >= 1,
+            BugCategory::ExecutionFailure => {
+                outcome.stats.budget_exceeded >= 1 && outcome.report.execution_failure_count() >= 1
+            }
+            _ => unreachable!("no registered bug expects {:?}", bug.expected_category()),
+        };
+        if !detected {
+            missed.push(bug);
+        }
+    }
+    assert!(missed.is_empty(), "pruning lost detections: {missed:?}");
+}
+
+/// Clean workloads stay clean under pruning, too — replaying a
+/// representative's delta must not invent findings.
+#[test]
+fn all_workloads_stay_clean_under_pruning() {
+    for kind in xfd::workloads::all_workloads() {
+        let w = build(kind, validation_ops(kind), BugSet::none());
+        let cfg = xfd::xfdetector::XfConfig {
+            pruning: Pruning::Equivalence,
+            ..xfd::xfdetector::XfConfig::default()
+        };
+        let outcome = XfDetector::new(cfg).run(w).unwrap();
+        assert!(
+            !outcome.report.has_correctness_bugs() && outcome.report.performance_count() == 0,
+            "{kind} reported spurious findings under pruning:\n{}",
+            outcome.report
+        );
+        assert!(
+            outcome.stats.fps_pruned > 0,
+            "{kind} at validation scale must collapse at least one class: {:?}",
+            outcome.stats
+        );
+    }
 }
 
 /// The registry counts match Table 5 of the paper (also asserted in the
