@@ -1,0 +1,106 @@
+//! Microbenchmarks of the shadow-PM scan paths: word-wise bitmask walks
+//! (`trailing_zeros` over the per-line `present`/`pending` u64 masks)
+//! against the per-byte probing they replaced.
+//!
+//! The per-byte baseline is expressed through the public one-byte probe
+//! (`ShadowPm::persist_state`), which is exactly what the old hot loops
+//! did internally 64 times per line; the word-wise path is the production
+//! `is_range_persisted` / `persistence_fingerprint` code.
+//!
+//! ```sh
+//! cargo bench -p xfd-bench --bench shadow_scan
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xfdetector::{DetectionReport, PersistState, ShadowPm};
+use xftrace::{FenceKind, FlushKind, Op, SourceLoc, Stage, TraceEntry};
+
+const BASE: u64 = 0x1000;
+const LINES: u64 = 1024;
+const SPAN: u64 = LINES * 64;
+
+fn entry(op: Op) -> TraceEntry {
+    TraceEntry::new(op, SourceLoc::synthetic("<bench>"), Stage::Pre, false, true)
+}
+
+/// A shadow with `LINES` fully persisted cache lines: every byte written,
+/// flushed and fenced, so range checks walk the longest possible path.
+fn persisted_shadow() -> ShadowPm {
+    let mut shadow = ShadowPm::new();
+    let mut report = DetectionReport::new();
+    for li in 0..LINES {
+        let addr = BASE + li * 64;
+        shadow.apply_pre(&entry(Op::Write { addr, size: 64 }), &mut report);
+        shadow.apply_pre(
+            &entry(Op::Flush {
+                addr,
+                kind: FlushKind::Clwb,
+            }),
+            &mut report,
+        );
+    }
+    shadow.apply_pre(
+        &entry(Op::Fence {
+            kind: FenceKind::Sfence,
+        }),
+        &mut report,
+    );
+    shadow
+}
+
+/// The per-byte census the word-wise scan replaced: probe all 64 bytes of
+/// every line individually.
+fn per_byte_range_persisted(shadow: &ShadowPm, addr: u64, size: u64) -> bool {
+    (addr..addr + size).all(|a| {
+        matches!(
+            shadow.persist_state(a),
+            PersistState::Persisted | PersistState::Unmodified
+        )
+    })
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shadow_scan");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let shadow = persisted_shadow();
+    assert!(shadow.is_range_persisted(BASE, SPAN));
+    assert!(per_byte_range_persisted(&shadow, BASE, SPAN));
+
+    // The pair the CI gate compares: the same 64 KiB persisted-range
+    // census, per-byte vs word-wise.
+    group.bench_function("per_byte_census_64k", |b| {
+        b.iter(|| std::hint::black_box(per_byte_range_persisted(&shadow, BASE, SPAN)));
+    });
+    group.bench_function("word_wise_census_64k", |b| {
+        b.iter(|| std::hint::black_box(shadow.is_range_persisted(BASE, SPAN)));
+    });
+
+    // The pruning fingerprint's incremental re-fold: dirty one line, then
+    // fold the indexed lines word-wise.
+    group.bench_function("fingerprint_refold_one_dirty_line", |b| {
+        let mut shadow = persisted_shadow();
+        shadow.enable_fingerprinting();
+        let _ = shadow.persistence_fingerprint();
+        let write = entry(Op::Write {
+            addr: BASE,
+            size: 8,
+        });
+        let mut report = DetectionReport::new();
+        b.iter(|| {
+            shadow.apply_pre(&write, &mut report);
+            std::hint::black_box(shadow.persistence_fingerprint())
+        });
+    });
+    group.bench_function("fingerprint_from_scratch_1024_lines", |b| {
+        let shadow = persisted_shadow();
+        b.iter(|| std::hint::black_box(shadow.fingerprint_from_scratch()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -11,7 +11,8 @@
 //! point).
 
 use xfd_bench::{
-    geo_mean, run_baseline, run_detection, run_detection_with, secs, trace_sizes, Baseline,
+    geo_mean, run_baseline, run_detection, run_detection_with, run_parallel_detection,
+    run_streaming_detection, secs, trace_sizes, Baseline,
 };
 use xfd_workloads::all_workloads;
 use xfd_workloads::bugs::WorkloadKind;
@@ -121,6 +122,30 @@ fn main() {
             s.failure_points,
             (s.failure_points * s.shadow_resident_bytes) as f64 / 1024.0,
             s.shadow_bytes_cloned as f64 / 1024.0,
+        );
+    }
+
+    println!();
+    println!("Hot-path counters: arena reuse, work-stealing dispatch, lock-free stream ring");
+    println!(
+        "{:<16} {:>11} {:>10} {:>11} {:>11} {:>9}",
+        "workload", "arena[KiB]", "stolen@4w", "ring-spins", "ring-parks", "batches"
+    );
+    for kind in [WorkloadKind::Btree, WorkloadKind::HashmapTx] {
+        // Arena bytes come from the sequential engine (the dedup/prune
+        // caches it backs), stolen jobs from the 4-worker parallel
+        // dispatch, ring counters from the streaming pipeline's FIFO.
+        let seq = run_detection(kind, OPS).stats;
+        let par = run_parallel_detection(kind, OPS, XfConfig::default(), 4).stats;
+        let stream = run_streaming_detection(kind, OPS, XfConfig::default()).stats;
+        println!(
+            "{:<16} {:>11.1} {:>10} {:>11} {:>11} {:>9}",
+            kind.to_string(),
+            seq.arena_bytes as f64 / 1024.0,
+            par.jobs_stolen,
+            stream.ring_spins,
+            stream.ring_parks,
+            stream.stream_batches,
         );
     }
 

@@ -26,19 +26,38 @@
 //!   conservative: it assumes nothing else overlaps and worker-side
 //!   per-unit cost equals main-thread cost.
 //!
+//! With `--wall` the harness additionally sweeps the fully parallel
+//! pipeline across 1/2/4/8 workers and records the *measured* wall-clock
+//! times as `scaling` rows tagged `speedup_method: "wall"`. These rows are
+//! honest: they always record the real `host_cpus`, and the trajectory
+//! gate only enforces them when the producing host actually had multiple
+//! CPUs.
+//!
+//! Every run also measures single-thread trace-ingest throughput: the same
+//! recorded `.xft` trace decoded by the buffered streaming reader and by
+//! the zero-copy mapped reader, in entries per second.
+//!
 //! ```sh
-//! cargo run --release -p xfd-bench --bin perf_baseline
+//! cargo run --release -p xfd-bench --bin perf_baseline [-- --wall]
 //! ```
 
-use std::time::Duration;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use xfd_bench::{run_detection_with, run_parallel_detection, secs, trace_sizes};
 use xfd_workloads::bugs::WorkloadKind;
 use xfdetector::{Pruning, XfConfig};
+use xfstream::{XftMmapReader, XftReader};
 
 const WORKERS: usize = 8;
 const REPS: u32 = 3;
+/// Worker counts swept by the `--wall` multicore scaling rows.
+const WALL_WORKERS: [usize; 4] = [1, 2, 4, 8];
+/// Aim for roughly this many decoded entries per ingest timing sample.
+const INGEST_TARGET_ENTRIES: u64 = 200_000;
 
 #[derive(Serialize)]
 struct Row {
@@ -77,6 +96,46 @@ struct Row {
     trace_json_bytes: u64,
     /// JSON-over-`.xft` compression ratio.
     trace_json_over_xft: f64,
+    /// How `speedup_parallel_checking` was computed for this row:
+    /// `"measured-wall"` or `"critical-path"`.
+    speedup_method: &'static str,
+}
+
+/// One measured wall-clock point of the `--wall` multicore sweep.
+#[derive(Serialize)]
+struct ScalingRow {
+    workload: String,
+    ops: u64,
+    workers: usize,
+    /// Sequential-engine wall time (the scaling denominator).
+    sequential_wall_s: f64,
+    /// Fully parallel pipeline wall time at `workers` workers.
+    parallel_wall_s: f64,
+    speedup_wall: f64,
+    /// Always `"wall"`: these are raw measured times, never modeled. The
+    /// trajectory gate only enforces them when `host_cpus >= 2`.
+    speedup_method: &'static str,
+}
+
+/// Single-thread `.xft` ingest throughput: buffered streaming reader vs
+/// the zero-copy mapped reader on the same recorded trace.
+#[derive(Serialize)]
+struct IngestRow {
+    workload: String,
+    ops: u64,
+    /// Entries in the recorded trace (one full decode pass).
+    entries: u64,
+    xft_bytes: u64,
+    /// Full decode passes per timing sample.
+    passes: u32,
+    /// Best per-pass wall time, buffered `XftReader` over `BufReader`.
+    buffered_s: f64,
+    /// Best per-pass wall time, `XftMmapReader` slice cursor.
+    mapped_s: f64,
+    buffered_entries_per_s: f64,
+    mapped_entries_per_s: f64,
+    /// Mapped-over-buffered throughput ratio (the CI gate's `>= 5x`).
+    speedup_mapped: f64,
 }
 
 #[derive(Serialize)]
@@ -87,6 +146,9 @@ struct Doc {
     host_cpus: usize,
     speedup_method: &'static str,
     results: Vec<Row>,
+    /// `--wall` multicore sweep; empty when the flag was not passed.
+    scaling: Vec<ScalingRow>,
+    ingest: Vec<IngestRow>,
 }
 
 /// Best-of-`REPS` of `f` by wall-clock time.
@@ -97,7 +159,96 @@ fn best_of<T, F: FnMut() -> (Duration, T)>(mut f: F) -> (Duration, T) {
         .expect("REPS > 0")
 }
 
+/// One full decode pass through the buffered streaming reader; returns the
+/// entry count so the work cannot be optimized away.
+fn decode_buffered(path: &Path) -> u64 {
+    let file = File::open(path).expect("open trace");
+    let mut r = XftReader::new(BufReader::new(file)).expect("xft header");
+    while r.next_event().expect("xft event").is_some() {}
+    std::hint::black_box(r.entries_read())
+}
+
+/// One full decode pass through the zero-copy mapped reader.
+fn decode_mapped(path: &Path) -> u64 {
+    let mut r = XftMmapReader::open(path).expect("xft header");
+    while r.next_event().expect("xft event").is_some() {}
+    std::hint::black_box(r.entries_read())
+}
+
+fn print_ingest(rows: &[IngestRow]) {
+    println!("\nsingle-thread .xft ingest (buffered streaming vs zero-copy mapped)");
+    println!(
+        "{:<14} {:>9} {:>10} {:>14} {:>14} {:>8}",
+        "workload", "entries", "xft[KiB]", "buffered[e/s]", "mapped[e/s]", "speedup"
+    );
+    for i in rows {
+        println!(
+            "{:<14} {:>9} {:>10.1} {:>14.0} {:>14.0} {:>7.2}x",
+            i.workload,
+            i.entries,
+            i.xft_bytes as f64 / 1024.0,
+            i.buffered_entries_per_s,
+            i.mapped_entries_per_s,
+            i.speedup_mapped
+        );
+    }
+}
+
+/// Measures single-thread ingest throughput of the recorded `kind` trace:
+/// the identical `.xft` bytes decoded end-to-end by both readers.
+fn measure_ingest(kind: WorkloadKind, ops: u64) -> IngestRow {
+    let cfg = XfConfig {
+        record_trace: true,
+        ..XfConfig::default()
+    };
+    let run = run_detection_with(kind, ops, cfg)
+        .recorded
+        .expect("trace recorded");
+    let bytes = xfstream::encode_recorded_run(&run).expect("xft encoding");
+    let path = std::env::temp_dir().join(format!("xfd-perf-ingest-{}.xft", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write ingest trace");
+
+    let entries = decode_mapped(&path);
+    assert_eq!(entries, decode_buffered(&path), "readers disagree");
+    // Batch enough passes per sample that the fast reader is measurable.
+    let passes = INGEST_TARGET_ENTRIES.div_ceil(entries.max(1)).max(1) as u32;
+    let time_passes = |f: &dyn Fn(&Path) -> u64| {
+        let (best, ()) = best_of(|| {
+            let start = Instant::now();
+            for _ in 0..passes {
+                f(&path);
+            }
+            (start.elapsed(), ())
+        });
+        best.as_secs_f64() / f64::from(passes)
+    };
+    let buffered_s = time_passes(&decode_buffered);
+    let mapped_s = time_passes(&decode_mapped);
+    let _ = std::fs::remove_file(&path);
+
+    let per_s = |s: f64| entries as f64 / s.max(f64::MIN_POSITIVE);
+    IngestRow {
+        workload: kind.to_string(),
+        ops,
+        entries,
+        xft_bytes: bytes.len() as u64,
+        passes,
+        buffered_s,
+        mapped_s,
+        buffered_entries_per_s: per_s(buffered_s),
+        mapped_entries_per_s: per_s(mapped_s),
+        speedup_mapped: per_s(mapped_s) / per_s(buffered_s).max(f64::MIN_POSITIVE),
+    }
+}
+
 fn main() {
+    let wall = std::env::args().any(|a| a == "--wall");
+    // Measure only the ingest section and skip the BENCH_detector.json
+    // rewrite: a fast mode for iterating on (and CI-gating) the readers.
+    if std::env::args().any(|a| a == "--ingest-only") {
+        print_ingest(&[measure_ingest(WorkloadKind::Btree, 100)]);
+        return;
+    }
     let cases = [
         (WorkloadKind::Btree, 100u64),
         (WorkloadKind::HashmapTx, 100),
@@ -143,6 +294,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut scaling = Vec::new();
     for (kind, ops) in cases {
         let (sequential, (failure_points, exec_work)) = best_of(|| {
             let o = run_detection_with(kind, ops, cfg.clone());
@@ -231,8 +383,46 @@ fn main() {
             trace_xft_bytes: trace.xft_bytes,
             trace_json_bytes: trace.json_bytes,
             trace_json_over_xft: trace.ratio(),
+            speedup_method: method,
         });
+
+        if wall {
+            let seq_wall = sequential.as_secs_f64();
+            for w in WALL_WORKERS {
+                let (par_wall, ()) = best_of(|| {
+                    let o = run_parallel_detection(kind, ops, cfg.clone(), w);
+                    (o.stats.total_time, ())
+                });
+                let par_s = par_wall.as_secs_f64();
+                scaling.push(ScalingRow {
+                    workload: kind.to_string(),
+                    ops,
+                    workers: w,
+                    sequential_wall_s: seq_wall,
+                    parallel_wall_s: par_s,
+                    speedup_wall: seq_wall / par_s.max(f64::MIN_POSITIVE),
+                    speedup_method: "wall",
+                });
+            }
+        }
     }
+
+    if wall {
+        println!("\nwall-clock scaling ({host_cpus} host cpus; gated only when >= 2)");
+        println!(
+            "{:<14} {:>8} {:>9} {:>9} {:>8}",
+            "workload", "workers", "seq[s]", "wall[s]", "speedup"
+        );
+        for s in &scaling {
+            println!(
+                "{:<14} {:>8} {:>9.3} {:>9.3} {:>7.2}x",
+                s.workload, s.workers, s.sequential_wall_s, s.parallel_wall_s, s.speedup_wall
+            );
+        }
+    }
+
+    let ingest = vec![measure_ingest(WorkloadKind::Btree, 100)];
+    print_ingest(&ingest);
 
     let doc = Doc {
         bench: "detector",
@@ -241,6 +431,8 @@ fn main() {
         host_cpus,
         speedup_method: method,
         results: rows,
+        scaling,
+        ingest,
     };
     let path = "BENCH_detector.json";
     std::fs::write(path, serde_json::to_string(&doc).expect("serialize") + "\n")

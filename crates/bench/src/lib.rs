@@ -73,6 +73,44 @@ pub fn run_parallel_detection(
     .expect("detection run failed")
 }
 
+/// Runs detection through the streaming frontend/backend pipeline
+/// (`xfstream::run_pipelined`) with the default FIFO options, bug-free
+/// variant of `kind`.
+///
+/// # Panics
+///
+/// Panics if the detection run itself fails.
+#[must_use]
+pub fn run_streaming_detection(kind: WorkloadKind, ops: u64, cfg: XfConfig) -> RunOutcome {
+    let opts = xfstream::StreamOptions::default();
+    match kind {
+        WorkloadKind::Btree => {
+            xfstream::run_pipelined(&cfg, xfd_workloads::btree::Btree::new(ops), &opts)
+        }
+        WorkloadKind::Ctree => {
+            xfstream::run_pipelined(&cfg, xfd_workloads::ctree::Ctree::new(ops), &opts)
+        }
+        WorkloadKind::Rbtree => {
+            xfstream::run_pipelined(&cfg, xfd_workloads::rbtree::Rbtree::new(ops), &opts)
+        }
+        WorkloadKind::HashmapTx => {
+            xfstream::run_pipelined(&cfg, xfd_workloads::hashmap_tx::HashmapTx::new(ops), &opts)
+        }
+        WorkloadKind::HashmapAtomic => xfstream::run_pipelined(
+            &cfg,
+            xfd_workloads::hashmap_atomic::HashmapAtomic::new(ops),
+            &opts,
+        ),
+        WorkloadKind::Redis => {
+            xfstream::run_pipelined(&cfg, xfd_workloads::redis::Redis::new(ops), &opts)
+        }
+        WorkloadKind::Memcached => {
+            xfstream::run_pipelined(&cfg, xfd_workloads::memcached::Memcached::new(ops), &opts)
+        }
+    }
+    .expect("detection run failed")
+}
+
 /// Size of one recorded detection trace in its two serialized forms — the
 /// raw material for the `trace[KiB]` benchmark columns.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,133 @@
+//! A bump arena for post-failure trace storage.
+//!
+//! The dedup and pruning caches retain one post-failure trace per crash
+//! image / equivalence class and replay it at every later member of the
+//! class. Storing each cached trace as its own `Vec<TraceEntry>` costs a
+//! heap allocation per representative and — much worse — a full clone per
+//! cache *hit*, which dominates once pruning collapses the failure-point
+//! space 20–100×. The arena replaces both: traces are interned once into a
+//! single growing `Vec` and addressed by [`Span`] index handles, so a cache
+//! hit is a `Copy` of eight bytes and a replay is a slice borrow.
+//!
+//! The arena never frees individual spans (entries are immutable for the
+//! lifetime of the run, exactly like the caches that own them); the whole
+//! backing vector drops with the engine state. [`Arena::bytes`] reports the
+//! retained size, surfaced as `RunStats::arena_bytes`.
+
+/// An index handle into an [`Arena`]: a `(start, end)` pair in entries.
+///
+/// Spans are `Copy` and independent of the arena's address — growing the
+/// backing vector never invalidates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start: u32,
+    end: u32,
+}
+
+impl Span {
+    /// The empty span.
+    pub const EMPTY: Span = Span { start: 0, end: 0 };
+
+    /// Number of entries the span covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the span covers no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A grow-only bump arena of `T`, addressed by [`Span`] handles.
+#[derive(Debug, Default)]
+pub struct Arena<T> {
+    items: Vec<T>,
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Arena { items: Vec::new() }
+    }
+
+    /// Interns a slice, returning its span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena would exceed `u32::MAX` entries (a single run
+    /// never comes close; the 32-bit handle keeps cache entries small).
+    pub fn intern(&mut self, entries: &[T]) -> Span
+    where
+        T: Copy,
+    {
+        let start = u32::try_from(self.items.len()).expect("arena exceeds u32::MAX entries");
+        self.items.extend_from_slice(entries);
+        let end = u32::try_from(self.items.len()).expect("arena exceeds u32::MAX entries");
+        Span { start, end }
+    }
+
+    /// Resolves a span back to its slice.
+    #[must_use]
+    pub fn get(&self, span: Span) -> &[T] {
+        &self.items[span.start as usize..span.end as usize]
+    }
+
+    /// Entries currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the arena holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Retained size in bytes (backing storage only).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        (self.items.len() * std::mem::size_of::<T>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_survive_growth() {
+        let mut arena = Arena::new();
+        let a = arena.intern(&[1u64, 2, 3]);
+        // Force several reallocations of the backing vector.
+        let mut spans = Vec::new();
+        for i in 0..100u64 {
+            spans.push((i, arena.intern(&[i; 17])));
+        }
+        assert_eq!(arena.get(a), &[1, 2, 3]);
+        for (i, s) in spans {
+            assert_eq!(arena.get(s), &[i; 17]);
+            assert_eq!(s.len(), 17);
+        }
+    }
+
+    #[test]
+    fn empty_span_resolves_to_empty_slice() {
+        let arena: Arena<u8> = Arena::new();
+        assert_eq!(arena.get(Span::EMPTY), &[] as &[u8]);
+        assert!(Span::EMPTY.is_empty());
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn bytes_tracks_backing_storage() {
+        let mut arena = Arena::new();
+        arena.intern(&[0u64; 8]);
+        assert_eq!(arena.len(), 8);
+        assert_eq!(arena.bytes(), 64);
+    }
+}

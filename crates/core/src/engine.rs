@@ -29,6 +29,7 @@ use pmem::{
 };
 use xftrace::{SourceLoc, TraceEntry};
 
+use crate::arena::{Arena, Span};
 use crate::error::ConfigError;
 use crate::prune::{PruneCache, Pruning};
 use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
@@ -37,6 +38,24 @@ use crate::stats::RunStats;
 
 /// Boxed error type returned by workload stages.
 pub type DynError = Box<dyn std::error::Error>;
+
+/// Which bounded FIFO implementation the streaming pipeline
+/// (`xfstream::run_pipelined`) uses between its frontend and backend.
+///
+/// The reports are byte-identical either way; the axis exists so the
+/// lock-free ring's performance claim stays measurable against the original
+/// implementation (DESIGN.md §4h) and so the equivalence matrix can sweep
+/// both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RingImpl {
+    /// Lock-free bounded SPSC ring: cache-line-padded head/tail atomics,
+    /// power-of-two slot array with masked indices, batched consumer drain
+    /// and adaptive spin-then-park wakeups.
+    #[default]
+    LockFree,
+    /// The original Mutex+Condvar `VecDeque` channel, kept as an ablation.
+    Mutex,
+}
 
 /// A program under test.
 ///
@@ -168,6 +187,10 @@ pub struct XfConfig {
     /// merged report is byte-identical to exhaustive mode; only redundant
     /// executions and image captures are elided.
     pub pruning: Pruning,
+    /// Which bounded FIFO joins the streaming frontend and backend in
+    /// `xfstream::run_pipelined`. Ignored by the sequential and parallel
+    /// engines.
+    pub ring_impl: RingImpl,
 }
 
 impl Default for XfConfig {
@@ -187,6 +210,7 @@ impl Default for XfConfig {
             parallel_checking: true,
             post_budget: None,
             pruning: Pruning::Off,
+            ring_impl: RingImpl::LockFree,
         }
     }
 }
@@ -274,6 +298,8 @@ impl XfConfigBuilder {
         post_budget: Option<Budget>,
         /// See [`XfConfig::pruning`].
         pruning: Pruning,
+        /// See [`XfConfig::ring_impl`].
+        ring_impl: RingImpl,
     }
 
     /// Validates the configuration and returns it.
@@ -451,6 +477,7 @@ impl XfDetector {
             shadow: RefCell::new(shadow),
             report: RefCell::new(DetectionReport::new()),
             stats: RefCell::new(RunStats::default()),
+            arena: RefCell::new(Arena::new()),
             dedup: RefCell::new(HashMap::new()),
             prune: RefCell::new(PruneCache::new(self.config.pruning)),
             rng: RefCell::new(StdRng::seed_from_u64(self.config.rng_seed)),
@@ -510,6 +537,7 @@ impl XfDetector {
             let prune = shared.prune.borrow();
             stats.finish_pruning(prune.classes_total(), prune.fps_pruned());
         }
+        stats.arena_bytes = shared.arena.borrow().bytes();
         // Sequentially, `detect_time` is exactly the per-failure-point
         // checking time; nothing ran in workers.
         stats.check_time = stats.detect_time;
@@ -531,11 +559,31 @@ type PostFn = Box<dyn Fn(&mut PmCtx) -> Result<(), DynError>>;
 /// Cached result of one post-failure execution, keyed by the content hash
 /// of the crash image it ran on. The image itself is kept for the exact
 /// `same_content` confirmation (a hash collision must degrade to a miss,
-/// never to a wrong reuse).
+/// never to a wrong reuse). The trace lives in the engine's arena; the
+/// cache holds only its span, so a hit copies eight bytes instead of
+/// cloning a trace vector.
 struct CachedPost {
     image: CowImage,
-    post: Vec<TraceEntry>,
+    post: Span,
     outcome: PostOutcome,
+}
+
+/// A failure point's post-failure trace: freshly executed traces that no
+/// cache will retain stay owned; anything cached (or served from a cache)
+/// is an arena span.
+enum PostTrace {
+    Owned(Vec<TraceEntry>),
+    Interned(Span),
+}
+
+impl PostTrace {
+    /// Resolves to a slice against the engine arena.
+    fn slice<'a>(&'a self, arena: &'a Arena<TraceEntry>) -> &'a [TraceEntry] {
+        match self {
+            PostTrace::Owned(v) => v,
+            PostTrace::Interned(s) => arena.get(*s),
+        }
+    }
 }
 
 /// How a failure point's post-failure trace was obtained: by running the
@@ -552,8 +600,9 @@ struct EngineState {
     shadow: RefCell<ShadowPm>,
     report: RefCell<DetectionReport>,
     stats: RefCell<RunStats>,
+    arena: RefCell<Arena<TraceEntry>>,
     dedup: RefCell<HashMap<ImageHash, CachedPost>>,
-    prune: RefCell<PruneCache<(Vec<TraceEntry>, PostOutcome)>>,
+    prune: RefCell<PruneCache<(Span, PostOutcome)>>,
     rng: RefCell<StdRng>,
     recorded: RefCell<Option<crate::offline::RecordedRun>>,
     config: XfConfig,
@@ -590,7 +639,7 @@ impl EngineState {
     /// post-failure trace — by running the post-failure stage, or from the
     /// image-dedup cache when the image was already explored. Returns
     /// `(trace, outcome, executed)`.
-    fn obtain_post(&self, ctx: &mut PmCtx) -> (Vec<TraceEntry>, PostOutcome, bool) {
+    fn obtain_post(&self, ctx: &mut PmCtx) -> (PostTrace, PostOutcome, bool) {
         if self.config.cow_snapshots {
             let image = self
                 .config
@@ -602,10 +651,10 @@ impl EngineState {
                     .borrow()
                     .get(&h)
                     .filter(|c| c.image.same_content(&image))
-                    .map(|c| (c.post.clone(), c.outcome.clone()))
+                    .map(|c| (c.post, c.outcome.clone()))
             });
-            if let Some((post, outcome)) = cached {
-                (post, outcome, false)
+            if let Some((span, outcome)) = cached {
+                (PostTrace::Interned(span), outcome, false)
             } else {
                 let mut post_ctx = ctx.fork_post_cow(&image);
                 let outcome = self.execute_post(&mut post_ctx);
@@ -613,16 +662,19 @@ impl EngineState {
                 self.stats.borrow_mut().snapshot_bytes_copied +=
                     post_ctx.pool().snapshot_bytes_copied();
                 if let Some(h) = hash {
+                    let span = self.arena.borrow_mut().intern(&post);
                     self.dedup.borrow_mut().insert(
                         h,
                         CachedPost {
                             image,
-                            post: post.clone(),
+                            post: span,
                             outcome: outcome.clone(),
                         },
                     );
+                    (PostTrace::Interned(span), outcome, true)
+                } else {
+                    (PostTrace::Owned(post), outcome, true)
                 }
-                (post, outcome, true)
             }
         } else {
             let image = self
@@ -634,7 +686,19 @@ impl EngineState {
             let post = post_ctx.trace().drain();
             self.stats.borrow_mut().snapshot_bytes_copied +=
                 post_ctx.pool().snapshot_bytes_copied();
-            (post, outcome, true)
+            (PostTrace::Owned(post), outcome, true)
+        }
+    }
+
+    /// The arena span of `trace`, interning owned traces on first demand.
+    fn span_of(&self, trace: &mut PostTrace) -> Span {
+        match trace {
+            PostTrace::Interned(s) => *s,
+            PostTrace::Owned(v) => {
+                let s = self.arena.borrow_mut().intern(v);
+                *trace = PostTrace::Interned(s);
+                s
+            }
         }
     }
 }
@@ -734,19 +798,18 @@ impl EngineHook for EngineState {
             self.prune
                 .borrow_mut()
                 .lookup(key, fp.id)
-                .map(|(post, outcome)| (post.clone(), outcome.clone()))
+                .map(|(span, outcome)| (*span, outcome.clone()))
         });
-        let (post_entries, outcome, source) = if let Some((post, outcome)) = pruned {
-            (post, outcome, PostSource::Pruned)
+        let (post_entries, outcome, source) = if let Some((span, outcome)) = pruned {
+            (PostTrace::Interned(span), outcome, PostSource::Pruned)
         } else {
-            let (post, outcome, executed) = self.obtain_post(ctx);
+            let (mut post, outcome, executed) = self.obtain_post(ctx);
             // An image-dedup'd result is as good a class representative as
             // an executed one (the post run is a pure function of the
             // image); first member in wins either way.
             if let Some(key) = fingerprint {
-                self.prune
-                    .borrow_mut()
-                    .insert(key, (post.clone(), outcome.clone()));
+                let span = self.span_of(&mut post);
+                self.prune.borrow_mut().insert(key, (span, outcome.clone()));
             }
             let source = if executed {
                 PostSource::Executed
@@ -756,6 +819,11 @@ impl EngineHook for EngineState {
             (post, outcome, source)
         };
         let post_time = t_post.elapsed();
+        // `post_entries` may point into the arena; resolve it once for the
+        // recording/replay/accounting below. Nothing past this point
+        // interns, so the immutable borrow holds to the end of the hook.
+        let arena = self.arena.borrow();
+        let post_entries = post_entries.slice(&arena);
 
         // Replay the post-failure trace against a clone of the shadow
         // (Figure 8b step ⑧).
@@ -773,7 +841,7 @@ impl EngineHook for EngineState {
             let shadow = self.shadow.borrow();
             let mut checker = shadow.begin_post(self.config.first_read_only);
             let mut report = self.report.borrow_mut();
-            for e in &post_entries {
+            for e in post_entries {
                 checker.apply_post(e, fp, &mut report);
             }
         }

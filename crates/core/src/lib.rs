@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod engine;
 mod error;
 pub mod offline;
@@ -49,8 +50,9 @@ mod shadow;
 mod stats;
 mod xfrun;
 
+pub use arena::{Arena, Span};
 pub use engine::{
-    DynError, EngineError, RunOutcome, Workload, XfConfig, XfConfigBuilder, XfDetector,
+    DynError, EngineError, RingImpl, RunOutcome, Workload, XfConfig, XfConfigBuilder, XfDetector,
 };
 pub use error::{ConfigError, XfError};
 pub use prune::{PruneCache, Pruning};

@@ -35,8 +35,9 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -54,6 +55,158 @@ use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
 use crate::shadow::ShadowPm;
 use crate::stats::RunStats;
 use crate::xfrun::RunCtl;
+
+/// A bounded single-producer multi-consumer work queue with chunked,
+/// work-stealing claims.
+///
+/// The seed dispatch was an `mpsc::sync_channel` behind a
+/// `Mutex<Receiver>`: every failure point cost each worker a lock
+/// acquisition on the shared receiver, serializing dispatch exactly where
+/// the engine wants fan-out. Here the producer publishes into a
+/// power-of-two ring of slots and bumps an atomic `tail`; workers claim
+/// *chunks* of pending indices by CAS on a shared `claim` cursor, so a
+/// claim costs one CAS (amortized over up to [`WorkQueue::MAX_CHUNK`]
+/// jobs) and touches per-slot storage nobody else is racing for. A third
+/// cursor, `taken`, trails `claim` and provides the producer's
+/// backpressure bound: at most `bound` items are in flight, keeping the
+/// memory profile of the old bounded channel (`2 × workers` PM images).
+///
+/// The per-slot `Mutex<Option<T>>` is uncontended by construction — the
+/// producer only writes a slot after `taken` proves it empty, and exactly
+/// one worker wins the CAS covering it — it exists to move `T` across
+/// threads without `unsafe` (the crate forbids it). Waiting sides spin
+/// briefly, then park on a timeout; there is no per-item lock handoff.
+struct WorkQueue<T> {
+    slots: Box<[Mutex<Option<T>>]>,
+    mask: u64,
+    /// Maximum items in flight (`tail - taken`), ≤ `slots.len()`.
+    bound: u64,
+    /// Next index the producer publishes. Producer-written (Release),
+    /// worker-read (Acquire).
+    tail: AtomicU64,
+    /// Next index a worker may claim. Workers CAS chunks `claim..end`.
+    claim: AtomicU64,
+    /// Indices whose slots have been emptied; the producer's backpressure
+    /// cursor.
+    taken: AtomicU64,
+    closed: AtomicBool,
+    /// Jobs claimed outside the claiming worker's static round-robin share
+    /// (`index % workers != worker`), i.e. work that migrated to an idle
+    /// worker instead of waiting for its "assigned" one.
+    stolen: AtomicU64,
+    workers: u64,
+}
+
+impl<T> WorkQueue<T> {
+    /// Upper bound on a single claim: keeps the tail of the run balanced
+    /// (a worker never hoards jobs another could start on).
+    const MAX_CHUNK: u64 = 4;
+    /// Spin iterations before a waiting side parks.
+    const SPIN: u32 = 64;
+
+    fn new(workers: usize) -> Self {
+        let bound = (workers as u64 * 2).max(1);
+        let cap = bound.next_power_of_two();
+        let slots = (0..cap).map(|_| Mutex::new(None)).collect();
+        WorkQueue {
+            slots,
+            mask: cap - 1,
+            bound,
+            tail: AtomicU64::new(0),
+            claim: AtomicU64::new(0),
+            taken: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            stolen: AtomicU64::new(0),
+            workers: workers.max(1) as u64,
+        }
+    }
+
+    /// Publishes one item, blocking while `bound` items are in flight.
+    fn push(&self, item: T) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let mut spins = 0u32;
+        while tail - self.taken.load(Ordering::Acquire) >= self.bound {
+            spins += 1;
+            if spins <= Self::SPIN {
+                std::hint::spin_loop();
+            } else {
+                std::thread::park_timeout(Duration::from_micros(50));
+            }
+        }
+        let idx = (tail & self.mask) as usize;
+        *self.slots[idx].lock().expect("queue slot poisoned") = Some(item);
+        self.tail.store(tail + 1, Ordering::Release);
+    }
+
+    /// Marks the queue closed; workers drain the backlog and then see
+    /// `None` from [`WorkQueue::claim`].
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Claims the next chunk of jobs for `worker`, blocking while the queue
+    /// is empty and open. Returns `None` once the queue is closed and
+    /// drained.
+    fn claim(&self, worker: usize, out: &mut Vec<T>) -> bool {
+        let mut spins = 0u32;
+        loop {
+            let claim = self.claim.load(Ordering::Relaxed);
+            let tail = self.tail.load(Ordering::Acquire);
+            if claim == tail {
+                if self.closed.load(Ordering::Acquire) {
+                    // Re-check: a publish may have raced the close.
+                    if self.tail.load(Ordering::Acquire) == claim {
+                        return false;
+                    }
+                    continue;
+                }
+                spins += 1;
+                if spins <= Self::SPIN {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::park_timeout(Duration::from_micros(50));
+                }
+                continue;
+            }
+            let backlog = tail - claim;
+            // Chunked claims: take a fair share of the backlog, at least
+            // one, at most MAX_CHUNK, never past the published tail.
+            let chunk = (backlog / self.workers)
+                .clamp(1, Self::MAX_CHUNK)
+                .min(backlog);
+            let end = claim + chunk;
+            if self
+                .claim
+                .compare_exchange_weak(claim, end, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let mut stolen = 0u64;
+            for i in claim..end {
+                let slot = (i & self.mask) as usize;
+                let item = self.slots[slot]
+                    .lock()
+                    .expect("queue slot poisoned")
+                    .take()
+                    .expect("claimed slot must be filled");
+                out.push(item);
+                if i % self.workers != worker as u64 {
+                    stolen += 1;
+                }
+            }
+            if stolen != 0 {
+                self.stolen.fetch_add(stolen, Ordering::Relaxed);
+            }
+            self.taken.fetch_add(end - claim, Ordering::Release);
+            return true;
+        }
+    }
+
+    fn jobs_stolen(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
+    }
+}
 
 /// The crash snapshot shipped with a job: copy-on-write (cheap to send,
 /// shares the base across all in-flight jobs) or flat (the seed engine's
@@ -121,7 +274,7 @@ struct JournaledRef {
 struct ParallelFrontend {
     config: XfConfig,
     rng: RefCell<StdRng>,
-    jobs: RefCell<Option<mpsc::SyncSender<Job>>>,
+    jobs: RefCell<Option<Arc<WorkQueue<Job>>>>,
     stats: RefCell<RunStats>,
     shadow: RefCell<ShadowPm>,
     /// Pre-failure entries replayed into the shadow so far.
@@ -305,8 +458,8 @@ impl EngineHook for ParallelFrontend {
         };
         // Blocks when the bounded queue is full: backpressure bounds the
         // number of in-flight PM images.
-        if let Some(tx) = self.jobs.borrow().as_ref() {
-            let _ = tx.send(job);
+        if let Some(queue) = self.jobs.borrow().as_ref() {
+            queue.push(job);
         }
     }
 }
@@ -356,14 +509,13 @@ impl XfDetector {
             .setup(&mut ctx)
             .map_err(|e| EngineError::Setup(e.to_string()))?;
 
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(workers * 2);
+        let queue = Arc::new(WorkQueue::<Job>::new(workers));
         let (res_tx, res_rx) = mpsc::channel::<JobResult>();
-        let job_rx = Mutex::new(job_rx);
 
         let frontend = std::rc::Rc::new(ParallelFrontend {
             config: config.clone(),
             rng: RefCell::new(StdRng::seed_from_u64(config.rng_seed)),
-            jobs: RefCell::new(Some(job_tx)),
+            jobs: RefCell::new(Some(Arc::clone(&queue))),
             stats: RefCell::new(RunStats::default()),
             shadow: RefCell::new({
                 let mut shadow = ShadowPm::new();
@@ -391,84 +543,84 @@ impl XfDetector {
         let workload_ref = &workload;
         let first_read_only = config.first_read_only;
         let (pre_result, results, post_exec_time) = std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let job_rx = &job_rx;
+            for worker_idx in 0..workers {
+                let queue = Arc::clone(&queue);
                 let res_tx = res_tx.clone();
                 let budget = config.post_budget.clone();
                 let obs = ctl.obs().clone();
                 scope.spawn(move || {
-                    loop {
-                        let job = match job_rx.lock() {
-                            Ok(rx) => rx.recv(),
-                            Err(_) => break,
-                        };
-                        let Ok(job) = job else { break };
-                        // Each worker builds its own post context from the
-                        // image; nothing non-Send crosses threads.
-                        let mut post_ctx = match &job.image {
-                            JobImage::Cow(img) => PmCtx::new_post(PmPool::from_cow(img)),
-                            JobImage::Flat(img) => PmCtx::new_post(PmPool::from_image(img)),
-                        };
-                        if let Some(b) = &budget {
-                            post_ctx.arm_budget(b.clone());
-                        }
-                        // Workers always quarantine: a panic (or a budget
-                        // watchdog kill, delivered by unwinding) is
-                        // confined to this failure point and reported as
-                        // a finding — it never takes down the pool, so
-                        // the run continues past the failing job even
-                        // with `catch_post_panics` off.
-                        let (outcome, panicked, budget_exceeded) =
-                            match catch_unwind(AssertUnwindSafe(|| {
-                                workload_ref.post_failure(&mut post_ctx)
-                            })) {
-                                Ok(Ok(())) => (Ok(()), false, false),
-                                Ok(Err(e)) => (Err(e.to_string()), false, false),
-                                Err(p) => match p.downcast::<BudgetOverrun>() {
-                                    Ok(overrun) => (Err(overrun.to_string()), false, true),
-                                    Err(p) => (Err(crate::engine::panic_message(&*p)), true, false),
-                                },
+                    let mut batch = Vec::with_capacity(WorkQueue::<Job>::MAX_CHUNK as usize);
+                    while queue.claim(worker_idx, &mut batch) {
+                        for job in batch.drain(..) {
+                            // Each worker builds its own post context from the
+                            // image; nothing non-Send crosses threads.
+                            let mut post_ctx = match &job.image {
+                                JobImage::Cow(img) => PmCtx::new_post(PmPool::from_cow(img)),
+                                JobImage::Flat(img) => PmCtx::new_post(PmPool::from_image(img)),
                             };
-                        let bytes = post_ctx.pool().snapshot_bytes_copied();
-                        let post = post_ctx.trace().drain();
-                        // Worker-side checking: replay the post trace
-                        // against the shipped shadow checkpoint into a
-                        // fragment. Pre- and post-stage bug kinds are
-                        // disjoint, so fragment-local dedup composes with
-                        // the merge report's global dedup.
-                        let (findings, check_time) = match &job.shadow {
-                            Some(shadow) => {
-                                let t1 = Instant::now();
-                                let fp = FailurePoint {
-                                    id: job.id,
-                                    loc: job.loc,
-                                };
-                                let mut checker = shadow.begin_post(first_read_only);
-                                let mut frag = DetectionReport::new();
-                                for e in &post {
-                                    checker.apply_post(e, fp, &mut frag);
-                                }
-                                (Some(frag.into_findings()), t1.elapsed())
+                            if let Some(b) = &budget {
+                                post_ctx.arm_budget(b.clone());
                             }
-                            None => (None, Duration::ZERO),
-                        };
-                        obs.post_run();
-                        if budget_exceeded {
-                            obs.budget_kill();
+                            // Workers always quarantine: a panic (or a budget
+                            // watchdog kill, delivered by unwinding) is
+                            // confined to this failure point and reported as
+                            // a finding — it never takes down the pool, so
+                            // the run continues past the failing job even
+                            // with `catch_post_panics` off.
+                            let (outcome, panicked, budget_exceeded) =
+                                match catch_unwind(AssertUnwindSafe(|| {
+                                    workload_ref.post_failure(&mut post_ctx)
+                                })) {
+                                    Ok(Ok(())) => (Ok(()), false, false),
+                                    Ok(Err(e)) => (Err(e.to_string()), false, false),
+                                    Err(p) => match p.downcast::<BudgetOverrun>() {
+                                        Ok(overrun) => (Err(overrun.to_string()), false, true),
+                                        Err(p) => {
+                                            (Err(crate::engine::panic_message(&*p)), true, false)
+                                        }
+                                    },
+                                };
+                            let bytes = post_ctx.pool().snapshot_bytes_copied();
+                            let post = post_ctx.trace().drain();
+                            // Worker-side checking: replay the post trace
+                            // against the shipped shadow checkpoint into a
+                            // fragment. Pre- and post-stage bug kinds are
+                            // disjoint, so fragment-local dedup composes with
+                            // the merge report's global dedup.
+                            let (findings, check_time) = match &job.shadow {
+                                Some(shadow) => {
+                                    let t1 = Instant::now();
+                                    let fp = FailurePoint {
+                                        id: job.id,
+                                        loc: job.loc,
+                                    };
+                                    let mut checker = shadow.begin_post(first_read_only);
+                                    let mut frag = DetectionReport::new();
+                                    for e in &post {
+                                        checker.apply_post(e, fp, &mut frag);
+                                    }
+                                    (Some(frag.into_findings()), t1.elapsed())
+                                }
+                                None => (None, Duration::ZERO),
+                            };
+                            obs.post_run();
+                            if budget_exceeded {
+                                obs.budget_kill();
+                            }
+                            obs.fp_done();
+                            let _ = res_tx.send(JobResult {
+                                id: job.id,
+                                loc: job.loc,
+                                pre_len: job.pre_len,
+                                post,
+                                outcome,
+                                panicked,
+                                budget_exceeded,
+                                bytes,
+                                findings,
+                                check_time,
+                            });
                         }
-                        obs.fp_done();
-                        let _ = res_tx.send(JobResult {
-                            id: job.id,
-                            loc: job.loc,
-                            pre_len: job.pre_len,
-                            post,
-                            outcome,
-                            panicked,
-                            budget_exceeded,
-                            bytes,
-                            findings,
-                            check_time,
-                        });
                     }
                 });
             }
@@ -486,6 +638,7 @@ impl XfDetector {
             ctx.clear_hook();
             // Hang up the job queue so the workers drain and exit.
             frontend.jobs.borrow_mut().take();
+            queue.close();
             let mut results: Vec<JobResult> = Vec::new();
             let expected = frontend.stats.borrow().post_runs;
             while (results.len() as u64) < expected {
@@ -678,6 +831,7 @@ impl XfDetector {
         stats.detect_time = detect_time;
         stats.check_time = results.iter().map(|r| r.check_time).sum::<Duration>() + main_check_time;
         stats.checks_parallelized = results.iter().filter(|r| r.findings.is_some()).count() as u64;
+        stats.jobs_stolen = queue.jobs_stolen();
         stats.post_entries = post_entries;
         {
             let shadow = frontend.shadow.borrow();
@@ -837,5 +991,100 @@ mod tests {
         let seq = XfDetector::with_defaults().run(Racy).unwrap();
         let par = XfDetector::with_defaults().run_parallel(Racy, 0).unwrap();
         assert_eq!(finding_keys(&seq), finding_keys(&par));
+    }
+
+    #[test]
+    fn work_queue_delivers_every_job_exactly_once() {
+        const JOBS: u64 = 500;
+        for workers in [1usize, 2, 4] {
+            let queue = Arc::new(WorkQueue::<u64>::new(workers));
+            let collected = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let queue = Arc::clone(&queue);
+                        scope.spawn(move || {
+                            let mut got = Vec::new();
+                            let mut batch = Vec::new();
+                            while queue.claim(w, &mut batch) {
+                                got.append(&mut batch);
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                for i in 0..JOBS {
+                    queue.push(i);
+                }
+                queue.close();
+                let mut all = Vec::new();
+                for h in handles {
+                    all.extend(h.join().expect("worker panicked"));
+                }
+                all
+            });
+            let mut all = collected;
+            all.sort_unstable();
+            assert_eq!(all, (0..JOBS).collect::<Vec<_>>(), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn work_queue_bounds_in_flight_items() {
+        // With no consumer, the producer must be able to publish exactly
+        // `bound` items without blocking; verified indirectly by pushing
+        // from a thread and asserting it parks rather than overruns.
+        let queue = Arc::new(WorkQueue::<u64>::new(2)); // bound = 4
+        let q2 = Arc::clone(&queue);
+        let producer = std::thread::spawn(move || {
+            for i in 0..8 {
+                q2.push(i);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        // Only `bound` published so far.
+        assert_eq!(queue.tail.load(Ordering::Acquire), 4);
+        let mut got = Vec::new();
+        let mut batch = Vec::new();
+        while got.len() < 8 {
+            assert!(queue.claim(0, &mut batch));
+            got.append(&mut batch);
+        }
+        producer.join().unwrap();
+        queue.close();
+        assert!(
+            !queue.claim(0, &mut batch),
+            "drained queue must report closed"
+        );
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_queue_counts_steals_against_round_robin() {
+        // A single consumer claiming as "worker 1" of 2 steals every job
+        // with an even index. Stay within the backpressure bound
+        // (2 × workers = 4): `push` blocks once it is exceeded.
+        let queue = WorkQueue::<u64>::new(2);
+        for i in 0..4 {
+            queue.push(i);
+        }
+        queue.close();
+        let mut batch = Vec::new();
+        let mut got = Vec::new();
+        while queue.claim(1, &mut batch) {
+            got.append(&mut batch);
+        }
+        assert_eq!(got.len(), 4);
+        assert_eq!(queue.jobs_stolen(), 2, "indices 0 and 2 belong to worker 0");
+    }
+
+    #[test]
+    fn parallel_run_reports_queue_counters() {
+        let par = XfDetector::with_defaults().run_parallel(Racy, 4).unwrap();
+        // With 4 workers and ~20 failure points some claims land off the
+        // round-robin share on any schedule with 1 worker doing >1/4 of the
+        // work; the counter must at minimum be wired (not negative — u64 —
+        // and bounded by the job count).
+        assert!(par.stats.jobs_stolen <= par.stats.post_runs);
     }
 }

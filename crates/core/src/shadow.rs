@@ -110,6 +110,33 @@ impl Slab {
     fn state(&self, idx: usize) -> Option<&ByteState> {
         (self.present & (1 << idx) != 0).then(|| &self.states[idx])
     }
+
+    /// Mask of tracked bytes currently in [`PersistState::Modified`],
+    /// scanning only the set bits of `present`.
+    fn modified_mask(&self) -> u64 {
+        let mut m = 0u64;
+        let mut bits = self.present;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            if self.states[i].persist == PersistState::Modified {
+                m |= 1 << i;
+            }
+            bits &= bits - 1;
+        }
+        m
+    }
+
+    /// Moves every byte in `mask` to [`PersistState::WritebackPending`] and
+    /// records them in `pending`.
+    fn mark_writeback_pending(&mut self, mask: u64) {
+        let mut bits = mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            self.states[i].persist = PersistState::WritebackPending;
+            bits &= bits - 1;
+        }
+        self.pending |= mask;
+    }
 }
 
 /// FNV-1a 64-bit offset basis and prime (the same constants the `.xft`
@@ -140,14 +167,24 @@ fn fnv_u64(h: u64, v: u64) -> u64 {
 /// potential as one — folding the distinct set is what lets a growing
 /// structure's failure points (one more node each iteration) collapse into
 /// a single class.
-fn fold_records(mut records: Vec<u64>) -> u64 {
+fn fold_records(records: &mut Vec<u64>) -> u64 {
     records.sort_unstable();
     records.dedup();
     let mut h = fnv_u64(FNV_OFFSET, records.len() as u64);
-    for r in records {
+    for &r in records.iter() {
         h = fnv_u64(h, r);
     }
     h
+}
+
+/// Bitmask of bits `0..=i` — the bytes of a line up to and including
+/// offset `i`.
+fn mask_through(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
 }
 
 /// Bitmask covering byte offsets `[lo, hi)` of a line (`hi - lo <= 64`).
@@ -269,6 +306,9 @@ pub struct ShadowPm {
     /// The index needs a re-seed: commit-variable verdicts moved under lines
     /// that were never themselves mutated.
     fp_stale: bool,
+    /// Reusable record scratch for fingerprint folds (the re-fold used to
+    /// allocate a fresh `Vec` per failure point).
+    fp_records: Vec<u64>,
 }
 
 impl Clone for ShadowPm {
@@ -286,6 +326,7 @@ impl Clone for ShadowPm {
             // fingerprints, so dropping it keeps `begin_post` lean.
             fp_lines: None,
             fp_stale: false,
+            fp_records: Vec::new(),
         }
     }
 }
@@ -369,10 +410,17 @@ impl ShadowPm {
     }
 
     fn line_contributes(&self, li: u64, slab: &Slab) -> bool {
-        (0..LINE as usize).any(|i| {
-            slab.state(i)
-                .is_some_and(|st| self.byte_contributes(li * LINE + i as u64, st))
-        })
+        // Word-wise: only walk the tracked bytes, one `trailing_zeros` per
+        // set bit instead of 64 per-byte probes.
+        let mut bits = slab.present;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            if self.byte_contributes(li * LINE + i as u64, &slab.states[i]) {
+                return true;
+            }
+            bits &= bits - 1;
+        }
+        false
     }
 
     /// Enables the incremental suspect-line index used by
@@ -442,18 +490,21 @@ impl ShadowPm {
         if self.fp_stale {
             self.enable_fingerprinting();
         }
-        match &self.fp_lines {
-            Some(index) => {
-                let mut records = Vec::new();
-                for &li in index {
-                    if let Some(slab) = self.lines.get(&li) {
-                        self.byte_records(li, slab, &mut records);
-                    }
-                }
-                fold_records(records)
-            }
-            None => self.fingerprint_from_scratch(),
+        if self.fp_lines.is_none() {
+            return self.fingerprint_from_scratch();
         }
+        let mut records = std::mem::take(&mut self.fp_records);
+        records.clear();
+        if let Some(index) = &self.fp_lines {
+            for &li in index {
+                if let Some(slab) = self.lines.get(&li) {
+                    self.byte_records(li, slab, &mut records);
+                }
+            }
+        }
+        let h = fold_records(&mut records);
+        self.fp_records = records;
+        h
     }
 
     /// [`ShadowPm::persistence_fingerprint`] computed by scanning every
@@ -467,7 +518,7 @@ impl ShadowPm {
                 self.byte_records(li, slab, &mut records);
             }
         }
-        fold_records(records)
+        fold_records(&mut records)
     }
 
     /// Appends one record hash per contributing byte of line `li`
@@ -478,8 +529,11 @@ impl ShadowPm {
     /// (kind, reader, writer) locations alone, so two bytes with equal
     /// records have equal finding potential wherever they live.
     fn byte_records(&self, li: u64, slab: &Slab, out: &mut Vec<u64>) {
-        for i in 0..LINE as usize {
-            let Some(st) = slab.state(i) else { continue };
+        let mut bits = slab.present;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let st = &slab.states[i];
             let b = li * LINE + i as u64;
             if !self.byte_contributes(b, st) {
                 continue;
@@ -555,12 +609,33 @@ impl ShadowPm {
     /// modified.
     #[must_use]
     pub fn is_range_persisted(&self, addr: u64, size: u64) -> bool {
-        (addr..addr + size).all(|b| {
-            matches!(
-                self.persist_state(b),
-                PersistState::Persisted | PersistState::Unmodified
-            )
-        })
+        if size == 0 {
+            return true;
+        }
+        // Word-wise: one map lookup per covered line, then a mask test over
+        // the tracked bytes instead of a hash probe per byte. A byte is
+        // non-persisted iff it is tracked (`present`) and its state is
+        // neither `Persisted` nor `Unmodified`.
+        let (first, last) = (addr / LINE, (addr + size - 1) / LINE);
+        for li in first..=last {
+            let Some(slab) = self.lines.get(&li) else {
+                continue;
+            };
+            let lo = addr.max(li * LINE) - li * LINE;
+            let hi = (addr + size).min((li + 1) * LINE) - li * LINE;
+            let mut bits = slab.present & range_mask(lo, hi);
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                if !matches!(
+                    slab.states[i].persist,
+                    PersistState::Persisted | PersistState::Unmodified
+                ) {
+                    return false;
+                }
+                bits &= bits - 1;
+            }
+        }
+        true
     }
 
     /// Replays one pre-failure trace entry, appending any performance-bug or
@@ -684,28 +759,15 @@ impl ShadowPm {
             let first_line = addr / LINE;
             let last_line = (addr + size - 1) / LINE;
             for li in first_line..=last_line {
-                let modified = self.lines.get(&li).map_or(0u64, |slab| {
-                    let mut m = 0u64;
-                    for i in 0..LINE as usize {
-                        if slab
-                            .state(i)
-                            .is_some_and(|s| s.persist == PersistState::Modified)
-                        {
-                            m |= 1 << i;
-                        }
-                    }
-                    m
-                });
+                let modified = self
+                    .lines
+                    .get(&li)
+                    .map_or(0u64, |slab| slab.modified_mask());
                 if modified == 0 {
                     continue;
                 }
                 let slab = self.slab_mut(li);
-                for i in 0..LINE as usize {
-                    if modified & (1 << i) != 0 {
-                        slab.states[i].persist = PersistState::WritebackPending;
-                    }
-                }
-                slab.pending |= modified;
+                slab.mark_writeback_pending(modified);
                 self.pending_lines.insert(li);
                 self.fp_update_line(li);
             }
@@ -715,26 +777,13 @@ impl ShadowPm {
     fn on_flush(&mut self, addr: u64, loc: SourceLoc, checked: bool, out: &mut DetectionReport) {
         let li = addr / LINE;
         // Read-only probe first: a redundant flush must not fault the slab.
-        let modified = self.lines.get(&li).map_or(0u64, |slab| {
-            let mut m = 0u64;
-            for i in 0..LINE as usize {
-                if slab
-                    .state(i)
-                    .is_some_and(|s| s.persist == PersistState::Modified)
-                {
-                    m |= 1 << i;
-                }
-            }
-            m
-        });
+        let modified = self
+            .lines
+            .get(&li)
+            .map_or(0u64, |slab| slab.modified_mask());
         if modified != 0 {
             let slab = self.slab_mut(li);
-            for i in 0..LINE as usize {
-                if modified & (1 << i) != 0 {
-                    slab.states[i].persist = PersistState::WritebackPending;
-                }
-            }
-            slab.pending |= modified;
+            slab.mark_writeback_pending(modified);
             self.pending_lines.insert(li);
         } else if checked {
             // Yellow edges of Figure 9: flushing a line with no modified
@@ -997,8 +1046,8 @@ impl ShadowPm {
     pub fn begin_post(&self, first_read_only: bool) -> PostChecker {
         PostChecker {
             shadow: self.clone(),
-            post_written: HashSet::new(),
-            checked_reads: HashSet::new(),
+            post_written: HashMap::new(),
+            checked_reads: HashMap::new(),
             first_read_only,
         }
     }
@@ -1006,15 +1055,20 @@ impl ShadowPm {
 
 /// Replays a post-failure trace against a snapshot of the shadow PM,
 /// reporting cross-failure bugs (§5.4 "Post-failure Trace").
+///
+/// Both bookkeeping sets are line-keyed 64-bit masks rather than per-byte
+/// hash sets: a post-failure write marks a whole line chunk with one map
+/// probe, and a checked read intersects candidate masks
+/// (`fresh & !post_written & present`) before touching any per-byte state.
 #[derive(Debug)]
 pub struct PostChecker {
     shadow: ShadowPm,
-    /// Bytes overwritten by the post-failure stage: reading them afterwards
-    /// is consistent by construction.
-    post_written: HashSet<u64>,
-    /// Bytes already checked in this post-failure run (§5.4 optimization 1:
-    /// only the first read of a location needs checking).
-    checked_reads: HashSet<u64>,
+    /// Line → mask of bytes overwritten by the post-failure stage: reading
+    /// them afterwards is consistent by construction.
+    post_written: HashMap<u64, u64>,
+    /// Line → mask of bytes already checked in this post-failure run (§5.4
+    /// optimization 1: only the first read of a location needs checking).
+    checked_reads: HashMap<u64, u64>,
     first_read_only: bool,
 }
 
@@ -1030,22 +1084,35 @@ impl PostChecker {
                 // Post-failure writes overwrite the old data: the location
                 // becomes consistent; any inconsistency introduced *now* is
                 // tested when this code later runs as the pre-failure stage.
-                for b in addr..addr + u64::from(size) {
-                    self.post_written.insert(b);
-                }
+                self.mark_written(addr, u64::from(size));
             }
             Op::Alloc { addr, size, zeroed }
                 // Fresh post-failure allocations are defined by the post
                 // stage itself.
                 if zeroed => {
-                    for b in addr..addr + u64::from(size) {
-                        self.post_written.insert(b);
-                    }
+                    self.mark_written(addr, u64::from(size));
                 }
             // Flushes/fences in the post stage cannot un-lose pre-failure
             // data; transaction and registration events do not affect
             // checking.
             _ => {}
+        }
+    }
+
+    /// Marks `[addr, addr + size)` as overwritten by the post stage: one
+    /// mask OR per covered line.
+    fn mark_written(&mut self, addr: u64, size: u64) {
+        if size == 0 {
+            return;
+        }
+        let end = addr + size;
+        let mut b = addr;
+        while b < end {
+            let li = b / LINE;
+            let chunk_end = end.min((li + 1) * LINE);
+            *self.post_written.entry(li).or_insert(0) |=
+                range_mask(b - li * LINE, chunk_end - li * LINE);
+            b = chunk_end;
         }
     }
 
@@ -1057,74 +1124,111 @@ impl PostChecker {
         fp: FailurePoint,
         out: &mut DetectionReport,
     ) {
+        if size == 0 {
+            return;
+        }
         let mut reported = false;
-        for b in addr..addr + size {
-            if (self.first_read_only && !self.checked_reads.insert(b)) || reported {
-                continue;
+        let end = addr + size;
+        let mut b = addr;
+        while b < end {
+            let li = b / LINE;
+            let chunk_end = end.min((li + 1) * LINE);
+            let chunk_mask = range_mask(b - li * LINE, chunk_end - li * LINE);
+            b = chunk_end;
+            // Mark the whole chunk checked up front (the per-byte checker
+            // marked every iterated byte, findings or not); keep the prior
+            // mask for the semantic-bug early return, which must leave the
+            // bytes *after* the finding unmarked.
+            let (prev, fresh) = if self.first_read_only {
+                let entry = self.checked_reads.entry(li).or_insert(0);
+                let prev = *entry;
+                *entry |= chunk_mask;
+                (prev, chunk_mask & !prev)
+            } else {
+                (0, chunk_mask)
+            };
+            if reported {
+                continue; // one finding per read access; still mark checked
             }
-            if self.post_written.contains(&b) {
-                continue;
-            }
-            let Some(st) = self.shadow.byte(b) else {
+            let Some(slab) = self.shadow.lines.get(&li) else {
                 continue; // never touched pre-failure
             };
-            if self.shadow.is_commit_var_byte(b) {
-                continue; // benign cross-failure race
-            }
-            if !st.written {
-                if st.allocated && !st.zeroed_alloc {
+            // Candidate bytes: not yet checked, not overwritten post-failure,
+            // tracked pre-failure. Everything else is skipped without
+            // touching per-byte state.
+            let mut cand = fresh & !self.post_written.get(&li).copied().unwrap_or(0) & slab.present;
+            while cand != 0 {
+                let i = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let byte_addr = li * LINE + i as u64;
+                if self.shadow.is_commit_var_byte(byte_addr) {
+                    continue; // benign cross-failure race
+                }
+                let st = &slab.states[i];
+                if !st.written {
+                    if st.allocated && !st.zeroed_alloc {
+                        out.push(Finding {
+                            kind: BugKind::UninitializedRace,
+                            addr: byte_addr,
+                            size: 1,
+                            reader: Some(loc),
+                            writer: Some(st.writer),
+                            failure_point: Some(fp),
+                            message: Some(
+                                "post-failure read of allocated but never-initialized memory"
+                                    .to_owned(),
+                            ),
+                        });
+                        reported = true; // one finding per read access
+                        break;
+                    }
+                    continue;
+                }
+                // Consistency first (§5.4): a consistent location is bug-free
+                // even if its persistence is uncertain.
+                if st.tx_protected {
+                    continue;
+                }
+                let semantic = self
+                    .shadow
+                    .governing_var(byte_addr)
+                    .map(|v| v.is_consistent(st.tlast));
+                if semantic == Some(true) {
+                    continue;
+                }
+                if st.persist != PersistState::Persisted {
                     out.push(Finding {
-                        kind: BugKind::UninitializedRace,
-                        addr: b,
+                        kind: BugKind::CrossFailureRace,
+                        addr: byte_addr,
                         size: 1,
                         reader: Some(loc),
                         writer: Some(st.writer),
                         failure_point: Some(fp),
-                        message: Some(
-                            "post-failure read of allocated but never-initialized memory"
-                                .to_owned(),
-                        ),
+                        message: None,
                     });
-                    reported = true; // one finding per read access
+                    reported = true;
+                    break;
                 }
-                continue;
-            }
-            // Consistency first (§5.4): a consistent location is bug-free
-            // even if its persistence is uncertain.
-            if st.tx_protected {
-                continue;
-            }
-            let semantic = self
-                .shadow
-                .governing_var(b)
-                .map(|v| v.is_consistent(st.tlast));
-            if semantic == Some(true) {
-                continue;
-            }
-            if st.persist != PersistState::Persisted {
-                out.push(Finding {
-                    kind: BugKind::CrossFailureRace,
-                    addr: b,
-                    size: 1,
-                    reader: Some(loc),
-                    writer: Some(st.writer),
-                    failure_point: Some(fp),
-                    message: None,
-                });
-                reported = true;
-                continue;
-            }
-            if semantic == Some(false) || st.unprotected_tx_write {
-                out.push(Finding {
-                    kind: BugKind::CrossFailureSemantic,
-                    addr: b,
-                    size: 1,
-                    reader: Some(loc),
-                    writer: Some(st.writer),
-                    failure_point: Some(fp),
-                    message: None,
-                });
-                return;
+                if semantic == Some(false) || st.unprotected_tx_write {
+                    if self.first_read_only {
+                        // The per-byte checker returned here before marking
+                        // the remaining bytes of the access: roll the
+                        // chunk's mark back to the bytes up to and including
+                        // the finding.
+                        *self.checked_reads.entry(li).or_insert(0) =
+                            prev | (chunk_mask & mask_through(i));
+                    }
+                    out.push(Finding {
+                        kind: BugKind::CrossFailureSemantic,
+                        addr: byte_addr,
+                        size: 1,
+                        reader: Some(loc),
+                        writer: Some(st.writer),
+                        failure_point: Some(fp),
+                        message: None,
+                    });
+                    return;
+                }
             }
         }
     }

@@ -83,6 +83,21 @@ pub struct RunStats {
     /// the backpressure the paper's 2 GB shared-memory FIFO exerts on the
     /// traced program when detection falls behind (§5.1).
     pub stream_stall_time: Duration,
+    /// Bounded spin-loop iterations the streaming ring's producer and
+    /// consumer burned waiting for the other side before parking (zero for
+    /// the Mutex+Condvar ablation ring, which blocks immediately).
+    pub ring_spins: u64,
+    /// Times a ring side exhausted its spin budget and parked its thread
+    /// until the other side woke it.
+    pub ring_parks: u64,
+    /// Failure-point jobs a parallel worker claimed outside its static
+    /// round-robin share — the work the atomic claim index let idle workers
+    /// steal from slow ones (zero for sequential and streaming runs).
+    pub jobs_stolen: u64,
+    /// Bytes retained by the post-trace arena backing the dedup/prune
+    /// caches: cache hits replay arena spans instead of cloning whole
+    /// per-failure-point trace vectors.
+    pub arena_bytes: u64,
     /// Total wall-clock time of the detection run.
     pub total_time: Duration,
     /// Summed wall-clock time of post-failure executions.
@@ -181,6 +196,10 @@ mod tests {
         assert!(json.contains("classes_total"), "{json}");
         assert!(json.contains("fps_pruned"), "{json}");
         assert!(json.contains("pruning_ratio"), "{json}");
+        assert!(json.contains("ring_spins"), "{json}");
+        assert!(json.contains("ring_parks"), "{json}");
+        assert!(json.contains("jobs_stolen"), "{json}");
+        assert!(json.contains("arena_bytes"), "{json}");
     }
 
     #[test]

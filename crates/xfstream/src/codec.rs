@@ -30,7 +30,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::fs::File;
+use std::io::{self, BufReader, Read, Write};
+use std::path::Path;
 
 use xfdetector::offline::{RecordedFailurePoint, RecordedRun};
 use xfdetector::{DetectionReport, FailurePoint, ShadowPm};
@@ -735,6 +737,433 @@ impl<R: Read> XftReader<R> {
     }
 }
 
+/// One decoded `.xft` event in the borrowed form produced by the mapped
+/// zero-copy reader: source files resolve to interned `&'static str` once
+/// per `FileDef` record, so decoding an entry allocates nothing at all —
+/// no `String` clone, no intermediate buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XftRefEvent {
+    /// A pre-failure trace entry.
+    Pre(TraceEntry),
+    /// A failure point injected at the ordering point `file:line`;
+    /// subsequent [`XftRefEvent::Post`] events belong to it.
+    FailurePoint {
+        /// Interned source file of the ordering point.
+        file: &'static str,
+        /// Source line of the ordering point.
+        line: u32,
+    },
+    /// A post-failure trace entry of the most recent failure point.
+    Post(TraceEntry),
+}
+
+impl XftRefEvent {
+    /// Lowers an owned event into the borrowed form (interning the file
+    /// through the same global table the mapped reader uses, so both ingest
+    /// paths produce identical entries).
+    fn from_owned(ev: XftEvent) -> Self {
+        match ev {
+            XftEvent::Pre(e) => XftRefEvent::Pre(e.to_entry()),
+            XftEvent::Post(e) => XftRefEvent::Post(e.to_entry()),
+            XftEvent::FailurePoint { file, line } => XftRefEvent::FailurePoint {
+                file: xftrace::intern_file(&file),
+                line,
+            },
+        }
+    }
+}
+
+/// The zero-copy `.xft` decoder: the whole trace sits in one contiguous
+/// in-memory buffer and decode is a cursor walk over the flat bytes, with
+/// the varint loop inlined instead of funneled through per-field
+/// [`Read::read_exact`] calls.
+///
+/// This is the in-crate analogue of an `mmap`-backed read: the workspace
+/// forbids `unsafe` (so a true `mmap(2)` region is off the table), but the
+/// costs the syscall would eliminate — per-field reader dispatch, bounded
+/// 8 KiB buffer refills, and a `String` allocation per entry for the source
+/// file — are eliminated here the same way: one upfront load, then pure
+/// slice indexing and interned `&'static str` file names.
+/// [`XftReader::open_mmap`] picks this path whenever the file fits in
+/// memory and falls back to the streaming reader otherwise.
+#[derive(Debug)]
+pub struct XftMmapReader {
+    buf: Vec<u8>,
+    pos: usize,
+    header: XftHeader,
+    files: Vec<&'static str>,
+    delta: DeltaState,
+    entries_read: u64,
+    fps_read: u64,
+    done: bool,
+}
+
+impl XftMmapReader {
+    /// Loads `path` into memory and parses the header.
+    ///
+    /// # Errors
+    ///
+    /// [`XftError::BadMagic`] / [`XftError::UnsupportedVersion`] for foreign
+    /// input, or any I/O error from reading the file.
+    pub fn open(path: &Path) -> Result<Self, XftError> {
+        Self::from_bytes(std::fs::read(path)?)
+    }
+
+    /// Wraps an already-loaded `.xft` buffer and parses the header.
+    ///
+    /// # Errors
+    ///
+    /// As [`XftMmapReader::open`], minus the file I/O.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<Self, XftError> {
+        let mut rd = XftMmapReader {
+            buf,
+            pos: 0,
+            header: XftHeader {
+                version: 0,
+                entry_count: None,
+                fp_count: None,
+            },
+            files: Vec::new(),
+            delta: DeltaState::default(),
+            entries_read: 0,
+            fps_read: 0,
+            done: false,
+        };
+        let magic: [u8; 4] = rd.take(4)?.try_into().expect("length checked");
+        if magic != MAGIC {
+            return Err(XftError::BadMagic(magic));
+        }
+        let version = rd.u8()?;
+        let flags = rd.u8()?;
+        if version > VERSION {
+            return Err(XftError::UnsupportedVersion(version));
+        }
+        let (entry_count, fp_count) = if flags & FLAG_COUNTS_IN_HEADER != 0 {
+            (Some(rd.varint()?), Some(rd.varint()?))
+        } else {
+            (None, None)
+        };
+        rd.header = XftHeader {
+            version,
+            entry_count,
+            fp_count,
+        };
+        Ok(rd)
+    }
+
+    fn eof() -> XftError {
+        XftError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "unexpected end of mapped .xft buffer",
+        ))
+    }
+
+    #[inline]
+    fn u8(&mut self) -> Result<u8, XftError> {
+        match self.buf.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(Self::eof()),
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> Result<&[u8], XftError> {
+        let end = self.pos.checked_add(n).ok_or_else(Self::eof)?;
+        let s = self.buf.get(self.pos..end).ok_or_else(Self::eof)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// The varint loop of [`xftrace::varint::read_varint`], inlined over the
+    /// flat buffer (no `Read` dispatch, no 1-byte scratch array). Delta
+    /// encoding makes single-byte varints the overwhelmingly common case,
+    /// so that case is a straight-line load-test-increment.
+    #[inline]
+    fn varint(&mut self) -> Result<u64, XftError> {
+        if let Some(rest) = self.buf.get(self.pos..) {
+            match *rest {
+                [b0, ..] if b0 < 0x80 => {
+                    self.pos += 1;
+                    return Ok(u64::from(b0));
+                }
+                [b0, b1, ..] if b1 < 0x80 => {
+                    self.pos += 2;
+                    return Ok(u64::from(b0 & 0x7f) | u64::from(b1) << 7);
+                }
+                _ => {}
+            }
+        }
+        self.varint_multi()
+    }
+
+    /// Multi-byte (or EOF) continuation of [`Self::varint`].
+    fn varint_multi(&mut self) -> Result<u64, XftError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(XftError::Corrupt("varint longer than 10 bytes".into()));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// The decoded header.
+    #[must_use]
+    pub fn header(&self) -> XftHeader {
+        self.header
+    }
+
+    /// The (interned) string table seen so far.
+    #[must_use]
+    pub fn files(&self) -> &[&'static str] {
+        &self.files
+    }
+
+    /// Entries decoded so far.
+    #[must_use]
+    pub fn entries_read(&self) -> u64 {
+        self.entries_read
+    }
+
+    /// Failure points decoded so far.
+    #[must_use]
+    pub fn failure_points_read(&self) -> u64 {
+        self.fps_read
+    }
+
+    #[inline]
+    fn read_entry(&mut self) -> Result<TraceEntry, XftError> {
+        let head = self.u8()?;
+        let code = head & 0x0f;
+        let stage = if head & ENT_STAGE_POST != 0 {
+            Stage::Post
+        } else {
+            Stage::Pre
+        };
+        let internal = head & ENT_INTERNAL != 0;
+        let checked = head & ENT_CHECKED != 0;
+        let size_of = |v: u64| -> Result<u32, XftError> {
+            u32::try_from(v).map_err(|_| XftError::Corrupt(format!("size {v} exceeds u32")))
+        };
+        let op = match code {
+            OP_WRITE | OP_READ | OP_NT_WRITE | OP_TX_ADD | OP_FREE | OP_COMMIT_VAR => {
+                let raw = self.varint()?;
+                let addr = self.delta.addr_undelta(raw);
+                let size = size_of(self.varint()?)?;
+                match code {
+                    OP_WRITE => Op::Write { addr, size },
+                    OP_READ => Op::Read { addr, size },
+                    OP_NT_WRITE => Op::NtWrite { addr, size },
+                    OP_TX_ADD => Op::TxAdd { addr, size },
+                    OP_FREE => Op::Free { addr, size },
+                    _ => Op::RegisterCommitVar { addr, size },
+                }
+            }
+            OP_FLUSH => {
+                let raw = self.varint()?;
+                let addr = self.delta.addr_undelta(raw);
+                Op::Flush {
+                    addr,
+                    kind: flush_kind_from(self.u8()?)?,
+                }
+            }
+            OP_FENCE => Op::Fence {
+                kind: fence_kind_from(self.u8()?)?,
+            },
+            OP_TX_BEGIN => Op::TxBegin,
+            OP_TX_COMMIT => Op::TxCommit,
+            OP_TX_ABORT => Op::TxAbort,
+            OP_ALLOC => {
+                let raw = self.varint()?;
+                let addr = self.delta.addr_undelta(raw);
+                let size = size_of(self.varint()?)?;
+                Op::Alloc {
+                    addr,
+                    size,
+                    zeroed: self.u8()? != 0,
+                }
+            }
+            OP_COMMIT_RANGE => {
+                let raw_v = self.varint()?;
+                let var_addr = self.delta.addr_undelta(raw_v);
+                let raw_a = self.varint()?;
+                let addr = self.delta.addr_undelta(raw_a);
+                let size = size_of(self.varint()?)?;
+                Op::RegisterCommitRange {
+                    var_addr,
+                    addr,
+                    size,
+                }
+            }
+            other => return Err(XftError::Corrupt(format!("unknown op code {other}"))),
+        };
+        let file_id = self.varint()?;
+        let file = *self
+            .files
+            .get(file_id as usize)
+            .ok_or_else(|| XftError::Corrupt(format!("undefined file id {file_id}")))?;
+        let raw_line = self.varint()?;
+        let line = self.delta.line_undelta(raw_line)?;
+        self.entries_read += 1;
+        Ok(TraceEntry {
+            op,
+            loc: SourceLoc { file, line },
+            stage,
+            internal,
+            checked,
+        })
+    }
+
+    /// Decodes the next event, or `None` once the `End` record is reached.
+    ///
+    /// # Errors
+    ///
+    /// As [`XftReader::next_event`] (truncation surfaces as an
+    /// `UnexpectedEof` I/O error, exactly like the streaming reader).
+    #[inline]
+    pub fn next_event(&mut self) -> Result<Option<XftRefEvent>, XftError> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            match self.u8()? {
+                REC_FILE_DEF => {
+                    let len = self.varint()? as usize;
+                    let bytes = self.take(len)?;
+                    let name = std::str::from_utf8(bytes)
+                        .map_err(|_| XftError::Corrupt("file name is not UTF-8".into()))?;
+                    let interned = xftrace::intern_file(name);
+                    self.files.push(interned);
+                }
+                REC_PRE => return Ok(Some(XftRefEvent::Pre(self.read_entry()?))),
+                REC_POST => return Ok(Some(XftRefEvent::Post(self.read_entry()?))),
+                REC_FAILURE_POINT => {
+                    let file_id = self.varint()?;
+                    let file = *self
+                        .files
+                        .get(file_id as usize)
+                        .ok_or_else(|| XftError::Corrupt(format!("undefined file id {file_id}")))?;
+                    let line = u32::try_from(self.varint()?)
+                        .map_err(|_| XftError::Corrupt("failure-point line exceeds u32".into()))?;
+                    self.fps_read += 1;
+                    return Ok(Some(XftRefEvent::FailurePoint { file, line }));
+                }
+                REC_END => {
+                    let entries = self.varint()?;
+                    let fps = self.varint()?;
+                    if entries != self.entries_read || fps != self.fps_read {
+                        return Err(XftError::Corrupt(format!(
+                            "End record counts ({entries} entries, {fps} failure points) \
+                             disagree with decoded stream ({}, {})",
+                            self.entries_read, self.fps_read
+                        )));
+                    }
+                    if let Some(h) = self.header.entry_count {
+                        if h != entries {
+                            return Err(XftError::Corrupt(format!(
+                                "header claims {h} entries, End record has {entries}"
+                            )));
+                        }
+                    }
+                    if let Some(h) = self.header.fp_count {
+                        if h != fps {
+                            return Err(XftError::Corrupt(format!(
+                                "header claims {h} failure points, End record has {fps}"
+                            )));
+                        }
+                    }
+                    self.done = true;
+                    return Ok(None);
+                }
+                other => return Err(XftError::Corrupt(format!("unknown record tag {other:#x}"))),
+            }
+        }
+    }
+}
+
+/// A `.xft` ingest source: the mapped zero-copy decoder when the file could
+/// be loaded whole, or the streaming buffered reader as the fallback. Both
+/// variants produce identical [`XftRefEvent`] streams.
+#[derive(Debug)]
+pub enum XftSource {
+    /// Whole-file buffer decoded by [`XftMmapReader`].
+    Mapped(XftMmapReader),
+    /// Buffered streaming fallback ([`XftReader`] over the open file).
+    Buffered(XftReader<BufReader<File>>),
+}
+
+impl XftSource {
+    /// Decodes the next event, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// As the underlying reader.
+    pub fn next_event(&mut self) -> Result<Option<XftRefEvent>, XftError> {
+        match self {
+            XftSource::Mapped(r) => r.next_event(),
+            XftSource::Buffered(r) => Ok(r.next_event()?.map(XftRefEvent::from_owned)),
+        }
+    }
+
+    /// The decoded header.
+    #[must_use]
+    pub fn header(&self) -> XftHeader {
+        match self {
+            XftSource::Mapped(r) => r.header(),
+            XftSource::Buffered(r) => r.header(),
+        }
+    }
+
+    /// Entries decoded so far.
+    #[must_use]
+    pub fn entries_read(&self) -> u64 {
+        match self {
+            XftSource::Mapped(r) => r.entries_read(),
+            XftSource::Buffered(r) => r.entries_read(),
+        }
+    }
+
+    /// Failure points decoded so far.
+    #[must_use]
+    pub fn failure_points_read(&self) -> u64 {
+        match self {
+            XftSource::Mapped(r) => r.failure_points_read(),
+            XftSource::Buffered(r) => r.failure_points_read(),
+        }
+    }
+}
+
+impl XftReader<BufReader<File>> {
+    /// Opens `path` for ingest, preferring the mapped zero-copy decode path
+    /// ([`XftMmapReader`]) and falling back to buffered streaming I/O when
+    /// the file cannot be loaded into memory in one piece.
+    ///
+    /// # Errors
+    ///
+    /// Format errors ([`XftError::BadMagic`], …) always propagate — only
+    /// whole-file-load I/O trouble triggers the fallback. A missing file is
+    /// an error on either path.
+    pub fn open_mmap(path: &Path) -> Result<XftSource, XftError> {
+        match std::fs::read(path) {
+            Ok(buf) => Ok(XftSource::Mapped(XftMmapReader::from_bytes(buf)?)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Err(XftError::Io(e)),
+            Err(_) => {
+                let file = File::open(path)?;
+                Ok(XftSource::Buffered(XftReader::new(BufReader::new(file))?))
+            }
+        }
+    }
+}
+
 /// Encodes a complete [`RecordedRun`] (counts go into the header). Pre
 /// entries are interleaved with their failure points by `pre_len`, so the
 /// on-disk order is execution order.
@@ -816,30 +1245,51 @@ pub fn read_recorded_run<R: Read>(r: R) -> Result<RecordedRun, XftError> {
 /// Any decode error.
 pub fn analyze_xft<R: Read>(r: R, first_read_only: bool) -> Result<DetectionReport, XftError> {
     let mut reader = XftReader::new(r)?;
+    analyze_events(
+        || Ok(reader.next_event()?.map(XftRefEvent::from_owned)),
+        first_read_only,
+    )
+}
+
+/// [`analyze_xft`] by path, through [`XftReader::open_mmap`]: the trace is
+/// decoded by the zero-copy mapped reader when it fits in memory (no
+/// per-entry allocation, no `Read` dispatch) and by the buffered streaming
+/// reader otherwise. Same findings in the same order either way.
+///
+/// # Errors
+///
+/// Any decode or I/O error.
+pub fn analyze_xft_path(path: &Path, first_read_only: bool) -> Result<DetectionReport, XftError> {
+    let mut src = XftReader::open_mmap(path)?;
+    analyze_events(|| src.next_event(), first_read_only)
+}
+
+/// The shared replay-and-check loop behind both ingest paths.
+fn analyze_events<F>(mut next: F, first_read_only: bool) -> Result<DetectionReport, XftError>
+where
+    F: FnMut() -> Result<Option<XftRefEvent>, XftError>,
+{
     let mut report = DetectionReport::new();
     let mut shadow = ShadowPm::new();
     let mut fp_id = 0u64;
-    let mut pending = reader.next_event()?;
+    let mut pending = next()?;
     while let Some(ev) = pending.take() {
         match ev {
-            XftEvent::Pre(e) => {
-                shadow.apply_pre(&e.to_entry(), &mut report);
-                pending = reader.next_event()?;
+            XftRefEvent::Pre(e) => {
+                shadow.apply_pre(&e, &mut report);
+                pending = next()?;
             }
-            XftEvent::FailurePoint { file, line } => {
+            XftRefEvent::FailurePoint { file, line } => {
                 let fp = FailurePoint {
                     id: fp_id,
-                    loc: SourceLoc {
-                        file: xftrace::intern_file(&file),
-                        line,
-                    },
+                    loc: SourceLoc { file, line },
                 };
                 fp_id += 1;
                 let mut checker = shadow.begin_post(first_read_only);
                 loop {
-                    match reader.next_event()? {
-                        Some(XftEvent::Post(e)) => {
-                            checker.apply_post(&e.to_entry(), fp, &mut report);
+                    match next()? {
+                        Some(XftRefEvent::Post(e)) => {
+                            checker.apply_post(&e, fp, &mut report);
                         }
                         other => {
                             pending = other;
@@ -848,7 +1298,7 @@ pub fn analyze_xft<R: Read>(r: R, first_read_only: bool) -> Result<DetectionRepo
                     }
                 }
             }
-            XftEvent::Post(_) => {
+            XftRefEvent::Post(_) => {
                 return Err(XftError::Corrupt(
                     "post-failure entry before any failure point".into(),
                 ))
@@ -1056,6 +1506,115 @@ mod tests {
         let bytes = wr.finish().unwrap();
         assert!(read_recorded_run(&bytes[..]).is_err());
         assert!(analyze_xft(&bytes[..], true).is_err());
+    }
+
+    /// Drains the streaming reader and the mapped reader over the same
+    /// bytes and returns both event streams in the borrowed form.
+    fn both_decodes(bytes: &[u8]) -> (Vec<XftRefEvent>, Vec<XftRefEvent>) {
+        let mut streamed = Vec::new();
+        let mut reader = XftReader::new(bytes).unwrap();
+        while let Some(ev) = reader.next_event().unwrap() {
+            streamed.push(XftRefEvent::from_owned(ev));
+        }
+        let mut mapped = Vec::new();
+        let mut rd = XftMmapReader::from_bytes(bytes.to_vec()).unwrap();
+        while let Some(ev) = rd.next_event().unwrap() {
+            mapped.push(ev);
+        }
+        (streamed, mapped)
+    }
+
+    #[test]
+    fn mapped_decode_matches_streaming_decode() {
+        let bytes = encode_recorded_run(&sample_run()).unwrap();
+        let (streamed, mapped) = both_decodes(&bytes);
+        assert_eq!(streamed, mapped);
+        assert_eq!(streamed.len(), 8, "7 entries + 1 failure point");
+    }
+
+    #[test]
+    fn mapped_reader_parses_header_and_string_table() {
+        let bytes = encode_recorded_run(&sample_run()).unwrap();
+        let mut rd = XftMmapReader::from_bytes(bytes).unwrap();
+        assert_eq!(rd.header().entry_count, Some(7));
+        assert_eq!(rd.header().fp_count, Some(1));
+        while rd.next_event().unwrap().is_some() {}
+        assert_eq!(rd.files(), &["a.rs", "b.rs", "lib.rs"]);
+        assert_eq!(rd.entries_read(), 7);
+        assert_eq!(rd.failure_points_read(), 1);
+    }
+
+    #[test]
+    fn mapped_reader_rejects_foreign_and_corrupt_input() {
+        assert!(matches!(
+            XftMmapReader::from_bytes(b"JSON{}xx".to_vec()),
+            Err(XftError::BadMagic(_))
+        ));
+
+        let mut future = encode_recorded_run(&RecordedRun::default()).unwrap();
+        future[4] = VERSION + 1;
+        assert!(matches!(
+            XftMmapReader::from_bytes(future),
+            Err(XftError::UnsupportedVersion(_))
+        ));
+
+        let bytes = encode_recorded_run(&sample_run()).unwrap();
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 3);
+        let mut rd = XftMmapReader::from_bytes(truncated).unwrap();
+        let err = loop {
+            match rd.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("truncated stream decoded cleanly"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, XftError::Io(_) | XftError::Corrupt(_)),
+            "{err}"
+        );
+
+        let mut tampered = bytes;
+        let n = tampered.len();
+        tampered[n - 2] = tampered[n - 2].wrapping_add(1);
+        let mut rd = XftMmapReader::from_bytes(tampered).unwrap();
+        let err = loop {
+            match rd.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("tampered End counts decoded cleanly"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, XftError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn analyze_by_path_matches_streaming_analyze() {
+        let run = sample_run();
+        let bytes = encode_recorded_run(&run).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("xft-mmap-analyze-{}.xft", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let streamed = analyze_xft(&bytes[..], true).unwrap();
+        let mapped = analyze_xft_path(&path, true).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&mapped).unwrap()
+        );
+    }
+
+    #[test]
+    fn open_mmap_prefers_the_mapped_source_and_errors_on_missing_files() {
+        let bytes = encode_recorded_run(&sample_run()).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("xft-open-mmap-{}.xft", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let src = XftReader::open_mmap(&path).unwrap();
+        assert!(matches!(src, XftSource::Mapped(_)));
+        std::fs::remove_file(&path).ok();
+        assert!(XftReader::open_mmap(&path).is_err());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //!
 //! - [`ring`] — a bounded SPSC FIFO channel with blocking hand-off,
 //!   backpressure and occupancy/stall instrumentation: the in-process
-//!   analogue of the paper's shared-memory queue,
+//!   analogue of the paper's shared-memory queue. The default transport is
+//!   the lock-free ring of [`spsc`]; the seed Mutex+Condvar queue stays
+//!   available as an ablation ([`xfdetector::RingImpl`]),
 //! - [`pipeline`] — [`run_pipelined`], which runs the workload/injection
 //!   frontend and the shadow-PM/checking backend as concurrent stages over
 //!   that FIFO, producing a byte-identical [`xfdetector::DetectionReport`]
@@ -35,14 +37,15 @@ pub mod codec;
 pub mod pipeline;
 pub mod repro;
 pub mod ring;
+pub mod spsc;
 
 pub use codec::{
-    analyze_xft, encode_recorded_run, read_recorded_run, write_recorded_run, XftError, XftEvent,
-    XftHeader, XftReader, XftWriter,
+    analyze_xft, analyze_xft_path, encode_recorded_run, read_recorded_run, write_recorded_run,
+    XftError, XftEvent, XftHeader, XftMmapReader, XftReader, XftRefEvent, XftSource, XftWriter,
 };
 pub use pipeline::{run_pipelined, run_pipelined_with_ctl, PipelinedEngine, StreamOptions};
 pub use repro::write_repro_artifacts;
-pub use ring::{channel, Receiver, RingStats, Sender};
+pub use ring::{channel, channel_with, Receiver, RingImpl, RingStats, Sender};
 
 /// An [`xfdetector::SessionBuilder`] with this crate's [`PipelinedEngine`]
 /// injected, so [`xfdetector::Mode::Stream`] works out of the box:

@@ -19,6 +19,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -54,10 +55,12 @@ enum Msg {
     /// Pre-failure entries produced since the previous message.
     Pre(Vec<TraceEntry>),
     /// A failure point: its identity, the post-failure trace it produced
-    /// and how the post-failure execution ended.
+    /// and how the post-failure execution ended. The trace is `Arc`-shared
+    /// with the dedup and pruning caches, so shipping a cache hit is a
+    /// refcount bump instead of a clone of the whole entry vector.
     FailurePoint {
         fp: FailurePoint,
-        post: Vec<TraceEntry>,
+        post: Arc<[TraceEntry]>,
         outcome: PostOutcome,
     },
     /// A failure point elided on resume: the journal's report delta is
@@ -102,7 +105,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// so a hash collision degrades to a miss, never a wrong reuse).
 struct CachedPost {
     image: CowImage,
-    post: Vec<TraceEntry>,
+    post: Arc<[TraceEntry]>,
     outcome: PostOutcome,
 }
 
@@ -122,7 +125,7 @@ struct StreamFrontend {
     /// and the post-failure execution; the representative's cached trace is
     /// shipped downstream and checked by the backend against this failure
     /// point's own shadow state, exactly like an image-dedup hit.
-    prune: RefCell<PruneCache<(Vec<TraceEntry>, PostOutcome)>>,
+    prune: RefCell<PruneCache<(Arc<[TraceEntry]>, PostOutcome)>>,
     fp_shadow: RefCell<ShadowPm>,
     /// Sink for the replica's pre-replay findings: the backend owns the
     /// real report; the replica's copy is discarded.
@@ -274,7 +277,7 @@ impl EngineHook for StreamFrontend {
             } else {
                 let mut post_ctx = ctx.fork_post_cow(&image);
                 let outcome = self.execute_post(&mut post_ctx);
-                let post = post_ctx.trace().drain();
+                let post: Arc<[TraceEntry]> = post_ctx.trace().drain().into();
                 self.stats.borrow_mut().snapshot_bytes_copied +=
                     post_ctx.pool().snapshot_bytes_copied();
                 if let Some(h) = hash {
@@ -282,7 +285,7 @@ impl EngineHook for StreamFrontend {
                         h,
                         CachedPost {
                             image,
-                            post: post.clone(),
+                            post: Arc::clone(&post),
                             outcome: outcome.clone(),
                         },
                     );
@@ -296,7 +299,7 @@ impl EngineHook for StreamFrontend {
                 .image(ctx.pool(), &mut *self.rng.borrow_mut());
             let mut post_ctx = ctx.fork_post(&image);
             let outcome = self.execute_post(&mut post_ctx);
-            let post = post_ctx.trace().drain();
+            let post: Arc<[TraceEntry]> = post_ctx.trace().drain().into();
             self.stats.borrow_mut().snapshot_bytes_copied +=
                 post_ctx.pool().snapshot_bytes_copied();
             (post, outcome, PostSource::Executed)
@@ -372,85 +375,92 @@ fn backend_loop(
     let mut recorded = record.then(RecordedRun::default);
     let mut detect_time = Duration::ZERO;
 
-    while let Some(msg) = rx.recv() {
-        match msg {
-            Msg::Pre(batch) => {
-                for e in &batch {
-                    shadow.apply_pre(e, &mut report);
-                }
-                if let Some(rec) = recorded.as_mut() {
-                    rec.pre.extend(batch.into_iter().map(Into::into));
-                }
-            }
-            Msg::Journaled { fp, findings } => {
-                if let Some(rec) = recorded.as_mut() {
-                    rec.failure_points.push(RecordedFailurePoint {
-                        pre_len: rec.pre.len(),
-                        file: fp.loc.file.to_owned(),
-                        line: fp.loc.line,
-                        post: Vec::new(),
-                    });
-                }
-                for f in findings {
-                    report.push(f);
-                }
-            }
-            Msg::FailurePoint { fp, post, outcome } => {
-                if let Some(rec) = recorded.as_mut() {
-                    rec.failure_points.push(RecordedFailurePoint {
-                        pre_len: rec.pre.len(),
-                        file: fp.loc.file.to_owned(),
-                        line: fp.loc.line,
-                        post: post.iter().copied().map(Into::into).collect(),
-                    });
-                }
-                let delta_start = report.findings().len();
-                let t_detect = Instant::now();
-                {
-                    let mut checker = shadow.begin_post(first_read_only);
-                    for e in &post {
-                        checker.apply_post(e, fp, &mut report);
+    // Drain in batches: one wakeup (and one head-cursor release) can hand
+    // over a whole run of messages when the backend lags, instead of one
+    // synchronization round-trip per message.
+    const DRAIN_BATCH: usize = 32;
+    let mut batch_buf = Vec::with_capacity(DRAIN_BATCH);
+    while rx.recv_batch(&mut batch_buf, DRAIN_BATCH) {
+        for msg in batch_buf.drain(..) {
+            match msg {
+                Msg::Pre(batch) => {
+                    for e in &batch {
+                        shadow.apply_pre(e, &mut report);
+                    }
+                    if let Some(rec) = recorded.as_mut() {
+                        rec.pre.extend(batch.into_iter().map(Into::into));
                     }
                 }
-                detect_time += t_detect.elapsed();
+                Msg::Journaled { fp, findings } => {
+                    if let Some(rec) = recorded.as_mut() {
+                        rec.failure_points.push(RecordedFailurePoint {
+                            pre_len: rec.pre.len(),
+                            file: fp.loc.file.to_owned(),
+                            line: fp.loc.line,
+                            post: Vec::new(),
+                        });
+                    }
+                    for f in findings {
+                        report.push(f);
+                    }
+                }
+                Msg::FailurePoint { fp, post, outcome } => {
+                    if let Some(rec) = recorded.as_mut() {
+                        rec.failure_points.push(RecordedFailurePoint {
+                            pre_len: rec.pre.len(),
+                            file: fp.loc.file.to_owned(),
+                            line: fp.loc.line,
+                            post: post.iter().copied().map(Into::into).collect(),
+                        });
+                    }
+                    let delta_start = report.findings().len();
+                    let t_detect = Instant::now();
+                    {
+                        let mut checker = shadow.begin_post(first_read_only);
+                        for e in post.iter() {
+                            checker.apply_post(e, fp, &mut report);
+                        }
+                    }
+                    detect_time += t_detect.elapsed();
 
-                match outcome {
-                    PostOutcome::Completed => {}
-                    PostOutcome::Failed(msg) => {
-                        report.push(Finding {
-                            kind: BugKind::PostFailureError,
-                            addr: 0,
-                            size: 0,
-                            reader: Some(fp.loc),
-                            writer: None,
-                            failure_point: Some(fp),
-                            message: Some(msg),
-                        });
+                    match outcome {
+                        PostOutcome::Completed => {}
+                        PostOutcome::Failed(msg) => {
+                            report.push(Finding {
+                                kind: BugKind::PostFailureError,
+                                addr: 0,
+                                size: 0,
+                                reader: Some(fp.loc),
+                                writer: None,
+                                failure_point: Some(fp),
+                                message: Some(msg),
+                            });
+                        }
+                        PostOutcome::Panicked(msg) => {
+                            report.push(Finding {
+                                kind: BugKind::PostFailurePanic,
+                                addr: 0,
+                                size: 0,
+                                reader: Some(fp.loc),
+                                writer: None,
+                                failure_point: Some(fp),
+                                message: Some(msg),
+                            });
+                        }
+                        PostOutcome::BudgetExceeded(msg) => {
+                            report.push(Finding {
+                                kind: BugKind::BudgetExceeded,
+                                addr: 0,
+                                size: 0,
+                                reader: Some(fp.loc),
+                                writer: None,
+                                failure_point: Some(fp),
+                                message: Some(msg),
+                            });
+                        }
                     }
-                    PostOutcome::Panicked(msg) => {
-                        report.push(Finding {
-                            kind: BugKind::PostFailurePanic,
-                            addr: 0,
-                            size: 0,
-                            reader: Some(fp.loc),
-                            writer: None,
-                            failure_point: Some(fp),
-                            message: Some(msg),
-                        });
-                    }
-                    PostOutcome::BudgetExceeded(msg) => {
-                        report.push(Finding {
-                            kind: BugKind::BudgetExceeded,
-                            addr: 0,
-                            size: 0,
-                            reader: Some(fp.loc),
-                            writer: None,
-                            failure_point: Some(fp),
-                            message: Some(msg),
-                        });
-                    }
+                    ctl.append_fp(fp.id, fp.loc, &report.findings()[delta_start..]);
                 }
-                ctl.append_fp(fp.id, fp.loc, &report.findings()[delta_start..]);
             }
         }
     }
@@ -518,7 +528,7 @@ pub fn run_pipelined_with_ctl<W: Workload + 'static>(
     let first_read_only = config.first_read_only;
     let record_trace = config.record_trace;
     let (pre_result, mut stats, backend) = std::thread::scope(|s| {
-        let (tx, rx) = ring::channel(opts.capacity);
+        let (tx, rx) = ring::channel_with(opts.capacity, config.ring_impl);
         let backend_ctl = ctl.clone();
         let handle = s.spawn(move || backend_loop(rx, first_read_only, record_trace, backend_ctl));
 
@@ -583,6 +593,8 @@ pub fn run_pipelined_with_ctl<W: Workload + 'static>(
     stats.stream_batches = backend.ring.sends;
     stats.stream_max_depth = backend.ring.max_depth;
     stats.stream_stall_time = backend.ring.producer_stall;
+    stats.ring_spins = backend.ring.spins;
+    stats.ring_parks = backend.ring.parks;
     stats.total_time = t_start.elapsed();
 
     Ok(RunOutcome {

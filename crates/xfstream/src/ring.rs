@@ -10,13 +10,24 @@
 //! instrumentation ([`RingStats`]) for the queue-depth high-water mark and
 //! the time either side spent stalled.
 //!
+//! Two implementations sit behind one endpoint API, selected by
+//! [`RingImpl`]:
+//!
+//! - [`RingImpl::LockFree`] (the default): the cursor-based lock-free ring
+//!   of [`crate::spsc`] — cache-line-padded atomic head/tail, power-of-two
+//!   masked indices, batched publish/drain, spin-then-park waiting,
+//! - [`RingImpl::Mutex`]: the seed `Mutex` + `Condvar` queue, kept as an
+//!   ablation baseline (`xfd bench` and the equivalence matrix sweep it).
+//!
 //! Capacity is counted in *messages*, not bytes; the pipeline batches trace
 //! entries into messages (one batch per failure-point interval) so a small
 //! message capacity still bounds a large number of in-flight entries.
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+pub use xfdetector::RingImpl;
+
+use crate::spsc;
 
 /// Instrumentation counters of one channel, mirroring what the paper's FIFO
 /// would expose: occupancy high-water mark and stall time on either side.
@@ -32,51 +43,197 @@ pub struct RingStats {
     pub producer_stall: Duration,
     /// Total time the consumer spent blocked on an empty queue.
     pub consumer_stall: Duration,
+    /// Bounded spin-loop iterations either side burned before parking
+    /// (always zero for the [`RingImpl::Mutex`] ablation, which blocks
+    /// immediately).
+    pub spins: u64,
+    /// Times a side exhausted its spin budget and parked its thread.
+    pub parks: u64,
 }
 
-struct State<T> {
-    buf: VecDeque<T>,
-    /// Set when either endpoint is dropped; wakes the other side.
-    closed: bool,
-    stats: RingStats,
-}
+/// The seed Mutex+Condvar implementation, kept as the [`RingImpl::Mutex`]
+/// ablation.
+mod mutex {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::Instant;
 
-struct Shared<T> {
-    state: Mutex<State<T>>,
-    capacity: usize,
-    not_full: Condvar,
-    not_empty: Condvar,
-}
+    use super::RingStats;
 
-impl<T> Shared<T> {
-    /// Locks the state, recovering from poisoning (a panicking peer must
-    /// not wedge the other endpoint).
-    fn lock(&self) -> MutexGuard<'_, State<T>> {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    struct State<T> {
+        buf: VecDeque<T>,
+        /// Set when either endpoint is dropped; wakes the other side.
+        closed: bool,
+        stats: RingStats,
     }
 
-    fn close(&self) {
-        self.lock().closed = true;
-        self.not_full.notify_all();
-        self.not_empty.notify_all();
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        capacity: usize,
+        not_full: Condvar,
+        not_empty: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        /// Locks the state, recovering from poisoning (a panicking peer
+        /// must not wedge the other endpoint).
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            self.state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        fn close(&self) {
+            self.lock().closed = true;
+            self.not_full.notify_all();
+            self.not_empty.notify_all();
+        }
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub(super) fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+                stats: RingStats::default(),
+            }),
+            capacity,
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        pub(super) fn send(&self, msg: T) -> Result<(), T> {
+            let mut st = self.shared.lock();
+            while st.buf.len() >= self.shared.capacity && !st.closed {
+                let t0 = Instant::now();
+                st = self
+                    .shared
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st.stats.producer_stall += t0.elapsed();
+            }
+            if st.closed {
+                return Err(msg);
+            }
+            st.buf.push_back(msg);
+            st.stats.sends += 1;
+            st.stats.max_depth = st.stats.max_depth.max(st.buf.len() as u64);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        pub(super) fn depth(&self) -> usize {
+            self.shared.lock().buf.len()
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared.close();
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub(super) fn recv(&self) -> Option<T> {
+            let mut st = self.shared.lock();
+            while st.buf.is_empty() && !st.closed {
+                let t0 = Instant::now();
+                st = self
+                    .shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st.stats.consumer_stall += t0.elapsed();
+            }
+            let msg = st.buf.pop_front();
+            if msg.is_some() {
+                st.stats.recvs += 1;
+                drop(st);
+                self.shared.not_full.notify_one();
+            }
+            msg
+        }
+
+        /// Drains up to `max` buffered messages under one lock acquisition
+        /// (blocking for the first when the queue is empty and open).
+        pub(super) fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> bool {
+            if max == 0 {
+                return true;
+            }
+            let mut st = self.shared.lock();
+            while st.buf.is_empty() && !st.closed {
+                let t0 = Instant::now();
+                st = self
+                    .shared
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st.stats.consumer_stall += t0.elapsed();
+            }
+            if st.buf.is_empty() {
+                return false;
+            }
+            let n = st.buf.len().min(max);
+            for _ in 0..n {
+                out.push(st.buf.pop_front().expect("checked length"));
+            }
+            st.stats.recvs += n as u64;
+            drop(st);
+            self.shared.not_full.notify_one();
+            true
+        }
+
+        pub(super) fn stats(&self) -> RingStats {
+            self.shared.lock().stats.clone()
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.close();
+        }
     }
 }
 
 /// The producing endpoint. Dropping it closes the channel; the consumer
 /// drains the remaining messages and then observes end-of-stream.
-pub struct Sender<T> {
-    shared: Arc<Shared<T>>,
+pub enum Sender<T> {
+    /// Lock-free ring producer ([`RingImpl::LockFree`]).
+    LockFree(spsc::Sender<T>),
+    /// Mutex+Condvar ablation producer ([`RingImpl::Mutex`]).
+    Mutex(mutex::Sender<T>),
 }
 
 /// The consuming endpoint. Dropping it closes the channel; subsequent sends
 /// fail fast instead of blocking forever.
-pub struct Receiver<T> {
-    shared: Arc<Shared<T>>,
+pub enum Receiver<T> {
+    /// Lock-free ring consumer ([`RingImpl::LockFree`]).
+    LockFree(spsc::Receiver<T>),
+    /// Mutex+Condvar ablation consumer ([`RingImpl::Mutex`]).
+    Mutex(mutex::Receiver<T>),
 }
 
-/// Creates a bounded SPSC channel holding at most `capacity` messages.
+/// Creates a bounded SPSC channel holding at most `capacity` messages,
+/// using the default [`RingImpl::LockFree`] implementation.
 ///
 /// # Panics
 ///
@@ -84,23 +241,26 @@ pub struct Receiver<T> {
 /// blocking hand-off).
 #[must_use]
 pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
-    assert!(capacity > 0, "ring capacity must be non-zero");
-    let shared = Arc::new(Shared {
-        state: Mutex::new(State {
-            buf: VecDeque::with_capacity(capacity.min(1024)),
-            closed: false,
-            stats: RingStats::default(),
-        }),
-        capacity,
-        not_full: Condvar::new(),
-        not_empty: Condvar::new(),
-    });
-    (
-        Sender {
-            shared: Arc::clone(&shared),
-        },
-        Receiver { shared },
-    )
+    channel_with(capacity, RingImpl::LockFree)
+}
+
+/// As [`channel`], selecting the implementation explicitly.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+#[must_use]
+pub fn channel_with<T>(capacity: usize, ring: RingImpl) -> (Sender<T>, Receiver<T>) {
+    match ring {
+        RingImpl::LockFree => {
+            let (tx, rx) = spsc::channel(capacity);
+            (Sender::LockFree(tx), Receiver::LockFree(rx))
+        }
+        RingImpl::Mutex => {
+            let (tx, rx) = mutex::channel(capacity);
+            (Sender::Mutex(tx), Receiver::Mutex(rx))
+        }
+    }
 }
 
 impl<T> Sender<T> {
@@ -110,37 +270,19 @@ impl<T> Sender<T> {
     ///
     /// Returns the message back if the receiver hung up.
     pub fn send(&self, msg: T) -> Result<(), T> {
-        let mut st = self.shared.lock();
-        while st.buf.len() >= self.shared.capacity && !st.closed {
-            let t0 = Instant::now();
-            st = self
-                .shared
-                .not_full
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            st.stats.producer_stall += t0.elapsed();
+        match self {
+            Sender::LockFree(tx) => tx.send(msg),
+            Sender::Mutex(tx) => tx.send(msg),
         }
-        if st.closed {
-            return Err(msg);
-        }
-        st.buf.push_back(msg);
-        st.stats.sends += 1;
-        st.stats.max_depth = st.stats.max_depth.max(st.buf.len() as u64);
-        drop(st);
-        self.shared.not_empty.notify_one();
-        Ok(())
     }
 
     /// Current queue occupancy (messages buffered and not yet received).
     #[must_use]
     pub fn depth(&self) -> usize {
-        self.shared.lock().buf.len()
-    }
-}
-
-impl<T> Drop for Sender<T> {
-    fn drop(&mut self) {
-        self.shared.close();
+        match self {
+            Sender::LockFree(tx) => tx.depth(),
+            Sender::Mutex(tx) => tx.depth(),
+        }
     }
 }
 
@@ -148,35 +290,30 @@ impl<T> Receiver<T> {
     /// Dequeues the next message, blocking while the queue is empty.
     /// Returns `None` once the channel is closed *and* drained.
     pub fn recv(&self) -> Option<T> {
-        let mut st = self.shared.lock();
-        while st.buf.is_empty() && !st.closed {
-            let t0 = Instant::now();
-            st = self
-                .shared
-                .not_empty
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            st.stats.consumer_stall += t0.elapsed();
+        match self {
+            Receiver::LockFree(rx) => rx.recv(),
+            Receiver::Mutex(rx) => rx.recv(),
         }
-        let msg = st.buf.pop_front();
-        if msg.is_some() {
-            st.stats.recvs += 1;
-            drop(st);
-            self.shared.not_full.notify_one();
+    }
+
+    /// Drains up to `max` messages into `out`, blocking while the queue is
+    /// empty and open. One cursor publish (lock-free) or one lock
+    /// acquisition (mutex) per batch. Returns `false` once the channel is
+    /// closed *and* drained.
+    pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> bool {
+        match self {
+            Receiver::LockFree(rx) => rx.recv_batch(out, max),
+            Receiver::Mutex(rx) => rx.recv_batch(out, max),
         }
-        msg
     }
 
     /// A snapshot of the channel's instrumentation counters.
     #[must_use]
     pub fn stats(&self) -> RingStats {
-        self.shared.lock().stats.clone()
-    }
-}
-
-impl<T> Drop for Receiver<T> {
-    fn drop(&mut self) {
-        self.shared.close();
+        match self {
+            Receiver::LockFree(rx) => rx.stats(),
+            Receiver::Mutex(rx) => rx.stats(),
+        }
     }
 }
 
@@ -185,66 +322,119 @@ mod tests {
     use super::*;
     use std::thread;
 
+    /// Every behavioral test runs against both implementations: the
+    /// ablation switch must never change channel semantics.
+    fn both() -> [RingImpl; 2] {
+        [RingImpl::LockFree, RingImpl::Mutex]
+    }
+
     #[test]
     fn fifo_order_is_preserved() {
-        let (tx, rx) = channel(4);
-        for i in 0..4 {
-            tx.send(i).unwrap();
-        }
-        for i in 0..4 {
-            assert_eq!(rx.recv(), Some(i));
+        for ring in both() {
+            let (tx, rx) = channel_with(4, ring);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(rx.recv(), Some(i), "{ring:?}");
+            }
         }
     }
 
     #[test]
     fn producer_blocks_until_consumer_drains() {
-        let (tx, rx) = channel(2);
-        let producer = thread::spawn(move || {
-            for i in 0..100u32 {
-                tx.send(i).unwrap();
+        for ring in both() {
+            let (tx, rx) = channel_with(2, ring);
+            let producer = thread::spawn(move || {
+                for i in 0..100u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv() {
+                got.push(v);
             }
-        });
-        let mut got = Vec::new();
-        while let Some(v) = rx.recv() {
-            got.push(v);
+            producer.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>(), "{ring:?}");
+            let stats = rx.stats();
+            assert_eq!(stats.sends, 100);
+            assert_eq!(stats.recvs, 100);
+            assert!(stats.max_depth <= 2, "bounded at capacity: {stats:?}");
         }
-        producer.join().unwrap();
-        assert_eq!(got, (0..100).collect::<Vec<_>>());
-        let stats = rx.stats();
-        assert_eq!(stats.sends, 100);
-        assert_eq!(stats.recvs, 100);
-        assert!(stats.max_depth <= 2, "bounded at capacity: {stats:?}");
     }
 
     #[test]
     fn dropping_sender_ends_the_stream_after_draining() {
-        let (tx, rx) = channel(8);
-        tx.send(1).unwrap();
-        tx.send(2).unwrap();
-        drop(tx);
-        assert_eq!(rx.recv(), Some(1));
-        assert_eq!(rx.recv(), Some(2));
-        assert_eq!(rx.recv(), None);
-        assert_eq!(rx.recv(), None, "stays closed");
+        for ring in both() {
+            let (tx, rx) = channel_with(8, ring);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Some(1));
+            assert_eq!(rx.recv(), Some(2));
+            assert_eq!(rx.recv(), None);
+            assert_eq!(rx.recv(), None, "stays closed ({ring:?})");
+        }
     }
 
     #[test]
     fn dropping_receiver_fails_sends_fast() {
-        let (tx, rx) = channel(1);
-        tx.send(7).unwrap();
-        drop(rx);
-        assert_eq!(tx.send(8), Err(8), "no deadlock on a full, closed queue");
+        for ring in both() {
+            let (tx, rx) = channel_with(1, ring);
+            tx.send(7).unwrap();
+            drop(rx);
+            assert_eq!(
+                tx.send(8),
+                Err(8),
+                "no deadlock on a full, closed queue ({ring:?})"
+            );
+        }
     }
 
     #[test]
     fn max_depth_tracks_high_water_mark() {
-        let (tx, rx) = channel(16);
-        for i in 0..5 {
-            tx.send(i).unwrap();
+        for ring in both() {
+            let (tx, rx) = channel_with(16, ring);
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            let _ = rx.recv();
+            assert_eq!(rx.stats().max_depth, 5, "{ring:?}");
+            assert_eq!(tx.depth(), 4, "{ring:?}");
         }
-        let _ = rx.recv();
-        assert_eq!(rx.stats().max_depth, 5);
-        assert_eq!(tx.depth(), 4);
+    }
+
+    #[test]
+    fn batched_drain_preserves_order_and_counts() {
+        for ring in both() {
+            let (tx, rx) = channel_with(8, ring);
+            for i in 0..8 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            while rx.recv_batch(&mut buf, 3) {
+                got.append(&mut buf);
+            }
+            assert_eq!(got, (0..8).collect::<Vec<_>>(), "{ring:?}");
+            assert_eq!(rx.stats().recvs, 8, "{ring:?}");
+        }
+    }
+
+    #[test]
+    fn mutex_ablation_reports_no_spins_or_parks() {
+        let (tx, rx) = channel_with(1, RingImpl::Mutex);
+        let producer = thread::spawn(move || {
+            for i in 0..50u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        while rx.recv().is_some() {}
+        producer.join().unwrap();
+        let stats = rx.stats();
+        assert_eq!(stats.spins, 0);
+        assert_eq!(stats.parks, 0);
     }
 
     #[test]

@@ -11,8 +11,19 @@ and fails (exit 1) when the pruning trajectory regresses:
   tolerance (default 1%) — and must stay above the absolute acceptance
   floor (5x) on every measured workload.
 
-Wall-clock columns are host-dependent and are printed for information
-only; they never gate.
+Wall-clock columns in the main table are host-dependent and are printed
+for information only; they never gate. The rows produced by
+`perf_baseline --wall` and the ingest section gate on the *fresh*
+measurements alone:
+
+- `scaling` rows (tagged `speedup_method: "wall"`) gate only when the
+  fresh run's `host_cpus >= 2` — on a single-CPU host every "parallel"
+  configuration time-slices one core and wall ratios are meaningless.
+  On multicore hosts, the fully parallel pipeline must beat the
+  sequential wall at every swept worker count >= 2.
+- `ingest` rows always gate (single-thread decode is not CPU-count
+  dependent): the mapped reader must stay >= INGEST_FLOOR times the
+  seed buffered reader's entries/s.
 
 Usage:
     check_perf_trajectory.py COMMITTED.json FRESH.json [--tolerance 0.01]
@@ -25,10 +36,50 @@ import json
 import sys
 
 RATIO_FLOOR = 5.0
+INGEST_FLOOR = 5.0
 
 
 def rows_by_key(doc):
     return {(r["workload"], r["ops"]): r for r in doc["results"]}
+
+
+def check_scaling(fresh_doc, errors):
+    """Gates the `--wall` multicore rows of the fresh baseline."""
+    rows = fresh_doc.get("scaling", [])
+    host_cpus = fresh_doc.get("host_cpus", 1)
+    gated = host_cpus >= 2
+    if rows and not gated:
+        print(f"scaling: host_cpus={host_cpus}, wall rows are info-only")
+    for r in rows:
+        name = f"{r['workload']} @{r['workers']}w"
+        verdict = f"{r['speedup_wall']:.2f}x"
+        print(
+            f"scaling: {name}: seq {r['sequential_wall_s']:.3f}s, "
+            f"wall {r['parallel_wall_s']:.3f}s ({verdict}, "
+            f"{'gated' if gated and r['workers'] >= 2 else 'info only'})"
+        )
+        if gated and r["workers"] >= 2 and r["parallel_wall_s"] >= r["sequential_wall_s"]:
+            errors.append(
+                f"{name}: parallel wall {r['parallel_wall_s']:.3f}s does not "
+                f"beat sequential {r['sequential_wall_s']:.3f}s on a "
+                f"{host_cpus}-CPU host"
+            )
+
+
+def check_ingest(fresh_doc, errors):
+    """Gates the mapped-over-buffered ingest throughput ratio."""
+    for r in fresh_doc.get("ingest", []):
+        name = f"ingest {r['workload']} (ops={r['ops']})"
+        print(
+            f"{name}: buffered {r['buffered_entries_per_s']:.0f} e/s, "
+            f"mapped {r['mapped_entries_per_s']:.0f} e/s "
+            f"({r['speedup_mapped']:.2f}x, floor {INGEST_FLOOR:.0f}x)"
+        )
+        if r["speedup_mapped"] < INGEST_FLOOR:
+            errors.append(
+                f"{name}: mapped reader only {r['speedup_mapped']:.2f}x the "
+                f"buffered reader (floor {INGEST_FLOOR:.0f}x)"
+            )
 
 
 def main():
@@ -46,7 +97,8 @@ def main():
     with open(args.committed) as f:
         committed = rows_by_key(json.load(f))
     with open(args.fresh) as f:
-        fresh = rows_by_key(json.load(f))
+        fresh_doc = json.load(f)
+    fresh = rows_by_key(fresh_doc)
 
     errors = []
 
@@ -85,6 +137,9 @@ def main():
             f"seq {old['sequential_s']:.3f}->{new['sequential_s']:.3f}s, "
             f"pruned {old['pruned_s']:.3f}->{new['pruned_s']:.3f}s"
         )
+
+    check_scaling(fresh_doc, errors)
+    check_ingest(fresh_doc, errors)
 
     if errors:
         print()

@@ -572,8 +572,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let path = path.ok_or("analyze needs a .xft trace path")?;
     let o = parse_work_opts(&rest)?;
 
-    let file = fs::File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let report = xfstream::analyze_xft(BufReader::new(file), o.cfg.first_read_only)
+    // Zero-copy ingest: the trace is loaded whole and decoded by the
+    // mapped reader (falling back to buffered streaming I/O internally).
+    let report = xfstream::analyze_xft_path(std::path::Path::new(&path), o.cfg.first_read_only)
         .map_err(|e| format!("analyzing {path} failed: {e}"))?;
 
     // `--pruning`: fingerprint the persistence state at every recorded
@@ -821,6 +822,12 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
     let Some(path) = args.iter().find(|a| !a.starts_with('-')) else {
+        println!(
+            "host parallelism: {} (std::thread::available_parallelism)",
+            std::thread::available_parallelism()
+                .map(|n| n.get().to_string())
+                .unwrap_or_else(|_| "unknown".to_owned())
+        );
         println!("workloads:");
         for kind in WorkloadKind::ALL {
             println!(

@@ -244,10 +244,14 @@ fn every_engine_configuration_produces_the_identical_report() {
 fn streaming_pipeline_matches_every_configuration_byte_for_byte() {
     // The pipelined engine (frontend and backend as concurrent stages over
     // the bounded trace FIFO) is a pure transport change: for every
-    // snapshot/dedup configuration, FIFO capacity and recording mode it
-    // must produce the byte-identical report — and the byte-identical
-    // recorded run — of the sequential engine.
-    use xfd::xfstream::{analyze_xft, encode_recorded_run, run_pipelined, StreamOptions};
+    // snapshot/dedup configuration, FIFO capacity, FIFO implementation
+    // (lock-free ring vs the Mutex ablation) and recording mode it must
+    // produce the byte-identical report — and the byte-identical recorded
+    // run — of the sequential engine.
+    use xfd::xfdetector::RingImpl;
+    use xfd::xfstream::{
+        analyze_xft, analyze_xft_path, encode_recorded_run, run_pipelined, StreamOptions,
+    };
 
     for persist_data in [true, false] {
         let w = Publish { persist_data };
@@ -264,44 +268,71 @@ fn streaming_pipeline_matches_every_configuration_byte_for_byte() {
             XfConfig::default(),
         ] {
             for record_trace in [false, true] {
-                let cfg = XfConfig {
-                    record_trace,
-                    ..base.clone()
-                };
-                let seq = XfDetector::new(cfg.clone()).run(w).unwrap();
-                for capacity in [1, 64] {
-                    let pipe = run_pipelined(&cfg, w, &StreamOptions { capacity }).unwrap();
-                    assert_eq!(
-                        report_json(&pipe),
-                        report_json(&seq),
-                        "pipelined run diverged (persist_data={persist_data}, cow={}, \
-                         dedup={}, record={record_trace}, capacity={capacity})",
-                        cfg.cow_snapshots,
-                        cfg.dedup_images
-                    );
-                    assert!(pipe.stats.stream_batches > 0);
-                    assert!(pipe.stats.stream_max_depth as usize <= capacity);
-                    assert_eq!(pipe.stats.failure_points, seq.stats.failure_points);
-                    assert_eq!(pipe.stats.pre_entries, seq.stats.pre_entries);
-                    assert_eq!(pipe.stats.post_entries, seq.stats.post_entries);
-
-                    if record_trace {
-                        let rec_json = |o: &RunOutcome| {
-                            serde_json::to_string(o.recorded.as_ref().unwrap()).unwrap()
-                        };
-                        assert_eq!(rec_json(&pipe), rec_json(&seq));
-                        // Publish's recovery never errors, so the offline
-                        // replay of the recorded trace — via the compact
-                        // .xft encoding — reproduces the full report.
-                        let bytes = encode_recorded_run(pipe.recorded.as_ref().unwrap()).unwrap();
-                        let offline = analyze_xft(&bytes[..], cfg.first_read_only).unwrap();
+                for ring_impl in [RingImpl::LockFree, RingImpl::Mutex] {
+                    let cfg = XfConfig {
+                        record_trace,
+                        ring_impl,
+                        ..base.clone()
+                    };
+                    let seq = XfDetector::new(cfg.clone()).run(w).unwrap();
+                    for capacity in [1, 64] {
+                        let pipe = run_pipelined(&cfg, w, &StreamOptions { capacity }).unwrap();
                         assert_eq!(
-                            serde_json::to_string(&offline).unwrap(),
+                            report_json(&pipe),
                             report_json(&seq),
-                            "offline .xft replay diverged (persist_data={persist_data})"
+                            "pipelined run diverged (persist_data={persist_data}, cow={}, \
+                             dedup={}, record={record_trace}, ring={ring_impl:?}, \
+                             capacity={capacity})",
+                            cfg.cow_snapshots,
+                            cfg.dedup_images
                         );
-                    } else {
-                        assert!(pipe.recorded.is_none());
+                        assert!(pipe.stats.stream_batches > 0);
+                        assert!(pipe.stats.stream_max_depth as usize <= capacity);
+                        assert_eq!(pipe.stats.failure_points, seq.stats.failure_points);
+                        assert_eq!(pipe.stats.pre_entries, seq.stats.pre_entries);
+                        assert_eq!(pipe.stats.post_entries, seq.stats.post_entries);
+                        if ring_impl == RingImpl::Mutex {
+                            assert_eq!(
+                                pipe.stats.ring_spins + pipe.stats.ring_parks,
+                                0,
+                                "the Mutex ablation never spins or parks"
+                            );
+                        }
+
+                        if record_trace {
+                            let rec_json = |o: &RunOutcome| {
+                                serde_json::to_string(o.recorded.as_ref().unwrap()).unwrap()
+                            };
+                            assert_eq!(rec_json(&pipe), rec_json(&seq));
+                            // Publish's recovery never errors, so the offline
+                            // replay of the recorded trace — via the compact
+                            // .xft encoding — reproduces the full report,
+                            // through the streaming ingest path and the
+                            // mapped zero-copy one alike.
+                            let bytes =
+                                encode_recorded_run(pipe.recorded.as_ref().unwrap()).unwrap();
+                            let offline = analyze_xft(&bytes[..], cfg.first_read_only).unwrap();
+                            assert_eq!(
+                                serde_json::to_string(&offline).unwrap(),
+                                report_json(&seq),
+                                "offline .xft replay diverged (persist_data={persist_data})"
+                            );
+                            let mut path = std::env::temp_dir();
+                            path.push(format!(
+                                "xfd-equiv-{}-{persist_data}-{record_trace}-{ring_impl:?}-{capacity}.xft",
+                                std::process::id()
+                            ));
+                            std::fs::write(&path, &bytes).unwrap();
+                            let mapped = analyze_xft_path(&path, cfg.first_read_only).unwrap();
+                            std::fs::remove_file(&path).ok();
+                            assert_eq!(
+                                serde_json::to_string(&mapped).unwrap(),
+                                report_json(&seq),
+                                "mapped .xft replay diverged (persist_data={persist_data})"
+                            );
+                        } else {
+                            assert!(pipe.recorded.is_none());
+                        }
                     }
                 }
             }
@@ -406,12 +437,24 @@ fn pruned_runs_match_exhaustive_byte_for_byte_across_every_engine() {
                 }
 
                 for capacity in [1, 64] {
-                    let pipe = run_pipelined(&cfg, w, &StreamOptions { capacity }).unwrap();
-                    let l = format!("{} capacity={capacity}", label("streaming"));
-                    assert_eq!(report_json(&pipe), expected, "{l}");
-                    assert_accounting(&pipe, &l);
-                    assert_eq!(pipe.stats.classes_total, seq.stats.classes_total, "{l}");
-                    assert_eq!(pipe.stats.fps_pruned, seq.stats.fps_pruned, "{l}");
+                    for ring_impl in [
+                        xfd::xfdetector::RingImpl::LockFree,
+                        xfd::xfdetector::RingImpl::Mutex,
+                    ] {
+                        let scfg = XfConfig {
+                            ring_impl,
+                            ..cfg.clone()
+                        };
+                        let pipe = run_pipelined(&scfg, w, &StreamOptions { capacity }).unwrap();
+                        let l = format!(
+                            "{} capacity={capacity} ring={ring_impl:?}",
+                            label("streaming")
+                        );
+                        assert_eq!(report_json(&pipe), expected, "{l}");
+                        assert_accounting(&pipe, &l);
+                        assert_eq!(pipe.stats.classes_total, seq.stats.classes_total, "{l}");
+                        assert_eq!(pipe.stats.fps_pruned, seq.stats.fps_pruned, "{l}");
+                    }
                 }
             }
         }
