@@ -11,12 +11,12 @@
 //! point).
 
 use xfd_bench::{
-    geo_mean, run_baseline, run_detection, run_detection_with, run_parallel_detection,
-    run_streaming_detection, secs, trace_sizes, Baseline,
+    geo_mean, run_baseline, run_concurrent_detection, run_detection, run_detection_with,
+    run_parallel_detection, run_streaming_detection, secs, trace_sizes, Baseline,
 };
-use xfd_workloads::all_workloads;
 use xfd_workloads::bugs::WorkloadKind;
-use xfdetector::XfConfig;
+use xfd_workloads::{all_workloads, concurrent_workloads};
+use xfdetector::{ScheduleSpec, XfConfig};
 
 fn main() {
     // The paper uses 1 test transaction/query; a few init ops make the
@@ -147,6 +147,35 @@ fn main() {
             stream.ring_parks,
             stream.stream_batches,
         );
+    }
+
+    println!();
+    println!("Concurrent detection: interleaving schedules over the lock-free workloads");
+    println!(
+        "{:<16} {:>8} {:>14} {:>11} {:>10} {:>8} {:>12}",
+        "workload", "threads", "schedule", "#schedules", "time[s]", "#fp", "x-findings"
+    );
+    for kind in concurrent_workloads() {
+        for (threads, schedule, label) in [
+            (1u32, ScheduleSpec::RoundRobin, "rr"),
+            (2, ScheduleSpec::RoundRobin, "rr"),
+            (4, ScheduleSpec::RoundRobin, "rr"),
+            (2, ScheduleSpec::Seeded(1), "seed:1"),
+            (2, ScheduleSpec::Exhaustive(3), "exhaustive:3"),
+        ] {
+            let outcome = run_concurrent_detection(kind, OPS, threads, schedule);
+            let s = &outcome.stats;
+            println!(
+                "{:<16} {:>8} {:>14} {:>11} {:>10} {:>8} {:>12}",
+                kind.to_string(),
+                threads,
+                label,
+                s.schedules_explored,
+                secs(s.total_time),
+                s.failure_points,
+                s.cross_thread_findings,
+            );
+        }
     }
 
     println!();

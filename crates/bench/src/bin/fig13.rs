@@ -6,8 +6,9 @@
 //! cargo run --release -p xfd-bench --bin fig13
 //! ```
 
-use xfd_bench::{run_detection, secs, trace_sizes};
-use xfd_workloads::microbenchmarks;
+use xfd_bench::{run_concurrent_detection, run_detection, secs, trace_sizes};
+use xfd_workloads::{concurrent_workloads, microbenchmarks};
+use xfdetector::ScheduleSpec;
 
 fn main() {
     let sweep = [1u64, 10, 20, 30, 40, 50];
@@ -53,6 +54,33 @@ fn main() {
                 "failure points must grow with the transaction count"
             );
             prev_fp = s.failure_points;
+        }
+        println!();
+    }
+    println!("Schedule-space scalability: exhaustive prefix K over 2 threads");
+    println!(
+        "{:<16} {:>4} {:>12} {:>12} {:>10} {:>12}",
+        "workload", "K", "#schedules", "time[s]", "#fp", "x-findings"
+    );
+    for kind in concurrent_workloads() {
+        let mut prev = 0u64;
+        for k in [1u32, 2, 3] {
+            let outcome = run_concurrent_detection(kind, 2, 2, ScheduleSpec::Exhaustive(k));
+            let s = &outcome.stats;
+            println!(
+                "{:<16} {:>4} {:>12} {:>12} {:>10} {:>12}",
+                kind.to_string(),
+                k,
+                s.schedules_explored,
+                secs(s.total_time),
+                s.failure_points,
+                s.cross_thread_findings,
+            );
+            assert!(
+                s.schedules_explored > prev,
+                "the explored schedule count must grow with the prefix bound"
+            );
+            prev = s.schedules_explored;
         }
         println!();
     }

@@ -8,9 +8,9 @@
 
 use std::collections::BTreeMap;
 
-use xfd_workloads::bugs::{BugId, BugSuite};
-use xfd_workloads::{build_with_bug, validation_config};
-use xfdetector::{BugCategory, XfDetector};
+use xfd_workloads::bugs::{BugId, BugSet, BugSuite};
+use xfd_workloads::{build_concurrent, build_with_bug, validation_config, validation_ops};
+use xfdetector::{BugCategory, Mode, Session, XfDetector};
 
 fn main() {
     // (workload, suite) -> [detected R, detected S, detected P, total]
@@ -20,10 +20,24 @@ fn main() {
     for &bug in BugId::all() {
         // Hanging bugs (expected ExecutionFailure) carry a trace-entry
         // budget in their validation config; everything else runs with
-        // the defaults.
-        let outcome = XfDetector::new(validation_config(bug))
-            .run(build_with_bug(bug))
-            .expect("detection run failed");
+        // the defaults. Concurrent-suite bugs need the two-thread session
+        // path — single-threaded they are invisible by design.
+        let outcome = if bug.suite() == BugSuite::Concurrent {
+            let kind = bug.workload();
+            let w = build_concurrent(kind, validation_ops(kind), BugSet::single(bug))
+                .expect("concurrent-suite bugs live in concurrent workloads");
+            Session::builder()
+                .config(validation_config(bug))
+                .threads(2)
+                .build()
+                .expect("session")
+                .run_concurrent(w, Mode::Batch)
+                .expect("detection run failed")
+        } else {
+            XfDetector::new(validation_config(bug))
+                .run(build_with_bug(bug))
+                .expect("detection run failed")
+        };
         let detected = match bug.expected_category() {
             BugCategory::Race => outcome.report.race_count() > 0,
             BugCategory::Semantic => outcome.report.semantic_count() > 0,
@@ -35,6 +49,7 @@ fn main() {
             BugSuite::PmTest => "PMTest suite",
             BugSuite::Additional => "Additional",
             BugSuite::NewBug => "New bugs",
+            BugSuite::Concurrent => "Concurrent",
         };
         let entry = matrix
             .entry((bug.workload().to_string(), suite))

@@ -9,8 +9,11 @@ use std::time::{Duration, Instant};
 
 use pmem::{PmCtx, PmPool};
 use xfd_workloads::bugs::{BugSet, WorkloadKind};
-use xfd_workloads::build;
-use xfdetector::{RunOutcome, Workload, XfConfig, XfDetector};
+use xfd_workloads::{build, build_concurrent};
+use xfdetector::{
+    Mode, RunOutcome, SchedulePlan, ScheduleSpec, Scheduled, Session, Workload, XfConfig,
+    XfDetector,
+};
 
 /// Runs full detection on `kind` with `ops` pre-failure operations.
 ///
@@ -34,6 +37,31 @@ pub fn run_detection(kind: WorkloadKind, ops: u64) -> RunOutcome {
 pub fn run_detection_with(kind: WorkloadKind, ops: u64, cfg: XfConfig) -> RunOutcome {
     XfDetector::new(cfg)
         .run(build(kind, ops, BugSet::none()))
+        .expect("detection run failed")
+}
+
+/// Runs multi-threaded detection on a concurrent workload
+/// (`treiber_stack` or `ms_queue`) across every plan `schedule` expands to
+/// for `threads` logical threads, bug-free variant of `kind`.
+///
+/// # Panics
+///
+/// Panics if `kind` is not a concurrent workload or the run fails.
+#[must_use]
+pub fn run_concurrent_detection(
+    kind: WorkloadKind,
+    ops: u64,
+    threads: u32,
+    schedule: ScheduleSpec,
+) -> RunOutcome {
+    let w = build_concurrent(kind, ops, BugSet::none())
+        .unwrap_or_else(|| panic!("{kind} is not a concurrent workload"));
+    Session::builder()
+        .threads(threads)
+        .schedule(schedule)
+        .build()
+        .expect("session")
+        .run_concurrent(w, Mode::Batch)
         .expect("detection run failed")
 }
 
@@ -69,6 +97,22 @@ pub fn run_parallel_detection(
         WorkloadKind::Memcached => {
             det.run_parallel(xfd_workloads::memcached::Memcached::new(ops), workers)
         }
+        // The concurrent workloads run their one-thread degeneration here,
+        // exactly as `build` does for the sequential entry points.
+        WorkloadKind::TreiberStack => det.run_parallel(
+            Scheduled::new(
+                xfd_workloads::treiber::TreiberStack::new(ops),
+                SchedulePlan::round_robin(1),
+            ),
+            workers,
+        ),
+        WorkloadKind::MsQueue => det.run_parallel(
+            Scheduled::new(
+                xfd_workloads::msqueue::MsQueue::new(ops),
+                SchedulePlan::round_robin(1),
+            ),
+            workers,
+        ),
     }
     .expect("detection run failed")
 }
@@ -107,6 +151,22 @@ pub fn run_streaming_detection(kind: WorkloadKind, ops: u64, cfg: XfConfig) -> R
         WorkloadKind::Memcached => {
             xfstream::run_pipelined(&cfg, xfd_workloads::memcached::Memcached::new(ops), &opts)
         }
+        WorkloadKind::TreiberStack => xfstream::run_pipelined(
+            &cfg,
+            Scheduled::new(
+                xfd_workloads::treiber::TreiberStack::new(ops),
+                SchedulePlan::round_robin(1),
+            ),
+            &opts,
+        ),
+        WorkloadKind::MsQueue => xfstream::run_pipelined(
+            &cfg,
+            Scheduled::new(
+                xfd_workloads::msqueue::MsQueue::new(ops),
+                SchedulePlan::round_robin(1),
+            ),
+            &opts,
+        ),
     }
     .expect("detection run failed")
 }

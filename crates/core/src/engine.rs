@@ -39,6 +39,10 @@ use crate::stats::RunStats;
 /// Boxed error type returned by workload stages.
 pub type DynError = Box<dyn std::error::Error>;
 
+/// Upper bound on the number of concrete schedule plans one configuration
+/// may expand to (each plan is a full failure-point sweep).
+pub const MAX_SCHEDULE_PLANS: u64 = 4096;
+
 /// Which bounded FIFO implementation the streaming pipeline
 /// (`xfstream::run_pipelined`) uses between its frontend and backend.
 ///
@@ -191,6 +195,19 @@ pub struct XfConfig {
     /// `xfstream::run_pipelined`. Ignored by the sequential and parallel
     /// engines.
     pub ring_impl: RingImpl,
+    /// Number of logical threads a [`ConcurrentWorkload`] is interleaved
+    /// over ([`Session::run_concurrent`]). 1 (the default) runs every role
+    /// sequentially on thread 0 — the classic single-threaded detection.
+    /// Plain [`Workload`]s ignore this axis.
+    ///
+    /// [`ConcurrentWorkload`]: crate::ConcurrentWorkload
+    /// [`Session::run_concurrent`]: crate::Session::run_concurrent
+    pub threads: u32,
+    /// How concurrent pre-failure interleavings are chosen (`rr`, `seed:N`
+    /// or `exhaustive:K`); each expanded [`xfsched::SchedulePlan`] gets its
+    /// own full failure-point sweep and the per-plan reports merge through
+    /// the deduplicating [`DetectionReport`]. Ignored when `threads` is 1.
+    pub schedule: xfsched::ScheduleSpec,
 }
 
 impl Default for XfConfig {
@@ -211,6 +228,8 @@ impl Default for XfConfig {
             post_budget: None,
             pruning: Pruning::Off,
             ring_impl: RingImpl::LockFree,
+            threads: 1,
+            schedule: xfsched::ScheduleSpec::RoundRobin,
         }
     }
 }
@@ -300,6 +319,10 @@ impl XfConfigBuilder {
         pruning: Pruning,
         /// See [`XfConfig::ring_impl`].
         ring_impl: RingImpl,
+        /// See [`XfConfig::threads`].
+        threads: u32,
+        /// See [`XfConfig::schedule`].
+        schedule: xfsched::ScheduleSpec,
     }
 
     /// Validates the configuration and returns it.
@@ -317,6 +340,14 @@ impl XfConfigBuilder {
             if budget.is_unlimited() {
                 return Err(ConfigError::EmptyBudget);
             }
+        }
+        if self.config.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        // Each plan costs a full failure-point sweep: cap the expansion so
+        // `exhaustive:K` typos fail fast instead of launching 4^20 runs.
+        if self.config.schedule.plan_count(self.config.threads) > MAX_SCHEDULE_PLANS {
+            return Err(ConfigError::ScheduleTooLarge);
         }
         self.config.pruning.validate()?;
         Ok(self.config)
@@ -708,7 +739,15 @@ impl EngineHook for EngineState {
         {
             let mut stats = self.stats.borrow_mut();
             stats.ordering_points += 1;
-            if !info.forced && self.config.skip_empty_failure_points && !info.had_pm_mutation {
+            // With multiple threads a fence is itself a state transition —
+            // it drains only its own thread's write-backs and marks foreign
+            // pending bytes cross-thread — so no multi-threaded failure
+            // point is "empty" even without an intervening PM mutation.
+            if !info.forced
+                && self.config.skip_empty_failure_points
+                && !info.had_pm_mutation
+                && self.config.threads <= 1
+            {
                 stats.skipped_empty += 1;
                 return;
             }

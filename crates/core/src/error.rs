@@ -30,6 +30,12 @@ pub enum ConfigError {
     /// A [`Pruning::Sampled`](crate::Pruning::Sampled) audit rate outside
     /// `[0, 1]` (or NaN).
     InvalidSamplingRate,
+    /// `threads` must be at least 1 (thread 0 is the single-threaded
+    /// degenerate case).
+    ZeroThreads,
+    /// The schedule strategy expands to an unreasonable number of concrete
+    /// plans (an `exhaustive:K` bound too large for the thread count).
+    ScheduleTooLarge,
 }
 
 impl fmt::Display for ConfigError {
@@ -46,6 +52,15 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidSamplingRate => {
                 write!(f, "sampled pruning audit rate must lie in [0, 1]")
+            }
+            ConfigError::ZeroThreads => {
+                write!(f, "threads must be at least 1")
+            }
+            ConfigError::ScheduleTooLarge => {
+                write!(
+                    f,
+                    "schedule expands to too many plans (lower the exhaustive bound or thread count)"
+                )
             }
         }
     }

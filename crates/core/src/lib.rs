@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+mod concurrent;
 mod engine;
 mod error;
 pub mod offline;
@@ -51,8 +52,10 @@ mod stats;
 mod xfrun;
 
 pub use arena::{Arena, Span};
+pub use concurrent::{ConcurrentWorkload, Scheduled};
 pub use engine::{
     DynError, EngineError, RingImpl, RunOutcome, Workload, XfConfig, XfConfigBuilder, XfDetector,
+    MAX_SCHEDULE_PLANS,
 };
 pub use error::{ConfigError, XfError};
 pub use prune::{PruneCache, Pruning};
@@ -63,6 +66,7 @@ pub use xfrun::{
     JournalFp, Mode, ObsCounts, ObsHandle, Progress, RunCtl, RunMetrics, Session, SessionBuilder,
     StageMillis, StreamEngine,
 };
+pub use xfsched::{OpSequence, SchedulePlan, ScheduleSpec, StepFn, ThreadProgram};
 
 /// One-stop imports for the session-based API.
 ///
@@ -71,8 +75,9 @@ pub use xfrun::{
 /// ```
 pub mod prelude {
     pub use crate::{
-        BugCategory, BugKind, DetectionReport, DynError, Finding, Mode, Progress, Pruning,
-        RunOutcome, Session, SessionBuilder, Workload, XfConfig, XfError,
+        BugCategory, BugKind, ConcurrentWorkload, DetectionReport, DynError, Finding, Mode,
+        Progress, Pruning, RunOutcome, ScheduleSpec, Session, SessionBuilder, Workload, XfConfig,
+        XfError,
     };
     pub use pmem::{Budget, PmCtx};
 }

@@ -37,6 +37,15 @@ pub struct RecordedRun {
     pub pre: Vec<OwnedTraceEntry>,
     /// The failure points, ordered by `pre_len`.
     pub failure_points: Vec<RecordedFailurePoint>,
+    /// Logical thread count of the recorded pre-failure stage. 0 or 1 both
+    /// mean single-threaded (0 is what pre-concurrency recordings and
+    /// plain-workload runs leave here).
+    pub threads: u32,
+    /// The serialized schedule plan the pre-failure interleaving followed
+    /// (`SchedulePlan` string form, e.g. `t2:0,1,1,0`), or empty for
+    /// single-threaded runs. Carried so a `.xft`/JSON trace is replayable
+    /// evidence: the exact interleaving that exposed a bug travels with it.
+    pub schedule: String,
 }
 
 impl RecordedRun {

@@ -27,6 +27,17 @@ pub enum BugKind {
     /// The post-failure stage read persisted data that violates the crash
     /// consistency mechanism's semantics (§3.2, Equation 3).
     CrossFailureSemantic,
+    /// A cross-failure race whose exposure depends on cross-thread timing:
+    /// the write-back was pending while a fence on a *different* thread
+    /// retired, so whether the data survived the crash depends on which
+    /// thread's ordering point the failure beat. Only reachable from
+    /// multi-threaded pre-failure traces.
+    CrossThreadRace,
+    /// A cross-failure semantic bug where the commit variable was published
+    /// by a different thread than the one that wrote the governed data —
+    /// the commit raced the data writes across threads. Only reachable from
+    /// multi-threaded pre-failure traces.
+    CrossThreadSemantic,
     /// A redundant cache-line write-back (yellow edges of Figure 9).
     RedundantFlush,
     /// The same PM range was added to the same transaction more than once
@@ -54,8 +65,10 @@ impl BugKind {
     #[must_use]
     pub fn category(&self) -> BugCategory {
         match self {
-            BugKind::CrossFailureRace | BugKind::UninitializedRace => BugCategory::Race,
-            BugKind::CrossFailureSemantic => BugCategory::Semantic,
+            BugKind::CrossFailureRace | BugKind::UninitializedRace | BugKind::CrossThreadRace => {
+                BugCategory::Race
+            }
+            BugKind::CrossFailureSemantic | BugKind::CrossThreadSemantic => BugCategory::Semantic,
             BugKind::RedundantFlush | BugKind::DuplicateTxAdd => BugCategory::Performance,
             BugKind::PostFailureError | BugKind::PostFailurePanic | BugKind::BudgetExceeded => {
                 BugCategory::ExecutionFailure
@@ -71,6 +84,8 @@ impl fmt::Display for BugKind {
             BugKind::CrossFailureRace => "cross-failure race",
             BugKind::UninitializedRace => "cross-failure race (uninitialized read)",
             BugKind::CrossFailureSemantic => "cross-failure semantic bug",
+            BugKind::CrossThreadRace => "cross-thread cross-failure race",
+            BugKind::CrossThreadSemantic => "cross-thread cross-failure semantic bug",
             BugKind::RedundantFlush => "performance bug (redundant writeback)",
             BugKind::DuplicateTxAdd => "performance bug (duplicated TX_ADD)",
             BugKind::PostFailureError => "post-failure execution error",
@@ -335,6 +350,11 @@ mod tests {
         assert_eq!(BugKind::UninitializedRace.category(), BugCategory::Race);
         assert_eq!(
             BugKind::CrossFailureSemantic.category(),
+            BugCategory::Semantic
+        );
+        assert_eq!(BugKind::CrossThreadRace.category(), BugCategory::Race);
+        assert_eq!(
+            BugKind::CrossThreadSemantic.category(),
             BugCategory::Semantic
         );
         assert_eq!(BugKind::RedundantFlush.category(), BugCategory::Performance);

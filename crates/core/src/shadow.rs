@@ -75,6 +75,17 @@ struct ByteState {
     /// Source location of the last writer (or the allocation site while
     /// unwritten).
     writer: SourceLoc,
+    /// Thread that issued the last write.
+    writer_tid: u32,
+    /// Thread that issued the write-back moving this byte to
+    /// [`PersistState::WritebackPending`]. Fences drain only their own
+    /// thread's write-backs (an sfence orders the issuing core's stores;
+    /// it says nothing about another core's in-flight write-backs).
+    flusher_tid: u32,
+    /// A fence on a *different* thread ran while this byte's write-back
+    /// was pending: its persistence now depends on cross-thread timing,
+    /// so an exposed read upgrades to a cross-thread finding.
+    xthread: bool,
 }
 
 impl ByteState {
@@ -87,6 +98,9 @@ impl ByteState {
         unprotected_tx_write: false,
         tlast: 0,
         writer: SourceLoc::synthetic("<untracked>"),
+        writer_tid: 0,
+        flusher_tid: 0,
+        xthread: false,
     };
 }
 
@@ -126,13 +140,15 @@ impl Slab {
         m
     }
 
-    /// Moves every byte in `mask` to [`PersistState::WritebackPending`] and
-    /// records them in `pending`.
-    fn mark_writeback_pending(&mut self, mask: u64) {
+    /// Moves every byte in `mask` to [`PersistState::WritebackPending`],
+    /// records them in `pending`, and stamps `tid` as the issuing thread
+    /// (the fence that drains these bytes must come from the same thread).
+    fn mark_writeback_pending(&mut self, mask: u64, tid: u32) {
         let mut bits = mask;
         while bits != 0 {
             let i = bits.trailing_zeros() as usize;
             self.states[i].persist = PersistState::WritebackPending;
+            self.states[i].flusher_tid = tid;
             bits &= bits - 1;
         }
         self.pending |= mask;
@@ -206,6 +222,10 @@ struct CommitVar {
     ranges: Vec<(u64, u64)>,
     last_commit: Option<u32>,
     prelast_commit: Option<u32>,
+    /// Thread that issued the last commit write: governed data written by a
+    /// *different* thread makes an inconsistency a cross-thread semantic
+    /// bug (the commit publication raced the data writes).
+    last_writer_tid: u32,
 }
 
 impl CommitVar {
@@ -557,8 +577,17 @@ impl ShadowPm {
                 | u64::from(st.unprotected_tx_write) << 5
                 | verdict_code << 6
                 | pending_bit << 8
-                | u64::from(self.is_commit_var_byte(b)) << 9;
+                | u64::from(self.is_commit_var_byte(b)) << 9
+                | u64::from(st.xthread) << 10;
             let mut h = fnv_u64(FNV_OFFSET, flags);
+            // Thread facts participate unconditionally: constant (zero) in
+            // single-threaded traces, so classes there are unaffected, but
+            // two crash states differing only in which thread's fence must
+            // still land may report different kinds and must not collapse.
+            h = fnv_u64(
+                h,
+                u64::from(st.writer_tid) << 32 | u64::from(st.flusher_tid),
+            );
             h = fnv_bytes(h, st.writer.file.as_bytes());
             h = fnv_u64(h, u64::from(st.writer.line));
             out.push(h);
@@ -643,10 +672,10 @@ impl ShadowPm {
     pub fn apply_pre(&mut self, e: &TraceEntry, out: &mut DetectionReport) {
         self.entries_replayed += 1;
         match e.op {
-            Op::Write { addr, size } => self.on_write(addr, u64::from(size), e.loc, false),
-            Op::NtWrite { addr, size } => self.on_write(addr, u64::from(size), e.loc, true),
-            Op::Flush { addr, .. } => self.on_flush(addr, e.loc, e.checked, out),
-            Op::Fence { .. } => self.on_fence(),
+            Op::Write { addr, size } => self.on_write(addr, u64::from(size), e.loc, e.tid, false),
+            Op::NtWrite { addr, size } => self.on_write(addr, u64::from(size), e.loc, e.tid, true),
+            Op::Flush { addr, .. } => self.on_flush(addr, e.loc, e.checked, e.tid, out),
+            Op::Fence { .. } => self.on_fence(e.tid),
             Op::Read { .. } => {}
             Op::TxBegin => {
                 self.tx = Some(TxShadow::default());
@@ -668,7 +697,7 @@ impl ShadowPm {
         }
     }
 
-    fn on_write(&mut self, addr: u64, size: u64, loc: SourceLoc, non_temporal: bool) {
+    fn on_write(&mut self, addr: u64, size: u64, loc: SourceLoc, tid: u32, non_temporal: bool) {
         // Commit-write bookkeeping: one commit event per overlapping
         // variable per store (§3.2, the Cx notation).
         let ts = self.ts;
@@ -677,6 +706,7 @@ impl ShadowPm {
             if var.overlaps_own(addr, size) {
                 var.prelast_commit = var.last_commit;
                 var.last_commit = Some(ts);
+                var.last_writer_tid = tid;
                 commit_moved = true;
             }
         }
@@ -728,6 +758,11 @@ impl ShadowPm {
                 st.written = true;
                 st.tlast = ts;
                 st.writer = loc;
+                st.writer_tid = tid;
+                st.xthread = false;
+                if non_temporal {
+                    st.flusher_tid = tid;
+                }
                 if in_tx {
                     st.tx_protected = protected_b;
                     st.unprotected_tx_write = unprotected_tx && !protected_b;
@@ -767,14 +802,21 @@ impl ShadowPm {
                     continue;
                 }
                 let slab = self.slab_mut(li);
-                slab.mark_writeback_pending(modified);
+                slab.mark_writeback_pending(modified, tid);
                 self.pending_lines.insert(li);
                 self.fp_update_line(li);
             }
         }
     }
 
-    fn on_flush(&mut self, addr: u64, loc: SourceLoc, checked: bool, out: &mut DetectionReport) {
+    fn on_flush(
+        &mut self,
+        addr: u64,
+        loc: SourceLoc,
+        checked: bool,
+        tid: u32,
+        out: &mut DetectionReport,
+    ) {
         let li = addr / LINE;
         // Read-only probe first: a redundant flush must not fault the slab.
         let modified = self
@@ -783,7 +825,7 @@ impl ShadowPm {
             .map_or(0u64, |slab| slab.modified_mask());
         if modified != 0 {
             let slab = self.slab_mut(li);
-            slab.mark_writeback_pending(modified);
+            slab.mark_writeback_pending(modified, tid);
             self.pending_lines.insert(li);
         } else if checked {
             // Yellow edges of Figure 9: flushing a line with no modified
@@ -800,18 +842,38 @@ impl ShadowPm {
         }
     }
 
-    fn on_fence(&mut self) {
-        for li in std::mem::take(&mut self.pending_lines) {
+    /// An ordering point on thread `tid`. The fence drains exactly the
+    /// write-backs *its own thread* issued: an sfence orders the issuing
+    /// core's stores and flushes, but guarantees nothing about another
+    /// core's in-flight write-backs. Foreign pending bytes survive the
+    /// fence and are marked [`ByteState::xthread`] — their persistence now
+    /// depends on cross-thread timing, the condition the cross-thread bug
+    /// kinds report. With every operation on thread 0 (the single-threaded
+    /// case) this is exactly the classic drain-everything fence.
+    fn on_fence(&mut self, tid: u32) {
+        let lines: Vec<u64> = self.pending_lines.iter().copied().collect();
+        for li in lines {
             let Some(slab) = self.slab_mut_existing(li) else {
+                self.pending_lines.remove(&li);
                 continue;
             };
             let mut pending = slab.pending;
+            let mut drained = 0u64;
             while pending != 0 {
                 let i = pending.trailing_zeros() as usize;
-                slab.states[i].persist = PersistState::Persisted;
                 pending &= pending - 1;
+                let st = &mut slab.states[i];
+                if st.flusher_tid == tid {
+                    st.persist = PersistState::Persisted;
+                    drained |= 1 << i;
+                } else {
+                    st.xthread = true;
+                }
             }
-            slab.pending = 0;
+            slab.pending &= !drained;
+            if slab.pending == 0 {
+                self.pending_lines.remove(&li);
+            }
             self.fp_update_line(li);
         }
         self.ts += 1;
@@ -963,6 +1025,7 @@ impl ShadowPm {
             ranges: Vec::new(),
             last_commit: None,
             prelast_commit: None,
+            last_writer_tid: 0,
         });
         // Registration changes which bytes are governed (and which are
         // benign commit-variable bytes) everywhere.
@@ -1197,14 +1260,25 @@ impl PostChecker {
                     continue;
                 }
                 if st.persist != PersistState::Persisted {
+                    // A pending byte that survived a *foreign* fence is not
+                    // just unordered with the failure: its persistence
+                    // depends on which thread's fence the crash beat.
+                    let (kind, message) = if st.xthread {
+                        (
+                            BugKind::CrossThreadRace,
+                            Some("write-back persisted only via another thread's fence".to_owned()),
+                        )
+                    } else {
+                        (BugKind::CrossFailureRace, None)
+                    };
                     out.push(Finding {
-                        kind: BugKind::CrossFailureRace,
+                        kind,
                         addr: byte_addr,
                         size: 1,
                         reader: Some(loc),
                         writer: Some(st.writer),
                         failure_point: Some(fp),
-                        message: None,
+                        message,
                     });
                     reported = true;
                     break;
@@ -1218,14 +1292,31 @@ impl PostChecker {
                         *self.checked_reads.entry(li).or_insert(0) =
                             prev | (chunk_mask & mask_through(i));
                     }
+                    // Commit published by one thread, governed data written
+                    // by another: the inconsistency is a cross-thread
+                    // ordering violation, not a single-thread one.
+                    let (kind, message) = match self
+                        .shadow
+                        .governing_var(byte_addr)
+                        .filter(|v| v.last_writer_tid != st.writer_tid)
+                    {
+                        Some(_) => (
+                            BugKind::CrossThreadSemantic,
+                            Some(
+                                "commit variable published by a different thread than the data writer"
+                                    .to_owned(),
+                            ),
+                        ),
+                        None => (BugKind::CrossFailureSemantic, None),
+                    };
                     out.push(Finding {
-                        kind: BugKind::CrossFailureSemantic,
+                        kind,
                         addr: byte_addr,
                         size: 1,
                         reader: Some(loc),
                         writer: Some(st.writer),
                         failure_point: Some(fp),
-                        message: None,
+                        message,
                     });
                     return;
                 }
@@ -2013,6 +2104,165 @@ mod tests {
             rs.ranges,
             vec![(10, 35), (50, 64)],
             "ranges coalesce into sorted disjoint spans"
+        );
+    }
+
+    // --- per-thread fence semantics ----------------------------------------
+
+    fn tentry(op: Op, line: u32, tid: u32) -> TraceEntry {
+        TraceEntry::new(op, loc(line), Stage::Pre, false, true).with_tid(tid)
+    }
+
+    fn twrite(a: u64, s: u32, line: u32, tid: u32) -> TraceEntry {
+        tentry(Op::Write { addr: a, size: s }, line, tid)
+    }
+
+    fn tflush(a: u64, line: u32, tid: u32) -> TraceEntry {
+        tentry(
+            Op::Flush {
+                addr: a,
+                kind: FlushKind::Clwb,
+            },
+            line,
+            tid,
+        )
+    }
+
+    fn tfence(line: u32, tid: u32) -> TraceEntry {
+        tentry(
+            Op::Fence {
+                kind: FenceKind::Sfence,
+            },
+            line,
+            tid,
+        )
+    }
+
+    #[test]
+    fn foreign_fence_does_not_drain_own_writebacks() {
+        // Thread 0 writes and flushes; thread 1 fences. The write-back was
+        // issued by thread 0, so thread 1's fence guarantees nothing.
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[twrite(A, 8, 1, 0), tflush(A, 2, 0), tfence(3, 1)]);
+        assert_eq!(
+            s.persist_state(A),
+            PersistState::WritebackPending,
+            "a foreign fence must not persist another thread's write-back"
+        );
+        // Thread 0's own fence still drains it.
+        let mut out = DetectionReport::new();
+        s.apply_pre(&tfence(4, 0), &mut out);
+        assert_eq!(s.persist_state(A), PersistState::Persisted);
+    }
+
+    #[test]
+    fn read_exposed_by_foreign_fence_is_cross_thread_race() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[twrite(A, 8, 10, 0), tflush(A, 11, 0), tfence(12, 1)],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 20), fp(), &mut out);
+        assert_eq!(out.race_count(), 1, "{out}");
+        assert_eq!(out.findings()[0].kind, BugKind::CrossThreadRace);
+        assert_eq!(out.findings()[0].writer.unwrap().line, 10);
+    }
+
+    #[test]
+    fn unflushed_write_stays_plain_race_across_threads() {
+        // No flush at all: the bug is an ordinary missing-flush race even in
+        // a multi-threaded trace — only a fence *racing a pending
+        // write-back* upgrades the kind.
+        let mut s = ShadowPm::new();
+        let _ = replay(&mut s, &[twrite(A, 8, 1, 0), tfence(2, 1)]);
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 3), fp(), &mut out);
+        assert_eq!(out.findings()[0].kind, BugKind::CrossFailureRace);
+    }
+
+    #[test]
+    fn rewrite_clears_the_cross_thread_mark() {
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                twrite(A, 8, 1, 0),
+                tflush(A, 2, 0),
+                tfence(3, 1), // marks A cross-thread
+                twrite(A, 8, 4, 0),
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(A, 8, 5), fp(), &mut out);
+        assert_eq!(
+            out.findings()[0].kind,
+            BugKind::CrossFailureRace,
+            "a fresh write starts a fresh persistence obligation"
+        );
+    }
+
+    #[test]
+    fn commit_by_other_thread_is_cross_thread_semantic() {
+        // Thread 0 writes the data; thread 1 publishes the commit variable
+        // in the same epoch. The resulting inconsistency is cross-thread.
+        let mut s = ShadowPm::new();
+        let _ = replay(
+            &mut s,
+            &[
+                tentry(
+                    Op::RegisterCommitVar {
+                        addr: 0x110,
+                        size: 4,
+                    },
+                    0,
+                    0,
+                ),
+                twrite(0x100, 8, 1, 0), // data, thread 0
+                twrite(0x110, 4, 2, 1), // commit write, thread 1, same epoch
+                tflush(0x100, 3, 0),
+                tfence(4, 0),
+                tflush(0x110, 5, 1),
+                tfence(6, 1),
+            ],
+        );
+        let mut post = s.begin_post(true);
+        let mut out = DetectionReport::new();
+        post.apply_post(&read(0x100, 8, 7), fp(), &mut out);
+        assert_eq!(out.semantic_count(), 1, "{out}");
+        assert_eq!(out.findings()[0].kind, BugKind::CrossThreadSemantic);
+    }
+
+    #[test]
+    fn all_thread_zero_traces_match_untagged_behavior() {
+        // The uniform per-thread semantics must degenerate exactly to the
+        // classic single-threaded FSM when every entry carries tid 0.
+        let mut a = ShadowPm::new();
+        let mut b = ShadowPm::new();
+        let _ = replay(&mut a, &[write(A, 8, 1), flush(A, 2), fence(3)]);
+        let _ = replay(&mut b, &[twrite(A, 8, 1, 0), tflush(A, 2, 0), tfence(3, 0)]);
+        assert_eq!(a.persist_state(A), b.persist_state(A));
+        assert_eq!(a.fingerprint_from_scratch(), b.fingerprint_from_scratch());
+    }
+
+    #[test]
+    fn cross_thread_state_is_fingerprinted() {
+        let run = |fence_tid: u32| {
+            let mut s = ShadowPm::new();
+            s.enable_fingerprinting();
+            let _ = replay(
+                &mut s,
+                &[twrite(A, 8, 1, 0), tflush(A, 2, 0), tfence(3, fence_tid)],
+            );
+            s.persistence_fingerprint()
+        };
+        assert_ne!(
+            run(0),
+            run(1),
+            "persisted vs foreign-fence-pending must land in different classes"
         );
     }
 }

@@ -94,6 +94,20 @@ pub struct RunStats {
     /// round-robin share — the work the atomic claim index let idle workers
     /// steal from slow ones (zero for sequential and streaming runs).
     pub jobs_stolen: u64,
+    /// Concrete schedule plans explored by a concurrent run
+    /// ([`Session::run_concurrent`]): 1 for `rr`/`seed:N`, `threads^K` for
+    /// `exhaustive:K`, and 0 for plain single-workload runs.
+    ///
+    /// [`Session::run_concurrent`]: crate::Session::run_concurrent
+    pub schedules_explored: u64,
+    /// Findings whose kind is cross-thread
+    /// ([`BugKind::CrossThreadRace`]/[`BugKind::CrossThreadSemantic`]) in
+    /// the final merged report — the bugs only a multi-threaded schedule
+    /// can expose.
+    ///
+    /// [`BugKind::CrossThreadRace`]: crate::BugKind::CrossThreadRace
+    /// [`BugKind::CrossThreadSemantic`]: crate::BugKind::CrossThreadSemantic
+    pub cross_thread_findings: u64,
     /// Bytes retained by the post-trace arena backing the dedup/prune
     /// caches: cache hits replay arena spans instead of cloning whole
     /// per-failure-point trace vectors.
@@ -200,6 +214,8 @@ mod tests {
         assert!(json.contains("ring_parks"), "{json}");
         assert!(json.contains("jobs_stolen"), "{json}");
         assert!(json.contains("arena_bytes"), "{json}");
+        assert!(json.contains("schedules_explored"), "{json}");
+        assert!(json.contains("cross_thread_findings"), "{json}");
     }
 
     #[test]

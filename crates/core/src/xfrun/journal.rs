@@ -79,6 +79,8 @@ fn kind_code(kind: BugKind) -> u8 {
         BugKind::PostFailurePanic => 6,
         BugKind::AnnotationConflict => 7,
         BugKind::BudgetExceeded => 8,
+        BugKind::CrossThreadRace => 9,
+        BugKind::CrossThreadSemantic => 10,
     }
 }
 
@@ -93,6 +95,8 @@ fn kind_from_code(code: u8) -> Option<BugKind> {
         6 => BugKind::PostFailurePanic,
         7 => BugKind::AnnotationConflict,
         8 => BugKind::BudgetExceeded,
+        9 => BugKind::CrossThreadRace,
+        10 => BugKind::CrossThreadSemantic,
         _ => return None,
     })
 }
@@ -110,7 +114,7 @@ pub(crate) fn fingerprint(workload: &str, config: &XfConfig) -> String {
     format!(
         "workload={workload};skip_empty={};first_read_only={};inject_at_completion={};\
          fire_on_every_write={};catch_post_panics={};crash_policy={:?};rng_seed={:#x};\
-         cow_snapshots={};dedup_images={};post_budget={:?}",
+         cow_snapshots={};dedup_images={};post_budget={:?};threads={};schedule={}",
         config.skip_empty_failure_points,
         config.first_read_only,
         config.inject_at_completion,
@@ -121,6 +125,8 @@ pub(crate) fn fingerprint(workload: &str, config: &XfConfig) -> String {
         config.cow_snapshots,
         config.dedup_images,
         config.post_budget,
+        config.threads,
+        config.schedule,
     )
 }
 

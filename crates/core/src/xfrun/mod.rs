@@ -54,10 +54,12 @@ use std::time::Duration;
 use pmem::Budget;
 use xftrace::SourceLoc;
 
-use crate::engine::{RunOutcome, Workload, XfConfig, XfDetector};
+use crate::concurrent::{ConcurrentWorkload, Scheduled};
+use crate::engine::{RunOutcome, Workload, XfConfig, XfDetector, MAX_SCHEDULE_PLANS};
 use crate::error::{ConfigError, XfError};
 use crate::prune::Pruning;
-use crate::report::Finding;
+use crate::report::{BugKind, Finding};
+use crate::stats::RunStats;
 
 pub use journal::JournalFp;
 pub use obs::{ObsCounts, ObsHandle, Progress, RunMetrics, StageMillis};
@@ -262,6 +264,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Logical thread count for [`Session::run_concurrent`] (shorthand for
+    /// setting [`XfConfig::threads`]).
+    #[must_use]
+    pub fn threads(mut self, threads: u32) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Interleaving schedule for [`Session::run_concurrent`] (shorthand
+    /// for setting [`XfConfig::schedule`]).
+    #[must_use]
+    pub fn schedule(mut self, schedule: xfsched::ScheduleSpec) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
     /// Trace-FIFO capacity (in batches) for [`Mode::Stream`].
     #[must_use]
     pub fn stream_capacity(mut self, capacity: usize) -> Self {
@@ -352,6 +370,12 @@ impl SessionBuilder {
             return Err(ConfigError::ZeroStreamCapacity);
         }
         self.config.pruning.validate()?;
+        if self.config.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if self.config.schedule.plan_count(self.config.threads) > MAX_SCHEDULE_PLANS {
+            return Err(ConfigError::ScheduleTooLarge);
+        }
         let workers = if self.workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
@@ -430,6 +454,105 @@ impl Session {
     where
         W: Workload + Send + Sync + 'static,
     {
+        self.run_impl(workload, mode, false)
+    }
+
+    /// Runs a [`ConcurrentWorkload`] across every schedule plan the
+    /// session's [`XfConfig::schedule`] expands to for
+    /// [`XfConfig::threads`] logical threads, merging the per-plan reports.
+    ///
+    /// With a single-plan spec ([`ScheduleSpec::RoundRobin`]) this is
+    /// exactly [`Session::run`] on the pinned [`Scheduled`] workload —
+    /// journal, resume and metrics all apply, and a recorded trace is
+    /// stamped with the thread count and the serialized plan so the
+    /// interleaving travels with the repro artifact. A multi-plan spec
+    /// (`seed:N`, `exhaustive:K`) explores each plan in expansion order:
+    /// the per-plan runs execute journal-less (different plans produce
+    /// different pre-failure traces, so one journal cannot bind to the
+    /// sweep), their reports merge through finding deduplication, and
+    /// `recorded` is `None`.
+    ///
+    /// [`RunStats::schedules_explored`] counts the plans explored and
+    /// [`RunStats::cross_thread_findings`] the merged report's
+    /// cross-thread findings.
+    ///
+    /// [`ScheduleSpec::RoundRobin`]: xfsched::ScheduleSpec::RoundRobin
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run_concurrent<W>(&self, workload: W, mode: Mode) -> Result<RunOutcome, XfError>
+    where
+        W: ConcurrentWorkload + Send + Sync + 'static,
+    {
+        let threads = self.config.threads;
+        let mut plans = self.config.schedule.expand(threads);
+        let shared = Arc::new(workload);
+        if plans.len() == 1 {
+            let plan = plans.pop().expect("one plan");
+            let schedule = plan.to_string();
+            let mut outcome = self.run_impl(Scheduled::from_shared(shared, plan), mode, false)?;
+            if let Some(rec) = outcome.recorded.as_mut() {
+                rec.threads = threads;
+                rec.schedule = schedule;
+            }
+            finish_concurrent_stats(&mut outcome, 1);
+            return Ok(outcome);
+        }
+
+        let total = plans.len() as u64;
+        let mut merged: Option<RunOutcome> = None;
+        for plan in plans {
+            let outcome = self.run_impl(
+                Scheduled::from_shared(Arc::clone(&shared), plan),
+                mode,
+                true,
+            )?;
+            merged = Some(match merged {
+                None => outcome,
+                Some(mut acc) => {
+                    for f in outcome.report.into_findings() {
+                        acc.report.push(f);
+                    }
+                    add_stats(&mut acc.stats, &outcome.stats);
+                    acc
+                }
+            });
+        }
+        let mut outcome = merged.expect("expand yields at least one plan");
+        // A recorded trace is per-interleaving evidence; a multi-plan sweep
+        // has no single interleaving to attach one to.
+        outcome.recorded = None;
+        finish_concurrent_stats(&mut outcome, total);
+        if let Some(path) = &self.metrics_out {
+            let counts = ObsCounts {
+                failure_points_done: outcome.stats.failure_points,
+                post_runs: outcome.stats.post_runs,
+                images_deduped: outcome.stats.images_deduped,
+                fps_pruned: outcome.stats.fps_pruned,
+                journal_skipped: outcome.stats.journal_skipped,
+                budget_exceeded: outcome.stats.budget_exceeded,
+            };
+            let metrics = RunMetrics::new(
+                shared.name(),
+                mode.name(),
+                outcome.report.len() as u64,
+                outcome.report.has_correctness_bugs(),
+                &outcome.stats,
+                counts,
+            );
+            write_json(path, &metrics)?;
+        }
+        Ok(outcome)
+    }
+
+    /// The shared run path. `inner` marks one per-plan run of a multi-plan
+    /// [`Session::run_concurrent`] sweep: the journal and metrics artifacts
+    /// belong to the sweep, not the plan, so an inner run skips both.
+    fn run_impl<W>(&self, workload: W, mode: Mode, inner: bool) -> Result<RunOutcome, XfError>
+    where
+        W: Workload + Send + Sync + 'static,
+    {
         let mut config = self.config.clone();
         if self.record_repro {
             config.record_trace = true;
@@ -440,7 +563,7 @@ impl Session {
         let fingerprint = journal::fingerprint(&workload_name, &config);
         let mut skip = None;
         let mut total_hint = config.max_failure_points;
-        let writer = match &self.journal_path {
+        let writer = match self.journal_path.as_ref().filter(|_| !inner) {
             None => None,
             Some(path) => {
                 if self.resume && path.exists() {
@@ -525,7 +648,7 @@ impl Session {
         // the END record rather than mislead a resume's progress ETA.
         ctl.finish((config.max_failure_points.is_none()).then_some(outcome.stats.failure_points))?;
 
-        if let Some(path) = &self.metrics_out {
+        if let Some(path) = self.metrics_out.as_ref().filter(|_| !inner) {
             let metrics = RunMetrics::new(
                 &workload_name,
                 mode.name(),
@@ -538,6 +661,55 @@ impl Session {
         }
         Ok(outcome)
     }
+}
+
+/// Stamps the concurrency counters on a finished (possibly merged) outcome.
+fn finish_concurrent_stats(outcome: &mut RunOutcome, schedules: u64) {
+    outcome.stats.schedules_explored = schedules;
+    outcome.stats.cross_thread_findings = outcome
+        .report
+        .findings()
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.kind,
+                BugKind::CrossThreadRace | BugKind::CrossThreadSemantic
+            )
+        })
+        .count() as u64;
+}
+
+/// Accumulates one per-plan run's counters into the sweep totals. Counters
+/// sum, high-water marks take the max, and the pruning ratio is re-derived
+/// from the summed split.
+fn add_stats(acc: &mut RunStats, o: &RunStats) {
+    acc.ordering_points += o.ordering_points;
+    acc.failure_points += o.failure_points;
+    acc.skipped_empty += o.skipped_empty;
+    acc.post_runs += o.post_runs;
+    acc.images_deduped += o.images_deduped;
+    acc.journal_skipped += o.journal_skipped;
+    acc.budget_exceeded += o.budget_exceeded;
+    acc.snapshot_bytes_copied += o.snapshot_bytes_copied;
+    acc.pre_entries += o.pre_entries;
+    acc.post_entries += o.post_entries;
+    acc.shadow_bytes_cloned += o.shadow_bytes_cloned;
+    acc.shadow_resident_bytes += o.shadow_resident_bytes;
+    acc.checks_parallelized += o.checks_parallelized;
+    acc.stream_batches += o.stream_batches;
+    acc.stream_max_depth = acc.stream_max_depth.max(o.stream_max_depth);
+    acc.stream_stall_time += o.stream_stall_time;
+    acc.ring_spins += o.ring_spins;
+    acc.ring_parks += o.ring_parks;
+    acc.jobs_stolen += o.jobs_stolen;
+    acc.arena_bytes += o.arena_bytes;
+    acc.total_time += o.total_time;
+    acc.post_exec_time += o.post_exec_time;
+    acc.detect_time += o.detect_time;
+    acc.check_time += o.check_time;
+    let classes = acc.classes_total + o.classes_total;
+    let pruned = acc.fps_pruned + o.fps_pruned;
+    acc.finish_pruning(classes, pruned);
 }
 
 fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), XfError> {
@@ -723,5 +895,117 @@ mod tests {
         let session = Session::builder().record_repro(true).build().unwrap();
         let outcome = session.run(Racy, Mode::Batch).unwrap();
         assert!(outcome.recorded.is_some());
+    }
+
+    /// Two roles: an unfenced writer and a fencer. Whether the write
+    /// persists depends on whose fence runs after the flush — schedule
+    /// dependent, which is what `run_concurrent` sweeps.
+    struct RacyRoles;
+
+    impl ConcurrentWorkload for RacyRoles {
+        fn name(&self) -> &str {
+            "racy-roles"
+        }
+        fn pool_size(&self) -> u64 {
+            64 * 1024
+        }
+        fn setup(&self, _ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            Ok(())
+        }
+        fn roles(&self, base: u64) -> Vec<Box<dyn xfsched::ThreadProgram>> {
+            let a = base + 128;
+            vec![
+                Box::new(xfsched::OpSequence::new(vec![
+                    Box::new(move |c: &mut PmCtx| {
+                        c.write_u64(a, 7)?;
+                        Ok(())
+                    }),
+                    Box::new(move |c: &mut PmCtx| {
+                        c.clwb(a)?;
+                        Ok(())
+                    }),
+                ])),
+                Box::new(xfsched::OpSequence::new(vec![Box::new(
+                    move |c: &mut PmCtx| {
+                        c.sfence();
+                        Ok(())
+                    },
+                )])),
+            ]
+        }
+        fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), crate::DynError> {
+            let _ = ctx.read_u64(ctx.pool().base() + 128)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn run_concurrent_single_plan_stamps_the_recording() {
+        let session = Session::builder()
+            .threads(2)
+            .record_repro(true)
+            .build()
+            .unwrap();
+        let outcome = session.run_concurrent(RacyRoles, Mode::Batch).unwrap();
+        assert_eq!(outcome.stats.schedules_explored, 1);
+        let rec = outcome.recorded.expect("trace recorded");
+        assert_eq!(rec.threads, 2);
+        assert_eq!(rec.schedule, "t2:rr");
+    }
+
+    #[test]
+    fn run_concurrent_exhaustive_merges_and_counts_cross_thread_findings() {
+        let spec: crate::ScheduleSpec = "exhaustive:3".parse().unwrap();
+        let session = Session::builder()
+            .threads(2)
+            .schedule(spec)
+            .build()
+            .unwrap();
+        let outcome = session.run_concurrent(RacyRoles, Mode::Batch).unwrap();
+        assert_eq!(outcome.stats.schedules_explored, 8);
+        assert!(outcome.recorded.is_none(), "no single plan to record");
+        // The [0,0,1] prefix orders write, clwb, foreign fence — the
+        // cross-thread race must survive into the merged report.
+        assert!(
+            outcome.stats.cross_thread_findings >= 1,
+            "{}",
+            outcome.report
+        );
+        assert!(outcome
+            .report
+            .findings()
+            .iter()
+            .any(|f| f.kind == crate::BugKind::CrossThreadRace));
+    }
+
+    #[test]
+    fn run_concurrent_is_deterministic_across_repeats() {
+        let spec: crate::ScheduleSpec = "seed:42".parse().unwrap();
+        let mk = || {
+            Session::builder()
+                .threads(2)
+                .schedule(spec)
+                .build()
+                .unwrap()
+                .run_concurrent(RacyRoles, Mode::Batch)
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(report_json(&a), report_json(&b));
+        assert_eq!(a.stats.schedules_explored, 1);
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads_and_oversized_schedules() {
+        assert!(matches!(
+            Session::builder().threads(0).build(),
+            Err(ConfigError::ZeroThreads)
+        ));
+        let spec: crate::ScheduleSpec = "exhaustive:16".parse().unwrap();
+        assert!(matches!(
+            Session::builder().threads(4).schedule(spec).build(),
+            Err(ConfigError::ScheduleTooLarge)
+        ));
     }
 }

@@ -75,6 +75,7 @@ pub struct PmCtx {
     ordering_point_count: u64,
     in_hook: bool,
     fire_on_writes: bool,
+    current_tid: u32,
     tracing: bool,
     budget: Option<crate::budget::ArmedBudget>,
 }
@@ -104,6 +105,7 @@ impl PmCtx {
             ordering_point_count: 0,
             in_hook: false,
             fire_on_writes: false,
+            current_tid: 0,
             tracing: true,
             budget: None,
         }
@@ -183,6 +185,7 @@ impl PmCtx {
             ordering_point_count: 0,
             in_hook: false,
             fire_on_writes: false,
+            current_tid: 0,
             tracing: true,
             budget: None,
         }
@@ -281,6 +284,21 @@ impl PmCtx {
     /// Ends a [`PmCtx::skip_detection_begin`] region.
     pub fn skip_detection_end(&mut self) {
         self.skip_detection_depth = self.skip_detection_depth.saturating_sub(1);
+    }
+
+    /// Switches the logical thread id stamped on subsequent trace entries.
+    ///
+    /// The cooperative interleaving scheduler calls this before every step
+    /// it hands to a thread; everything else (including every post-failure
+    /// context, which recovers single-threaded) stays on thread 0.
+    pub fn set_current_thread(&mut self, tid: u32) {
+        self.current_tid = tid;
+    }
+
+    /// The logical thread id currently stamped on trace entries.
+    #[must_use]
+    pub fn current_thread(&self) -> u32 {
+        self.current_tid
     }
 
     /// Enters a trusted PM-library internal region; see [`InternalScope`].
@@ -382,8 +400,9 @@ impl PmCtx {
         }
         let internal = self.internal_depth.get() > 0;
         let checked = self.roi && self.skip_detection_depth == 0 && !internal;
-        self.trace
-            .record(TraceEntry::new(op, loc, self.stage, internal, checked));
+        self.trace.record(
+            TraceEntry::new(op, loc, self.stage, internal, checked).with_tid(self.current_tid),
+        );
     }
 
     // ---- memory operations -------------------------------------------------

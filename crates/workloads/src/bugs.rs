@@ -36,11 +36,17 @@ pub enum WorkloadKind {
     Redis,
     /// The PM-optimized mini-Memcached.
     Memcached,
+    /// The lock-free Treiber stack (concurrent, multi-threaded pre-failure).
+    TreiberStack,
+    /// The lock-free Michael–Scott queue (concurrent, multi-threaded
+    /// pre-failure).
+    MsQueue,
 }
 
 impl WorkloadKind {
-    /// All seven kinds, in the paper's order (Table 4 / Figure 12).
-    pub const ALL: [WorkloadKind; 7] = [
+    /// All nine kinds: the paper's seven (Table 4 / Figure 12) followed by
+    /// the two lock-free concurrent workloads.
+    pub const ALL: [WorkloadKind; 9] = [
         WorkloadKind::Btree,
         WorkloadKind::Ctree,
         WorkloadKind::Rbtree,
@@ -48,6 +54,8 @@ impl WorkloadKind {
         WorkloadKind::HashmapAtomic,
         WorkloadKind::Memcached,
         WorkloadKind::Redis,
+        WorkloadKind::TreiberStack,
+        WorkloadKind::MsQueue,
     ];
 
     /// Stable machine-readable name, as accepted by the `xfd` CLI and
@@ -62,7 +70,16 @@ impl WorkloadKind {
             WorkloadKind::HashmapAtomic => "hashmap_atomic",
             WorkloadKind::Redis => "redis",
             WorkloadKind::Memcached => "memcached",
+            WorkloadKind::TreiberStack => "treiber_stack",
+            WorkloadKind::MsQueue => "ms_queue",
         }
+    }
+
+    /// Whether the workload's pre-failure stage is multi-threaded (built via
+    /// [`crate::build_concurrent`] rather than [`crate::build`]).
+    #[must_use]
+    pub fn is_concurrent(&self) -> bool {
+        matches!(self, WorkloadKind::TreiberStack | WorkloadKind::MsQueue)
     }
 }
 
@@ -76,6 +93,8 @@ impl fmt::Display for WorkloadKind {
             WorkloadKind::HashmapAtomic => "Hashmap-Atomic",
             WorkloadKind::Redis => "Redis",
             WorkloadKind::Memcached => "Memcached",
+            WorkloadKind::TreiberStack => "Treiber-Stack",
+            WorkloadKind::MsQueue => "MS-Queue",
         };
         f.write_str(s)
     }
@@ -121,6 +140,10 @@ pub enum BugSuite {
     Additional,
     /// The four previously unknown bugs XFDetector found (§6.3.2).
     NewBug,
+    /// Bugs in the lock-free concurrent workloads (beyond the paper's
+    /// single-threaded matrix); the cross-thread ones are detectable only
+    /// with `threads >= 2`.
+    Concurrent,
 }
 
 macro_rules! bug_ids {
@@ -320,6 +343,22 @@ bug_ids! {
     /// iteration reads PM, so the trace-entry watchdog interrupts it and
     /// the hang surfaces as a `BudgetExceeded` finding.
     HaHangRecoveryLoop => (HashmapAtomic, NewBug, ExecutionFailure, "recovery spins on count_dirty that no surviving thread will ever clear"),
+
+    // ---- Concurrent (lock-free) workloads ----------------------------------
+    /// The `top` publication runs on the helper thread: whether the node is
+    /// persistent at the crash depends on which thread's fence retired
+    /// first. Invisible single-threaded; a cross-thread race with 2+.
+    TsPublishOnHelper => (TreiberStack, Concurrent, Race, "top published by the helper thread while the node may still be write-back pending"),
+    /// The node write-back is omitted before publication — an ordinary
+    /// cross-failure race, detectable single-threaded.
+    TsNoFlushNode => (TreiberStack, Concurrent, Race, "node not flushed before publishing top"),
+    /// The `tail` commit runs on the dequeuer thread: the value can be
+    /// committed by a foreign thread outside its consistency window.
+    /// Invisible single-threaded; a cross-thread semantic bug with 2+.
+    MsTailPublishOnDequeuer => (MsQueue, Concurrent, Race, "tail committed by the dequeuer thread while the enqueuer's node is mid-update"),
+    /// The predecessor-link write-back is omitted — an ordinary
+    /// cross-failure race, detectable single-threaded.
+    MsNoFlushLink => (MsQueue, Concurrent, Race, "predecessor next-link not flushed before the tail swing"),
 }
 
 impl fmt::Display for BugId {
@@ -470,8 +509,33 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_sixty_one_bugs() {
-        assert_eq!(BugId::all().len(), 61);
+    fn registry_has_sixty_five_bugs() {
+        assert_eq!(BugId::all().len(), 65);
+    }
+
+    /// The concurrent suite: two bugs per lock-free workload, one of which
+    /// is multi-thread-only by design.
+    #[test]
+    fn concurrent_suite_counts() {
+        use BugCategory::Race;
+        use BugSuite::Concurrent;
+        use WorkloadKind::{MsQueue, TreiberStack};
+
+        assert_eq!(count(TreiberStack, Concurrent, Race), 2);
+        assert_eq!(count(MsQueue, Concurrent, Race), 2);
+        assert_eq!(
+            BugId::all()
+                .iter()
+                .filter(|b| b.suite() == Concurrent)
+                .count(),
+            4
+        );
+        for b in BugId::all().iter().filter(|b| b.suite() == Concurrent) {
+            assert!(b.workload().is_concurrent(), "{b:?}");
+        }
+        for b in BugId::all().iter().filter(|b| b.suite() != Concurrent) {
+            assert!(!b.workload().is_concurrent(), "{b:?}");
+        }
     }
 
     #[test]

@@ -28,12 +28,14 @@ pub mod ctree;
 pub mod hashmap_atomic;
 pub mod hashmap_tx;
 pub mod memcached;
+pub mod msqueue;
 pub mod rbtree;
 pub mod redis;
+pub mod treiber;
 
 use bugs::{BugId, BugSet, WorkloadKind};
 use pmem::Budget;
-use xfdetector::{BugCategory, Workload, XfConfig};
+use xfdetector::{BugCategory, ConcurrentWorkload, SchedulePlan, Scheduled, Workload, XfConfig};
 
 /// Builds a workload of the given kind with `ops` operations and the given
 /// injected bugs.
@@ -78,6 +80,36 @@ pub fn build_with_init(
         ),
         WorkloadKind::Redis => Box::new(redis::Redis::new(ops).with_init(init).with_bugs(bugs)),
         WorkloadKind::Memcached => Box::new(memcached::Memcached::new(ops).with_init(init)),
+        // Concurrent workloads degenerate to the sequential single-thread
+        // schedule when built through the plain `Workload` interface; use
+        // `build_concurrent` + `Session::run_concurrent` for real
+        // interleavings.
+        WorkloadKind::TreiberStack => Box::new(Scheduled::new(
+            treiber::TreiberStack::new(ops).with_bugs(bugs),
+            SchedulePlan::round_robin(1),
+        )),
+        WorkloadKind::MsQueue => Box::new(Scheduled::new(
+            msqueue::MsQueue::new(ops).with_bugs(bugs),
+            SchedulePlan::round_robin(1),
+        )),
+    }
+}
+
+/// Builds a concurrent (multi-threaded pre-failure) workload of the given
+/// kind, or `None` if `kind` is one of the paper's sequential workloads.
+/// Pass the result to [`xfdetector::Session::run_concurrent`].
+#[must_use]
+pub fn build_concurrent(
+    kind: WorkloadKind,
+    ops: u64,
+    bugs: BugSet,
+) -> Option<Box<dyn ConcurrentWorkload + Send + Sync>> {
+    match kind {
+        WorkloadKind::TreiberStack => {
+            Some(Box::new(treiber::TreiberStack::new(ops).with_bugs(bugs)))
+        }
+        WorkloadKind::MsQueue => Some(Box::new(msqueue::MsQueue::new(ops).with_bugs(bugs))),
+        _ => None,
     }
 }
 
@@ -93,6 +125,7 @@ pub fn validation_ops(kind: WorkloadKind) -> u64 {
         WorkloadKind::HashmapAtomic => 8,
         WorkloadKind::Redis => 5,
         WorkloadKind::Memcached => 6,
+        WorkloadKind::TreiberStack | WorkloadKind::MsQueue => 2,
     }
 }
 
@@ -140,6 +173,13 @@ pub fn all_workloads() -> Vec<WorkloadKind> {
     v
 }
 
+/// The lock-free concurrent workloads (multi-threaded pre-failure stages;
+/// not part of the paper's Table 4 matrix).
+#[must_use]
+pub fn concurrent_workloads() -> Vec<WorkloadKind> {
+    vec![WorkloadKind::TreiberStack, WorkloadKind::MsQueue]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +197,25 @@ mod tests {
     fn workload_lists_match_the_paper() {
         assert_eq!(microbenchmarks().len(), 5);
         assert_eq!(all_workloads().len(), 7);
+        assert!(all_workloads().iter().all(|k| !k.is_concurrent()));
+        assert_eq!(concurrent_workloads().len(), 2);
+        assert!(concurrent_workloads().iter().all(|k| k.is_concurrent()));
+    }
+
+    #[test]
+    fn build_concurrent_covers_exactly_the_concurrent_kinds() {
+        for kind in WorkloadKind::ALL {
+            let built = build_concurrent(kind, 2, BugSet::none());
+            assert_eq!(built.is_some(), kind.is_concurrent(), "{kind:?}");
+            if let Some(w) = built {
+                assert_eq!(w.name(), kind.slug());
+            }
+        }
+        // Concurrent kinds also build through the sequential interface (as
+        // the single-thread degenerate schedule) for the generic harnesses.
+        for kind in concurrent_workloads() {
+            let w = build(kind, 2, BugSet::none());
+            assert_eq!(w.name(), kind.slug());
+        }
     }
 }

@@ -25,9 +25,9 @@ use std::path::PathBuf;
 use xfdetector::offline::{analyze, RecordedRun};
 use xfdetector::{BugCategory, BugKind, DetectionReport, Finding, Mode, Pruning, Session, XfError};
 
-use crate::gen::generate;
+use crate::gen::{generate, generate_concurrent};
 use crate::oracle::oracle_report;
-use crate::program::FuzzProgram;
+use crate::program::{ConcurrentFuzzProgram, FuzzOp, FuzzProgram};
 
 /// A deliberately injected engine defect, for validating that the harness
 /// actually catches and shrinks divergences. Test/CI-only: a real campaign
@@ -67,6 +67,13 @@ pub struct DiffConfig {
     pub pruning: Pruning,
     /// Injected engine defect (tests/CI only).
     pub fault: EngineFault,
+    /// Logical thread count. 1 (the default) runs the sequential campaign;
+    /// above 1 the campaign generates [`ConcurrentFuzzProgram`]s and runs
+    /// them through [`Session::run_concurrent`] on every engine (see
+    /// [`run_concurrent_campaign`]).
+    ///
+    /// [`Session::run_concurrent`]: xfdetector::Session::run_concurrent
+    pub threads: u32,
 }
 
 impl Default for DiffConfig {
@@ -80,7 +87,44 @@ impl Default for DiffConfig {
             budget_entries: Some(100_000),
             pruning: Pruning::Off,
             fault: EngineFault::None,
+            threads: 1,
         }
+    }
+}
+
+/// The campaign-facing surface shared by the two fuzz-program shapes —
+/// what the driver needs for digests, repro bundles and reporting without
+/// caring which shape it is running.
+pub trait FuzzSource {
+    /// Stable program name (bundle directory, report headers).
+    fn source_name(&self) -> &str;
+    /// Total op count, across all threads for concurrent programs.
+    fn op_count(&self) -> usize;
+    /// The stable `.fuzz` text form (digest input, repro files).
+    fn text(&self) -> String;
+}
+
+impl FuzzSource for FuzzProgram {
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+    fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+    fn text(&self) -> String {
+        self.to_text()
+    }
+}
+
+impl FuzzSource for ConcurrentFuzzProgram {
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+    fn op_count(&self) -> usize {
+        self.op_count()
+    }
+    fn text(&self) -> String {
+        self.to_text()
     }
 }
 
@@ -107,26 +151,28 @@ pub struct CheckOutcome {
     pub divergence: Option<DivergenceInfo>,
 }
 
-/// A diverging program, optionally minimized.
+/// A diverging program, optionally minimized. `P` is the program shape:
+/// [`FuzzProgram`] for sequential campaigns, [`ConcurrentFuzzProgram`] for
+/// multi-threaded ones.
 #[derive(Debug)]
-pub struct Divergence {
+pub struct Divergence<P = FuzzProgram> {
     /// Iteration that produced the program.
     pub iter: u64,
     /// The failed comparison and both sides.
     pub info: DivergenceInfo,
     /// The generated program.
-    pub program: FuzzProgram,
+    pub program: P,
     /// The delta-debugged minimal program (when shrinking ran).
-    pub minimized: Option<FuzzProgram>,
+    pub minimized: Option<P>,
 }
 
 /// Campaign summary.
 #[derive(Debug)]
-pub struct CampaignOutcome {
+pub struct CampaignOutcome<P = FuzzProgram> {
     /// Programs generated and checked.
     pub programs_checked: u64,
     /// Diverging programs, in iteration order.
-    pub divergences: Vec<Divergence>,
+    pub divergences: Vec<Divergence<P>>,
     /// FNV-1a digest over every program text and Batch report, in
     /// iteration order. Bit-reproducibility contract: the same `(seed,
     /// iters, max_ops)` yields the same digest on every run.
@@ -167,11 +213,12 @@ fn apply_fault(report: DetectionReport, fault: EngineFault) -> DetectionReport {
     }
 }
 
-fn session(cfg: &DiffConfig) -> Result<Session, XfError> {
+fn session(cfg: &DiffConfig, threads: u32) -> Result<Session, XfError> {
     let mut builder = xfstream::session()
         .record_repro(true)
         .workers(2)
-        .pruning(cfg.pruning);
+        .pruning(cfg.pruning)
+        .threads(threads);
     if let Some(entries) = cfg.budget_entries {
         builder = builder.budget(pmem::Budget::default().with_max_trace_entries(entries));
     }
@@ -187,7 +234,7 @@ fn session(cfg: &DiffConfig) -> Result<Session, XfError> {
 /// generated program is an infrastructure failure, distinct from a report
 /// divergence.
 pub fn check_program(program: &FuzzProgram, cfg: &DiffConfig) -> Result<CheckOutcome, XfError> {
-    let session = session(cfg)?;
+    let session = session(cfg, 1)?;
     let batch = session.run(program.clone(), Mode::Batch)?;
     let parallel = session.run(program.clone(), Mode::Parallel)?;
     let stream = session.run(program.clone(), Mode::Stream)?;
@@ -235,6 +282,67 @@ pub fn check_program(program: &FuzzProgram, cfg: &DiffConfig) -> Result<CheckOut
                 right: replayed,
             })
         }
+    };
+
+    Ok(CheckOutcome {
+        batch_json,
+        recorded,
+        divergence,
+    })
+}
+
+/// [`check_program`] for a concurrent program: every engine runs it
+/// through [`Session::run_concurrent`](xfdetector::Session::run_concurrent)
+/// under the session's round-robin schedule, and the engine-equivalence
+/// and online/offline-parity comparisons must hold. The oracle-parity
+/// check is skipped — the per-byte oracle models the paper's
+/// single-threaded semantics and knows nothing of thread ids, while the
+/// production offline backend replays the tid-stamped trace exactly.
+///
+/// # Errors
+///
+/// As [`check_program`].
+pub fn check_concurrent_program(
+    program: &ConcurrentFuzzProgram,
+    cfg: &DiffConfig,
+) -> Result<CheckOutcome, XfError> {
+    let session = session(cfg, program.threads.len() as u32)?;
+    let batch = session.run_concurrent(program.clone(), Mode::Batch)?;
+    let parallel = session.run_concurrent(program.clone(), Mode::Parallel)?;
+    let stream = session.run_concurrent(program.clone(), Mode::Stream)?;
+
+    let recorded = batch
+        .recorded
+        .clone()
+        .expect("record_repro implies a recorded run");
+    let first_read_only = session.config().first_read_only;
+
+    let batch_json = serde_json::to_string(&batch.report).expect("report serializes");
+    let parallel_report = apply_fault(parallel.report, cfg.fault);
+    let parallel_json = serde_json::to_string(&parallel_report).expect("report serializes");
+    let stream_json = serde_json::to_string(&stream.report).expect("report serializes");
+
+    let divergence = if parallel_json != batch_json {
+        Some(DivergenceInfo {
+            check: "engine-equivalence",
+            left: batch_json.clone(),
+            right: parallel_json,
+        })
+    } else if stream_json != batch_json {
+        Some(DivergenceInfo {
+            check: "engine-equivalence",
+            left: batch_json.clone(),
+            right: stream_json,
+        })
+    } else {
+        let offline = analyze(&recorded, first_read_only);
+        let online = format!("{:?}", trace_derived(&batch.report));
+        let replayed = format!("{:?}", offline.findings().iter().collect::<Vec<_>>());
+        (online != replayed).then_some(DivergenceInfo {
+            check: "online-offline-parity",
+            left: online,
+            right: replayed,
+        })
     };
 
     Ok(CheckOutcome {
@@ -309,17 +417,89 @@ pub fn shrink_program(
     })
 }
 
-fn write_repro(
+/// [`shrink_program`] over a concurrent program: the same ddmin, run on
+/// the flattened `(thread, op)` list in thread-major order, so candidate
+/// removal can drop ops from any thread while preserving each thread's
+/// internal order. The concurrent-safe subset is unconditionally valid, so
+/// every candidate is a runnable program.
+///
+/// # Errors
+///
+/// Propagates engine [`XfError`]s from candidate evaluations.
+pub fn shrink_concurrent_program(
+    program: &ConcurrentFuzzProgram,
+    cfg: &DiffConfig,
+    check: &'static str,
+) -> Result<ConcurrentFuzzProgram, XfError> {
+    let n_threads = program.threads.len();
+    let rebuild = |flat: &[(usize, FuzzOp)]| {
+        let mut threads = vec![Vec::new(); n_threads];
+        for &(t, op) in flat {
+            threads[t].push(op);
+        }
+        threads
+    };
+    let mut flat: Vec<(usize, FuzzOp)> = program
+        .threads
+        .iter()
+        .enumerate()
+        .flat_map(|(t, ops)| ops.iter().map(move |&op| (t, op)))
+        .collect();
+    let mut evals = 0usize;
+    let mut chunk = flat.len().div_ceil(2).max(1);
+
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < flat.len() && evals < MAX_SHRINK_EVALS {
+            let end = (i + chunk).min(flat.len());
+            let mut cand_flat = Vec::with_capacity(flat.len() - (end - i));
+            cand_flat.extend_from_slice(&flat[..i]);
+            cand_flat.extend_from_slice(&flat[end..]);
+            if cand_flat.is_empty() {
+                i = end;
+                continue;
+            }
+            let cand = ConcurrentFuzzProgram {
+                name: program.name.clone(),
+                threads: rebuild(&cand_flat),
+            };
+            evals += 1;
+            let still_fails = check_concurrent_program(&cand, cfg)?
+                .divergence
+                .is_some_and(|d| d.check == check);
+            if still_fails {
+                flat = cand_flat;
+                removed = true;
+            } else {
+                i = end;
+            }
+        }
+        if evals >= MAX_SHRINK_EVALS || (chunk == 1 && !removed) {
+            break;
+        }
+        if chunk > 1 {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    Ok(ConcurrentFuzzProgram {
+        name: format!("{}-min", program.name),
+        threads: rebuild(&flat),
+    })
+}
+
+fn write_repro<P: FuzzSource>(
     dir: &std::path::Path,
-    div: &Divergence,
+    div: &Divergence<P>,
     recorded: &RecordedRun,
     min_recorded: Option<&RecordedRun>,
 ) -> std::io::Result<()> {
-    let bundle = dir.join(&div.program.name);
+    let bundle = dir.join(div.program.source_name());
     std::fs::create_dir_all(&bundle)?;
-    std::fs::write(bundle.join("program.fuzz"), div.program.to_text())?;
+    std::fs::write(bundle.join("program.fuzz"), div.program.text())?;
     if let Some(min) = &div.minimized {
-        std::fs::write(bundle.join("minimized.fuzz"), min.to_text())?;
+        std::fs::write(bundle.join("minimized.fuzz"), min.text())?;
     }
     let repro = min_recorded.unwrap_or(recorded);
     let bytes = xfstream::encode_recorded_run(repro)
@@ -335,43 +515,39 @@ fn write_repro(
     Ok(())
 }
 
-/// Runs a full campaign: generate, check, shrink, write repros.
-///
-/// # Errors
-///
-/// Engine [`XfError`]s and corpus-directory I/O failures.
-pub fn run_campaign(cfg: &DiffConfig) -> Result<CampaignOutcome, XfError> {
-    run_campaign_with(cfg, |_, _| {})
-}
-
-/// [`run_campaign`] with a per-iteration progress callback
-/// `(iter, diverged)`.
-///
-/// # Errors
-///
-/// As [`run_campaign`].
-pub fn run_campaign_with<F>(cfg: &DiffConfig, mut progress: F) -> Result<CampaignOutcome, XfError>
+/// The shared campaign loop: `gen_one` produces the iteration's program,
+/// `check` runs the differential comparisons, `shrink` minimizes a
+/// diverging program. Digests fold each program's text and Batch report in
+/// iteration order, identically for both shapes.
+fn campaign_loop<P, F>(
+    cfg: &DiffConfig,
+    mut progress: F,
+    gen_one: impl Fn(u64) -> P,
+    check: impl Fn(&P, &DiffConfig) -> Result<CheckOutcome, XfError>,
+    shrink: impl Fn(&P, &DiffConfig, &'static str) -> Result<P, XfError>,
+) -> Result<CampaignOutcome<P>, XfError>
 where
+    P: FuzzSource,
     F: FnMut(u64, bool),
 {
     let mut digest = FNV_OFFSET;
     let mut divergences = Vec::new();
 
     for iter in 0..cfg.iters {
-        let program = generate(cfg.seed, iter, cfg.max_ops);
-        let outcome = check_program(&program, cfg)?;
-        digest = fnv1a(digest, program.to_text().as_bytes());
+        let program = gen_one(iter);
+        let outcome = check(&program, cfg)?;
+        digest = fnv1a(digest, program.text().as_bytes());
         digest = fnv1a(digest, outcome.batch_json.as_bytes());
 
         let diverged = outcome.divergence.is_some();
         if let Some(info) = outcome.divergence {
             let minimized = if cfg.shrink {
-                Some(shrink_program(&program, cfg, info.check)?)
+                Some(shrink(&program, cfg, info.check)?)
             } else {
                 None
             };
             let min_recorded = match &minimized {
-                Some(min) => Some(check_program(min, cfg)?.recorded),
+                Some(min) => Some(check(min, cfg)?.recorded),
                 None => None,
             };
             let div = Divergence {
@@ -394,6 +570,71 @@ where
         divergences,
         digest,
     })
+}
+
+/// Runs a full campaign: generate, check, shrink, write repros.
+///
+/// # Errors
+///
+/// Engine [`XfError`]s and corpus-directory I/O failures.
+pub fn run_campaign(cfg: &DiffConfig) -> Result<CampaignOutcome, XfError> {
+    run_campaign_with(cfg, |_, _| {})
+}
+
+/// [`run_campaign`] with a per-iteration progress callback
+/// `(iter, diverged)`.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_with<F>(cfg: &DiffConfig, progress: F) -> Result<CampaignOutcome, XfError>
+where
+    F: FnMut(u64, bool),
+{
+    campaign_loop(
+        cfg,
+        progress,
+        |iter| generate(cfg.seed, iter, cfg.max_ops),
+        check_program,
+        shrink_program,
+    )
+}
+
+/// Runs a full *concurrent* campaign over [`DiffConfig::threads`] logical
+/// threads: each iteration generates a [`ConcurrentFuzzProgram`], runs it
+/// through every engine multi-threaded, and cross-checks the reports.
+/// Same digest discipline as [`run_campaign`]: the same `(seed, iters,
+/// max_ops, threads)` yields the same digest on every run.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_concurrent_campaign(
+    cfg: &DiffConfig,
+) -> Result<CampaignOutcome<ConcurrentFuzzProgram>, XfError> {
+    run_concurrent_campaign_with(cfg, |_, _| {})
+}
+
+/// [`run_concurrent_campaign`] with a per-iteration progress callback
+/// `(iter, diverged)`.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_concurrent_campaign_with<F>(
+    cfg: &DiffConfig,
+    progress: F,
+) -> Result<CampaignOutcome<ConcurrentFuzzProgram>, XfError>
+where
+    F: FnMut(u64, bool),
+{
+    campaign_loop(
+        cfg,
+        progress,
+        |iter| generate_concurrent(cfg.seed, iter, cfg.max_ops, cfg.threads),
+        check_concurrent_program,
+        shrink_concurrent_program,
+    )
 }
 
 #[cfg(test)]
@@ -529,6 +770,92 @@ mod tests {
         };
         let out = run_campaign(&cfg).unwrap();
         assert!(out.divergences.is_empty());
+    }
+
+    #[test]
+    fn clean_concurrent_campaign_reproduces_its_digest() {
+        let cfg = DiffConfig {
+            threads: 2,
+            ..quick(6)
+        };
+        let out = run_concurrent_campaign(&cfg).unwrap();
+        assert_eq!(out.programs_checked, 6);
+        assert!(
+            out.divergences.is_empty(),
+            "engines diverged on a concurrent program: {:?}",
+            out.divergences[0].info
+        );
+        let again = run_concurrent_campaign(&cfg).unwrap();
+        assert_eq!(out.digest, again.digest, "concurrent digest must reproduce");
+        let more_threads = run_concurrent_campaign(&DiffConfig {
+            threads: 3,
+            ..quick(6)
+        })
+        .unwrap();
+        assert_ne!(
+            out.digest, more_threads.digest,
+            "the thread count must steer the campaign"
+        );
+    }
+
+    #[test]
+    fn injected_fault_is_caught_and_shrunk_concurrently() {
+        let cfg = DiffConfig {
+            iters: 30,
+            max_ops: 16,
+            shrink: true,
+            threads: 2,
+            fault: EngineFault::DropKind(BugKind::CrossFailureRace),
+            ..DiffConfig::default()
+        };
+        let out = run_concurrent_campaign(&cfg).unwrap();
+        assert!(
+            !out.divergences.is_empty(),
+            "an injected fault must surface within the campaign"
+        );
+        let div = &out.divergences[0];
+        assert_eq!(div.info.check, "engine-equivalence");
+        let min = div.minimized.as_ref().expect("shrink ran");
+        assert!(
+            min.op_count() <= 20,
+            "shrunk repro still has {} ops: {:?}",
+            min.op_count(),
+            min.threads
+        );
+        let recheck = check_concurrent_program(min, &cfg).unwrap();
+        assert_eq!(
+            recheck.divergence.map(|d| d.check),
+            Some("engine-equivalence")
+        );
+    }
+
+    #[test]
+    fn concurrent_repro_bundle_round_trips() {
+        let dir = std::env::temp_dir().join(format!("xffuzz-conc-corpus-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = DiffConfig {
+            iters: 30,
+            max_ops: 16,
+            shrink: false,
+            threads: 2,
+            corpus_dir: Some(dir.clone()),
+            fault: EngineFault::DropKind(BugKind::CrossFailureRace),
+            ..DiffConfig::default()
+        };
+        let out = run_concurrent_campaign(&cfg).unwrap();
+        let div = &out.divergences[0];
+        let bundle = dir.join(&div.program.name);
+        let text = std::fs::read_to_string(bundle.join("program.fuzz")).unwrap();
+        assert_eq!(
+            ConcurrentFuzzProgram::from_text(&text).unwrap(),
+            div.program
+        );
+        // The recorded repro carries the concurrency stamp into `.xft` v2.
+        let xft = std::fs::read(bundle.join("repro.xft")).unwrap();
+        let run = xfstream::read_recorded_run(&xft[..]).unwrap();
+        assert_eq!(run.threads, 2);
+        assert_eq!(run.schedule, "t2:rr");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

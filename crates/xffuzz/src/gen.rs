@@ -16,7 +16,7 @@
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use xftrace::{FenceKind, FlushKind};
 
-use crate::program::{FuzzOp, FuzzProgram, DATA_SIZE, SLOTS};
+use crate::program::{ConcurrentFuzzProgram, FuzzOp, FuzzProgram, DATA_SIZE, SLOTS};
 
 /// Derives the per-iteration RNG seed from the campaign seed.
 #[must_use]
@@ -184,6 +184,91 @@ pub fn generate(seed: u64, iter: u64, max_ops: usize) -> FuzzProgram {
     }
 }
 
+/// Stream separator for the concurrent generator: keeps a concurrent
+/// campaign's draws disjoint from the sequential campaign at the same
+/// `(seed, iter)` without a second seed axis.
+const CONC_STREAM: u64 = 0x636f_6e63_7572_7233;
+
+/// Generates one concurrent program for `(seed, iter)`: at most `max_ops`
+/// ops drawn from the concurrent-safe subset (raw stores, flushes, fences,
+/// persist ranges, commit-variable registrations), each assigned to one of
+/// `threads` logical threads. Same determinism contract as [`generate`].
+#[must_use]
+pub fn generate_concurrent(
+    seed: u64,
+    iter: u64,
+    max_ops: usize,
+    threads: u32,
+) -> ConcurrentFuzzProgram {
+    let mut rng = StdRng::seed_from_u64(iter_seed(seed, iter) ^ CONC_STREAM);
+    let threads = threads.max(1) as usize;
+    let n_ops = rng.gen_range_u64(threads as u64, max_ops.max(threads + 1) as u64 + 1) as usize;
+    let mut per_thread = vec![Vec::new(); threads];
+
+    for _ in 0..n_ops {
+        let t = rng.gen_range_u64(0, threads as u64) as usize;
+        let roll = rng.gen_range_u64(0, 100);
+        let op = match roll {
+            0..=24 => FuzzOp::Write {
+                off: data_word_off(&mut rng),
+                val: rng.next_u64(),
+            },
+            25..=34 => FuzzOp::WriteByte {
+                off: {
+                    let w = data_word_off(&mut rng);
+                    w + (rng.gen_range_u64(0, 8) as u16)
+                },
+                val: (rng.next_u64() & 0xff) as u8,
+            },
+            35..=44 => FuzzOp::NtWrite {
+                off: data_word_off(&mut rng),
+                val: rng.next_u64(),
+            },
+            45..=61 => FuzzOp::Flush {
+                off: data_word_off(&mut rng),
+                kind: match rng.gen_range_u64(0, 3) {
+                    0 => FlushKind::Clwb,
+                    1 => FlushKind::Clflush,
+                    _ => FlushKind::Clflushopt,
+                },
+            },
+            // Fences are weighted up: which thread's fence retires before
+            // the crash is the whole cross-thread detection axis.
+            62..=81 => FuzzOp::Fence {
+                kind: match rng.gen_range_u64(0, 4) {
+                    0 => FenceKind::Mfence,
+                    1 => FenceKind::Drain,
+                    _ => FenceKind::Sfence,
+                },
+            },
+            82..=89 => {
+                let off = data_word_off(&mut rng);
+                FuzzOp::PersistRange {
+                    off,
+                    len: small_len(&mut rng, off),
+                }
+            }
+            90..=94 => FuzzOp::RegVar {
+                off: data_word_off(&mut rng),
+            },
+            _ => {
+                let off = data_word_off(&mut rng);
+                FuzzOp::RegRange {
+                    var_off: data_word_off(&mut rng),
+                    off,
+                    len: small_len(&mut rng, off),
+                }
+            }
+        };
+        per_thread[t].push(op);
+    }
+
+    ConcurrentFuzzProgram {
+        name: format!("fuzz-c{threads}-{seed:016x}-{iter}"),
+        threads: per_thread,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +306,35 @@ mod tests {
                 assert!(end <= DATA_SIZE, "op out of arena bounds: {op:?}");
             }
         }
+    }
+
+    #[test]
+    fn concurrent_generation_is_deterministic_and_in_subset() {
+        let a = generate_concurrent(42, 7, 24, 2);
+        let b = generate_concurrent(42, 7, 24, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.name, "fuzz-c2-000000000000002a-7");
+        assert_eq!(a.threads.len(), 2);
+        for iter in 0..50 {
+            let p = generate_concurrent(1, iter, 16, 3);
+            assert_eq!(p.threads.len(), 3);
+            let total = p.op_count();
+            assert!((3..=16).contains(&total), "{total} ops");
+            for ops in &p.threads {
+                for &op in ops {
+                    assert!(op.concurrent_safe(), "{op:?} outside the subset");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_stream_differs_from_sequential() {
+        // Same (seed, iter): the concurrent generator must not mirror the
+        // sequential one's draw sequence.
+        let seq = generate(9, 3, 24);
+        let conc = generate_concurrent(9, 3, 24, 1);
+        assert_ne!(seq.ops, conc.threads[0]);
     }
 
     #[test]

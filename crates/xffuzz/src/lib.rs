@@ -30,9 +30,11 @@ pub mod oracle;
 pub mod program;
 
 pub use diff::{
-    check_program, run_campaign, run_campaign_with, shrink_program, CampaignOutcome, CheckOutcome,
-    DiffConfig, Divergence, DivergenceInfo, EngineFault,
+    check_concurrent_program, check_program, run_campaign, run_campaign_with,
+    run_concurrent_campaign, run_concurrent_campaign_with, shrink_concurrent_program,
+    shrink_program, CampaignOutcome, CheckOutcome, DiffConfig, Divergence, DivergenceInfo,
+    EngineFault, FuzzSource,
 };
-pub use gen::{generate, iter_seed};
+pub use gen::{generate, generate_concurrent, iter_seed};
 pub use oracle::oracle_report;
-pub use program::{FuzzOp, FuzzProgram};
+pub use program::{ConcurrentFuzzProgram, FuzzOp, FuzzProgram};

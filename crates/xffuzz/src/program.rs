@@ -16,7 +16,7 @@
 
 use pmdk_sim::{ObjPool, RedoTx, HEAP_OFFSET, REDO_CAPACITY};
 use pmem::PmCtx;
-use xfdetector::{DynError, Workload};
+use xfdetector::{ConcurrentWorkload, DynError, OpSequence, StepFn, ThreadProgram, Workload};
 use xftrace::{FenceKind, FlushKind, SourceLoc};
 
 /// Bytes of the data arena (7 cache lines) inside the root object.
@@ -30,10 +30,21 @@ pub const ARENA_SIZE: u64 = DATA_SIZE + 64;
 /// Pool size every fuzz program runs against.
 pub const POOL_SIZE: u64 = 256 * 1024;
 
+/// Pool offset of the concurrent programs' raw data arena. Concurrent
+/// replay skips the `ObjPool` layer entirely — every role must be able to
+/// compute its addresses from the pool base alone, before any context
+/// exists — so the arena lives at a fixed offset in otherwise untouched
+/// pool memory.
+pub const CONC_ARENA_OFF: u64 = 64 * 1024;
+
 /// Synthetic file name attributed to pre-failure fuzz ops.
 const FUZZ_FILE: &str = "<fuzz>";
 /// Line-number base for post-failure read sites (disjoint from op indices).
 const POST_LINE_BASE: u32 = 1_000_000;
+/// Per-thread line stride for concurrent op locations: thread `t`, op `i`
+/// gets line `t * STRIDE + i + 1`, keeping op identities stable and
+/// disjoint across threads (programs are far shorter than a stride).
+const THREAD_LINE_STRIDE: u32 = 10_000;
 
 /// Source location of pre-failure op `i` (line = index + 1).
 #[must_use]
@@ -41,6 +52,15 @@ pub fn op_loc(i: usize) -> SourceLoc {
     SourceLoc {
         file: xftrace::intern_file(FUZZ_FILE),
         line: i as u32 + 1,
+    }
+}
+
+/// Source location of concurrent pre-failure op `i` on thread `t`.
+#[must_use]
+pub fn conc_op_loc(t: usize, i: usize) -> SourceLoc {
+    SourceLoc {
+        file: xftrace::intern_file(FUZZ_FILE),
+        line: t as u32 * THREAD_LINE_STRIDE + i as u32 + 1,
     }
 }
 
@@ -271,6 +291,131 @@ impl Workload for FuzzProgram {
     }
 }
 
+// --- concurrent programs ----------------------------------------------------
+
+/// A seeded, replayable *concurrent* fuzz program: one op list per logical
+/// thread, interleaved by the session's schedule. Implements
+/// [`ConcurrentWorkload`], so it runs through
+/// [`Session::run_concurrent`](xfdetector::Session::run_concurrent) on
+/// every engine exactly like the hand-written lock-free workloads.
+///
+/// Only the stateless op subset is allowed (raw stores, flushes, fences,
+/// persist ranges, commit-variable registrations): the stateful ops
+/// (transactions, redo logging, allocator churn) thread volatile replay
+/// state through a single sequential execution and have no meaning split
+/// across scheduler-interleaved roles. [`FuzzOp::concurrent_safe`] is the
+/// predicate; the generator only draws from the subset and the text codec
+/// rejects anything outside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcurrentFuzzProgram {
+    /// Stable program name (binds the journal fingerprint).
+    pub name: String,
+    /// Per-thread op lists; `threads[t]` replays on logical thread `t`.
+    pub threads: Vec<Vec<FuzzOp>>,
+}
+
+impl FuzzOp {
+    /// Whether this op may appear in a [`ConcurrentFuzzProgram`]: true for
+    /// the stateless subset that needs nothing but the arena address.
+    #[must_use]
+    pub fn concurrent_safe(self) -> bool {
+        matches!(
+            self,
+            FuzzOp::Write { .. }
+                | FuzzOp::WriteByte { .. }
+                | FuzzOp::NtWrite { .. }
+                | FuzzOp::Flush { .. }
+                | FuzzOp::Fence { .. }
+                | FuzzOp::PersistRange { .. }
+                | FuzzOp::RegVar { .. }
+                | FuzzOp::RegRange { .. }
+        )
+    }
+}
+
+impl ConcurrentFuzzProgram {
+    /// Total op count across all threads.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.threads.iter().map(Vec::len).sum()
+    }
+
+    /// One boxed scheduler step replaying `op` at `loc` against `arena`.
+    fn step(arena: u64, op: FuzzOp, loc: SourceLoc) -> StepFn<'static> {
+        Box::new(move |ctx: &mut PmCtx| {
+            let a = |off: u16| arena + u64::from(off);
+            match op {
+                FuzzOp::Write { off, val } => ctx.write_u64_at(a(off), val, loc)?,
+                FuzzOp::WriteByte { off, val } => ctx.write_at(a(off), &[val], loc)?,
+                FuzzOp::NtWrite { off, val } => {
+                    ctx.nt_write_at(a(off), &val.to_le_bytes(), loc)?;
+                }
+                FuzzOp::Flush { off, kind } => {
+                    ctx.flush_at(a(off), kind, loc)?;
+                }
+                FuzzOp::Fence { kind } => ctx.fence_at(kind, loc),
+                FuzzOp::PersistRange { off, len } => {
+                    ctx.persist_barrier_at(a(off), u64::from(len.max(1)), loc)?;
+                }
+                FuzzOp::RegVar { off } => ctx.register_commit_var(a(off), 8),
+                FuzzOp::RegRange { var_off, off, len } => {
+                    ctx.register_commit_range(a(var_off), a(off), u32::from(len.max(1)));
+                }
+                // Stateful ops never reach a concurrent program (generator
+                // and codec both enforce the subset); replay stays total.
+                _ => {}
+            }
+            Ok(())
+        })
+    }
+}
+
+impl ConcurrentWorkload for ConcurrentFuzzProgram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pool_size(&self) -> u64 {
+        POOL_SIZE
+    }
+
+    fn setup(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        // Zero and persist the arena so post-failure reads are
+        // well-defined — the raw-memory equivalent of the sequential
+        // program's zeroed root object.
+        let arena = ctx.pool().base() + CONC_ARENA_OFF;
+        for w in 0..DATA_SIZE / 8 {
+            ctx.write_u64(arena + w * 8, 0)?;
+        }
+        ctx.persist_barrier(arena, DATA_SIZE)?;
+        Ok(())
+    }
+
+    fn roles(&self, base: u64) -> Vec<Box<dyn ThreadProgram>> {
+        let arena = base + CONC_ARENA_OFF;
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(t, ops)| {
+                let steps = ops
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &op)| Self::step(arena, op, conc_op_loc(t, i)))
+                    .collect();
+                Box::new(OpSequence::new(steps)) as Box<dyn ThreadProgram>
+            })
+            .collect()
+    }
+
+    fn post_failure(&self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let arena = ctx.pool().base() + CONC_ARENA_OFF;
+        for w in 0..DATA_SIZE / 8 {
+            let _ = ctx.read_u64_at(arena + w * 8, post_loc(w as u32))?;
+        }
+        Ok(())
+    }
+}
+
 // --- stable text codec (the `.fuzz` repro format) --------------------------
 
 fn flush_name(k: FlushKind) -> &'static str {
@@ -289,6 +434,32 @@ fn fence_name(k: FenceKind) -> &'static str {
     }
 }
 
+fn op_text(op: FuzzOp) -> String {
+    match op {
+        FuzzOp::Write { off, val } => format!("write {off} {val}"),
+        FuzzOp::WriteByte { off, val } => format!("writebyte {off} {val}"),
+        FuzzOp::NtWrite { off, val } => format!("ntwrite {off} {val}"),
+        FuzzOp::Flush { off, kind } => format!("flush {} {off}", flush_name(kind)),
+        FuzzOp::Fence { kind } => format!("fence {}", fence_name(kind)),
+        FuzzOp::PersistRange { off, len } => format!("persist {off} {len}"),
+        FuzzOp::TxBegin => "txbegin".to_owned(),
+        FuzzOp::TxAdd { off, len } => format!("txadd {off} {len}"),
+        FuzzOp::TxCommit => "txcommit".to_owned(),
+        FuzzOp::TxAbort => "txabort".to_owned(),
+        FuzzOp::RedoStage { off, val } => format!("redostage {off} {val}"),
+        FuzzOp::RedoCommit => "redocommit".to_owned(),
+        FuzzOp::Alloc { slot, len, zeroed } => {
+            format!("alloc {slot} {len} {}", u8::from(zeroed))
+        }
+        FuzzOp::Free { slot } => format!("free {slot}"),
+        FuzzOp::SlotWrite { slot, val } => format!("slotwrite {slot} {val}"),
+        FuzzOp::RegVar { off } => format!("regvar {off}"),
+        FuzzOp::RegRange { var_off, off, len } => {
+            format!("regrange {var_off} {off} {len}")
+        }
+    }
+}
+
 impl FuzzProgram {
     /// Serializes the program to the stable line-oriented `.fuzz` text
     /// format (round-tripped by [`FuzzProgram::from_text`]).
@@ -297,32 +468,9 @@ impl FuzzProgram {
         let mut out = String::new();
         out.push_str("xffuzz v1\n");
         out.push_str(&format!("name {}\n", self.name));
-        for op in &self.ops {
-            let line = match *op {
-                FuzzOp::Write { off, val } => format!("write {off} {val}"),
-                FuzzOp::WriteByte { off, val } => format!("writebyte {off} {val}"),
-                FuzzOp::NtWrite { off, val } => format!("ntwrite {off} {val}"),
-                FuzzOp::Flush { off, kind } => format!("flush {} {off}", flush_name(kind)),
-                FuzzOp::Fence { kind } => format!("fence {}", fence_name(kind)),
-                FuzzOp::PersistRange { off, len } => format!("persist {off} {len}"),
-                FuzzOp::TxBegin => "txbegin".to_owned(),
-                FuzzOp::TxAdd { off, len } => format!("txadd {off} {len}"),
-                FuzzOp::TxCommit => "txcommit".to_owned(),
-                FuzzOp::TxAbort => "txabort".to_owned(),
-                FuzzOp::RedoStage { off, val } => format!("redostage {off} {val}"),
-                FuzzOp::RedoCommit => "redocommit".to_owned(),
-                FuzzOp::Alloc { slot, len, zeroed } => {
-                    format!("alloc {slot} {len} {}", u8::from(zeroed))
-                }
-                FuzzOp::Free { slot } => format!("free {slot}"),
-                FuzzOp::SlotWrite { slot, val } => format!("slotwrite {slot} {val}"),
-                FuzzOp::RegVar { off } => format!("regvar {off}"),
-                FuzzOp::RegRange { var_off, off, len } => {
-                    format!("regrange {var_off} {off} {len}")
-                }
-            };
+        for &op in &self.ops {
             out.push_str("op ");
-            out.push_str(&line);
+            out.push_str(&op_text(op));
             out.push('\n');
         }
         out
@@ -359,6 +507,87 @@ impl FuzzProgram {
             ops.push(op);
         }
         Ok(FuzzProgram { name, ops })
+    }
+}
+
+/// Header line of the concurrent `.fuzz` text form (the sequential form
+/// keeps `xffuzz v1`; replay tooling dispatches on the header).
+pub const CONC_TEXT_HEADER: &str = "xffuzz c1";
+
+impl ConcurrentFuzzProgram {
+    /// Serializes the program to the concurrent `.fuzz` text format: the
+    /// `xffuzz c1` header, the name and thread count, then one
+    /// `op <thread> <op...>` line per op in thread-major order.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CONC_TEXT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("name {}\n", self.name));
+        out.push_str(&format!("threads {}\n", self.threads.len()));
+        for (t, ops) in self.threads.iter().enumerate() {
+            for &op in ops {
+                out.push_str(&format!("op {t} "));
+                out.push_str(&op_text(op));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses the concurrent `.fuzz` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line, out-of-range
+    /// thread index, or op outside the concurrent-safe subset.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(CONC_TEXT_HEADER) => {}
+            other => return Err(format!("bad header: {other:?}")),
+        }
+        let name = match lines.next().and_then(|l| l.strip_prefix("name ")) {
+            Some(n) if !n.is_empty() => n.to_owned(),
+            _ => return Err("missing name line".to_owned()),
+        };
+        let n_threads: usize = match lines.next().and_then(|l| l.strip_prefix("threads ")) {
+            Some(n) => n.parse().map_err(|_| "bad threads line".to_owned())?,
+            None => return Err("missing threads line".to_owned()),
+        };
+        if n_threads == 0 {
+            return Err("threads must be at least 1".to_owned());
+        }
+        let mut threads = vec![Vec::new(); n_threads];
+        for (ln, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let body = line
+                .strip_prefix("op ")
+                .ok_or_else(|| format!("line {}: expected `op ...`", ln + 4))?;
+            let mut tok = body.split_whitespace();
+            let t: usize = tok
+                .next()
+                .ok_or_else(|| format!("line {}: missing thread index", ln + 4))?
+                .parse()
+                .map_err(|_| format!("line {}: bad thread index", ln + 4))?;
+            if t >= n_threads {
+                return Err(format!("line {}: thread {t} out of range", ln + 4));
+            }
+            let op = parse_op(&mut tok).map_err(|e| format!("line {}: {e}", ln + 4))?;
+            if tok.next().is_some() {
+                return Err(format!("line {}: trailing tokens", ln + 4));
+            }
+            if !op.concurrent_safe() {
+                return Err(format!(
+                    "line {}: op not in the concurrent-safe subset",
+                    ln + 4
+                ));
+            }
+            threads[t].push(op);
+        }
+        Ok(ConcurrentFuzzProgram { name, threads })
     }
 }
 
@@ -511,6 +740,72 @@ mod tests {
             outcome.report
         );
         assert!(outcome.stats.failure_points > 0);
+    }
+
+    fn conc_sample() -> ConcurrentFuzzProgram {
+        ConcurrentFuzzProgram {
+            name: "fuzz-c2-sample".to_owned(),
+            threads: vec![
+                vec![
+                    FuzzOp::Write { off: 0, val: 7 },
+                    FuzzOp::Flush {
+                        off: 0,
+                        kind: FlushKind::Clwb,
+                    },
+                    FuzzOp::RegVar { off: 64 },
+                ],
+                vec![
+                    FuzzOp::NtWrite { off: 128, val: 3 },
+                    FuzzOp::Fence {
+                        kind: FenceKind::Sfence,
+                    },
+                    FuzzOp::PersistRange { off: 0, len: 16 },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn concurrent_text_round_trips() {
+        let p = conc_sample();
+        let text = p.to_text();
+        let back = ConcurrentFuzzProgram::from_text(&text).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn concurrent_text_rejects_stateful_ops_and_bad_threads() {
+        assert!(ConcurrentFuzzProgram::from_text("xffuzz v1\nname x\n").is_err());
+        assert!(ConcurrentFuzzProgram::from_text("xffuzz c1\nname x\nthreads 0\n").is_err());
+        assert!(ConcurrentFuzzProgram::from_text(
+            "xffuzz c1\nname x\nthreads 2\nop 2 fence sfence\n"
+        )
+        .is_err());
+        assert!(
+            ConcurrentFuzzProgram::from_text("xffuzz c1\nname x\nthreads 2\nop 0 txbegin\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn concurrent_sample_runs_through_every_engine_identically() {
+        use xfdetector::Mode;
+        let reports: Vec<String> = [Mode::Batch, Mode::Parallel, Mode::Stream]
+            .into_iter()
+            .map(|mode| {
+                let outcome = xfstream::session()
+                    .threads(2)
+                    .build()
+                    .unwrap()
+                    .run_concurrent(conc_sample(), mode)
+                    .unwrap();
+                assert_eq!(outcome.report.execution_failure_count(), 0);
+                serde_json::to_string(&outcome.report).unwrap()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
     }
 
     #[test]

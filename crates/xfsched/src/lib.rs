@@ -1,0 +1,537 @@
+//! # xfsched — deterministic cooperative interleaving for cross-failure detection
+//!
+//! The paper's detection procedure is single-threaded: one pre-failure
+//! trace, failure points at its ordering points. Real PM deployments are
+//! concurrent, and a whole class of cross-failure race only exists when a
+//! persist on one thread depends on a fence issued by another (see
+//! "Practical Detectability for Persistent Lock-Free Data Structures").
+//! This crate supplies the missing axis: **thread schedules** that compose
+//! with failure points, so a detection run explores (failure point ×
+//! schedule) pairs.
+//!
+//! The model is cooperative and deterministic:
+//!
+//! - a concurrent workload's pre-failure stage is a set of
+//!   [`ThreadProgram`]s — per-thread state machines that issue one PM
+//!   operation (the yield granularity) per [`ThreadProgram::step`],
+//! - a [`SchedulePlan`] decides, step by step, which logical thread runs
+//!   next; [`run_interleaved`] drives the programs over a shared
+//!   [`pmem::PmCtx`], stamping each step's trace entries with the thread id
+//!   via [`pmem::PmCtx::set_current_thread`],
+//! - plans serialize to a compact string form ([`fmt::Display`] /
+//!   [`std::str::FromStr`]), so the exact interleaving that exposed a bug
+//!   can be stored in a trace header and replayed later,
+//! - a [`ScheduleSpec`] names a *strategy* — round-robin, seeded random, or
+//!   exhaustive enumeration of all length-`K` pick prefixes — and expands
+//!   to the concrete plan list a detection session iterates.
+//!
+//! Everything here is pure and deterministic: the same spec, thread count
+//! and programs produce the same interleaved trace on every run, which is
+//! what lets the three detection engines produce byte-identical reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+
+use pmem::PmCtx;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Boxed error type used by thread programs (mirrors the detector's
+/// `DynError`).
+pub type DynError = Box<dyn std::error::Error>;
+
+/// Number of explicit slots a seeded-random plan carries before falling
+/// back to round-robin. Concurrent pre-failure stages are short (tens of
+/// PM operations), so this covers the whole run in practice while keeping
+/// serialized plans compact.
+pub const SEEDED_SLOTS: usize = 64;
+
+/// A schedule *strategy*: how the concrete interleavings of a detection
+/// run are chosen. Parsed from `rr`, `seed:N` or `exhaustive:K` (the
+/// `xfd --schedule` grammar) and expanded to concrete [`SchedulePlan`]s
+/// with [`ScheduleSpec::expand`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleSpec {
+    /// One plan: strict round-robin over the logical threads. The
+    /// default, and the single-threaded degenerate case.
+    #[default]
+    RoundRobin,
+    /// One plan: a pseudo-random pick sequence derived deterministically
+    /// from the seed ([`SEEDED_SLOTS`] explicit slots, round-robin tail).
+    Seeded(u64),
+    /// All `threads^K` plans that fix the first `K` picks (round-robin
+    /// tail): exhaustive exploration of the schedule prefix space, the
+    /// small-bound analogue of a model checker's interleaving search.
+    Exhaustive(u32),
+}
+
+impl ScheduleSpec {
+    /// Number of concrete plans [`ScheduleSpec::expand`] will produce for
+    /// `threads` logical threads (used for up-front validation; saturates
+    /// at `u64::MAX`).
+    #[must_use]
+    pub fn plan_count(&self, threads: u32) -> u64 {
+        match *self {
+            ScheduleSpec::RoundRobin | ScheduleSpec::Seeded(_) => 1,
+            ScheduleSpec::Exhaustive(k) => {
+                let mut n: u64 = 1;
+                for _ in 0..k {
+                    n = n.saturating_mul(u64::from(threads.max(1)));
+                }
+                n
+            }
+        }
+    }
+
+    /// Expands the strategy into the ordered list of concrete plans a
+    /// detection session explores. The order is deterministic (and for
+    /// `Exhaustive`, lexicographic in the pick prefix), so merged reports
+    /// are reproducible.
+    #[must_use]
+    pub fn expand(&self, threads: u32) -> Vec<SchedulePlan> {
+        let threads = threads.max(1);
+        match *self {
+            ScheduleSpec::RoundRobin => vec![SchedulePlan::round_robin(threads)],
+            ScheduleSpec::Seeded(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let slots = (0..SEEDED_SLOTS)
+                    .map(|_| rng.gen_range_u64(0, u64::from(threads)) as u32)
+                    .collect();
+                vec![SchedulePlan { threads, slots }]
+            }
+            ScheduleSpec::Exhaustive(k) => {
+                let k = k as usize;
+                let total = self.plan_count(threads);
+                let mut plans = Vec::with_capacity(total as usize);
+                for v in 0..total {
+                    let mut slots = vec![0u32; k];
+                    let mut rest = v;
+                    for slot in slots.iter_mut().rev() {
+                        *slot = (rest % u64::from(threads)) as u32;
+                        rest /= u64::from(threads);
+                    }
+                    plans.push(SchedulePlan { threads, slots });
+                }
+                plans
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScheduleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScheduleSpec::RoundRobin => f.write_str("rr"),
+            ScheduleSpec::Seeded(n) => write!(f, "seed:{n}"),
+            ScheduleSpec::Exhaustive(k) => write!(f, "exhaustive:{k}"),
+        }
+    }
+}
+
+/// Error from parsing a [`ScheduleSpec`] or [`SchedulePlan`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError(String);
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+impl FromStr for ScheduleSpec {
+    type Err = ScheduleParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s == "rr" {
+            return Ok(ScheduleSpec::RoundRobin);
+        }
+        if let Some(n) = s.strip_prefix("seed:") {
+            return n
+                .parse::<u64>()
+                .map(ScheduleSpec::Seeded)
+                .map_err(|_| ScheduleParseError(format!("bad seed in {s:?}")));
+        }
+        if let Some(k) = s.strip_prefix("exhaustive:") {
+            return k
+                .parse::<u32>()
+                .map(ScheduleSpec::Exhaustive)
+                .map_err(|_| ScheduleParseError(format!("bad bound in {s:?}")));
+        }
+        Err(ScheduleParseError(format!(
+            "{s:?} (expected rr, seed:N or exhaustive:K)"
+        )))
+    }
+}
+
+/// One concrete interleaving: a thread count plus an explicit pick prefix.
+/// Steps beyond the prefix fall back to round-robin, so every plan is
+/// total (it can schedule programs of any length).
+///
+/// Serializes to `t<threads>:rr` (empty prefix) or
+/// `t<threads>:<s0>,<s1>,…`, the form stored in `.xft` v2 trace headers
+/// and replayed by the torture tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulePlan {
+    threads: u32,
+    slots: Vec<u32>,
+}
+
+impl SchedulePlan {
+    /// The pure round-robin plan over `threads` logical threads.
+    #[must_use]
+    pub fn round_robin(threads: u32) -> Self {
+        SchedulePlan {
+            threads: threads.max(1),
+            slots: Vec::new(),
+        }
+    }
+
+    /// A plan with an explicit pick prefix (each slot a thread id, taken
+    /// modulo the thread count) and a round-robin tail.
+    #[must_use]
+    pub fn with_slots(threads: u32, slots: Vec<u32>) -> Self {
+        let threads = threads.max(1);
+        SchedulePlan {
+            threads,
+            slots: slots.into_iter().map(|s| s % threads).collect(),
+        }
+    }
+
+    /// Number of logical threads this plan schedules.
+    #[must_use]
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// The explicit pick prefix (empty for pure round-robin).
+    #[must_use]
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// The thread this plan *prefers* at step `step`. The interleaver
+    /// resolves the preference to the next runnable thread in cyclic
+    /// order when the preferred one has finished.
+    #[must_use]
+    pub fn tid_at(&self, step: u64) -> u32 {
+        match self.slots.get(usize::try_from(step).unwrap_or(usize::MAX)) {
+            Some(&s) => s,
+            None => (step % u64::from(self.threads)) as u32,
+        }
+    }
+}
+
+impl fmt::Display for SchedulePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}:", self.threads)?;
+        if self.slots.is_empty() {
+            return f.write_str("rr");
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SchedulePlan {
+    type Err = ScheduleParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let rest = s
+            .strip_prefix('t')
+            .ok_or_else(|| ScheduleParseError(format!("{s:?} (expected t<threads>:…)")))?;
+        let (threads, tail) = rest
+            .split_once(':')
+            .ok_or_else(|| ScheduleParseError(format!("{s:?} (missing ':')")))?;
+        let threads: u32 = threads
+            .parse()
+            .map_err(|_| ScheduleParseError(format!("bad thread count in {s:?}")))?;
+        if threads == 0 {
+            return Err(ScheduleParseError(format!("zero threads in {s:?}")));
+        }
+        if tail == "rr" {
+            return Ok(SchedulePlan::round_robin(threads));
+        }
+        let slots = tail
+            .split(',')
+            .map(|p| {
+                p.parse::<u32>()
+                    .map_err(|_| ScheduleParseError(format!("bad slot {p:?} in {s:?}")))
+            })
+            .collect::<Result<Vec<u32>, _>>()?;
+        Ok(SchedulePlan::with_slots(threads, slots))
+    }
+}
+
+/// A per-thread state machine of a concurrent workload's pre-failure
+/// stage. One [`ThreadProgram::step`] issues (approximately) one PM
+/// operation — that is the scheduler's yield granularity, mirroring the
+/// per-PM-op instrumentation points of the paper's Pin frontend.
+pub trait ThreadProgram {
+    /// Whether the program has run to completion. A done program is never
+    /// stepped again.
+    fn is_done(&self) -> bool;
+
+    /// Executes the next operation. Only called while
+    /// [`ThreadProgram::is_done`] is `false`.
+    ///
+    /// # Errors
+    ///
+    /// A program error aborts the whole pre-failure stage, exactly like a
+    /// sequential workload returning an error from `pre_failure`.
+    fn step(&mut self, ctx: &mut PmCtx) -> Result<(), DynError>;
+}
+
+/// One boxed step of an [`OpSequence`]: issues (approximately) one PM
+/// operation against the scheduled context.
+pub type StepFn<'a> = Box<dyn FnMut(&mut PmCtx) -> Result<(), DynError> + 'a>;
+
+/// A [`ThreadProgram`] built from a vector of one-shot closures — the
+/// convenient way to spell short fixed op sequences.
+pub struct OpSequence<'a> {
+    steps: Vec<StepFn<'a>>,
+    next: usize,
+}
+
+impl<'a> OpSequence<'a> {
+    /// Wraps the given steps; each closure is invoked exactly once, in
+    /// order, one per scheduler step.
+    #[must_use]
+    pub fn new(steps: Vec<StepFn<'a>>) -> Self {
+        OpSequence { steps, next: 0 }
+    }
+}
+
+impl fmt::Debug for OpSequence<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpSequence")
+            .field("len", &self.steps.len())
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+impl ThreadProgram for OpSequence<'_> {
+    fn is_done(&self) -> bool {
+        self.next >= self.steps.len()
+    }
+
+    fn step(&mut self, ctx: &mut PmCtx) -> Result<(), DynError> {
+        let f = &mut self.steps[self.next];
+        self.next += 1;
+        f(ctx)
+    }
+}
+
+/// Runs `programs` to completion over `ctx`, interleaved per `plan`.
+///
+/// Program `i` is assigned to logical thread `i % plan.threads()`; a
+/// thread runs its programs in index order (so with one thread the whole
+/// set executes sequentially — the single-threaded degenerate case). At
+/// each step the plan's preferred thread runs if it still has work;
+/// otherwise the next runnable thread in cyclic order is chosen, which
+/// keeps the schedule total without ever stalling. The chosen thread id
+/// is stamped on the context before the step, so every trace entry the
+/// step produces carries it.
+///
+/// On return (success or error) the context is back on thread 0.
+///
+/// # Errors
+///
+/// The first program error, after resetting the context to thread 0.
+pub fn run_interleaved(
+    ctx: &mut PmCtx,
+    programs: &mut [Box<dyn ThreadProgram + '_>],
+    plan: &SchedulePlan,
+) -> Result<(), DynError> {
+    let threads = plan.threads() as usize;
+    // Per-thread queues of program indices, in index order.
+    let mut queues: Vec<std::collections::VecDeque<usize>> =
+        vec![std::collections::VecDeque::new(); threads];
+    for i in 0..programs.len() {
+        queues[i % threads].push_back(i);
+    }
+    let mut remaining: usize = programs.iter().filter(|p| !p.is_done()).count();
+    for q in &mut queues {
+        q.retain(|&i| !programs[i].is_done());
+    }
+
+    let mut step: u64 = 0;
+    let result = loop {
+        if remaining == 0 {
+            break Ok(());
+        }
+        let preferred = plan.tid_at(step) as usize % threads;
+        // Resolve the preference to the next thread with runnable work.
+        let Some(tid) = (0..threads)
+            .map(|d| (preferred + d) % threads)
+            .find(|&t| !queues[t].is_empty())
+        else {
+            break Ok(()); // unreachable while remaining > 0; defensive
+        };
+        let idx = queues[tid][0];
+        ctx.set_current_thread(tid as u32);
+        if let Err(e) = programs[idx].step(ctx) {
+            break Err(e);
+        }
+        if programs[idx].is_done() {
+            queues[tid].pop_front();
+            remaining -= 1;
+        }
+        step += 1;
+    };
+    ctx.set_current_thread(0);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmPool;
+
+    fn ctx() -> PmCtx {
+        PmCtx::new(PmPool::new(64 * 1024).unwrap())
+    }
+
+    /// A program of `n` writes to `base + tid-distinct` slots.
+    fn writer(base: u64, n: usize) -> Box<dyn ThreadProgram + 'static> {
+        let steps = (0..n)
+            .map(|i| {
+                let addr = base + (i as u64) * 8;
+                Box::new(move |c: &mut PmCtx| {
+                    c.write_u64(addr, 1)?;
+                    Ok(())
+                }) as Box<dyn FnMut(&mut PmCtx) -> Result<(), DynError>>
+            })
+            .collect();
+        Box::new(OpSequence::new(steps))
+    }
+
+    #[test]
+    fn spec_parses_and_displays() {
+        for (s, spec) in [
+            ("rr", ScheduleSpec::RoundRobin),
+            ("seed:42", ScheduleSpec::Seeded(42)),
+            ("exhaustive:3", ScheduleSpec::Exhaustive(3)),
+        ] {
+            assert_eq!(s.parse::<ScheduleSpec>().unwrap(), spec);
+            assert_eq!(spec.to_string(), s);
+        }
+        assert!("bogus".parse::<ScheduleSpec>().is_err());
+        assert!("seed:x".parse::<ScheduleSpec>().is_err());
+        assert!("exhaustive:".parse::<ScheduleSpec>().is_err());
+    }
+
+    #[test]
+    fn plan_round_trips_through_its_string_form() {
+        let rr = SchedulePlan::round_robin(4);
+        assert_eq!(rr.to_string(), "t4:rr");
+        assert_eq!("t4:rr".parse::<SchedulePlan>().unwrap(), rr);
+
+        let plan = SchedulePlan::with_slots(2, vec![0, 1, 1, 0]);
+        assert_eq!(plan.to_string(), "t2:0,1,1,0");
+        assert_eq!(plan.to_string().parse::<SchedulePlan>().unwrap(), plan);
+
+        assert!("2:rr".parse::<SchedulePlan>().is_err());
+        assert!("t0:rr".parse::<SchedulePlan>().is_err());
+        assert!("t2:0,x".parse::<SchedulePlan>().is_err());
+    }
+
+    #[test]
+    fn exhaustive_expansion_is_lexicographic_and_complete() {
+        let plans = ScheduleSpec::Exhaustive(2).expand(2);
+        assert_eq!(plans.len(), 4);
+        let prefixes: Vec<&[u32]> = plans.iter().map(SchedulePlan::slots).collect();
+        assert_eq!(prefixes, vec![&[0, 0][..], &[0, 1], &[1, 0], &[1, 1]]);
+        assert_eq!(ScheduleSpec::Exhaustive(2).plan_count(2), 4);
+        assert_eq!(ScheduleSpec::Exhaustive(10).plan_count(4), 1 << 20);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_per_seed() {
+        let a = ScheduleSpec::Seeded(7).expand(3);
+        let b = ScheduleSpec::Seeded(7).expand(3);
+        assert_eq!(a, b);
+        assert_eq!(a[0].slots().len(), SEEDED_SLOTS);
+        assert!(a[0].slots().iter().all(|&s| s < 3));
+        let c = ScheduleSpec::Seeded(8).expand(3);
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn round_robin_tail_after_the_prefix() {
+        let plan = SchedulePlan::with_slots(2, vec![1, 1]);
+        assert_eq!(plan.tid_at(0), 1);
+        assert_eq!(plan.tid_at(1), 1);
+        assert_eq!(plan.tid_at(2), 0, "tail is round-robin by step index");
+        assert_eq!(plan.tid_at(3), 1);
+    }
+
+    #[test]
+    fn interleaver_tags_entries_with_the_scheduled_thread() {
+        let mut c = ctx();
+        let base = c.pool().base();
+        let mut programs = vec![writer(base, 3), writer(base + 1024, 3)];
+        run_interleaved(&mut c, &mut programs, &SchedulePlan::round_robin(2)).unwrap();
+        let trace = c.trace().drain();
+        let tids: Vec<u32> = trace.iter().map(|e| e.tid).collect();
+        assert_eq!(tids, vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(c.current_thread(), 0, "context resets to thread 0");
+    }
+
+    #[test]
+    fn single_thread_runs_programs_sequentially() {
+        let mut c = ctx();
+        let base = c.pool().base();
+        let mut programs = vec![writer(base, 2), writer(base + 1024, 2)];
+        run_interleaved(&mut c, &mut programs, &SchedulePlan::round_robin(1)).unwrap();
+        let trace = c.trace().drain();
+        assert!(trace.iter().all(|e| e.tid == 0));
+        let addrs: Vec<u64> = trace
+            .iter()
+            .filter_map(|e| e.op.range().map(|(a, _)| a))
+            .collect();
+        assert_eq!(addrs, vec![base, base + 8, base + 1024, base + 1032]);
+    }
+
+    #[test]
+    fn finished_threads_are_skipped_deterministically() {
+        let mut c = ctx();
+        let base = c.pool().base();
+        // Thread 1's program is much shorter; the plan keeps preferring it.
+        let mut programs = vec![writer(base, 4), writer(base + 1024, 1)];
+        let plan = SchedulePlan::with_slots(2, vec![1, 1, 1, 1, 1]);
+        run_interleaved(&mut c, &mut programs, &plan).unwrap();
+        let tids: Vec<u32> = c.trace().drain().iter().map(|e| e.tid).collect();
+        assert_eq!(tids, vec![1, 0, 0, 0, 0], "preference falls through to t0");
+    }
+
+    #[test]
+    fn program_errors_abort_and_reset_the_thread() {
+        struct Failing;
+        impl ThreadProgram for Failing {
+            fn is_done(&self) -> bool {
+                false
+            }
+            fn step(&mut self, _ctx: &mut PmCtx) -> Result<(), DynError> {
+                Err("boom".into())
+            }
+        }
+        let mut c = ctx();
+        let mut programs: Vec<Box<dyn ThreadProgram>> = vec![Box::new(Failing)];
+        let err = run_interleaved(&mut c, &mut programs, &SchedulePlan::round_robin(2));
+        assert!(err.is_err());
+        assert_eq!(c.current_thread(), 0);
+    }
+}

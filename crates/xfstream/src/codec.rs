@@ -5,8 +5,11 @@
 //! out in decimal — an order of magnitude more bytes than the information
 //! content. The `.xft` codec is the compact on-disk form:
 //!
-//! - a **versioned header** (`XFT1`, format version, optional entry/failure
-//!   point counts when known up front),
+//! - a **versioned header** (`XFT1` for single-threaded traces, `XFT2` for
+//!   concurrent ones; format version, optional entry/failure point counts
+//!   when known up front — v2 additionally carries the thread count and the
+//!   serialized schedule so a recorded concurrent run replays under the
+//!   exact interleaving that produced it),
 //! - a **string table** built incrementally: the first reference to a
 //!   source file emits a `FileDef` record and assigns the next id; every
 //!   later reference is a small varint,
@@ -24,6 +27,12 @@
 //! the paper's "how much of the pre-failure trace had executed" (`pre_len`)
 //! implicitly, so no sequence numbers are stored at all.
 //!
+//! **Format v2** (`XFT2`) is v1 plus concurrency: the header gains a thread
+//! count and the schedule string, and every entry carries a trailing thread
+//! id varint (tiny tids make it one byte). v1 files decode unchanged with
+//! every tid defaulting to 0; v2 is only emitted for runs stamped with
+//! thread metadata, so single-threaded traces stay byte-identical to v1.
+//!
 //! [`XftWriter`]/[`XftReader`] stream entry-by-entry — a recorded run never
 //! has to be fully resident — and [`analyze_xft`] runs the detection
 //! backend directly off a reader, mirroring [`xfdetector::offline::analyze`].
@@ -38,10 +47,14 @@ use xfdetector::offline::{RecordedFailurePoint, RecordedRun};
 use xfdetector::{DetectionReport, FailurePoint, ShadowPm};
 use xftrace::{FenceKind, FlushKind, Op, OwnedTraceEntry, SourceLoc, Stage, TraceEntry};
 
-/// File magic: `XFT` + format generation `1`.
+/// File magic: `XFT` + format generation `1` (single-threaded traces).
 pub const MAGIC: [u8; 4] = *b"XFT1";
-/// Current format version.
+/// File magic: `XFT` + format generation `2` (concurrent traces).
+pub const MAGIC2: [u8; 4] = *b"XFT2";
+/// Format version written behind [`MAGIC`].
 pub const VERSION: u8 = 1;
+/// Format version written behind [`MAGIC2`].
+pub const VERSION2: u8 = 2;
 
 /// Header flag: the header carries authoritative entry/failure-point counts
 /// (set by [`write_recorded_run`]; streaming writers leave it clear and
@@ -81,7 +94,7 @@ const ENT_CHECKED: u8 = 0b0100_0000;
 pub enum XftError {
     /// An underlying I/O error.
     Io(io::Error),
-    /// The input does not start with the `XFT1` magic.
+    /// The input does not start with the `XFT1`/`XFT2` magic.
     BadMagic([u8; 4]),
     /// The input's format version is newer than this reader understands.
     UnsupportedVersion(u8),
@@ -98,7 +111,7 @@ impl fmt::Display for XftError {
             XftError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported .xft version {v} (this build reads {VERSION})"
+                    "unsupported .xft version {v} (this build reads {VERSION} and {VERSION2})"
                 )
             }
             XftError::Corrupt(msg) => write!(f, "corrupt .xft trace: {msg}"),
@@ -147,7 +160,7 @@ fn read_varint<R: Read>(r: &mut R) -> Result<u64, XftError> {
 }
 
 /// The decoded `.xft` header.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XftHeader {
     /// Format version.
     pub version: u8,
@@ -155,6 +168,33 @@ pub struct XftHeader {
     pub entry_count: Option<u64>,
     /// Failure-point count, when the writer knew it up front.
     pub fp_count: Option<u64>,
+    /// Thread count of a concurrent trace (0 on v1 files).
+    pub threads: u32,
+    /// Serialized schedule of a concurrent trace (empty on v1 files).
+    pub schedule: String,
+}
+
+impl XftHeader {
+    /// Whether entries carry per-entry thread ids (format v2).
+    #[must_use]
+    pub fn is_concurrent(&self) -> bool {
+        self.version >= VERSION2
+    }
+}
+
+/// Checks that `version` is one this build decodes behind `magic`; the
+/// magic byte names the generation, the version byte must agree.
+fn check_version(magic: [u8; 4], version: u8) -> Result<(), XftError> {
+    let supported = if magic == MAGIC2 {
+        version == VERSION2
+    } else {
+        version <= VERSION
+    };
+    if supported {
+        Ok(())
+    } else {
+        Err(XftError::UnsupportedVersion(version))
+    }
 }
 
 /// Shared delta-coding state between writer and reader.
@@ -214,40 +254,81 @@ pub struct XftWriter<W: Write> {
     delta: DeltaState,
     entries: u64,
     fps: u64,
+    /// Format v2: entries carry a trailing thread-id varint.
+    concurrent: bool,
 }
 
 impl<W: Write> XftWriter<W> {
-    /// Starts a streaming trace: the header carries no counts; readers rely
-    /// on the `End` record.
+    /// Starts a streaming single-threaded (v1) trace: the header carries no
+    /// counts; readers rely on the `End` record.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing the header.
     pub fn new(w: W) -> Result<Self, XftError> {
-        Self::start(w, None)
+        Self::start(w, None, None)
     }
 
-    /// Starts a trace whose totals are known up front; the header carries
+    /// Starts a v1 trace whose totals are known up front; the header carries
     /// the counts and the reader cross-checks them against the `End` record.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing the header.
     pub fn with_counts(w: W, entry_count: u64, fp_count: u64) -> Result<Self, XftError> {
-        Self::start(w, Some((entry_count, fp_count)))
+        Self::start(w, Some((entry_count, fp_count)), None)
     }
 
-    fn start(mut w: W, counts: Option<(u64, u64)>) -> Result<Self, XftError> {
-        w.write_all(&MAGIC)?;
+    /// Starts a streaming concurrent (v2) trace carrying the thread count
+    /// and the serialized schedule; every entry records its thread id.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn new_concurrent(w: W, threads: u32, schedule: &str) -> Result<Self, XftError> {
+        Self::start(w, None, Some((threads, schedule)))
+    }
+
+    /// Starts a concurrent (v2) trace whose totals are known up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn with_counts_concurrent(
+        w: W,
+        entry_count: u64,
+        fp_count: u64,
+        threads: u32,
+        schedule: &str,
+    ) -> Result<Self, XftError> {
+        Self::start(w, Some((entry_count, fp_count)), Some((threads, schedule)))
+    }
+
+    fn start(
+        mut w: W,
+        counts: Option<(u64, u64)>,
+        meta: Option<(u32, &str)>,
+    ) -> Result<Self, XftError> {
+        let (magic, version) = if meta.is_some() {
+            (MAGIC2, VERSION2)
+        } else {
+            (MAGIC, VERSION)
+        };
+        w.write_all(&magic)?;
         let flags = if counts.is_some() {
             FLAG_COUNTS_IN_HEADER
         } else {
             0
         };
-        w.write_all(&[VERSION, flags])?;
+        w.write_all(&[version, flags])?;
         if let Some((entries, fps)) = counts {
             write_varint(&mut w, entries)?;
             write_varint(&mut w, fps)?;
+        }
+        if let Some((threads, schedule)) = meta {
+            write_varint(&mut w, u64::from(threads))?;
+            write_varint(&mut w, schedule.len() as u64)?;
+            w.write_all(schedule.as_bytes())?;
         }
         Ok(XftWriter {
             w,
@@ -255,6 +336,7 @@ impl<W: Write> XftWriter<W> {
             delta: DeltaState::default(),
             entries: 0,
             fps: 0,
+            concurrent: meta.is_some(),
         })
     }
 
@@ -287,6 +369,7 @@ impl<W: Write> XftWriter<W> {
         op: Op,
         file: &str,
         line: u32,
+        tid: u32,
         flags: EntryFlags,
     ) -> Result<(), XftError> {
         let EntryFlags {
@@ -363,6 +446,9 @@ impl<W: Write> XftWriter<W> {
         write_varint(&mut self.w, file_id)?;
         let dl = self.delta.line_delta(line);
         write_varint(&mut self.w, dl)?;
+        if self.concurrent {
+            write_varint(&mut self.w, u64::from(tid))?;
+        }
         self.entries += 1;
         Ok(())
     }
@@ -374,7 +460,7 @@ impl<W: Write> XftWriter<W> {
     /// Returns any underlying I/O error.
     pub fn write_pre(&mut self, e: &OwnedTraceEntry) -> Result<(), XftError> {
         let flags = Self::flags(e.stage, e.internal, e.checked);
-        self.write_entry(REC_PRE, e.op, &e.file, e.line, flags)
+        self.write_entry(REC_PRE, e.op, &e.file, e.line, e.tid, flags)
     }
 
     /// Appends one pre-failure entry (borrowed form, as produced live by
@@ -385,7 +471,7 @@ impl<W: Write> XftWriter<W> {
     /// Returns any underlying I/O error.
     pub fn write_pre_entry(&mut self, e: &TraceEntry) -> Result<(), XftError> {
         let flags = Self::flags(e.stage, e.internal, e.checked);
-        self.write_entry(REC_PRE, e.op, e.loc.file, e.loc.line, flags)
+        self.write_entry(REC_PRE, e.op, e.loc.file, e.loc.line, e.tid, flags)
     }
 
     /// Starts a failure point at the ordering point `file:line`. Subsequent
@@ -411,7 +497,7 @@ impl<W: Write> XftWriter<W> {
     /// Returns any underlying I/O error.
     pub fn write_post(&mut self, e: &OwnedTraceEntry) -> Result<(), XftError> {
         let flags = Self::flags(e.stage, e.internal, e.checked);
-        self.write_entry(REC_POST, e.op, &e.file, e.line, flags)
+        self.write_entry(REC_POST, e.op, &e.file, e.line, e.tid, flags)
     }
 
     /// Appends one post-failure entry (borrowed form).
@@ -421,7 +507,7 @@ impl<W: Write> XftWriter<W> {
     /// Returns any underlying I/O error.
     pub fn write_post_entry(&mut self, e: &TraceEntry) -> Result<(), XftError> {
         let flags = Self::flags(e.stage, e.internal, e.checked);
-        self.write_entry(REC_POST, e.op, e.loc.file, e.loc.line, flags)
+        self.write_entry(REC_POST, e.op, e.loc.file, e.loc.line, e.tid, flags)
     }
 
     /// Entries written so far.
@@ -518,19 +604,29 @@ impl<R: Read> XftReader<R> {
     pub fn new(mut r: R) -> Result<Self, XftError> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
-        if magic != MAGIC {
+        if magic != MAGIC && magic != MAGIC2 {
             return Err(XftError::BadMagic(magic));
         }
         let mut vf = [0u8; 2];
         r.read_exact(&mut vf)?;
         let (version, flags) = (vf[0], vf[1]);
-        if version > VERSION {
-            return Err(XftError::UnsupportedVersion(version));
-        }
+        check_version(magic, version)?;
         let (entry_count, fp_count) = if flags & FLAG_COUNTS_IN_HEADER != 0 {
             (Some(read_varint(&mut r)?), Some(read_varint(&mut r)?))
         } else {
             (None, None)
+        };
+        let (threads, schedule) = if magic == MAGIC2 {
+            let threads = u32::try_from(read_varint(&mut r)?)
+                .map_err(|_| XftError::Corrupt("thread count exceeds u32".into()))?;
+            let len = read_varint(&mut r)? as usize;
+            let mut buf = vec![0u8; len];
+            r.read_exact(&mut buf)?;
+            let schedule = String::from_utf8(buf)
+                .map_err(|_| XftError::Corrupt("schedule is not UTF-8".into()))?;
+            (threads, schedule)
+        } else {
+            (0, String::new())
         };
         Ok(XftReader {
             r,
@@ -538,6 +634,8 @@ impl<R: Read> XftReader<R> {
                 version,
                 entry_count,
                 fp_count,
+                threads,
+                schedule,
             },
             files: Vec::new(),
             delta: DeltaState::default(),
@@ -550,7 +648,7 @@ impl<R: Read> XftReader<R> {
     /// The decoded header.
     #[must_use]
     pub fn header(&self) -> XftHeader {
-        self.header
+        self.header.clone()
     }
 
     /// The string table seen so far (complete once the stream is drained).
@@ -656,11 +754,18 @@ impl<R: Read> XftReader<R> {
             .clone();
         let raw_line = read_varint(&mut self.r)?;
         let line = self.delta.line_undelta(raw_line)?;
+        let tid = if self.header.is_concurrent() {
+            u32::try_from(read_varint(&mut self.r)?)
+                .map_err(|_| XftError::Corrupt("thread id exceeds u32".into()))?
+        } else {
+            0
+        };
         self.entries_read += 1;
         Ok(OwnedTraceEntry {
             op,
             file,
             line,
+            tid,
             stage,
             internal,
             checked,
@@ -822,6 +927,8 @@ impl XftMmapReader {
                 version: 0,
                 entry_count: None,
                 fp_count: None,
+                threads: 0,
+                schedule: String::new(),
             },
             files: Vec::new(),
             delta: DeltaState::default(),
@@ -830,23 +937,35 @@ impl XftMmapReader {
             done: false,
         };
         let magic: [u8; 4] = rd.take(4)?.try_into().expect("length checked");
-        if magic != MAGIC {
+        if magic != MAGIC && magic != MAGIC2 {
             return Err(XftError::BadMagic(magic));
         }
         let version = rd.u8()?;
         let flags = rd.u8()?;
-        if version > VERSION {
-            return Err(XftError::UnsupportedVersion(version));
-        }
+        check_version(magic, version)?;
         let (entry_count, fp_count) = if flags & FLAG_COUNTS_IN_HEADER != 0 {
             (Some(rd.varint()?), Some(rd.varint()?))
         } else {
             (None, None)
         };
+        let (threads, schedule) = if magic == MAGIC2 {
+            let threads = u32::try_from(rd.varint()?)
+                .map_err(|_| XftError::Corrupt("thread count exceeds u32".into()))?;
+            let len = rd.varint()? as usize;
+            let bytes = rd.take(len)?;
+            let schedule = std::str::from_utf8(bytes)
+                .map_err(|_| XftError::Corrupt("schedule is not UTF-8".into()))?
+                .to_owned();
+            (threads, schedule)
+        } else {
+            (0, String::new())
+        };
         rd.header = XftHeader {
             version,
             entry_count,
             fp_count,
+            threads,
+            schedule,
         };
         Ok(rd)
     }
@@ -919,7 +1038,7 @@ impl XftMmapReader {
     /// The decoded header.
     #[must_use]
     pub fn header(&self) -> XftHeader {
-        self.header
+        self.header.clone()
     }
 
     /// The (interned) string table seen so far.
@@ -1013,10 +1132,17 @@ impl XftMmapReader {
             .ok_or_else(|| XftError::Corrupt(format!("undefined file id {file_id}")))?;
         let raw_line = self.varint()?;
         let line = self.delta.line_undelta(raw_line)?;
+        let tid = if self.header.version >= VERSION2 {
+            u32::try_from(self.varint()?)
+                .map_err(|_| XftError::Corrupt("thread id exceeds u32".into()))?
+        } else {
+            0
+        };
         self.entries_read += 1;
         Ok(TraceEntry {
             op,
             loc: SourceLoc { file, line },
+            tid,
             stage,
             internal,
             checked,
@@ -1172,8 +1298,14 @@ impl XftReader<BufReader<File>> {
 ///
 /// Returns any underlying I/O error.
 pub fn write_recorded_run<W: Write>(w: W, run: &RecordedRun) -> Result<W, XftError> {
-    let mut wr =
-        XftWriter::with_counts(w, run.entry_count() as u64, run.failure_points.len() as u64)?;
+    let (entries, fps) = (run.entry_count() as u64, run.failure_points.len() as u64);
+    // Runs stamped with thread metadata (even a one-thread schedule) go
+    // out as v2 so the stamp round-trips; plain runs stay v1.
+    let mut wr = if run.threads != 0 || !run.schedule.is_empty() {
+        XftWriter::with_counts_concurrent(w, entries, fps, run.threads, &run.schedule)?
+    } else {
+        XftWriter::with_counts(w, entries, fps)?
+    };
     let mut cursor = 0usize;
     for rfp in &run.failure_points {
         let upto = rfp.pre_len.min(run.pre.len());
@@ -1210,7 +1342,11 @@ pub fn encode_recorded_run(run: &RecordedRun) -> Result<Vec<u8>, XftError> {
 /// are [`XftError::Corrupt`].
 pub fn read_recorded_run<R: Read>(r: R) -> Result<RecordedRun, XftError> {
     let mut reader = XftReader::new(r)?;
-    let mut run = RecordedRun::default();
+    let mut run = RecordedRun {
+        threads: reader.header.threads,
+        schedule: reader.header.schedule.clone(),
+        ..RecordedRun::default()
+    };
     while let Some(ev) = reader.next_event()? {
         match ev {
             XftEvent::Pre(e) => run.pre.push(e),
@@ -1317,6 +1453,7 @@ mod tests {
             op,
             file: file.to_owned(),
             line,
+            tid: 0,
             stage,
             internal: false,
             checked: true,
@@ -1392,7 +1529,21 @@ mod tests {
                     Stage::Post,
                 )],
             }],
+            threads: 0,
+            schedule: String::new(),
         }
+    }
+
+    /// `sample_run` restamped as a two-thread recording: alternating tids
+    /// on the pre entries and the concurrent metadata set.
+    fn concurrent_run() -> RecordedRun {
+        let mut run = sample_run();
+        for (i, e) in run.pre.iter_mut().enumerate() {
+            e.tid = (i % 2) as u32;
+        }
+        run.threads = 2;
+        run.schedule = "t2:0,1,1,0".to_owned();
+        run
     }
 
     fn run_json(run: &RecordedRun) -> String {
@@ -1615,6 +1766,87 @@ mod tests {
         assert!(matches!(src, XftSource::Mapped(_)));
         std::fs::remove_file(&path).ok();
         assert!(XftReader::open_mmap(&path).is_err());
+    }
+
+    #[test]
+    fn single_threaded_runs_still_encode_as_v1() {
+        let bytes = encode_recorded_run(&sample_run()).unwrap();
+        assert_eq!(&bytes[..4], &MAGIC);
+        let header = XftReader::new(&bytes[..]).unwrap().header();
+        assert_eq!(header.version, VERSION);
+        assert!(!header.is_concurrent());
+        assert_eq!(header.threads, 0);
+        assert!(header.schedule.is_empty());
+    }
+
+    #[test]
+    fn concurrent_run_round_trips_through_v2() {
+        let run = concurrent_run();
+        let bytes = encode_recorded_run(&run).unwrap();
+        assert_eq!(&bytes[..4], &MAGIC2);
+        let header = XftReader::new(&bytes[..]).unwrap().header();
+        assert_eq!(header.version, VERSION2);
+        assert!(header.is_concurrent());
+        assert_eq!(header.threads, 2);
+        assert_eq!(header.schedule, "t2:0,1,1,0");
+        let back = read_recorded_run(&bytes[..]).unwrap();
+        assert_eq!(run_json(&run), run_json(&back));
+    }
+
+    #[test]
+    fn mapped_decode_matches_streaming_decode_for_v2() {
+        let bytes = encode_recorded_run(&concurrent_run()).unwrap();
+        let (streamed, mapped) = both_decodes(&bytes);
+        assert_eq!(streamed, mapped);
+        let rd = XftMmapReader::from_bytes(bytes).unwrap();
+        assert_eq!(rd.header().threads, 2);
+        assert_eq!(rd.header().schedule, "t2:0,1,1,0");
+    }
+
+    #[test]
+    fn one_thread_schedule_stamp_survives_the_round_trip() {
+        let mut run = sample_run();
+        run.threads = 1;
+        run.schedule = "t1:rr".to_owned();
+        let bytes = encode_recorded_run(&run).unwrap();
+        assert_eq!(
+            &bytes[..4],
+            &MAGIC2,
+            "a stamped run must not lose its stamp to v1"
+        );
+        let back = read_recorded_run(&bytes[..]).unwrap();
+        assert_eq!(run_json(&run), run_json(&back));
+    }
+
+    #[test]
+    fn streaming_v2_writer_round_trips() {
+        let run = concurrent_run();
+        let mut wr = XftWriter::new_concurrent(Vec::new(), run.threads, &run.schedule).unwrap();
+        for e in &run.pre[..3] {
+            wr.write_pre(e).unwrap();
+        }
+        wr.begin_failure_point("a.rs", 11).unwrap();
+        for e in &run.failure_points[0].post {
+            wr.write_post(e).unwrap();
+        }
+        for e in &run.pre[3..] {
+            wr.write_pre(e).unwrap();
+        }
+        let bytes = wr.finish().unwrap();
+        let back = read_recorded_run(&bytes[..]).unwrap();
+        assert_eq!(run_json(&run), run_json(&back));
+    }
+
+    #[test]
+    fn v2_magic_with_wrong_version_is_rejected() {
+        let mut bytes = encode_recorded_run(&concurrent_run()).unwrap();
+        bytes[4] = VERSION; // XFT2 magic must carry version 2
+        let err = XftReader::new(&bytes[..]).unwrap_err();
+        assert!(matches!(err, XftError::UnsupportedVersion(_)), "{err}");
+        assert!(matches!(
+            XftMmapReader::from_bytes(bytes),
+            Err(XftError::UnsupportedVersion(_))
+        ));
     }
 
     #[test]

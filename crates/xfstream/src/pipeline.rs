@@ -186,7 +186,13 @@ impl EngineHook for StreamFrontend {
         {
             let mut stats = self.stats.borrow_mut();
             stats.ordering_points += 1;
-            if !info.forced && self.config.skip_empty_failure_points && !info.had_pm_mutation {
+            // Multi-threaded fences are never "empty": the per-thread drain
+            // and cross-thread marking change the exposed crash state.
+            if !info.forced
+                && self.config.skip_empty_failure_points
+                && !info.had_pm_mutation
+                && self.config.threads <= 1
+            {
                 stats.skipped_empty += 1;
                 return;
             }

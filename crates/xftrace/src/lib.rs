@@ -325,6 +325,11 @@ pub struct TraceEntry {
     pub op: Op,
     /// Where in the source the operation was issued.
     pub loc: SourceLoc,
+    /// Logical thread that issued the operation. Single-threaded traces
+    /// (and every post-failure stage, which recovers on one thread) use
+    /// thread 0; the cooperative interleaving scheduler stamps the id of
+    /// the thread it scheduled for each step.
+    pub tid: u32,
     /// Which execution stage produced the entry.
     pub stage: Stage,
     /// `true` when the entry was produced by trusted PM-library internals
@@ -341,17 +346,27 @@ pub struct TraceEntry {
 }
 
 impl TraceEntry {
-    /// Creates a trace entry. `internal` marks trusted library-internal
-    /// operations; `checked` marks entries subject to bug checks.
+    /// Creates a trace entry on thread 0. `internal` marks trusted
+    /// library-internal operations; `checked` marks entries subject to bug
+    /// checks. Use [`TraceEntry::with_tid`] to re-attribute the entry to
+    /// another logical thread.
     #[must_use]
     pub fn new(op: Op, loc: SourceLoc, stage: Stage, internal: bool, checked: bool) -> Self {
         TraceEntry {
             op,
             loc,
+            tid: 0,
             stage,
             internal,
             checked,
         }
+    }
+
+    /// Returns the entry re-attributed to logical thread `tid`.
+    #[must_use]
+    pub fn with_tid(mut self, tid: u32) -> Self {
+        self.tid = tid;
+        self
     }
 }
 
@@ -435,6 +450,9 @@ pub struct OwnedTraceEntry {
     pub file: String,
     /// 1-based line number.
     pub line: u32,
+    /// Logical thread that issued the operation (0 for single-threaded
+    /// traces and for every post-failure stage).
+    pub tid: u32,
     /// Which execution stage produced the entry.
     pub stage: Stage,
     /// Produced by trusted library internals.
@@ -449,6 +467,7 @@ impl From<TraceEntry> for OwnedTraceEntry {
             op: e.op,
             file: e.loc.file.to_owned(),
             line: e.loc.line,
+            tid: e.tid,
             stage: e.stage,
             internal: e.internal,
             checked: e.checked,
@@ -470,6 +489,7 @@ impl OwnedTraceEntry {
                 file: intern_file(&self.file),
                 line: self.line,
             },
+            tid: self.tid,
             stage: self.stage,
             internal: self.internal,
             checked: self.checked,
@@ -675,11 +695,37 @@ mod tests {
     }
 
     #[test]
+    fn tid_round_trips_through_the_owned_form() {
+        let e = TraceEntry::new(
+            Op::Write {
+                addr: 0x80,
+                size: 8,
+            },
+            SourceLoc {
+                file: "t.rs",
+                line: 4,
+            },
+            Stage::Pre,
+            false,
+            true,
+        )
+        .with_tid(3);
+        assert_eq!(e.tid, 3);
+        let owned = OwnedTraceEntry::from(e);
+        assert_eq!(owned.tid, 3);
+        let json = serde_json::to_string(&owned).unwrap();
+        let back: OwnedTraceEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tid, 3);
+        assert_eq!(back.to_entry().tid, 3);
+    }
+
+    #[test]
     fn interner_deduplicates_file_names() {
         let a = OwnedTraceEntry {
             op: Op::TxBegin,
             file: "same.rs".to_owned(),
             line: 1,
+            tid: 0,
             stage: Stage::Pre,
             internal: false,
             checked: true,

@@ -29,12 +29,12 @@ use std::time::Duration;
 use serde::Serialize;
 use xfd::pmem::Budget;
 use xfd::workloads::bugs::{BugId, BugSet, WorkloadKind};
-use xfd::workloads::{build_with_init, validation_ops};
+use xfd::workloads::{build_concurrent, build_with_init, validation_ops};
 use xfd::xfdetector::offline::pruning_census;
 use xfd::xfdetector::{
-    BugKind, DetectionReport, Mode, Progress, Pruning, RunOutcome, RunStats, XfConfig,
+    BugKind, DetectionReport, Mode, Progress, Pruning, RunOutcome, RunStats, ScheduleSpec, XfConfig,
 };
-use xfd::xffuzz::{self, DiffConfig, FuzzProgram};
+use xfd::xffuzz::{self, ConcurrentFuzzProgram, DiffConfig, FuzzProgram, FuzzSource};
 use xfd::xfstream::{self, StreamOptions, XftReader};
 
 const USAGE: &str = "\
@@ -43,15 +43,16 @@ xfd — cross-failure bug detection for persistent-memory programs
 USAGE:
     xfd record  --workload <name> [--ops N] [--init N] [--bug ID]...
                 [--out FILE.xft] [--json-trace FILE.json] [--report FILE.json]
-                [--capacity N] [CONFIG FLAGS]
+                [--capacity N] [--threads N] [--schedule SPEC] [CONFIG FLAGS]
     xfd analyze <FILE.xft> [--all-reads] [--pruning MODE] [--json]
                 [--out FILE.json]
     xfd report  --workload <name> [--ops N] [--init N] [--bug ID]...
                 [--mode batch|stream|parallel] [--workers N] [--capacity N]
-                [--json] [--report FILE.json] [CONFIG FLAGS]
+                [--threads N] [--schedule SPEC] [--json] [--report FILE.json]
+                [CONFIG FLAGS]
     xfd fuzz    [--seed N] [--iters N] [--max-ops N] [--no-shrink]
-                [--corpus-dir DIR] [--budget-entries N] [--replay FILE.fuzz]
-                [--progress] [--json]
+                [--corpus-dir DIR] [--budget-entries N] [--threads N]
+                [--replay FILE.fuzz] [--progress] [--json]
     xfd info    [FILE.xft]
 
 SUBCOMMANDS:
@@ -72,12 +73,16 @@ FUZZ OPTIONS:
     --budget-entries N    Post-failure trace-entry watchdog (default 100000)
     --pruning MODE        Run all three engines under the given pruning
                           policy; engine equivalence must hold in lockstep
+    --threads N           Above 1: generate concurrent programs and run
+                          them multi-threaded through every engine
     --replay FILE.fuzz    Re-check one saved program instead of a campaign
+                          (sequential `xffuzz v1` or concurrent `xffuzz c1`)
     Exit status: 3 if any divergence was found, 2 on infrastructure errors
 
 COMMON OPTIONS:
     --workload <name>     One of: btree, ctree, rbtree, hashmap_tx,
-                          hashmap_atomic, memcached, redis
+                          hashmap_atomic, memcached, redis, treiber_stack,
+                          ms_queue
     --ops N               Pre-failure operations (default: per-workload size
                           at which every registered bug fires)
     --init N              Pre-population operations during setup (default 0)
@@ -85,6 +90,15 @@ COMMON OPTIONS:
     --json                Print the report as JSON on stdout
     --fail-on-bugs        Exit with status 3 if correctness bugs were found
                           (budget overruns always exit 3)
+
+CONCURRENCY OPTIONS (record & report; concurrent workloads only):
+    --threads N           Logical threads for the concurrent workloads
+                          (treiber_stack, ms_queue); the pre-failure stage
+                          interleaves N thread programs deterministically
+    --schedule SPEC       rr | seed:N | exhaustive:K — the interleaving(s)
+                          explored: strict round-robin (default), one
+                          seeded pseudo-random schedule, or every schedule
+                          fixing the first K picks
 
 SESSION OPTIONS (fault-tolerant orchestration; record & report):
     --budget-ms N         Kill post-failure runs after N ms of wall time and
@@ -176,6 +190,8 @@ struct WorkOpts {
     metrics_out: Option<String>,
     repro_dir: Option<String>,
     progress: bool,
+    threads: u32,
+    schedule: Option<ScheduleSpec>,
 }
 
 impl Default for WorkOpts {
@@ -201,6 +217,8 @@ impl Default for WorkOpts {
             metrics_out: None,
             repro_dir: None,
             progress: false,
+            threads: 1,
+            schedule: None,
         }
     }
 }
@@ -255,6 +273,22 @@ fn parse_pruning(v: &str) -> Result<Pruning, String> {
     ))
 }
 
+/// Parses `--schedule rr|seed:N|exhaustive:K`.
+fn parse_schedule(v: &str) -> Result<ScheduleSpec, String> {
+    if v.eq_ignore_ascii_case("rr") || v.eq_ignore_ascii_case("round-robin") {
+        return Ok(ScheduleSpec::RoundRobin);
+    }
+    if let Some(rest) = v.strip_prefix("seed:") {
+        return Ok(ScheduleSpec::Seeded(parse_num("--schedule", rest)?));
+    }
+    if let Some(rest) = v.strip_prefix("exhaustive:") {
+        return Ok(ScheduleSpec::Exhaustive(parse_num("--schedule", rest)?));
+    }
+    Err(format!(
+        "--schedule: expected rr|seed:N|exhaustive:K, got '{v}'"
+    ))
+}
+
 fn parse_work_opts(args: &[String]) -> Result<WorkOpts, String> {
     let mut o = WorkOpts::default();
     let mut it = args.iter();
@@ -280,6 +314,13 @@ fn parse_work_opts(args: &[String]) -> Result<WorkOpts, String> {
                 }
             }
             "--workers" => o.workers = parse_num(arg, next_value(arg, &mut it)?)?,
+            "--threads" => {
+                o.threads = parse_num(arg, next_value(arg, &mut it)?)?;
+                if o.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--schedule" => o.schedule = Some(parse_schedule(next_value(arg, &mut it)?)?),
             "--capacity" => {
                 o.capacity = parse_num(arg, next_value(arg, &mut it)?)?;
                 if o.capacity == 0 {
@@ -441,11 +482,33 @@ fn run_mode(o: &WorkOpts, kind: WorkloadKind, record: bool) -> Result<RunOutcome
     if o.progress {
         builder = builder.on_progress(Duration::from_millis(200), progress_line);
     }
+    // Concurrency requested: run the workload's thread programs under the
+    // deterministic scheduler instead of the sequential degeneration.
+    let concurrent = o.threads > 1 || o.schedule.is_some();
+    if concurrent {
+        builder = builder
+            .threads(o.threads)
+            .schedule(o.schedule.unwrap_or_default());
+    }
     let session = builder
         .build()
         .map_err(|e| format!("invalid session configuration: {e}"))?;
 
-    let result = session.run(build_with_init(kind, o.init, ops, bugs), mode);
+    let result = if concurrent {
+        if o.init != 0 {
+            return Err("--init is not supported with --threads/--schedule".into());
+        }
+        let w = build_concurrent(kind, ops, bugs).ok_or_else(|| {
+            format!(
+                "--threads/--schedule need a concurrent workload \
+                 (treiber_stack or ms_queue), got {}",
+                kind.slug()
+            )
+        })?;
+        session.run_concurrent(w, mode)
+    } else {
+        session.run(build_with_init(kind, o.init, ops, bugs), mode)
+    };
     if o.progress {
         eprintln!();
     }
@@ -503,6 +566,13 @@ fn human_summary(report: &DetectionReport, stats: &RunStats) -> String {
             stats.stream_batches,
             stats.stream_max_depth,
             stats.stream_stall_time.as_secs_f64(),
+        );
+    }
+    if stats.schedules_explored > 0 {
+        let _ = write!(
+            s,
+            "\nconcurrency:    {} schedule(s) explored, {} cross-thread finding(s)",
+            stats.schedules_explored, stats.cross_thread_findings,
         );
     }
     s
@@ -696,6 +766,12 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, String> {
                 o.diff.budget_entries = Some(n);
             }
             "--pruning" => o.diff.pruning = parse_pruning(next_value(arg, &mut it)?)?,
+            "--threads" => {
+                o.diff.threads = parse_num(arg, next_value(arg, &mut it)?)?;
+                if o.diff.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             "--replay" => o.replay = Some(next_value(arg, &mut it)?.clone()),
             "--progress" => o.progress = true,
             "--json" => o.json = true,
@@ -718,59 +794,45 @@ struct FuzzOut {
     seed: u64,
     iters: u64,
     max_ops: usize,
+    threads: u32,
     programs_checked: u64,
     digest: String,
     divergences: Vec<FuzzDivergenceOut>,
 }
 
-fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
-    let o = parse_fuzz_opts(args)?;
-
-    // Replay mode: one saved program through the full differential check.
-    if let Some(path) = &o.replay {
-        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let program =
-            FuzzProgram::from_text(&text).map_err(|e| format!("parsing {path} failed: {e}"))?;
-        let outcome = xffuzz::check_program(&program, &o.diff)
-            .map_err(|e| format!("differential check failed: {e}"))?;
-        return match outcome.divergence {
-            None => {
-                println!(
-                    "{}: {} ops, engines and oracle agree",
-                    program.name,
-                    program.ops.len()
-                );
-                Ok(ExitCode::SUCCESS)
-            }
-            Some(d) => {
-                println!("{}: DIVERGENCE on {}", program.name, d.check);
-                println!("--- left ---\n{}", d.left);
-                println!("--- right ---\n{}", d.right);
-                Ok(ExitCode::from(3))
-            }
-        };
-    }
-
-    let progress = o.progress;
-    let outcome = xffuzz::run_campaign_with(&o.diff, |iter, diverged| {
-        if progress {
-            eprint!("\rfuzz: {}/{} programs checked   ", iter + 1, o.diff.iters);
+/// Prints one replayed program's check result and maps it to an exit code.
+fn finish_replay<P: FuzzSource>(program: &P, outcome: &xffuzz::CheckOutcome) -> ExitCode {
+    match &outcome.divergence {
+        None => {
+            println!(
+                "{}: {} ops, the engines agree",
+                program.source_name(),
+                program.op_count()
+            );
+            ExitCode::SUCCESS
         }
-        if diverged {
-            eprintln!("\nfuzz: divergence at iteration {iter}");
+        Some(d) => {
+            println!("{}: DIVERGENCE on {}", program.source_name(), d.check);
+            println!("--- left ---\n{}", d.left);
+            println!("--- right ---\n{}", d.right);
+            ExitCode::from(3)
         }
-    })
-    .map_err(|e| format!("fuzz campaign failed: {e}"))?;
-    if progress {
-        eprintln!();
     }
+}
 
+/// Prints a finished campaign (JSON or human form) and maps it to an exit
+/// code — shared by the sequential and concurrent campaign shapes.
+fn finish_fuzz<P: FuzzSource>(
+    o: &FuzzOpts,
+    outcome: &xffuzz::CampaignOutcome<P>,
+) -> Result<ExitCode, String> {
     let digest = format!("{:016x}", outcome.digest);
     if o.json {
         let out = FuzzOut {
             seed: o.diff.seed,
             iters: o.diff.iters,
             max_ops: o.diff.max_ops,
+            threads: o.diff.threads,
             programs_checked: outcome.programs_checked,
             digest,
             divergences: outcome
@@ -779,8 +841,8 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                 .map(|d| FuzzDivergenceOut {
                     iter: d.iter,
                     check: d.info.check,
-                    program: d.program.to_text(),
-                    minimized: d.minimized.as_ref().map(FuzzProgram::to_text),
+                    program: d.program.text(),
+                    minimized: d.minimized.as_ref().map(FuzzSource::text),
                 })
                 .collect(),
         };
@@ -790,8 +852,8 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
         );
     } else {
         println!(
-            "fuzz campaign: seed {}, {} programs, max {} ops each",
-            o.diff.seed, outcome.programs_checked, o.diff.max_ops
+            "fuzz campaign: seed {}, {} programs, max {} ops each, {} thread(s)",
+            o.diff.seed, outcome.programs_checked, o.diff.max_ops, o.diff.threads
         );
         println!("campaign digest: {digest}");
         if outcome.divergences.is_empty() {
@@ -799,13 +861,13 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
         } else {
             for d in &outcome.divergences {
                 let min = d.minimized.as_ref().map_or_else(String::new, |m| {
-                    format!(" (minimized to {} ops)", m.ops.len())
+                    format!(" (minimized to {} ops)", m.op_count())
                 });
                 println!(
                     "DIVERGENCE at iteration {}: {} on {} ops{min}",
                     d.iter,
                     d.info.check,
-                    d.program.ops.len()
+                    d.program.op_count()
                 );
             }
             if let Some(dir) = &o.diff.corpus_dir {
@@ -818,6 +880,56 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::from(3)
     })
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_fuzz_opts(args)?;
+
+    // Replay mode: one saved program through the full differential check.
+    // The text header picks the shape: `xffuzz v1` sequential, `xffuzz c1`
+    // concurrent.
+    if let Some(path) = &o.replay {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return if text.starts_with(xfd::xffuzz::program::CONC_TEXT_HEADER) {
+            let program = ConcurrentFuzzProgram::from_text(&text)
+                .map_err(|e| format!("parsing {path} failed: {e}"))?;
+            let outcome = xffuzz::check_concurrent_program(&program, &o.diff)
+                .map_err(|e| format!("differential check failed: {e}"))?;
+            Ok(finish_replay(&program, &outcome))
+        } else {
+            let program =
+                FuzzProgram::from_text(&text).map_err(|e| format!("parsing {path} failed: {e}"))?;
+            let outcome = xffuzz::check_program(&program, &o.diff)
+                .map_err(|e| format!("differential check failed: {e}"))?;
+            Ok(finish_replay(&program, &outcome))
+        };
+    }
+
+    let progress = o.progress;
+    let on_progress = |iter: u64, diverged: bool| {
+        if progress {
+            eprint!("\rfuzz: {}/{} programs checked   ", iter + 1, o.diff.iters);
+        }
+        if diverged {
+            eprintln!("\nfuzz: divergence at iteration {iter}");
+        }
+    };
+    let code = if o.diff.threads > 1 {
+        let outcome = xffuzz::run_concurrent_campaign_with(&o.diff, on_progress)
+            .map_err(|e| format!("fuzz campaign failed: {e}"))?;
+        if progress {
+            eprintln!();
+        }
+        finish_fuzz(&o, &outcome)?
+    } else {
+        let outcome = xffuzz::run_campaign_with(&o.diff, on_progress)
+            .map_err(|e| format!("fuzz campaign failed: {e}"))?;
+        if progress {
+            eprintln!();
+        }
+        finish_fuzz(&o, &outcome)?
+    };
+    Ok(code)
 }
 
 fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
@@ -865,6 +977,10 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
 
     println!("trace:          {path}");
     println!("format version: {}", header.version);
+    if header.is_concurrent() {
+        println!("threads:        {}", header.threads);
+        println!("schedule:       {}", header.schedule);
+    }
     println!("size:           {size} bytes");
     println!(
         "entries:        {}{}",
@@ -1003,6 +1119,31 @@ mod tests {
     }
 
     #[test]
+    fn threads_and_schedule_flags_parse() {
+        let o = parse(&["--workload", "treiber_stack", "--threads", "2"]).unwrap();
+        assert_eq!(o.threads, 2);
+        assert!(o.schedule.is_none());
+
+        assert_eq!(
+            parse(&["--schedule", "rr"]).unwrap().schedule,
+            Some(ScheduleSpec::RoundRobin)
+        );
+        assert_eq!(
+            parse(&["--schedule", "seed:42"]).unwrap().schedule,
+            Some(ScheduleSpec::Seeded(42))
+        );
+        assert_eq!(
+            parse(&["--schedule", "exhaustive:3"]).unwrap().schedule,
+            Some(ScheduleSpec::Exhaustive(3))
+        );
+
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--schedule", "chaotic"]).is_err());
+        assert!(parse(&["--schedule", "seed:"]).is_err());
+        assert!(parse(&["--schedule", "exhaustive:x"]).is_err());
+    }
+
+    #[test]
     fn unknown_flags_are_rejected() {
         let err = parse(&["--frobnicate"]).unwrap_err();
         assert!(err.contains("--frobnicate"), "{err}");
@@ -1094,7 +1235,14 @@ mod tests {
         assert!(parse_fuzz(&["--iters", "0"]).is_err());
         assert!(parse_fuzz(&["--max-ops", "0"]).is_err());
         assert!(parse_fuzz(&["--budget-entries", "0"]).is_err());
+        assert!(parse_fuzz(&["--threads", "0"]).is_err());
         assert!(parse_fuzz(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn fuzz_threads_flag_reaches_the_diff_config() {
+        assert_eq!(parse_fuzz(&[]).unwrap().diff.threads, 1);
+        assert_eq!(parse_fuzz(&["--threads", "4"]).unwrap().diff.threads, 4);
     }
 
     #[test]

@@ -554,6 +554,145 @@ fn cow_enumeration_recovers_identically_to_flat_enumeration() {
 }
 
 #[test]
+fn concurrent_runs_are_engine_equivalent_for_every_thread_and_schedule() {
+    // The concurrent analogue of the engine-equivalence tests above: for
+    // both lock-free workloads, every (threads, schedule) cell must yield
+    // the byte-identical merged report from all three engines — the
+    // interleaving is pinned by the schedule plan, so the engine choice
+    // remains a pure transport decision even multi-threaded.
+    use xfd::workloads::bugs::BugSet;
+    use xfd::workloads::{build_concurrent, concurrent_workloads};
+    use xfd::xfdetector::{Mode, ScheduleSpec};
+
+    for kind in concurrent_workloads() {
+        for (threads, spec, plans) in [
+            (1u32, ScheduleSpec::RoundRobin, 1u64),
+            (2, ScheduleSpec::RoundRobin, 1),
+            (4, ScheduleSpec::RoundRobin, 1),
+            (2, ScheduleSpec::Seeded(7), 1),
+            (2, ScheduleSpec::Exhaustive(2), 4),
+        ] {
+            let run = |mode: Mode| {
+                xfd::xfstream::session()
+                    .threads(threads)
+                    .schedule(spec)
+                    .build()
+                    .unwrap()
+                    .run_concurrent(build_concurrent(kind, 2, BugSet::none()).unwrap(), mode)
+                    .unwrap()
+            };
+            let batch = run(Mode::Batch);
+            let expected = report_json(&batch);
+            assert_eq!(
+                batch.stats.schedules_explored, plans,
+                "{kind}: {spec:?} over {threads} threads must expand to {plans} plan(s)"
+            );
+            assert_eq!(
+                batch.stats.cross_thread_findings, 0,
+                "the bug-free {kind} must stay clean: {}",
+                batch.report
+            );
+            for mode in [Mode::Parallel, Mode::Stream] {
+                let other = run(mode);
+                assert_eq!(
+                    report_json(&other),
+                    expected,
+                    "{kind}: {mode:?} diverged (threads={threads}, schedule={spec:?})"
+                );
+                assert_eq!(other.stats.schedules_explored, plans);
+            }
+        }
+    }
+}
+
+#[test]
+fn recorded_concurrent_runs_round_trip_through_xft_v2() {
+    // A recorded multi-threaded run is stamped with the thread count and
+    // the serialized schedule plan, takes the `.xft` v2 framing, and
+    // survives the codec byte-for-byte — per-entry thread ids included,
+    // so the exact interleaving travels with the repro artifact.
+    use xfd::workloads::bugs::BugSet;
+    use xfd::workloads::{build_concurrent, concurrent_workloads};
+    use xfd::xfdetector::{Mode, XfConfig};
+    use xfd::xfstream::{encode_recorded_run, read_recorded_run};
+
+    for kind in concurrent_workloads() {
+        let outcome = xfd::xfstream::session()
+            .config(XfConfig {
+                record_trace: true,
+                ..XfConfig::default()
+            })
+            .threads(2)
+            .build()
+            .unwrap()
+            .run_concurrent(
+                build_concurrent(kind, 2, BugSet::none()).unwrap(),
+                Mode::Batch,
+            )
+            .unwrap();
+        let rec = outcome.recorded.expect("single-plan runs record a trace");
+        assert_eq!(rec.threads, 2, "{kind}: recorded thread count");
+        assert_eq!(rec.schedule, "t2:rr", "{kind}: recorded schedule plan");
+        assert!(
+            rec.pre.iter().any(|e| e.tid == 1),
+            "{kind}: the second thread's operations must be tid-tagged"
+        );
+
+        let bytes = encode_recorded_run(&rec).unwrap();
+        assert_eq!(
+            &bytes[..4],
+            b"XFT2",
+            "{kind}: stamped runs take the v2 framing"
+        );
+        let back = read_recorded_run(&bytes[..]).unwrap();
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&rec).unwrap(),
+            "{kind}: .xft v2 round trip must be lossless"
+        );
+    }
+}
+
+#[test]
+fn unstamped_runs_keep_the_v1_framing_and_decode_with_tid_zero() {
+    // Backward compatibility: single-threaded recordings carry no thread
+    // stamp, still encode under the original `XFT1` magic (older readers
+    // keep working), and decode with every entry on thread 0.
+    use xfd::xfdetector::XfConfig;
+    use xfd::xfstream::{encode_recorded_run, read_recorded_run};
+
+    let cfg = XfConfig {
+        record_trace: true,
+        ..XfConfig::default()
+    };
+    let rec = XfDetector::new(cfg)
+        .run(Publish { persist_data: true })
+        .unwrap()
+        .recorded
+        .expect("trace recorded");
+    assert_eq!(rec.threads, 0, "plain workload runs are unstamped");
+    assert!(rec.schedule.is_empty());
+
+    let bytes = encode_recorded_run(&rec).unwrap();
+    assert_eq!(&bytes[..4], b"XFT1", "unstamped runs must stay v1");
+    let back = read_recorded_run(&bytes[..]).unwrap();
+    assert_eq!(back.threads, 0);
+    assert!(back.schedule.is_empty());
+    assert!(
+        back.pre.iter().all(|e| e.tid == 0)
+            && back
+                .failure_points
+                .iter()
+                .all(|fp| fp.post.iter().all(|e| e.tid == 0)),
+        "v1 streams decode onto thread 0"
+    );
+    assert_eq!(
+        serde_json::to_string(&back).unwrap(),
+        serde_json::to_string(&rec).unwrap()
+    );
+}
+
+#[test]
 fn exhaustive_and_shadow_agree_on_both_variants() {
     // The summary property: detector verdict == "exists a crash state with
     // a wrong observation".

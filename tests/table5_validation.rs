@@ -3,8 +3,27 @@
 //! expected category — and every workload must be clean without injections.
 
 use xfd::workloads::bugs::{BugId, BugSet, BugSuite, WorkloadKind};
-use xfd::workloads::{build, build_with_bug, validation_config, validation_ops};
-use xfd::xfdetector::{BugCategory, Pruning, XfDetector};
+use xfd::workloads::{build, build_concurrent, build_with_bug, validation_config, validation_ops};
+use xfd::xfdetector::{BugCategory, BugKind, Mode, Pruning, RunOutcome, Session, XfDetector};
+
+/// Runs a Concurrent-suite bug through the multi-threaded session path
+/// (two threads, the configured pruning) — the sequential `build` path
+/// would degenerate it to one thread, where the cross-thread bugs are
+/// invisible by design.
+fn run_concurrent_bug(bug: BugId, pruning: Pruning) -> RunOutcome {
+    let kind = bug.workload();
+    let w = build_concurrent(kind, validation_ops(kind), BugSet::single(bug))
+        .expect("Concurrent-suite bugs live in concurrent workloads");
+    let mut cfg = validation_config(bug);
+    cfg.pruning = pruning;
+    Session::builder()
+        .config(cfg)
+        .threads(2)
+        .build()
+        .unwrap()
+        .run_concurrent(w, Mode::Batch)
+        .unwrap()
+}
 
 /// Without injected bugs, no workload produces any finding (no false
 /// positives — the premise of the whole validation).
@@ -34,9 +53,13 @@ fn all_workloads_are_clean_without_injected_bugs() {
 fn every_synthetic_bug_is_detected_in_its_category() {
     let mut validated = 0;
     for &bug in BugId::all() {
-        let outcome = XfDetector::new(validation_config(bug))
-            .run(build_with_bug(bug))
-            .unwrap();
+        let outcome = if bug.suite() == BugSuite::Concurrent {
+            run_concurrent_bug(bug, Pruning::Off)
+        } else {
+            XfDetector::new(validation_config(bug))
+                .run(build_with_bug(bug))
+                .unwrap()
+        };
         let detected = match bug.expected_category() {
             BugCategory::Race => outcome.report.race_count() >= 1,
             BugCategory::Semantic => outcome.report.semantic_count() >= 1,
@@ -69,9 +92,13 @@ fn every_synthetic_bug_is_detected_in_its_category() {
 fn every_synthetic_bug_is_still_detected_under_pruning() {
     let mut missed = Vec::new();
     for &bug in BugId::all() {
-        let mut cfg = validation_config(bug);
-        cfg.pruning = Pruning::Equivalence;
-        let outcome = XfDetector::new(cfg).run(build_with_bug(bug)).unwrap();
+        let outcome = if bug.suite() == BugSuite::Concurrent {
+            run_concurrent_bug(bug, Pruning::Equivalence)
+        } else {
+            let mut cfg = validation_config(bug);
+            cfg.pruning = Pruning::Equivalence;
+            XfDetector::new(cfg).run(build_with_bug(bug)).unwrap()
+        };
         let detected = match bug.expected_category() {
             BugCategory::Race => outcome.report.race_count() >= 1,
             BugCategory::Semantic => outcome.report.semantic_count() >= 1,
@@ -159,4 +186,70 @@ fn findings_carry_workload_source_locations() {
     assert!(reader.file.contains("btree.rs"), "reader at {reader}");
     assert!(writer.file.contains("btree.rs"), "writer at {writer}");
     assert!(race.failure_point.is_some());
+}
+
+/// The concurrent workloads are clean without injected bugs at every
+/// thread count — correct lock-free protocols stay crash-consistent under
+/// all round-robin interleavings.
+#[test]
+fn concurrent_workloads_are_clean_without_injected_bugs() {
+    for kind in xfd::workloads::concurrent_workloads() {
+        for threads in [1, 2, 4] {
+            let w = build_concurrent(kind, validation_ops(kind), BugSet::none()).unwrap();
+            let outcome = Session::builder()
+                .threads(threads)
+                .build()
+                .unwrap()
+                .run_concurrent(w, Mode::Batch)
+                .unwrap();
+            assert!(
+                !outcome.report.has_correctness_bugs(),
+                "{kind} with {threads} thread(s) reported spurious findings:\n{}",
+                outcome.report
+            );
+        }
+    }
+}
+
+/// The acceptance contract of the concurrent subsystem: each lock-free
+/// workload carries a bug that is invisible to single-threaded detection
+/// and surfaces as a cross-thread finding with `threads >= 2`.
+#[test]
+fn cross_thread_bugs_require_multiple_threads() {
+    let cases = [
+        (BugId::TsPublishOnHelper, BugKind::CrossThreadRace),
+        (BugId::MsTailPublishOnDequeuer, BugKind::CrossThreadSemantic),
+    ];
+    for (bug, expected_kind) in cases {
+        let kind = bug.workload();
+        let run = |threads| {
+            let w = build_concurrent(kind, validation_ops(kind), BugSet::single(bug)).unwrap();
+            Session::builder()
+                .threads(threads)
+                .build()
+                .unwrap()
+                .run_concurrent(w, Mode::Batch)
+                .unwrap()
+        };
+
+        let single = run(1);
+        assert!(
+            !single.report.has_correctness_bugs(),
+            "{bug} must be invisible single-threaded:\n{}",
+            single.report
+        );
+        assert_eq!(single.stats.cross_thread_findings, 0);
+
+        let multi = run(2);
+        assert!(
+            multi
+                .report
+                .findings()
+                .iter()
+                .any(|f| f.kind == expected_kind),
+            "{bug} with 2 threads must report {expected_kind:?}:\n{}",
+            multi.report
+        );
+        assert!(multi.stats.cross_thread_findings >= 1);
+    }
 }
