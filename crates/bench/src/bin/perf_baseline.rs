@@ -37,6 +37,14 @@
 //! recorded `.xft` trace decoded by the buffered streaming reader and by
 //! the zero-copy mapped reader, in entries per second.
 //!
+//! Finally, a campaign-server throughput section submits the same job mix
+//! to an in-process `xfd serve` instance twice — a cold phase and a warm
+//! phase against the populated cross-run class cache — and records
+//! jobs/second for both plus the warm cache-hit ratio. The per-workload
+//! post-failure execution counters are deterministic and gated (warm runs
+//! must hit the cache and execute at least 5x fewer representatives);
+//! jobs/second is host-dependent and informational.
+//!
 //! ```sh
 //! cargo run --release -p xfd-bench --bin perf_baseline [-- --wall]
 //! ```
@@ -138,6 +146,38 @@ struct IngestRow {
     speedup_mapped: f64,
 }
 
+/// Per-workload deterministic counters from one cold + one warm server
+/// submission of the identical job. Gated by the trajectory check: the
+/// warm run must hit the cross-run cache and execute at least 5x fewer
+/// post-failure representatives.
+#[derive(Serialize)]
+struct ServerRow {
+    workload: String,
+    ops: u64,
+    cold_post_runs: u64,
+    warm_post_runs: u64,
+    warm_cache_hits: u64,
+    /// `cold_post_runs / warm_post_runs` (`inf` serialized as a large
+    /// float when the warm run executed nothing).
+    post_run_reduction: f64,
+}
+
+/// Campaign-server throughput: the job mix submitted twice through a live
+/// `xfd serve` instance. Walls and jobs/second are host-dependent and
+/// informational; `cache_hit_ratio` and the per-workload rows gate.
+#[derive(Serialize)]
+struct ServerSection {
+    jobs_per_phase: usize,
+    exec_workers: usize,
+    cold_wall_s: f64,
+    warm_wall_s: f64,
+    cold_jobs_per_s: f64,
+    warm_jobs_per_s: f64,
+    /// Warm-phase cache hits over warm-phase failure points.
+    cache_hit_ratio: f64,
+    rows: Vec<ServerRow>,
+}
+
 #[derive(Serialize)]
 struct Doc {
     bench: &'static str,
@@ -149,6 +189,8 @@ struct Doc {
     /// `--wall` multicore sweep; empty when the flag was not passed.
     scaling: Vec<ScalingRow>,
     ingest: Vec<IngestRow>,
+    /// Campaign-server cold/warm throughput over the cross-run cache.
+    server: ServerSection,
 }
 
 /// Best-of-`REPS` of `f` by wall-clock time.
@@ -239,6 +281,140 @@ fn measure_ingest(kind: WorkloadKind, ops: u64) -> IngestRow {
         mapped_entries_per_s: per_s(mapped_s),
         speedup_mapped: per_s(mapped_s) / per_s(buffered_s).max(f64::MIN_POSITIVE),
     }
+}
+
+/// Pulls the first `"key":N` integer out of a JSON document (the vendored
+/// serde has no value-level parser; the metrics schema stamps every
+/// counter as a bare unsigned integer).
+fn json_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in metrics"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer value")
+}
+
+/// Submits every spec in `mix` to the server sequentially and returns the
+/// phase wall time plus each job's metrics JSON.
+fn submit_phase(endpoint: &str, mix: &[xfdetector::JobSpec]) -> (Duration, Vec<String>) {
+    let start = Instant::now();
+    let metrics = mix
+        .iter()
+        .map(|spec| {
+            let mut client =
+                xfserve::Client::new(xfserve::AnyStream::connect_tcp(endpoint).expect("connect"));
+            client.submit(spec, None).expect("submit");
+            let mut m = None;
+            client
+                .stream_job(&mut |ev: &xfserve::JobEvent| {
+                    if let xfserve::JobEvent::Metrics { json } = ev {
+                        m = Some(json.clone());
+                    }
+                })
+                .expect("stream");
+            m.expect("metrics")
+        })
+        .collect();
+    (start.elapsed(), metrics)
+}
+
+/// Measures campaign-server throughput: the job mix cold, then warm
+/// against the populated cross-run cache.
+fn measure_server(cases: &[(WorkloadKind, u64)]) -> ServerSection {
+    const EXEC_WORKERS: usize = 2;
+    let cache_dir = std::env::temp_dir().join(format!("xfd-perf-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    std::fs::create_dir_all(&cache_dir).expect("create cache dir");
+
+    let server = xfserve::Server::bind_tcp(
+        "127.0.0.1:0",
+        xfserve::ServerOptions {
+            exec_workers: EXEC_WORKERS,
+            cache_dir: Some(cache_dir.clone()),
+        },
+    )
+    .expect("bind server");
+    let endpoint = server.local_endpoint().to_owned();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mix: Vec<xfdetector::JobSpec> = cases
+        .iter()
+        .map(|(kind, ops)| xfdetector::JobSpec {
+            workload: Some(kind.slug().to_owned()),
+            ops: Some(*ops),
+            mode: Some("parallel".to_owned()),
+            pruning: Some("equivalence".to_owned()),
+            ..xfdetector::JobSpec::default()
+        })
+        .collect();
+
+    let (cold_wall, cold_metrics) = submit_phase(&endpoint, &mix);
+    let (warm_wall, warm_metrics) = submit_phase(&endpoint, &mix);
+
+    let mut stopper =
+        xfserve::Client::new(xfserve::AnyStream::connect_tcp(&endpoint).expect("connect"));
+    stopper.shutdown().expect("shutdown");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let mut rows = Vec::new();
+    let (mut warm_hits_total, mut warm_fps_total) = (0u64, 0u64);
+    println!("\ncampaign server: cold vs warm over the cross-run class cache");
+    println!(
+        "{:<14} {:>6} {:>11} {:>11} {:>11} {:>10}",
+        "workload", "ops", "cold posts", "warm posts", "warm hits", "reduction"
+    );
+    for (i, (kind, ops)) in cases.iter().enumerate() {
+        let cold_post_runs = json_u64(&cold_metrics[i], "post_runs");
+        let warm_post_runs = json_u64(&warm_metrics[i], "post_runs");
+        let warm_cache_hits = json_u64(&warm_metrics[i], "cache_hits");
+        warm_hits_total += warm_cache_hits;
+        warm_fps_total += json_u64(&warm_metrics[i], "failure_points");
+        let post_run_reduction = cold_post_runs as f64 / (warm_post_runs.max(1)) as f64;
+        println!(
+            "{:<14} {:>6} {:>11} {:>11} {:>11} {:>9.1}x",
+            kind.to_string(),
+            ops,
+            cold_post_runs,
+            warm_post_runs,
+            warm_cache_hits,
+            post_run_reduction,
+        );
+        rows.push(ServerRow {
+            workload: kind.to_string(),
+            ops: *ops,
+            cold_post_runs,
+            warm_post_runs,
+            warm_cache_hits,
+            post_run_reduction,
+        });
+    }
+
+    let jobs = mix.len();
+    let per_s = |d: Duration| jobs as f64 / d.as_secs_f64().max(f64::MIN_POSITIVE);
+    let section = ServerSection {
+        jobs_per_phase: jobs,
+        exec_workers: EXEC_WORKERS,
+        cold_wall_s: cold_wall.as_secs_f64(),
+        warm_wall_s: warm_wall.as_secs_f64(),
+        cold_jobs_per_s: per_s(cold_wall),
+        warm_jobs_per_s: per_s(warm_wall),
+        cache_hit_ratio: warm_hits_total as f64 / (warm_fps_total.max(1)) as f64,
+        rows,
+    };
+    println!(
+        "throughput: cold {:.2} jobs/s, warm {:.2} jobs/s, cache-hit ratio {:.2}",
+        section.cold_jobs_per_s, section.warm_jobs_per_s, section.cache_hit_ratio
+    );
+    section
 }
 
 fn main() {
@@ -423,6 +599,7 @@ fn main() {
 
     let ingest = vec![measure_ingest(WorkloadKind::Btree, 100)];
     print_ingest(&ingest);
+    let server = measure_server(&cases);
 
     let doc = Doc {
         bench: "detector",
@@ -433,6 +610,7 @@ fn main() {
         results: rows,
         scaling,
         ingest,
+        server,
     };
     let path = "BENCH_detector.json";
     std::fs::write(path, serde_json::to_string(&doc).expect("serialize") + "\n")

@@ -618,13 +618,14 @@ impl PostTrace {
 }
 
 /// How a failure point's post-failure trace was obtained: by running the
-/// post-failure stage, from the image-dedup cache, or from the pruning
-/// layer's class representative.
+/// post-failure stage, from the image-dedup cache, from the pruning
+/// layer's class representative, or warm from the cross-run class cache.
 #[derive(Clone, Copy, PartialEq)]
 enum PostSource {
     Executed,
     ImageDedup,
     Pruned,
+    CacheWarm,
 }
 
 struct EngineState {
@@ -833,29 +834,45 @@ impl EngineHook for EngineState {
             .borrow()
             .is_enabled()
             .then(|| self.shadow.borrow_mut().persistence_fingerprint());
-        let pruned = fingerprint.and_then(|key| {
-            self.prune
-                .borrow_mut()
-                .lookup(key, fp.id)
-                .map(|(span, outcome)| (*span, outcome.clone()))
+        // Cross-run cache: a class a *previous* run already executed is
+        // served straight from the persisted store. The warm trace is
+        // deliberately not seeded into the in-run prune cache — every
+        // member of a warm class hits the store, so the per-run
+        // `cache_hits`/`fps_pruned` split stays meaningful.
+        let warm = fingerprint.and_then(|key| {
+            self.ctl
+                .cache_lookup(key)
+                .map(|class| (class.post.clone(), PostOutcome::from(&class.outcome)))
         });
-        let (post_entries, outcome, source) = if let Some((span, outcome)) = pruned {
-            (PostTrace::Interned(span), outcome, PostSource::Pruned)
+        let (post_entries, outcome, source) = if let Some((post, outcome)) = warm {
+            (PostTrace::Owned(post), outcome, PostSource::CacheWarm)
         } else {
-            let (mut post, outcome, executed) = self.obtain_post(ctx);
-            // An image-dedup'd result is as good a class representative as
-            // an executed one (the post run is a pure function of the
-            // image); first member in wins either way.
-            if let Some(key) = fingerprint {
-                let span = self.span_of(&mut post);
-                self.prune.borrow_mut().insert(key, (span, outcome.clone()));
-            }
-            let source = if executed {
-                PostSource::Executed
+            let pruned = fingerprint.and_then(|key| {
+                self.prune
+                    .borrow_mut()
+                    .lookup(key, fp.id)
+                    .map(|(span, outcome)| (*span, outcome.clone()))
+            });
+            if let Some((span, outcome)) = pruned {
+                (PostTrace::Interned(span), outcome, PostSource::Pruned)
             } else {
-                PostSource::ImageDedup
-            };
-            (post, outcome, source)
+                let (mut post, outcome, executed) = self.obtain_post(ctx);
+                // An image-dedup'd result is as good a class representative
+                // as an executed one (the post run is a pure function of
+                // the image); first member in wins either way.
+                if let Some(key) = fingerprint {
+                    let span = self.span_of(&mut post);
+                    self.prune.borrow_mut().insert(key, (span, outcome.clone()));
+                    self.ctl
+                        .cache_export(key, self.arena.borrow().get(span), (&outcome).into());
+                }
+                let source = if executed {
+                    PostSource::Executed
+                } else {
+                    PostSource::ImageDedup
+                };
+                (post, outcome, source)
+            }
         };
         let post_time = t_post.elapsed();
         // `post_entries` may point into the arena; resolve it once for the
@@ -935,7 +952,8 @@ impl EngineHook for EngineState {
             match source {
                 PostSource::Executed => stats.post_runs += 1,
                 PostSource::ImageDedup => stats.images_deduped += 1,
-                PostSource::Pruned => {} // tallied via the prune cache
+                PostSource::Pruned => {}    // tallied via the prune cache
+                PostSource::CacheWarm => {} // tallied via the cache handle
             }
             stats.post_entries += post_entries.len() as u64;
             stats.post_exec_time += post_time;
@@ -954,6 +972,7 @@ impl EngineHook for EngineState {
             PostSource::Executed => self.ctl.obs().post_run(),
             PostSource::ImageDedup => self.ctl.obs().dedup_hit(),
             PostSource::Pruned => self.ctl.obs().prune_hit(),
+            PostSource::CacheWarm => self.ctl.obs().cache_hit(),
         }
         self.ctl.obs().fp_done();
     }
@@ -975,6 +994,30 @@ impl From<Result<(), DynError>> for PostOutcome {
         match r {
             Ok(()) => PostOutcome::Completed,
             Err(e) => PostOutcome::Failed(e.to_string()),
+        }
+    }
+}
+
+impl From<&crate::xfrun::cache::CachedOutcome> for PostOutcome {
+    fn from(c: &crate::xfrun::cache::CachedOutcome) -> Self {
+        use crate::xfrun::cache::CachedOutcome as C;
+        match c {
+            C::Completed => PostOutcome::Completed,
+            C::Failed(m) => PostOutcome::Failed(m.clone()),
+            C::Panicked(m) => PostOutcome::Panicked(m.clone()),
+            C::BudgetExceeded(m) => PostOutcome::BudgetExceeded(m.clone()),
+        }
+    }
+}
+
+impl From<&PostOutcome> for crate::xfrun::cache::CachedOutcome {
+    fn from(o: &PostOutcome) -> Self {
+        use crate::xfrun::cache::CachedOutcome as C;
+        match o {
+            PostOutcome::Completed => C::Completed,
+            PostOutcome::Failed(m) => C::Failed(m.clone()),
+            PostOutcome::Panicked(m) => C::Panicked(m.clone()),
+            PostOutcome::BudgetExceeded(m) => C::BudgetExceeded(m.clone()),
         }
     }
 }

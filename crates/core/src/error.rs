@@ -36,6 +36,73 @@ pub enum ConfigError {
     /// The schedule strategy expands to an unreasonable number of concrete
     /// plans (an `exhaustive:K` bound too large for the thread count).
     ScheduleTooLarge,
+    /// A cross-run class cache ([`SessionBuilder::class_cache`]) was armed
+    /// without [`Pruning::Equivalence`]: the cache reuses traces across
+    /// runs under exactly the equal-fingerprint ⇒ equal-crash-state
+    /// argument pruning makes in-run, so it is only sound (and only
+    /// meaningful) with exact equivalence pruning on.
+    ///
+    /// [`SessionBuilder::class_cache`]: crate::SessionBuilder::class_cache
+    /// [`Pruning::Equivalence`]: crate::Pruning::Equivalence
+    CacheNeedsEquivalence,
+    /// A cross-run class cache was armed on a streaming-mode run; the
+    /// stream engine owns its own failure-point loop and does not consult
+    /// the cache.
+    CacheStreamUnsupported,
+    /// A flag or job field that requires a value was given none.
+    MissingValue(&'static str),
+    /// A flag or job field value failed to parse.
+    Invalid {
+        /// Which flag/field was malformed (e.g. `--threads`).
+        what: &'static str,
+        /// The offending value, verbatim.
+        value: String,
+        /// What a well-formed value looks like.
+        expected: &'static str,
+    },
+    /// A name (flag, workload, bug id, mode…) that is not recognized.
+    Unknown {
+        /// What kind of name was being resolved (e.g. `flag`, `workload`).
+        what: &'static str,
+        /// The unrecognized name, verbatim.
+        value: String,
+    },
+    /// Two flags/fields that cannot be combined.
+    Conflict(&'static str),
+    /// A job carried neither a workload name nor a trace source.
+    MissingSource,
+    /// A requested bug injection does not apply to the selected workload.
+    BugWorkloadMismatch {
+        /// The requested bug id.
+        bug: String,
+        /// The workload it does not apply to.
+        workload: String,
+    },
+}
+
+impl ConfigError {
+    /// A small stable numeric code for this rejection, used by the server
+    /// protocol's REJECTED frame and mirrored in the README's exit-code
+    /// table. Codes are append-only: new variants take new numbers.
+    #[must_use]
+    pub fn code(&self) -> u32 {
+        match self {
+            ConfigError::DedupRequiresCow => 1,
+            ConfigError::ZeroStreamCapacity => 2,
+            ConfigError::EmptyBudget => 3,
+            ConfigError::InvalidSamplingRate => 4,
+            ConfigError::ZeroThreads => 5,
+            ConfigError::ScheduleTooLarge => 6,
+            ConfigError::CacheNeedsEquivalence => 7,
+            ConfigError::CacheStreamUnsupported => 8,
+            ConfigError::MissingValue(_) => 10,
+            ConfigError::Invalid { .. } => 11,
+            ConfigError::Unknown { .. } => 12,
+            ConfigError::Conflict(_) => 13,
+            ConfigError::MissingSource => 14,
+            ConfigError::BugWorkloadMismatch { .. } => 15,
+        }
+    }
 }
 
 impl fmt::Display for ConfigError {
@@ -61,6 +128,35 @@ impl fmt::Display for ConfigError {
                     f,
                     "schedule expands to too many plans (lower the exhaustive bound or thread count)"
                 )
+            }
+            ConfigError::CacheNeedsEquivalence => {
+                write!(
+                    f,
+                    "class_cache requires pruning=equivalence (cross-run reuse is keyed by exact persistence fingerprints)"
+                )
+            }
+            ConfigError::CacheStreamUnsupported => {
+                write!(f, "class_cache is not supported in stream mode")
+            }
+            ConfigError::MissingValue(what) => {
+                write!(f, "{what} requires a value")
+            }
+            ConfigError::Invalid {
+                what,
+                value,
+                expected,
+            } => {
+                write!(f, "invalid {what} value {value:?} (expected {expected})")
+            }
+            ConfigError::Unknown { what, value } => {
+                write!(f, "unknown {what}: {value:?}")
+            }
+            ConfigError::Conflict(msg) => write!(f, "{msg}"),
+            ConfigError::MissingSource => {
+                write!(f, "a job needs a workload name or a trace source")
+            }
+            ConfigError::BugWorkloadMismatch { bug, workload } => {
+                write!(f, "bug {bug:?} does not apply to workload {workload:?}")
             }
         }
     }
@@ -94,6 +190,51 @@ pub enum XfError {
     StreamEngineMissing,
     /// A trace codec failure, reported by the codec crate.
     Codec(String),
+    /// A job was rejected by a campaign server (`xfd serve`). Carries the
+    /// server-side error's [`code`](XfError::code) verbatim, so the client
+    /// exits with the same status the local CLI would have.
+    Rejected {
+        /// The rejecting error's stable numeric code.
+        code: u32,
+        /// The rejecting error's rendered message.
+        message: String,
+    },
+}
+
+impl XfError {
+    /// A small stable numeric code for this error, used by the server
+    /// protocol's REJECTED frame. Configuration rejections forward the
+    /// [`ConfigError::code`]; runtime failures use the 100-block.
+    #[must_use]
+    pub fn code(&self) -> u32 {
+        match self {
+            XfError::Config(e) => e.code(),
+            XfError::Pm(_) => 100,
+            XfError::Setup(_) => 101,
+            XfError::PreFailure(_) => 102,
+            XfError::Io(_) => 103,
+            XfError::Journal(_) => 104,
+            XfError::StreamEngineMissing => 105,
+            XfError::Codec(_) => 106,
+            XfError::Rejected { code, .. } => *code,
+        }
+    }
+
+    /// The process exit code the `xfd` CLI maps this error to: `1` for
+    /// usage/configuration rejections, `2` for runtime failures. (Exit `3`
+    /// — findings present — is not an error and never reaches this
+    /// function.) Documented in the README's exit-code table; the server's
+    /// REJECTED frames carry the finer-grained [`XfError::code`] alongside.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            XfError::Config(_) => 1,
+            // Configuration codes live below the runtime 100-block, so a
+            // remote rejection exits exactly like the local equivalent.
+            XfError::Rejected { code, .. } if *code < 100 => 1,
+            _ => 2,
+        }
+    }
 }
 
 impl fmt::Display for XfError {
@@ -112,6 +253,9 @@ impl fmt::Display for XfError {
                 )
             }
             XfError::Codec(m) => write!(f, "trace codec error: {m}"),
+            XfError::Rejected { code, message } => {
+                write!(f, "job rejected by server (code {code}): {message}")
+            }
         }
     }
 }
@@ -171,6 +315,51 @@ mod tests {
     fn config_errors_render_guidance() {
         let msg = XfError::from(ConfigError::DedupRequiresCow).to_string();
         assert!(msg.contains("cow_snapshots"), "{msg}");
+    }
+
+    #[test]
+    fn codes_are_stable_and_exit_codes_split_usage_from_runtime() {
+        assert_eq!(ConfigError::DedupRequiresCow.code(), 1);
+        assert_eq!(ConfigError::CacheNeedsEquivalence.code(), 7);
+        assert_eq!(ConfigError::MissingValue("--job").code(), 10);
+        assert_eq!(
+            ConfigError::Unknown {
+                what: "flag",
+                value: "--frobnicate".into()
+            }
+            .code(),
+            12
+        );
+        let usage = XfError::from(ConfigError::MissingSource);
+        assert_eq!(usage.code(), 14);
+        assert_eq!(usage.exit_code(), 1);
+        let runtime = XfError::Journal("corrupt".into());
+        assert_eq!(runtime.code(), 104);
+        assert_eq!(runtime.exit_code(), 2);
+        // Remote rejections keep the originating code's usage/runtime split.
+        let remote_usage = XfError::Rejected {
+            code: 14,
+            message: "no source".into(),
+        };
+        assert_eq!(remote_usage.exit_code(), 1);
+        let remote_runtime = XfError::Rejected {
+            code: 103,
+            message: "disk full".into(),
+        };
+        assert_eq!(remote_runtime.exit_code(), 2);
+    }
+
+    #[test]
+    fn parse_errors_render_the_offending_value() {
+        let msg = ConfigError::Invalid {
+            what: "--threads",
+            value: "zero".into(),
+            expected: "a positive integer",
+        }
+        .to_string();
+        assert!(msg.contains("--threads"), "{msg}");
+        assert!(msg.contains("zero"), "{msg}");
+        assert!(msg.contains("positive integer"), "{msg}");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod arena;
 mod concurrent;
 mod engine;
 mod error;
+pub mod jobspec;
 pub mod offline;
 mod parallel;
 mod prune;
@@ -58,6 +59,7 @@ pub use engine::{
     MAX_SCHEDULE_PLANS,
 };
 pub use error::{ConfigError, XfError};
+pub use jobspec::JobSpec;
 pub use prune::{PruneCache, Pruning};
 pub use report::{BugCategory, BugKind, DetectionReport, FailurePoint, Finding};
 pub use shadow::{PersistState, PostChecker, ShadowPm};
@@ -75,9 +77,9 @@ pub use xfsched::{OpSequence, SchedulePlan, ScheduleSpec, StepFn, ThreadProgram}
 /// ```
 pub mod prelude {
     pub use crate::{
-        BugCategory, BugKind, ConcurrentWorkload, DetectionReport, DynError, Finding, Mode,
-        Progress, Pruning, RunOutcome, ScheduleSpec, Session, SessionBuilder, Workload, XfConfig,
-        XfError,
+        BugCategory, BugKind, ConcurrentWorkload, DetectionReport, DynError, Finding, JobSpec,
+        Mode, Progress, Pruning, RunOutcome, ScheduleSpec, Session, SessionBuilder, Workload,
+        XfConfig, XfError,
     };
     pub use pmem::{Budget, PmCtx};
 }

@@ -54,6 +54,7 @@ use crate::prune::PruneCache;
 use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
 use crate::shadow::ShadowPm;
 use crate::stats::RunStats;
+use crate::xfrun::cache::CachedOutcome;
 use crate::xfrun::RunCtl;
 
 /// A bounded single-producer multi-consumer work queue with chunked,
@@ -268,6 +269,18 @@ struct JournaledRef {
     pre_len: usize,
 }
 
+/// A failure point served warm from the cross-run class cache: no image is
+/// captured and no job is shipped. The merge stage replays the persisted
+/// representative trace (re-resolved by `key`) against this member's own
+/// checkpoint, exactly like a [`DedupRef`] whose source ran last campaign.
+struct WarmRef {
+    id: u64,
+    loc: SourceLoc,
+    pre_len: usize,
+    key: u64,
+    shadow: ShadowPm,
+}
+
 /// The frontend hook for parallel mode: replays the pre-failure trace
 /// incrementally and ships snapshot jobs instead of running recoveries
 /// inline.
@@ -299,6 +312,10 @@ struct ParallelFrontend {
     prune: RefCell<PruneCache<u64>>,
     refs: RefCell<Vec<DedupRef>>,
     journaled: RefCell<Vec<JournaledRef>>,
+    warm_refs: RefCell<Vec<WarmRef>>,
+    /// `(class key, representative job id)` pairs to export into the
+    /// cross-run cache once the representative's result is in.
+    pending_exports: RefCell<Vec<(u64, u64)>>,
     recorded: RefCell<Option<RecordedRun>>,
     ctl: RunCtl,
 }
@@ -385,6 +402,23 @@ impl EngineHook for ParallelFrontend {
         // point — the line slabs are shared until the continuing replay
         // mutates them.
         let checkpoint = self.shadow.borrow().clone();
+        // Cross-run cache: a class a previous campaign already executed is
+        // served from the persisted store — no image, no job. Checked
+        // before the in-run prune cache so a fully warm run ships nothing.
+        if let Some(key) = fingerprint {
+            if self.ctl.cache_lookup(key).is_some() {
+                self.warm_refs.borrow_mut().push(WarmRef {
+                    id,
+                    loc,
+                    pre_len,
+                    key,
+                    shadow: checkpoint,
+                });
+                self.ctl.obs().cache_hit();
+                self.ctl.obs().fp_done();
+                return;
+            }
+        }
         if let Some(key) = fingerprint {
             if let Some(&src_id) = self.prune.borrow_mut().lookup(key, id) {
                 self.refs.borrow_mut().push(DedupRef {
@@ -427,6 +461,9 @@ impl EngineHook for ParallelFrontend {
                     // representative: later class hits replay its trace.
                     if let Some(key) = fingerprint {
                         self.prune.borrow_mut().insert(key, src_id);
+                        if self.ctl.cache_enabled() {
+                            self.pending_exports.borrow_mut().push((key, src_id));
+                        }
                     }
                     self.stats.borrow_mut().images_deduped += 1;
                     self.ctl.obs().dedup_hit();
@@ -447,6 +484,9 @@ impl EngineHook for ParallelFrontend {
         // (`Pruning::Sampled`) the class already has one; `insert` keeps it.
         if let Some(key) = fingerprint {
             self.prune.borrow_mut().insert(key, id);
+            if self.ctl.cache_enabled() {
+                self.pending_exports.borrow_mut().push((key, id));
+            }
         }
         self.stats.borrow_mut().post_runs += 1;
         let shadow = if self.config.parallel_checking {
@@ -538,6 +578,8 @@ impl XfDetector {
             prune: RefCell::new(PruneCache::new(config.pruning)),
             refs: RefCell::new(Vec::new()),
             journaled: RefCell::new(Vec::new()),
+            warm_refs: RefCell::new(Vec::new()),
+            pending_exports: RefCell::new(Vec::new()),
             recorded: RefCell::new(if config.record_trace {
                 Some(RecordedRun::default())
             } else {
@@ -673,9 +715,43 @@ impl XfDetector {
         results.sort_by_key(|r| r.id);
         let by_id: HashMap<u64, usize> =
             results.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+        // Export this run's class representatives into the cross-run cache,
+        // now that their results (trace + outcome) are in.
+        for &(key, src_id) in frontend.pending_exports.borrow().iter() {
+            let Some(&i) = by_id.get(&src_id) else {
+                continue;
+            };
+            let r = &results[i];
+            let msg = r.outcome.as_ref().err().cloned().unwrap_or_default();
+            let outcome = if r.budget_exceeded {
+                CachedOutcome::BudgetExceeded(msg)
+            } else if r.panicked {
+                CachedOutcome::Panicked(msg)
+            } else {
+                match &r.outcome {
+                    Ok(()) => CachedOutcome::Completed,
+                    Err(m) => CachedOutcome::Failed(m.clone()),
+                }
+            };
+            frontend.ctl.cache_export(key, &r.post, outcome);
+        }
         let checkpoints = frontend.checkpoints.borrow();
         let refs = frontend.refs.borrow();
         let journaled_refs = frontend.journaled.borrow();
+        let warm_refs = frontend.warm_refs.borrow();
+        let warm_classes: Vec<_> = warm_refs
+            .iter()
+            .filter_map(|w| frontend.ctl.cache_peek(w.key).map(|class| (w, class)))
+            .collect();
+        let warm_outcomes: Vec<Result<(), String>> = warm_classes
+            .iter()
+            .map(|(_, class)| match &class.outcome {
+                CachedOutcome::Completed => Ok(()),
+                CachedOutcome::Failed(m)
+                | CachedOutcome::Panicked(m)
+                | CachedOutcome::BudgetExceeded(m) => Err(m.clone()),
+            })
+            .collect();
         let ok_outcome: Result<(), String> = Ok(());
         enum Work<'a> {
             /// The worker already checked; splice its fragment in.
@@ -759,6 +835,26 @@ impl XfDetector {
                 from_journal: true,
                 post: &[],
                 work: Work::Checked(&rec.findings),
+            });
+        }
+        for (i, (w, class)) in warm_classes.iter().enumerate() {
+            // A warm item replays the persisted trace against its own
+            // checkpoint and re-emits the representative's outcome finding;
+            // the budget flag stays out of `stats.budget_exceeded`, which
+            // counts executed results only.
+            items.push(Item {
+                id: w.id,
+                loc: w.loc,
+                pre_len: w.pre_len,
+                outcome: &warm_outcomes[i],
+                panicked: matches!(class.outcome, CachedOutcome::Panicked(_)),
+                budget_exceeded: matches!(class.outcome, CachedOutcome::BudgetExceeded(_)),
+                from_journal: false,
+                post: &class.post,
+                work: Work::Check {
+                    shadow: &w.shadow,
+                    post: &class.post,
+                },
             });
         }
         items.sort_by_key(|r| r.id);

@@ -31,6 +31,26 @@ pub struct RunStats {
     /// recorded their completion (their journaled findings were merged
     /// verbatim instead of re-exploring).
     pub journal_skipped: u64,
+    /// Failure points served from the cross-run class cache
+    /// ([`SessionBuilder::class_cache`]): a previous run of the same
+    /// program and configuration already executed a representative of the
+    /// failure point's equivalence class, and its persisted trace was
+    /// replayed against this failure point's own shadow checkpoint instead
+    /// of executing anything. With the cache armed the accounting becomes
+    /// `failure_points == post_runs + images_deduped + fps_pruned +
+    /// journal_skipped + cache_hits`.
+    ///
+    /// [`SessionBuilder::class_cache`]: crate::SessionBuilder::class_cache
+    pub cache_hits: u64,
+    /// Cross-run cache lookups that found no warm class (the failure point
+    /// proceeded through the normal execute/dedup/prune path). Zero when
+    /// no cache is armed.
+    pub cache_misses: u64,
+    /// Equivalence classes loaded warm from the cache file at open (zero
+    /// on a cold start or header mismatch).
+    pub cache_classes_loaded: u64,
+    /// Bytes of cache file consumed at open.
+    pub cache_bytes: u64,
     /// Distinct persistence-state equivalence classes observed when pruning
     /// is enabled ([`Pruning`]); zero with pruning off.
     ///
@@ -216,6 +236,10 @@ mod tests {
         assert!(json.contains("arena_bytes"), "{json}");
         assert!(json.contains("schedules_explored"), "{json}");
         assert!(json.contains("cross_thread_findings"), "{json}");
+        assert!(json.contains("cache_hits"), "{json}");
+        assert!(json.contains("cache_misses"), "{json}");
+        assert!(json.contains("cache_classes_loaded"), "{json}");
+        assert!(json.contains("cache_bytes"), "{json}");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! assert!(outcome.stats.failure_points > 0);
 //! ```
 
+pub(crate) mod cache;
 mod journal;
 mod obs;
 
@@ -52,7 +53,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use pmem::Budget;
-use xftrace::SourceLoc;
+use xftrace::{SourceLoc, TraceEntry};
 
 use crate::concurrent::{ConcurrentWorkload, Scheduled};
 use crate::engine::{RunOutcome, Workload, XfConfig, XfDetector, MAX_SCHEDULE_PLANS};
@@ -64,6 +65,7 @@ use crate::stats::RunStats;
 pub use journal::JournalFp;
 pub use obs::{ObsCounts, ObsHandle, Progress, RunMetrics, StageMillis};
 
+use cache::{CacheHandle, ClassCache};
 use journal::JournalWriter;
 use obs::RunClock;
 
@@ -138,6 +140,7 @@ pub struct RunCtl {
     skip: Option<Arc<HashMap<u64, JournalFp>>>,
     journal: Option<Arc<Mutex<JournalCell>>>,
     obs: ObsHandle,
+    cache: Option<CacheHandle>,
 }
 
 impl RunCtl {
@@ -180,6 +183,35 @@ impl RunCtl {
         &self.obs
     }
 
+    /// Whether a cross-run class cache is armed on this run.
+    pub(crate) fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Looks a class fingerprint up in the warm cross-run cache, counting
+    /// the hit or miss. `None` without a cache or on a cold key.
+    pub(crate) fn cache_lookup(&self, key: u64) -> Option<&cache::WarmClass> {
+        self.cache.as_ref()?.lookup(key)
+    }
+
+    /// As [`RunCtl::cache_lookup`] without touching the hit/miss counters.
+    pub(crate) fn cache_peek(&self, key: u64) -> Option<&cache::WarmClass> {
+        self.cache.as_ref()?.peek(key)
+    }
+
+    /// Registers a newly executed class representative for cross-run
+    /// export (no-op without a cache).
+    pub(crate) fn cache_export(
+        &self,
+        key: u64,
+        post: &[TraceEntry],
+        outcome: cache::CachedOutcome,
+    ) {
+        if let Some(c) = &self.cache {
+            c.export(key, post, outcome);
+        }
+    }
+
     /// Writes the END record (when the run saw the full failure-point
     /// space and can vouch for a total) and surfaces any latched
     /// journaling error.
@@ -210,6 +242,8 @@ pub struct SessionBuilder {
     resume: bool,
     metrics_out: Option<PathBuf>,
     record_repro: bool,
+    class_cache: Option<PathBuf>,
+    cache_digest: Option<String>,
     progress: Option<ProgressFn>,
     progress_interval: Duration,
     stream_engine: Option<Arc<dyn StreamEngine>>,
@@ -324,6 +358,31 @@ impl SessionBuilder {
         self
     }
 
+    /// Arms the cross-run equivalence-class cache at `path`: equivalence
+    /// classes executed by previous runs of the same workload,
+    /// configuration and [`cache_digest`](SessionBuilder::cache_digest)
+    /// are served from the file instead of re-executed, and classes this
+    /// run executes are merged back in when it finishes. Requires
+    /// [`Pruning::Equivalence`]; a missing or stale file starts cold. See
+    /// [`RunStats::cache_hits`](crate::RunStats::cache_hits) for the
+    /// accounting.
+    #[must_use]
+    pub fn class_cache<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.class_cache = Some(path.into());
+        self
+    }
+
+    /// A caller-supplied digest of the *program* under analysis (operation
+    /// counts and injected bugs for named workloads, a content hash for
+    /// uploaded artifacts), mixed into the class-cache header: any change
+    /// invalidates the cache even when the configuration fingerprint is
+    /// unchanged. Defaults to the empty string.
+    #[must_use]
+    pub fn cache_digest<S: Into<String>>(mut self, digest: S) -> Self {
+        self.cache_digest = Some(digest.into());
+        self
+    }
+
     /// Installs a live progress callback, invoked from a ticker thread
     /// roughly every `interval` while the run is in flight (and once
     /// when it ends).
@@ -370,6 +429,9 @@ impl SessionBuilder {
             return Err(ConfigError::ZeroStreamCapacity);
         }
         self.config.pruning.validate()?;
+        if self.class_cache.is_some() && !matches!(self.config.pruning, Pruning::Equivalence) {
+            return Err(ConfigError::CacheNeedsEquivalence);
+        }
         if self.config.threads == 0 {
             return Err(ConfigError::ZeroThreads);
         }
@@ -389,6 +451,8 @@ impl SessionBuilder {
             resume: self.resume,
             metrics_out: self.metrics_out,
             record_repro: self.record_repro,
+            class_cache: self.class_cache,
+            cache_digest: self.cache_digest,
             progress: self.progress,
             progress_interval: if self.progress_interval.is_zero() {
                 Duration::from_millis(100)
@@ -414,6 +478,8 @@ pub struct Session {
     resume: bool,
     metrics_out: Option<PathBuf>,
     record_repro: bool,
+    class_cache: Option<PathBuf>,
+    cache_digest: Option<String>,
     progress: Option<ProgressFn>,
     progress_interval: Duration,
     stream_engine: Option<Arc<dyn StreamEngine>>,
@@ -454,7 +520,13 @@ impl Session {
     where
         W: Workload + Send + Sync + 'static,
     {
-        self.run_impl(workload, mode, false)
+        let store = self.open_cache(workload.name());
+        let handle = store.as_ref().map(|s| CacheHandle::new(Arc::clone(s), 0));
+        let outcome = self.run_impl(workload, mode, false, handle)?;
+        if let Some(s) = &store {
+            s.save()?;
+        }
+        Ok(outcome)
     }
 
     /// Runs a [`ConcurrentWorkload`] across every schedule plan the
@@ -488,25 +560,38 @@ impl Session {
         let threads = self.config.threads;
         let mut plans = self.config.schedule.expand(threads);
         let shared = Arc::new(workload);
+        // One store for the whole sweep; each plan gets its own handle
+        // namespaced by expansion index (plan expansion is deterministic,
+        // so plan i of a repeat run reuses exactly plan i's classes).
+        let store = self.open_cache(shared.name());
         if plans.len() == 1 {
             let plan = plans.pop().expect("one plan");
             let schedule = plan.to_string();
-            let mut outcome = self.run_impl(Scheduled::from_shared(shared, plan), mode, false)?;
+            let handle = store.as_ref().map(|s| CacheHandle::new(Arc::clone(s), 0));
+            let mut outcome =
+                self.run_impl(Scheduled::from_shared(shared, plan), mode, false, handle)?;
             if let Some(rec) = outcome.recorded.as_mut() {
                 rec.threads = threads;
                 rec.schedule = schedule;
             }
             finish_concurrent_stats(&mut outcome, 1);
+            if let Some(s) = &store {
+                s.save()?;
+            }
             return Ok(outcome);
         }
 
         let total = plans.len() as u64;
         let mut merged: Option<RunOutcome> = None;
-        for plan in plans {
+        for (idx, plan) in plans.into_iter().enumerate() {
+            let handle = store
+                .as_ref()
+                .map(|s| CacheHandle::new(Arc::clone(s), idx as u64));
             let outcome = self.run_impl(
                 Scheduled::from_shared(Arc::clone(&shared), plan),
                 mode,
                 true,
+                handle,
             )?;
             merged = Some(match merged {
                 None => outcome,
@@ -524,6 +609,9 @@ impl Session {
         // has no single interleaving to attach one to.
         outcome.recorded = None;
         finish_concurrent_stats(&mut outcome, total);
+        if let Some(s) = &store {
+            s.save()?;
+        }
         if let Some(path) = &self.metrics_out {
             let counts = ObsCounts {
                 failure_points_done: outcome.stats.failure_points,
@@ -531,6 +619,7 @@ impl Session {
                 images_deduped: outcome.stats.images_deduped,
                 fps_pruned: outcome.stats.fps_pruned,
                 journal_skipped: outcome.stats.journal_skipped,
+                cache_hits: outcome.stats.cache_hits,
                 budget_exceeded: outcome.stats.budget_exceeded,
             };
             let metrics = RunMetrics::new(
@@ -546,13 +635,37 @@ impl Session {
         Ok(outcome)
     }
 
+    /// Opens the session's cross-run class cache for `workload_name`, when
+    /// one is armed. The store header binds the journal fingerprint (the
+    /// workload plus every report-affecting configuration axis) and the
+    /// caller's program digest; callers save it once the run (or sweep)
+    /// completes.
+    fn open_cache(&self, workload_name: &str) -> Option<Arc<ClassCache>> {
+        let path = self.class_cache.as_ref()?;
+        let fingerprint = journal::fingerprint(workload_name, &self.config);
+        Some(Arc::new(ClassCache::open(
+            path,
+            &fingerprint,
+            self.cache_digest.as_deref().unwrap_or(""),
+        )))
+    }
+
     /// The shared run path. `inner` marks one per-plan run of a multi-plan
     /// [`Session::run_concurrent`] sweep: the journal and metrics artifacts
     /// belong to the sweep, not the plan, so an inner run skips both.
-    fn run_impl<W>(&self, workload: W, mode: Mode, inner: bool) -> Result<RunOutcome, XfError>
+    fn run_impl<W>(
+        &self,
+        workload: W,
+        mode: Mode,
+        inner: bool,
+        cache: Option<CacheHandle>,
+    ) -> Result<RunOutcome, XfError>
     where
         W: Workload + Send + Sync + 'static,
     {
+        if cache.is_some() && matches!(mode, Mode::Stream) {
+            return Err(ConfigError::CacheStreamUnsupported.into());
+        }
         let mut config = self.config.clone();
         if self.record_repro {
             config.record_trace = true;
@@ -596,6 +709,7 @@ impl Session {
                 }))
             }),
             obs: ObsHandle::new(),
+            cache: cache.clone(),
         };
 
         // Progress ticker: a detached observer thread over the shared
@@ -641,7 +755,16 @@ impl Session {
         if let Some(t) = ticker {
             let _ = t.join();
         }
-        let outcome = result?;
+        let mut outcome = result?;
+
+        // The engines only bump the live counter on a warm hit; the
+        // authoritative cache statistics are stamped here from the handle.
+        if let Some(c) = &cache {
+            outcome.stats.cache_hits = c.hits();
+            outcome.stats.cache_misses = c.misses();
+            outcome.stats.cache_classes_loaded = c.loaded();
+            outcome.stats.cache_bytes = c.bytes_read();
+        }
 
         // A run capped by max_failure_points never saw the full
         // failure-point space, so its count is not the run total — omit
@@ -689,6 +812,12 @@ fn add_stats(acc: &mut RunStats, o: &RunStats) {
     acc.post_runs += o.post_runs;
     acc.images_deduped += o.images_deduped;
     acc.journal_skipped += o.journal_skipped;
+    acc.cache_hits += o.cache_hits;
+    acc.cache_misses += o.cache_misses;
+    // Sweep plans share one store, so loaded/bytes are per-store facts,
+    // not per-plan increments.
+    acc.cache_classes_loaded = acc.cache_classes_loaded.max(o.cache_classes_loaded);
+    acc.cache_bytes = acc.cache_bytes.max(o.cache_bytes);
     acc.budget_exceeded += o.budget_exceeded;
     acc.snapshot_bytes_copied += o.snapshot_bytes_copied;
     acc.pre_entries += o.pre_entries;
@@ -994,6 +1123,194 @@ mod tests {
         let b = mk();
         assert_eq!(report_json(&a), report_json(&b));
         assert_eq!(a.stats.schedules_explored, 1);
+    }
+
+    fn cached_session(path: &Path) -> Session {
+        Session::builder()
+            .pruning(Pruning::Equivalence)
+            .class_cache(path)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn class_cache_requires_equivalence_pruning() {
+        assert!(matches!(
+            Session::builder().class_cache(tmp("nope.json")).build(),
+            Err(ConfigError::CacheNeedsEquivalence)
+        ));
+    }
+
+    #[test]
+    fn stream_mode_rejects_the_class_cache() {
+        let path = tmp("cache-stream.json");
+        let err = cached_session(&path).run(Racy, Mode::Stream).unwrap_err();
+        assert!(
+            matches!(err, XfError::Config(ConfigError::CacheStreamUnsupported)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn second_run_is_served_warm_with_byte_identical_report() {
+        let path = tmp("cache-batch.json");
+        std::fs::remove_file(&path).ok();
+
+        let reference = Session::builder()
+            .pruning(Pruning::Equivalence)
+            .build()
+            .unwrap()
+            .run(Racy, Mode::Batch)
+            .unwrap();
+
+        let first = cached_session(&path).run(Racy, Mode::Batch).unwrap();
+        assert_eq!(first.stats.cache_hits, 0, "{:?}", first.stats);
+        assert!(first.stats.cache_misses > 0);
+        assert!(first.stats.post_runs > 0);
+
+        let second = cached_session(&path).run(Racy, Mode::Batch).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(second.stats.post_runs, 0, "{:?}", second.stats);
+        assert_eq!(second.stats.cache_hits, second.stats.failure_points);
+        assert_eq!(second.stats.cache_misses, 0);
+        assert!(second.stats.cache_classes_loaded > 0);
+        assert!(second.stats.cache_bytes > 0);
+        // The ISSUE's acceptance bar: ≥ 5× fewer post-failure executions.
+        assert!(first.stats.post_runs >= 5 * second.stats.post_runs.max(1) - 4);
+
+        assert_eq!(report_json(&reference), report_json(&first));
+        assert_eq!(report_json(&first), report_json(&second));
+    }
+
+    #[test]
+    fn warm_cache_crosses_execution_modes() {
+        let path = tmp("cache-modes.json");
+        std::fs::remove_file(&path).ok();
+        let first = cached_session(&path).run(Racy, Mode::Batch).unwrap();
+        // A batch-written cache serves a parallel run (and vice versa): the
+        // header fingerprint excludes the execution mode on purpose.
+        let warm = Session::builder()
+            .pruning(Pruning::Equivalence)
+            .class_cache(&path)
+            .workers(2)
+            .build()
+            .unwrap()
+            .run(Racy, Mode::Parallel)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(warm.stats.post_runs, 0, "{:?}", warm.stats);
+        assert_eq!(warm.stats.cache_hits, warm.stats.failure_points);
+        assert_eq!(report_json(&first), report_json(&warm));
+    }
+
+    #[test]
+    fn config_change_invalidates_the_cache() {
+        let path = tmp("cache-invalidate.json");
+        std::fs::remove_file(&path).ok();
+        cached_session(&path).run(Racy, Mode::Batch).unwrap();
+        // A report-affecting config change (first_read_only) must start
+        // cold, not serve the stale classes.
+        let other = Session::builder()
+            .config(
+                XfConfig::builder()
+                    .first_read_only(false)
+                    .pruning(Pruning::Equivalence)
+                    .build()
+                    .unwrap(),
+            )
+            .class_cache(&path)
+            .build()
+            .unwrap()
+            .run(Racy, Mode::Batch)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(other.stats.cache_hits, 0, "{:?}", other.stats);
+        assert_eq!(other.stats.cache_classes_loaded, 0);
+        assert!(other.stats.post_runs > 0);
+    }
+
+    #[test]
+    fn digest_change_invalidates_the_cache() {
+        let path = tmp("cache-digest.json");
+        std::fs::remove_file(&path).ok();
+        let mk = |digest: &str| {
+            Session::builder()
+                .pruning(Pruning::Equivalence)
+                .class_cache(&path)
+                .cache_digest(digest)
+                .build()
+                .unwrap()
+        };
+        mk("v1").run(Racy, Mode::Batch).unwrap();
+        let same = mk("v1").run(Racy, Mode::Batch).unwrap();
+        assert_eq!(same.stats.post_runs, 0);
+        let changed = mk("v2").run(Racy, Mode::Batch).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(changed.stats.cache_hits, 0, "{:?}", changed.stats);
+        assert!(changed.stats.post_runs > 0);
+    }
+
+    #[test]
+    fn warm_cache_covers_schedule_sweeps() {
+        let path = tmp("cache-sweep.json");
+        std::fs::remove_file(&path).ok();
+        let spec: crate::ScheduleSpec = "exhaustive:2".parse().unwrap();
+        let mk = || {
+            Session::builder()
+                .threads(2)
+                .schedule(spec)
+                .pruning(Pruning::Equivalence)
+                .class_cache(&path)
+                .build()
+                .unwrap()
+        };
+        let reference = Session::builder()
+            .threads(2)
+            .schedule(spec)
+            .pruning(Pruning::Equivalence)
+            .build()
+            .unwrap()
+            .run_concurrent(RacyRoles, Mode::Batch)
+            .unwrap();
+        let first = mk().run_concurrent(RacyRoles, Mode::Batch).unwrap();
+        let second = mk().run_concurrent(RacyRoles, Mode::Batch).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(first.stats.post_runs > 0);
+        assert_eq!(second.stats.post_runs, 0, "{:?}", second.stats);
+        assert!(second.stats.cache_hits > 0);
+        assert_eq!(report_json(&reference), report_json(&first));
+        assert_eq!(report_json(&first), report_json(&second));
+    }
+
+    #[test]
+    fn warm_hits_do_not_consume_entry_budgets() {
+        // Satellite regression: a warm replay of a budget-killed class must
+        // re-emit the BudgetExceeded finding (byte-identical report) while
+        // `budget_exceeded` counts executed representatives only — a cache
+        // hit never consumes an entry budget.
+        let path = tmp("cache-budget.json");
+        std::fs::remove_file(&path).ok();
+        let mk = || {
+            Session::builder()
+                .pruning(Pruning::Equivalence)
+                .class_cache(&path)
+                .budget(Budget::default().with_max_trace_entries(4))
+                .build()
+                .unwrap()
+        };
+        let first = mk().run(Racy, Mode::Batch).unwrap();
+        assert!(first.stats.budget_exceeded > 0, "{:?}", first.stats);
+
+        for mode in [Mode::Batch, Mode::Parallel] {
+            let warm = mk().run(Racy, mode).unwrap();
+            assert_eq!(warm.stats.post_runs, 0, "{mode:?}: {:?}", warm.stats);
+            assert_eq!(
+                warm.stats.budget_exceeded, 0,
+                "{mode:?}: cache hits must not count as budget kills"
+            );
+            assert_eq!(report_json(&first), report_json(&warm), "{mode:?}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -22,6 +22,7 @@ struct ObsInner {
     images_deduped: AtomicU64,
     fps_pruned: AtomicU64,
     journal_skipped: AtomicU64,
+    cache_hits: AtomicU64,
     budget_exceeded: AtomicU64,
 }
 
@@ -70,6 +71,11 @@ impl ObsHandle {
         self.inner.journal_skipped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A failure point was served from the cross-run class cache.
+    pub fn cache_hit(&self) {
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A post-failure execution was killed by the budget watchdog.
     pub fn budget_kill(&self) {
         self.inner.budget_exceeded.fetch_add(1, Ordering::Relaxed);
@@ -84,6 +90,7 @@ impl ObsHandle {
             images_deduped: self.inner.images_deduped.load(Ordering::Relaxed),
             fps_pruned: self.inner.fps_pruned.load(Ordering::Relaxed),
             journal_skipped: self.inner.journal_skipped.load(Ordering::Relaxed),
+            cache_hits: self.inner.cache_hits.load(Ordering::Relaxed),
             budget_exceeded: self.inner.budget_exceeded.load(Ordering::Relaxed),
         }
     }
@@ -102,6 +109,8 @@ pub struct ObsCounts {
     pub fps_pruned: u64,
     /// Failure points elided by the resumed run journal.
     pub journal_skipped: u64,
+    /// Failure points served from the cross-run class cache.
+    pub cache_hits: u64,
     /// Post-failure executions killed by the budget watchdog.
     pub budget_exceeded: u64,
 }
@@ -255,6 +264,7 @@ mod tests {
         obs.dedup_hit();
         obs.prune_hit();
         obs.journal_skip();
+        obs.cache_hit();
         obs.budget_kill();
         let c = obs.snapshot();
         assert_eq!(c.failure_points_done, 2);
@@ -262,6 +272,7 @@ mod tests {
         assert_eq!(c.images_deduped, 1);
         assert_eq!(c.fps_pruned, 1);
         assert_eq!(c.journal_skipped, 1);
+        assert_eq!(c.cache_hits, 1);
         assert_eq!(c.budget_exceeded, 1);
         assert!((c.dedup_hit_rate() - 0.5).abs() < 1e-9);
     }

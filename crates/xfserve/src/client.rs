@@ -1,0 +1,129 @@
+//! The client side of the campaign protocol, as used by `xfd submit`,
+//! `xfd watch` and `xfd stop`.
+//!
+//! A [`Client`] owns one connection and performs one request on it: the
+//! protocol is strictly request-then-response-stream, so re-attaching to
+//! a job means opening a fresh connection and sending `WATCH`.
+
+use std::io;
+
+use xfdetector::{JobSpec, XfError};
+
+use crate::proto::{
+    decode_rejected, encode_submit, read_frame, write_frame, ArtifactKind, Dec, Enc, JobEvent,
+    TAG_ACCEPTED, TAG_DONE, TAG_REJECTED, TAG_SHUTDOWN, TAG_STATUS, TAG_STATUS_REPLY, TAG_SUBMIT,
+    TAG_WATCH,
+};
+use crate::server::AnyStream;
+
+fn io_err(e: io::Error) -> XfError {
+    XfError::Io(e)
+}
+
+/// A connected campaign-server client.
+pub struct Client {
+    stream: AnyStream,
+}
+
+impl Client {
+    /// Wraps a connected stream (see [`AnyStream::connect_tcp`] /
+    /// [`AnyStream::connect_unix`]).
+    #[must_use]
+    pub fn new(stream: AnyStream) -> Self {
+        Client { stream }
+    }
+
+    /// Submits a job; returns the server-assigned id on acceptance, or
+    /// the server's typed rejection ([`XfError::Rejected`]) carrying the
+    /// same error code the local CLI would have exited with.
+    pub fn submit(
+        &mut self,
+        spec: &JobSpec,
+        artifact: Option<(ArtifactKind, &[u8])>,
+    ) -> Result<u64, XfError> {
+        let payload = encode_submit(&spec.to_json(), artifact);
+        write_frame(&mut self.stream, TAG_SUBMIT, &payload).map_err(io_err)?;
+        self.read_accepted()
+    }
+
+    /// Re-attaches to a job's event stream: replays its history, then
+    /// tails live events. Returns the job id on acceptance.
+    pub fn watch(&mut self, id: u64) -> Result<u64, XfError> {
+        let payload = Enc::new().u64(id).finish();
+        write_frame(&mut self.stream, TAG_WATCH, &payload).map_err(io_err)?;
+        self.read_accepted()
+    }
+
+    /// Streams job events to `f` until the job's `Done` frame; returns
+    /// the job's exit code. Call after [`submit`](Client::submit) or
+    /// [`watch`](Client::watch).
+    pub fn stream_job<F: FnMut(&JobEvent)>(&mut self, f: &mut F) -> Result<u8, XfError> {
+        loop {
+            let (tag, payload) =
+                read_frame(&mut self.stream)
+                    .map_err(io_err)?
+                    .ok_or_else(|| {
+                        io_err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the stream before DONE",
+                        ))
+                    })?;
+            let ev = JobEvent::from_frame(tag, &payload)
+                .map_err(io_err)?
+                .ok_or_else(|| {
+                    io_err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected frame tag {tag:#04x} in job stream"),
+                    ))
+                })?;
+            f(&ev);
+            if let JobEvent::Done { exit_code } = ev {
+                return Ok(exit_code);
+            }
+        }
+    }
+
+    /// Requests the server's status JSON.
+    pub fn status(&mut self) -> Result<String, XfError> {
+        write_frame(&mut self.stream, TAG_STATUS, &[]).map_err(io_err)?;
+        match read_frame(&mut self.stream).map_err(io_err)? {
+            Some((TAG_STATUS_REPLY, payload)) => String::from_utf8(payload)
+                .map_err(|e| XfError::Codec(format!("status reply is not UTF-8: {e}"))),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the server to drain its queue and shut down; returns once
+    /// the server acknowledges.
+    pub fn shutdown(&mut self) -> Result<(), XfError> {
+        write_frame(&mut self.stream, TAG_SHUTDOWN, &[]).map_err(io_err)?;
+        match read_frame(&mut self.stream).map_err(io_err)? {
+            Some((TAG_DONE, _)) => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn read_accepted(&mut self) -> Result<u64, XfError> {
+        match read_frame(&mut self.stream).map_err(io_err)? {
+            Some((TAG_ACCEPTED, payload)) => Dec::new(&payload).u64().map_err(io_err),
+            Some((TAG_REJECTED, payload)) => {
+                let (code, message) = decode_rejected(&payload).map_err(io_err)?;
+                Err(XfError::Rejected { code, message })
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(frame: Option<(u8, Vec<u8>)>) -> XfError {
+    match frame {
+        None => io_err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        )),
+        Some((tag, _)) => io_err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected frame tag {tag:#04x}"),
+        )),
+    }
+}

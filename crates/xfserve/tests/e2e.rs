@@ -1,0 +1,196 @@
+//! End-to-end campaign-server tests over loopback TCP: submit, watch,
+//! rejection, the cross-run class cache, and clean shutdown.
+
+use std::path::PathBuf;
+use std::thread;
+
+use xfdetector::{JobSpec, XfError};
+use xfserve::{AnyStream, Client, JobEvent, Server, ServerOptions};
+
+/// Binds a server on an ephemeral port and runs it on its own thread.
+/// Returns the endpoint and the join handle for the accept loop.
+fn start_server(opts: ServerOptions) -> (String, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind_tcp("127.0.0.1:0", opts).expect("bind");
+    let endpoint = server.local_endpoint().to_owned();
+    let handle = thread::spawn(move || server.run());
+    (endpoint, handle)
+}
+
+fn client(endpoint: &str) -> Client {
+    Client::new(AnyStream::connect_tcp(endpoint).expect("connect"))
+}
+
+/// A small deterministic btree job with an injected bug.
+fn btree_spec() -> JobSpec {
+    JobSpec {
+        workload: Some("btree".to_owned()),
+        ops: Some(8),
+        bugs: vec!["BtNoAddRootPtr".to_owned()],
+        mode: Some("parallel".to_owned()),
+        pruning: Some("equivalence".to_owned()),
+        ..JobSpec::default()
+    }
+}
+
+/// Submits a job and collects its event stream; returns the assigned
+/// job id, the events and the exit code. (`ACCEPTED` is consumed by
+/// [`Client::submit`] and does not appear in the stream.)
+fn run_to_done(c: &mut Client, spec: &JobSpec) -> (u64, Vec<JobEvent>, u8) {
+    let id = c.submit(spec, None).expect("submit");
+    let mut events = Vec::new();
+    let code = c
+        .stream_job(&mut |ev: &JobEvent| events.push(ev.clone()))
+        .expect("stream");
+    (id, events, code)
+}
+
+fn report_of(events: &[JobEvent]) -> &str {
+    events
+        .iter()
+        .find_map(|ev| match ev {
+            JobEvent::Report { json } => Some(json.as_str()),
+            _ => None,
+        })
+        .expect("job emitted a report")
+}
+
+fn metrics_of(events: &[JobEvent]) -> &str {
+    events
+        .iter()
+        .find_map(|ev| match ev {
+            JobEvent::Metrics { json } => Some(json.as_str()),
+            _ => None,
+        })
+        .expect("job emitted metrics")
+}
+
+/// Pulls the first `"key":N` integer out of a JSON document.
+fn json_u64(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key} in {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer value")
+}
+
+/// A unique scratch directory for this test process.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xfserve-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn submit_runs_a_job_and_streams_its_report() {
+    let (ep, handle) = start_server(ServerOptions::default());
+    let (id, events, code) = run_to_done(&mut client(&ep), &btree_spec());
+    assert_eq!((id, code), (0, 0));
+    let report = report_of(&events);
+    assert!(report.contains("findings"), "report JSON: {report}");
+    let metrics = metrics_of(&events);
+    assert!(json_u64(metrics, "post_runs") > 0);
+
+    client(&ep).shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn watch_replays_a_finished_job_from_the_start() {
+    let (ep, handle) = start_server(ServerOptions::default());
+    let (id, events, _) = run_to_done(&mut client(&ep), &btree_spec());
+    let first = report_of(&events).to_owned();
+
+    // Re-attach on a fresh connection: the full history replays.
+    let mut w = client(&ep);
+    w.watch(id).expect("watch");
+    let mut replayed = Vec::new();
+    let code = w
+        .stream_job(&mut |ev: &JobEvent| replayed.push(ev.clone()))
+        .expect("stream");
+    assert_eq!(code, 0);
+    assert_eq!(report_of(&replayed), first);
+
+    client(&ep).shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn bad_jobs_are_rejected_with_the_cli_error_code() {
+    let (ep, handle) = start_server(ServerOptions::default());
+
+    // No source at all: the CLI's MissingSource (code 14, exit 1).
+    let err = client(&ep).submit(&JobSpec::default(), None).unwrap_err();
+    match err {
+        XfError::Rejected { code, .. } => assert_eq!(code, 14),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 1);
+
+    // Unknown workload name.
+    let bogus = JobSpec {
+        workload: Some("no_such_tree".to_owned()),
+        ..JobSpec::default()
+    };
+    let err = client(&ep).submit(&bogus, None).unwrap_err();
+    assert!(matches!(err, XfError::Rejected { code: 12, .. }), "{err:?}");
+
+    // Watching a job that never existed.
+    let err = client(&ep).watch(999).unwrap_err();
+    assert!(matches!(err, XfError::Rejected { code: 12, .. }), "{err:?}");
+
+    client(&ep).shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn repeat_submissions_hit_the_cross_run_cache() {
+    let dir = scratch("cache");
+    let (ep, handle) = start_server(ServerOptions {
+        exec_workers: 2,
+        cache_dir: Some(dir.clone()),
+    });
+
+    let (_, first, code1) = run_to_done(&mut client(&ep), &btree_spec());
+    let (_, second, code2) = run_to_done(&mut client(&ep), &btree_spec());
+    assert_eq!((code1, code2), (0, 0));
+
+    // Headline invariant: byte-identical reports, drastically fewer
+    // post-failure executions on the warm run.
+    assert_eq!(report_of(&first), report_of(&second));
+    let cold = metrics_of(&first);
+    let warm = metrics_of(&second);
+    assert_eq!(json_u64(cold, "cache_hits"), 0);
+    assert!(json_u64(warm, "cache_hits") > 0, "warm metrics: {warm}");
+    let (cold_posts, warm_posts) = (json_u64(cold, "post_runs"), json_u64(warm, "post_runs"));
+    assert!(cold_posts > 0);
+    assert!(
+        warm_posts * 5 <= cold_posts,
+        "expected >=5x fewer post runs: cold {cold_posts}, warm {warm_posts}"
+    );
+
+    client(&ep).shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn status_counts_jobs_and_shutdown_drains_the_queue() {
+    let (ep, handle) = start_server(ServerOptions {
+        exec_workers: 1,
+        cache_dir: None,
+    });
+    let (_, _, code) = run_to_done(&mut client(&ep), &btree_spec());
+    assert_eq!(code, 0);
+    let status = client(&ep).status().expect("status");
+    assert!(status.contains("\"jobs\":1"), "status: {status}");
+    assert!(status.contains("\"done\":1"), "status: {status}");
+
+    client(&ep).shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server run");
+}

@@ -24,6 +24,11 @@ measurements alone:
 - `ingest` rows always gate (single-thread decode is not CPU-count
   dependent): the mapped reader must stay >= INGEST_FLOOR times the
   seed buffered reader's entries/s.
+- the `server` section always gates on its deterministic counters: every
+  warm (repeat-submission) row must record cache hits and at least
+  SERVER_REDUCTION_FLOOR times fewer post-failure executions than its
+  cold row, and the aggregate warm cache-hit ratio must be positive.
+  The jobs/second columns are host-dependent and informational.
 
 Usage:
     check_perf_trajectory.py COMMITTED.json FRESH.json [--tolerance 0.01]
@@ -37,6 +42,7 @@ import sys
 
 RATIO_FLOOR = 5.0
 INGEST_FLOOR = 5.0
+SERVER_REDUCTION_FLOOR = 5.0
 
 
 def rows_by_key(doc):
@@ -79,6 +85,41 @@ def check_ingest(fresh_doc, errors):
             errors.append(
                 f"{name}: mapped reader only {r['speedup_mapped']:.2f}x the "
                 f"buffered reader (floor {INGEST_FLOOR:.0f}x)"
+            )
+
+
+def check_server(fresh_doc, errors):
+    """Gates the campaign server's cross-run cache counters."""
+    section = fresh_doc.get("server")
+    if section is None:
+        return
+    print(
+        f"server: {section['jobs_per_phase']} jobs/phase @ "
+        f"{section['exec_workers']} executors: cold "
+        f"{section['cold_jobs_per_s']:.2f} jobs/s, warm "
+        f"{section['warm_jobs_per_s']:.2f} jobs/s [info only], "
+        f"cache-hit ratio {section['cache_hit_ratio']:.2f} [gated > 0]"
+    )
+    if section["cache_hit_ratio"] <= 0.0:
+        errors.append(
+            "server: warm cache-hit ratio is zero — repeat submissions "
+            "never hit the cross-run cache"
+        )
+    for r in section.get("rows", []):
+        name = f"server {r['workload']} (ops={r['ops']})"
+        print(
+            f"{name}: cold posts {r['cold_post_runs']}, warm posts "
+            f"{r['warm_post_runs']}, warm hits {r['warm_cache_hits']} "
+            f"({r['post_run_reduction']:.1f}x reduction, floor "
+            f"{SERVER_REDUCTION_FLOOR:.0f}x)"
+        )
+        if r["warm_cache_hits"] == 0:
+            errors.append(f"{name}: repeat submission recorded no cache hits")
+        if r["warm_post_runs"] * SERVER_REDUCTION_FLOOR > r["cold_post_runs"]:
+            errors.append(
+                f"{name}: warm run executed {r['warm_post_runs']} post runs "
+                f"vs {r['cold_post_runs']} cold (floor "
+                f"{SERVER_REDUCTION_FLOOR:.0f}x fewer)"
             )
 
 
@@ -140,6 +181,7 @@ def main():
 
     check_scaling(fresh_doc, errors)
     check_ingest(fresh_doc, errors)
+    check_server(fresh_doc, errors)
 
     if errors:
         print()

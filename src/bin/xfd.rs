@@ -1,6 +1,6 @@
 //! `xfd` — the command-line driver of the XFDetector reproduction.
 //!
-//! Four subcommands tie the workload registry, the detection engine and the
+//! The subcommands tie the workload registry, the detection engine and the
 //! `.xft` streaming trace codec together:
 //!
 //! - `xfd record`  — run pipelined detection on a workload and persist the
@@ -12,7 +12,18 @@
 //! - `xfd fuzz`    — run a seeded differential fuzzing campaign: random PM
 //!   programs through all three engines plus the model-checking oracle,
 //!   shrinking any divergence to a minimal repro,
+//! - `xfd serve`   — long-running campaign server: accepts detection jobs
+//!   over a socket, shards them across a worker pool and streams findings
+//!   back, with a cross-run class cache deduplicating repeat campaigns,
+//! - `xfd submit`  — send a job to a running server and stream its results,
+//! - `xfd watch`   — re-attach to a submitted job's event stream,
 //! - `xfd info`    — inspect a `.xft` trace, or list workloads and bugs.
+//!
+//! Every workload-running subcommand builds from one serializable
+//! [`JobSpec`]: `--job job.json` seeds the spec, and individual flags
+//! override its fields. Errors are typed ([`XfError`]/`ConfigError`), so
+//! the CLI exit codes and the server's REJECTED frames agree: exit 1 for
+//! configuration rejections, 2 for runtime failures, 3 for findings.
 //!
 //! Run `xfd --help` for the full flag reference.
 
@@ -20,22 +31,22 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::io::{BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter};
 use std::path::Path;
 use std::process::ExitCode;
 use std::str::FromStr;
 use std::time::Duration;
 
 use serde::Serialize;
-use xfd::pmem::Budget;
 use xfd::workloads::bugs::{BugId, BugSet, WorkloadKind};
 use xfd::workloads::{build_concurrent, build_with_init, validation_ops};
+use xfd::xfdetector::jobspec::{parse_mode, parse_pruning, parse_schedule};
 use xfd::xfdetector::offline::pruning_census;
 use xfd::xfdetector::{
-    BugKind, DetectionReport, Mode, Progress, Pruning, RunOutcome, RunStats, ScheduleSpec, XfConfig,
+    BugKind, ConfigError, DetectionReport, JobSpec, Mode, Progress, RunOutcome, RunStats, XfError,
 };
 use xfd::xffuzz::{self, ConcurrentFuzzProgram, DiffConfig, FuzzProgram, FuzzSource};
-use xfd::xfstream::{self, StreamOptions, XftReader};
+use xfd::xfstream::{self, XftReader};
 
 const USAGE: &str = "\
 xfd — cross-failure bug detection for persistent-memory programs
@@ -53,6 +64,13 @@ USAGE:
     xfd fuzz    [--seed N] [--iters N] [--max-ops N] [--no-shrink]
                 [--corpus-dir DIR] [--budget-entries N] [--threads N]
                 [--replay FILE.fuzz] [--progress] [--json]
+    xfd serve   [--addr HOST:PORT | --socket PATH] [--exec-workers N]
+                [--cache-dir DIR]
+    xfd submit  [--addr HOST:PORT | --socket PATH] (--job FILE.json |
+                --workload <name> [FLAGS]) [--artifact FILE.xft|FILE.fuzz]
+                [--no-wait]
+    xfd watch   [--addr HOST:PORT | --socket PATH] JOBID
+    xfd stop    [--addr HOST:PORT | --socket PATH]
     xfd info    [FILE.xft]
 
 SUBCOMMANDS:
@@ -60,7 +78,16 @@ SUBCOMMANDS:
     analyze    Replay a .xft trace through the offline detection backend
     report     Run live detection and print the findings
     fuzz       Differential fuzzing: generated programs vs the oracle
+    serve      Campaign server: sharded detection jobs with a cross-run cache
+    submit     Send a job to a running server and stream its results
+    watch      Re-attach to a submitted job's event stream
+    stop       Ask a running server to shut down cleanly
     info       Inspect a .xft trace; with no argument, list workloads & bugs
+
+JOB FILES (all workload-running subcommands and the server):
+    --job FILE.json       Load a serialized JobSpec; any flag given alongside
+                          overrides the corresponding field. The same JSON
+                          document is what `xfd submit` sends to the server.
 
 FUZZ OPTIONS:
     --seed N              Campaign seed (default 1); same seed => same
@@ -78,6 +105,15 @@ FUZZ OPTIONS:
     --replay FILE.fuzz    Re-check one saved program instead of a campaign
                           (sequential `xffuzz v1` or concurrent `xffuzz c1`)
     Exit status: 3 if any divergence was found, 2 on infrastructure errors
+
+SERVER OPTIONS (serve / submit / watch / stop):
+    --addr HOST:PORT      TCP endpoint (default 127.0.0.1:7611)
+    --socket PATH         Unix-domain socket endpoint (unix only)
+    --exec-workers N      Concurrent job executors (serve; default 2)
+    --cache-dir DIR       Cross-run class-cache directory (serve): repeat
+                          campaigns skip already-analyzed equivalence classes
+    --artifact FILE       Upload a .xft trace or .fuzz program with the job
+    --no-wait             Submit without streaming results (print job id)
 
 COMMON OPTIONS:
     --workload <name>     One of: btree, ctree, rbtree, hashmap_tx,
@@ -110,6 +146,12 @@ SESSION OPTIONS (fault-tolerant orchestration; record & report):
     --metrics-out FILE    Write machine-readable run metrics JSON
     --repro-dir DIR       Export failing failure points (panics, budget
                           kills) as standalone .xft repro traces under DIR
+    --class-cache FILE    Cross-run class cache: persist equivalence-class
+                          representatives so a repeat run skips their
+                          post-failure executions (needs --pruning
+                          equivalence; reports stay byte-identical)
+    --cache-digest STR    Salt the class-cache key with a program digest
+                          (defaults to a digest of the job's source fields)
     --progress            Live progress line on stderr (fps done/total,
                           dedup hit rate, ETA)
 
@@ -135,6 +177,12 @@ CONFIG FLAGS (detector axes; defaults reproduce the paper's setup):
     --seed N              RNG seed for randomized crash policies
     --capacity N          Trace-FIFO capacity in batches (stream mode)
     --workers N           Worker threads (parallel mode; 0 = all cores)
+
+EXIT CODES (CLI; the server's REJECTED frames carry the same error codes):
+    0   clean run, no gated findings
+    1   configuration rejected (bad flag/field value, conflict, unknown name)
+    2   runtime failure (I/O, journal, codec, engine)
+    3   findings: budget overruns, --fail-on-bugs hits, fuzz divergences
 ";
 
 fn main() -> ExitCode {
@@ -143,12 +191,12 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(e) => {
             eprintln!("xfd: {e}");
-            ExitCode::from(2)
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<ExitCode, XfError> {
     let Some(cmd) = args.first() else {
         eprint!("{USAGE}");
         return Ok(ExitCode::from(1));
@@ -162,258 +210,236 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "analyze" => cmd_analyze(&args[1..]),
         "report" => cmd_report(&args[1..]),
         "fuzz" => cmd_fuzz(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "submit" => cmd_submit(&args[1..]),
+        "watch" => cmd_watch(&args[1..]),
+        "stop" => cmd_stop(&args[1..]),
         "info" => cmd_info(&args[1..]),
-        other => Err(format!("unknown subcommand '{other}' (see xfd --help)")),
+        other => Err(ConfigError::Unknown {
+            what: "subcommand",
+            value: other.to_owned(),
+        }
+        .into()),
     }
 }
 
-/// Options shared by the workload-running subcommands.
-#[derive(Debug)]
+/// Attaches the offending path to an I/O error (the bare error has no idea
+/// which file it came from).
+fn io_at(path: &str, e: io::Error) -> XfError {
+    XfError::Io(io::Error::new(e.kind(), format!("{path}: {e}")))
+}
+
+/// Wraps a codec-layer failure with the file it occurred on.
+fn codec_at(path: &str, e: impl std::fmt::Display) -> XfError {
+    XfError::Codec(format!("{path}: {e}"))
+}
+
+fn json_err(e: impl std::fmt::Display) -> XfError {
+    XfError::Codec(e.to_string())
+}
+
+/// Loads a [`JobSpec`] from a `--job` file.
+fn load_job(path: &str) -> Result<JobSpec, XfError> {
+    let text = fs::read_to_string(path).map_err(|e| io_at(path, e))?;
+    Ok(JobSpec::from_json(&text)?)
+}
+
+/// Options shared by the workload-running subcommands: the serializable
+/// job plus CLI-only presentation knobs.
+#[derive(Debug, Default)]
 struct WorkOpts {
-    workload: Option<WorkloadKind>,
-    ops: Option<u64>,
-    init: u64,
-    bugs: Vec<BugId>,
-    cfg: XfConfig,
-    capacity: usize,
-    workers: usize,
-    mode: Mode,
+    spec: JobSpec,
     json: bool,
     fail_on_bugs: bool,
     out: Option<String>,
     json_trace: Option<String>,
     report_path: Option<String>,
-    budget_ms: Option<u64>,
-    budget_entries: Option<u64>,
-    journal: Option<String>,
-    resume: Option<String>,
-    metrics_out: Option<String>,
-    repro_dir: Option<String>,
     progress: bool,
-    threads: u32,
-    schedule: Option<ScheduleSpec>,
 }
 
-impl Default for WorkOpts {
-    fn default() -> Self {
-        WorkOpts {
-            workload: None,
-            ops: None,
-            init: 0,
-            bugs: Vec::new(),
-            cfg: XfConfig::default(),
-            capacity: StreamOptions::default().capacity,
-            workers: 0,
-            mode: Mode::Batch,
-            json: false,
-            fail_on_bugs: false,
-            out: None,
-            json_trace: None,
-            report_path: None,
-            budget_ms: None,
-            budget_entries: None,
-            journal: None,
-            resume: None,
-            metrics_out: None,
-            repro_dir: None,
-            progress: false,
-            threads: 1,
-            schedule: None,
-        }
-    }
-}
-
-fn parse_bug(s: &str) -> Result<BugId, String> {
+fn parse_bug(s: &str) -> Result<BugId, ConfigError> {
     BugId::all()
         .iter()
         .copied()
         .find(|b| format!("{b:?}").eq_ignore_ascii_case(s))
-        .ok_or_else(|| format!("unknown bug '{s}' (list them with `xfd info`)"))
+        .ok_or_else(|| ConfigError::Unknown {
+            what: "bug",
+            value: s.to_owned(),
+        })
 }
 
 fn next_value<'a, I: Iterator<Item = &'a String>>(
-    flag: &str,
+    flag: &'static str,
     it: &mut I,
-) -> Result<&'a String, String> {
-    it.next().ok_or_else(|| format!("{flag} needs a value"))
+) -> Result<&'a String, ConfigError> {
+    it.next().ok_or(ConfigError::MissingValue(flag))
 }
 
-fn parse_num<T: FromStr>(flag: &str, v: &str) -> Result<T, String> {
-    v.parse()
-        .map_err(|_| format!("{flag}: invalid number '{v}'"))
+fn parse_num<T: FromStr>(flag: &'static str, v: &str) -> Result<T, ConfigError> {
+    v.parse().map_err(|_| ConfigError::Invalid {
+        what: flag,
+        value: v.to_owned(),
+        expected: "an integer",
+    })
 }
 
-/// Parses `--pruning off|equivalence|sampled:RATE[:SEED]`.
-fn parse_pruning(v: &str) -> Result<Pruning, String> {
-    if v.eq_ignore_ascii_case("off") {
-        return Ok(Pruning::Off);
-    }
-    if v.eq_ignore_ascii_case("equivalence") {
-        return Ok(Pruning::Equivalence);
-    }
-    if let Some(rest) = v.strip_prefix("sampled:") {
-        let mut parts = rest.splitn(2, ':');
-        let rate: f64 = parts
-            .next()
-            .filter(|s| !s.is_empty())
-            .ok_or_else(|| "--pruning sampled needs a rate (sampled:RATE[:SEED])".to_owned())?
-            .parse()
-            .map_err(|_| format!("--pruning: invalid audit rate in '{v}'"))?;
-        if !(0.0..=1.0).contains(&rate) {
-            return Err(format!("--pruning: audit rate {rate} outside [0, 1]"));
-        }
-        let seed = match parts.next() {
-            Some(s) => parse_num("--pruning", s)?,
-            None => 0,
-        };
-        return Ok(Pruning::Sampled { rate, seed });
-    }
-    Err(format!(
-        "--pruning: expected off|equivalence|sampled:RATE[:SEED], got '{v}'"
-    ))
-}
-
-/// Parses `--schedule rr|seed:N|exhaustive:K`.
-fn parse_schedule(v: &str) -> Result<ScheduleSpec, String> {
-    if v.eq_ignore_ascii_case("rr") || v.eq_ignore_ascii_case("round-robin") {
-        return Ok(ScheduleSpec::RoundRobin);
-    }
-    if let Some(rest) = v.strip_prefix("seed:") {
-        return Ok(ScheduleSpec::Seeded(parse_num("--schedule", rest)?));
-    }
-    if let Some(rest) = v.strip_prefix("exhaustive:") {
-        return Ok(ScheduleSpec::Exhaustive(parse_num("--schedule", rest)?));
-    }
-    Err(format!(
-        "--schedule: expected rr|seed:N|exhaustive:K, got '{v}'"
-    ))
-}
-
-fn parse_work_opts(args: &[String]) -> Result<WorkOpts, String> {
+fn parse_work_opts(args: &[String]) -> Result<WorkOpts, XfError> {
     let mut o = WorkOpts::default();
+    // Pass 1: `--job` seeds the spec. Pass 2 layers every other flag on
+    // top, so flags override job-file fields regardless of order.
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--job" {
+            o.spec = load_job(next_value("--job", &mut it)?)?;
+        }
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--job" => {
+                it.next();
+            }
             "--workload" | "-w" => {
-                let v = next_value(arg, &mut it)?;
-                o.workload = Some(WorkloadKind::from_str(v).map_err(|e| e.to_string())?);
+                let v = next_value("--workload", &mut it)?;
+                // Validate the name now so the rejection points at the
+                // flag; the spec stores the string form.
+                WorkloadKind::from_str(v).map_err(|_| ConfigError::Unknown {
+                    what: "workload",
+                    value: v.clone(),
+                })?;
+                o.spec.workload = Some(v.clone());
             }
-            "--ops" => o.ops = Some(parse_num(arg, next_value(arg, &mut it)?)?),
-            "--init" => o.init = parse_num(arg, next_value(arg, &mut it)?)?,
-            "--bug" => o.bugs.push(parse_bug(next_value(arg, &mut it)?)?),
+            "--ops" => o.spec.ops = Some(parse_num("--ops", next_value("--ops", &mut it)?)?),
+            "--init" => o.spec.init = Some(parse_num("--init", next_value("--init", &mut it)?)?),
+            "--bug" => {
+                let bug = parse_bug(next_value("--bug", &mut it)?)?;
+                o.spec.bugs.push(format!("{bug:?}"));
+            }
             "--mode" => {
-                o.mode = match next_value(arg, &mut it)?.as_str() {
-                    "batch" => Mode::Batch,
-                    "stream" => Mode::Stream,
-                    "parallel" => Mode::Parallel,
-                    other => {
-                        return Err(format!(
-                            "--mode: expected batch|stream|parallel, got '{other}'"
-                        ))
-                    }
-                }
+                let v = next_value("--mode", &mut it)?;
+                parse_mode(v)?;
+                o.spec.mode = Some(v.clone());
             }
-            "--workers" => o.workers = parse_num(arg, next_value(arg, &mut it)?)?,
+            "--workers" => {
+                o.spec.workers = Some(parse_num("--workers", next_value("--workers", &mut it)?)?);
+            }
             "--threads" => {
-                o.threads = parse_num(arg, next_value(arg, &mut it)?)?;
-                if o.threads == 0 {
-                    return Err("--threads must be at least 1".into());
-                }
+                o.spec.threads = Some(parse_num("--threads", next_value("--threads", &mut it)?)?);
             }
-            "--schedule" => o.schedule = Some(parse_schedule(next_value(arg, &mut it)?)?),
+            "--schedule" => {
+                let v = next_value("--schedule", &mut it)?;
+                parse_schedule(v)?;
+                o.spec.schedule = Some(v.clone());
+            }
             "--capacity" => {
-                o.capacity = parse_num(arg, next_value(arg, &mut it)?)?;
-                if o.capacity == 0 {
-                    return Err("--capacity must be at least 1".into());
+                let n: u64 = parse_num("--capacity", next_value("--capacity", &mut it)?)?;
+                if n == 0 {
+                    return Err(ConfigError::Invalid {
+                        what: "--capacity",
+                        value: n.to_string(),
+                        expected: "a positive integer",
+                    }
+                    .into());
                 }
+                o.spec.capacity = Some(n);
             }
             "--json" => o.json = true,
             "--fail-on-bugs" => o.fail_on_bugs = true,
             "--budget-ms" => {
-                let ms: u64 = parse_num(arg, next_value(arg, &mut it)?)?;
-                if ms == 0 {
-                    return Err("--budget-ms must be at least 1".into());
-                }
-                o.budget_ms = Some(ms);
+                o.spec.budget_ms = Some(parse_num(
+                    "--budget-ms",
+                    next_value("--budget-ms", &mut it)?,
+                )?);
             }
             "--budget-entries" => {
-                let n: u64 = parse_num(arg, next_value(arg, &mut it)?)?;
-                if n == 0 {
-                    return Err("--budget-entries must be at least 1".into());
-                }
-                o.budget_entries = Some(n);
+                o.spec.budget_entries = Some(parse_num(
+                    "--budget-entries",
+                    next_value("--budget-entries", &mut it)?,
+                )?);
             }
-            "--journal" => {
-                o.journal = Some(next_value(arg, &mut it)?.clone());
-                if o.resume.is_some() {
-                    return Err("--journal and --resume are mutually exclusive".into());
-                }
+            "--journal" => o.spec.journal = Some(next_value("--journal", &mut it)?.clone()),
+            "--resume" => o.spec.resume = Some(next_value("--resume", &mut it)?.clone()),
+            "--metrics-out" => {
+                o.spec.metrics_out = Some(next_value("--metrics-out", &mut it)?.clone());
             }
-            "--resume" => {
-                o.resume = Some(next_value(arg, &mut it)?.clone());
-                if o.journal.is_some() {
-                    return Err("--journal and --resume are mutually exclusive".into());
-                }
+            "--repro-dir" => o.spec.repro_dir = Some(next_value("--repro-dir", &mut it)?.clone()),
+            "--class-cache" => {
+                o.spec.class_cache = Some(next_value("--class-cache", &mut it)?.clone());
             }
-            "--metrics-out" => o.metrics_out = Some(next_value(arg, &mut it)?.clone()),
-            "--repro-dir" => o.repro_dir = Some(next_value(arg, &mut it)?.clone()),
+            "--cache-digest" => {
+                o.spec.cache_digest = Some(next_value("--cache-digest", &mut it)?.clone());
+            }
             "--progress" => o.progress = true,
-            "--out" | "-o" => o.out = Some(next_value(arg, &mut it)?.clone()),
-            "--json-trace" => o.json_trace = Some(next_value(arg, &mut it)?.clone()),
-            "--report" => o.report_path = Some(next_value(arg, &mut it)?.clone()),
-            "--all-reads" => o.cfg.first_read_only = false,
-            "--no-skip-empty" => o.cfg.skip_empty_failure_points = false,
-            "--no-completion-fp" => o.cfg.inject_at_completion = false,
+            "--out" | "-o" => o.out = Some(next_value("--out", &mut it)?.clone()),
+            "--json-trace" => o.json_trace = Some(next_value("--json-trace", &mut it)?.clone()),
+            "--report" => o.report_path = Some(next_value("--report", &mut it)?.clone()),
+            "--all-reads" => o.spec.all_reads = Some(true),
+            "--no-skip-empty" => o.spec.skip_empty = Some(false),
+            "--no-completion-fp" => o.spec.completion_fp = Some(false),
             "--max-failure-points" => {
-                o.cfg.max_failure_points = Some(parse_num(arg, next_value(arg, &mut it)?)?);
+                o.spec.max_failure_points = Some(parse_num(
+                    "--max-failure-points",
+                    next_value("--max-failure-points", &mut it)?,
+                )?);
             }
-            "--fire-on-every-write" => o.cfg.fire_on_every_write = true,
-            "--no-catch-panics" => o.cfg.catch_post_panics = false,
-            "--no-cow" => o.cfg.cow_snapshots = false,
-            "--no-dedup" => o.cfg.dedup_images = false,
-            "--no-parallel-checking" => o.cfg.parallel_checking = false,
-            "--pruning" => o.cfg.pruning = parse_pruning(next_value(arg, &mut it)?)?,
-            "--seed" => o.cfg.rng_seed = parse_num(arg, next_value(arg, &mut it)?)?,
-            other => return Err(format!("unexpected argument '{other}' (see xfd --help)")),
+            "--fire-on-every-write" => o.spec.fire_on_every_write = Some(true),
+            "--no-catch-panics" => o.spec.catch_panics = Some(false),
+            "--no-cow" => o.spec.cow = Some(false),
+            "--no-dedup" => o.spec.dedup = Some(false),
+            "--no-parallel-checking" => o.spec.parallel_checking = Some(false),
+            "--pruning" => {
+                let v = next_value("--pruning", &mut it)?;
+                parse_pruning(v)?;
+                o.spec.pruning = Some(v.clone());
+            }
+            "--seed" => o.spec.seed = Some(parse_num("--seed", next_value("--seed", &mut it)?)?),
+            other => {
+                return Err(ConfigError::Unknown {
+                    what: "flag",
+                    value: other.to_owned(),
+                }
+                .into())
+            }
         }
     }
+    o.spec.validate()?;
     Ok(o)
 }
 
 impl WorkOpts {
-    fn workload(&self) -> Result<WorkloadKind, String> {
-        self.workload
-            .ok_or_else(|| "--workload is required".to_owned())
+    fn workload(&self) -> Result<WorkloadKind, XfError> {
+        let name = self
+            .spec
+            .workload
+            .as_deref()
+            .ok_or(ConfigError::MissingSource)?;
+        WorkloadKind::from_str(name).map_err(|_| {
+            ConfigError::Unknown {
+                what: "workload",
+                value: name.to_owned(),
+            }
+            .into()
+        })
     }
 
     fn ops_for(&self, kind: WorkloadKind) -> u64 {
-        self.ops.unwrap_or_else(|| validation_ops(kind))
+        self.spec.ops.unwrap_or_else(|| validation_ops(kind))
     }
 
-    fn bug_set(&self, kind: WorkloadKind) -> Result<BugSet, String> {
-        if let Some(bad) = self.bugs.iter().find(|b| b.workload() != kind) {
-            return Err(format!(
-                "bug {bad:?} belongs to {}, not {kind}",
-                bad.workload()
-            ));
+    fn bug_set(&self, kind: WorkloadKind) -> Result<BugSet, XfError> {
+        let mut bugs = Vec::new();
+        for name in &self.spec.bugs {
+            let bug = parse_bug(name)?;
+            if bug.workload() != kind {
+                return Err(ConfigError::BugWorkloadMismatch {
+                    bug: format!("{bug:?}"),
+                    workload: kind.slug().to_owned(),
+                }
+                .into());
+            }
+            bugs.push(bug);
         }
-        Ok(self.bugs.iter().copied().collect())
-    }
-
-    /// The session budget assembled from `--budget-ms`/`--budget-entries`,
-    /// if either was given.
-    fn budget(&self) -> Option<Budget> {
-        if self.budget_ms.is_none() && self.budget_entries.is_none() {
-            return None;
-        }
-        let mut b = Budget::default();
-        if let Some(ms) = self.budget_ms {
-            b = b.with_wall_time(Duration::from_millis(ms));
-        }
-        if let Some(n) = self.budget_entries {
-            b = b.with_max_trace_entries(n);
-        }
-        Some(b)
+        Ok(bugs.into_iter().collect())
     }
 
     fn exit_code(&self, report: &DetectionReport) -> ExitCode {
@@ -451,72 +477,46 @@ fn progress_line(p: &Progress) {
 }
 
 /// Runs detection in the requested mode through a [`xfd::xfdetector::Session`]
-/// (with `xfstream`'s pipelined engine wired in for stream mode). `record`
-/// forces the pipelined engine with trace recording on.
-fn run_mode(o: &WorkOpts, kind: WorkloadKind, record: bool) -> Result<RunOutcome, String> {
-    let mut cfg = o.cfg.clone();
+/// built from the job spec (with `xfstream`'s pipelined engine wired in for
+/// stream mode). `record` forces the pipelined engine with trace recording
+/// on.
+fn run_mode(o: &WorkOpts, kind: WorkloadKind, record: bool) -> Result<RunOutcome, XfError> {
+    let mode = if record { Mode::Stream } else { o.spec.mode()? };
+    let mut builder = o.spec.apply(xfstream::session())?;
     if record {
+        let mut cfg = o.spec.config()?;
         cfg.record_trace = true;
-    }
-    if let Some(b) = o.budget() {
-        cfg.post_budget = Some(b);
-    }
-    let ops = o.ops_for(kind);
-    let bugs = o.bug_set(kind)?;
-    let mode = if record { Mode::Stream } else { o.mode };
-
-    let mut builder = xfstream::session()
-        .config(cfg)
-        .workers(o.workers)
-        .stream_capacity(o.capacity)
-        .record_repro(o.repro_dir.is_some());
-    if let Some(p) = &o.journal {
-        builder = builder.journal(p);
-    }
-    if let Some(p) = &o.resume {
-        builder = builder.resume(p);
-    }
-    if let Some(p) = &o.metrics_out {
-        builder = builder.metrics_out(p);
+        builder = builder.config(cfg);
     }
     if o.progress {
         builder = builder.on_progress(Duration::from_millis(200), progress_line);
     }
+    let session = builder.build()?;
+
+    let ops = o.ops_for(kind);
+    let bugs = o.bug_set(kind)?;
     // Concurrency requested: run the workload's thread programs under the
     // deterministic scheduler instead of the sequential degeneration.
-    let concurrent = o.threads > 1 || o.schedule.is_some();
-    if concurrent {
-        builder = builder
-            .threads(o.threads)
-            .schedule(o.schedule.unwrap_or_default());
-    }
-    let session = builder
-        .build()
-        .map_err(|e| format!("invalid session configuration: {e}"))?;
-
-    let result = if concurrent {
-        if o.init != 0 {
-            return Err("--init is not supported with --threads/--schedule".into());
-        }
-        let w = build_concurrent(kind, ops, bugs).ok_or_else(|| {
-            format!(
-                "--threads/--schedule need a concurrent workload \
-                 (treiber_stack or ms_queue), got {}",
-                kind.slug()
-            )
+    let result = if o.spec.concurrent() {
+        let w = build_concurrent(kind, ops, bugs).ok_or(ConfigError::Invalid {
+            what: "workload",
+            value: kind.slug().to_owned(),
+            expected: "a concurrent workload (treiber_stack or ms_queue) with threads/schedule",
         })?;
         session.run_concurrent(w, mode)
     } else {
-        session.run(build_with_init(kind, o.init, ops, bugs), mode)
+        session.run(
+            build_with_init(kind, o.spec.init.unwrap_or(0), ops, bugs),
+            mode,
+        )
     };
     if o.progress {
         eprintln!();
     }
-    let outcome = result.map_err(|e| format!("{} detection failed: {e}", kind.slug()))?;
+    let outcome = result?;
 
-    if let Some(dir) = &o.repro_dir {
-        let paths = xfstream::write_repro_artifacts(&outcome, Path::new(dir))
-            .map_err(|e| format!("repro export failed: {e}"))?;
+    if let Some(dir) = &o.spec.repro_dir {
+        let paths = xfstream::write_repro_artifacts(&outcome, Path::new(dir))?;
         match paths.len() {
             0 => eprintln!("no failing failure points; nothing to export to {dir}"),
             n => eprintln!("exported {n} repro artifact(s) to {dir}"),
@@ -559,6 +559,13 @@ fn human_summary(report: &DetectionReport, stats: &RunStats) -> String {
             stats.classes_total, stats.fps_pruned, stats.pruning_ratio,
         );
     }
+    if stats.cache_hits > 0 || stats.cache_classes_loaded > 0 {
+        let _ = write!(
+            s,
+            "\nclass cache:    {} hits, {} misses, {} classes loaded ({} bytes)",
+            stats.cache_hits, stats.cache_misses, stats.cache_classes_loaded, stats.cache_bytes,
+        );
+    }
     if stats.stream_batches > 0 {
         let _ = write!(
             s,
@@ -578,11 +585,11 @@ fn human_summary(report: &DetectionReport, stats: &RunStats) -> String {
     s
 }
 
-fn write_file(path: &str, bytes: &[u8]) -> Result<(), String> {
-    fs::write(path, bytes).map_err(|e| format!("cannot write {path}: {e}"))
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), XfError> {
+    fs::write(path, bytes).map_err(|e| io_at(path, e))
 }
 
-fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_record(args: &[String]) -> Result<ExitCode, XfError> {
     let o = parse_work_opts(args)?;
     let kind = o.workload()?;
     let outcome = run_mode(&o, kind, true)?;
@@ -595,17 +602,16 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
         .out
         .clone()
         .unwrap_or_else(|| format!("{}.xft", kind.slug()));
-    let file = fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    xfstream::write_recorded_run(BufWriter::new(file), run)
-        .map_err(|e| format!("encoding {out} failed: {e}"))?;
+    let file = fs::File::create(&out).map_err(|e| io_at(&out, e))?;
+    xfstream::write_recorded_run(BufWriter::new(file), run).map_err(|e| codec_at(&out, e))?;
     let xft_bytes = fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
 
-    let json = serde_json::to_string(run).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string(run).map_err(json_err)?;
     if let Some(path) = &o.json_trace {
         write_file(path, json.as_bytes())?;
     }
     if let Some(path) = &o.report_path {
-        let report_json = serde_json::to_string(&outcome.report).map_err(|e| e.to_string())?;
+        let report_json = serde_json::to_string(&outcome.report).map_err(json_err)?;
         write_file(path, report_json.as_bytes())?;
     }
 
@@ -621,7 +627,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     if o.json {
         println!(
             "{}",
-            serde_json::to_string(&outcome.report).map_err(|e| e.to_string())?
+            serde_json::to_string(&outcome.report).map_err(json_err)?
         );
     } else {
         println!("{}", human_summary(&outcome.report, &outcome.stats));
@@ -629,7 +635,7 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     Ok(o.exit_code(&outcome.report))
 }
 
-fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, XfError> {
     let mut path = None;
     let mut rest = Vec::new();
     for a in args {
@@ -639,21 +645,21 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             rest.push(a.clone());
         }
     }
-    let path = path.ok_or("analyze needs a .xft trace path")?;
+    let path = path.ok_or(ConfigError::MissingSource)?;
     let o = parse_work_opts(&rest)?;
+    let cfg = o.spec.config()?;
 
     // Zero-copy ingest: the trace is loaded whole and decoded by the
     // mapped reader (falling back to buffered streaming I/O internally).
-    let report = xfstream::analyze_xft_path(std::path::Path::new(&path), o.cfg.first_read_only)
-        .map_err(|e| format!("analyzing {path} failed: {e}"))?;
+    let report = xfstream::analyze_xft_path(std::path::Path::new(&path), cfg.first_read_only)
+        .map_err(|e| codec_at(&path, e))?;
 
     // `--pruning`: fingerprint the persistence state at every recorded
     // failure point and report how the trace collapses into equivalence
     // classes — the reduction a pruned live run would see.
-    let census = if o.cfg.pruning.is_enabled() {
-        let bytes = fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let run = xfstream::read_recorded_run(&bytes[..])
-            .map_err(|e| format!("decoding {path} failed: {e}"))?;
+    let census = if cfg.pruning.is_enabled() {
+        let bytes = fs::read(&path).map_err(|e| io_at(&path, e))?;
+        let run = xfstream::read_recorded_run(&bytes[..]).map_err(|e| codec_at(&path, e))?;
         Some(pruning_census(&run))
     } else {
         None
@@ -665,12 +671,12 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         pruning_census: xfd::xfdetector::offline::PruningCensus,
     }
     let json = match &census {
-        None => serde_json::to_string(&report).map_err(|e| e.to_string())?,
+        None => serde_json::to_string(&report).map_err(json_err)?,
         Some(c) => serde_json::to_string(&AnalyzeOut {
             report: report.clone(),
             pruning_census: c.clone(),
         })
-        .map_err(|e| e.to_string())?,
+        .map_err(json_err)?,
     };
     if let Some(out) = &o.out {
         write_file(out, json.as_bytes())?;
@@ -693,35 +699,36 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     Ok(o.exit_code(&report))
 }
 
-fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_report(args: &[String]) -> Result<ExitCode, XfError> {
     let o = parse_work_opts(args)?;
     let kind = o.workload()?;
     let outcome = run_mode(&o, kind, false)?;
+    let mode = o.spec.mode()?;
     // Bare report, byte-comparable with `xfd analyze --out` and `xfd
     // record --report` output (the CI equivalence gates `cmp` these).
     if let Some(path) = &o.report_path {
-        let report_json = serde_json::to_string(&outcome.report).map_err(|e| e.to_string())?;
+        let report_json = serde_json::to_string(&outcome.report).map_err(json_err)?;
         write_file(path, report_json.as_bytes())?;
     }
     if o.json {
         let out = ReportOut {
             workload: kind.slug().to_owned(),
-            mode: o.mode.name().to_owned(),
+            mode: mode.name().to_owned(),
             report: outcome.report.clone(),
             stats: outcome.stats.clone(),
         };
-        println!(
-            "{}",
-            serde_json::to_string(&out).map_err(|e| e.to_string())?
-        );
+        println!("{}", serde_json::to_string(&out).map_err(json_err)?);
     } else {
-        println!("workload:       {} ({} mode)", kind.slug(), o.mode.name());
+        println!("workload:       {} ({} mode)", kind.slug(), mode.name());
         println!("{}", human_summary(&outcome.report, &outcome.stats));
     }
     Ok(o.exit_code(&outcome.report))
 }
 
 /// `xfd fuzz` options: the [`DiffConfig`] surface plus replay/output modes.
+/// The job-spec fields that make sense for a fuzz campaign (`seed`,
+/// `pruning`, `threads`, `budget_entries`, `program`) are honored from
+/// `--job` files too.
 #[derive(Debug)]
 struct FuzzOpts {
     diff: DiffConfig,
@@ -730,52 +737,95 @@ struct FuzzOpts {
     json: bool,
 }
 
-fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, String> {
+fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, XfError> {
     let mut o = FuzzOpts {
         diff: DiffConfig::default(),
         replay: None,
         progress: false,
         json: false,
     };
+    // `--job` seeds the campaign from a spec's overlapping fields.
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--job" {
+            let spec = load_job(next_value("--job", &mut it)?)?;
+            if let Some(seed) = spec.seed {
+                o.diff.seed = seed;
+            }
+            if let Some(n) = spec.budget_entries {
+                o.diff.budget_entries = Some(n);
+            }
+            o.diff.pruning = spec.pruning()?;
+            if let Some(t) = spec.threads {
+                o.diff.threads = t;
+            }
+            o.replay = spec.program.clone();
+        }
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--seed" => o.diff.seed = parse_num(arg, next_value(arg, &mut it)?)?,
+            "--job" => {
+                it.next();
+            }
+            "--seed" => o.diff.seed = parse_num("--seed", next_value("--seed", &mut it)?)?,
             "--iters" => {
-                o.diff.iters = parse_num(arg, next_value(arg, &mut it)?)?;
+                o.diff.iters = parse_num("--iters", next_value("--iters", &mut it)?)?;
                 if o.diff.iters == 0 {
-                    return Err("--iters must be at least 1".into());
+                    return Err(ConfigError::Invalid {
+                        what: "--iters",
+                        value: "0".into(),
+                        expected: "a positive integer",
+                    }
+                    .into());
                 }
             }
             "--max-ops" => {
-                o.diff.max_ops = parse_num(arg, next_value(arg, &mut it)?)?;
+                o.diff.max_ops = parse_num("--max-ops", next_value("--max-ops", &mut it)?)?;
                 if o.diff.max_ops == 0 {
-                    return Err("--max-ops must be at least 1".into());
+                    return Err(ConfigError::Invalid {
+                        what: "--max-ops",
+                        value: "0".into(),
+                        expected: "a positive integer",
+                    }
+                    .into());
                 }
             }
             "--shrink" => o.diff.shrink = true,
             "--no-shrink" => o.diff.shrink = false,
             "--corpus-dir" => {
-                o.diff.corpus_dir = Some(next_value(arg, &mut it)?.clone().into());
+                o.diff.corpus_dir = Some(next_value("--corpus-dir", &mut it)?.clone().into());
             }
             "--budget-entries" => {
-                let n: u64 = parse_num(arg, next_value(arg, &mut it)?)?;
+                let n: u64 =
+                    parse_num("--budget-entries", next_value("--budget-entries", &mut it)?)?;
                 if n == 0 {
-                    return Err("--budget-entries must be at least 1".into());
+                    return Err(ConfigError::Invalid {
+                        what: "--budget-entries",
+                        value: "0".into(),
+                        expected: "a positive integer",
+                    }
+                    .into());
                 }
                 o.diff.budget_entries = Some(n);
             }
-            "--pruning" => o.diff.pruning = parse_pruning(next_value(arg, &mut it)?)?,
+            "--pruning" => o.diff.pruning = parse_pruning(next_value("--pruning", &mut it)?)?,
             "--threads" => {
-                o.diff.threads = parse_num(arg, next_value(arg, &mut it)?)?;
+                o.diff.threads = parse_num("--threads", next_value("--threads", &mut it)?)?;
                 if o.diff.threads == 0 {
-                    return Err("--threads must be at least 1".into());
+                    return Err(ConfigError::ZeroThreads.into());
                 }
             }
-            "--replay" => o.replay = Some(next_value(arg, &mut it)?.clone()),
+            "--replay" => o.replay = Some(next_value("--replay", &mut it)?.clone()),
             "--progress" => o.progress = true,
             "--json" => o.json = true,
-            other => return Err(format!("unexpected argument '{other}' (see xfd --help)")),
+            other => {
+                return Err(ConfigError::Unknown {
+                    what: "flag",
+                    value: other.to_owned(),
+                }
+                .into())
+            }
         }
     }
     Ok(o)
@@ -825,7 +875,7 @@ fn finish_replay<P: FuzzSource>(program: &P, outcome: &xffuzz::CheckOutcome) -> 
 fn finish_fuzz<P: FuzzSource>(
     o: &FuzzOpts,
     outcome: &xffuzz::CampaignOutcome<P>,
-) -> Result<ExitCode, String> {
+) -> Result<ExitCode, XfError> {
     let digest = format!("{:016x}", outcome.digest);
     if o.json {
         let out = FuzzOut {
@@ -846,10 +896,7 @@ fn finish_fuzz<P: FuzzSource>(
                 })
                 .collect(),
         };
-        println!(
-            "{}",
-            serde_json::to_string(&out).map_err(|e| e.to_string())?
-        );
+        println!("{}", serde_json::to_string(&out).map_err(json_err)?);
     } else {
         println!(
             "fuzz campaign: seed {}, {} programs, max {} ops each, {} thread(s)",
@@ -882,25 +929,21 @@ fn finish_fuzz<P: FuzzSource>(
     })
 }
 
-fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, XfError> {
     let o = parse_fuzz_opts(args)?;
 
     // Replay mode: one saved program through the full differential check.
     // The text header picks the shape: `xffuzz v1` sequential, `xffuzz c1`
     // concurrent.
     if let Some(path) = &o.replay {
-        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = fs::read_to_string(path).map_err(|e| io_at(path, e))?;
         return if text.starts_with(xfd::xffuzz::program::CONC_TEXT_HEADER) {
-            let program = ConcurrentFuzzProgram::from_text(&text)
-                .map_err(|e| format!("parsing {path} failed: {e}"))?;
-            let outcome = xffuzz::check_concurrent_program(&program, &o.diff)
-                .map_err(|e| format!("differential check failed: {e}"))?;
+            let program = ConcurrentFuzzProgram::from_text(&text).map_err(|e| codec_at(path, e))?;
+            let outcome = xffuzz::check_concurrent_program(&program, &o.diff)?;
             Ok(finish_replay(&program, &outcome))
         } else {
-            let program =
-                FuzzProgram::from_text(&text).map_err(|e| format!("parsing {path} failed: {e}"))?;
-            let outcome = xffuzz::check_program(&program, &o.diff)
-                .map_err(|e| format!("differential check failed: {e}"))?;
+            let program = FuzzProgram::from_text(&text).map_err(|e| codec_at(path, e))?;
+            let outcome = xffuzz::check_program(&program, &o.diff)?;
             Ok(finish_replay(&program, &outcome))
         };
     }
@@ -915,15 +958,13 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
         }
     };
     let code = if o.diff.threads > 1 {
-        let outcome = xffuzz::run_concurrent_campaign_with(&o.diff, on_progress)
-            .map_err(|e| format!("fuzz campaign failed: {e}"))?;
+        let outcome = xffuzz::run_concurrent_campaign_with(&o.diff, on_progress)?;
         if progress {
             eprintln!();
         }
         finish_fuzz(&o, &outcome)?
     } else {
-        let outcome = xffuzz::run_campaign_with(&o.diff, on_progress)
-            .map_err(|e| format!("fuzz campaign failed: {e}"))?;
+        let outcome = xffuzz::run_campaign_with(&o.diff, on_progress)?;
         if progress {
             eprintln!();
         }
@@ -932,7 +973,183 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
     Ok(code)
 }
 
-fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
+/// Endpoint selection shared by the server subcommands.
+#[derive(Debug, Clone)]
+enum Endpoint {
+    Tcp(String),
+    #[cfg(unix)]
+    Unix(String),
+}
+
+impl Default for Endpoint {
+    fn default() -> Self {
+        Endpoint::Tcp("127.0.0.1:7611".to_owned())
+    }
+}
+
+/// Parses `--addr`/`--socket` out of an argument list, returning the
+/// endpoint and the remaining arguments.
+fn parse_endpoint(args: &[String]) -> Result<(Endpoint, Vec<String>), XfError> {
+    let mut ep = Endpoint::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => ep = Endpoint::Tcp(next_value("--addr", &mut it)?.clone()),
+            "--socket" => {
+                #[cfg(unix)]
+                {
+                    ep = Endpoint::Unix(next_value("--socket", &mut it)?.clone());
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = next_value("--socket", &mut it)?;
+                    return Err(ConfigError::Invalid {
+                        what: "--socket",
+                        value: "unix socket".into(),
+                        expected: "--addr on this platform",
+                    }
+                    .into());
+                }
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((ep, rest))
+}
+
+fn connect(ep: &Endpoint) -> Result<xfserve::AnyStream, XfError> {
+    match ep {
+        Endpoint::Tcp(addr) => Ok(xfserve::AnyStream::connect_tcp(addr).map_err(XfError::Io)?),
+        #[cfg(unix)]
+        Endpoint::Unix(path) => Ok(xfserve::AnyStream::connect_unix(path).map_err(XfError::Io)?),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, XfError> {
+    let (ep, rest) = parse_endpoint(args)?;
+    let mut opts = xfserve::ServerOptions::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--exec-workers" => {
+                opts.exec_workers =
+                    parse_num("--exec-workers", next_value("--exec-workers", &mut it)?)?;
+                if opts.exec_workers == 0 {
+                    return Err(ConfigError::Invalid {
+                        what: "--exec-workers",
+                        value: "0".into(),
+                        expected: "a positive integer",
+                    }
+                    .into());
+                }
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(next_value("--cache-dir", &mut it)?.clone().into());
+            }
+            other => {
+                return Err(ConfigError::Unknown {
+                    what: "flag",
+                    value: other.to_owned(),
+                }
+                .into())
+            }
+        }
+    }
+    let server = match &ep {
+        Endpoint::Tcp(addr) => xfserve::Server::bind_tcp(addr, opts)?,
+        #[cfg(unix)]
+        Endpoint::Unix(path) => xfserve::Server::bind_unix(path, opts)?,
+    };
+    eprintln!("xfd serve: listening on {}", server.local_endpoint());
+    server.run()?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_submit(args: &[String]) -> Result<ExitCode, XfError> {
+    let (ep, rest) = parse_endpoint(args)?;
+    let mut artifact: Option<String> = None;
+    let mut wait = true;
+    let mut work_args = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--artifact" => artifact = Some(next_value("--artifact", &mut it)?.clone()),
+            "--no-wait" => wait = false,
+            _ => work_args.push(arg.clone()),
+        }
+    }
+    let o = parse_work_opts(&work_args)?;
+    let mut spec = o.spec.clone();
+
+    let upload = match &artifact {
+        None => None,
+        Some(path) => {
+            let bytes = fs::read(path).map_err(|e| io_at(path, e))?;
+            let kind = if path.ends_with(".fuzz") {
+                spec.program = Some(
+                    Path::new(path)
+                        .file_name()
+                        .map_or_else(|| path.clone(), |n| n.to_string_lossy().into_owned()),
+                );
+                xfserve::ArtifactKind::Fuzz
+            } else {
+                spec.trace = Some(
+                    Path::new(path)
+                        .file_name()
+                        .map_or_else(|| path.clone(), |n| n.to_string_lossy().into_owned()),
+                );
+                xfserve::ArtifactKind::Xft
+            };
+            Some((kind, bytes))
+        }
+    };
+    spec.require_source()?;
+
+    let mut client = xfserve::Client::new(connect(&ep)?);
+    let id = client.submit(&spec, upload.as_ref().map(|(k, b)| (*k, b.as_slice())))?;
+    if !wait {
+        println!("{id}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let code = client.stream_job(&mut render_event)?;
+    Ok(ExitCode::from(code))
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, XfError> {
+    let (ep, rest) = parse_endpoint(args)?;
+    let id_arg = rest
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or(ConfigError::MissingValue("watch JOBID"))?;
+    let id: u64 = parse_num("JOBID", id_arg)?;
+    let mut client = xfserve::Client::new(connect(&ep)?);
+    client.watch(id)?;
+    let code = client.stream_job(&mut render_event)?;
+    Ok(ExitCode::from(code))
+}
+
+fn cmd_stop(args: &[String]) -> Result<ExitCode, XfError> {
+    let (ep, _rest) = parse_endpoint(args)?;
+    let mut client = xfserve::Client::new(connect(&ep)?);
+    client.shutdown()?;
+    eprintln!("xfd stop: server acknowledged shutdown");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders one server event frame to stdout/stderr.
+fn render_event(ev: &xfserve::JobEvent) {
+    match ev {
+        xfserve::JobEvent::Accepted { id } => eprintln!("job {id} accepted"),
+        xfserve::JobEvent::Progress { json } => eprintln!("progress: {json}"),
+        xfserve::JobEvent::Report { json } => println!("{json}"),
+        xfserve::JobEvent::Metrics { json } => eprintln!("metrics: {json}"),
+        xfserve::JobEvent::Done { exit_code } => eprintln!("job done (exit {exit_code})"),
+        xfserve::JobEvent::Error { message } => eprintln!("job error: {message}"),
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<ExitCode, XfError> {
     let Some(path) = args.iter().find(|a| !a.starts_with('-')) else {
         println!(
             "host parallelism: {} (std::thread::available_parallelism)",
@@ -964,14 +1181,13 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     };
 
-    let file = fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let file = fs::File::open(path).map_err(|e| io_at(path, e))?;
     let size = fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-    let mut reader =
-        XftReader::new(BufReader::new(file)).map_err(|e| format!("reading {path} failed: {e}"))?;
+    let mut reader = XftReader::new(BufReader::new(file)).map_err(|e| codec_at(path, e))?;
     let header = reader.header();
     while reader
         .next_event()
-        .map_err(|e| format!("reading {path} failed: {e}"))?
+        .map_err(|e| codec_at(path, e))?
         .is_some()
     {}
 
@@ -1001,10 +1217,10 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xfd::xfdetector::{FailurePoint, Finding};
+    use xfd::xfdetector::{FailurePoint, Finding, Pruning, ScheduleSpec};
     use xfd::xftrace::SourceLoc;
 
-    fn parse(args: &[&str]) -> Result<WorkOpts, String> {
+    fn parse(args: &[&str]) -> Result<WorkOpts, XfError> {
         let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
         parse_work_opts(&owned)
     }
@@ -1027,28 +1243,28 @@ mod tests {
             "--progress",
         ])
         .unwrap();
-        assert_eq!(o.workload, Some(WorkloadKind::Btree));
-        assert_eq!(o.budget_ms, Some(250));
-        assert_eq!(o.budget_entries, Some(5000));
-        assert_eq!(o.journal.as_deref(), Some("run.xfj"));
-        assert_eq!(o.metrics_out.as_deref(), Some("metrics.json"));
-        assert_eq!(o.repro_dir.as_deref(), Some("repro"));
+        assert_eq!(o.spec.workload.as_deref(), Some("btree"));
+        assert_eq!(o.spec.budget_ms, Some(250));
+        assert_eq!(o.spec.budget_entries, Some(5000));
+        assert_eq!(o.spec.journal.as_deref(), Some("run.xfj"));
+        assert_eq!(o.spec.metrics_out.as_deref(), Some("metrics.json"));
+        assert_eq!(o.spec.repro_dir.as_deref(), Some("repro"));
         assert!(o.progress);
 
-        let b = o.budget().expect("budget assembled");
+        let b = o.spec.budget().unwrap().expect("budget assembled");
         assert!(!b.is_unlimited());
     }
 
     #[test]
     fn resume_flag_parses_and_excludes_journal() {
         let o = parse(&["--resume", "run.xfj"]).unwrap();
-        assert_eq!(o.resume.as_deref(), Some("run.xfj"));
-        assert!(o.journal.is_none());
+        assert_eq!(o.spec.resume.as_deref(), Some("run.xfj"));
+        assert!(o.spec.journal.is_none());
 
         let err = parse(&["--journal", "a.xfj", "--resume", "b.xfj"]).unwrap_err();
-        assert!(err.contains("mutually exclusive"), "{err}");
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
         let err = parse(&["--resume", "b.xfj", "--journal", "a.xfj"]).unwrap_err();
-        assert!(err.contains("mutually exclusive"), "{err}");
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
     }
 
     #[test]
@@ -1061,7 +1277,7 @@ mod tests {
     #[test]
     fn no_budget_flags_means_no_budget() {
         let o = parse(&["--workload", "btree"]).unwrap();
-        assert!(o.budget().is_none());
+        assert!(o.spec.budget().unwrap().is_none());
     }
 
     #[test]
@@ -1071,31 +1287,54 @@ mod tests {
             ("stream", Mode::Stream),
             ("parallel", Mode::Parallel),
         ] {
-            assert_eq!(parse(&["--mode", name]).unwrap().mode, mode);
+            assert_eq!(parse(&["--mode", name]).unwrap().spec.mode().unwrap(), mode);
         }
-        assert!(parse(&["--mode", "turbo"]).is_err());
+        let err = parse(&["--mode", "turbo"]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                XfError::Config(ConfigError::Invalid { what: "mode", .. })
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn pruning_flag_parses_all_modes() {
-        assert_eq!(parse(&[]).unwrap().cfg.pruning, Pruning::Off);
+        assert_eq!(parse(&[]).unwrap().spec.pruning().unwrap(), Pruning::Off);
         assert_eq!(
-            parse(&["--pruning", "off"]).unwrap().cfg.pruning,
+            parse(&["--pruning", "off"])
+                .unwrap()
+                .spec
+                .pruning()
+                .unwrap(),
             Pruning::Off
         );
         assert_eq!(
-            parse(&["--pruning", "equivalence"]).unwrap().cfg.pruning,
+            parse(&["--pruning", "equivalence"])
+                .unwrap()
+                .spec
+                .pruning()
+                .unwrap(),
             Pruning::Equivalence
         );
         assert_eq!(
-            parse(&["--pruning", "sampled:0.25:7"]).unwrap().cfg.pruning,
+            parse(&["--pruning", "sampled:0.25:7"])
+                .unwrap()
+                .spec
+                .pruning()
+                .unwrap(),
             Pruning::Sampled {
                 rate: 0.25,
                 seed: 7
             }
         );
         assert_eq!(
-            parse(&["--pruning", "sampled:0.5"]).unwrap().cfg.pruning,
+            parse(&["--pruning", "sampled:0.5"])
+                .unwrap()
+                .spec
+                .pruning()
+                .unwrap(),
             Pruning::Sampled { rate: 0.5, seed: 0 },
             "the audit seed defaults to 0"
         );
@@ -1121,19 +1360,31 @@ mod tests {
     #[test]
     fn threads_and_schedule_flags_parse() {
         let o = parse(&["--workload", "treiber_stack", "--threads", "2"]).unwrap();
-        assert_eq!(o.threads, 2);
-        assert!(o.schedule.is_none());
+        assert_eq!(o.spec.threads, Some(2));
+        assert!(o.spec.schedule.is_none());
 
         assert_eq!(
-            parse(&["--schedule", "rr"]).unwrap().schedule,
+            parse(&["--schedule", "rr"])
+                .unwrap()
+                .spec
+                .schedule()
+                .unwrap(),
             Some(ScheduleSpec::RoundRobin)
         );
         assert_eq!(
-            parse(&["--schedule", "seed:42"]).unwrap().schedule,
+            parse(&["--schedule", "seed:42"])
+                .unwrap()
+                .spec
+                .schedule()
+                .unwrap(),
             Some(ScheduleSpec::Seeded(42))
         );
         assert_eq!(
-            parse(&["--schedule", "exhaustive:3"]).unwrap().schedule,
+            parse(&["--schedule", "exhaustive:3"])
+                .unwrap()
+                .spec
+                .schedule()
+                .unwrap(),
             Some(ScheduleSpec::Exhaustive(3))
         );
 
@@ -1146,7 +1397,70 @@ mod tests {
     #[test]
     fn unknown_flags_are_rejected() {
         let err = parse(&["--frobnicate"]).unwrap_err();
-        assert!(err.contains("--frobnicate"), "{err}");
+        assert!(err.to_string().contains("--frobnicate"), "{err}");
+        assert!(
+            matches!(
+                err,
+                XfError::Config(ConfigError::Unknown { what: "flag", .. })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn job_files_seed_the_spec_and_flags_override() {
+        let dir = std::env::temp_dir().join(format!("xfd-job-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let job = dir.join("job.json");
+        std::fs::write(
+            &job,
+            r#"{"workload": "btree", "ops": 12, "mode": "parallel", "pruning": "equivalence"}"#,
+        )
+        .unwrap();
+        let job_flag = job.display().to_string();
+
+        // Job file alone.
+        let o = parse(&["--job", &job_flag]).unwrap();
+        assert_eq!(o.spec.workload.as_deref(), Some("btree"));
+        assert_eq!(o.spec.ops, Some(12));
+        assert_eq!(o.spec.mode().unwrap(), Mode::Parallel);
+
+        // Flags override fields, in either order.
+        let o = parse(&["--job", &job_flag, "--ops", "99", "--mode", "batch"]).unwrap();
+        assert_eq!(o.spec.ops, Some(99));
+        assert_eq!(o.spec.mode().unwrap(), Mode::Batch);
+        let o = parse(&["--ops", "99", "--job", &job_flag]).unwrap();
+        assert_eq!(o.spec.ops, Some(99), "flag wins regardless of position");
+        assert_eq!(o.spec.pruning().unwrap(), Pruning::Equivalence);
+
+        // A malformed job file is a typed configuration rejection.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"worklod": "btree"}"#).unwrap();
+        let err = parse(&["--job", &bad.display().to_string()]).unwrap_err();
+        assert!(
+            matches!(err, XfError::Config(ConfigError::Invalid { .. })),
+            "{err:?}"
+        );
+        assert_eq!(err.exit_code(), 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_flags_parse_into_the_spec() {
+        let o = parse(&[
+            "--workload",
+            "btree",
+            "--pruning",
+            "equivalence",
+            "--class-cache",
+            "campaign.xfc",
+            "--cache-digest",
+            "v2",
+        ])
+        .unwrap();
+        assert_eq!(o.spec.class_cache.as_deref(), Some("campaign.xfc"));
+        assert_eq!(o.spec.cache_digest.as_deref(), Some("v2"));
     }
 
     fn finding(kind: BugKind) -> Finding {
@@ -1186,7 +1500,7 @@ mod tests {
         assert_eq!(strict.exit_code(&killed), ExitCode::from(3));
     }
 
-    fn parse_fuzz(args: &[&str]) -> Result<FuzzOpts, String> {
+    fn parse_fuzz(args: &[&str]) -> Result<FuzzOpts, XfError> {
         let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
         parse_fuzz_opts(&owned)
     }
@@ -1258,7 +1572,29 @@ mod tests {
     #[test]
     fn bug_workload_mismatch_is_rejected() {
         let o = parse(&["--workload", "ctree", "--bug", "BtNoAddCount"]).unwrap();
-        assert!(o.bug_set(WorkloadKind::Ctree).is_err());
+        let err = o.bug_set(WorkloadKind::Ctree).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                XfError::Config(ConfigError::BugWorkloadMismatch { .. })
+            ),
+            "{err:?}"
+        );
         assert!(o.bug_set(WorkloadKind::Btree).is_ok());
+    }
+
+    #[test]
+    fn endpoint_flags_parse() {
+        let (ep, rest) = parse_endpoint(&[
+            "--addr".to_owned(),
+            "127.0.0.1:9000".to_owned(),
+            "--workload".to_owned(),
+            "btree".to_owned(),
+        ])
+        .unwrap();
+        assert!(matches!(ep, Endpoint::Tcp(ref a) if a == "127.0.0.1:9000"));
+        assert_eq!(rest, vec!["--workload".to_owned(), "btree".to_owned()]);
+        let (ep, _) = parse_endpoint(&[]).unwrap();
+        assert!(matches!(ep, Endpoint::Tcp(ref a) if a == "127.0.0.1:7611"));
     }
 }

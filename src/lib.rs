@@ -16,7 +16,10 @@
 //!   the `xfd` CLI,
 //! - [`xffuzz`] — the differential fuzzer: seeded PM-program generation, a
 //!   per-byte model-checking oracle and delta-debugging repro
-//!   minimization (the `xfd fuzz` subcommand).
+//!   minimization (the `xfd fuzz` subcommand),
+//! - [`xfserve`] — the campaign server: framed job protocol over TCP/Unix
+//!   sockets, persistent executor pool and the cross-run class cache (the
+//!   `xfd serve`/`submit`/`watch` subcommands).
 //!
 //! # Quickstart
 //!
@@ -31,6 +34,7 @@ pub use pmem;
 pub use xfd_workloads as workloads;
 pub use xfdetector;
 pub use xffuzz;
+pub use xfserve;
 pub use xfstream;
 pub use xftrace;
 
