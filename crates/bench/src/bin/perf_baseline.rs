@@ -54,6 +54,7 @@ use std::io::BufReader;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+use pmem::PersistDomain;
 use serde::Serialize;
 use xfd_bench::{run_detection_with, run_parallel_detection, secs, trace_sizes};
 use xfd_workloads::bugs::WorkloadKind;
@@ -146,6 +147,31 @@ struct IngestRow {
     speedup_mapped: f64,
 }
 
+/// One persistence-domain cell of the domain sweep: the same workload and
+/// ops analyzed under each domain model. Every column except the walls is
+/// a pure function of the trace and the domain, so the trajectory gate
+/// holds them to exact equality with the committed baseline — a drift
+/// means the domain semantics (or the pruning fingerprint's domain fold)
+/// changed behavior.
+#[derive(Serialize)]
+struct DomainRow {
+    workload: String,
+    ops: u64,
+    /// `adr`, `eadr` or `cxl:WINDOW` — the CLI spelling.
+    domain: String,
+    failure_points: u64,
+    classes_total: u64,
+    fps_pruned: u64,
+    pruning_ratio: f64,
+    /// Race findings under this domain (deterministic, gated).
+    race_findings: u64,
+    /// Semantic findings under this domain (deterministic, gated).
+    semantic_findings: u64,
+    /// Walls on this host, informational only.
+    sequential_s: f64,
+    pruned_s: f64,
+}
+
 /// Per-workload deterministic counters from one cold + one warm server
 /// submission of the identical job. Gated by the trajectory check: the
 /// warm run must hit the cross-run cache and execute at least 5x fewer
@@ -189,6 +215,9 @@ struct Doc {
     /// `--wall` multicore sweep; empty when the flag was not passed.
     scaling: Vec<ScalingRow>,
     ingest: Vec<IngestRow>,
+    /// Persistence-domain sweep: deterministic detection and pruning
+    /// counters per (workload, domain) cell.
+    domains: Vec<DomainRow>,
     /// Campaign-server cold/warm throughput over the cross-run cache.
     server: ServerSection,
 }
@@ -281,6 +310,101 @@ fn measure_ingest(kind: WorkloadKind, ops: u64) -> IngestRow {
         mapped_entries_per_s: per_s(mapped_s),
         speedup_mapped: per_s(mapped_s) / per_s(buffered_s).max(f64::MIN_POSITIVE),
     }
+}
+
+/// Sweeps each case across the three persistence-domain models, exhaustive
+/// and pruned, recording the deterministic detection and pruning counters.
+fn measure_domains(cases: &[(WorkloadKind, u64)]) -> Vec<DomainRow> {
+    let domains = [
+        ("adr", PersistDomain::Adr),
+        ("eadr", PersistDomain::Eadr),
+        ("cxl:4", PersistDomain::CxlGpf { reorder_window: 4 }),
+    ];
+    let mut rows = Vec::new();
+    println!("\npersistence-domain sweep (deterministic counters, gated exactly)");
+    println!(
+        "{:<14} {:>6} {:>7} {:>6} {:>8} {:>7} {:>7} {:>6} {:>5} {:>9} {:>9}",
+        "workload",
+        "ops",
+        "domain",
+        "#fp",
+        "classes",
+        "pruned",
+        "ratio",
+        "races",
+        "sem",
+        "seq[s]",
+        "prune[s]"
+    );
+    for &(kind, ops) in cases {
+        for (name, domain) in domains {
+            let (sequential, (failure_points, races, semantics)) = best_of(|| {
+                let o = run_detection_with(
+                    kind,
+                    ops,
+                    XfConfig {
+                        domain,
+                        ..XfConfig::default()
+                    },
+                );
+                (
+                    o.stats.total_time,
+                    (
+                        o.stats.failure_points,
+                        o.report.race_count() as u64,
+                        o.report.semantic_count() as u64,
+                    ),
+                )
+            });
+            let (pruned_wall, (classes_total, fps_pruned, pruning_ratio)) = best_of(|| {
+                let o = run_detection_with(
+                    kind,
+                    ops,
+                    XfConfig {
+                        domain,
+                        pruning: Pruning::Equivalence,
+                        ..XfConfig::default()
+                    },
+                );
+                (
+                    o.stats.total_time,
+                    (
+                        o.stats.classes_total,
+                        o.stats.fps_pruned,
+                        o.stats.pruning_ratio,
+                    ),
+                )
+            });
+            println!(
+                "{:<14} {:>6} {:>7} {:>6} {:>8} {:>7} {:>6.2}x {:>6} {:>5} {:>9} {:>9}",
+                kind.to_string(),
+                ops,
+                name,
+                failure_points,
+                classes_total,
+                fps_pruned,
+                pruning_ratio,
+                races,
+                semantics,
+                secs(sequential),
+                secs(pruned_wall),
+            );
+            rows.push(DomainRow {
+                workload: kind.to_string(),
+                ops,
+                domain: name.to_owned(),
+                failure_points,
+                classes_total,
+                fps_pruned,
+                pruning_ratio,
+                race_findings: races,
+                semantic_findings: semantics,
+                sequential_s: sequential.as_secs_f64(),
+                pruned_s: pruned_wall.as_secs_f64(),
+            });
+        }
+    }
+    rows
 }
 
 /// Pulls the first `"key":N` integer out of a JSON document (the vendored
@@ -599,6 +723,13 @@ fn main() {
 
     let ingest = vec![measure_ingest(WorkloadKind::Btree, 100)];
     print_ingest(&ingest);
+    // B-Tree covers the clean-everywhere trajectory; Hashmap-Atomic's
+    // unhardened publish idiom makes the CXL reorder window visible on a
+    // bug-free workload.
+    let domains = measure_domains(&[
+        (WorkloadKind::Btree, 100),
+        (WorkloadKind::HashmapAtomic, 40),
+    ]);
     let server = measure_server(&cases);
 
     let doc = Doc {
@@ -610,6 +741,7 @@ fn main() {
         results: rows,
         scaling,
         ingest,
+        domains,
         server,
     };
     let path = "BENCH_detector.json";

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use pmem::PersistDomain;
 use xfd_workloads::bugs::{BugId, BugSet, BugSuite};
 use xfd_workloads::{build_concurrent, build_with_bug, validation_config, validation_ops};
 use xfdetector::{BugCategory, Mode, Session, XfDetector};
@@ -34,7 +35,14 @@ fn main() {
                 .run_concurrent(w, Mode::Batch)
                 .expect("detection run failed")
         } else {
-            XfDetector::new(validation_config(bug))
+            // Domain-sensitive bugs that are invisible under ADR by design
+            // (the reorder-window bug) validate under the domain that
+            // exposes them; everything else runs the paper's ADR model.
+            let mut cfg = validation_config(bug);
+            if !bug.expected_under(PersistDomain::Adr) {
+                cfg.domain = PersistDomain::CxlGpf { reorder_window: 4 };
+            }
+            XfDetector::new(cfg)
                 .run(build_with_bug(bug))
                 .expect("detection run failed")
         };
@@ -50,6 +58,7 @@ fn main() {
             BugSuite::Additional => "Additional",
             BugSuite::NewBug => "New bugs",
             BugSuite::Concurrent => "Concurrent",
+            BugSuite::DomainSensitive => "Domain",
         };
         let entry = matrix
             .entry((bug.workload().to_string(), suite))

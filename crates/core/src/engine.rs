@@ -24,8 +24,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pmem::{
-    Budget, BudgetOverrun, CowImage, CrashPolicy, EngineHook, ImageHash, OrderingPointInfo, PmCtx,
-    PmError, PmPool,
+    Budget, BudgetOverrun, CowImage, CrashPolicy, EngineHook, ImageHash, OrderingPointInfo,
+    PersistDomain, PmCtx, PmError, PmPool,
 };
 use xftrace::{SourceLoc, TraceEntry};
 
@@ -208,6 +208,13 @@ pub struct XfConfig {
     /// own full failure-point sweep and the per-plan reports merge through
     /// the deduplicating [`DetectionReport`]. Ignored when `threads` is 1.
     pub schedule: xfsched::ScheduleSpec,
+    /// The platform persistence domain findings are classified under
+    /// (ADR / eADR / CXL GPF). The traced execution is domain-independent;
+    /// the domain changes which exposed reads the shadow reports and how
+    /// failure points fingerprint into pruning classes. The default
+    /// ([`PersistDomain::Adr`]) is the paper's model and reproduces the
+    /// pre-domain reports byte-identically.
+    pub domain: PersistDomain,
 }
 
 impl Default for XfConfig {
@@ -230,6 +237,7 @@ impl Default for XfConfig {
             ring_impl: RingImpl::LockFree,
             threads: 1,
             schedule: xfsched::ScheduleSpec::RoundRobin,
+            domain: PersistDomain::Adr,
         }
     }
 }
@@ -323,6 +331,8 @@ impl XfConfigBuilder {
         threads: u32,
         /// See [`XfConfig::schedule`].
         schedule: xfsched::ScheduleSpec,
+        /// See [`XfConfig::domain`].
+        domain: PersistDomain,
     }
 
     /// Validates the configuration and returns it.
@@ -350,6 +360,13 @@ impl XfConfigBuilder {
             return Err(ConfigError::ScheduleTooLarge);
         }
         self.config.pruning.validate()?;
+        if self.config.domain.validate().is_err() {
+            return Err(ConfigError::Invalid {
+                what: "--domain",
+                value: self.config.domain.to_string(),
+                expected: pmem::DOMAIN_EXPECTED,
+            });
+        }
         Ok(self.config)
     }
 }
@@ -500,7 +517,7 @@ impl XfDetector {
         let workload = Rc::new(workload);
 
         let post_workload = Rc::clone(&workload);
-        let mut shadow = ShadowPm::new();
+        let mut shadow = ShadowPm::with_domain(self.config.domain);
         if self.config.pruning.is_enabled() {
             shadow.enable_fingerprinting();
         }
@@ -513,7 +530,10 @@ impl XfDetector {
             prune: RefCell::new(PruneCache::new(self.config.pruning)),
             rng: RefCell::new(StdRng::seed_from_u64(self.config.rng_seed)),
             recorded: RefCell::new(if self.config.record_trace {
-                Some(crate::offline::RecordedRun::default())
+                Some(crate::offline::RecordedRun {
+                    domain: self.config.domain,
+                    ..crate::offline::RecordedRun::default()
+                })
             } else {
                 None
             }),

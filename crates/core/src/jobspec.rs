@@ -66,6 +66,8 @@ pub struct JobSpec {
     /// Failure-point pruning: `off`, `equivalence` or
     /// `sampled:RATE[:SEED]` (absent: off).
     pub pruning: Option<String>,
+    /// Persistence domain: `adr`, `eadr` or `cxl:WINDOW` (absent: adr).
+    pub domain: Option<String>,
     /// RNG seed for randomized crash policies.
     pub seed: Option<u64>,
     /// Stop injecting failures after this many failure points.
@@ -119,6 +121,7 @@ const FIELDS: &[&str] = &[
     "threads",
     "schedule",
     "pruning",
+    "domain",
     "seed",
     "max_failure_points",
     "budget_ms",
@@ -174,6 +177,7 @@ impl Deserialize for JobSpec {
             threads: opt(v, "threads")?,
             schedule: opt(v, "schedule")?,
             pruning: opt(v, "pruning")?,
+            domain: opt(v, "domain")?,
             seed: opt(v, "seed")?,
             max_failure_points: opt(v, "max_failure_points")?,
             budget_ms: opt(v, "budget_ms")?,
@@ -243,6 +247,15 @@ pub fn parse_pruning(v: &str) -> Result<Pruning, ConfigError> {
     Err(invalid())
 }
 
+/// Parses a `domain` string (`adr`, `eadr`, `cxl:WINDOW`).
+pub fn parse_domain(v: &str) -> Result<pmem::PersistDomain, ConfigError> {
+    v.parse().map_err(|_| ConfigError::Invalid {
+        what: "domain",
+        value: v.to_owned(),
+        expected: pmem::DOMAIN_EXPECTED,
+    })
+}
+
 /// Parses a `schedule` string (`rr`, `seed:N`, `exhaustive:K`).
 pub fn parse_schedule(v: &str) -> Result<xfsched::ScheduleSpec, ConfigError> {
     if v.eq_ignore_ascii_case("round-robin") {
@@ -289,6 +302,13 @@ impl JobSpec {
             .map_or(Ok(Pruning::Off), parse_pruning)
     }
 
+    /// The persistence domain (absent: [`pmem::PersistDomain::Adr`]).
+    pub fn domain(&self) -> Result<pmem::PersistDomain, ConfigError> {
+        self.domain
+            .as_deref()
+            .map_or(Ok(pmem::PersistDomain::Adr), parse_domain)
+    }
+
     /// The interleaving schedule, when one was requested.
     pub fn schedule(&self) -> Result<Option<xfsched::ScheduleSpec>, ConfigError> {
         self.schedule.as_deref().map(parse_schedule).transpose()
@@ -332,6 +352,7 @@ impl JobSpec {
     pub fn config(&self) -> Result<XfConfig, ConfigError> {
         let mut b = XfConfig::builder()
             .pruning(self.pruning()?)
+            .domain(self.domain()?)
             .post_budget(self.budget()?);
         if let Some(all) = self.all_reads {
             b = b.first_read_only(!all);
@@ -532,6 +553,46 @@ mod tests {
         assert!(err.to_string().contains("ops"), "{err}");
         let err = JobSpec::from_json(r#"{"mode": 3}"#).unwrap_err();
         assert!(err.to_string().contains("mode"), "{err}");
+    }
+
+    #[test]
+    fn domain_axis_parses_and_rejects_like_the_builder() {
+        let spec = JobSpec {
+            workload: Some("btree".into()),
+            domain: Some("cxl:16".into()),
+            ..JobSpec::default()
+        };
+        assert_eq!(
+            spec.domain().unwrap(),
+            pmem::PersistDomain::CxlGpf { reorder_window: 16 }
+        );
+        spec.validate().unwrap();
+        assert_eq!(
+            spec.config().unwrap().domain,
+            pmem::PersistDomain::CxlGpf { reorder_window: 16 }
+        );
+        let again = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, again);
+        // Absent means ADR, the pre-domain behavior.
+        assert_eq!(
+            JobSpec::default().domain().unwrap(),
+            pmem::PersistDomain::Adr
+        );
+        // A malformed spelling and an out-of-range window fail validation
+        // with the same typed error (and thus the same exit code) as the
+        // CLI flag.
+        for bad in ["nvdimm", "cxl:0", "cxl:4097"] {
+            let spec = JobSpec {
+                domain: Some(bad.into()),
+                ..JobSpec::default()
+            };
+            let err = spec.validate().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::Invalid { what: "domain", .. }),
+                "{bad}: {err}"
+            );
+            assert!(err.to_string().contains("cxl:WINDOW"), "{err}");
+        }
     }
 
     #[test]

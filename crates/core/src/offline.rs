@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use pmem::PersistDomain;
 use serde::{Deserialize, Serialize};
 use xftrace::{OwnedTraceEntry, SourceLoc};
 
@@ -46,6 +47,11 @@ pub struct RecordedRun {
     /// single-threaded runs. Carried so a `.xft`/JSON trace is replayable
     /// evidence: the exact interleaving that exposed a bug travels with it.
     pub schedule: String,
+    /// The persistence domain the run was recorded under, so a replay
+    /// reproduces the same findings by default. Pre-domain recordings
+    /// (and `.xft` v1 files) deserialize as [`PersistDomain::Adr`].
+    #[serde(default)]
+    pub domain: PersistDomain,
 }
 
 impl RecordedRun {
@@ -69,8 +75,20 @@ impl RecordedRun {
 /// findings only appear in the online report.
 #[must_use]
 pub fn analyze(run: &RecordedRun, first_read_only: bool) -> DetectionReport {
+    analyze_in(run, first_read_only, run.domain)
+}
+
+/// As [`analyze`], but classifying findings under an explicit persistence
+/// `domain` instead of the one stamped into the recording — the same trace
+/// analyzed under ADR, eADR and CXL without re-recording anything.
+#[must_use]
+pub fn analyze_in(
+    run: &RecordedRun,
+    first_read_only: bool,
+    domain: PersistDomain,
+) -> DetectionReport {
     let mut report = DetectionReport::new();
-    let mut shadow = ShadowPm::new();
+    let mut shadow = ShadowPm::with_domain(domain);
     let mut cursor = 0usize;
 
     for (id, rfp) in run.failure_points.iter().enumerate() {
@@ -131,7 +149,7 @@ impl PruningCensus {
 /// recorded failure point.
 #[must_use]
 pub fn pruning_census(run: &RecordedRun) -> PruningCensus {
-    let mut shadow = ShadowPm::new();
+    let mut shadow = ShadowPm::with_domain(run.domain);
     shadow.enable_fingerprinting();
     let mut scratch = DetectionReport::new();
     let mut cursor = 0usize;

@@ -564,7 +564,7 @@ impl XfDetector {
             jobs: RefCell::new(Some(Arc::clone(&queue))),
             stats: RefCell::new(RunStats::default()),
             shadow: RefCell::new({
-                let mut shadow = ShadowPm::new();
+                let mut shadow = ShadowPm::with_domain(config.domain);
                 if config.pruning.is_enabled() {
                     shadow.enable_fingerprinting();
                 }
@@ -581,7 +581,10 @@ impl XfDetector {
             warm_refs: RefCell::new(Vec::new()),
             pending_exports: RefCell::new(Vec::new()),
             recorded: RefCell::new(if config.record_trace {
-                Some(RecordedRun::default())
+                Some(RecordedRun {
+                    domain: config.domain,
+                    ..RecordedRun::default()
+                })
             } else {
                 None
             }),

@@ -25,6 +25,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use pmem::PersistDomain;
 use xftrace::{Op, SourceLoc, TraceEntry};
 
 use crate::report::{BugKind, DetectionReport, FailurePoint, Finding};
@@ -86,6 +87,16 @@ struct ByteState {
     /// was pending: its persistence now depends on cross-thread timing,
     /// so an exposed read upgrades to a cross-thread finding.
     xthread: bool,
+    /// Timestamp of the ordering point that moved this byte to
+    /// [`PersistState::Persisted`] (meaningful only in that state). Drives
+    /// the [`PersistDomain::CxlGpf`] reorder-window check: persistence is
+    /// only conditionally durable until the byte ages out of the window.
+    tpersist: u32,
+    /// The last store came from trusted library internals (an atomic
+    /// publication, allocator metadata). Exempt from the CXL
+    /// reorder-window check, matching the paper's function-granularity
+    /// treatment of library code (§5.3).
+    writer_internal: bool,
 }
 
 impl ByteState {
@@ -101,6 +112,8 @@ impl ByteState {
         writer_tid: 0,
         flusher_tid: 0,
         xthread: false,
+        tpersist: 0,
+        writer_internal: false,
     };
 }
 
@@ -329,6 +342,11 @@ pub struct ShadowPm {
     /// Reusable record scratch for fingerprint folds (the re-fold used to
     /// allocate a fresh `Vec` per failure point).
     fp_records: Vec<u64>,
+    /// The persistence domain findings are classified under. The replay
+    /// itself (the FSM transitions) is domain-independent; the domain is
+    /// consulted at check time and fingerprint time only, so one recorded
+    /// trace can be analyzed under every domain.
+    domain: PersistDomain,
 }
 
 impl Clone for ShadowPm {
@@ -347,15 +365,32 @@ impl Clone for ShadowPm {
             fp_lines: None,
             fp_stale: false,
             fp_records: Vec::new(),
+            domain: self.domain,
         }
     }
 }
 
 impl ShadowPm {
-    /// Creates an empty shadow.
+    /// Creates an empty shadow (under the default
+    /// [`PersistDomain::Adr`]).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty shadow classifying findings under `domain`.
+    #[must_use]
+    pub fn with_domain(domain: PersistDomain) -> Self {
+        ShadowPm {
+            domain,
+            ..Self::default()
+        }
+    }
+
+    /// The persistence domain this shadow classifies findings under.
+    #[must_use]
+    pub fn domain(&self) -> PersistDomain {
+        self.domain
     }
 
     /// Current epoch (number of ordering points replayed).
@@ -392,6 +427,35 @@ impl ShadowPm {
             .and_then(|slab| slab.state((addr % LINE) as usize))
     }
 
+    // --- domain-dependent classification -------------------------------
+
+    /// Whether a crash at this moment loses byte `st`'s last store. Under
+    /// ADR an unpersisted write is lost in some eviction interleaving — the
+    /// paper's race condition. Under eADR the platform flushes the caches
+    /// on power failure, so a *written* byte always reaches media and the
+    /// race vanishes. CXL GPF flushes like eADR, but the flushed line
+    /// enters the device's reorder buffer at the failure with no ordering
+    /// guarantee — conservatively as exposed as ADR.
+    fn byte_lost(&self, st: &ByteState) -> bool {
+        st.persist != PersistState::Persisted && self.domain != PersistDomain::Eadr
+    }
+
+    /// Whether byte `st`'s persistence is only *conditional* under
+    /// [`PersistDomain::CxlGpf`]: explicitly persisted, but within the
+    /// device's reorder window — the media commit may still be reordered
+    /// or dropped device-side. Library-internal writers (atomic
+    /// publications, allocator metadata) are exempt, mirroring the trusted
+    /// treatment of library code everywhere else in the checker.
+    fn byte_buffered(&self, st: &ByteState) -> bool {
+        let PersistDomain::CxlGpf { reorder_window } = self.domain else {
+            return false;
+        };
+        st.persist == PersistState::Persisted
+            && st.written
+            && !st.writer_internal
+            && (self.ts.wrapping_sub(st.tpersist) as usize) <= reorder_window
+    }
+
     // --- persistence-state fingerprinting (equivalence-class pruning) ----
 
     /// Whether a post-failure read of byte `b` could produce a finding — the
@@ -415,7 +479,10 @@ impl ShadowPm {
         if semantic == Some(true) {
             return false;
         }
-        st.persist != PersistState::Persisted || semantic == Some(false) || st.unprotected_tx_write
+        self.byte_lost(st)
+            || self.byte_buffered(st)
+            || semantic == Some(false)
+            || st.unprotected_tx_write
     }
 
     /// Whether byte `b` contributes a fingerprint record: it has finding
@@ -524,7 +591,23 @@ impl ShadowPm {
         }
         let h = fold_records(&mut records);
         self.fp_records = records;
-        h
+        self.fold_domain(h)
+    }
+
+    /// Folds the persistence domain into a finished fingerprint: two crash
+    /// states with identical byte records may still report differently
+    /// under different domains, so classes must not collapse across them.
+    /// [`PersistDomain::Adr`] is the identity, keeping every ADR
+    /// fingerprint byte-identical to the pre-domain ones (cross-run class
+    /// caches and recorded journals stay valid for the default domain).
+    fn fold_domain(&self, h: u64) -> u64 {
+        match self.domain {
+            PersistDomain::Adr => h,
+            PersistDomain::Eadr => fnv_u64(h, 1),
+            PersistDomain::CxlGpf { reorder_window } => {
+                fnv_u64(fnv_u64(h, 2), reorder_window as u64)
+            }
+        }
     }
 
     /// [`ShadowPm::persistence_fingerprint`] computed by scanning every
@@ -538,7 +621,7 @@ impl ShadowPm {
                 self.byte_records(li, slab, &mut records);
             }
         }
-        fold_records(&mut records)
+        self.fold_domain(fold_records(&mut records))
     }
 
     /// Appends one record hash per contributing byte of line `li`
@@ -578,7 +661,8 @@ impl ShadowPm {
                 | verdict_code << 6
                 | pending_bit << 8
                 | u64::from(self.is_commit_var_byte(b)) << 9
-                | u64::from(st.xthread) << 10;
+                | u64::from(st.xthread) << 10
+                | u64::from(self.byte_buffered(st)) << 11;
             let mut h = fnv_u64(FNV_OFFSET, flags);
             // Thread facts participate unconditionally: constant (zero) in
             // single-threaded traces, so classes there are unaffected, but
@@ -672,8 +756,12 @@ impl ShadowPm {
     pub fn apply_pre(&mut self, e: &TraceEntry, out: &mut DetectionReport) {
         self.entries_replayed += 1;
         match e.op {
-            Op::Write { addr, size } => self.on_write(addr, u64::from(size), e.loc, e.tid, false),
-            Op::NtWrite { addr, size } => self.on_write(addr, u64::from(size), e.loc, e.tid, true),
+            Op::Write { addr, size } => {
+                self.on_write(addr, u64::from(size), e.loc, e.tid, false, e.internal);
+            }
+            Op::NtWrite { addr, size } => {
+                self.on_write(addr, u64::from(size), e.loc, e.tid, true, e.internal);
+            }
             Op::Flush { addr, .. } => self.on_flush(addr, e.loc, e.checked, e.tid, out),
             Op::Fence { .. } => self.on_fence(e.tid),
             Op::Read { .. } => {}
@@ -697,7 +785,15 @@ impl ShadowPm {
         }
     }
 
-    fn on_write(&mut self, addr: u64, size: u64, loc: SourceLoc, tid: u32, non_temporal: bool) {
+    fn on_write(
+        &mut self,
+        addr: u64,
+        size: u64,
+        loc: SourceLoc,
+        tid: u32,
+        non_temporal: bool,
+        internal: bool,
+    ) {
         // Commit-write bookkeeping: one commit event per overlapping
         // variable per store (§3.2, the Cx notation).
         let ts = self.ts;
@@ -760,6 +856,7 @@ impl ShadowPm {
                 st.writer = loc;
                 st.writer_tid = tid;
                 st.xthread = false;
+                st.writer_internal = internal;
                 if non_temporal {
                     st.flusher_tid = tid;
                 }
@@ -851,6 +948,7 @@ impl ShadowPm {
     /// kinds report. With every operation on thread 0 (the single-threaded
     /// case) this is exactly the classic drain-everything fence.
     fn on_fence(&mut self, tid: u32) {
+        let ts = self.ts;
         let lines: Vec<u64> = self.pending_lines.iter().copied().collect();
         for li in lines {
             let Some(slab) = self.slab_mut_existing(li) else {
@@ -865,6 +963,7 @@ impl ShadowPm {
                 let st = &mut slab.states[i];
                 if st.flusher_tid == tid {
                     st.persist = PersistState::Persisted;
+                    st.tpersist = ts;
                     drained |= 1 << i;
                 } else {
                     st.xthread = true;
@@ -877,6 +976,12 @@ impl ShadowPm {
             self.fp_update_line(li);
         }
         self.ts += 1;
+        if matches!(self.domain, PersistDomain::CxlGpf { .. }) {
+            // Advancing the epoch ages persisted bytes out of the reorder
+            // window on lines this fence never drained: the suspect-line
+            // index cannot be patched incrementally.
+            self.fp_mark_stale();
+        }
     }
 
     fn on_tx_add(
@@ -1259,7 +1364,7 @@ impl PostChecker {
                 if semantic == Some(true) {
                     continue;
                 }
-                if st.persist != PersistState::Persisted {
+                if self.shadow.byte_lost(st) {
                     // A pending byte that survived a *foreign* fence is not
                     // just unordered with the failure: its persistence
                     // depends on which thread's fence the crash beat.
@@ -1270,6 +1375,40 @@ impl PostChecker {
                         )
                     } else {
                         (BugKind::CrossFailureRace, None)
+                    };
+                    out.push(Finding {
+                        kind,
+                        addr: byte_addr,
+                        size: 1,
+                        reader: Some(loc),
+                        writer: Some(st.writer),
+                        failure_point: Some(fp),
+                        message,
+                    });
+                    reported = true;
+                    break;
+                }
+                if self.shadow.byte_buffered(st) {
+                    // Persisted, but inside the CXL device's reorder window
+                    // at the failure: the media commit is not yet ordered,
+                    // so the read races the device exactly as an unflushed
+                    // store races the cache under ADR.
+                    let (kind, message) = if st.xthread {
+                        (
+                            BugKind::CrossThreadRace,
+                            Some(
+                                "device-buffered write persisted only via another thread's fence"
+                                    .to_owned(),
+                            ),
+                        )
+                    } else {
+                        (
+                            BugKind::CrossFailureRace,
+                            Some(
+                                "write still in the device reorder window at the failure"
+                                    .to_owned(),
+                            ),
+                        )
                     };
                     out.push(Finding {
                         kind,

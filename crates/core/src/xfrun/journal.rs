@@ -114,7 +114,7 @@ pub(crate) fn fingerprint(workload: &str, config: &XfConfig) -> String {
     format!(
         "workload={workload};skip_empty={};first_read_only={};inject_at_completion={};\
          fire_on_every_write={};catch_post_panics={};crash_policy={:?};rng_seed={:#x};\
-         cow_snapshots={};dedup_images={};post_budget={:?};threads={};schedule={}",
+         cow_snapshots={};dedup_images={};post_budget={:?};threads={};schedule={};domain={}",
         config.skip_empty_failure_points,
         config.first_read_only,
         config.inject_at_completion,
@@ -127,6 +127,7 @@ pub(crate) fn fingerprint(workload: &str, config: &XfConfig) -> String {
         config.post_budget,
         config.threads,
         config.schedule,
+        config.domain,
     )
 }
 

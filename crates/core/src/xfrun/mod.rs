@@ -314,6 +314,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Persistence domain findings are classified under (shorthand for
+    /// setting [`XfConfig::domain`]).
+    #[must_use]
+    pub fn domain(mut self, domain: pmem::PersistDomain) -> Self {
+        self.config.domain = domain;
+        self
+    }
+
     /// Trace-FIFO capacity (in batches) for [`Mode::Stream`].
     #[must_use]
     pub fn stream_capacity(mut self, capacity: usize) -> Self {
@@ -437,6 +445,13 @@ impl SessionBuilder {
         }
         if self.config.schedule.plan_count(self.config.threads) > MAX_SCHEDULE_PLANS {
             return Err(ConfigError::ScheduleTooLarge);
+        }
+        if self.config.domain.validate().is_err() {
+            return Err(ConfigError::Invalid {
+                what: "--domain",
+                value: self.config.domain.to_string(),
+                expected: pmem::DOMAIN_EXPECTED,
+            });
         }
         let workers = if self.workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)

@@ -140,6 +140,98 @@ pub fn exhaustive_cow_crash_images(pool: &PmPool, max_lines: u32) -> Result<Vec<
     Ok(images)
 }
 
+/// Samples one crash image under the CXL GPF device-reorder model
+/// ([`crate::PersistDomain::CxlGpf`]): the media image, minus a randomly
+/// chosen suffix of the in-window commits recorded by the pool's armed
+/// reorder log (see [`PmPool::enable_reorder_log`]).
+///
+/// The device is modeled as having accepted the logged commits into its
+/// internal buffer in some order it chose itself: the sampler applies a
+/// seeded Fisher–Yates permutation to the in-window entries, picks a cut
+/// point, and treats everything after the cut as *not yet on media* at the
+/// failure. A line's surviving content is then the newest commit (in pool
+/// arrival order) that made the cut — or, if none did, the pre-image of the
+/// oldest logged commit to that line.
+///
+/// Determinism contract: the image is a pure function of
+/// `(pool state, seed, draw)` — same inputs, byte-identical image; `draw`
+/// lets one failure point enumerate several device behaviors from one seed.
+/// A pool without an armed log (or with an empty window) yields exactly
+/// [`PmPool::media_image`].
+#[must_use]
+pub fn reorder_window_image(pool: &PmPool, seed: u64, draw: u64) -> PmImage {
+    let entries = pool.reorder_entries();
+    let image = pool.media_image();
+    if entries.is_empty() {
+        return image;
+    }
+
+    // FNV-1a fold of (seed, draw) into an xorshift64* state; splitting the
+    // stream per draw keeps consecutive draws decorrelated even for small
+    // seeds.
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+    let mut state = FNV_OFFSET;
+    for b in seed.to_le_bytes().into_iter().chain(draw.to_le_bytes()) {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    let mut next = move || {
+        // xorshift64* (Vigna); `state` is never zero after the FNV fold of
+        // a non-empty input.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+
+    // Fisher–Yates over the entry indices = the device's internal apply
+    // order; a uniform cut of that order = how far the device got.
+    let n = entries.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let cut = (next() % (n as u64 + 1)) as usize;
+    let mut applied = vec![false; n];
+    for &idx in &order[..cut] {
+        applied[idx] = true;
+    }
+
+    let base = image.base();
+    let mut bytes = image.bytes().to_vec();
+    let mut handled = std::collections::HashSet::new();
+    for (idx, entry) in entries.iter().enumerate() {
+        if !handled.insert(entry.line) {
+            continue;
+        }
+        // Newest applied commit to this line wins; entries are in arrival
+        // order, so scan the line's commits from the back.
+        let line_entries = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.line == entry.line);
+        let mut survivor: Option<&[u8; CACHE_LINE_USIZE]> = Some(&entries[idx].prev);
+        for (i, e) in line_entries {
+            if applied[i] {
+                survivor = None; // this commit (or a newer one) is on media
+            } else if survivor.is_none() {
+                survivor = Some(&e.prev); // first dropped commit after the
+                                          // newest applied one: its pre-image
+                                          // is what media holds
+            }
+        }
+        if let Some(prev) = survivor {
+            let off = entry.line * CACHE_LINE_USIZE;
+            bytes[off..off + CACHE_LINE_USIZE].copy_from_slice(prev);
+        }
+    }
+    PmImage::from_parts(base, bytes)
+}
+
+const CACHE_LINE_USIZE: usize = crate::CACHE_LINE as usize;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +379,110 @@ mod tests {
         let g = images[0].generation();
         assert!(images.iter().all(|i| i.generation() == g));
         assert!(images.iter().all(|i| i.delta_count() <= 2));
+    }
+
+    /// Pool with an armed reorder log and three committed line-0 values
+    /// (1, 2, 3 across three fences) plus line 1 committed once.
+    fn reordered_pool(window: usize) -> PmPool {
+        let mut p = PmPool::new(4096).unwrap();
+        p.enable_reorder_log(window);
+        for v in 1..=3u64 {
+            p.write_u64(p.base(), v).unwrap();
+            p.flush_line(p.base()).unwrap();
+            p.fence();
+        }
+        p.write_u64(p.base() + 64, 7).unwrap();
+        p.flush_line(p.base() + 64).unwrap();
+        p.fence();
+        p
+    }
+
+    fn line_val(img: &PmImage, line: usize) -> u64 {
+        let off = line * 64;
+        u64::from_le_bytes(img.bytes()[off..off + 8].try_into().unwrap())
+    }
+
+    #[test]
+    fn reorder_log_tracks_epochs_and_prunes_to_window() {
+        let p = reordered_pool(2);
+        assert_eq!(p.persist_epoch(), 4);
+        // Window 2 keeps epochs 3 and 4 only: line 0's v=3 commit and
+        // line 1's v=7 commit.
+        let entries = p.reorder_entries();
+        assert_eq!(
+            entries
+                .iter()
+                .map(|e| (e.epoch, e.line))
+                .collect::<Vec<_>>(),
+            vec![(3, 0), (4, 1)]
+        );
+        // v=3 overwrote v=2 on media.
+        assert_eq!(
+            u64::from_le_bytes(entries[0].prev[..8].try_into().unwrap()),
+            2
+        );
+        assert_eq!(
+            u64::from_le_bytes(entries[1].prev[..8].try_into().unwrap()),
+            0
+        );
+    }
+
+    #[test]
+    fn unarmed_pool_logs_nothing_and_samples_media() {
+        let mut p = PmPool::new(4096).unwrap();
+        p.write_u64(p.base(), 5).unwrap();
+        p.flush_line(p.base()).unwrap();
+        p.fence();
+        assert!(p.reorder_entries().is_empty());
+        assert_eq!(reorder_window_image(&p, 1, 0), p.media_image());
+    }
+
+    #[test]
+    fn reorder_image_is_deterministic_per_seed_and_draw() {
+        let p = reordered_pool(4);
+        let a = reorder_window_image(&p, 42, 0);
+        let b = reorder_window_image(&p, 42, 0);
+        assert_eq!(a, b, "same (seed, draw) -> byte-identical image");
+        let mut distinct = std::collections::HashSet::new();
+        for draw in 0..64 {
+            distinct.insert(reorder_window_image(&p, 42, draw).bytes().to_vec());
+        }
+        assert!(
+            distinct.len() > 1,
+            "draws explore multiple device behaviors"
+        );
+    }
+
+    #[test]
+    fn reorder_image_lines_take_only_logged_values() {
+        // With window 4 every commit is in flight: line 0 may read 0 (all
+        // dropped), 1, 2, or 3; line 1 may read 0 or 7. Never a torn value.
+        let p = reordered_pool(4);
+        let mut seen0 = std::collections::HashSet::new();
+        let mut seen1 = std::collections::HashSet::new();
+        for draw in 0..256 {
+            let img = reorder_window_image(&p, 9, draw);
+            seen0.insert(line_val(&img, 0));
+            seen1.insert(line_val(&img, 1));
+        }
+        assert!(seen0.iter().all(|v| *v <= 3), "{seen0:?}");
+        assert!(seen1.iter().all(|v| *v == 0 || *v == 7), "{seen1:?}");
+        assert!(
+            seen0.len() > 1 && seen1.len() > 1,
+            "window is actually sampled"
+        );
+    }
+
+    #[test]
+    fn aged_out_commits_always_survive() {
+        // Window 1: after the final fence only the newest commit (line 1,
+        // epoch 4) is in flight; line 0's v=3 has aged out and must be
+        // present in every sampled image.
+        let p = reordered_pool(1);
+        for draw in 0..32 {
+            let img = reorder_window_image(&p, 5, draw);
+            assert_eq!(line_val(&img, 0), 3);
+        }
     }
 
     #[test]

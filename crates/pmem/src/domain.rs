@@ -1,0 +1,228 @@
+//! The persistence-domain model: which bytes survive a power failure.
+//!
+//! The paper's detector hard-codes ADR-era semantics — a store is durable
+//! only after an explicit write-back (`CLWB`) and an ordering fence reach
+//! the memory controller. Later platforms change that contract, and with it
+//! the cross-failure bug surface:
+//!
+//! - **eADR** extends the persistence domain over the CPU caches: on a
+//!   power failure the platform flushes every dirty line, so *written* data
+//!   is never lost and flush-omission races disappear (write-*order*
+//!   semantics, uninitialized reads and transaction-protection bugs
+//!   remain).
+//! - **CXL GPF** (global persistent flush) behaves like eADR at the cache
+//!   level, but the CXL device commits accepted writes to media through a
+//!   bounded internal buffer: stores persisted during the final
+//!   `reorder_window` ordering epochs before the failure may still be
+//!   reordered or dropped device-side, so even explicitly-persisted data is
+//!   only *conditionally* durable until it ages out of the window.
+//!
+//! [`PersistDomain`] names these three models. It is deliberately a plain
+//! config value: the traced execution and the recorded trace are
+//! domain-independent, and the domain is applied at *check time* (shadow-PM
+//! classification, crash-image sampling), so one recorded trace can be
+//! analyzed under every domain.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Largest accepted [`PersistDomain::CxlGpf`] reorder window, in ordering
+/// epochs. Windows beyond this are almost certainly configuration mistakes
+/// (the window is measured in *fences*, not bytes).
+pub const MAX_REORDER_WINDOW: usize = 4096;
+
+/// The platform persistence domain a run is analyzed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PersistDomain {
+    /// ADR (asynchronous DRAM refresh): only the memory controller's write
+    /// pending queue is in the persistence domain. A store is durable after
+    /// an explicit flush *and* a fence — the paper's model, and the
+    /// default.
+    #[default]
+    Adr,
+    /// eADR (extended ADR): CPU caches are inside the persistence domain;
+    /// dirty lines are flushed by the platform on power failure, so every
+    /// *written* byte is persisted-at-crash.
+    Eadr,
+    /// CXL global persistent flush with a device-side reorder buffer:
+    /// eADR-like cache flushing, but writes that reached the device within
+    /// the final `reorder_window` ordering epochs before the crash are only
+    /// conditionally durable (the device may apply them out of order or
+    /// drop them).
+    CxlGpf {
+        /// Depth of the device reorder buffer in ordering epochs
+        /// (`1..=`[`MAX_REORDER_WINDOW`]).
+        reorder_window: usize,
+    },
+}
+
+/// A malformed domain string or an out-of-range reorder window, reported by
+/// [`PersistDomain::from_str`] / [`PersistDomain::validate`]. The caller
+/// (CLI, `JobSpec`) wraps this in its own configuration error so local and
+/// server rejections carry the same code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainError {
+    /// The offending value, verbatim.
+    pub value: String,
+}
+
+/// What a well-formed domain spelling looks like — shared by every layer
+/// that rejects one, so the CLI and the server render identical guidance.
+pub const DOMAIN_EXPECTED: &str = "adr, eadr, or cxl:WINDOW with WINDOW in 1..=4096";
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid persistence domain {:?} (expected {DOMAIN_EXPECTED})",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+impl PersistDomain {
+    /// The one-byte wire code stamped into `.xft` v2 headers: `0` ADR,
+    /// `1` eADR, `2` CXL GPF (followed by the window). Codes are
+    /// append-only.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            PersistDomain::Adr => 0,
+            PersistDomain::Eadr => 1,
+            PersistDomain::CxlGpf { .. } => 2,
+        }
+    }
+
+    /// The CXL reorder window, or `0` for domains without one.
+    #[must_use]
+    pub fn reorder_window(&self) -> usize {
+        match self {
+            PersistDomain::CxlGpf { reorder_window } => *reorder_window,
+            _ => 0,
+        }
+    }
+
+    /// Whether this domain treats written-but-unflushed bytes as persisted
+    /// at the crash (the cache hierarchy is inside the persistence domain).
+    #[must_use]
+    pub fn caches_persist(&self) -> bool {
+        !matches!(self, PersistDomain::Adr)
+    }
+
+    /// Rejects a [`PersistDomain::CxlGpf`] window outside
+    /// `1..=`[`MAX_REORDER_WINDOW`].
+    ///
+    /// # Errors
+    ///
+    /// [`DomainError`] with the rendered domain as the offending value.
+    pub fn validate(&self) -> Result<(), DomainError> {
+        match self {
+            PersistDomain::CxlGpf { reorder_window }
+                if !(1..=MAX_REORDER_WINDOW).contains(reorder_window) =>
+            {
+                Err(DomainError {
+                    value: self.to_string(),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for PersistDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistDomain::Adr => f.write_str("adr"),
+            PersistDomain::Eadr => f.write_str("eadr"),
+            PersistDomain::CxlGpf { reorder_window } => write!(f, "cxl:{reorder_window}"),
+        }
+    }
+}
+
+impl FromStr for PersistDomain {
+    type Err = DomainError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || DomainError { value: s.into() };
+        match s {
+            "adr" => Ok(PersistDomain::Adr),
+            "eadr" => Ok(PersistDomain::Eadr),
+            _ => {
+                let window = s.strip_prefix("cxl:").ok_or_else(err)?;
+                let reorder_window: usize = window.parse().map_err(|_| err())?;
+                let domain = PersistDomain::CxlGpf { reorder_window };
+                domain.validate().map_err(|_| err())?;
+                Ok(domain)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_adr() {
+        assert_eq!(PersistDomain::default(), PersistDomain::Adr);
+        assert_eq!(PersistDomain::Adr.code(), 0);
+        assert!(!PersistDomain::Adr.caches_persist());
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for d in [
+            PersistDomain::Adr,
+            PersistDomain::Eadr,
+            PersistDomain::CxlGpf { reorder_window: 1 },
+            PersistDomain::CxlGpf {
+                reorder_window: 4096,
+            },
+        ] {
+            assert_eq!(d.to_string().parse::<PersistDomain>().unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn malformed_spellings_are_rejected() {
+        for s in ["", "ADR", "cxl", "cxl:", "cxl:abc", "cxl:-1", "gpf:4"] {
+            let e = s.parse::<PersistDomain>().unwrap_err();
+            assert_eq!(e.value, s);
+            assert!(e.to_string().contains("cxl:WINDOW"), "{e}");
+        }
+    }
+
+    #[test]
+    fn window_bounds_are_enforced() {
+        assert!("cxl:0".parse::<PersistDomain>().is_err());
+        assert!("cxl:4097".parse::<PersistDomain>().is_err());
+        assert!(PersistDomain::CxlGpf { reorder_window: 0 }
+            .validate()
+            .is_err());
+        assert!(PersistDomain::CxlGpf {
+            reorder_window: MAX_REORDER_WINDOW
+        }
+        .validate()
+        .is_ok());
+        assert_eq!(
+            PersistDomain::CxlGpf { reorder_window: 16 }.reorder_window(),
+            16
+        );
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        for d in [
+            PersistDomain::Adr,
+            PersistDomain::Eadr,
+            PersistDomain::CxlGpf { reorder_window: 8 },
+        ] {
+            let json = serde_json::to_string(&d).unwrap();
+            assert_eq!(serde_json::from_str::<PersistDomain>(&json).unwrap(), d);
+        }
+    }
+}

@@ -48,15 +48,19 @@
 mod budget;
 mod crash;
 mod ctx;
+mod domain;
 mod error;
 mod layout;
 mod pool;
 mod snapshot;
 
 pub use budget::{Budget, BudgetAxis, BudgetOverrun};
-pub use crash::{exhaustive_cow_crash_images, exhaustive_crash_images, CrashPolicy};
+pub use crash::{
+    exhaustive_cow_crash_images, exhaustive_crash_images, reorder_window_image, CrashPolicy,
+};
 pub use ctx::{EngineHook, InternalScope, OrderingPointInfo, PmCtx};
+pub use domain::{DomainError, PersistDomain, DOMAIN_EXPECTED, MAX_REORDER_WINDOW};
 pub use error::PmError;
 pub use layout::LayoutBuilder;
-pub use pool::{FlushOutcome, LineState, PmImage, PmPool, CACHE_LINE, DEFAULT_BASE};
+pub use pool::{FlushOutcome, LineState, PmImage, PmPool, ReorderEntry, CACHE_LINE, DEFAULT_BASE};
 pub use snapshot::{CowImage, ImageHash};

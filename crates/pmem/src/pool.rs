@@ -185,6 +185,33 @@ pub struct PmPool {
     /// materialization, restoration). A [`Cell`] because materializing an
     /// image is conceptually `&self`.
     copied: Cell<u64>,
+    /// Completed ordering epochs (fences). Drives the CXL reorder log.
+    epoch: u64,
+    /// Armed by [`PmPool::enable_reorder_log`]: device-side reorder-buffer
+    /// model for [`PersistDomain::CxlGpf`](crate::PersistDomain::CxlGpf)
+    /// crash-image sampling. `None` (the default) costs nothing.
+    reorder: Option<ReorderLog>,
+}
+
+/// One media commit captured by the reorder log: the line that persisted,
+/// the epoch it persisted in, and the media content it overwrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorderEntry {
+    /// Ordering epoch the commit belongs to (the fence that completed it;
+    /// eager evictions between fences belong to the upcoming epoch).
+    pub epoch: u64,
+    /// Cache-line index within the pool.
+    pub line: usize,
+    /// Media content of the line immediately before this commit.
+    pub prev: [u8; CACHE_LINE as usize],
+}
+
+/// The CXL device reorder buffer: every media commit of the last `window`
+/// epochs, in arrival order, each with the content it overwrote.
+#[derive(Debug, Clone)]
+struct ReorderLog {
+    window: usize,
+    entries: Vec<ReorderEntry>,
 }
 
 impl PmPool {
@@ -224,6 +251,8 @@ impl PmPool {
             lines: vec![LineState::Clean; len / CACHE_LINE as usize],
             flushing: Vec::new(),
             copied: Cell::new(0),
+            epoch: 0,
+            reorder: None,
         })
     }
 
@@ -243,6 +272,8 @@ impl PmPool {
             lines: vec![LineState::Clean; image.bytes.len() / CACHE_LINE as usize],
             flushing: Vec::new(),
             copied: Cell::new(0),
+            epoch: 0,
+            reorder: None,
         };
         pool.account(image.len());
         pool
@@ -268,6 +299,8 @@ impl PmPool {
             media,
             flushing: Vec::new(),
             copied: Cell::new(0),
+            epoch: 0,
+            reorder: None,
         };
         pool.account(2 * CACHE_LINE * image.delta_count() as u64);
         pool
@@ -362,6 +395,9 @@ impl PmPool {
         let last = self.line_index(addr + data.len() as u64 - 1);
         for li in first..=last {
             if self.lines[li] == LineState::Flushing {
+                // An eager eviction commits to media between fences: it
+                // belongs to the upcoming ordering epoch.
+                self.log_reorder(li);
                 self.persist_line_to_media(li);
             }
             self.lines[li] = LineState::Dirty;
@@ -423,9 +459,61 @@ impl PmPool {
             // Stale entries (lines re-dirtied after their flush) stay in
             // whatever state the later store left them in.
             if self.lines[li] == LineState::Flushing {
+                self.log_reorder(li);
                 self.persist_line_to_media(li);
                 self.lines[li] = LineState::Clean;
             }
+        }
+        self.epoch += 1;
+        if let Some(log) = self.reorder.as_mut() {
+            // Commits older than `window` epochs are guaranteed on media;
+            // drop them so the log stays O(window × lines).
+            let horizon = self.epoch.saturating_sub(log.window as u64);
+            log.entries.retain(|e| e.epoch > horizon);
+        }
+    }
+
+    /// Arms the device-side reorder log with a `window`-epoch buffer: from
+    /// now on every media commit records the content it overwrites, and
+    /// [`reorder_window_image`](crate::reorder_window_image) can sample
+    /// crash images in which any suffix of the in-window commits (under a
+    /// seeded permutation) has not reached media. Used by the
+    /// [`PersistDomain::CxlGpf`](crate::PersistDomain::CxlGpf) model;
+    /// un-armed pools pay nothing.
+    pub fn enable_reorder_log(&mut self, window: usize) {
+        self.reorder = Some(ReorderLog {
+            window,
+            entries: Vec::new(),
+        });
+    }
+
+    /// Completed ordering epochs (fences) on this pool.
+    #[must_use]
+    pub fn persist_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The in-window commits of the armed reorder log, in arrival order
+    /// (empty when no log is armed).
+    #[must_use]
+    pub fn reorder_entries(&self) -> &[ReorderEntry] {
+        self.reorder.as_ref().map_or(&[], |log| &log.entries)
+    }
+
+    fn log_reorder(&mut self, li: usize) {
+        if self.reorder.is_none() {
+            return;
+        }
+        // Capture the pre-image before taking the mutable log borrow.
+        let mut prev = [0u8; CACHE_LINE as usize];
+        prev.copy_from_slice(self.media.line(li));
+        let epoch = self.epoch + 1;
+        if let Some(log) = self.reorder.as_mut() {
+            log.entries.push(ReorderEntry {
+                epoch,
+                line: li,
+                prev,
+            });
         }
     }
 

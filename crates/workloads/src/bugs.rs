@@ -144,6 +144,11 @@ pub enum BugSuite {
     /// single-threaded matrix); the cross-thread ones are detectable only
     /// with `threads >= 2`.
     Concurrent,
+    /// Bugs whose verdict flips with the persistence domain
+    /// ([`pmem::PersistDomain`]): flush omissions an eADR platform clears,
+    /// and ADR-correct idioms the CXL GPF reorder window breaks. Swept by
+    /// `tests/domain_matrix.rs` under all three domains.
+    DomainSensitive,
 }
 
 macro_rules! bug_ids {
@@ -344,6 +349,22 @@ bug_ids! {
     /// the hang surfaces as a `BudgetExceeded` finding.
     HaHangRecoveryLoop => (HashmapAtomic, NewBug, ExecutionFailure, "recovery spins on count_dirty that no surviving thread will ever clear"),
 
+    // ---- Domain-sensitive bugs (swept by tests/domain_matrix.rs) -----------
+    /// The stats last-key snapshot is written with neither a write-back nor
+    /// a fence. A race on ADR and CXL; residual energy persists the dirty
+    /// line on eADR, so the finding vanishes there.
+    HaStatsNoFlushKey => (HashmapAtomic, DomainSensitive, Race, "stats: last-key snapshot written without CLWB or SFENCE"),
+    /// The stats op counter is fenced but never written back — the SFENCE
+    /// orders an empty write-back set. A race on ADR and CXL; clean on eADR
+    /// where the cache itself is in the persistence domain.
+    HaStatsFenceNoFlush => (HashmapAtomic, DomainSensitive, Race, "stats: op counter fenced without CLWB (nothing to order)"),
+    /// The stats snapshot uses the invalidate/update/revalidate valid-flag
+    /// idiom with every write-back and fence in place — correct under ADR
+    /// and eADR. Under CXL GPF the device may commit the valid flag while
+    /// the just-fenced snapshot is still inside its reorder window, so the
+    /// flag can point at data the crash then drops: a reorder-window race.
+    HaCxlStatsPublish => (HashmapAtomic, DomainSensitive, Race, "stats: valid flag and snapshot land within the device reorder window"),
+
     // ---- Concurrent (lock-free) workloads ----------------------------------
     /// The `top` publication runs on the helper thread: whether the node is
     /// persistent at the crash depends on which thread's fence retired
@@ -359,6 +380,69 @@ bug_ids! {
     /// The predecessor-link write-back is omitted — an ordinary
     /// cross-failure race, detectable single-threaded.
     MsNoFlushLink => (MsQueue, Concurrent, Race, "predecessor next-link not flushed before the tail swing"),
+}
+
+impl BugId {
+    /// Whether the bug's race verdict is cleared by eADR, where the caches
+    /// sit inside the persistence domain and every dirty line survives the
+    /// failure.
+    ///
+    /// The characterization is exact, not a case list: every race verdict
+    /// the detector issues is ultimately a *lost-write* observation — a
+    /// post-failure read of a byte whose write-back had not retired — and
+    /// eADR eliminates that failure mode wholesale. This covers the
+    /// missing-`TX_ADD` suite too: an un-snapshotted transactional store is
+    /// flagged as a lost write, so with the store persisted-at-crash the
+    /// race disappears (the half-rolled-back state it leaves behind can
+    /// still surface as a recovery *error*, just not as a race). Only two
+    /// race bugs survive: the uninitialized read (a never-written byte, not
+    /// a lost one) and the reorder-window bug (invisible under ADR and eADR
+    /// alike).
+    #[must_use]
+    pub fn cleared_by_eadr(&self) -> bool {
+        self.expected_category() == BugCategory::Race
+            && !matches!(self, BugId::HaUninitCount)
+            && !self.requires_reorder_window()
+    }
+
+    /// Whether the bug needs a bounded device-side reorder window to be
+    /// observable at all: correct under ADR and eADR, a race only under
+    /// [`pmem::PersistDomain::CxlGpf`].
+    #[must_use]
+    pub fn requires_reorder_window(&self) -> bool {
+        matches!(self, BugId::HaCxlStatsPublish)
+    }
+
+    /// Whether, under a CXL reorder window, the bug surfaces as a
+    /// reorder-window *race* instead of its registered semantic category:
+    /// the lost/buffered-byte check precedes the Equation-3 staleness check
+    /// in the detector's read path, so a commit-window byte that is still
+    /// inside the device window is flagged as a race first. (The two
+    /// semantic bugs whose stale byte ages out of the matrix's window of 4
+    /// before any post-failure read keep their semantic verdict.)
+    #[must_use]
+    pub fn cxl_masks_semantic_as_race(&self) -> bool {
+        matches!(
+            self,
+            BugId::HaSemCountSameEpoch | BugId::HaSemWriteAfterCommit
+        )
+    }
+
+    /// Whether the bug is expected to surface (in its
+    /// [`expected_category`](BugId::expected_category)) when the detector
+    /// models `domain` — the prediction `tests/domain_matrix.rs` validates
+    /// against all three engines.
+    ///
+    /// Under CXL GPF everything ADR-detectable stays detectable (lost
+    /// writes are still lost) and the reorder-window bug appears on top.
+    #[must_use]
+    pub fn expected_under(&self, domain: pmem::PersistDomain) -> bool {
+        match domain {
+            pmem::PersistDomain::Adr => !self.requires_reorder_window(),
+            pmem::PersistDomain::Eadr => !self.requires_reorder_window() && !self.cleared_by_eadr(),
+            pmem::PersistDomain::CxlGpf { .. } => true,
+        }
+    }
 }
 
 impl fmt::Display for BugId {
@@ -509,8 +593,70 @@ mod tests {
     }
 
     #[test]
-    fn registry_has_sixty_five_bugs() {
-        assert_eq!(BugId::all().len(), 65);
+    fn registry_has_sixty_eight_bugs() {
+        assert_eq!(BugId::all().len(), 68);
+    }
+
+    /// The domain-sensitive suite: two flush omissions that eADR clears
+    /// plus one ADR-correct idiom only the CXL reorder window breaks.
+    #[test]
+    fn domain_sensitive_suite_counts() {
+        use pmem::PersistDomain;
+
+        let suite: Vec<_> = BugId::all()
+            .iter()
+            .filter(|b| b.suite() == BugSuite::DomainSensitive)
+            .collect();
+        assert_eq!(suite.len(), 3);
+        for b in &suite {
+            assert_eq!(b.workload(), WorkloadKind::HashmapAtomic, "{b:?}");
+            assert_eq!(b.expected_category(), BugCategory::Race, "{b:?}");
+            assert!(
+                b.expected_under(PersistDomain::CxlGpf { reorder_window: 4 }),
+                "{b:?} must surface under CXL"
+            );
+        }
+        assert_eq!(
+            suite
+                .iter()
+                .filter(|b| b.cleared_by_eadr() && b.expected_under(PersistDomain::Adr))
+                .count(),
+            2,
+            "two ADR-detectable flush bugs vanish on eADR"
+        );
+        assert_eq!(
+            suite.iter().filter(|b| b.requires_reorder_window()).count(),
+            1,
+            "one bug needs the reorder window"
+        );
+        let cxl_only = BugId::HaCxlStatsPublish;
+        assert!(!cxl_only.expected_under(PersistDomain::Adr));
+        assert!(!cxl_only.expected_under(PersistDomain::Eadr));
+    }
+
+    /// Domain expectations are internally consistent across the whole
+    /// registry: everything is expected under ADR except the
+    /// reorder-window bug, eADR only ever clears findings relative to ADR,
+    /// and CXL only ever adds them.
+    #[test]
+    fn domain_expectations_are_monotonic() {
+        use pmem::PersistDomain;
+
+        let cxl = PersistDomain::CxlGpf { reorder_window: 4 };
+        for &b in BugId::all() {
+            assert_eq!(
+                b.expected_under(PersistDomain::Adr),
+                !b.requires_reorder_window(),
+                "{b:?}"
+            );
+            if b.expected_under(PersistDomain::Eadr) {
+                assert!(b.expected_under(PersistDomain::Adr), "{b:?}: eADR ⊆ ADR");
+            }
+            assert!(b.expected_under(cxl), "{b:?}: CXL detects everything");
+            if b.cleared_by_eadr() {
+                assert!(!b.expected_under(PersistDomain::Eadr), "{b:?}");
+            }
+        }
     }
 
     /// The concurrent suite: two bugs per lock-free workload, one of which

@@ -37,7 +37,13 @@ const HM_NBUCKETS: u64 = 64;
 const HM_BUCKETS_PTR: u64 = 72;
 const HM_COUNT: u64 = 128;
 const HM_COUNT_DIRTY: u64 = 192;
-const HM_SIZE: u64 = 256;
+// Stats snapshot (domain-sensitive suite only): last inserted key, op
+// counter and its valid flag, each on its own line so one group's persist
+// schedule never drags another line to media.
+const HM_STATS_KEY: u64 = 256;
+const HM_STATS_OPS: u64 = 320;
+const HM_STATS_VALID: u64 = 384;
+const HM_SIZE: u64 = 448;
 
 // Node layout: two cache lines; the payload exercises multi-line flushes.
 const ND_KEY: u64 = 0;
@@ -91,6 +97,14 @@ impl HashmapAtomic {
 
     fn has(&self, bug: BugId) -> bool {
         self.bugs.has(bug)
+    }
+
+    /// Whether the stats-snapshot instrumentation (the domain-sensitive
+    /// suite's bug host) is compiled into this instance.
+    fn stats_enabled(&self) -> bool {
+        self.has(BugId::HaStatsNoFlushKey)
+            || self.has(BugId::HaStatsFenceNoFlush)
+            || self.has(BugId::HaCxlStatsPublish)
     }
 
     /// Reads the hashmap address from the root object (0 while unlinked).
@@ -173,6 +187,64 @@ impl HashmapAtomic {
     }
 
     fn insert(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        hm: u64,
+        key: u64,
+        value: u64,
+    ) -> Result<(), DynError> {
+        self.insert_impl(ctx, pool, hm, key, value)?;
+        if self.stats_enabled() {
+            self.update_stats(ctx, pool, hm, key)?;
+        }
+        Ok(())
+    }
+
+    /// Maintains the stats snapshot (the domain-sensitive suite's bug
+    /// host). The correct shape is invalidate/update/revalidate: close the
+    /// valid flag, update and persist the snapshot, reopen the flag — so
+    /// readers never trust a mid-update snapshot and the idiom is
+    /// crash-consistent under ADR. The injected bugs omit the write-back
+    /// entirely, or the CLWB half of the barrier; the third variant omits
+    /// nothing — under a CXL device-side reorder window the flag itself can
+    /// outrun the snapshot it guards.
+    fn update_stats(
+        &self,
+        ctx: &mut PmCtx,
+        pool: &mut ObjPool,
+        hm: u64,
+        key: u64,
+    ) -> Result<(), DynError> {
+        // The counter is only read back behind the valid flag; an
+        // untrusted snapshot restarts it, so the resumed protocol never
+        // feeds a byte the crash may have dropped into its own state.
+        let ops = if ctx.read_u64(hm + HM_STATS_VALID)? == 1 {
+            ctx.read_u64(hm + HM_STATS_OPS)?
+        } else {
+            0
+        };
+        pool.atomic_store_u64(ctx, hm + HM_STATS_VALID, 0)?;
+        if self.has(BugId::HaStatsNoFlushKey) {
+            // Neither CLWB nor SFENCE: the line never leaves the cache.
+            ctx.write_u64(hm + HM_STATS_KEY, key)?;
+        } else if self.has(BugId::HaStatsFenceNoFlush) {
+            // SFENCE without CLWB: the fence orders an empty write-back
+            // set and the counter stays volatile.
+            ctx.write_u64(hm + HM_STATS_OPS, ops + 1)?;
+            ctx.sfence();
+        } else {
+            ctx.write_u64(hm + HM_STATS_KEY, key)?;
+            ctx.write_u64(hm + HM_STATS_OPS, ops + 1)?;
+            ctx.clwb(hm + HM_STATS_KEY)?;
+            ctx.clwb(hm + HM_STATS_OPS)?;
+            ctx.sfence();
+        }
+        pool.atomic_store_u64(ctx, hm + HM_STATS_VALID, 1)?;
+        Ok(())
+    }
+
+    fn insert_impl(
         &self,
         ctx: &mut PmCtx,
         pool: &mut ObjPool,
@@ -414,6 +486,14 @@ impl HashmapAtomic {
             ctx.persist_barrier(hm + HM_COUNT_DIRTY, 8)?;
         }
 
+        if self.stats_enabled() && ctx.read_u64(hm + HM_STATS_VALID)? == 1 {
+            // The snapshot is only trusted behind its valid flag (a benign
+            // commit-variable read); these checked reads are what surface
+            // the domain-sensitive bugs.
+            let _ = ctx.read_u64(hm + HM_STATS_KEY)?;
+            let _ = ctx.read_u64(hm + HM_STATS_OPS)?;
+        }
+
         // Resumption: a length check, a lookup and one more insertion.
         let count = ctx.read_u64(hm + HM_COUNT)?;
         let reachable = Self::walk_and_check(ctx, hm)?;
@@ -461,6 +541,12 @@ impl Workload for HashmapAtomic {
         } else {
             self.create(ctx, &mut pool)?
         };
+        if self.stats_enabled() {
+            // The valid flag is the snapshot protocol's commit variable
+            // (Table 2 addCommitVar): reads of it during recovery are
+            // benign by annotation, like count_dirty.
+            ctx.register_commit_var(hm + HM_STATS_VALID, 8);
+        }
         for i in self.init..self.init + self.ops {
             self.insert(ctx, &mut pool, hm, key_at(i), val_at(i))?;
         }
@@ -609,6 +695,7 @@ mod tests {
         for bug in BugId::all().iter().filter(|b| {
             b.workload() == crate::bugs::WorkloadKind::HashmapAtomic
                 && b.expected_category() == BugCategory::Race
+                && b.expected_under(pmem::PersistDomain::Adr)
         }) {
             let outcome = XfDetector::with_defaults()
                 .run(HashmapAtomic::new(8).with_bugs(*bug))
@@ -619,5 +706,52 @@ mod tests {
                 outcome.report
             );
         }
+    }
+
+    /// The domain-sensitive suite flips exactly as registered: eADR clears
+    /// the two flush bugs, and the valid-flag idiom — correct under ADR and
+    /// eADR — races only inside the CXL reorder window.
+    #[test]
+    fn stats_bugs_flip_with_the_persistence_domain() {
+        use pmem::PersistDomain;
+        use xfdetector::XfConfig;
+
+        let run = |bug: BugId, domain: PersistDomain| {
+            let cfg = XfConfig {
+                domain,
+                ..XfConfig::default()
+            };
+            XfDetector::new(cfg)
+                .run(HashmapAtomic::new(2).with_bugs(bug))
+                .unwrap()
+        };
+        let cxl = PersistDomain::CxlGpf { reorder_window: 4 };
+
+        for bug in [BugId::HaStatsNoFlushKey, BugId::HaStatsFenceNoFlush] {
+            assert!(
+                run(bug, PersistDomain::Adr).report.race_count() >= 1,
+                "{bug:?} must race under ADR"
+            );
+            let eadr = run(bug, PersistDomain::Eadr);
+            assert_eq!(
+                eadr.report.race_count(),
+                0,
+                "{bug:?} must vanish under eADR:\n{}",
+                eadr.report
+            );
+        }
+
+        for domain in [PersistDomain::Adr, PersistDomain::Eadr] {
+            let outcome = run(BugId::HaCxlStatsPublish, domain);
+            assert!(
+                !outcome.report.has_correctness_bugs(),
+                "the valid-flag idiom is correct under {domain}:\n{}",
+                outcome.report
+            );
+        }
+        assert!(
+            run(BugId::HaCxlStatsPublish, cxl).report.race_count() >= 1,
+            "the reorder window must break the valid-flag idiom"
+        );
     }
 }

@@ -14,6 +14,10 @@
 //! 3. **Online/offline parity** — the Batch report minus execution-outcome
 //!    findings (which are not part of the trace) equals the offline
 //!    replay, finding for finding.
+//! 4. **Domain lockstep** (sequential programs) — the recorded trace is
+//!    re-analyzed under every persistence domain (ADR, eADR, CXL GPF) and
+//!    the production replay must match the oracle under each one, not just
+//!    the campaign's own domain.
 //!
 //! On divergence the driver delta-debugs the op list down to a minimal
 //! still-diverging program and writes a repro bundle (`program.fuzz`,
@@ -22,12 +26,21 @@
 
 use std::path::PathBuf;
 
-use xfdetector::offline::{analyze, RecordedRun};
+use pmem::PersistDomain;
+use xfdetector::offline::{analyze, analyze_in, RecordedRun};
 use xfdetector::{BugCategory, BugKind, DetectionReport, Finding, Mode, Pruning, Session, XfError};
 
 use crate::gen::{generate, generate_concurrent};
-use crate::oracle::oracle_report;
+use crate::oracle::{oracle_report, oracle_report_in};
 use crate::program::{ConcurrentFuzzProgram, FuzzOp, FuzzProgram};
+
+/// The domains every sequential program's recorded trace is re-checked
+/// under, regardless of the campaign's own [`DiffConfig::domain`].
+pub const DOMAIN_SWEEP: [PersistDomain; 3] = [
+    PersistDomain::Adr,
+    PersistDomain::Eadr,
+    PersistDomain::CxlGpf { reorder_window: 4 },
+];
 
 /// A deliberately injected engine defect, for validating that the harness
 /// actually catches and shrinks divergences. Test/CI-only: a real campaign
@@ -65,6 +78,10 @@ pub struct DiffConfig {
     /// byte-identical reports), and the parity checks ensure the recorded
     /// pruned run still replays to the online findings.
     pub pruning: Pruning,
+    /// Persistence domain the engines run and classify under. The recorded
+    /// trace is domain-independent, so sequential programs additionally get
+    /// the [`DOMAIN_SWEEP`] lockstep replay whatever this is set to.
+    pub domain: PersistDomain,
     /// Injected engine defect (tests/CI only).
     pub fault: EngineFault,
     /// Logical thread count. 1 (the default) runs the sequential campaign;
@@ -86,6 +103,7 @@ impl Default for DiffConfig {
             corpus_dir: None,
             budget_entries: Some(100_000),
             pruning: Pruning::Off,
+            domain: PersistDomain::Adr,
             fault: EngineFault::None,
             threads: 1,
         }
@@ -173,9 +191,10 @@ pub struct CampaignOutcome<P = FuzzProgram> {
     pub programs_checked: u64,
     /// Diverging programs, in iteration order.
     pub divergences: Vec<Divergence<P>>,
-    /// FNV-1a digest over every program text and Batch report, in
-    /// iteration order. Bit-reproducibility contract: the same `(seed,
-    /// iters, max_ops)` yields the same digest on every run.
+    /// FNV-1a digest over the campaign domain, then every program text and
+    /// Batch report in iteration order. Bit-reproducibility contract: the
+    /// same `(seed, iters, max_ops, domain)` yields the same digest on
+    /// every run.
     pub digest: u64,
 }
 
@@ -218,6 +237,7 @@ fn session(cfg: &DiffConfig, threads: u32) -> Result<Session, XfError> {
         .record_repro(true)
         .workers(2)
         .pruning(cfg.pruning)
+        .domain(cfg.domain)
         .threads(threads);
     if let Some(entries) = cfg.budget_entries {
         builder = builder.budget(pmem::Budget::default().with_max_trace_entries(entries));
@@ -276,11 +296,15 @@ pub fn check_program(program: &FuzzProgram, cfg: &DiffConfig) -> Result<CheckOut
         } else {
             let online = format!("{:?}", trace_derived(&batch.report));
             let replayed = format!("{:?}", offline.findings().iter().collect::<Vec<_>>());
-            (online != replayed).then_some(DivergenceInfo {
-                check: "online-offline-parity",
-                left: online,
-                right: replayed,
-            })
+            if online != replayed {
+                Some(DivergenceInfo {
+                    check: "online-offline-parity",
+                    left: online,
+                    right: replayed,
+                })
+            } else {
+                domain_lockstep(&recorded, first_read_only)
+            }
         }
     };
 
@@ -289,6 +313,26 @@ pub fn check_program(program: &FuzzProgram, cfg: &DiffConfig) -> Result<CheckOut
         recorded,
         divergence,
     })
+}
+
+/// The domain-lockstep comparison: replays the recorded trace through the
+/// production offline backend and the independent oracle under every
+/// [`DOMAIN_SWEEP`] domain, returning the first disagreement.
+fn domain_lockstep(recorded: &RecordedRun, first_read_only: bool) -> Option<DivergenceInfo> {
+    for domain in DOMAIN_SWEEP {
+        let offline = analyze_in(recorded, first_read_only, domain);
+        let oracle = oracle_report_in(recorded, first_read_only, domain);
+        let offline_json = serde_json::to_string(&offline).expect("report serializes");
+        let oracle_json = serde_json::to_string(&oracle).expect("report serializes");
+        if oracle_json != offline_json {
+            return Some(DivergenceInfo {
+                check: "domain-lockstep",
+                left: format!("{domain}: {offline_json}"),
+                right: format!("{domain}: {oracle_json}"),
+            });
+        }
+    }
+    None
 }
 
 /// [`check_program`] for a concurrent program: every engine runs it
@@ -530,7 +574,9 @@ where
     P: FuzzSource,
     F: FnMut(u64, bool),
 {
-    let mut digest = FNV_OFFSET;
+    // The domain is folded in unconditionally, so campaigns differing only
+    // in domain never collide even when their reports happen to agree.
+    let mut digest = fnv1a(FNV_OFFSET, cfg.domain.to_string().as_bytes());
     let mut divergences = Vec::new();
 
     for iter in 0..cfg.iters {
@@ -756,6 +802,41 @@ mod tests {
         );
         let again = run_campaign(&cfg).unwrap();
         assert_eq!(out.digest, again.digest, "pruned digest must reproduce");
+    }
+
+    #[test]
+    fn campaigns_stay_clean_under_every_domain() {
+        for domain in DOMAIN_SWEEP {
+            let out = run_campaign(&DiffConfig { domain, ..quick(6) }).unwrap();
+            assert!(
+                out.divergences.is_empty(),
+                "engines diverged under {domain}: {:?}",
+                out.divergences[0].info
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_digest_folds_the_domain() {
+        let adr = run_campaign(&quick(4)).unwrap();
+        let eadr = run_campaign(&DiffConfig {
+            domain: PersistDomain::Eadr,
+            ..quick(4)
+        })
+        .unwrap();
+        assert_ne!(
+            adr.digest, eadr.digest,
+            "the domain must steer the campaign digest"
+        );
+        let eadr_again = run_campaign(&DiffConfig {
+            domain: PersistDomain::Eadr,
+            ..quick(4)
+        })
+        .unwrap();
+        assert_eq!(
+            eadr.digest, eadr_again.digest,
+            "per-domain digest reproduces"
+        );
     }
 
     #[test]

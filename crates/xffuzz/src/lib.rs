@@ -29,6 +29,7 @@ pub mod gen;
 pub mod oracle;
 pub mod program;
 
+pub use diff::DOMAIN_SWEEP;
 pub use diff::{
     check_concurrent_program, check_program, run_campaign, run_campaign_with,
     run_concurrent_campaign, run_concurrent_campaign_with, shrink_concurrent_program,
@@ -36,5 +37,5 @@ pub use diff::{
     EngineFault, FuzzSource,
 };
 pub use gen::{generate, generate_concurrent, iter_seed};
-pub use oracle::oracle_report;
+pub use oracle::{oracle_report, oracle_report_in};
 pub use program::{ConcurrentFuzzProgram, FuzzOp, FuzzProgram};

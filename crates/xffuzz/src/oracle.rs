@@ -14,6 +14,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use pmem::PersistDomain;
 use xfdetector::offline::RecordedRun;
 use xfdetector::{BugKind, DetectionReport, FailurePoint, Finding};
 use xftrace::{Op, SourceLoc, TraceEntry};
@@ -37,6 +38,11 @@ struct OByte {
     tx_protected: bool,
     unprotected_tx_write: bool,
     tlast: u32,
+    /// Fence timestamp at which the byte reached `Persisted` (CXL aging).
+    tpersist: u32,
+    /// Last writer was library-internal code (exempt from the CXL
+    /// reorder-window check, like the shadow PM's trusted-internals rule).
+    writer_internal: bool,
     writer: SourceLoc,
 }
 
@@ -50,6 +56,8 @@ impl OByte {
             tx_protected: false,
             unprotected_tx_write: false,
             tlast: 0,
+            tpersist: 0,
+            writer_internal: false,
             writer: SourceLoc::synthetic("<untracked>"),
         }
     }
@@ -111,18 +119,44 @@ struct OracleState {
     ts: u32,
     vars: Vec<OVar>,
     tx: Option<OTx>,
+    domain: PersistDomain,
 }
 
 impl OracleState {
+    /// The domain-dependent "contents lost at the crash" rule: an
+    /// un-persisted byte is lost under ADR and CXL GPF, but eADR's
+    /// persistence domain includes the cache, so nothing dirty is lost.
+    fn byte_lost(&self, st: &OByte) -> bool {
+        st.persist != Persist::Persisted && self.domain != PersistDomain::Eadr
+    }
+
+    /// CXL GPF only: a persisted byte whose media commit may still sit in
+    /// the device's bounded reorder window at the failure.
+    fn byte_buffered(&self, st: &OByte) -> bool {
+        let PersistDomain::CxlGpf { reorder_window } = self.domain else {
+            return false;
+        };
+        st.persist == Persist::Persisted
+            && st.written
+            && !st.writer_internal
+            && (self.ts.wrapping_sub(st.tpersist) as usize) <= reorder_window
+    }
+
     fn apply_pre(&mut self, e: &TraceEntry, out: &mut DetectionReport) {
         match e.op {
-            Op::Write { addr, size } => self.on_write(addr, u64::from(size), e.loc, false),
-            Op::NtWrite { addr, size } => self.on_write(addr, u64::from(size), e.loc, true),
+            Op::Write { addr, size } => {
+                self.on_write(addr, u64::from(size), e.loc, false, e.internal);
+            }
+            Op::NtWrite { addr, size } => {
+                self.on_write(addr, u64::from(size), e.loc, true, e.internal);
+            }
             Op::Flush { addr, .. } => self.on_flush(addr, e.loc, e.checked, out),
             Op::Fence { .. } => {
+                let ts = self.ts;
                 for st in self.bytes.values_mut() {
                     if st.persist == Persist::WritebackPending {
                         st.persist = Persist::Persisted;
+                        st.tpersist = ts;
                     }
                 }
                 self.ts += 1;
@@ -158,7 +192,14 @@ impl OracleState {
         }
     }
 
-    fn on_write(&mut self, addr: u64, size: u64, loc: SourceLoc, non_temporal: bool) {
+    fn on_write(
+        &mut self,
+        addr: u64,
+        size: u64,
+        loc: SourceLoc,
+        non_temporal: bool,
+        internal: bool,
+    ) {
         let ts = self.ts;
         // One commit event per overlapping variable per store (§3.2).
         for var in &mut self.vars {
@@ -184,6 +225,7 @@ impl OracleState {
             st.written = true;
             st.tlast = ts;
             st.writer = loc;
+            st.writer_internal = internal;
             if in_tx {
                 st.tx_protected = protected_b;
                 st.unprotected_tx_write = !all_protected && !protected_b;
@@ -290,6 +332,8 @@ impl OracleState {
             tx_protected: false,
             unprotected_tx_write: false,
             tlast: self.ts,
+            tpersist: 0,
+            writer_internal: false,
             writer: loc,
         };
         for b in addr..addr + size {
@@ -440,7 +484,7 @@ impl OracleChecker {
             if semantic == Some(true) {
                 continue;
             }
-            if st.persist != Persist::Persisted {
+            if self.state.byte_lost(st) {
                 out.push(Finding {
                     kind: BugKind::CrossFailureRace,
                     addr: b,
@@ -449,6 +493,21 @@ impl OracleChecker {
                     writer: Some(st.writer),
                     failure_point: Some(fp),
                     message: None,
+                });
+                reported = true;
+                continue;
+            }
+            if self.state.byte_buffered(st) {
+                out.push(Finding {
+                    kind: BugKind::CrossFailureRace,
+                    addr: b,
+                    size: 1,
+                    reader: Some(loc),
+                    writer: Some(st.writer),
+                    failure_point: Some(fp),
+                    message: Some(
+                        "write still in the device reorder window at the failure".to_owned(),
+                    ),
                 });
                 reported = true;
                 continue;
@@ -477,8 +536,23 @@ impl OracleChecker {
 /// identical order.
 #[must_use]
 pub fn oracle_report(run: &RecordedRun, first_read_only: bool) -> DetectionReport {
+    oracle_report_in(run, first_read_only, run.domain)
+}
+
+/// [`oracle_report`] under an explicit persistence domain, overriding the
+/// one stamped in the run — the differential driver uses this to sweep the
+/// same recorded trace across every domain.
+#[must_use]
+pub fn oracle_report_in(
+    run: &RecordedRun,
+    first_read_only: bool,
+    domain: PersistDomain,
+) -> DetectionReport {
     let mut report = DetectionReport::new();
-    let mut state = OracleState::default();
+    let mut state = OracleState {
+        domain,
+        ..OracleState::default()
+    };
     let mut cursor = 0usize;
 
     for (id, rfp) in run.failure_points.iter().enumerate() {
@@ -597,5 +671,54 @@ mod tests {
     #[test]
     fn empty_run_is_clean() {
         assert!(oracle_report(&RecordedRun::default(), true).is_empty());
+    }
+
+    #[test]
+    fn oracle_matches_the_offline_replay_under_every_domain() {
+        let cfg = XfConfig {
+            record_trace: true,
+            ..XfConfig::default()
+        };
+        let outcome = XfDetector::new(cfg).run(Mixed).unwrap();
+        let recorded = outcome.recorded.expect("recorded");
+        for domain in [
+            PersistDomain::Adr,
+            PersistDomain::Eadr,
+            PersistDomain::CxlGpf { reorder_window: 1 },
+            PersistDomain::CxlGpf { reorder_window: 64 },
+        ] {
+            let offline = xfdetector::offline::analyze_in(&recorded, true, domain);
+            let oracle = oracle_report_in(&recorded, true, domain);
+            assert_eq!(
+                serde_json::to_string(offline.findings()).unwrap(),
+                serde_json::to_string(oracle.findings()).unwrap(),
+                "domain {domain}",
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_honors_the_domain_stamped_in_the_run() {
+        let cfg = XfConfig {
+            record_trace: true,
+            domain: PersistDomain::Eadr,
+            ..XfConfig::default()
+        };
+        let outcome = XfDetector::new(cfg).run(Mixed).unwrap();
+        let recorded = outcome.recorded.expect("recorded");
+        assert_eq!(recorded.domain, PersistDomain::Eadr);
+        let stamped = oracle_report(&recorded, true);
+        let explicit = oracle_report_in(&recorded, true, PersistDomain::Eadr);
+        assert_eq!(
+            serde_json::to_string(stamped.findings()).unwrap(),
+            serde_json::to_string(explicit.findings()).unwrap(),
+        );
+        // The unpersisted publish at a+8 is dirty cache at the crash: lost
+        // under ADR, retained (and clean) under eADR.
+        let adr = oracle_report_in(&recorded, true, PersistDomain::Adr);
+        assert!(
+            adr.race_count() > stamped.race_count(),
+            "{adr} vs {stamped}"
+        );
     }
 }

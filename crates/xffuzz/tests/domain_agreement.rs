@@ -1,0 +1,78 @@
+//! Property test: the production engines and the independent per-byte
+//! oracle agree under *every* persistence domain for random programs.
+//!
+//! Two layers:
+//!
+//! - `random_programs_never_diverge_under_any_domain` runs the full
+//!   differential check (three engines + oracle parity + the built-in
+//!   domain-lockstep sweep) with the campaign domain itself drawn at
+//!   random, CXL reorder windows included.
+//! - `window_sweep_agrees_on_one_recorded_trace` records one trace per
+//!   case and replays it under a spread of CXL windows, comparing the
+//!   offline backend against the oracle per window — exercising the aging
+//!   boundary (age == window vs age == window + 1) much more densely than
+//!   a full engine run per window could afford.
+
+use pmem::PersistDomain;
+use proptest::prelude::*;
+use xfdetector::offline::analyze_in;
+use xffuzz::{check_program, generate, oracle_report_in, DiffConfig};
+
+fn domain_strategy() -> impl Strategy<Value = PersistDomain> {
+    prop_oneof![
+        Just(PersistDomain::Adr),
+        Just(PersistDomain::Eadr),
+        (1usize..=16).prop_map(|reorder_window| PersistDomain::CxlGpf { reorder_window }),
+    ]
+}
+
+proptest! {
+    // Each case is three engine runs plus replays; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_programs_never_diverge_under_any_domain(
+        seed in 1u64..1_000_000,
+        iter in 0u64..4,
+        max_ops in 4usize..24,
+        domain in domain_strategy(),
+    ) {
+        let program = generate(seed, iter, max_ops);
+        let cfg = DiffConfig {
+            domain,
+            shrink: false,
+            ..DiffConfig::default()
+        };
+        let outcome = check_program(&program, &cfg).unwrap();
+        prop_assert!(
+            outcome.divergence.is_none(),
+            "divergence under {domain}: {:?}",
+            outcome.divergence
+        );
+    }
+
+    #[test]
+    fn window_sweep_agrees_on_one_recorded_trace(
+        seed in 1u64..1_000_000,
+        iter in 0u64..4,
+        max_ops in 8usize..32,
+    ) {
+        let program = generate(seed, iter, max_ops);
+        let cfg = DiffConfig {
+            shrink: false,
+            ..DiffConfig::default()
+        };
+        let outcome = check_program(&program, &cfg).unwrap();
+        prop_assert!(outcome.divergence.is_none(), "{:?}", outcome.divergence);
+        for window in [1usize, 2, 3, 4, 8, 64, 4096] {
+            let domain = PersistDomain::CxlGpf { reorder_window: window };
+            let offline = analyze_in(&outcome.recorded, true, domain);
+            let oracle = oracle_report_in(&outcome.recorded, true, domain);
+            prop_assert_eq!(
+                serde_json::to_string(offline.findings()).unwrap(),
+                serde_json::to_string(oracle.findings()).unwrap(),
+                "window {}", window
+            );
+        }
+    }
+}

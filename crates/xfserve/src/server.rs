@@ -182,6 +182,15 @@ impl Emitter for JobEmitter {
     }
 }
 
+/// Creates the cache directory up front so an unwritable `--cache-dir`
+/// fails the bind, not every subsequent job.
+fn ensure_cache_dir(opts: &ServerOptions) -> io::Result<()> {
+    match &opts.cache_dir {
+        Some(dir) => std::fs::create_dir_all(dir),
+        None => Ok(()),
+    }
+}
+
 /// The campaign server. Bind, then [`run`](Server::run) until a client
 /// sends `SHUTDOWN`.
 pub struct Server {
@@ -195,6 +204,7 @@ pub struct Server {
 impl Server {
     /// Binds a TCP endpoint (`host:port`; port 0 picks a free port).
     pub fn bind_tcp(addr: &str, opts: ServerOptions) -> io::Result<Self> {
+        ensure_cache_dir(&opts)?;
         let listener = TcpListener::bind(addr)?;
         let endpoint = listener.local_addr()?.to_string();
         Ok(Server {
@@ -214,6 +224,7 @@ impl Server {
     /// Binds a Unix-domain socket, replacing a stale socket file.
     #[cfg(unix)]
     pub fn bind_unix(path: &str, opts: ServerOptions) -> io::Result<Self> {
+        ensure_cache_dir(&opts)?;
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
         Ok(Server {

@@ -43,6 +43,7 @@ use std::fs::File;
 use std::io::{self, BufReader, Read, Write};
 use std::path::Path;
 
+use pmem::PersistDomain;
 use xfdetector::offline::{RecordedFailurePoint, RecordedRun};
 use xfdetector::{DetectionReport, FailurePoint, ShadowPm};
 use xftrace::{FenceKind, FlushKind, Op, OwnedTraceEntry, SourceLoc, Stage, TraceEntry};
@@ -60,6 +61,13 @@ pub const VERSION2: u8 = 2;
 /// (set by [`write_recorded_run`]; streaming writers leave it clear and
 /// rely on the `End` record alone).
 const FLAG_COUNTS_IN_HEADER: u8 = 0b0000_0001;
+
+/// Header flag (v2 only): the header carries a persistence-domain stamp —
+/// one code byte ([`PersistDomain::code`]), plus a varint reorder window
+/// for the CXL code. ADR traces never set it, so every pre-domain `.xft`
+/// byte stream (v1 or v2) is still produced bit-for-bit and decodes as
+/// ADR.
+const FLAG_DOMAIN: u8 = 0b0000_0010;
 
 // Record tags.
 const REC_FILE_DEF: u8 = 0x01;
@@ -98,6 +106,11 @@ pub enum XftError {
     BadMagic([u8; 4]),
     /// The input's format version is newer than this reader understands.
     UnsupportedVersion(u8),
+    /// The header's persistence-domain stamp carries a code this build
+    /// does not know. Domain codes are append-only, so this means a newer
+    /// writer — rejecting is safer than silently analyzing under the wrong
+    /// semantics.
+    UnknownDomain(u8),
     /// Structurally invalid input (truncated, unknown tags, count
     /// mismatches, invalid UTF-8 in the string table, …).
     Corrupt(String),
@@ -113,6 +126,9 @@ impl fmt::Display for XftError {
                     f,
                     "unsupported .xft version {v} (this build reads {VERSION} and {VERSION2})"
                 )
+            }
+            XftError::UnknownDomain(code) => {
+                write!(f, "unknown persistence-domain code {code} in .xft header")
             }
             XftError::Corrupt(msg) => write!(f, "corrupt .xft trace: {msg}"),
         }
@@ -172,6 +188,32 @@ pub struct XftHeader {
     pub threads: u32,
     /// Serialized schedule of a concurrent trace (empty on v1 files).
     pub schedule: String,
+    /// The persistence domain the trace was recorded under. v1 files and
+    /// v2 files without a domain stamp decode as [`PersistDomain::Adr`].
+    pub domain: PersistDomain,
+}
+
+/// Decodes a header domain stamp from its code byte; `window` supplies the
+/// trailing varint reorder window and is consulted only for the CXL code.
+fn decode_domain(
+    code: u8,
+    window: impl FnOnce() -> Result<u64, XftError>,
+) -> Result<PersistDomain, XftError> {
+    let domain = match code {
+        0 => PersistDomain::Adr,
+        1 => PersistDomain::Eadr,
+        2 => {
+            let w = window()?;
+            let w = usize::try_from(w)
+                .map_err(|_| XftError::Corrupt(format!("reorder window {w} exceeds usize")))?;
+            PersistDomain::CxlGpf { reorder_window: w }
+        }
+        other => return Err(XftError::UnknownDomain(other)),
+    };
+    domain
+        .validate()
+        .map_err(|e| XftError::Corrupt(e.to_string()))?;
+    Ok(domain)
 }
 
 impl XftHeader {
@@ -266,7 +308,7 @@ impl<W: Write> XftWriter<W> {
     ///
     /// Returns any I/O error from writing the header.
     pub fn new(w: W) -> Result<Self, XftError> {
-        Self::start(w, None, None)
+        Self::start(w, None, None, PersistDomain::Adr)
     }
 
     /// Starts a v1 trace whose totals are known up front; the header carries
@@ -276,7 +318,7 @@ impl<W: Write> XftWriter<W> {
     ///
     /// Returns any I/O error from writing the header.
     pub fn with_counts(w: W, entry_count: u64, fp_count: u64) -> Result<Self, XftError> {
-        Self::start(w, Some((entry_count, fp_count)), None)
+        Self::start(w, Some((entry_count, fp_count)), None, PersistDomain::Adr)
     }
 
     /// Starts a streaming concurrent (v2) trace carrying the thread count
@@ -286,7 +328,7 @@ impl<W: Write> XftWriter<W> {
     ///
     /// Returns any I/O error from writing the header.
     pub fn new_concurrent(w: W, threads: u32, schedule: &str) -> Result<Self, XftError> {
-        Self::start(w, None, Some((threads, schedule)))
+        Self::start(w, None, Some((threads, schedule)), PersistDomain::Adr)
     }
 
     /// Starts a concurrent (v2) trace whose totals are known up front.
@@ -301,13 +343,43 @@ impl<W: Write> XftWriter<W> {
         threads: u32,
         schedule: &str,
     ) -> Result<Self, XftError> {
-        Self::start(w, Some((entry_count, fp_count)), Some((threads, schedule)))
+        Self::start(
+            w,
+            Some((entry_count, fp_count)),
+            Some((threads, schedule)),
+            PersistDomain::Adr,
+        )
+    }
+
+    /// Starts a trace recorded under `domain`, with known totals. A non-ADR
+    /// domain forces the v2 framing (with `threads = 0` and an empty
+    /// schedule when the trace is single-threaded) and stamps the domain in
+    /// the header; ADR delegates to the exact pre-domain byte stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn with_counts_domain(
+        w: W,
+        entry_count: u64,
+        fp_count: u64,
+        threads: u32,
+        schedule: &str,
+        domain: PersistDomain,
+    ) -> Result<Self, XftError> {
+        let meta = if threads != 0 || !schedule.is_empty() || domain != PersistDomain::Adr {
+            Some((threads, schedule))
+        } else {
+            None
+        };
+        Self::start(w, Some((entry_count, fp_count)), meta, domain)
     }
 
     fn start(
         mut w: W,
         counts: Option<(u64, u64)>,
         meta: Option<(u32, &str)>,
+        domain: PersistDomain,
     ) -> Result<Self, XftError> {
         let (magic, version) = if meta.is_some() {
             (MAGIC2, VERSION2)
@@ -315,11 +387,19 @@ impl<W: Write> XftWriter<W> {
             (MAGIC, VERSION)
         };
         w.write_all(&magic)?;
-        let flags = if counts.is_some() {
+        let mut flags = if counts.is_some() {
             FLAG_COUNTS_IN_HEADER
         } else {
             0
         };
+        let stamp_domain = domain != PersistDomain::Adr;
+        debug_assert!(
+            meta.is_some() || !stamp_domain,
+            "non-ADR domains require the v2 framing"
+        );
+        if stamp_domain {
+            flags |= FLAG_DOMAIN;
+        }
         w.write_all(&[version, flags])?;
         if let Some((entries, fps)) = counts {
             write_varint(&mut w, entries)?;
@@ -329,6 +409,12 @@ impl<W: Write> XftWriter<W> {
             write_varint(&mut w, u64::from(threads))?;
             write_varint(&mut w, schedule.len() as u64)?;
             w.write_all(schedule.as_bytes())?;
+        }
+        if stamp_domain {
+            w.write_all(&[domain.code()])?;
+            if let PersistDomain::CxlGpf { reorder_window } = domain {
+                write_varint(&mut w, reorder_window as u64)?;
+            }
         }
         Ok(XftWriter {
             w,
@@ -628,6 +714,13 @@ impl<R: Read> XftReader<R> {
         } else {
             (0, String::new())
         };
+        let domain = if magic == MAGIC2 && flags & FLAG_DOMAIN != 0 {
+            let mut code = [0u8; 1];
+            r.read_exact(&mut code)?;
+            decode_domain(code[0], || read_varint(&mut r))?
+        } else {
+            PersistDomain::Adr
+        };
         Ok(XftReader {
             r,
             header: XftHeader {
@@ -636,6 +729,7 @@ impl<R: Read> XftReader<R> {
                 fp_count,
                 threads,
                 schedule,
+                domain,
             },
             files: Vec::new(),
             delta: DeltaState::default(),
@@ -929,6 +1023,7 @@ impl XftMmapReader {
                 fp_count: None,
                 threads: 0,
                 schedule: String::new(),
+                domain: PersistDomain::Adr,
             },
             files: Vec::new(),
             delta: DeltaState::default(),
@@ -960,12 +1055,19 @@ impl XftMmapReader {
         } else {
             (0, String::new())
         };
+        let domain = if magic == MAGIC2 && flags & FLAG_DOMAIN != 0 {
+            let code = rd.u8()?;
+            decode_domain(code, || rd.varint())?
+        } else {
+            PersistDomain::Adr
+        };
         rd.header = XftHeader {
             version,
             entry_count,
             fp_count,
             threads,
             schedule,
+            domain,
         };
         Ok(rd)
     }
@@ -1299,10 +1401,12 @@ impl XftReader<BufReader<File>> {
 /// Returns any underlying I/O error.
 pub fn write_recorded_run<W: Write>(w: W, run: &RecordedRun) -> Result<W, XftError> {
     let (entries, fps) = (run.entry_count() as u64, run.failure_points.len() as u64);
-    // Runs stamped with thread metadata (even a one-thread schedule) go
-    // out as v2 so the stamp round-trips; plain runs stay v1.
-    let mut wr = if run.threads != 0 || !run.schedule.is_empty() {
-        XftWriter::with_counts_concurrent(w, entries, fps, run.threads, &run.schedule)?
+    // Runs stamped with thread metadata (even a one-thread schedule) or a
+    // non-ADR domain go out as v2 so the stamp round-trips; plain ADR runs
+    // stay v1.
+    let mut wr = if run.threads != 0 || !run.schedule.is_empty() || run.domain != PersistDomain::Adr
+    {
+        XftWriter::with_counts_domain(w, entries, fps, run.threads, &run.schedule, run.domain)?
     } else {
         XftWriter::with_counts(w, entries, fps)?
     };
@@ -1345,6 +1449,7 @@ pub fn read_recorded_run<R: Read>(r: R) -> Result<RecordedRun, XftError> {
     let mut run = RecordedRun {
         threads: reader.header.threads,
         schedule: reader.header.schedule.clone(),
+        domain: reader.header.domain,
         ..RecordedRun::default()
     };
     while let Some(ev) = reader.next_event()? {
@@ -1381,9 +1486,11 @@ pub fn read_recorded_run<R: Read>(r: R) -> Result<RecordedRun, XftError> {
 /// Any decode error.
 pub fn analyze_xft<R: Read>(r: R, first_read_only: bool) -> Result<DetectionReport, XftError> {
     let mut reader = XftReader::new(r)?;
+    let domain = reader.header.domain;
     analyze_events(
         || Ok(reader.next_event()?.map(XftRefEvent::from_owned)),
         first_read_only,
+        domain,
     )
 }
 
@@ -1397,16 +1504,22 @@ pub fn analyze_xft<R: Read>(r: R, first_read_only: bool) -> Result<DetectionRepo
 /// Any decode or I/O error.
 pub fn analyze_xft_path(path: &Path, first_read_only: bool) -> Result<DetectionReport, XftError> {
     let mut src = XftReader::open_mmap(path)?;
-    analyze_events(|| src.next_event(), first_read_only)
+    let domain = src.header().domain;
+    analyze_events(|| src.next_event(), first_read_only, domain)
 }
 
-/// The shared replay-and-check loop behind both ingest paths.
-fn analyze_events<F>(mut next: F, first_read_only: bool) -> Result<DetectionReport, XftError>
+/// The shared replay-and-check loop behind both ingest paths. The shadow PM
+/// checks under the domain stamped in the trace header.
+fn analyze_events<F>(
+    mut next: F,
+    first_read_only: bool,
+    domain: PersistDomain,
+) -> Result<DetectionReport, XftError>
 where
     F: FnMut() -> Result<Option<XftRefEvent>, XftError>,
 {
     let mut report = DetectionReport::new();
-    let mut shadow = ShadowPm::new();
+    let mut shadow = ShadowPm::with_domain(domain);
     let mut fp_id = 0u64;
     let mut pending = next()?;
     while let Some(ev) = pending.take() {
@@ -1531,6 +1644,7 @@ mod tests {
             }],
             threads: 0,
             schedule: String::new(),
+            domain: PersistDomain::Adr,
         }
     }
 
@@ -1854,5 +1968,159 @@ mod tests {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn domain_stamp_round_trips_per_domain() {
+        for domain in [
+            PersistDomain::Eadr,
+            PersistDomain::CxlGpf { reorder_window: 1 },
+            PersistDomain::CxlGpf {
+                reorder_window: 4096,
+            },
+        ] {
+            let mut run = sample_run();
+            run.domain = domain;
+            let bytes = encode_recorded_run(&run).unwrap();
+            assert_eq!(&bytes[..4], &MAGIC2, "non-ADR runs must go out as v2");
+            let header = XftReader::new(&bytes[..]).unwrap().header();
+            assert_eq!(header.domain, domain);
+            assert_eq!(header.threads, 0, "single-threaded stamp stays zero");
+            let mapped = XftMmapReader::from_bytes(bytes.clone()).unwrap().header();
+            assert_eq!(mapped.domain, domain);
+            let back = read_recorded_run(&bytes[..]).unwrap();
+            assert_eq!(run_json(&run), run_json(&back));
+        }
+    }
+
+    #[test]
+    fn domain_stamp_composes_with_concurrent_metadata() {
+        let mut run = concurrent_run();
+        run.domain = PersistDomain::CxlGpf { reorder_window: 7 };
+        let bytes = encode_recorded_run(&run).unwrap();
+        let header = XftReader::new(&bytes[..]).unwrap().header();
+        assert_eq!(header.threads, 2);
+        assert_eq!(header.schedule, "t2:0,1,1,0");
+        assert_eq!(header.domain, PersistDomain::CxlGpf { reorder_window: 7 });
+        let back = read_recorded_run(&bytes[..]).unwrap();
+        assert_eq!(run_json(&run), run_json(&back));
+    }
+
+    #[test]
+    fn adr_runs_encode_byte_identically_to_the_pre_domain_format() {
+        // Plain ADR: the v1 byte stream, domain-free.
+        let run = sample_run();
+        assert_eq!(run.domain, PersistDomain::Adr);
+        let bytes = encode_recorded_run(&run).unwrap();
+        assert_eq!(&bytes[..4], &MAGIC);
+        assert_eq!(bytes[5] & FLAG_DOMAIN, 0);
+        let header = XftReader::new(&bytes[..]).unwrap().header();
+        assert_eq!(header.domain, PersistDomain::Adr);
+        // Concurrent ADR: identical to the pre-domain concurrent writer.
+        let crun = concurrent_run();
+        let bytes = encode_recorded_run(&crun).unwrap();
+        let mut wr = XftWriter::with_counts_concurrent(
+            Vec::new(),
+            crun.entry_count() as u64,
+            crun.failure_points.len() as u64,
+            crun.threads,
+            &crun.schedule,
+        )
+        .unwrap();
+        for e in &crun.pre[..3] {
+            wr.write_pre(e).unwrap();
+        }
+        wr.begin_failure_point("a.rs", 11).unwrap();
+        for e in &crun.failure_points[0].post {
+            wr.write_post(e).unwrap();
+        }
+        for e in &crun.pre[3..] {
+            wr.write_pre(e).unwrap();
+        }
+        assert_eq!(bytes, wr.finish().unwrap());
+    }
+
+    #[test]
+    fn unknown_domain_code_is_a_typed_error_on_both_readers() {
+        let mut run = sample_run();
+        run.domain = PersistDomain::Eadr;
+        let mut bytes = encode_recorded_run(&run).unwrap();
+        // v2, counts in header (2 varint bytes here), threads varint 0,
+        // schedule len varint 0, then the domain code byte.
+        let reader = XftReader::new(&bytes[..]).unwrap();
+        assert_eq!(reader.header().domain, PersistDomain::Eadr);
+        // magic(4) + version/flags(2) + entries/fps varints(2) +
+        // threads/schedule-len varints(2) put the code byte at offset 10.
+        let code_pos = 10;
+        assert_eq!(bytes[code_pos], PersistDomain::Eadr.code());
+        bytes[code_pos] = 9;
+        let err = XftReader::new(&bytes[..]).unwrap_err();
+        assert!(matches!(err, XftError::UnknownDomain(9)), "{err}");
+        assert!(matches!(
+            XftMmapReader::from_bytes(bytes),
+            Err(XftError::UnknownDomain(9))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_reorder_window_stamp_is_corrupt() {
+        let mut run = sample_run();
+        run.domain = PersistDomain::CxlGpf {
+            reorder_window: pmem::MAX_REORDER_WINDOW,
+        };
+        let bytes = encode_recorded_run(&run).unwrap();
+        // Bump the stamped window varint past the cap: 4096 encodes as
+        // [0x80, 0x20]; patch the continuation byte to make it 4224.
+        let pos = bytes
+            .windows(2)
+            .position(|w| w == [0x80, 0x20])
+            .expect("window varint present");
+        let mut bad = bytes.clone();
+        bad[pos + 1] = 0x21;
+        assert!(matches!(
+            XftReader::new(&bad[..]),
+            Err(XftError::Corrupt(_))
+        ));
+        assert!(matches!(
+            XftMmapReader::from_bytes(bad),
+            Err(XftError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn stamped_domain_drives_analysis() {
+        // An unflushed dirty byte read back post-failure: a race under ADR,
+        // clean under eADR where the cache is in the persistence domain.
+        let mut run = RecordedRun {
+            pre: vec![entry(
+                Op::Write {
+                    addr: 0x1000_0000,
+                    size: 8,
+                },
+                "a.rs",
+                10,
+                Stage::Pre,
+            )],
+            failure_points: vec![RecordedFailurePoint {
+                pre_len: 1,
+                file: "a.rs".to_owned(),
+                line: 10,
+                post: vec![entry(
+                    Op::Read {
+                        addr: 0x1000_0000,
+                        size: 8,
+                    },
+                    "a.rs",
+                    20,
+                    Stage::Post,
+                )],
+            }],
+            ..RecordedRun::default()
+        };
+        let adr = analyze_xft(&encode_recorded_run(&run).unwrap()[..], false).unwrap();
+        assert_eq!(adr.findings().len(), 1, "{adr:?}");
+        run.domain = PersistDomain::Eadr;
+        let eadr = analyze_xft(&encode_recorded_run(&run).unwrap()[..], false).unwrap();
+        assert!(eadr.findings().is_empty(), "{eadr:?}");
     }
 }

@@ -374,11 +374,15 @@ fn backend_loop(
     rx: Receiver<Msg>,
     first_read_only: bool,
     record: bool,
+    domain: pmem::PersistDomain,
     ctl: RunCtl,
 ) -> BackendResult {
-    let mut shadow = ShadowPm::new();
+    let mut shadow = ShadowPm::with_domain(domain);
     let mut report = DetectionReport::new();
-    let mut recorded = record.then(RecordedRun::default);
+    let mut recorded = record.then(|| RecordedRun {
+        domain,
+        ..RecordedRun::default()
+    });
     let mut detect_time = Duration::ZERO;
 
     // Drain in batches: one wakeup (and one head-cursor release) can hand
@@ -533,10 +537,12 @@ pub fn run_pipelined_with_ctl<W: Workload + 'static>(
 
     let first_read_only = config.first_read_only;
     let record_trace = config.record_trace;
+    let domain = config.domain;
     let (pre_result, mut stats, backend) = std::thread::scope(|s| {
         let (tx, rx) = ring::channel_with(opts.capacity, config.ring_impl);
         let backend_ctl = ctl.clone();
-        let handle = s.spawn(move || backend_loop(rx, first_read_only, record_trace, backend_ctl));
+        let handle =
+            s.spawn(move || backend_loop(rx, first_read_only, record_trace, domain, backend_ctl));
 
         let post_workload = Rc::clone(&workload);
         let frontend = Rc::new(StreamFrontend {
@@ -545,7 +551,7 @@ pub fn run_pipelined_with_ctl<W: Workload + 'static>(
             dedup: RefCell::new(HashMap::new()),
             prune: RefCell::new(PruneCache::new(config.pruning)),
             fp_shadow: RefCell::new({
-                let mut shadow = ShadowPm::new();
+                let mut shadow = ShadowPm::with_domain(config.domain);
                 if config.pruning.is_enabled() {
                     shadow.enable_fingerprinting();
                 }

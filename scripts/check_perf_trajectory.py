@@ -88,6 +88,50 @@ def check_ingest(fresh_doc, errors):
             )
 
 
+def check_domains(committed_doc, fresh_doc, errors):
+    """Gates the persistence-domain sweep's deterministic counters.
+
+    Every column except the walls is a function of the trace and the
+    domain model alone, so the fresh rows must match the committed ones
+    exactly — a drift means the domain semantics (eADR's persisted-at-crash
+    rule, the CXL reorder-window aging, or the pruning fingerprint's domain
+    fold) changed behavior. The ADR rows double as the compatibility
+    anchor: they must agree with the committed pre-domain trajectory.
+    """
+    key = lambda r: (r["workload"], r["ops"], r["domain"])
+    committed = {key(r): r for r in committed_doc.get("domains", [])}
+    fresh = {key(r): r for r in fresh_doc.get("domains", [])}
+    if not committed:
+        if fresh:
+            print("domains: no committed rows yet, fresh rows are info-only")
+        return
+    for k in sorted(set(committed) - set(fresh)):
+        errors.append(f"{k[0]} (ops={k[1]}, {k[2]}): domain row missing from fresh baseline")
+    exact = (
+        "failure_points",
+        "classes_total",
+        "fps_pruned",
+        "race_findings",
+        "semantic_findings",
+    )
+    for k in sorted(set(committed) & set(fresh)):
+        old, new = committed[k], fresh[k]
+        name = f"{k[0]} (ops={k[1]}, {k[2]})"
+        for field in exact:
+            if old[field] != new[field]:
+                errors.append(
+                    f"{name}: {field} drifted: committed {old[field]}, "
+                    f"fresh {new[field]} (domain-deterministic, must match exactly)"
+                )
+        print(
+            f"domain {name}: fps={new['failure_points']} "
+            f"classes={new['classes_total']} pruned={new['fps_pruned']} "
+            f"races={new['race_findings']} sem={new['semantic_findings']} "
+            f"ratio={new['pruning_ratio']:.2f}x | walls [info only]: "
+            f"seq {old['sequential_s']:.3f}->{new['sequential_s']:.3f}s"
+        )
+
+
 def check_server(fresh_doc, errors):
     """Gates the campaign server's cross-run cache counters."""
     section = fresh_doc.get("server")
@@ -136,7 +180,8 @@ def main():
     args = ap.parse_args()
 
     with open(args.committed) as f:
-        committed = rows_by_key(json.load(f))
+        committed_doc = json.load(f)
+    committed = rows_by_key(committed_doc)
     with open(args.fresh) as f:
         fresh_doc = json.load(f)
     fresh = rows_by_key(fresh_doc)
@@ -181,6 +226,7 @@ def main():
 
     check_scaling(fresh_doc, errors)
     check_ingest(fresh_doc, errors)
+    check_domains(committed_doc, fresh_doc, errors)
     check_server(fresh_doc, errors)
 
     if errors:

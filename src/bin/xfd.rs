@@ -40,7 +40,7 @@ use std::time::Duration;
 use serde::Serialize;
 use xfd::workloads::bugs::{BugId, BugSet, WorkloadKind};
 use xfd::workloads::{build_concurrent, build_with_init, validation_ops};
-use xfd::xfdetector::jobspec::{parse_mode, parse_pruning, parse_schedule};
+use xfd::xfdetector::jobspec::{parse_domain, parse_mode, parse_pruning, parse_schedule};
 use xfd::xfdetector::offline::pruning_census;
 use xfd::xfdetector::{
     BugKind, ConfigError, DetectionReport, JobSpec, Mode, Progress, RunOutcome, RunStats, XfError,
@@ -63,7 +63,7 @@ USAGE:
                 [CONFIG FLAGS]
     xfd fuzz    [--seed N] [--iters N] [--max-ops N] [--no-shrink]
                 [--corpus-dir DIR] [--budget-entries N] [--threads N]
-                [--replay FILE.fuzz] [--progress] [--json]
+                [--domain MODEL] [--replay FILE.fuzz] [--progress] [--json]
     xfd serve   [--addr HOST:PORT | --socket PATH] [--exec-workers N]
                 [--cache-dir DIR]
     xfd submit  [--addr HOST:PORT | --socket PATH] (--job FILE.json |
@@ -102,6 +102,9 @@ FUZZ OPTIONS:
                           policy; engine equivalence must hold in lockstep
     --threads N           Above 1: generate concurrent programs and run
                           them multi-threaded through every engine
+    --domain MODEL        Run the campaign under this persistence domain;
+                          sequential programs are additionally cross-checked
+                          against the oracle under all three domains
     --replay FILE.fuzz    Re-check one saved program instead of a campaign
                           (sequential `xffuzz v1` or concurrent `xffuzz c1`)
     Exit status: 3 if any divergence was found, 2 on infrastructure errors
@@ -174,6 +177,13 @@ CONFIG FLAGS (detector axes; defaults reproduce the paper's setup):
                           sampled re-executes an audit fraction of class
                           hits). With `analyze`, prints the trace's
                           equivalence-class census instead
+    --domain MODEL        adr | eadr | cxl:WINDOW — the platform persistence
+                          domain findings are classified under (default adr).
+                          eadr treats dirty cache lines as persisted at the
+                          crash; cxl:WINDOW also ages persisted stores
+                          through a WINDOW-fence device reorder buffer.
+                          Recorded traces carry the domain in the .xft
+                          header and `xfd analyze` replays under it
     --seed N              RNG seed for randomized crash policies
     --capacity N          Trace-FIFO capacity in batches (stream mode)
     --workers N           Worker threads (parallel mode; 0 = all cores)
@@ -391,6 +401,11 @@ fn parse_work_opts(args: &[String]) -> Result<WorkOpts, XfError> {
                 let v = next_value("--pruning", &mut it)?;
                 parse_pruning(v)?;
                 o.spec.pruning = Some(v.clone());
+            }
+            "--domain" => {
+                let v = next_value("--domain", &mut it)?;
+                parse_domain(v)?;
+                o.spec.domain = Some(v.clone());
             }
             "--seed" => o.spec.seed = Some(parse_num("--seed", next_value("--seed", &mut it)?)?),
             other => {
@@ -756,6 +771,7 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, XfError> {
                 o.diff.budget_entries = Some(n);
             }
             o.diff.pruning = spec.pruning()?;
+            o.diff.domain = spec.domain()?;
             if let Some(t) = spec.threads {
                 o.diff.threads = t;
             }
@@ -810,6 +826,7 @@ fn parse_fuzz_opts(args: &[String]) -> Result<FuzzOpts, XfError> {
                 o.diff.budget_entries = Some(n);
             }
             "--pruning" => o.diff.pruning = parse_pruning(next_value("--pruning", &mut it)?)?,
+            "--domain" => o.diff.domain = parse_domain(next_value("--domain", &mut it)?)?,
             "--threads" => {
                 o.diff.threads = parse_num("--threads", next_value("--threads", &mut it)?)?;
                 if o.diff.threads == 0 {
@@ -1193,6 +1210,7 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, XfError> {
 
     println!("trace:          {path}");
     println!("format version: {}", header.version);
+    println!("domain:         {}", header.domain);
     if header.is_concurrent() {
         println!("threads:        {}", header.threads);
         println!("schedule:       {}", header.schedule);

@@ -693,6 +693,122 @@ fn unstamped_runs_keep_the_v1_framing_and_decode_with_tid_zero() {
 }
 
 #[test]
+fn domain_matrix_is_engine_invariant_and_adr_matches_the_domainless_baseline() {
+    // The domain axis composes with every engine and pruning choice: for a
+    // fixed persistence domain the sequential, parallel, and streaming
+    // engines produce byte-identical reports, pruned or not. And because
+    // ADR *is* the default, an explicit `--domain adr` run must be
+    // byte-identical to the seed's domain-less baseline — the new axis
+    // costs existing users nothing.
+    use xfd::pmem::PersistDomain;
+    use xfd::xfstream::{run_pipelined, StreamOptions};
+
+    const DOMAINS: [PersistDomain; 3] = [
+        PersistDomain::Adr,
+        PersistDomain::Eadr,
+        PersistDomain::CxlGpf { reorder_window: 4 },
+    ];
+
+    for persist_data in [true, false] {
+        let w = Publish { persist_data };
+        let baseline = XfDetector::new(XfConfig::default()).run(w).unwrap();
+
+        for domain in DOMAINS {
+            let seq = XfDetector::new(XfConfig {
+                domain,
+                ..XfConfig::default()
+            })
+            .run(w)
+            .unwrap();
+            let expected = report_json(&seq);
+
+            if domain == PersistDomain::Adr {
+                assert_eq!(
+                    expected,
+                    report_json(&baseline),
+                    "explicit ADR diverged from the domain-less default \
+                     (persist_data={persist_data})"
+                );
+            }
+
+            for pruning in [Pruning::Off, Pruning::Equivalence] {
+                let cfg = XfConfig {
+                    domain,
+                    pruning,
+                    ..XfConfig::default()
+                };
+                let label = format!("persist_data={persist_data}, {domain}, {pruning:?}");
+                let seq_p = XfDetector::new(cfg.clone()).run(w).unwrap();
+                assert_eq!(report_json(&seq_p), expected, "sequential, {label}");
+                let par = XfDetector::new(cfg.clone()).run_parallel(w, 3).unwrap();
+                assert_eq!(report_json(&par), expected, "parallel, {label}");
+                let pipe = run_pipelined(&cfg, w, &StreamOptions::default()).unwrap();
+                assert_eq!(report_json(&pipe), expected, "streaming, {label}");
+            }
+        }
+    }
+
+    // The matrix is not degenerate — the domain really changes verdicts on
+    // this tiny protocol, in both directions:
+    // under eADR the dropped persist barrier stops mattering (caches are in
+    // the persistence domain), while under a CXL reorder window even the
+    // *correct* publish races — the flag's own fence is within the window.
+    let eadr = XfDetector::new(XfConfig {
+        domain: PersistDomain::Eadr,
+        ..XfConfig::default()
+    })
+    .run(Publish {
+        persist_data: false,
+    })
+    .unwrap();
+    assert_eq!(
+        eadr.report.race_count(),
+        0,
+        "eADR must clear the missing-flush race:\n{}",
+        eadr.report
+    );
+    // What survives is the Equation-3 discipline finding: data and commit
+    // flag were written in the same epoch (no fence between them), and
+    // residual energy does not order store buffers — fences stay required
+    // under eADR, only flushes become free.
+    assert_eq!(
+        eadr.report.semantic_count(),
+        1,
+        "the same-epoch commit write stays a semantic finding under eADR:\n{}",
+        eadr.report
+    );
+    // Under CXL the consistency-first rule (§5.4) still holds: Publish's
+    // commit variable governs the data byte and the Equation-3-consistent
+    // read is exempt from the reorder window, so the correct protocol stays
+    // clean — the window does not blanket-flag every persisted byte. (Its
+    // bite on *ungoverned* publish idioms is asserted on the hashmap-atomic
+    // baseline in tests/domain_matrix.rs.) The buggy variant still races:
+    // CXL is never more forgiving than ADR.
+    let cxl_cfg = XfConfig {
+        domain: PersistDomain::CxlGpf { reorder_window: 4 },
+        ..XfConfig::default()
+    };
+    let cxl_clean = XfDetector::new(cxl_cfg.clone())
+        .run(Publish { persist_data: true })
+        .unwrap();
+    assert!(
+        !cxl_clean.report.has_correctness_bugs(),
+        "governed, consistent reads are exempt from the reorder window:\n{}",
+        cxl_clean.report
+    );
+    let cxl_racy = XfDetector::new(cxl_cfg)
+        .run(Publish {
+            persist_data: false,
+        })
+        .unwrap();
+    assert!(
+        cxl_racy.report.race_count() >= 1,
+        "the missing flush must still race under CXL:\n{}",
+        cxl_racy.report
+    );
+}
+
+#[test]
 fn exhaustive_and_shadow_agree_on_both_variants() {
     // The summary property: detector verdict == "exists a crash state with
     // a wrong observation".

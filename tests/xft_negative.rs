@@ -9,6 +9,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use xfd::pmem::PersistDomain;
 use xfd::xfdetector::offline::RecordedRun;
 use xfd::xfdetector::{XfConfig, XfDetector};
 use xfd::xffuzz::generate;
@@ -148,5 +149,92 @@ fn corrupted_magic_and_version_are_specific_errors() {
     assert!(
         matches!(decode(b"not a trace at all"), Err(XftError::BadMagic(_))),
         "foreign bytes must be BadMagic"
+    );
+}
+
+/// Records the corpus program under `domain` and returns its encoding.
+fn recorded_under(domain: PersistDomain) -> (RecordedRun, Vec<u8>) {
+    let cfg = XfConfig {
+        record_trace: true,
+        domain,
+        ..XfConfig::default()
+    };
+    let outcome = XfDetector::new(cfg)
+        .run(generate(7, 3, 24))
+        .expect("detection runs");
+    let run = outcome.recorded.expect("trace recorded");
+    let bytes = encode_recorded_run(&run).expect("encoding succeeds");
+    (run, bytes)
+}
+
+#[test]
+fn domain_stamps_round_trip_for_every_non_default_domain() {
+    for domain in [
+        PersistDomain::Eadr,
+        PersistDomain::CxlGpf { reorder_window: 1 },
+        PersistDomain::CxlGpf {
+            reorder_window: 4096,
+        },
+    ] {
+        let (run, bytes) = recorded_under(domain);
+        assert_eq!(run.domain, domain, "recorded run carries the run domain");
+        assert_eq!(
+            &bytes[..4],
+            b"XFT2",
+            "{domain}: a domain stamp forces the v2 framing"
+        );
+        let back = decode(&bytes).expect("stamped trace decodes");
+        assert_eq!(back.domain, domain, "{domain}: stamp must round-trip");
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&run).unwrap(),
+            "{domain}: the stamped round trip must be lossless"
+        );
+    }
+}
+
+#[test]
+fn adr_recordings_stay_v1_and_byte_identical_to_the_pre_domain_encoding() {
+    // The default domain never stamps: an explicit-ADR recording is
+    // byte-for-byte the corpus encoding (which never mentions domains), so
+    // pre-domain readers keep working and pre-domain traces decode as ADR.
+    let (_, baseline) = corpus();
+    let (run, bytes) = recorded_under(PersistDomain::Adr);
+    assert_eq!(run.domain, PersistDomain::Adr);
+    assert_eq!(&bytes[..4], b"XFT1", "ADR traces keep the v1 framing");
+    assert_eq!(
+        &bytes, baseline,
+        "explicit ADR must not perturb the encoding"
+    );
+    assert_eq!(
+        decode(baseline).expect("v1 decodes").domain,
+        PersistDomain::Adr,
+        "domain-less v1 traces decode as ADR"
+    );
+}
+
+#[test]
+fn unknown_domain_code_is_a_typed_error_at_exactly_one_offset() {
+    // Overwrite each header-region byte with an unassigned domain code: the
+    // decoder must report `UnknownDomain(99)` for the stamp byte itself —
+    // and for no other position, pinning both the error type and the
+    // stamp's location in the framing.
+    let (_, bytes) = recorded_under(PersistDomain::Eadr);
+    let mut stamp_offsets = Vec::new();
+    for at in 0..bytes.len().min(32) {
+        let mut mutated = bytes.clone();
+        mutated[at] = 99;
+        if let Err(XftError::UnknownDomain(code)) =
+            catch_unwind(AssertUnwindSafe(|| decode(&mutated)))
+                .unwrap_or_else(|_| panic!("decoder panicked on domain code at {at}"))
+        {
+            assert_eq!(code, 99, "the error must carry the offending code");
+            stamp_offsets.push(at);
+        }
+    }
+    assert_eq!(
+        stamp_offsets.len(),
+        1,
+        "exactly one header byte is the domain stamp: {stamp_offsets:?}"
     );
 }
